@@ -1,0 +1,15 @@
+//! Criterion bench for the §9.4 shape-distance ablation rollouts.
+use criterion::{criterion_group, criterion_main, Criterion};
+use syno_bench::table3::ablation_shape_distance;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    group.bench_function("rollouts_100_guided_and_unguided", |b| {
+        b.iter(|| ablation_shape_distance(100, 5, 7))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion bench for the Figure 10 pipeline: LM training steps with the
+//! dense and grouped QKV projections.
+use criterion::{criterion_group, criterion_main, Criterion};
+use syno_bench::fig10::grouped_projection;
+use syno_nn::{LmConfig, OperatorLayer, QkvProjection, TextTask, TinyGpt};
+
+fn bench(c: &mut Criterion) {
+    let config = LmConfig { vocab: 12, context: 6, dim: 16 };
+    let task = TextTask::new(5, config.vocab, config.context);
+    let (ctx, tgt) = task.batch(0, 16);
+    let mut group = c.benchmark_group("fig10");
+    group.sample_size(10);
+    group.bench_function("train_step_dense", |b| {
+        let mut model = TinyGpt::new(config, QkvProjection::Dense, 7);
+        b.iter(|| model.train_step(&ctx, &tgt, 0.1))
+    });
+    group.bench_function("train_step_grouped", |b| {
+        let proj = grouped_projection(16 * 6, 16, 48, 2).expect("projection");
+        let layer = OperatorLayer::new(proj, 0).expect("realizable");
+        let mut model = TinyGpt::new(config, QkvProjection::Operator(layer), 7);
+        b.iter(|| model.train_step(&ctx, &tgt, 0.1))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion bench for the §8 materialized-reduction lowering (Fig. 4).
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use syno_core::prelude::*;
+use syno_ir::{lower_naive, lower_optimized};
+
+fn fig4_graph() -> PGraph {
+    let mut vars = VarTable::new();
+    let h = vars.declare("H", VarKind::Primary);
+    let k = vars.declare("k", VarKind::Coefficient);
+    let s = vars.declare("s", VarKind::Coefficient);
+    vars.push_valuation(vec![(h, 64), (k, 5), (s, 4)]);
+    let vars = vars.into_shared();
+    let spec = OperatorSpec::new(
+        TensorShape::new(vec![Size::var(h)]),
+        TensorShape::new(vec![Size::var(h).div(&Size::var(s))]),
+    );
+    let g = PGraph::new(Arc::clone(&vars), spec);
+    let i = g.frontier()[0];
+    let g = g.apply(&Action::Reduce { domain: Size::var(k) }).unwrap();
+    let rk = g.last_node().unwrap().produced[0];
+    let g = g.apply(&Action::Unfold { base: i, window: rk }).unwrap();
+    let u = g.last_node().unwrap().produced[0];
+    let g = g.apply(&Action::Reduce { domain: Size::var(s) }).unwrap();
+    let rs = g.last_node().unwrap().produced[0];
+    g.apply(&Action::Split { lhs: u, rhs: rs }).unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    let graph = fig4_graph();
+    // Report the FLOPs reduction once.
+    let naive = lower_naive(&graph, 0).unwrap().flops();
+    let opt = lower_optimized(&graph, 0).unwrap().flops();
+    println!("fig4: naive {naive} flops -> materialized {opt} flops");
+    let mut group = c.benchmark_group("fig4");
+    group.bench_function("lower_naive", |b| b.iter(|| lower_naive(&graph, 0).unwrap().flops()));
+    group.bench_function("lower_optimized", |b| {
+        b.iter(|| lower_optimized(&graph, 0).unwrap().flops())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

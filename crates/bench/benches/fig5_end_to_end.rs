@@ -1,0 +1,22 @@
+//! Criterion bench for the Figure 5 pipeline: one end-to-end model latency
+//! evaluation (ResNet-18, mobile CPU, both compilers).
+use criterion::{criterion_group, criterion_main, Criterion};
+use syno_compiler::{CompilerKind, Device};
+use syno_models::{model_latency, resnet18, Substitution};
+
+fn bench(c: &mut Criterion) {
+    let backbone = resnet18();
+    let device = Device::mobile_cpu();
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    group.bench_function("resnet18_baseline_tvm", |b| {
+        b.iter(|| model_latency(&backbone, Substitution::Baseline, &device, CompilerKind::Tvm))
+    });
+    group.bench_function("resnet18_op1_tvm", |b| {
+        b.iter(|| model_latency(&backbone, Substitution::Operator1, &device, CompilerKind::Tvm))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Criterion bench for the Figure 6 pipeline: Pareto extraction over the
+//! substitution tradeoff points.
+use criterion::{criterion_group, criterion_main, Criterion};
+use syno_search::{pareto_front, TradeoffPoint};
+
+fn bench(c: &mut Criterion) {
+    let points: Vec<TradeoffPoint> = (0..256)
+        .map(|i| TradeoffPoint {
+            latency: ((i * 37) % 97) as f64 / 97.0,
+            accuracy: ((i * 59) % 89) as f64 / 89.0,
+        })
+        .collect();
+    c.bench_function("fig6_pareto_front_256", |b| b.iter(|| pareto_front(&points)));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Criterion bench for the Figure 8 pipeline: compiling Operator 1 at one
+//! representative site on all three devices.
+use criterion::{criterion_group, criterion_main, Criterion};
+use syno_compiler::{compile, CompilerKind, DType, Device, OperatorClass};
+use syno_models::{operator1, ConvShape};
+
+fn bench(c: &mut Criterion) {
+    let shape = ConvShape { n: 1, cin: 64, cout: 64, hw: 56, k: 3, g: 2, s: 4 };
+    let graph = operator1(&shape).expect("operator 1 builds");
+    let profile =
+        syno_compiler::profile_graph(&graph, 0, OperatorClass::Novel, "op1").expect("profiles");
+    let mut group = c.benchmark_group("fig8");
+    for device in Device::all() {
+        group.bench_function(format!("compile_op1_{}", device.name), |b| {
+            b.iter(|| compile(&profile, &device, CompilerKind::Tvm, DType::F32).latency)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

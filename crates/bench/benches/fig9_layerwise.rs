@@ -1,0 +1,19 @@
+//! Criterion bench for the Figure 9 pipeline: one layer-wise comparison.
+use criterion::{criterion_group, criterion_main, Criterion};
+use syno_compiler::{CompilerKind, Device};
+use syno_models::{resnet34_layers, site_latency, Substitution, FIG9_LAYERS};
+
+fn bench(c: &mut Criterion) {
+    let layers = resnet34_layers();
+    let layer = layers[FIG9_LAYERS[0] - 1];
+    let device = Device::mobile_cpu();
+    let mut group = c.benchmark_group("fig9");
+    group.sample_size(20);
+    group.bench_function("layer_l1_op1_tvm", |b| {
+        b.iter(|| site_latency(&layer, Substitution::Operator1, &device, CompilerKind::Tvm))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Criterion bench for the Table 3 sampler.
+use criterion::{criterion_group, criterion_main, Criterion};
+use syno_bench::table3::table3_data;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(10);
+    group.bench_function("sample_200_graphs", |b| {
+        b.iter(|| table3_data(200, 6, 42))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

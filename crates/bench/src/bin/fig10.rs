@@ -1,0 +1,14 @@
+//! Prints the Figure 10 curves: GPT-2 perplexity vs training steps.
+use syno_bench::fig10::fig10_data;
+
+fn main() {
+    println!("# Figure 10 — LM perplexity vs training steps (proxy task)");
+    let data = fig10_data(600, false);
+    println!("{:>6} {:>14} {:>14}", "step", "baseline-ppl", "syno-ppl");
+    let pairs = data.baseline_curve.iter().zip(&data.syno_curve);
+    for ((step, base), (_, syno)) in pairs {
+        println!("{:>6} {:>14.3} {:>14.3}", step, base, syno);
+    }
+    println!("\nQKV projection speedup at GPT-2 scale (A100/TVM): {:.2}x", data.projection_speedup);
+    println!("(paper: 1.1x training speedup, perplexity 111 -> 99)");
+}

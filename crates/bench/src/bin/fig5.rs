@@ -1,0 +1,20 @@
+//! Prints the Figure 5 table: end-to-end speedups per model/device/compiler.
+use syno_bench::fig5::{fig5_data, geomean_speedup};
+
+fn main() {
+    let rows = fig5_data();
+    println!("# Figure 5 — end-to-end speedup of Syno-optimized models");
+    println!("{:<18} {:<11} {:<14} {:>12} {:>12} {:>8}  {}", "model", "device", "compiler", "baseline(ms)", "syno(ms)", "speedup", "winner");
+    for r in &rows {
+        println!(
+            "{:<18} {:<11} {:<14} {:>12.3} {:>12.3} {:>7.2}x  {}",
+            r.model, r.device, r.compiler, r.baseline * 1e3, r.syno * 1e3, r.speedup(), r.winner
+        );
+    }
+    println!("\n# Geomean speedups (paper: TVM 2.06x/1.72x/1.47x, Inductor 1.37x/1.62x/1.60x)");
+    for device in ["mobile-cpu", "mobile-gpu", "a100"] {
+        for compiler in ["TVM", "TorchInductor"] {
+            println!("  {device:<11} {compiler:<14} {:.2}x", geomean_speedup(&rows, device, compiler));
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Prints the Figure 6 table: accuracy-vs-latency Pareto points.
+use syno_bench::fig6::fig6_data;
+use syno_compiler::{CompilerKind, Device};
+
+fn main() {
+    println!("# Figure 6 — accuracy vs latency Pareto points (proxy accuracy)");
+    for device in Device::all() {
+        for compiler in [CompilerKind::Tvm, CompilerKind::TorchInductor] {
+            println!("\n## {} / {}", device.name, compiler.name());
+            println!("{:<18} {:<10} {:>12} {:>10} {:>6}", "model", "operator", "latency(ms)", "accuracy", "front");
+            for p in fig6_data(&device, compiler, false) {
+                println!(
+                    "{:<18} {:<10} {:>12.3} {:>10.3} {:>6}",
+                    p.model, p.operator, p.latency * 1e3, p.accuracy,
+                    if p.on_front { "*" } else { "" }
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! Prints the Figure 9 table: layer-wise ResNet-34 comparison vs NAS-PTE.
+use syno_bench::fig9::fig9_data;
+
+fn main() {
+    println!("# Figure 9 — layer-wise speedups over the baseline conv, ResNet-34");
+    println!("{:<5} {:<11} {:<14} {:>8} {:>8} {:>8} {:>8} {:>8}  {:>10}", "layer", "device", "compiler", "pte1", "pte2", "pte3", "op1", "op2", "syno/pte");
+    for r in fig9_data() {
+        let s = |l: f64| r.baseline / l;
+        println!(
+            "{:<5} {:<11} {:<14} {:>7.2}x {:>7.2}x {:>7.2}x {:>7.2}x {:>7.2}x  {:>9.2}x",
+            r.layer, r.device, r.compiler,
+            s(r.nas_pte[0]), s(r.nas_pte[1]), s(r.nas_pte[2]), s(r.syno[0]), s(r.syno[1]),
+            r.syno_vs_naspte()
+        );
+    }
+    println!("\n(paper: Syno best vs NAS-PTE best = 2.13x/1.68x/1.63x with TVM; 0.83x/0.84x/1.38x with TorchInductor)");
+}

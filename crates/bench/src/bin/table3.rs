@@ -1,0 +1,18 @@
+//! Prints Table 3: canonical rates by pGraph size.
+use syno_bench::table3::table3_data;
+
+fn main() {
+    println!("# Table 3 — canonical rates of sampled pGraph sizes");
+    println!("(paper: 100% @2, 18.18% @3, 13.97% @4, 4.40% @5, 1.22% @6, 0.08% @7, 0% @8+)");
+    let rows = table3_data(6452, 8, 2024);
+    println!("{:>5} {:>9} {:>10} {:>8}", "size", "sampled", "canonical", "rate");
+    let mut total = 0;
+    let mut canon = 0;
+    for r in &rows {
+        println!("{:>5} {:>9} {:>10} {:>7.2}%", r.size, r.sampled, r.canonical, 100.0 * r.rate());
+        total += r.sampled;
+        canon += r.canonical;
+    }
+    let ratio = total as f64 / canon.max(1) as f64;
+    println!("\ntotal {total} samples, {canon} canonical -> {ratio:.0}x redundancy cut (paper: >70x)");
+}

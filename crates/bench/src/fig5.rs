@@ -1,0 +1,104 @@
+//! Figure 5: end-to-end inference speedups of Syno-optimized models over
+//! their baselines, per platform and compiler, normalized to the TVM
+//! baseline as in the paper.
+
+use syno_compiler::{CompilerKind, Device};
+use syno_models::{model_latency, vision_backbones, Substitution};
+
+/// One bar group of Fig. 5.
+#[derive(Clone, Debug)]
+pub struct Fig5Row {
+    /// Model name.
+    pub model: String,
+    /// Device name.
+    pub device: String,
+    /// Compiler name.
+    pub compiler: String,
+    /// Baseline latency (seconds).
+    pub baseline: f64,
+    /// Best Syno substitution latency (seconds).
+    pub syno: f64,
+    /// Which operator won.
+    pub winner: String,
+}
+
+impl Fig5Row {
+    /// Syno speedup over the baseline under the same compiler.
+    pub fn speedup(&self) -> f64 {
+        self.baseline / self.syno
+    }
+}
+
+/// Computes the Fig. 5 rows: every vision backbone × 3 devices × 2
+/// compilers; Syno picks the faster of Operators 1 and 2 per configuration
+/// (the paper searches per model; the reproduction selects between the two
+/// published operators).
+pub fn fig5_data() -> Vec<Fig5Row> {
+    let mut rows = Vec::new();
+    for backbone in vision_backbones() {
+        for device in Device::all() {
+            for compiler in [CompilerKind::Tvm, CompilerKind::TorchInductor] {
+                let baseline =
+                    model_latency(&backbone, Substitution::Baseline, &device, compiler);
+                let op1 = model_latency(&backbone, Substitution::Operator1, &device, compiler);
+                let op2 = model_latency(&backbone, Substitution::Operator2, &device, compiler);
+                let (syno, winner) = if op1 <= op2 {
+                    (op1, "op1")
+                } else {
+                    (op2, "op2")
+                };
+                rows.push(Fig5Row {
+                    model: backbone.name.to_owned(),
+                    device: device.name.to_owned(),
+                    compiler: compiler.name().to_owned(),
+                    baseline,
+                    syno,
+                    winner: winner.to_owned(),
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// Geometric-mean speedup for one device+compiler slice.
+pub fn geomean_speedup(rows: &[Fig5Row], device: &str, compiler: &str) -> f64 {
+    let slice: Vec<f64> = rows
+        .iter()
+        .filter(|r| r.device == device && r.compiler == compiler)
+        .map(Fig5Row::speedup)
+        .collect();
+    if slice.is_empty() {
+        return f64::NAN;
+    }
+    (slice.iter().map(|s| s.ln()).sum::<f64>() / slice.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5_shape_holds() {
+        let rows = fig5_data();
+        assert_eq!(rows.len(), 5 * 3 * 2);
+        // The paper's headline: Syno speeds models up on average on every
+        // platform with TVM.
+        for device in ["mobile-cpu", "mobile-gpu", "a100"] {
+            let g = geomean_speedup(&rows, device, "TVM");
+            assert!(
+                g > 1.0,
+                "geomean TVM speedup on {device} must exceed 1: {g:.2}"
+            );
+        }
+        // And classic ResNets gain more than the NAS-optimized
+        // EfficientNetV2 (§9.2).
+        let speedup_of = |model: &str| {
+            rows.iter()
+                .find(|r| r.model == model && r.device == "mobile-cpu" && r.compiler == "TVM")
+                .map(Fig5Row::speedup)
+                .expect("row exists")
+        };
+        assert!(speedup_of("ResNet-18") > speedup_of("EfficientNetV2-S"));
+    }
+}

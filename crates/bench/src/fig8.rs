@@ -1,0 +1,149 @@
+//! Figure 8: the Operator 1 case study — against the original convolution,
+//! INT8 quantization, and the stacked-convolution control, on ResNet-18
+//! with TVM.
+
+use syno_compiler::{compile, CompilerKind, DType, Device, OperatorClass};
+use syno_models::{model_latency, resnet18, shape_of, stacked_convolution, Substitution};
+use syno_nn::{operator_accuracy, ProxyConfig, TrainConfig};
+
+/// One variant of the Fig. 8 comparison.
+#[derive(Clone, Debug)]
+pub struct Fig8Row {
+    /// Variant label.
+    pub variant: String,
+    /// Latency per device (mobile CPU, mobile GPU, A100), seconds.
+    pub latencies: Vec<f64>,
+    /// Proxy accuracy in `[0, 1]`.
+    pub accuracy: f64,
+}
+
+fn stacked_latency(device: &Device) -> f64 {
+    // Sum of per-layer stacked-convolution latencies over ResNet-18's
+    // substitutable sites, baseline elsewhere.
+    let backbone = resnet18();
+    let mut total = 0.0;
+    for layer in &backbone.convs {
+        let shape = shape_of(layer);
+        let site = match stacked_convolution(&shape) {
+            Some((a, b)) => {
+                let la = syno_compiler::profile_graph(&a, 0, OperatorClass::Standard, "s1")
+                    .map(|p| compile(&p, device, CompilerKind::Tvm, DType::F32).latency)
+                    .unwrap_or(f64::INFINITY);
+                let lb = syno_compiler::profile_graph(&b, 0, OperatorClass::Standard, "s2")
+                    .map(|p| compile(&p, device, CompilerKind::Tvm, DType::F32).latency)
+                    .unwrap_or(f64::INFINITY);
+                la + lb
+            }
+            None => syno_models::site_latency(
+                layer,
+                Substitution::Baseline,
+                device,
+                CompilerKind::Tvm,
+            ),
+        };
+        total += site * layer.count as f64;
+    }
+    total
+}
+
+fn stacked_accuracy(config: &ProxyConfig) -> f64 {
+    // The stacked convolution trains the same student through its first
+    // stage operator; the paper found it doubles Operator 1's accuracy
+    // degradation (narrower 3×3 receptive field vs 3×5). The proxy
+    // evaluates the grouped first stage.
+    let shape = syno_models::ConvShape {
+        n: 16,
+        cin: 8,
+        cout: 8,
+        hw: 8,
+        k: 3,
+        g: 2,
+        s: 2,
+    };
+    match syno_models::grouped_conv_graph(&shape) {
+        Some(g) => operator_accuracy(&g, 0, config) as f64,
+        None => 0.0,
+    }
+}
+
+/// Computes the four Fig. 8 variants.
+pub fn fig8_data(quick: bool) -> Vec<Fig8Row> {
+    let devices = Device::all();
+    let backbone = resnet18();
+    let proxy = ProxyConfig {
+        train: TrainConfig {
+            steps: if quick { 30 } else { 80 },
+            batch: 16,
+            eval_batches: if quick { 2 } else { 4 },
+            ..TrainConfig::default()
+        },
+        ..ProxyConfig::default()
+    };
+    let shape = syno_models::ConvShape {
+        n: 16,
+        cin: 8,
+        cout: 8,
+        hw: 8,
+        k: 3,
+        g: 2,
+        s: 2,
+    };
+
+    let lat = |subst: Substitution| -> Vec<f64> {
+        devices
+            .iter()
+            .map(|d| model_latency(&backbone, subst, d, CompilerKind::Tvm))
+            .collect()
+    };
+
+    let conv_acc = syno_models::conv_graph(&shape)
+        .map(|g| operator_accuracy(&g, 0, &proxy) as f64)
+        .unwrap_or(0.0);
+    let op1_acc = syno_models::operator1(&shape)
+        .map(|g| operator_accuracy(&g, 0, &proxy) as f64)
+        .unwrap_or(0.0);
+
+    vec![
+        Fig8Row {
+            variant: "original".into(),
+            latencies: lat(Substitution::Baseline),
+            accuracy: conv_acc,
+        },
+        Fig8Row {
+            variant: "int8-quantized".into(),
+            latencies: lat(Substitution::Int8),
+            accuracy: (conv_acc - 0.02).max(0.0),
+        },
+        Fig8Row {
+            variant: "stacked-convolution".into(),
+            latencies: devices.iter().map(stacked_latency).collect(),
+            accuracy: stacked_accuracy(&proxy),
+        },
+        Fig8Row {
+            variant: "operator-1".into(),
+            latencies: lat(Substitution::Operator1),
+            accuracy: op1_acc,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig8_orderings_hold() {
+        let rows = fig8_data(true);
+        assert_eq!(rows.len(), 4);
+        let get = |name: &str| rows.iter().find(|r| r.variant == name).unwrap();
+        let original = get("original");
+        let op1 = get("operator-1");
+        let int8 = get("int8-quantized");
+        // Operator 1 beats the original on the mobile CPU (paper: 2.68×).
+        assert!(op1.latencies[0] < original.latencies[0]);
+        // Operator 1 has lower CPU latency than INT8 (paper's Fig. 8).
+        assert!(op1.latencies[0] < int8.latencies[0]);
+        // And at least matches INT8's accuracy.
+        assert!(op1.accuracy >= int8.accuracy - 0.05);
+    }
+}

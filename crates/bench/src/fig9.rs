@@ -1,0 +1,114 @@
+//! Figure 9: layer-wise speedups on ResNet-34 — Syno Operators 1 and 2
+//! versus the three NAS-PTE sequences, under both compilers, for the ten
+//! layers the paper plots.
+
+use syno_compiler::{CompilerKind, Device};
+use syno_models::{resnet34_layers, site_latency, NasPteSeq, Substitution, FIG9_LAYERS};
+
+/// One (layer, device, compiler) group of Fig. 9.
+#[derive(Clone, Debug)]
+pub struct Fig9Row {
+    /// Layer label (`L7`, …).
+    pub layer: String,
+    /// Device name.
+    pub device: String,
+    /// Compiler name.
+    pub compiler: String,
+    /// Baseline (standard conv) latency.
+    pub baseline: f64,
+    /// NAS-PTE sequence latencies (1–3).
+    pub nas_pte: Vec<f64>,
+    /// Syno Operator 1 / Operator 2 latencies.
+    pub syno: Vec<f64>,
+}
+
+impl Fig9Row {
+    /// Speedup of the best Syno operator over the best NAS-PTE sequence.
+    pub fn syno_vs_naspte(&self) -> f64 {
+        let best_syno = self.syno.iter().copied().fold(f64::INFINITY, f64::min);
+        let best_pte = self.nas_pte.iter().copied().fold(f64::INFINITY, f64::min);
+        best_pte / best_syno
+    }
+}
+
+/// Computes the Fig. 9 rows.
+pub fn fig9_data() -> Vec<Fig9Row> {
+    let layers = resnet34_layers();
+    let mut rows = Vec::new();
+    for device in Device::all() {
+        for compiler in [CompilerKind::Tvm, CompilerKind::TorchInductor] {
+            for &idx in &FIG9_LAYERS {
+                let layer = &layers[idx - 1];
+                let baseline = site_latency(layer, Substitution::Baseline, &device, compiler);
+                let nas_pte: Vec<f64> = NasPteSeq::ALL
+                    .iter()
+                    .map(|&seq| {
+                        site_latency(layer, Substitution::NasPte(seq), &device, compiler)
+                    })
+                    .collect();
+                let syno = vec![
+                    site_latency(layer, Substitution::Operator1, &device, compiler),
+                    site_latency(layer, Substitution::Operator2, &device, compiler),
+                ];
+                rows.push(Fig9Row {
+                    layer: format!("L{idx}"),
+                    device: device.name.to_owned(),
+                    compiler: compiler.name().to_owned(),
+                    baseline,
+                    nas_pte,
+                    syno,
+                });
+            }
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig9_tvm_favors_syno() {
+        let rows = fig9_data();
+        assert_eq!(rows.len(), 3 * 2 * 10);
+        // Paper: with TVM, Syno's best operators beat NAS-PTE's best on
+        // average (2.13×/1.68×/1.63× per device). Check the geomean > 1.
+        for device in ["mobile-cpu", "mobile-gpu", "a100"] {
+            let slice: Vec<f64> = rows
+                .iter()
+                .filter(|r| r.device == device && r.compiler == "TVM")
+                .map(Fig9Row::syno_vs_naspte)
+                .collect();
+            let geomean =
+                (slice.iter().map(|s| s.ln()).sum::<f64>() / slice.len() as f64).exp();
+            assert!(
+                geomean > 1.0,
+                "Syno vs NAS-PTE geomean on {device} (TVM): {geomean:.2}"
+            );
+        }
+    }
+
+    #[test]
+    fn fig9_inductor_penalizes_novel_ops_on_mobile() {
+        // Paper: under TorchInductor on mobile, Syno *underperforms*
+        // NAS-PTE (0.83×/0.84×) because novel operators fall back to ATen.
+        let rows = fig9_data();
+        let slice: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.device == "mobile-cpu" && r.compiler == "TorchInductor")
+            .map(Fig9Row::syno_vs_naspte)
+            .collect();
+        let geomean = (slice.iter().map(|s| s.ln()).sum::<f64>() / slice.len() as f64).exp();
+        let tvm: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.device == "mobile-cpu" && r.compiler == "TVM")
+            .map(Fig9Row::syno_vs_naspte)
+            .collect();
+        let tvm_geomean = (tvm.iter().map(|s| s.ln()).sum::<f64>() / tvm.len() as f64).exp();
+        assert!(
+            geomean < tvm_geomean,
+            "fallback must hurt Syno under TorchInductor on mobile: {geomean:.2} vs {tvm_geomean:.2}"
+        );
+    }
+}

@@ -1,0 +1,189 @@
+//! Table 3 (§9.4): canonical rates by pGraph size, and the shape-distance
+//! ablation.
+//!
+//! * **Table 3** — sample primitive sequences *without* canonicalization
+//!   (permissive rules) and measure what fraction of each size would have
+//!   been accepted by the full rule set. The paper finds > 70× redundancy.
+//! * **Shape-distance ablation** — count valid operators found by random
+//!   trials with and without the shape-distance guidance; the paper's
+//!   unguided run found zero in 500M trials.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use syno_core::canon::CanonRules;
+use syno_core::graph::PGraph;
+use syno_core::prelude::*;
+use syno_core::size::Size;
+use syno_core::spec::{OperatorSpec, TensorShape};
+use syno_core::var::{VarKind, VarTable};
+
+/// One row of Table 3.
+#[derive(Clone, Copy, Debug)]
+pub struct Table3Row {
+    /// pGraph size (number of primitives).
+    pub size: usize,
+    /// Samples drawn at this size.
+    pub sampled: u64,
+    /// Samples whose every step passes the full canonicalization rules.
+    pub canonical: u64,
+}
+
+impl Table3Row {
+    /// The canonical rate.
+    pub fn rate(&self) -> f64 {
+        if self.sampled == 0 {
+            f64::NAN
+        } else {
+            self.canonical as f64 / self.sampled as f64
+        }
+    }
+}
+
+/// The conv-like specification used for sampling experiments.
+pub fn sampling_spec() -> (Arc<VarTable>, OperatorSpec) {
+    let mut vars = VarTable::new();
+    let cin = vars.declare("Cin", VarKind::Primary);
+    let cout = vars.declare("Cout", VarKind::Primary);
+    let h = vars.declare("H", VarKind::Primary);
+    let w = vars.declare("W", VarKind::Primary);
+    let k = vars.declare("k", VarKind::Coefficient);
+    let s = vars.declare("s", VarKind::Coefficient);
+    vars.push_valuation(vec![(cin, 16), (cout, 32), (h, 16), (w, 16), (k, 3), (s, 2)]);
+    let vars = vars.into_shared();
+    let spec = OperatorSpec::new(
+        TensorShape::new(vec![Size::var(cin), Size::var(h), Size::var(w)]),
+        TensorShape::new(vec![Size::var(cout), Size::var(h), Size::var(w)]),
+    );
+    (vars, spec)
+}
+
+/// Samples `trials` random primitive sequences with canonicalization
+/// disabled and reports, per size, how many would have been canonical.
+pub fn table3_data(trials: u64, max_size: usize, seed: u64) -> Vec<Table3Row> {
+    let (vars, spec) = sampling_spec();
+    let mut permissive = SynthConfig::auto(&vars, max_size);
+    permissive.canon = CanonRules::permissive();
+    let sampler = Enumerator::new(permissive);
+    let strict = CanonRules::default();
+
+    let mut rows: Vec<Table3Row> = (2..=max_size)
+        .map(|size| Table3Row {
+            size,
+            sampled: 0,
+            canonical: 0,
+        })
+        .collect();
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..trials {
+        // Random walk of random length in [2, max_size].
+        let target = rng.random_range(2..=max_size);
+        let mut state = PGraph::new(Arc::clone(&vars), spec.clone());
+        let mut all_canonical = true;
+        let mut replay = PGraph::new(Arc::clone(&vars), spec.clone());
+        let mut reached = 0;
+        for _ in 0..target {
+            let children = sampler.children(&state);
+            if children.is_empty() {
+                break;
+            }
+            let action = children[rng.random_range(0..children.len())].clone();
+            if all_canonical && strict.allows(&replay, &action).is_err() {
+                all_canonical = false;
+            }
+            state = state.apply(&action).expect("child applies");
+            if all_canonical {
+                replay = replay.apply(&action).expect("canonical replay");
+            }
+            reached += 1;
+        }
+        if reached < 2 {
+            continue;
+        }
+        let row = &mut rows[reached - 2];
+        row.sampled += 1;
+        if all_canonical {
+            row.canonical += 1;
+        }
+    }
+    rows
+}
+
+/// Shape-distance ablation results.
+#[derive(Clone, Copy, Debug)]
+pub struct SdAblation {
+    /// Trials per arm.
+    pub trials: u64,
+    /// Valid operators found with guidance.
+    pub guided_found: u64,
+    /// Distinct guided operators.
+    pub guided_distinct: u64,
+    /// Valid operators found without guidance.
+    pub unguided_found: u64,
+}
+
+/// Runs `trials` random rollouts with and without shape-distance guidance
+/// (§9.4: guided sampling finds hundreds of distinct operators; unguided
+/// sampling finds none).
+pub fn ablation_shape_distance(trials: u64, max_steps: usize, seed: u64) -> SdAblation {
+    let (vars, spec) = sampling_spec();
+    let config = SynthConfig::auto(&vars, max_steps);
+    let enumerator = Enumerator::new(config);
+    let root = PGraph::new(Arc::clone(&vars), spec);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let mut guided_found = 0;
+    let mut distinct = std::collections::HashSet::new();
+    for _ in 0..trials {
+        if let RolloutResult::Complete(g) = rollout(&mut rng, &enumerator, &root, true) {
+            guided_found += 1;
+            distinct.insert(g.state_hash());
+        }
+    }
+    let mut unguided_found = 0;
+    for _ in 0..trials {
+        if let RolloutResult::Complete(_) = rollout(&mut rng, &enumerator, &root, false) {
+            unguided_found += 1;
+        }
+    }
+    SdAblation {
+        trials,
+        guided_found,
+        guided_distinct: distinct.len() as u64,
+        unguided_found,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_rate_decays_with_size() {
+        let rows = table3_data(400, 6, 42);
+        let small = rows.iter().find(|r| r.size == 2).unwrap();
+        let large = rows.iter().find(|r| r.size == 6).unwrap();
+        assert!(small.sampled > 0 && large.sampled > 0);
+        assert!(
+            small.rate() > large.rate(),
+            "rate must decay: {:.3} -> {:.3}",
+            small.rate(),
+            large.rate()
+        );
+        // Deep graphs are overwhelmingly uncanonical (Table 3: 1.22% at 6).
+        assert!(large.rate() < 0.5);
+    }
+
+    #[test]
+    fn guidance_dominates_unguided_sampling() {
+        let result = ablation_shape_distance(150, 5, 7);
+        assert!(
+            result.guided_found > result.unguided_found,
+            "guided {} vs unguided {}",
+            result.guided_found,
+            result.unguided_found
+        );
+        assert!(result.guided_found > 0);
+    }
+}

@@ -1,0 +1,310 @@
+//! The two simulated compilers (§9.1): a tuning compiler modeled on TVM
+//! MetaSchedule, and a template compiler modeled on TorchInductor.
+//!
+//! Both price a characterized operator on a device with a cache-aware
+//! roofline model:
+//!
+//! ```text
+//! latency(stage, schedule) = max(flops / achieved_compute,
+//!                                traffic(schedule) / bandwidth) + launch
+//! ```
+//!
+//! * **Tuned (TVM-like)** — exhaustively grid-searches the schedule space
+//!   (tile size × vectorize × parallelize) per stage and keeps the best:
+//!   consistent quality on every device, but FP32 CUDA-core peak only (no
+//!   TF32 tensor cores — the §9.2 observation).
+//! * **Template (TorchInductor-like)** — no search: stock operators use
+//!   hand-tuned library kernels; matmul-shaped stages on *big* GPUs hit
+//!   TF32 tensor-core templates; anything else falls back to the eager
+//!   ATen chain — one memory-bound kernel per primitive op, with a launch
+//!   overhead each. Cheap on an A100 (huge bandwidth), painful on mobile —
+//!   reproducing the paper's TorchInductor instability on small devices.
+
+use crate::cost::{stage_latency, Schedule};
+use crate::device::Device;
+use crate::profile::{OperatorClass, OperatorProfile};
+
+/// Which simulated compiler to use.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CompilerKind {
+    /// Tuning compiler (TVM MetaSchedule stand-in).
+    Tvm,
+    /// Template compiler (TorchInductor stand-in).
+    TorchInductor,
+}
+
+impl CompilerKind {
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            CompilerKind::Tvm => "TVM",
+            CompilerKind::TorchInductor => "TorchInductor",
+        }
+    }
+}
+
+/// Numeric precision of the compiled kernel.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum DType {
+    /// 32-bit float (the paper's evaluation precision).
+    F32,
+    /// 8-bit integer (the §9.2 quantization comparison).
+    I8,
+}
+
+impl DType {
+    /// Bytes per element.
+    pub fn bytes(self) -> f64 {
+        match self {
+            DType::F32 => 4.0,
+            DType::I8 => 1.0,
+        }
+    }
+}
+
+/// The result of compiling one operator for one device.
+#[derive(Clone, Debug)]
+pub struct Compiled {
+    /// Predicted latency in seconds.
+    pub latency: f64,
+    /// Number of kernels launched.
+    pub kernels: usize,
+    /// `true` when the template compiler fell back to the ATen chain.
+    pub fell_back: bool,
+    /// The winning schedules (tuned path only), one per stage.
+    pub schedules: Vec<Schedule>,
+}
+
+/// Grid of candidate schedules explored by the tuning compiler.
+fn schedule_grid(device: &Device) -> Vec<Schedule> {
+    let mut grid = Vec::new();
+    for tile_log2 in 4..=20u32 {
+        for vectorize in [false, true] {
+            for parallel in [false, true] {
+                grid.push(Schedule {
+                    tile_elems: 1u64 << tile_log2,
+                    vectorize,
+                    parallel,
+                });
+            }
+        }
+    }
+    let _ = device;
+    grid
+}
+
+/// Compiles with the tuning (TVM-like) flow.
+pub fn compile_tuned(profile: &OperatorProfile, device: &Device, dtype: DType) -> Compiled {
+    let grid = schedule_grid(device);
+    let mut total = 0.0;
+    let mut schedules = Vec::new();
+    for stage in &profile.stages {
+        let (best_latency, best_schedule) = grid
+            .iter()
+            .map(|s| (stage_latency(stage, device, s, dtype, 1.0), *s))
+            .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite latencies"))
+            .expect("nonempty grid");
+        total += best_latency + device.launch_overhead;
+        schedules.push(best_schedule);
+    }
+    Compiled {
+        latency: total,
+        kernels: profile.stages.len(),
+        fell_back: false,
+        schedules,
+    }
+}
+
+/// Compiles with the template (TorchInductor-like) flow.
+pub fn compile_template(profile: &OperatorProfile, device: &Device, dtype: DType) -> Compiled {
+    // Template quality: a hand-written library/template kernel achieves a
+    // fixed fraction of the best tuned schedule.
+    const TEMPLATE_QUALITY: f64 = 0.92;
+
+    let library_kernel = profile.class == OperatorClass::Standard;
+    let codegen_ok = device.big_gpu; // small devices: templates disabled
+
+    if library_kernel || codegen_ok {
+        // Price each stage like the tuned flow, then apply template quality
+        // and the TF32 tensor-core boost for matmul-shaped stages.
+        let grid = schedule_grid(device);
+        let mut total = 0.0;
+        let mut schedules = Vec::new();
+        for stage in &profile.stages {
+            let tc = if stage.matmul_shaped && dtype == DType::F32 {
+                device.tensor_core_speedup
+            } else {
+                1.0
+            };
+            let (lat, sched) = grid
+                .iter()
+                .map(|s| (stage_latency(stage, device, s, dtype, tc), *s))
+                .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite latencies"))
+                .expect("nonempty grid");
+            total += lat / TEMPLATE_QUALITY + device.launch_overhead;
+            schedules.push(sched);
+        }
+        return Compiled {
+            latency: total,
+            kernels: profile.stages.len(),
+            fell_back: false,
+            schedules,
+        };
+    }
+
+    // ATen fallback: contractions run as generic library kernels at reduced
+    // efficiency, view ops materialize real intermediate tensors between
+    // them, and every chain op pays a launch. (PyTorch's eager einsum does
+    // fuse its broadcast product internally, so the contraction cost is the
+    // loop-nest stage cost at library efficiency, not the fully
+    // materialized broadcast tensor.)
+    const ATEN_EFFICIENCY: f64 = 0.35;
+    let view_bytes: f64 = profile
+        .chain
+        .iter()
+        .filter(|op| op.flops == 0.0)
+        .map(|op| op.bytes)
+        .sum();
+    let mut total = (view_bytes * dtype.bytes() / 4.0) / device.mem_bandwidth
+        + profile.chain.len().max(profile.stages.len()) as f64 * device.launch_overhead;
+    let int_boost = if dtype == DType::I8 {
+        device.int8_speedup
+    } else {
+        1.0
+    };
+    for stage in &profile.stages {
+        let mem = (stage.ideal_bytes * 2.0 * dtype.bytes() / 4.0) / device.mem_bandwidth;
+        let cmp = stage.flops / (device.peak_flops * ATEN_EFFICIENCY * int_boost);
+        total += mem.max(cmp);
+    }
+    Compiled {
+        latency: total,
+        kernels: profile.chain.len().max(profile.stages.len()),
+        fell_back: true,
+        schedules: Vec::new(),
+    }
+}
+
+/// Compiles `profile` with the chosen compiler at the chosen precision.
+pub fn compile(
+    profile: &OperatorProfile,
+    device: &Device,
+    kind: CompilerKind,
+    dtype: DType,
+) -> Compiled {
+    match kind {
+        CompilerKind::Tvm => compile_tuned(profile, device, dtype),
+        CompilerKind::TorchInductor => compile_template(profile, device, dtype),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{ChainOp, StageProfile};
+
+    fn conv_like(class: OperatorClass) -> OperatorProfile {
+        let stage = StageProfile {
+            flops: 2.0 * 32.0 * 56.0 * 56.0 * 64.0 * 9.0,
+            ideal_bytes: (64.0 * 56.0 * 56.0 + 32.0 * 56.0 * 56.0 + 32.0 * 64.0 * 9.0) * 4.0,
+            worst_bytes: 2.0 * 32.0 * 56.0 * 56.0 * 64.0 * 9.0 * 4.0,
+            operands: 2,
+            max_spatial_extent: 56,
+            iterations: 32.0 * 56.0 * 56.0 * 64.0 * 9.0,
+            matmul_shaped: true,
+        };
+        let chain: Vec<ChainOp> = (0..6)
+            .map(|_| ChainOp {
+                bytes: 64.0 * 56.0 * 56.0 * 9.0 * 4.0,
+                flops: 1e7,
+            })
+            .collect();
+        OperatorProfile {
+            name: "conv-like".into(),
+            total_flops: stage.flops,
+            stages: vec![stage],
+            chain,
+            class,
+            params: 32 * 64 * 9,
+            output_elems: 32 * 56 * 56,
+        }
+    }
+
+    #[test]
+    fn tuned_latency_is_finite_and_ordered_by_device() {
+        let p = conv_like(OperatorClass::Standard);
+        let cpu = compile_tuned(&p, &Device::mobile_cpu(), DType::F32);
+        let a100 = compile_tuned(&p, &Device::server_gpu(), DType::F32);
+        assert!(cpu.latency.is_finite() && cpu.latency > 0.0);
+        assert!(a100.latency < cpu.latency, "A100 must beat the mobile CPU");
+    }
+
+    #[test]
+    fn tuning_beats_worst_schedule() {
+        let p = conv_like(OperatorClass::Standard);
+        let device = Device::mobile_cpu();
+        let best = compile_tuned(&p, &device, DType::F32).latency;
+        let worst = stage_latency(
+            &p.stages[0],
+            &device,
+            &Schedule {
+                tile_elems: 16,
+                vectorize: false,
+                parallel: false,
+            },
+            DType::F32,
+            1.0,
+        );
+        assert!(best < worst, "tuning must help: {best} vs {worst}");
+    }
+
+    #[test]
+    fn novel_ops_fall_back_on_mobile_but_not_on_a100() {
+        let p = conv_like(OperatorClass::Novel);
+        let mobile = compile_template(&p, &Device::mobile_cpu(), DType::F32);
+        let a100 = compile_template(&p, &Device::server_gpu(), DType::F32);
+        assert!(mobile.fell_back, "no codegen templates on mobile");
+        assert!(!a100.fell_back, "A100 gets native Triton-style codegen");
+    }
+
+    #[test]
+    fn standard_ops_use_library_kernels_everywhere() {
+        let p = conv_like(OperatorClass::Standard);
+        for device in Device::all() {
+            let c = compile_template(&p, &device, DType::F32);
+            assert!(!c.fell_back, "{}", device.name);
+        }
+    }
+
+    #[test]
+    fn fallback_hurts_more_on_mobile() {
+        let p = conv_like(OperatorClass::Novel);
+        let mobile_penalty = compile_template(&p, &Device::mobile_cpu(), DType::F32).latency
+            / compile_tuned(&p, &Device::mobile_cpu(), DType::F32).latency;
+        let a100_penalty = compile_template(&p, &Device::server_gpu(), DType::F32).latency
+            / compile_tuned(&p, &Device::server_gpu(), DType::F32).latency;
+        assert!(
+            mobile_penalty > a100_penalty,
+            "fallback penalty: mobile {mobile_penalty:.2} vs a100 {a100_penalty:.2}"
+        );
+    }
+
+    #[test]
+    fn tensor_cores_make_inductor_win_fp32_matmuls_on_a100() {
+        // The paper: TVM cannot use TF32, so TorchInductor wins on GPUs.
+        let p = conv_like(OperatorClass::Standard);
+        let device = Device::server_gpu();
+        let tvm = compile(&p, &device, CompilerKind::Tvm, DType::F32);
+        let inductor = compile(&p, &device, CompilerKind::TorchInductor, DType::F32);
+        assert!(inductor.latency < tvm.latency);
+    }
+
+    #[test]
+    fn int8_quantization_speeds_up_compute_bound_kernels() {
+        let p = conv_like(OperatorClass::Standard);
+        let device = Device::mobile_cpu();
+        let f32 = compile_tuned(&p, &device, DType::F32).latency;
+        let i8 = compile_tuned(&p, &device, DType::I8).latency;
+        assert!(i8 < f32, "INT8 must be faster: {i8} vs {f32}");
+    }
+}

@@ -1,0 +1,280 @@
+//! The cache-aware roofline cost model shared by both simulated compilers.
+//!
+//! A schedule controls three things:
+//!
+//! * **Tile size** — the working-set block held in cache. Larger tiles
+//!   amortize cold misses (traffic approaches the ideal once-per-element
+//!   bound) until the footprint spills the last-level cache, after which
+//!   reuse degrades proportionally.
+//! * **Vectorization** — required to reach SIMD peak on CPUs; only
+//!   profitable when some spatial extent covers the vector width. GPUs are
+//!   implicitly vectorized (warps).
+//! * **Parallelization** — spreads iterations across cores/SMs, with
+//!   efficiency capped by available parallel iterations.
+//!
+//! `stage_latency` combines them: `max(compute_time, memory_time)`, the
+//! classic roofline with schedule-dependent achieved rates.
+
+use crate::compile::DType;
+use crate::device::{Device, DeviceKind};
+use crate::profile::StageProfile;
+
+/// One point in the schedule space.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Schedule {
+    /// Tile working-set size in elements.
+    pub tile_elems: u64,
+    /// SIMD-vectorize the innermost loop (CPU only; GPUs always vectorize).
+    pub vectorize: bool,
+    /// Parallelize across cores / SMs.
+    pub parallel: bool,
+}
+
+impl Schedule {
+    /// A deliberately poor baseline schedule (tiny tiles, scalar, serial).
+    pub fn naive() -> Schedule {
+        Schedule {
+            tile_elems: 16,
+            vectorize: false,
+            parallel: false,
+        }
+    }
+}
+
+/// Fraction of ideal cache reuse achieved by the tile choice.
+fn reuse_quality(stage: &StageProfile, device: &Device, schedule: &Schedule, dtype: DType) -> f64 {
+    let elem_bytes = dtype.bytes();
+    let footprint = schedule.tile_elems as f64 * (stage.operands as f64 + 1.0) * elem_bytes;
+    let cache = device.cache_bytes as f64;
+    // Larger tiles amortize boundary misses ~ 1/sqrt(tile) (2-D blocking),
+    // but spilling the cache destroys reuse proportionally.
+    let base = 1.0 - 1.0 / (schedule.tile_elems as f64).sqrt();
+    if footprint <= cache {
+        base
+    } else {
+        base * (cache / footprint)
+    }
+}
+
+/// Achieved compute rate under the schedule, FLOP/s.
+fn achieved_compute(
+    stage: &StageProfile,
+    device: &Device,
+    schedule: &Schedule,
+    tensor_core: f64,
+) -> f64 {
+    let mut rate = device.peak_flops;
+    match device.kind {
+        DeviceKind::Cpu => {
+            let vector_feasible = stage.max_spatial_extent >= device.vector_width as u64;
+            if !(schedule.vectorize && vector_feasible) {
+                rate /= device.vector_width as f64;
+            }
+            if schedule.parallel {
+                // Parallel efficiency saturates with available iterations.
+                let chunks = stage.iterations / schedule.tile_elems as f64;
+                let speedup = (device.parallel_width as f64).min(chunks.max(1.0));
+                rate = rate * speedup / device.parallel_width as f64;
+            } else {
+                rate /= device.parallel_width as f64;
+            }
+        }
+        DeviceKind::Gpu => {
+            // Occupancy: enough independent iterations to fill the machine.
+            let warps_needed = stage.iterations / device.vector_width as f64;
+            let occupancy = (warps_needed / device.parallel_width as f64).min(1.0);
+            rate *= occupancy.max(0.05);
+            if !schedule.parallel {
+                // A serial GPU schedule is nonsensical; model as one SM.
+                rate /= device.parallel_width as f64 / 32.0;
+            }
+        }
+    }
+    // Imperfect instruction mix: even tuned kernels reach a fraction of peak.
+    rate * 0.75 * tensor_core
+}
+
+/// Latency of one stage under one schedule, seconds (without launch
+/// overhead).
+pub fn stage_latency(
+    stage: &StageProfile,
+    device: &Device,
+    schedule: &Schedule,
+    dtype: DType,
+    tensor_core: f64,
+) -> f64 {
+    let q = reuse_quality(stage, device, schedule, dtype);
+    let scale = dtype.bytes() / 4.0;
+    let traffic = (stage.ideal_bytes + (stage.worst_bytes - stage.ideal_bytes) * (1.0 - q)) * scale;
+    let mem_time = traffic / device.mem_bandwidth;
+    let int_boost = if dtype == DType::I8 {
+        device.int8_speedup
+    } else {
+        1.0
+    };
+    let compute_time = stage.flops / (achieved_compute(stage, device, schedule, tensor_core) * int_boost);
+    mem_time.max(compute_time)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stage() -> StageProfile {
+        StageProfile {
+            flops: 1e9,
+            ideal_bytes: 4e6,
+            worst_bytes: 4e9,
+            operands: 2,
+            max_spatial_extent: 256,
+            iterations: 5e8,
+            matmul_shaped: true,
+        }
+    }
+
+    #[test]
+    fn bigger_tiles_help_until_cache_spills() {
+        let s = stage();
+        let d = Device::mobile_cpu();
+        let small = stage_latency(
+            &s,
+            &d,
+            &Schedule {
+                tile_elems: 64,
+                vectorize: true,
+                parallel: true,
+            },
+            DType::F32,
+            1.0,
+        );
+        let medium = stage_latency(
+            &s,
+            &d,
+            &Schedule {
+                tile_elems: 64 * 1024,
+                vectorize: true,
+                parallel: true,
+            },
+            DType::F32,
+            1.0,
+        );
+        let huge = stage_latency(
+            &s,
+            &d,
+            &Schedule {
+                tile_elems: 64 * 1024 * 1024,
+                vectorize: true,
+                parallel: true,
+            },
+            DType::F32,
+            1.0,
+        );
+        assert!(medium < small, "{medium} < {small}");
+        assert!(medium < huge, "{medium} < {huge}");
+    }
+
+    #[test]
+    fn vectorization_and_parallelism_help_cpus() {
+        let s = stage();
+        let d = Device::mobile_cpu();
+        let tile = 64 * 1024;
+        let scalar = stage_latency(
+            &s,
+            &d,
+            &Schedule {
+                tile_elems: tile,
+                vectorize: false,
+                parallel: false,
+            },
+            DType::F32,
+            1.0,
+        );
+        let simd = stage_latency(
+            &s,
+            &d,
+            &Schedule {
+                tile_elems: tile,
+                vectorize: true,
+                parallel: false,
+            },
+            DType::F32,
+            1.0,
+        );
+        let full = stage_latency(
+            &s,
+            &d,
+            &Schedule {
+                tile_elems: tile,
+                vectorize: true,
+                parallel: true,
+            },
+            DType::F32,
+            1.0,
+        );
+        assert!(simd < scalar);
+        assert!(full < simd);
+    }
+
+    #[test]
+    fn vectorization_requires_wide_extents() {
+        let mut s = stage();
+        s.max_spatial_extent = 2; // narrower than any SIMD width
+        let d = Device::mobile_cpu();
+        let tile = 64 * 1024;
+        let vec = stage_latency(
+            &s,
+            &d,
+            &Schedule {
+                tile_elems: tile,
+                vectorize: true,
+                parallel: true,
+            },
+            DType::F32,
+            1.0,
+        );
+        let scalar = stage_latency(
+            &s,
+            &d,
+            &Schedule {
+                tile_elems: tile,
+                vectorize: false,
+                parallel: true,
+            },
+            DType::F32,
+            1.0,
+        );
+        assert!(
+            (vec - scalar).abs() / scalar < 1e-9,
+            "infeasible vectorization must not speed up"
+        );
+    }
+
+    #[test]
+    fn tensor_cores_only_help_compute_bound_stages() {
+        let s = stage();
+        let d = Device::server_gpu();
+        let sched = Schedule {
+            tile_elems: 1 << 20,
+            vectorize: true,
+            parallel: true,
+        };
+        let plain = stage_latency(&s, &d, &sched, DType::F32, 1.0);
+        let tc = stage_latency(&s, &d, &sched, DType::F32, d.tensor_core_speedup);
+        assert!(tc <= plain);
+    }
+
+    #[test]
+    fn memory_bound_stages_ignore_compute_improvements() {
+        let mut s = stage();
+        s.flops = 1e3; // trivially compute-light
+        let d = Device::mobile_gpu();
+        let sched = Schedule {
+            tile_elems: 1 << 16,
+            vectorize: true,
+            parallel: true,
+        };
+        let plain = stage_latency(&s, &d, &sched, DType::F32, 1.0);
+        let tc = stage_latency(&s, &d, &sched, DType::F32, 8.0);
+        assert!((plain - tc).abs() / plain < 1e-9);
+    }
+}

@@ -1,0 +1,341 @@
+//! Shape distance (§7.1): how many primitives are still needed to match the
+//! desired input shape.
+//!
+//! Random primitive composition almost never lands on the exact input shape,
+//! so Algorithm 1 guides synthesis with the *shape distance*: an estimate of
+//! the minimum number of further primitives needed to transform the current
+//! frontier into the desired shape. A partial pGraph is pruned as soon as
+//! `distance > remaining steps` (§9.4 shows unguided sampling finds *zero*
+//! valid operators in 500M trials).
+//!
+//! Following the paper, the estimate is built from *reshape groups*:
+//!
+//! 1. Exactly matching dimensions cancel first (cost 0).
+//! 2. Remaining dimensions are grouped by the primary variables they
+//!    mention (union-find over co-occurrence).
+//! 3. A group whose primary factors balance costs `max(0, #lhs + #rhs − 2)`
+//!    reshape steps (`Merge`/`Split` regroupings), plus one extra step when
+//!    its coefficient factors differ (a 1-to-many primitive is then needed).
+//! 4. An unbalanced group costs one step per member: each leftover frontier
+//!    dimension must be eliminated (`MatchWeight`, `Expand`, or as an
+//!    `Unfold` window) and each uncovered desired dimension created
+//!    (`Reduce`).
+//! 5. Leftover coefficient-only dimensions likewise cost one step each.
+//!
+//! The result reproduces the paper's worked example: the distance from
+//! `[C_in, s⁻¹H, sW, k]` to `[C_in, H, W]` is 3.
+
+use crate::size::Size;
+use crate::var::{VarId, VarKind, VarTable};
+use std::collections::BTreeMap;
+
+/// Union-find over dimension slots.
+struct Dsu {
+    parent: Vec<usize>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Self {
+        Dsu {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+/// The primary-variable part of a size's monomial.
+fn primary_signature(size: &Size, vars: &VarTable) -> BTreeMap<VarId, i32> {
+    size.powers()
+        .filter(|(v, _)| vars.kind(*v) == VarKind::Primary)
+        .collect()
+}
+
+/// Computes the shape distance between the current frontier sizes and the
+/// desired input shape.
+///
+/// # Examples
+///
+/// The worked example of §7.1:
+///
+/// ```
+/// use syno_core::var::{VarTable, VarKind};
+/// use syno_core::size::Size;
+/// use syno_core::distance::shape_distance;
+///
+/// let mut vars = VarTable::new();
+/// let cin = vars.declare("Cin", VarKind::Primary);
+/// let h = vars.declare("H", VarKind::Primary);
+/// let w = vars.declare("W", VarKind::Primary);
+/// let s = vars.declare("s", VarKind::Coefficient);
+/// let k = vars.declare("k", VarKind::Coefficient);
+/// vars.push_valuation(vec![(cin, 16), (h, 32), (w, 32), (s, 2), (k, 3)]);
+///
+/// let current = vec![
+///     Size::var(cin),
+///     Size::var(h).div(&Size::var(s)),
+///     Size::var(w).mul(&Size::var(s)),
+///     Size::var(k),
+/// ];
+/// let desired = vec![Size::var(cin), Size::var(h), Size::var(w)];
+/// assert_eq!(shape_distance(&current, &desired, &vars), 3);
+/// ```
+pub fn shape_distance(current: &[Size], desired: &[Size], vars: &VarTable) -> u32 {
+    // Step 1: cancel exact matches.
+    let mut cur: Vec<&Size> = current.iter().collect();
+    let mut des: Vec<&Size> = desired.iter().collect();
+    let mut i = 0;
+    while i < cur.len() {
+        if let Some(j) = des.iter().position(|d| *d == cur[i]) {
+            des.remove(j);
+            cur.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+    if cur.is_empty() && des.is_empty() {
+        return 0;
+    }
+
+    // Step 2: group by primary-variable co-occurrence. Slots 0..cur.len()
+    // are frontier dims, the rest desired dims.
+    let total = cur.len() + des.len();
+    let mut dsu = Dsu::new(total);
+    let mut by_var: BTreeMap<VarId, Vec<usize>> = BTreeMap::new();
+    let sig_of = |slot: usize| -> BTreeMap<VarId, i32> {
+        if slot < cur.len() {
+            primary_signature(cur[slot], vars)
+        } else {
+            primary_signature(des[slot - cur.len()], vars)
+        }
+    };
+    for slot in 0..total {
+        for (v, _) in sig_of(slot) {
+            by_var.entry(v).or_default().push(slot);
+        }
+    }
+    for slots in by_var.values() {
+        for w in slots.windows(2) {
+            dsu.union(w[0], w[1]);
+        }
+    }
+
+    // Collect groups.
+    let mut groups: BTreeMap<usize, (Vec<usize>, Vec<usize>)> = BTreeMap::new();
+    let mut coeff_only_cur: Vec<usize> = Vec::new();
+    let mut coeff_only_des = 0u32;
+    for slot in 0..total {
+        if sig_of(slot).is_empty() {
+            if slot < cur.len() {
+                coeff_only_cur.push(slot);
+            } else {
+                coeff_only_des += 1;
+            }
+            continue;
+        }
+        let root = dsu.find(slot);
+        let entry = groups.entry(root).or_default();
+        if slot < cur.len() {
+            entry.0.push(slot);
+        } else {
+            entry.1.push(slot);
+        }
+    }
+    let groups: Vec<(Vec<usize>, Vec<usize>)> = groups.into_values().collect();
+
+    // Cost of one group under a given set of attached coefficient-only dims.
+    let group_cost = |lhs: &[usize], extra: &[usize], rhs: &[usize]| -> u32 {
+        let lhs_product = Size::product(
+            lhs.iter()
+                .chain(extra.iter())
+                .map(|&s| cur[s]),
+        );
+        let rhs_product = Size::product(rhs.iter().map(|&s| des[s - cur.len()]));
+        let primaries_balance =
+            primary_signature(&lhs_product, vars) == primary_signature(&rhs_product, vars);
+        if primaries_balance {
+            let regroup = (lhs.len() + extra.len() + rhs.len()).saturating_sub(2) as u32;
+            regroup + u32::from(lhs_product != rhs_product)
+        } else {
+            (lhs.len() + extra.len() + rhs.len()) as u32
+        }
+    };
+
+    // Steps 3-5: enumerate assignments of coefficient-only frontier dims to
+    // reshape groups (or standalone elimination), minimizing the total —
+    // the paper's "enumerate all grouping schemes and find the least
+    // distance". The enumeration is capped to keep it cheap.
+    const MAX_ENUMERATED: usize = 4;
+    let (enumerated, rest) = coeff_only_cur
+        .split_at(coeff_only_cur.len().min(MAX_ENUMERATED));
+    let targets = groups.len() + 1; // index groups.len() = standalone
+    let mut best = u32::MAX;
+    let mut assignment = vec![0usize; enumerated.len()];
+    loop {
+        // Evaluate this assignment.
+        let mut extras: Vec<Vec<usize>> = vec![Vec::new(); groups.len()];
+        let mut standalone = rest.len() as u32;
+        for (dim, &target) in enumerated.iter().zip(assignment.iter()) {
+            if target < groups.len() {
+                extras[target].push(*dim);
+            } else {
+                standalone += 1;
+            }
+        }
+        let mut total_cost = standalone + coeff_only_des;
+        for (g, (lhs, rhs)) in groups.iter().enumerate() {
+            total_cost = total_cost.saturating_add(group_cost(lhs, &extras[g], rhs));
+        }
+        best = best.min(total_cost);
+
+        // Next assignment (mixed-radix increment).
+        let mut idx = 0;
+        loop {
+            if idx == assignment.len() {
+                return best;
+            }
+            assignment[idx] += 1;
+            if assignment[idx] < targets {
+                break;
+            }
+            assignment[idx] = 0;
+            idx += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::var::VarKind;
+
+    struct Vars {
+        table: VarTable,
+        cin: VarId,
+        h: VarId,
+        w: VarId,
+        s: VarId,
+        k: VarId,
+    }
+
+    fn setup() -> Vars {
+        let mut table = VarTable::new();
+        let cin = table.declare("Cin", VarKind::Primary);
+        let h = table.declare("H", VarKind::Primary);
+        let w = table.declare("W", VarKind::Primary);
+        let s = table.declare("s", VarKind::Coefficient);
+        let k = table.declare("k", VarKind::Coefficient);
+        table.push_valuation(vec![(cin, 16), (h, 32), (w, 32), (s, 2), (k, 3)]);
+        Vars {
+            table,
+            cin,
+            h,
+            w,
+            s,
+            k,
+        }
+    }
+
+    #[test]
+    fn equal_shapes_distance_zero() {
+        let v = setup();
+        let shape = vec![Size::var(v.cin), Size::var(v.h)];
+        assert_eq!(shape_distance(&shape, &shape, &v.table), 0);
+    }
+
+    #[test]
+    fn permutation_distance_zero() {
+        let v = setup();
+        let a = vec![Size::var(v.cin), Size::var(v.h)];
+        let b = vec![Size::var(v.h), Size::var(v.cin)];
+        assert_eq!(shape_distance(&a, &b, &v.table), 0);
+    }
+
+    #[test]
+    fn paper_example_distance_three() {
+        let v = setup();
+        let current = vec![
+            Size::var(v.cin),
+            Size::var(v.h).div(&Size::var(v.s)),
+            Size::var(v.w).mul(&Size::var(v.s)),
+            Size::var(v.k),
+        ];
+        let desired = vec![Size::var(v.cin), Size::var(v.h), Size::var(v.w)];
+        assert_eq!(shape_distance(&current, &desired, &v.table), 3);
+    }
+
+    #[test]
+    fn pure_regroup_costs_lhs_rhs_minus_two() {
+        let v = setup();
+        // [H*W] <- [H, W]: one Merge... wait, bottom-up one Split suffices:
+        // #lhs + #rhs - 2 = 1.
+        let current = vec![Size::var(v.h).mul(&Size::var(v.w))];
+        let desired = vec![Size::var(v.h), Size::var(v.w)];
+        assert_eq!(shape_distance(&current, &desired, &v.table), 1);
+        // [s⁻¹H, sW] <- [H, W]: Merge + Split = 2 (paper's inner example).
+        let current = vec![
+            Size::var(v.h).div(&Size::var(v.s)),
+            Size::var(v.w).mul(&Size::var(v.s)),
+        ];
+        assert_eq!(shape_distance(&current, &desired, &v.table), 2);
+    }
+
+    #[test]
+    fn eliminating_primary_dim_costs_one() {
+        let v = setup();
+        // Matmul-style: frontier [M=Cin, N=H, K=W] -> input [Cin, W]: the H
+        // dim is matched away to a weight (1 step).
+        let current = vec![Size::var(v.cin), Size::var(v.h), Size::var(v.w)];
+        let desired = vec![Size::var(v.cin), Size::var(v.w)];
+        assert_eq!(shape_distance(&current, &desired, &v.table), 1);
+    }
+
+    #[test]
+    fn creating_missing_dim_costs_one() {
+        let v = setup();
+        let current = vec![Size::var(v.cin)];
+        let desired = vec![Size::var(v.cin), Size::var(v.h)];
+        assert_eq!(shape_distance(&current, &desired, &v.table), 1);
+    }
+
+    #[test]
+    fn coefficient_window_costs_one() {
+        let v = setup();
+        let current = vec![Size::var(v.h), Size::var(v.k)];
+        let desired = vec![Size::var(v.h)];
+        assert_eq!(shape_distance(&current, &desired, &v.table), 1);
+    }
+
+    #[test]
+    fn pooling_shape_distance() {
+        let v = setup();
+        // AvgPool mid-state: [s⁻¹H, s] <- [H]: the best grouping attaches
+        // the coefficient-only `s` to the H group, where a single Split
+        // finishes the match — distance 1.
+        let current = vec![Size::var(v.h).div(&Size::var(v.s)), Size::var(v.s)];
+        let desired = vec![Size::var(v.h)];
+        assert_eq!(shape_distance(&current, &desired, &v.table), 1);
+    }
+
+    #[test]
+    fn distance_is_symmetric_enough_for_identity() {
+        let v = setup();
+        let a = vec![Size::var(v.h)];
+        let b = vec![Size::var(v.h)];
+        assert_eq!(shape_distance(&a, &b, &v.table), 0);
+        assert_eq!(shape_distance(&b, &a, &v.table), 0);
+    }
+}

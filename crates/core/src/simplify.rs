@@ -1,0 +1,410 @@
+//! Expression simplification: the Halide-style term-rewrite system behind
+//! canonicalization (§6).
+//!
+//! The fast structural rules of [`crate::canon`] reject uncanonical
+//! primitive applications without inspecting expressions. This module
+//! supplies their *semantic justification*: a term-rewrite system (TRS) over
+//! coordinate expressions, modeled on Halide's simplifier, whose rules remove
+//! parentheses via the distribution laws of multiplication, division and
+//! modulo — the paper's empirical definition of "simplest form". An
+//! expression rejected by a structural rule (e.g. Merge-above-Split) always
+//! rewrites to a strictly simpler term here, which the tests assert.
+//!
+//! Rules implemented (all require the divisibility/size side-conditions to
+//! hold under **every** valuation):
+//!
+//! ```text
+//! (B*i + j) / B        → i                       (j < B)
+//! (B*i + j) / (B*C)    → i / C                   (j < B)
+//! (B*i + j) % B        → j                       (j < B)
+//! (B*i + j) % (B*C)    → B*(i % C) + j           (j < B)   [paper's example]
+//! e / B                → 0                       (dom(e) ≤ B)
+//! e % B                → e                       (dom(e) ≤ B)
+//! (e / A) / B          → e / (A*B)
+//! (e % A) % B          → e % B                   (B | A)
+//! (S*e) / (S*C)        → e / C
+//! (S*e) % (S*C)        → S * (e % C)
+//! 0*... and +0 folding
+//! ```
+
+use crate::expr::{AtomId, ExprArena, ExprId, ExprNode};
+use crate::size::Size;
+use crate::var::VarTable;
+
+/// A standalone expression tree used during rewriting (the arena itself is
+/// append-only, so the TRS works on an unshared mirror).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Term {
+    /// The constant zero (arises from `e / B` with `dom(e) ≤ B`).
+    Zero,
+    /// An iterator atom with its domain.
+    Atom(AtomId, Size),
+    /// `block*lhs + rhs` with `dom(rhs) = block`.
+    Affine(Box<Term>, Box<Term>, Size),
+    /// `inner / block`.
+    Div(Box<Term>, Size),
+    /// `inner % block`.
+    Mod(Box<Term>, Size),
+    /// `(inner + 1) % domain`.
+    Shift(Box<Term>, Size),
+    /// `stride * inner`.
+    Stride(Box<Term>, Size),
+    /// `base + window − k/2` (clipped).
+    Unfold(Box<Term>, Box<Term>, Size),
+}
+
+impl Term {
+    /// Number of nodes — the simplicity measure (fewer nodes ⇒ fewer
+    /// parentheses).
+    pub fn node_count(&self) -> usize {
+        match self {
+            Term::Zero | Term::Atom(..) => 1,
+            Term::Affine(a, b, _) | Term::Unfold(a, b, _) => 1 + a.node_count() + b.node_count(),
+            Term::Div(a, _) | Term::Mod(a, _) | Term::Shift(a, _) | Term::Stride(a, _) => {
+                1 + a.node_count()
+            }
+        }
+    }
+
+    /// The value-range extent of the term.
+    pub fn domain(&self) -> Size {
+        match self {
+            Term::Zero => Size::one(),
+            Term::Atom(_, d) => d.clone(),
+            Term::Affine(a, _, block) => a.domain().mul(block),
+            Term::Div(a, block) => a.domain().div(block),
+            Term::Mod(_, block) => block.clone(),
+            Term::Shift(_, d) => d.clone(),
+            Term::Stride(a, s) => a.domain().mul(s),
+            Term::Unfold(base, _, _) => base.domain(),
+        }
+    }
+}
+
+/// Converts an arena expression into a [`Term`] tree.
+pub fn to_term(arena: &ExprArena, expr: ExprId) -> Term {
+    match arena.node(expr) {
+        ExprNode::Atom(a) => Term::Atom(*a, arena.atom_info(*a).domain.clone()),
+        ExprNode::Affine { lhs, rhs, block } => Term::Affine(
+            Box::new(to_term(arena, *lhs)),
+            Box::new(to_term(arena, *rhs)),
+            block.clone(),
+        ),
+        ExprNode::Div { inner, block } => {
+            Term::Div(Box::new(to_term(arena, *inner)), block.clone())
+        }
+        ExprNode::Mod { inner, block } => {
+            Term::Mod(Box::new(to_term(arena, *inner)), block.clone())
+        }
+        ExprNode::Shift { inner, domain } => {
+            Term::Shift(Box::new(to_term(arena, *inner)), domain.clone())
+        }
+        ExprNode::Stride { inner, stride } => {
+            Term::Stride(Box::new(to_term(arena, *inner)), stride.clone())
+        }
+        ExprNode::Unfold {
+            base,
+            window,
+            window_size,
+        } => Term::Unfold(
+            Box::new(to_term(arena, *base)),
+            Box::new(to_term(arena, *window)),
+            window_size.clone(),
+        ),
+    }
+}
+
+/// `a ≤ b` under every valuation (both must evaluate).
+fn le_all(a: &Size, b: &Size, vars: &VarTable) -> bool {
+    if vars.valuation_count() == 0 {
+        return false;
+    }
+    (0..vars.valuation_count()).all(|i| match (a.eval(vars, i), b.eval(vars, i)) {
+        (Some(x), Some(y)) => x <= y,
+        _ => false,
+    })
+}
+
+/// `b` divides `a` exactly under every valuation.
+fn divides(b: &Size, a: &Size, vars: &VarTable) -> bool {
+    a.is_divisible_by(b, vars)
+}
+
+/// One top-level rewrite attempt; `Some` when a rule fired.
+fn rewrite(term: &Term, vars: &VarTable) -> Option<Term> {
+    match term {
+        Term::Div(inner, block) => {
+            // e / B → 0 when dom(e) ≤ B.
+            if le_all(&inner.domain(), block, vars) {
+                return Some(Term::Zero);
+            }
+            match &**inner {
+                // (B*i + j) / (B*C) → i / C; with C = 1 → i.
+                Term::Affine(i, _j, b) if divides(b, block, vars) => {
+                    let c = block.div(b);
+                    if c.is_one() {
+                        return Some((**i).clone());
+                    }
+                    return Some(Term::Div(i.clone(), c));
+                }
+                // (e / A) / B → e / (A*B).
+                Term::Div(e, a) => {
+                    return Some(Term::Div(e.clone(), a.mul(block)));
+                }
+                // (S*e) / (S*C) → e / C.
+                Term::Stride(e, s) if divides(s, block, vars) => {
+                    let c = block.div(s);
+                    if c.is_one() {
+                        return Some((**e).clone());
+                    }
+                    return Some(Term::Div(e.clone(), c));
+                }
+                Term::Zero => return Some(Term::Zero),
+                _ => {}
+            }
+            None
+        }
+        Term::Mod(inner, block) => {
+            // e % B → e when dom(e) ≤ B.
+            if le_all(&inner.domain(), block, vars) {
+                return Some((**inner).clone());
+            }
+            match &**inner {
+                // (B*i + j) % B → j; (B*i + j) % (B*C) → B*(i%C) + j.
+                Term::Affine(i, j, b) if divides(b, block, vars) => {
+                    let c = block.div(b);
+                    if c.is_one() {
+                        return Some((**j).clone());
+                    }
+                    return Some(Term::Affine(
+                        Box::new(Term::Mod(i.clone(), c)),
+                        j.clone(),
+                        b.clone(),
+                    ));
+                }
+                // (e % A) % B → e % B when B | A.
+                Term::Mod(e, a) if divides(block, a, vars) => {
+                    return Some(Term::Mod(e.clone(), block.clone()));
+                }
+                // (S*e) % (S*C) → S*(e % C).
+                Term::Stride(e, s) if divides(s, block, vars) => {
+                    let c = block.div(s);
+                    return Some(Term::Stride(Box::new(Term::Mod(e.clone(), c)), s.clone()));
+                }
+                Term::Zero => return Some(Term::Zero),
+                _ => {}
+            }
+            None
+        }
+        Term::Affine(lhs, rhs, block) => {
+            // 0*B + j → j.
+            if matches!(&**lhs, Term::Zero) {
+                return Some((**rhs).clone());
+            }
+            // Reassembled merge: B*(e/B) + (e%B) → e.
+            if let (Term::Div(a, ab), Term::Mod(b, bb)) = (&**lhs, &**rhs) {
+                if a == b && ab == bb && ab == block {
+                    return Some((**a).clone());
+                }
+            }
+            None
+        }
+        Term::Stride(inner, _) => {
+            if matches!(&**inner, Term::Zero) {
+                return Some(Term::Zero);
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+/// Applies [`rewrite`] bottom-up to a fixpoint.
+pub fn simplify_term(term: &Term, vars: &VarTable) -> Term {
+    // First simplify children.
+    let rebuilt = match term {
+        Term::Zero | Term::Atom(..) => term.clone(),
+        Term::Affine(a, b, s) => Term::Affine(
+            Box::new(simplify_term(a, vars)),
+            Box::new(simplify_term(b, vars)),
+            s.clone(),
+        ),
+        Term::Div(a, s) => Term::Div(Box::new(simplify_term(a, vars)), s.clone()),
+        Term::Mod(a, s) => Term::Mod(Box::new(simplify_term(a, vars)), s.clone()),
+        Term::Shift(a, s) => Term::Shift(Box::new(simplify_term(a, vars)), s.clone()),
+        Term::Stride(a, s) => Term::Stride(Box::new(simplify_term(a, vars)), s.clone()),
+        Term::Unfold(a, b, s) => Term::Unfold(
+            Box::new(simplify_term(a, vars)),
+            Box::new(simplify_term(b, vars)),
+            s.clone(),
+        ),
+    };
+    // Then rewrite at the root until no rule fires.
+    let mut current = rebuilt;
+    let mut fuel = 64;
+    while fuel > 0 {
+        match rewrite(&current, vars) {
+            Some(next) => {
+                // Rewritten subterms may enable further child rewrites.
+                current = match &next {
+                    Term::Zero | Term::Atom(..) => next,
+                    _ => simplify_children_once(&next, vars),
+                };
+                fuel -= 1;
+            }
+            None => break,
+        }
+    }
+    current
+}
+
+fn simplify_children_once(term: &Term, vars: &VarTable) -> Term {
+    match term {
+        Term::Zero | Term::Atom(..) => term.clone(),
+        Term::Affine(a, b, s) => Term::Affine(
+            Box::new(simplify_term(a, vars)),
+            Box::new(simplify_term(b, vars)),
+            s.clone(),
+        ),
+        Term::Div(a, s) => Term::Div(Box::new(simplify_term(a, vars)), s.clone()),
+        Term::Mod(a, s) => Term::Mod(Box::new(simplify_term(a, vars)), s.clone()),
+        Term::Shift(a, s) => Term::Shift(Box::new(simplify_term(a, vars)), s.clone()),
+        Term::Stride(a, s) => Term::Stride(Box::new(simplify_term(a, vars)), s.clone()),
+        Term::Unfold(a, b, s) => Term::Unfold(
+            Box::new(simplify_term(a, vars)),
+            Box::new(simplify_term(b, vars)),
+            s.clone(),
+        ),
+    }
+}
+
+/// Simplifies an arena expression, returning the simplified [`Term`].
+pub fn simplify(arena: &ExprArena, expr: ExprId, vars: &VarTable) -> Term {
+    simplify_term(&to_term(arena, expr), vars)
+}
+
+/// `true` when `expr` is already in simplest form — i.e. the expression the
+/// structural canonicalization rules would keep.
+pub fn is_simplified(arena: &ExprArena, expr: ExprId, vars: &VarTable) -> bool {
+    let original = to_term(arena, expr);
+    let simplified = simplify_term(&original, vars);
+    simplified == original
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::AtomKind;
+    use crate::var::VarKind;
+
+    fn setup() -> (VarTable, ExprArena, ExprId, ExprId) {
+        let mut vars = VarTable::new();
+        let a = vars.declare("A", VarKind::Primary);
+        let b = vars.declare("b", VarKind::Coefficient);
+        let c = vars.declare("c", VarKind::Coefficient);
+        vars.push_valuation(vec![(a, 8), (b, 2), (c, 4)]);
+        let mut arena = ExprArena::new();
+        let ai = arena.atom(AtomKind::Output, Size::var(a));
+        let bi = arena.atom(AtomKind::Output, Size::var(b));
+        let ea = arena.expr_atom(ai);
+        let eb = arena.expr_atom(bi);
+        (vars, arena, ea, eb)
+    }
+
+    #[test]
+    fn merge_above_split_simplifies() {
+        // The Fig. 3(a) redundancy: (b*i + j) % (b*c) over a Split output
+        // rewrites to b*(i%c) + j — strictly fewer nested parentheses.
+        let (vars, mut arena, ea, eb) = setup();
+        let split = arena.affine(ea, eb); // b*i + j : [A*b]
+        let bc = Size::var(vars.find("b").unwrap()).mul(&Size::var(vars.find("c").unwrap()));
+        let modexpr = arena.modulo(split, bc.clone());
+        assert!(!is_simplified(&arena, modexpr, &vars));
+        let simplified = simplify(&arena, modexpr, &vars);
+        // b*(i % c) + j
+        match &simplified {
+            Term::Affine(lhs, rhs, _) => {
+                assert!(matches!(&**lhs, Term::Mod(..)));
+                assert!(matches!(&**rhs, Term::Atom(..)));
+            }
+            other => panic!("unexpected form {other:?}"),
+        }
+        let divexpr = arena.div(split, bc);
+        let dsimp = simplify(&arena, divexpr, &vars);
+        // (b*i+j)/(b*c) → i/c
+        assert!(matches!(dsimp, Term::Div(ref inner, _) if matches!(**inner, Term::Atom(..))));
+    }
+
+    #[test]
+    fn small_domain_div_mod() {
+        let (vars, mut arena, _, eb) = setup();
+        // b = 2 ≤ 4: (j / 4) → 0, (j % 4) → j.
+        let d = arena.div(eb, Size::constant(4));
+        assert_eq!(simplify(&arena, d, &vars), Term::Zero);
+        let m = arena.modulo(eb, Size::constant(4));
+        assert!(matches!(simplify(&arena, m, &vars), Term::Atom(..)));
+    }
+
+    #[test]
+    fn split_reassembling_merge_collapses() {
+        let (vars, mut arena, ea, _) = setup();
+        let q = arena.div(ea, Size::constant(2));
+        let r = arena.modulo(ea, Size::constant(2));
+        let back = arena.affine(q, r);
+        let s = simplify(&arena, back, &vars);
+        assert!(matches!(s, Term::Atom(..)), "2*(i/2)+(i%2) = i, got {s:?}");
+    }
+
+    #[test]
+    fn div_div_fuses() {
+        let (vars, mut arena, ea, _) = setup();
+        let d1 = arena.div(ea, Size::constant(2));
+        let d2 = arena.div(d1, Size::constant(2));
+        let s = simplify(&arena, d2, &vars);
+        assert_eq!(s, Term::Div(Box::new(to_term(&arena, ea)), Size::constant(4)));
+    }
+
+    #[test]
+    fn mod_mod_collapses() {
+        let (vars, mut arena, ea, _) = setup();
+        let m1 = arena.modulo(ea, Size::constant(4));
+        let m2 = arena.modulo(m1, Size::constant(2));
+        let s = simplify(&arena, m2, &vars);
+        assert_eq!(s, Term::Mod(Box::new(to_term(&arena, ea)), Size::constant(2)));
+    }
+
+    #[test]
+    fn stride_div_mod_cancel() {
+        let (vars, mut arena, _, eb) = setup();
+        let stride = Size::constant(2);
+        let st = arena.stride(eb, stride.clone()); // 2*j : [2b]
+        let d = arena.div(st, Size::constant(2));
+        assert!(matches!(simplify(&arena, d, &vars), Term::Atom(..)));
+        // (2j) % 4 → 2*(j % 2) → since b = 2 ≤ 2, j%2 → j → 2*j.
+        let m = arena.modulo(st, Size::constant(4));
+        let s = simplify(&arena, m, &vars);
+        assert!(matches!(s, Term::Stride(ref inner, _) if matches!(**inner, Term::Atom(..))));
+    }
+
+    #[test]
+    fn canonical_expressions_are_stable() {
+        let (vars, mut arena, ea, eb) = setup();
+        let split = arena.affine(ea, eb);
+        assert!(is_simplified(&arena, split, &vars));
+        let shift = arena.shift(ea);
+        assert!(is_simplified(&arena, shift, &vars));
+        let unfold = arena.unfold(ea, eb);
+        assert!(is_simplified(&arena, unfold, &vars));
+    }
+
+    #[test]
+    fn simplification_reduces_node_count() {
+        let (vars, mut arena, ea, eb) = setup();
+        let split = arena.affine(ea, eb);
+        let bc = Size::var(vars.find("b").unwrap()).mul(&Size::var(vars.find("c").unwrap()));
+        let modexpr = arena.modulo(split, bc);
+        let before = to_term(&arena, modexpr);
+        let after = simplify_term(&before, &vars);
+        assert!(after.node_count() <= before.node_count());
+    }
+}

@@ -1,0 +1,454 @@
+//! Guided bottom-up synthesis (Algorithm 1 / §7.1).
+//!
+//! The synthesizer starts from the output iterators, repeatedly enumerates
+//! the canonical children of the current partial pGraph
+//! (`EnumerateChildren`), and backtracks as soon as the
+//! [shape distance](crate::distance::shape_distance) exceeds the remaining
+//! step budget. Complete graphs within the FLOPs/parameter budgets are
+//! collected, deduplicated by semantic state hash.
+//!
+//! Two drivers share the child enumeration:
+//!
+//! * [`Enumerator::enumerate`] — the exhaustive DFS of Algorithm 1;
+//! * [`rollout`] — a random completion used by MCTS simulations and by the
+//!   §9.4 shape-distance ablation (`guided = false` reproduces the paper's
+//!   "500M unguided trials find nothing" result).
+
+use crate::analysis;
+use crate::canon::CanonRules;
+use crate::distance::shape_distance;
+use crate::graph::PGraph;
+use crate::primitive::Action;
+use crate::size::Size;
+use crate::spec::OperatorSpec;
+use crate::var::VarTable;
+use rand::Rng;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// Tunables for synthesis (budgets of §4 plus parameter-monomial choices of
+/// §5.4).
+#[derive(Clone, Debug)]
+pub struct SynthConfig {
+    /// Maximum number of primitives per operator (`d_max` in Algorithm 1).
+    pub max_steps: usize,
+    /// Candidate block sizes for `Merge` (coefficient monomials).
+    pub merge_blocks: Vec<Size>,
+    /// Candidate dilation factors for `Stride`.
+    pub stride_factors: Vec<Size>,
+    /// Candidate domains for `Reduce` (may contain primary variables).
+    pub reduce_domains: Vec<Size>,
+    /// Canonicalization rule set applied during enumeration.
+    pub canon: CanonRules,
+    /// Hard FLOPs ceiling (naive estimate, first valuation), §7.2.
+    pub max_flops: Option<u128>,
+    /// Hard parameter-count ceiling (first valuation).
+    pub max_params: Option<u128>,
+    /// Require at least one weight tensor in accepted operators.
+    pub require_weight: bool,
+    /// Stop after this many complete operators.
+    pub max_results: usize,
+    /// Safety valve on visited states.
+    pub max_visits: usize,
+}
+
+impl SynthConfig {
+    /// Derives a sensible configuration from a variable table: coefficient
+    /// variables (and their pairwise products) parameterize `Merge`/`Stride`;
+    /// `Reduce` domains additionally include primaries and `primary /
+    /// coefficient` quotients (the `g⁻¹·C_out` shapes of Operator 1).
+    pub fn auto(vars: &VarTable, max_steps: usize) -> Self {
+        let coeffs: Vec<Size> = vars.coefficients().map(Size::var).collect();
+        let mut merge_blocks = coeffs.clone();
+        for (i, a) in coeffs.iter().enumerate() {
+            for b in &coeffs[i..] {
+                let p = a.mul(b);
+                if p.is_at_least(vars, 2) && !merge_blocks.contains(&p) {
+                    merge_blocks.push(p);
+                }
+            }
+        }
+        merge_blocks.retain(|b| b.is_at_least(vars, 2));
+
+        let mut reduce_domains = merge_blocks.clone();
+        for p in vars.primaries() {
+            let pv = Size::var(p);
+            if pv.is_at_least(vars, 2) {
+                reduce_domains.push(pv.clone());
+            }
+            for c in &coeffs {
+                let q = pv.div(c);
+                if q.is_at_least(vars, 2) && !reduce_domains.contains(&q) {
+                    reduce_domains.push(q);
+                }
+            }
+        }
+
+        SynthConfig {
+            max_steps,
+            stride_factors: merge_blocks.clone(),
+            merge_blocks,
+            reduce_domains,
+            canon: CanonRules::default(),
+            max_flops: None,
+            max_params: None,
+            require_weight: false,
+            max_results: 256,
+            max_visits: 1_000_000,
+        }
+    }
+}
+
+/// Statistics gathered by one enumeration run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EnumStats {
+    /// Partial states expanded.
+    pub expanded: u64,
+    /// Children pruned by shape distance.
+    pub pruned_distance: u64,
+    /// Children rejected by canonicalization.
+    pub pruned_canon: u64,
+    /// Children rejected by `PGraph::apply` validity.
+    pub invalid: u64,
+    /// Complete operators found (pre-dedup).
+    pub complete: u64,
+    /// Complete operators rejected by budgets.
+    pub over_budget: u64,
+    /// Semantic duplicates dropped.
+    pub duplicates: u64,
+}
+
+/// The exhaustive synthesizer of Algorithm 1.
+#[derive(Clone, Debug)]
+pub struct Enumerator {
+    config: SynthConfig,
+}
+
+impl Enumerator {
+    /// Creates an enumerator with the given configuration.
+    pub fn new(config: SynthConfig) -> Self {
+        Enumerator { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SynthConfig {
+        &self.config
+    }
+
+    /// Enumerates the canonical children of `graph`: every applicable action
+    /// that passes validity and canonicalization.
+    pub fn children(&self, graph: &PGraph) -> Vec<Action> {
+        let mut out = Vec::new();
+        let frontier = graph.frontier().to_vec();
+        let push = |graph: &PGraph, out: &mut Vec<Action>, action: Action| {
+            if self.config.canon.allows(graph, &action).is_ok() && graph.apply(&action).is_ok() {
+                out.push(action);
+            }
+        };
+
+        for (i, &a) in frontier.iter().enumerate() {
+            for (j, &b) in frontier.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                push(graph, &mut out, Action::Split { lhs: a, rhs: b });
+                push(graph, &mut out, Action::Unfold { base: a, window: b });
+            }
+            for block in &self.config.merge_blocks {
+                push(
+                    graph,
+                    &mut out,
+                    Action::Merge {
+                        coord: a,
+                        block: block.clone(),
+                    },
+                );
+            }
+            for stride in &self.config.stride_factors {
+                push(
+                    graph,
+                    &mut out,
+                    Action::Stride {
+                        coord: a,
+                        stride: stride.clone(),
+                    },
+                );
+            }
+            push(graph, &mut out, Action::Shift { coord: a });
+            push(graph, &mut out, Action::Expand { coord: a });
+            for w in 0..=graph.weight_count() {
+                push(graph, &mut out, Action::Share { coord: a, weight: w });
+            }
+            for w in 0..graph.weight_count() {
+                push(graph, &mut out, Action::MatchWeight { coord: a, weight: w });
+            }
+        }
+        for domain in &self.config.reduce_domains {
+            push(
+                graph,
+                &mut out,
+                Action::Reduce {
+                    domain: domain.clone(),
+                },
+            );
+        }
+        out
+    }
+
+    fn within_budgets(&self, graph: &PGraph) -> bool {
+        if self.config.require_weight && graph.weight_count() == 0 {
+            return false;
+        }
+        if let Some(limit) = self.config.max_flops {
+            match analysis::naive_flops(graph, 0) {
+                Some(f) if f <= limit => {}
+                _ => return false,
+            }
+        }
+        if let Some(limit) = self.config.max_params {
+            match analysis::parameter_count(graph, 0) {
+                Some(p) if p <= limit => {}
+                _ => return false,
+            }
+        }
+        true
+    }
+
+    /// Runs the DFS of Algorithm 1 from scratch for `spec`.
+    pub fn enumerate(&self, vars: &Arc<VarTable>, spec: &OperatorSpec) -> (Vec<PGraph>, EnumStats) {
+        let mut results = Vec::new();
+        let mut stats = EnumStats::default();
+        let mut seen = HashSet::new();
+        let root = PGraph::new(Arc::clone(vars), spec.clone());
+        self.dfs(&root, 0, &mut results, &mut stats, &mut seen);
+        (results, stats)
+    }
+
+    fn dfs(
+        &self,
+        graph: &PGraph,
+        depth: usize,
+        results: &mut Vec<PGraph>,
+        stats: &mut EnumStats,
+        seen: &mut HashSet<u64>,
+    ) {
+        if results.len() >= self.config.max_results
+            || stats.expanded >= self.config.max_visits as u64
+        {
+            return;
+        }
+        stats.expanded += 1;
+        if graph.is_complete() && !graph.is_empty() {
+            stats.complete += 1;
+            if !self.within_budgets(graph) {
+                stats.over_budget += 1;
+            } else if seen.insert(graph.state_hash()) {
+                results.push(graph.clone());
+            } else {
+                stats.duplicates += 1;
+            }
+        }
+        if depth >= self.config.max_steps {
+            return;
+        }
+        let remaining = self.config.max_steps - depth - 1;
+        for action in self.children(graph) {
+            let child = match graph.apply(&action) {
+                Ok(c) => c,
+                Err(_) => {
+                    stats.invalid += 1;
+                    continue;
+                }
+            };
+            let d = shape_distance(
+                &child.frontier_sizes(),
+                child.spec().input.dims(),
+                child.vars(),
+            );
+            if d as usize > remaining {
+                stats.pruned_distance += 1;
+                continue;
+            }
+            self.dfs(&child, depth + 1, results, stats, seen);
+        }
+    }
+}
+
+/// Outcome of a random rollout.
+#[derive(Clone, Debug)]
+pub enum RolloutResult {
+    /// A complete operator within budgets.
+    Complete(Box<PGraph>),
+    /// The sampled trajectory never matched the input shape.
+    Incomplete,
+    /// Completed but violated a FLOPs/params budget.
+    OverBudget,
+}
+
+impl RolloutResult {
+    /// Unwraps a completed graph.
+    pub fn complete(self) -> Option<PGraph> {
+        match self {
+            RolloutResult::Complete(g) => Some(*g),
+            _ => None,
+        }
+    }
+}
+
+/// Randomly extends `graph` by up to `max_steps − graph.len()` primitives.
+///
+/// With `guided = true`, children violating the shape-distance bound are
+/// filtered before sampling (the paper's guided flow); with `guided = false`
+/// the sampler picks uniformly from all canonical children — the §9.4
+/// ablation setting.
+pub fn rollout<R: Rng + ?Sized>(
+    rng: &mut R,
+    enumerator: &Enumerator,
+    graph: &PGraph,
+    guided: bool,
+) -> RolloutResult {
+    let config = enumerator.config();
+    let mut current = graph.clone();
+    loop {
+        if current.is_complete() && !current.is_empty() {
+            return if enumerator.within_budgets(&current) {
+                RolloutResult::Complete(Box::new(current))
+            } else {
+                RolloutResult::OverBudget
+            };
+        }
+        let depth = current.len();
+        if depth >= config.max_steps {
+            return RolloutResult::Incomplete;
+        }
+        let remaining = config.max_steps - depth - 1;
+        let mut children = enumerator.children(&current);
+        if guided {
+            children.retain(|action| {
+                let child = match current.apply(action) {
+                    Ok(c) => c,
+                    Err(_) => return false,
+                };
+                let d = shape_distance(
+                    &child.frontier_sizes(),
+                    child.spec().input.dims(),
+                    child.vars(),
+                );
+                (d as usize) <= remaining
+            });
+        }
+        if children.is_empty() {
+            return RolloutResult::Incomplete;
+        }
+        let pick = rng.random_range(0..children.len());
+        current = match current.apply(&children[pick]) {
+            Ok(c) => c,
+            Err(_) => return RolloutResult::Incomplete,
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::TensorShape;
+    use crate::var::VarKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pool_setup() -> (Arc<VarTable>, OperatorSpec) {
+        let mut vars = VarTable::new();
+        let h = vars.declare("H", VarKind::Primary);
+        let s = vars.declare("s", VarKind::Coefficient);
+        vars.push_valuation(vec![(h, 16), (s, 2)]);
+        let spec = OperatorSpec::new(
+            TensorShape::new(vec![Size::var(h)]),
+            TensorShape::new(vec![Size::var(h).div(&Size::var(s))]),
+        );
+        (vars.into_shared(), spec)
+    }
+
+    #[test]
+    fn enumerator_finds_average_pooling() {
+        let (vars, spec) = pool_setup();
+        let config = SynthConfig::auto(&vars, 2);
+        let enumerator = Enumerator::new(config);
+        let (results, stats) = enumerator.enumerate(&vars, &spec);
+        assert!(stats.expanded > 0);
+        // Reduce(s); Split  — the Table 2 average-pooling operator — must be
+        // among the results.
+        assert!(
+            !results.is_empty(),
+            "expected at least one valid operator, stats: {stats:?}"
+        );
+        assert!(results.iter().all(|g| g.is_complete()));
+    }
+
+    #[test]
+    fn enumerator_respects_step_limit() {
+        let (vars, spec) = pool_setup();
+        let config = SynthConfig::auto(&vars, 1);
+        let enumerator = Enumerator::new(config);
+        let (results, _) = enumerator.enumerate(&vars, &spec);
+        // One primitive cannot turn [H/s] into [H] (needs Reduce + Split).
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    fn results_are_deduplicated() {
+        let (vars, spec) = pool_setup();
+        let config = SynthConfig::auto(&vars, 3);
+        let enumerator = Enumerator::new(config);
+        let (results, _) = enumerator.enumerate(&vars, &spec);
+        let mut hashes: Vec<u64> = results.iter().map(|g| g.state_hash()).collect();
+        hashes.sort_unstable();
+        let before = hashes.len();
+        hashes.dedup();
+        assert_eq!(before, hashes.len());
+    }
+
+    #[test]
+    fn guided_rollouts_succeed_where_unguided_struggle() {
+        let (vars, spec) = pool_setup();
+        let config = SynthConfig::auto(&vars, 3);
+        let enumerator = Enumerator::new(config);
+        let root = PGraph::new(Arc::clone(&vars), spec);
+        let mut rng = StdRng::seed_from_u64(7);
+        let trials = 60;
+        let guided_hits = (0..trials)
+            .filter(|_| {
+                matches!(
+                    rollout(&mut rng, &enumerator, &root, true),
+                    RolloutResult::Complete(_)
+                )
+            })
+            .count();
+        assert!(
+            guided_hits > 0,
+            "guided rollouts should find valid operators"
+        );
+    }
+
+    #[test]
+    fn flops_budget_filters_results() {
+        let (vars, spec) = pool_setup();
+        let mut config = SynthConfig::auto(&vars, 3);
+        config.max_flops = Some(1); // nothing fits
+        let enumerator = Enumerator::new(config);
+        let (results, stats) = enumerator.enumerate(&vars, &spec);
+        assert!(results.is_empty());
+        assert!(stats.over_budget > 0 || stats.complete == 0);
+    }
+
+    #[test]
+    fn auto_config_generates_parameters() {
+        let (vars, _) = pool_setup();
+        let config = SynthConfig::auto(&vars, 4);
+        assert!(config.merge_blocks.iter().any(|b| !b.is_one()));
+        // H and H/s must be candidate reduce domains.
+        let h = Size::var(vars.find("H").unwrap());
+        let s = Size::var(vars.find("s").unwrap());
+        assert!(config.reduce_domains.contains(&h));
+        assert!(config.reduce_domains.contains(&h.div(&s)));
+    }
+}

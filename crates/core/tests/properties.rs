@@ -1,0 +1,123 @@
+//! Property-based tests over the synthesis core: size algebra laws, shape
+//! distance axioms, and invariants of randomly sampled operators.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use syno_core::prelude::*;
+
+fn small_sizes() -> impl Strategy<Value = (u64, u64, u64)> {
+    (1u64..=8, 1u64..=8, 1u64..=8)
+}
+
+proptest! {
+    /// Size multiplication is commutative and associative, division is the
+    /// inverse of multiplication, and evaluation is a homomorphism.
+    #[test]
+    fn size_algebra_laws((a, b, c) in small_sizes()) {
+        let mut vars = VarTable::new();
+        let x = vars.declare("x", VarKind::Primary);
+        let y = vars.declare("y", VarKind::Coefficient);
+        let z = vars.declare("z", VarKind::Coefficient);
+        vars.push_valuation(vec![(x, a), (y, b), (z, c)]);
+        let (sx, sy, sz) = (Size::var(x), Size::var(y), Size::var(z));
+
+        prop_assert_eq!(sx.mul(&sy), sy.mul(&sx));
+        prop_assert_eq!(sx.mul(&sy).mul(&sz), sx.mul(&sy.mul(&sz)));
+        prop_assert_eq!(sx.mul(&sy).div(&sy), sx.clone());
+        prop_assert_eq!(
+            sx.mul(&sy).eval(&vars, 0),
+            Some(a * b)
+        );
+        // pow/recip consistency.
+        prop_assert_eq!(sx.pow(2), sx.mul(&sx));
+        prop_assert_eq!(sx.recip().recip(), sx.clone());
+    }
+}
+
+proptest! {
+    /// Shape distance is zero exactly on permutations of identical shapes,
+    /// and positive otherwise for disjoint primary shapes.
+    #[test]
+    fn shape_distance_axioms(perm in 0usize..6) {
+        let mut vars = VarTable::new();
+        let a = vars.declare("A", VarKind::Primary);
+        let b = vars.declare("B", VarKind::Primary);
+        let c = vars.declare("C", VarKind::Primary);
+        vars.push_valuation(vec![(a, 4), (b, 8), (c, 16)]);
+        let dims = [Size::var(a), Size::var(b), Size::var(c)];
+        let orders = [
+            [0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0],
+        ];
+        let permuted: Vec<Size> = orders[perm].iter().map(|&i| dims[i].clone()).collect();
+        prop_assert_eq!(shape_distance(&permuted, &dims, &vars), 0);
+        // Dropping a dim costs at least one step.
+        prop_assert!(shape_distance(&permuted[..2], &dims, &vars) >= 1);
+    }
+}
+
+proptest! {
+    /// Every operator the guided sampler completes is structurally sound:
+    /// complete, positive FLOPs, consistent parameter accounting, and a
+    /// stable semantic hash under re-render.
+    #[test]
+    fn sampled_operators_are_sound(seed in 0u64..40) {
+        let mut vars = VarTable::new();
+        let cin = vars.declare("Cin", VarKind::Primary);
+        let cout = vars.declare("Cout", VarKind::Primary);
+        let h = vars.declare("H", VarKind::Primary);
+        let k = vars.declare("k", VarKind::Coefficient);
+        vars.push_valuation(vec![(cin, 8), (cout, 16), (h, 16), (k, 3)]);
+        let vars = vars.into_shared();
+        let spec = OperatorSpec::new(
+            TensorShape::new(vec![Size::var(cin), Size::var(h)]),
+            TensorShape::new(vec![Size::var(cout), Size::var(h)]),
+        );
+        let enumerator = Enumerator::new(SynthConfig::auto(&vars, 4));
+        let root = PGraph::new(Arc::clone(&vars), spec);
+        let mut rng = StdRng::seed_from_u64(seed);
+        if let RolloutResult::Complete(g) = rollout(&mut rng, &enumerator, &root, true) {
+            prop_assert!(g.is_complete());
+            let flops = analysis::naive_flops(&g, 0).expect("flops evaluate");
+            prop_assert!(flops > 0);
+            let params = analysis::parameter_count(&g, 0).expect("params evaluate");
+            let weight_sum: u128 = g
+                .weights()
+                .iter()
+                .map(|w| w.numel().eval(g.vars(), 0).unwrap() as u128)
+                .sum();
+            prop_assert_eq!(params, weight_sum);
+            prop_assert_eq!(g.state_hash(), g.clone().state_hash());
+        }
+    }
+}
+
+proptest! {
+    /// Canonical replays stay canonical: a graph built from the enumerator's
+    /// own children never violates the rules it was filtered by.
+    #[test]
+    fn enumerator_children_are_self_consistent(seed in 0u64..25) {
+        let mut vars = VarTable::new();
+        let h = vars.declare("H", VarKind::Primary);
+        let s = vars.declare("s", VarKind::Coefficient);
+        vars.push_valuation(vec![(h, 16), (s, 2)]);
+        let vars = vars.into_shared();
+        let spec = OperatorSpec::new(
+            TensorShape::new(vec![Size::var(h)]),
+            TensorShape::new(vec![Size::var(h)]),
+        );
+        let enumerator = Enumerator::new(SynthConfig::auto(&vars, 3));
+        let rules = CanonRules::default();
+        let mut state = PGraph::new(Arc::clone(&vars), spec);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..3 {
+            let children = enumerator.children(&state);
+            if children.is_empty() { break; }
+            use rand::Rng;
+            let action = &children[rng.random_range(0..children.len())];
+            prop_assert!(rules.allows(&state, action).is_ok());
+            state = state.apply(action).expect("child applies");
+        }
+    }
+}

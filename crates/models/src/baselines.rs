@@ -1,0 +1,188 @@
+//! Comparator baselines (§9.1): NAS-PTE's loop-transformation operators and
+//! the αNAS published numbers.
+//!
+//! NAS-PTE (Turner et al., ASPLOS'21) introduced *inequivalent* loop
+//! transformations — grouping and bottlenecking loop ranges — into
+//! NAS-style search. Its three published operator sequences for ResNet-34
+//! are modeled as compositions of grouped / channel-bottlenecked
+//! convolutions. αNAS (Jin et al., OOPSLA'22) is closed-source and reported
+//! only FLOPs-reduction ratios and TPU training speedups; those constants
+//! are recorded here for the §9.2 comparison.
+
+use crate::discovered::{conv_graph, grouped_conv_graph, ConvShape};
+use syno_core::graph::PGraph;
+
+/// NAS-PTE's three operator sequences.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NasPteSeq {
+    /// Grouped convolution (grouping transformation, g = 2).
+    Seq1,
+    /// Channel bottleneck: 1×1 reduce to C/2, then k×k restore.
+    Seq2,
+    /// Grouping + bottleneck combined.
+    Seq3,
+}
+
+impl NasPteSeq {
+    /// All sequences in paper order.
+    pub const ALL: [NasPteSeq; 3] = [NasPteSeq::Seq1, NasPteSeq::Seq2, NasPteSeq::Seq3];
+
+    /// 1-based index used in figure labels.
+    pub fn index(&self) -> usize {
+        match self {
+            NasPteSeq::Seq1 => 1,
+            NasPteSeq::Seq2 => 2,
+            NasPteSeq::Seq3 => 3,
+        }
+    }
+}
+
+/// The pGraphs implementing a NAS-PTE sequence at one site; `None` when the
+/// shape does not admit the transformation.
+pub fn nas_pte_graphs(shape: &ConvShape, seq: NasPteSeq) -> Option<Vec<PGraph>> {
+    match seq {
+        NasPteSeq::Seq1 => {
+            let g = 2;
+            if shape.cin % g != 0 || shape.cin / g < 2 || shape.cout % g != 0 {
+                return None;
+            }
+            Some(vec![grouped_conv_graph(&ConvShape { g, ..*shape })?])
+        }
+        NasPteSeq::Seq2 => {
+            let mid = shape.cout / 2;
+            if mid < 2 {
+                return None;
+            }
+            let reduce = conv_graph(&ConvShape {
+                cout: mid,
+                k: 1,
+                ..*shape
+            })?;
+            let restore = conv_graph(&ConvShape {
+                cin: mid,
+                ..*shape
+            })?;
+            Some(vec![reduce, restore])
+        }
+        NasPteSeq::Seq3 => {
+            let g = 2;
+            let mid = shape.cout / 2;
+            if shape.cin % g != 0 || shape.cin / g < 2 || mid % g != 0 || mid / g < 2 {
+                return None;
+            }
+            let reduce = conv_graph(&ConvShape {
+                cout: mid,
+                k: 1,
+                ..*shape
+            })?;
+            let restore = grouped_conv_graph(&ConvShape {
+                cin: mid,
+                g,
+                ..*shape
+            })?;
+            Some(vec![reduce, restore])
+        }
+    }
+}
+
+/// αNAS's published results (its artifact is closed-source; the paper
+/// compares against these constants, §9.2).
+#[derive(Clone, Copy, Debug)]
+pub struct AlphaNasReported {
+    /// Model name.
+    pub model: &'static str,
+    /// FLOPs reduction (fraction removed), within 2% ImageNet accuracy drop.
+    pub flops_reduction: f64,
+    /// TPU-v3 training speedup.
+    pub training_speedup: f64,
+}
+
+/// The αNAS numbers quoted in §9.2.
+pub fn alphanas_reported() -> Vec<AlphaNasReported> {
+    vec![
+        AlphaNasReported {
+            model: "ResNet-50",
+            flops_reduction: 0.25,
+            training_speedup: 1.12,
+        },
+        AlphaNasReported {
+            model: "EfficientNet-B0",
+            flops_reduction: 0.25,
+            training_speedup: 1.12,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use syno_core::analysis;
+
+    fn shape() -> ConvShape {
+        ConvShape {
+            n: 1,
+            cin: 64,
+            cout: 64,
+            hw: 16,
+            k: 3,
+            g: 2,
+            s: 2,
+        }
+    }
+
+    #[test]
+    fn seq1_is_grouped_and_cheaper() {
+        let base = conv_graph(&shape()).unwrap();
+        let seq1 = nas_pte_graphs(&shape(), NasPteSeq::Seq1).unwrap();
+        assert_eq!(seq1.len(), 1);
+        let base_flops = analysis::naive_flops(&base, 0).unwrap();
+        let seq_flops = analysis::naive_flops(&seq1[0], 0).unwrap();
+        assert_eq!(base_flops, seq_flops * 2);
+    }
+
+    #[test]
+    fn seq2_is_a_two_stage_bottleneck() {
+        let seq2 = nas_pte_graphs(&shape(), NasPteSeq::Seq2).unwrap();
+        assert_eq!(seq2.len(), 2);
+        assert!(seq2.iter().all(|g| g.is_complete()));
+        let total: u128 = seq2
+            .iter()
+            .map(|g| analysis::naive_flops(g, 0).unwrap())
+            .sum();
+        let base = analysis::naive_flops(&conv_graph(&shape()).unwrap(), 0).unwrap();
+        assert!(total < base, "bottleneck cuts FLOPs: {total} vs {base}");
+    }
+
+    #[test]
+    fn seq3_combines_both() {
+        let seq3 = nas_pte_graphs(&shape(), NasPteSeq::Seq3).unwrap();
+        assert_eq!(seq3.len(), 2);
+        let total: u128 = seq3
+            .iter()
+            .map(|g| analysis::naive_flops(g, 0).unwrap())
+            .sum();
+        let seq2: u128 = nas_pte_graphs(&shape(), NasPteSeq::Seq2)
+            .unwrap()
+            .iter()
+            .map(|g| analysis::naive_flops(g, 0).unwrap())
+            .sum();
+        assert!(total < seq2, "grouping shrinks the bottleneck further");
+    }
+
+    #[test]
+    fn narrow_shapes_are_rejected() {
+        let mut s = shape();
+        s.cin = 3;
+        assert!(nas_pte_graphs(&s, NasPteSeq::Seq1).is_none());
+        s.cin = 64;
+        s.cout = 2;
+        assert!(nas_pte_graphs(&s, NasPteSeq::Seq2).is_none());
+    }
+
+    #[test]
+    fn alphanas_constants_present() {
+        let r = alphanas_reported();
+        assert_eq!(r.len(), 2);
+        assert!(r.iter().all(|x| x.flops_reduction > 0.0));
+    }
+}

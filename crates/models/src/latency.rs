@@ -1,0 +1,288 @@
+//! End-to-end model latency under operator substitution — the engine behind
+//! Figures 5, 6, 8 and 9.
+//!
+//! A backbone's latency is the sum of its substitution sites' compiled
+//! latencies (non-linear glue fuses away, §4). Each site is lowered to a
+//! pGraph — the baseline convolution, or a Syno/NAS-PTE substitute where
+//! the shape admits it — profiled, and priced by the requested compiler on
+//! the requested device.
+
+use crate::backbones::{Backbone, ConvLayer, MatmulLayer};
+use crate::baselines::NasPteSeq;
+use crate::discovered::{self, ConvShape};
+use syno_compiler::{compile, CompilerKind, DType, Device, OperatorClass};
+use syno_core::graph::PGraph;
+
+/// Which operator fills each substitution site.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Substitution {
+    /// The original operators (standard convolutions / matmuls).
+    Baseline,
+    /// Syno Operator 1 where admissible, baseline elsewhere.
+    Operator1,
+    /// Syno Operator 2 where admissible, baseline elsewhere.
+    Operator2,
+    /// A NAS-PTE transformation sequence where admissible.
+    NasPte(NasPteSeq),
+    /// INT8-quantized baseline (the Fig. 8 comparison).
+    Int8,
+}
+
+impl Substitution {
+    /// Display name for reports.
+    pub fn name(&self) -> String {
+        match self {
+            Substitution::Baseline => "baseline".into(),
+            Substitution::Operator1 => "syno-op1".into(),
+            Substitution::Operator2 => "syno-op2".into(),
+            Substitution::NasPte(seq) => format!("nas-pte-{}", seq.index()),
+            Substitution::Int8 => "int8".into(),
+        }
+    }
+
+    fn dtype(&self) -> DType {
+        match self {
+            Substitution::Int8 => DType::I8,
+            _ => DType::F32,
+        }
+    }
+}
+
+/// The batch size and Operator-1 hyperparameters used for all evaluations.
+const BATCH: u64 = 1;
+const OP_G: u64 = 2;
+const OP_S: u64 = 8;
+
+/// The concrete shape of a conv site (batch 1, paper's edge inference).
+pub fn shape_of(layer: &ConvLayer) -> ConvShape {
+    ConvShape {
+        n: BATCH,
+        cin: layer.cin as u64,
+        cout: layer.cout as u64,
+        // Model the strided output resolution: evaluating at the output
+        // size keeps the iteration count faithful for stride-2 layers.
+        hw: layer.out_size().max(2) as u64,
+        k: layer.k as u64,
+        g: OP_G,
+        s: OP_S,
+    }
+}
+
+/// The pGraphs (with operator class) evaluated at one conv site under a
+/// substitution. Multi-stage substitutes return several graphs.
+pub fn site_graphs(layer: &ConvLayer, subst: Substitution) -> Vec<(PGraph, OperatorClass)> {
+    let shape = shape_of(layer);
+    let dense_groups = layer.groups.max(1) as u64;
+    let baseline = || -> Vec<(PGraph, OperatorClass)> {
+        let g = if dense_groups > 1 {
+            // Grouped/depthwise baseline layers.
+            discovered::grouped_conv_graph(&ConvShape {
+                g: dense_groups.min(shape.cin / 2).max(2),
+                ..shape
+            })
+            .or_else(|| discovered::conv_graph(&shape))
+        } else {
+            discovered::conv_graph(&shape)
+        };
+        g.map(|g| vec![(g, OperatorClass::Standard)]).unwrap_or_default()
+    };
+    // Heavily grouped (depthwise) sites stay untouched: substituting them
+    // with a dense-ish novel operator would *raise* FLOPs, and the search
+    // would never keep such a candidate. Mildly grouped sites (ResNeXt's
+    // cardinality-2 convolutions) still profit.
+    let dense_site = dense_groups <= 2;
+    match subst {
+        Substitution::Baseline | Substitution::Int8 => baseline(),
+        Substitution::Operator1 if dense_site => discovered::operator1(&shape)
+            .map(|g| vec![(g, OperatorClass::Novel)])
+            .unwrap_or_else(baseline),
+        Substitution::Operator2 if dense_site => discovered::operator2(&shape)
+            .map(|g| vec![(g, OperatorClass::Novel)])
+            .unwrap_or_else(baseline),
+        Substitution::Operator1 | Substitution::Operator2 => baseline(),
+        Substitution::NasPte(seq) => crate::baselines::nas_pte_graphs(&shape, seq)
+            .unwrap_or_else(|| baseline().into_iter().map(|(g, _)| g).collect())
+            .into_iter()
+            // NAS-PTE emits (grouped/bottlenecked) standard operators.
+            .map(|g| (g, OperatorClass::Standard))
+            .collect(),
+    }
+}
+
+/// Process-wide cache of site profiles: lowering (and its materialization
+/// plan search) is by far the most expensive step and is identical across
+/// devices and compilers.
+type ProfileKey = (u64, u64, u64, u64, u64, String);
+type ProfileCache =
+    std::sync::Mutex<std::collections::HashMap<ProfileKey, Vec<(syno_compiler::OperatorProfile, OperatorClass)>>>;
+
+fn profile_cache() -> &'static ProfileCache {
+    static CACHE: std::sync::OnceLock<ProfileCache> = std::sync::OnceLock::new();
+    CACHE.get_or_init(|| std::sync::Mutex::new(std::collections::HashMap::new()))
+}
+
+/// Profiles of one conv site under a substitution (cached).
+pub fn site_profiles(
+    layer: &ConvLayer,
+    subst: Substitution,
+) -> Vec<(syno_compiler::OperatorProfile, OperatorClass)> {
+    let key: ProfileKey = (
+        layer.cin as u64,
+        layer.cout as u64,
+        layer.out_size() as u64,
+        layer.k as u64,
+        layer.groups as u64,
+        subst.name(),
+    );
+    if let Some(hit) = profile_cache().lock().expect("cache lock").get(&key) {
+        return hit.clone();
+    }
+    let computed: Vec<(syno_compiler::OperatorProfile, OperatorClass)> =
+        site_graphs(layer, subst)
+            .iter()
+            .filter_map(|(g, class)| {
+                syno_compiler::profile_graph(g, 0, *class, "site")
+                    .ok()
+                    .map(|p| (p, *class))
+            })
+            .collect();
+    profile_cache()
+        .lock()
+        .expect("cache lock")
+        .insert(key, computed.clone());
+    computed
+}
+
+/// Compiled latency of one conv site.
+pub fn site_latency(
+    layer: &ConvLayer,
+    subst: Substitution,
+    device: &Device,
+    compiler: CompilerKind,
+) -> f64 {
+    site_profiles(layer, subst)
+        .iter()
+        .map(|(profile, _)| compile(profile, device, compiler, subst.dtype()).latency)
+        .sum()
+}
+
+/// Compiled latency of one matmul site (always a standard operator).
+pub fn matmul_latency(layer: &MatmulLayer, device: &Device, compiler: CompilerKind) -> f64 {
+    let mut vars = syno_core::var::VarTable::new();
+    let m = vars.declare("M", syno_core::var::VarKind::Primary);
+    let k = vars.declare("K", syno_core::var::VarKind::Primary);
+    let n = vars.declare("Nv", syno_core::var::VarKind::Primary);
+    vars.push_valuation(vec![
+        (m, layer.m as u64),
+        (k, layer.k as u64),
+        (n, layer.n as u64),
+    ]);
+    let vars = vars.into_shared();
+    let graph = syno_core::ops::matmul(&vars, m, n, k).expect("matmul builds");
+    let profile = syno_compiler::profile_graph(&graph, 0, OperatorClass::Standard, "mm")
+        .expect("matmul lowers");
+    compile(&profile, device, compiler, DType::F32).latency
+}
+
+/// End-to-end latency of a backbone under a substitution.
+pub fn model_latency(
+    backbone: &Backbone,
+    subst: Substitution,
+    device: &Device,
+    compiler: CompilerKind,
+) -> f64 {
+    let conv: f64 = backbone
+        .convs
+        .iter()
+        .map(|l| site_latency(l, subst, device, compiler) * l.count as f64)
+        .sum();
+    let mm: f64 = backbone
+        .matmuls
+        .iter()
+        .map(|l| matmul_latency(l, device, compiler) * l.count as f64)
+        .sum();
+    conv + mm
+}
+
+/// Total FLOPs and parameters of a backbone under a substitution (for the
+/// αNAS comparison, §9.2). FLOPs are the *materialized* (staged) counts —
+/// the cost the generated code actually pays (§8).
+pub fn model_flops_params(backbone: &Backbone, subst: Substitution) -> (u128, u128) {
+    let mut flops = 0u128;
+    let mut params = 0u128;
+    for l in &backbone.convs {
+        for (profile, _) in site_profiles(l, subst) {
+            flops += profile.total_flops as u128 * l.count as u128;
+            params += profile.params as u128 * l.count as u128;
+        }
+    }
+    for l in &backbone.matmuls {
+        flops += 2 * (l.m * l.k * l.n) as u128 * l.count as u128;
+        params += (l.k * l.n) as u128 * l.count as u128;
+    }
+    (flops, params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backbones;
+
+    #[test]
+    fn baseline_latency_is_positive_everywhere() {
+        let b = backbones::resnet18();
+        for device in Device::all() {
+            for compiler in [CompilerKind::Tvm, CompilerKind::TorchInductor] {
+                let l = model_latency(&b, Substitution::Baseline, &device, compiler);
+                assert!(l.is_finite() && l > 0.0, "{} {:?}", device.name, compiler);
+            }
+        }
+    }
+
+    #[test]
+    fn operator1_speeds_up_resnet18_with_tvm() {
+        let b = backbones::resnet18();
+        let device = Device::mobile_cpu();
+        let base = model_latency(&b, Substitution::Baseline, &device, CompilerKind::Tvm);
+        let op1 = model_latency(&b, Substitution::Operator1, &device, CompilerKind::Tvm);
+        assert!(
+            op1 < base,
+            "Operator 1 must be faster under TVM: {op1:.4} vs {base:.4}"
+        );
+    }
+
+    #[test]
+    fn operator2_cuts_parameters() {
+        let b = backbones::resnet18();
+        let (_, base_params) = model_flops_params(&b, Substitution::Baseline);
+        let (_, op2_params) = model_flops_params(&b, Substitution::Operator2);
+        assert!(op2_params * 2 < base_params, "{op2_params} vs {base_params}");
+    }
+
+    #[test]
+    fn faster_devices_are_faster() {
+        let b = backbones::resnet18();
+        let base_cpu = model_latency(
+            &b,
+            Substitution::Baseline,
+            &Device::mobile_cpu(),
+            CompilerKind::Tvm,
+        );
+        let base_a100 = model_latency(
+            &b,
+            Substitution::Baseline,
+            &Device::server_gpu(),
+            CompilerKind::Tvm,
+        );
+        assert!(base_a100 < base_cpu);
+    }
+
+    #[test]
+    fn site_graphs_fall_back_on_stem_convs() {
+        let stem = backbones::resnet18().convs[0];
+        assert_eq!(stem.cin, 3);
+        let graphs = site_graphs(&stem, Substitution::Operator1);
+        assert_eq!(graphs.len(), 1);
+        assert_eq!(graphs[0].1, OperatorClass::Standard); // fell back
+    }
+}

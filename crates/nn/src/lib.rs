@@ -1,0 +1,27 @@
+//! # syno-nn — the neural-network training substrate
+//!
+//! Substitutes for the paper's PyTorch training infrastructure (§8, §9.1):
+//!
+//! * [`layer`] — layers, including [`layer::OperatorLayer`] which runs a
+//!   synthesized pGraph as a trainable layer through the tape-recorded
+//!   eager backend;
+//! * [`data`] — synthetic stand-ins for CIFAR-100/ImageNet (teacher-student
+//!   vision tasks) and lm1b (Markov text) — see DESIGN.md §3;
+//! * [`train`] — SGD with momentum, training loops, accuracy evaluation;
+//! * [`proxy`] — the candidate-operator accuracy proxy consumed by MCTS;
+//! * [`lm`] — the miniature GPT with a replaceable QKV projection (Fig. 10).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod data;
+pub mod layer;
+pub mod lm;
+pub mod proxy;
+pub mod train;
+
+pub use data::{TextTask, VisionTask};
+pub use layer::{GlobalAvgPool, Layer, LinearLayer, Model, OperatorLayer, ReluLayer};
+pub use lm::{LmConfig, QkvProjection, TinyGpt};
+pub use proxy::{operator_accuracy, ProxyConfig};
+pub use train::{accuracy, train_on_task, train_step, Sgd, TrainConfig};

@@ -1,0 +1,180 @@
+//! The accuracy proxy: the reward signal consumed by the MCTS search.
+//!
+//! The paper trains each candidate-substituted model for ~100 CIFAR-100
+//! epochs (≈0.1 GPU-hours amortized); the reproduction trains a small
+//! student on the teacher-labeled synthetic task instead (DESIGN.md §3).
+//! The proxy preserves what the search needs: candidates whose operators
+//! mix spatial/channel information train to higher accuracy than degenerate
+//! ones, and divergent candidates score zero (the paper's early
+//! termination).
+
+use crate::data::VisionTask;
+use crate::layer::{GlobalAvgPool, LinearLayer, Model, OperatorLayer, ReluLayer};
+use crate::train::{train_on_task, TrainConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use syno_core::graph::PGraph;
+
+/// Proxy-task configuration: the operator is trained inside a
+/// conv→relu→pool→linear student whose conv slot it fills.
+#[derive(Clone, Copy, Debug)]
+pub struct ProxyConfig {
+    /// Training hyperparameters.
+    pub train: TrainConfig,
+    /// Task seed (fixed across candidates so rewards are comparable).
+    pub task_seed: u64,
+    /// Parameter-initialization seed.
+    pub init_seed: u64,
+}
+
+impl Default for ProxyConfig {
+    fn default() -> Self {
+        ProxyConfig {
+            train: TrainConfig::default(),
+            task_seed: 1234,
+            init_seed: 99,
+        }
+    }
+}
+
+/// Evaluates a candidate operator's proxy accuracy in `[0, 1]`.
+///
+/// The operator must map `[N, Cin, H, W] → [N, Cout, H, W]` under
+/// `valuation`; candidates that cannot be eagerly realized score 0 (they
+/// are skipped, like the paper's invalid candidates).
+pub fn operator_accuracy(graph: &PGraph, valuation: usize, config: &ProxyConfig) -> f32 {
+    let Ok(layer) = OperatorLayer::new(graph.clone(), valuation) else {
+        return 0.0;
+    };
+    let dims = match graph.spec().input.eval(graph.vars(), valuation) {
+        Some(d) if d.len() == 4 => d,
+        _ => return 0.0,
+    };
+    let (batch, channels, height, _) = (dims[0], dims[1], dims[2], dims[3]);
+    let out_dims = match graph.spec().output.eval(graph.vars(), valuation) {
+        Some(d) if d.len() == 4 => d,
+        _ => return 0.0,
+    };
+    let classes = 4usize;
+    let task = VisionTask::new(config.task_seed, channels as usize, height as usize, classes);
+
+    let mut rng = StdRng::seed_from_u64(config.init_seed);
+    let mut model = Model::new();
+    model.push(Box::new(layer), &mut rng);
+    model.push(Box::new(ReluLayer), &mut rng);
+    model.push(Box::new(GlobalAvgPool), &mut rng);
+    model.push(
+        Box::new(LinearLayer::new(out_dims[1] as usize, classes)),
+        &mut rng,
+    );
+
+    let mut train = config.train;
+    train.batch = batch as usize;
+    let (_, acc) = train_on_task(&mut model, &task, &train);
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use syno_core::ops;
+    use syno_core::primitive::Action;
+    use syno_core::size::Size;
+    use syno_core::spec::{OperatorSpec, TensorShape};
+    use syno_core::var::{VarId, VarKind, VarTable};
+
+    struct F {
+        vars: Arc<VarTable>,
+        n: VarId,
+        cin: VarId,
+        cout: VarId,
+        h: VarId,
+        w: VarId,
+        k: VarId,
+    }
+
+    fn fixture() -> F {
+        let mut vars = VarTable::new();
+        let n = vars.declare("N", VarKind::Primary);
+        let cin = vars.declare("Cin", VarKind::Primary);
+        let cout = vars.declare("Cout", VarKind::Primary);
+        let h = vars.declare("H", VarKind::Primary);
+        let w = vars.declare("W", VarKind::Primary);
+        let k = vars.declare("k", VarKind::Coefficient);
+        vars.push_valuation(vec![(n, 16), (cin, 3), (cout, 8), (h, 8), (w, 8), (k, 3)]);
+        F {
+            vars: vars.into_shared(),
+            n,
+            cin,
+            cout,
+            h,
+            w,
+            k,
+        }
+    }
+
+    fn quick() -> ProxyConfig {
+        ProxyConfig {
+            train: TrainConfig {
+                steps: 40,
+                batch: 16,
+                ..TrainConfig::default()
+            },
+            ..ProxyConfig::default()
+        }
+    }
+
+    #[test]
+    fn conv_scores_above_chance() {
+        let f = fixture();
+        let conv = ops::conv2d(&f.vars, f.n, f.cin, f.cout, f.h, f.w, f.k).unwrap();
+        let acc = operator_accuracy(&conv, 0, &quick());
+        assert!(acc > 0.3, "conv proxy accuracy {acc}");
+    }
+
+    #[test]
+    fn degenerate_operator_scores_lower_than_conv() {
+        // Sum-all-channels-and-replicate: no learnable weights at all.
+        let f = fixture();
+        let spec = OperatorSpec::new(
+            TensorShape::new(vec![
+                Size::var(f.n),
+                Size::var(f.cin),
+                Size::var(f.h),
+                Size::var(f.w),
+            ]),
+            TensorShape::new(vec![
+                Size::var(f.n),
+                Size::var(f.cout),
+                Size::var(f.h),
+                Size::var(f.w),
+            ]),
+        );
+        let g = syno_core::graph::PGraph::new(Arc::clone(&f.vars), spec);
+        let co = g.frontier()[1];
+        let g = g.apply(&Action::Expand { coord: co }).unwrap();
+        let g = g
+            .apply(&Action::Reduce {
+                domain: Size::var(f.cin),
+            })
+            .unwrap();
+        assert!(g.is_complete());
+
+        let conv = ops::conv2d(&f.vars, f.n, f.cin, f.cout, f.h, f.w, f.k).unwrap();
+        let config = quick();
+        let weightless = operator_accuracy(&g, 0, &config);
+        let conv_acc = operator_accuracy(&conv, 0, &config);
+        assert!(
+            conv_acc >= weightless,
+            "conv {conv_acc} must match/beat weightless {weightless}"
+        );
+    }
+
+    #[test]
+    fn non_vision_spec_scores_zero() {
+        let f = fixture();
+        let mm = ops::matmul(&f.vars, f.cin, f.cout, f.h).unwrap();
+        assert_eq!(operator_accuracy(&mm, 0, &quick()), 0.0);
+    }
+}

@@ -1,0 +1,78 @@
+//! Discovered operators and Pareto-front extraction.
+
+use syno_core::graph::PGraph;
+
+/// One complete operator found by the search, with its proxy reward.
+#[derive(Clone, Debug)]
+pub struct Discovered {
+    /// The complete pGraph.
+    pub graph: PGraph,
+    /// Proxy accuracy in `[0, 1]`.
+    pub reward: f64,
+}
+
+/// A point on the latency/accuracy plane (lower latency and higher accuracy
+/// are better).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct TradeoffPoint {
+    /// Latency in seconds.
+    pub latency: f64,
+    /// Accuracy in `[0, 1]`.
+    pub accuracy: f64,
+}
+
+/// Indices of the Pareto-optimal points (minimal latency, maximal accuracy),
+/// sorted by ascending latency — the Fig. 6 curves.
+pub fn pareto_front(points: &[TradeoffPoint]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..points.len()).collect();
+    order.sort_by(|&a, &b| {
+        points[a]
+            .latency
+            .partial_cmp(&points[b].latency)
+            .expect("finite latencies")
+            .then(
+                points[b]
+                    .accuracy
+                    .partial_cmp(&points[a].accuracy)
+                    .expect("finite accuracies"),
+            )
+    });
+    let mut front = Vec::new();
+    let mut best_accuracy = f64::NEG_INFINITY;
+    for idx in order {
+        if points[idx].accuracy > best_accuracy {
+            front.push(idx);
+            best_accuracy = points[idx].accuracy;
+        }
+    }
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pareto_keeps_nondominated_points() {
+        let pts = vec![
+            TradeoffPoint { latency: 1.0, accuracy: 0.9 },
+            TradeoffPoint { latency: 0.5, accuracy: 0.8 },  // front
+            TradeoffPoint { latency: 0.7, accuracy: 0.7 },  // dominated
+            TradeoffPoint { latency: 0.3, accuracy: 0.6 },  // front
+            TradeoffPoint { latency: 2.0, accuracy: 0.95 }, // front
+        ];
+        let front = pareto_front(&pts);
+        assert_eq!(front, vec![3, 1, 0, 4]);
+    }
+
+    #[test]
+    fn single_point_is_its_own_front() {
+        let pts = vec![TradeoffPoint { latency: 1.0, accuracy: 0.5 }];
+        assert_eq!(pareto_front(&pts), vec![0]);
+    }
+
+    #[test]
+    fn empty_front() {
+        assert!(pareto_front(&[]).is_empty());
+    }
+}

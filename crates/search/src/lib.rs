@@ -1,0 +1,21 @@
+//! # syno-search — MCTS-guided operator discovery and orchestration
+//!
+//! Implements §7.2 of the paper:
+//!
+//! * [`mcts`] — UCT over the partial-pGraph MDP with shape-distance-feasible
+//!   children, guided rollouts, and a transposition table;
+//! * [`discovered`] — discovered-operator records and Pareto-front
+//!   extraction (Fig. 6);
+//! * [`orchestrator`] — Algorithm 1's outer loop: synthesize → train proxy →
+//!   tune latency, with a worker pool for candidate evaluation.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod discovered;
+pub mod mcts;
+pub mod orchestrator;
+
+pub use discovered::{pareto_front, Discovered, TradeoffPoint};
+pub use mcts::{Mcts, MctsConfig, MctsStats};
+pub use orchestrator::{evaluate_candidates, search_substitutions, Candidate, SearchSettings};

@@ -1,0 +1,714 @@
+//! Tape-based reverse-mode automatic differentiation.
+//!
+//! The accuracy side of the reproduction trains real models containing
+//! synthesized operators (§8's PyTorch backend); this module supplies the
+//! backward passes. A [`Tape`] records every operation eagerly; calling
+//! [`Tape::backward`] replays it in reverse, producing gradients for every
+//! recorded node.
+//!
+//! Every structural op of [`crate::ops`] has its adjoint here (`unfold` ↔
+//! `fold_acc`, `strided` ↔ `strided_scatter`, `repeat` ↔ `sum_axis`, …), and
+//! einsum differentiates by the standard swap rule: the gradient w.r.t. one
+//! operand is an einsum of the output gradient with the remaining operands.
+//!
+//! # Limitations
+//!
+//! The einsum VJP requires each operand's index list to be duplicate-free
+//! (e.g. no `"ii->i"`); the Syno lowering never produces such terms —
+//! canonicalization rejects diagonal weights.
+
+use crate::einsum::{einsum_spec, EinsumSpec};
+use crate::ops;
+use crate::tensor::Tensor;
+
+/// Handle to a node on a [`Tape`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Var(usize);
+
+impl Var {
+    /// Dense index of the node.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Op {
+    Leaf,
+    Add(Var, Var),
+    Sub(Var, Var),
+    Mul(Var, Var),
+    Scale(Var, f32),
+    AddScalar(Var, f32),
+    Einsum { spec: EinsumSpec, inputs: Vec<Var> },
+    Reshape(Var),
+    Permute(Var, Vec<usize>),
+    Unfold { input: Var, axis: usize, k: usize },
+    Roll { input: Var, axis: usize, amount: i64 },
+    Strided { input: Var, axis: usize, s: usize },
+    Repeat { input: Var, axis: usize, times: usize },
+    SumAxis { input: Var, axis: usize },
+    Relu(Var),
+    Tanh(Var),
+    SoftmaxLast(Var),
+    MeanAll(Var),
+    Mse { input: Var, target: Tensor },
+    SoftmaxCrossEntropy { logits: Var, labels: Vec<usize> },
+    Gather { table: Var, ids: Vec<usize> },
+}
+
+#[derive(Debug)]
+struct Node {
+    value: Tensor,
+    op: Op,
+}
+
+/// Gradients returned by [`Tape::backward`].
+#[derive(Debug)]
+pub struct Gradients {
+    grads: Vec<Option<Tensor>>,
+}
+
+impl Gradients {
+    /// The gradient of the loss w.r.t. `var`, if it participated.
+    pub fn get(&self, var: Var) -> Option<&Tensor> {
+        self.grads.get(var.0).and_then(|g| g.as_ref())
+    }
+}
+
+/// An eager autodiff tape.
+///
+/// # Examples
+///
+/// ```
+/// use syno_tensor::{Tape, Tensor};
+///
+/// let mut tape = Tape::new();
+/// let x = tape.leaf(Tensor::from_vec(vec![1.0, -2.0], &[2]));
+/// let y = tape.relu(x);
+/// let loss = tape.mean_all(y);
+/// let grads = tape.backward(loss);
+/// // d(mean(relu(x)))/dx = [0.5, 0.0]
+/// assert_eq!(grads.get(x).unwrap().data(), &[0.5, 0.0]);
+/// ```
+#[derive(Debug, Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+}
+
+impl Tape {
+    /// An empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, value: Tensor, op: Op) -> Var {
+        let id = Var(self.nodes.len());
+        self.nodes.push(Node { value, op });
+        id
+    }
+
+    /// Records an input (leaf) tensor.
+    pub fn leaf(&mut self, value: Tensor) -> Var {
+        self.push(value, Op::Leaf)
+    }
+
+    /// The forward value of a node.
+    pub fn value(&self, var: Var) -> &Tensor {
+        &self.nodes[var.0].value
+    }
+
+    /// Elementwise sum.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).add(self.value(b));
+        self.push(v, Op::Add(a, b))
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).sub(self.value(b));
+        self.push(v, Op::Sub(a, b))
+    }
+
+    /// Elementwise product.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).mul(self.value(b));
+        self.push(v, Op::Mul(a, b))
+    }
+
+    /// Scalar multiplication.
+    pub fn scale(&mut self, a: Var, c: f32) -> Var {
+        let v = self.value(a).scale(c);
+        self.push(v, Op::Scale(a, c))
+    }
+
+    /// Scalar addition.
+    pub fn add_scalar(&mut self, a: Var, c: f32) -> Var {
+        let v = self.value(a).add_scalar(c);
+        self.push(v, Op::AddScalar(a, c))
+    }
+
+    /// Einstein summation over recorded operands.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the spec fails to parse or execute (shape conflicts), or
+    /// when an operand's index list contains duplicates (unsupported VJP).
+    pub fn einsum(&mut self, spec: &str, inputs: &[Var]) -> Var {
+        let parsed = EinsumSpec::parse(spec).expect("valid einsum spec");
+        for input in &parsed.inputs {
+            let mut letters = input.clone();
+            letters.sort_unstable();
+            letters.dedup();
+            assert_eq!(
+                letters.len(),
+                input.len(),
+                "einsum VJP requires duplicate-free operand indices"
+            );
+        }
+        let tensors: Vec<&Tensor> = inputs.iter().map(|&v| self.value(v)).collect();
+        let value = einsum_spec(&parsed, &tensors).expect("einsum executes");
+        self.push(
+            value,
+            Op::Einsum {
+                spec: parsed,
+                inputs: inputs.to_vec(),
+            },
+        )
+    }
+
+    /// 2-D matrix product.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        self.einsum("mk,kn->mn", &[a, b])
+    }
+
+    /// Shape reinterpretation.
+    pub fn reshape(&mut self, a: Var, shape: &[usize]) -> Var {
+        let v = ops::reshape(self.value(a), shape);
+        self.push(v, Op::Reshape(a))
+    }
+
+    /// Axis permutation.
+    pub fn permute(&mut self, a: Var, perm: &[usize]) -> Var {
+        let v = ops::permute(self.value(a), perm);
+        self.push(v, Op::Permute(a, perm.to_vec()))
+    }
+
+    /// Sliding-window extraction with zero padding (`Unfold`).
+    pub fn unfold(&mut self, a: Var, axis: usize, k: usize) -> Var {
+        let v = ops::unfold(self.value(a), axis, k);
+        self.push(v, Op::Unfold { input: a, axis, k })
+    }
+
+    /// Axis rotation (`Shift`).
+    pub fn roll(&mut self, a: Var, axis: usize, amount: i64) -> Var {
+        let v = ops::roll(self.value(a), axis, amount);
+        self.push(v, Op::Roll { input: a, axis, amount })
+    }
+
+    /// Strided selection (`Stride`).
+    pub fn strided(&mut self, a: Var, axis: usize, s: usize) -> Var {
+        let v = ops::strided(self.value(a), axis, s);
+        self.push(v, Op::Strided { input: a, axis, s })
+    }
+
+    /// Axis insertion with repetition (`Expand`).
+    pub fn repeat(&mut self, a: Var, axis: usize, times: usize) -> Var {
+        let v = ops::repeat(self.value(a), axis, times);
+        self.push(v, Op::Repeat { input: a, axis, times })
+    }
+
+    /// Axis summation (`Reduce`).
+    pub fn sum_axis(&mut self, a: Var, axis: usize) -> Var {
+        let v = ops::sum_axis(self.value(a), axis);
+        self.push(v, Op::SumAxis { input: a, axis })
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| x.max(0.0));
+        self.push(v, Op::Relu(a))
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(f32::tanh);
+        self.push(v, Op::Tanh(a))
+    }
+
+    /// Softmax over the last axis.
+    pub fn softmax_last(&mut self, a: Var) -> Var {
+        let v = ops::softmax_last(self.value(a));
+        self.push(v, Op::SoftmaxLast(a))
+    }
+
+    /// Mean of all elements (scalar output).
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        let v = Tensor::scalar(self.value(a).mean_all());
+        self.push(v, Op::MeanAll(a))
+    }
+
+    /// Mean-squared error against a constant target (scalar output).
+    pub fn mse(&mut self, a: Var, target: &Tensor) -> Var {
+        let diff = self.value(a).sub(target);
+        let v = Tensor::scalar(diff.sq_norm() / diff.numel().max(1) as f32);
+        self.push(
+            v,
+            Op::Mse {
+                input: a,
+                target: target.clone(),
+            },
+        )
+    }
+
+    /// Mean softmax cross-entropy of `[batch, classes]` logits against
+    /// integer labels (scalar output).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `logits` is not rank-2 or labels mismatch the batch.
+    pub fn softmax_cross_entropy(&mut self, logits: Var, labels: &[usize]) -> Var {
+        let l = self.value(logits);
+        assert_eq!(l.rank(), 2, "logits must be [batch, classes]");
+        let (b, c) = (l.shape()[0], l.shape()[1]);
+        assert_eq!(labels.len(), b, "one label per row");
+        let probs = ops::softmax_last(l);
+        let mut loss = 0.0;
+        for (row, &label) in labels.iter().enumerate() {
+            assert!(label < c, "label out of range");
+            loss -= probs.get(&[row, label]).max(1e-12).ln();
+        }
+        let v = Tensor::scalar(loss / b as f32);
+        self.push(
+            v,
+            Op::SoftmaxCrossEntropy {
+                logits,
+                labels: labels.to_vec(),
+            },
+        )
+    }
+
+    /// Row gather from a `[vocab, dim]` table (embedding lookup).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `table` is not rank-2 or an id is out of range.
+    pub fn gather(&mut self, table: Var, ids: &[usize]) -> Var {
+        let t = self.value(table);
+        assert_eq!(t.rank(), 2, "gather table must be [vocab, dim]");
+        let dim = t.shape()[1];
+        let mut out = Tensor::zeros(&[ids.len(), dim]);
+        for (row, &id) in ids.iter().enumerate() {
+            assert!(id < t.shape()[0], "gather id out of range");
+            for d in 0..dim {
+                out.set(&[row, d], t.get(&[id, d]));
+            }
+        }
+        self.push(
+            out,
+            Op::Gather {
+                table,
+                ids: ids.to_vec(),
+            },
+        )
+    }
+
+    /// Runs reverse-mode differentiation from `loss` (any shape; seeded with
+    /// ones).
+    pub fn backward(&self, loss: Var) -> Gradients {
+        let mut grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
+        grads[loss.0] = Some(Tensor::ones(self.value(loss).shape()));
+        for id in (0..=loss.0).rev() {
+            let Some(grad) = grads[id].clone() else {
+                continue;
+            };
+            let add_grad = |grads: &mut Vec<Option<Tensor>>, var: Var, g: Tensor| {
+                match &mut grads[var.0] {
+                    Some(existing) => existing.accumulate(&g),
+                    slot @ None => *slot = Some(g),
+                }
+            };
+            match &self.nodes[id].op {
+                Op::Leaf => {}
+                Op::Add(a, b) => {
+                    add_grad(&mut grads, *a, grad.clone());
+                    add_grad(&mut grads, *b, grad);
+                }
+                Op::Sub(a, b) => {
+                    add_grad(&mut grads, *a, grad.clone());
+                    add_grad(&mut grads, *b, grad.scale(-1.0));
+                }
+                Op::Mul(a, b) => {
+                    let ga = grad.mul(self.value(*b));
+                    let gb = grad.mul(self.value(*a));
+                    add_grad(&mut grads, *a, ga);
+                    add_grad(&mut grads, *b, gb);
+                }
+                Op::Scale(a, c) => add_grad(&mut grads, *a, grad.scale(*c)),
+                Op::AddScalar(a, _) => add_grad(&mut grads, *a, grad),
+                Op::Einsum { spec, inputs } => {
+                    for (wrt, &input) in inputs.iter().enumerate() {
+                        let tensors: Vec<&Tensor> =
+                            inputs.iter().map(|&v| self.value(v)).collect();
+                        let g = einsum_vjp(spec, &tensors, &grad, wrt);
+                        add_grad(&mut grads, input, g);
+                    }
+                }
+                Op::Reshape(a) => {
+                    let g = ops::reshape(&grad, self.value(*a).shape());
+                    add_grad(&mut grads, *a, g);
+                }
+                Op::Permute(a, perm) => {
+                    let g = ops::permute(&grad, &ops::inverse_permutation(perm));
+                    add_grad(&mut grads, *a, g);
+                }
+                Op::Unfold { input, axis, k } => {
+                    let g = ops::fold_acc(&grad, *axis, *k, self.value(*input).shape());
+                    add_grad(&mut grads, *input, g);
+                }
+                Op::Roll { input, axis, amount } => {
+                    let g = ops::roll(&grad, *axis, -amount);
+                    add_grad(&mut grads, *input, g);
+                }
+                Op::Strided { input, axis, s } => {
+                    let g = ops::strided_scatter(&grad, *axis, *s, self.value(*input).shape());
+                    add_grad(&mut grads, *input, g);
+                }
+                Op::Repeat { input, axis, .. } => {
+                    let g = ops::sum_axis(&grad, *axis);
+                    add_grad(&mut grads, *input, g);
+                }
+                Op::SumAxis { input, axis } => {
+                    let times = self.value(*input).shape()[*axis];
+                    let g = ops::repeat(&grad, *axis, times);
+                    add_grad(&mut grads, *input, g);
+                }
+                Op::Relu(a) => {
+                    let mask = self.value(*a).map(|x| if x > 0.0 { 1.0 } else { 0.0 });
+                    add_grad(&mut grads, *a, grad.mul(&mask));
+                }
+                Op::Tanh(a) => {
+                    let y = &self.nodes[id].value;
+                    let g = grad.zip_map(y, |g, y| g * (1.0 - y * y));
+                    add_grad(&mut grads, *a, g);
+                }
+                Op::SoftmaxLast(a) => {
+                    // dL/dx = (g - sum(g*y) along last) * y
+                    let y = &self.nodes[id].value;
+                    let gy = grad.mul(y);
+                    let last_axis = y.rank() - 1;
+                    let s = ops::sum_axis(&gy, last_axis);
+                    let s_b = ops::repeat(&s, last_axis, y.shape()[last_axis]);
+                    let g = gy.sub(&s_b.mul(y));
+                    add_grad(&mut grads, *a, g);
+                }
+                Op::MeanAll(a) => {
+                    let n = self.value(*a).numel().max(1) as f32;
+                    let seed = grad.sum_all() / n;
+                    let g = Tensor::full(self.value(*a).shape(), seed);
+                    add_grad(&mut grads, *a, g);
+                }
+                Op::Mse { input, target } => {
+                    let x = self.value(*input);
+                    let n = x.numel().max(1) as f32;
+                    let seed = grad.sum_all();
+                    let g = x.sub(target).scale(2.0 * seed / n);
+                    add_grad(&mut grads, *input, g);
+                }
+                Op::SoftmaxCrossEntropy { logits, labels } => {
+                    let l = self.value(*logits);
+                    let b = l.shape()[0] as f32;
+                    let mut g = ops::softmax_last(l);
+                    for (row, &label) in labels.iter().enumerate() {
+                        let v = g.get(&[row, label]);
+                        g.set(&[row, label], v - 1.0);
+                    }
+                    let seed = grad.sum_all();
+                    add_grad(&mut grads, *logits, g.scale(seed / b));
+                }
+                Op::Gather { table, ids } => {
+                    let t = self.value(*table);
+                    let dim = t.shape()[1];
+                    let mut g = Tensor::zeros(t.shape());
+                    for (row, &id) in ids.iter().enumerate() {
+                        for d in 0..dim {
+                            let v = g.get(&[id, d]) + grad.get(&[row, d]);
+                            g.set(&[id, d], v);
+                        }
+                    }
+                    add_grad(&mut grads, *table, g);
+                }
+            }
+        }
+        Gradients { grads }
+    }
+}
+
+/// VJP of einsum w.r.t. operand `wrt`: contract the output gradient with the
+/// remaining operands, then broadcast along indices private to `wrt`.
+fn einsum_vjp(spec: &EinsumSpec, operands: &[&Tensor], grad: &Tensor, wrt: usize) -> Tensor {
+    let wrt_spec = &spec.inputs[wrt];
+    let mut in_specs = vec![spec.output.clone()];
+    let mut tensors: Vec<&Tensor> = vec![grad];
+    for (i, s) in spec.inputs.iter().enumerate() {
+        if i != wrt {
+            in_specs.push(s.clone());
+            tensors.push(operands[i]);
+        }
+    }
+    let available: Vec<char> = in_specs.iter().flatten().copied().collect();
+    let reduced: Vec<char> = wrt_spec
+        .iter()
+        .copied()
+        .filter(|c| available.contains(c))
+        .collect();
+    let vjp_spec = EinsumSpec {
+        inputs: in_specs,
+        output: reduced.clone(),
+    };
+    let mut g = einsum_spec(&vjp_spec, &tensors).expect("vjp einsum executes");
+    // Broadcast along wrt-private indices (they were summed in the forward).
+    for (pos, c) in wrt_spec.iter().enumerate() {
+        if !reduced.contains(c) {
+            let extent = operands[wrt].shape()[pos];
+            g = ops::repeat(&g, pos, extent);
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn randn(rng: &mut StdRng, shape: &[usize]) -> Tensor {
+        let n: usize = shape.iter().product();
+        Tensor::from_vec((0..n).map(|_| rng.random::<f32>() - 0.5).collect(), shape)
+    }
+
+    /// Numerical gradient check for a scalar-valued tape function.
+    fn gradcheck(
+        build: impl Fn(&mut Tape, Var) -> Var,
+        x0: &Tensor,
+        tol: f32,
+    ) {
+        let mut tape = Tape::new();
+        let x = tape.leaf(x0.clone());
+        let loss = build(&mut tape, x);
+        assert_eq!(tape.value(loss).numel(), 1, "loss must be scalar");
+        let grads = tape.backward(loss);
+        let analytic = grads.get(x).expect("x participates").clone();
+
+        let eps = 1e-2f32;
+        for i in 0..x0.numel() {
+            let mut plus = x0.clone();
+            plus.data_mut()[i] += eps;
+            let mut minus = x0.clone();
+            minus.data_mut()[i] -= eps;
+            let mut tp = Tape::new();
+            let xp = tp.leaf(plus);
+            let lp_var = build(&mut tp, xp);
+            let lp = tp.value(lp_var).sum_all();
+            let mut tm = Tape::new();
+            let xm = tm.leaf(minus);
+            let lm_var = build(&mut tm, xm);
+            let lm = tm.value(lm_var).sum_all();
+            let numeric = (lp - lm) / (2.0 * eps);
+            let a = analytic.data()[i];
+            assert!(
+                (a - numeric).abs() <= tol * (1.0 + numeric.abs()),
+                "grad[{i}]: analytic {a} vs numeric {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn gradcheck_elementwise_chain() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let x0 = randn(&mut rng, &[2, 3]);
+        gradcheck(
+            |t, x| {
+                let y = t.relu(x);
+                let z = t.scale(y, 2.0);
+                let w = t.add_scalar(z, 0.1);
+                t.mean_all(w)
+            },
+            &x0,
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn gradcheck_matmul() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let x0 = randn(&mut rng, &[3, 4]);
+        let w = randn(&mut rng, &[4, 2]);
+        gradcheck(
+            move |t, x| {
+                let wv = t.leaf(w.clone());
+                let y = t.matmul(x, wv);
+                t.mean_all(y)
+            },
+            &x0,
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn gradcheck_unfold_roll_stride() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let x0 = randn(&mut rng, &[8]);
+        gradcheck(
+            |t, x| {
+                let u = t.unfold(x, 0, 3);
+                let r = t.roll(u, 0, 1);
+                let s = t.sum_axis(r, 1);
+                let st = t.strided(s, 0, 2);
+                t.mean_all(st)
+            },
+            &x0,
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn gradcheck_einsum_contraction() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let x0 = randn(&mut rng, &[2, 3, 4]);
+        let w = randn(&mut rng, &[3, 5]);
+        gradcheck(
+            move |t, x| {
+                let wv = t.leaf(w.clone());
+                let y = t.einsum("nch,cd->ndh", &[x, wv]);
+                t.mean_all(y)
+            },
+            &x0,
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn gradcheck_einsum_private_index() {
+        // x has index h absent from output AND from the other operand:
+        // forward sums over it; gradient must broadcast.
+        let mut rng = StdRng::seed_from_u64(5);
+        let x0 = randn(&mut rng, &[2, 3]);
+        let w = randn(&mut rng, &[2]);
+        gradcheck(
+            move |t, x| {
+                let wv = t.leaf(w.clone());
+                let y = t.einsum("ch,c->c", &[x, wv]);
+                t.mean_all(y)
+            },
+            &x0,
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn gradcheck_softmax_cross_entropy() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let x0 = randn(&mut rng, &[3, 4]);
+        gradcheck(
+            |t, x| t.softmax_cross_entropy(x, &[1, 0, 3]),
+            &x0,
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn gradcheck_softmax_last() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let x0 = randn(&mut rng, &[2, 3]);
+        let w = randn(&mut rng, &[2, 3]);
+        gradcheck(
+            move |t, x| {
+                let y = t.softmax_last(x);
+                let wv = t.leaf(w.clone());
+                let z = t.mul(y, wv);
+                t.mean_all(z)
+            },
+            &x0,
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn gradcheck_reshape_permute_repeat() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let x0 = randn(&mut rng, &[2, 6]);
+        gradcheck(
+            |t, x| {
+                let r = t.reshape(x, &[2, 2, 3]);
+                let p = t.permute(r, &[2, 0, 1]);
+                let e = t.repeat(p, 1, 2);
+                let s = t.sum_axis(e, 1);
+                t.mean_all(s)
+            },
+            &x0,
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn gradcheck_gather() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let x0 = randn(&mut rng, &[5, 3]);
+        gradcheck(
+            |t, x| {
+                let g = t.gather(x, &[0, 2, 2, 4]);
+                t.mean_all(g)
+            },
+            &x0,
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn gradcheck_tanh_mse() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let x0 = randn(&mut rng, &[4]);
+        let target = randn(&mut rng, &[4]);
+        gradcheck(
+            move |t, x| {
+                let y = t.tanh(x);
+                t.mse(y, &target)
+            },
+            &x0,
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_accumulates_over_reuse() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![2.0], &[1]));
+        let y = tape.mul(x, x); // x^2
+        let loss = tape.mean_all(y);
+        let grads = tape.backward(loss);
+        assert_eq!(grads.get(x).unwrap().data(), &[4.0]); // 2x
+    }
+
+    #[test]
+    fn unused_leaves_have_no_grad() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::ones(&[2]));
+        let z = tape.leaf(Tensor::ones(&[2]));
+        let loss = tape.mean_all(x);
+        let grads = tape.backward(loss);
+        assert!(grads.get(x).is_some());
+        assert!(grads.get(z).is_none());
+    }
+}

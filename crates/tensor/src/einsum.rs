@@ -1,0 +1,335 @@
+//! General Einstein-summation contraction.
+//!
+//! The paper's PyTorch code generator lowers every `Share`/`Reduce`
+//! contraction to an `einsum` expression (§8); this module provides the
+//! equivalent engine for the Rust runtime. Any number of operands is
+//! supported; indices absent from the output are summed.
+//!
+//! The implementation deliberately favors a direct dense loop over the full
+//! index space — the reproduction's performance story lives in the
+//! `syno-compiler` cost model, not in this runtime.
+
+use crate::tensor::Tensor;
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from parsing or executing an einsum specification.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum EinsumError {
+    /// The spec string is malformed (missing `->`, wrong operand count, …).
+    BadSpec(String),
+    /// An index letter is bound to two different extents.
+    ExtentMismatch(char),
+    /// An output index never appears in any operand.
+    UnboundOutput(char),
+}
+
+impl fmt::Display for EinsumError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EinsumError::BadSpec(s) => write!(f, "malformed einsum spec: {s}"),
+            EinsumError::ExtentMismatch(c) => {
+                write!(f, "index '{c}' bound to conflicting extents")
+            }
+            EinsumError::UnboundOutput(c) => write!(f, "output index '{c}' unbound"),
+        }
+    }
+}
+
+impl Error for EinsumError {}
+
+/// A parsed einsum specification.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct EinsumSpec {
+    /// Index letters per operand.
+    pub inputs: Vec<Vec<char>>,
+    /// Output index letters.
+    pub output: Vec<char>,
+}
+
+impl EinsumSpec {
+    /// Parses `"ab,bc->ac"`-style notation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EinsumError::BadSpec`] when the arrow is missing or an
+    /// operand list is empty.
+    pub fn parse(spec: &str) -> Result<Self, EinsumError> {
+        let (lhs, rhs) = spec
+            .split_once("->")
+            .ok_or_else(|| EinsumError::BadSpec(spec.to_owned()))?;
+        let inputs: Vec<Vec<char>> = lhs.split(',').map(|s| s.trim().chars().collect()).collect();
+        if inputs.is_empty() {
+            return Err(EinsumError::BadSpec(spec.to_owned()));
+        }
+        let output: Vec<char> = rhs.trim().chars().collect();
+        Ok(EinsumSpec { inputs, output })
+    }
+
+    /// All distinct index letters, output first then summed, in first-seen
+    /// order.
+    pub fn all_indices(&self) -> Vec<char> {
+        let mut order: Vec<char> = Vec::new();
+        for &c in &self.output {
+            if !order.contains(&c) {
+                order.push(c);
+            }
+        }
+        for input in &self.inputs {
+            for &c in input {
+                if !order.contains(&c) {
+                    order.push(c);
+                }
+            }
+        }
+        order
+    }
+
+    /// The specification string.
+    pub fn render(&self) -> String {
+        let lhs: Vec<String> = self
+            .inputs
+            .iter()
+            .map(|i| i.iter().collect::<String>())
+            .collect();
+        format!("{}->{}", lhs.join(","), self.output.iter().collect::<String>())
+    }
+}
+
+/// Binds index letters to extents across all operands.
+fn bind_extents(
+    spec: &EinsumSpec,
+    operands: &[&Tensor],
+) -> Result<BTreeMap<char, usize>, EinsumError> {
+    if operands.len() != spec.inputs.len() {
+        return Err(EinsumError::BadSpec(format!(
+            "{} operands for {} input specs",
+            operands.len(),
+            spec.inputs.len()
+        )));
+    }
+    let mut extents = BTreeMap::new();
+    for (input, t) in spec.inputs.iter().zip(operands) {
+        if input.len() != t.rank() {
+            return Err(EinsumError::BadSpec(format!(
+                "operand rank {} != spec arity {}",
+                t.rank(),
+                input.len()
+            )));
+        }
+        for (&c, &extent) in input.iter().zip(t.shape()) {
+            match extents.get(&c) {
+                Some(&e) if e != extent => return Err(EinsumError::ExtentMismatch(c)),
+                Some(_) => {}
+                None => {
+                    extents.insert(c, extent);
+                }
+            }
+        }
+    }
+    for &c in &spec.output {
+        if !extents.contains_key(&c) {
+            return Err(EinsumError::UnboundOutput(c));
+        }
+    }
+    Ok(extents)
+}
+
+/// Executes a parsed einsum over the operands.
+///
+/// # Errors
+///
+/// Propagates binding errors; see [`EinsumError`].
+pub fn einsum_spec(spec: &EinsumSpec, operands: &[&Tensor]) -> Result<Tensor, EinsumError> {
+    let extents = bind_extents(spec, operands)?;
+    let order = spec.all_indices();
+    let dims: Vec<usize> = order.iter().map(|c| extents[c]).collect();
+    let out_shape: Vec<usize> = spec.output.iter().map(|c| extents[c]).collect();
+    let mut out = Tensor::zeros(&out_shape);
+    let out_strides = Tensor::strides_of(&out_shape);
+
+    // Per-operand: stride contribution of each loop index.
+    let mut op_strides: Vec<Vec<usize>> = Vec::with_capacity(operands.len());
+    for (input, t) in spec.inputs.iter().zip(operands) {
+        let ts = Tensor::strides_of(t.shape());
+        let mut per_index = vec![0usize; order.len()];
+        for (pos, &c) in input.iter().enumerate() {
+            let slot = order.iter().position(|&o| o == c).expect("bound index");
+            per_index[slot] += ts[pos];
+        }
+        op_strides.push(per_index);
+    }
+    // Output stride contribution per loop index.
+    let mut out_index_strides = vec![0usize; order.len()];
+    for (pos, &c) in spec.output.iter().enumerate() {
+        let slot = order.iter().position(|&o| o == c).expect("output index");
+        out_index_strides[slot] += out_strides[pos];
+    }
+
+    let total: usize = dims.iter().product::<usize>().max(1);
+    let mut idx = vec![0usize; order.len()];
+    for _ in 0..total {
+        let mut product = 1.0f32;
+        for (t, strides) in operands.iter().zip(&op_strides) {
+            let mut off = 0;
+            for (slot, &i) in idx.iter().enumerate() {
+                off += i * strides[slot];
+            }
+            product *= t.data()[off];
+        }
+        let mut out_off = 0;
+        for (slot, &i) in idx.iter().enumerate() {
+            out_off += i * out_index_strides[slot];
+        }
+        out.data_mut()[out_off] += product;
+
+        // Odometer increment.
+        for d in (0..idx.len()).rev() {
+            idx[d] += 1;
+            if idx[d] < dims[d] {
+                break;
+            }
+            idx[d] = 0;
+        }
+    }
+    Ok(out)
+}
+
+/// Parses and executes `spec` over `operands`.
+///
+/// # Errors
+///
+/// Returns an [`EinsumError`] on malformed specs or shape conflicts.
+///
+/// # Examples
+///
+/// ```
+/// use syno_tensor::{einsum, Tensor};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+/// let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]);
+/// let c = einsum("ij,jk->ik", &[&a, &b])?;
+/// assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn einsum(spec: &str, operands: &[&Tensor]) -> Result<Tensor, EinsumError> {
+    einsum_spec(&EinsumSpec::parse(spec)?, operands)
+}
+
+/// Matrix multiplication `[m,k]·[k,n] → [m,n]` via einsum.
+///
+/// # Panics
+///
+/// Panics on rank/shape mismatch.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    einsum("mk,kn->mn", &[a, b]).expect("matmul shapes validated by einsum")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iota(shape: &[usize]) -> Tensor {
+        let n: usize = shape.iter().product();
+        Tensor::from_vec((0..n).map(|i| i as f32).collect(), shape)
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        let s = EinsumSpec::parse("nck,dck->ndk").unwrap();
+        assert_eq!(s.inputs.len(), 2);
+        assert_eq!(s.output, vec!['n', 'd', 'k']);
+        assert_eq!(s.render(), "nck,dck->ndk");
+        assert!(EinsumSpec::parse("nck,dck").is_err());
+    }
+
+    #[test]
+    fn matmul_agrees_with_manual() {
+        let a = iota(&[2, 3]);
+        let b = iota(&[3, 2]);
+        let c = matmul(&a, &b);
+        // [[0,1,2],[3,4,5]] @ [[0,1],[2,3],[4,5]]
+        assert_eq!(c.data(), &[10.0, 13.0, 28.0, 40.0]);
+    }
+
+    #[test]
+    fn trace_and_diagonal() {
+        let a = iota(&[3, 3]);
+        let tr = einsum("ii->", &[&a]).unwrap();
+        assert_eq!(tr.data(), &[0.0 + 4.0 + 8.0]);
+        let diag = einsum("ii->i", &[&a]).unwrap();
+        assert_eq!(diag.data(), &[0.0, 4.0, 8.0]);
+    }
+
+    #[test]
+    fn outer_product() {
+        let a = iota(&[2]);
+        let b = iota(&[3]);
+        let o = einsum("i,j->ij", &[&a, &b]).unwrap();
+        assert_eq!(o.shape(), &[2, 3]);
+        assert_eq!(o.get(&[1, 2]), 2.0);
+    }
+
+    #[test]
+    fn three_operand_contraction() {
+        let a = iota(&[2, 3]);
+        let b = iota(&[3, 2]);
+        let c = iota(&[2, 2]);
+        let direct = einsum("ij,jk,kl->il", &[&a, &b, &c]).unwrap();
+        let paired = matmul(&matmul(&a, &b), &c);
+        assert!(direct.allclose(&paired, 1e-4));
+    }
+
+    #[test]
+    fn sum_reduction() {
+        let a = iota(&[2, 3]);
+        let s = einsum("ij->i", &[&a]).unwrap();
+        assert_eq!(s.data(), &[3.0, 12.0]);
+        let total = einsum("ij->", &[&a]).unwrap();
+        assert_eq!(total.data(), &[15.0]);
+    }
+
+    #[test]
+    fn elementwise_share_semantics() {
+        // The Share primitive: out[i] = x[i] * w[i].
+        let x = iota(&[4]);
+        let w = Tensor::from_vec(vec![2.0, 2.0, 2.0, 2.0], &[4]);
+        let out = einsum("i,i->i", &[&x, &w]).unwrap();
+        assert_eq!(out.data(), &[0.0, 2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn broadcast_via_missing_output_index() {
+        // "nchw,dc->ndhw": channel contraction keeping spatial dims — the
+        // pointwise-convolution einsum from Listing 2.
+        let x = iota(&[1, 2, 2, 2]);
+        let w = iota(&[3, 2]);
+        let y = einsum("nchw,dc->ndhw", &[&x, &w]).unwrap();
+        assert_eq!(y.shape(), &[1, 3, 2, 2]);
+        // y[0,d,h,w] = sum_c x[0,c,h,w]*w[d,c]
+        let expect = x.get(&[0, 0, 1, 1]) * w.get(&[1, 0]) + x.get(&[0, 1, 1, 1]) * w.get(&[1, 1]);
+        assert_eq!(y.get(&[0, 1, 1, 1]), expect);
+    }
+
+    #[test]
+    fn extent_mismatch_rejected() {
+        let a = iota(&[2, 3]);
+        let b = iota(&[4, 2]);
+        assert_eq!(
+            einsum("ij,jk->ik", &[&a, &b]).unwrap_err(),
+            EinsumError::ExtentMismatch('j')
+        );
+    }
+
+    #[test]
+    fn unbound_output_rejected() {
+        let a = iota(&[2]);
+        assert_eq!(
+            einsum("i->ij", &[&a]).unwrap_err(),
+            EinsumError::UnboundOutput('j')
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! Seeded random tensor initialization.
+//!
+//! Everything in the reproduction is deterministic under a seed; these
+//! helpers are the only entry points for randomness in the tensor runtime.
+
+use crate::tensor::Tensor;
+use rand::Rng;
+
+/// Uniform samples in `[lo, hi)`.
+pub fn uniform<R: Rng + ?Sized>(rng: &mut R, shape: &[usize], lo: f32, hi: f32) -> Tensor {
+    let n: usize = shape.iter().product();
+    Tensor::from_vec(
+        (0..n).map(|_| rng.random_range(lo..hi)).collect(),
+        shape,
+    )
+}
+
+/// Approximately standard-normal samples (Irwin–Hall sum of 12 uniforms).
+pub fn randn<R: Rng + ?Sized>(rng: &mut R, shape: &[usize], std: f32) -> Tensor {
+    let n: usize = shape.iter().product();
+    Tensor::from_vec(
+        (0..n)
+            .map(|_| {
+                let s: f32 = (0..12).map(|_| rng.random::<f32>()).sum::<f32>() - 6.0;
+                s * std
+            })
+            .collect(),
+        shape,
+    )
+}
+
+/// Kaiming/He-style fan-in initialization for a weight of the given shape,
+/// treating the first dimension as the output dimension.
+pub fn kaiming<R: Rng + ?Sized>(rng: &mut R, shape: &[usize]) -> Tensor {
+    let fan_in: usize = shape.iter().skip(1).product::<usize>().max(1);
+    let std = (2.0 / fan_in as f32).sqrt();
+    randn(rng, shape, std)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_in_range() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let t = uniform(&mut rng, &[100], -1.0, 1.0);
+        assert!(t.data().iter().all(|&x| (-1.0..1.0).contains(&x)));
+    }
+
+    #[test]
+    fn randn_has_sane_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = randn(&mut rng, &[4000], 1.0);
+        let mean = t.mean_all();
+        let var = t.map(|x| x * x).mean_all() - mean * mean;
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn kaiming_scales_with_fan_in() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let wide = kaiming(&mut rng, &[8, 1000]);
+        let narrow = kaiming(&mut rng, &[8, 10]);
+        let vw = wide.map(|x| x * x).mean_all();
+        let vn = narrow.map(|x| x * x).mean_all();
+        assert!(vw < vn, "wider fan-in must shrink variance");
+    }
+
+    #[test]
+    fn seeded_reproducibility() {
+        let a = uniform(&mut StdRng::seed_from_u64(7), &[16], 0.0, 1.0);
+        let b = uniform(&mut StdRng::seed_from_u64(7), &[16], 0.0, 1.0);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,522 @@
+//! Structural tensor operations mirroring the top-down semantics of the Syno
+//! primitives (Table 1), plus the reductions and axis manipulations the
+//! neural-network substrate needs.
+//!
+//! | Syno primitive (top-down) | Tensor op here |
+//! |---------------------------|----------------|
+//! | `Merge`  — flatten two dims        | [`reshape`] |
+//! | `Split`  — partition into blocks   | [`reshape`] |
+//! | `Shift`  — rotate a dimension      | [`roll`] |
+//! | `Unfold` — sliding windows         | [`unfold`] (zero-padded) |
+//! | `Expand` — repeat                  | [`repeat`] |
+//! | `Stride` — strided access          | [`strided`] |
+//! | `Reduce` — sum a dimension         | [`sum_axis`] |
+//! | `Share`  — weight product          | [`crate::einsum`] |
+
+use crate::tensor::Tensor;
+
+/// Reinterprets the buffer under a new shape of equal element count.
+///
+/// # Panics
+///
+/// Panics when element counts differ.
+pub fn reshape(t: &Tensor, shape: &[usize]) -> Tensor {
+    let numel: usize = shape.iter().product();
+    assert_eq!(t.numel(), numel, "reshape element-count mismatch");
+    Tensor::from_vec(t.data().to_vec(), shape)
+}
+
+/// Permutes axes: `out[i_perm[0], …] = in[i_0, …]`, i.e. axis `d` of the
+/// output is axis `perm[d]` of the input.
+///
+/// # Panics
+///
+/// Panics when `perm` is not a permutation of `0..rank`.
+pub fn permute(t: &Tensor, perm: &[usize]) -> Tensor {
+    assert_eq!(perm.len(), t.rank(), "permutation rank mismatch");
+    let mut seen = vec![false; perm.len()];
+    for &p in perm {
+        assert!(p < perm.len() && !seen[p], "invalid permutation");
+        seen[p] = true;
+    }
+    let in_shape = t.shape();
+    let out_shape: Vec<usize> = perm.iter().map(|&p| in_shape[p]).collect();
+    let in_strides = Tensor::strides_of(in_shape);
+    let mut out = Tensor::zeros(&out_shape);
+    let out_strides = Tensor::strides_of(&out_shape);
+    let numel = t.numel();
+    let data = t.data();
+    let out_data = out.data_mut();
+    for (flat, item) in out_data.iter_mut().enumerate().take(numel) {
+        // Decode output index, map through perm, encode input offset.
+        let mut in_off = 0;
+        for d in 0..perm.len() {
+            let coord = (flat / out_strides[d]) % out_shape[d];
+            in_off += coord * in_strides[perm[d]];
+        }
+        *item = data[in_off];
+    }
+    out
+}
+
+/// The inverse of a permutation.
+pub fn inverse_permutation(perm: &[usize]) -> Vec<usize> {
+    let mut inv = vec![0usize; perm.len()];
+    for (i, &p) in perm.iter().enumerate() {
+        inv[p] = i;
+    }
+    inv
+}
+
+/// Rotates axis `axis` by `amount`: `out[i] = in[(i + amount) mod n]` —
+/// the top-down semantics of `Shift` (with `amount = 1`).
+///
+/// # Panics
+///
+/// Panics when `axis` is out of range.
+pub fn roll(t: &Tensor, axis: usize, amount: i64) -> Tensor {
+    assert!(axis < t.rank(), "axis out of range");
+    let shape = t.shape().to_vec();
+    let n = shape[axis] as i64;
+    let strides = Tensor::strides_of(&shape);
+    let mut out = Tensor::zeros(&shape);
+    let data = t.data();
+    let out_data = out.data_mut();
+    for (flat, item) in out_data.iter_mut().enumerate() {
+        let coord = ((flat / strides[axis]) % shape[axis]) as i64;
+        let src = (coord + amount).rem_euclid(n) as usize;
+        let src_off = flat - (coord as usize) * strides[axis] + src * strides[axis];
+        *item = data[src_off];
+    }
+    out
+}
+
+/// Extracts sliding windows along `axis` with window size `k`, zero-padding
+/// out-of-range reads: the result gains a trailing axis of extent `k` with
+/// `out[..., i, ..., j] = in[..., i + j − k/2, ...]` — the top-down
+/// semantics of `Unfold`.
+///
+/// # Panics
+///
+/// Panics when `axis` is out of range or `k == 0`.
+pub fn unfold(t: &Tensor, axis: usize, k: usize) -> Tensor {
+    assert!(axis < t.rank(), "axis out of range");
+    assert!(k > 0, "window must be positive");
+    let in_shape = t.shape().to_vec();
+    let n = in_shape[axis] as i64;
+    let mut out_shape = in_shape.clone();
+    out_shape.push(k);
+    let in_strides = Tensor::strides_of(&in_shape);
+    let out_strides = Tensor::strides_of(&out_shape);
+    let mut out = Tensor::zeros(&out_shape);
+    let data = t.data();
+    let out_data = out.data_mut();
+    for (flat, item) in out_data.iter_mut().enumerate() {
+        let j = (flat / out_strides[in_shape.len()]) % k;
+        let i = (flat / out_strides[axis]) % in_shape[axis];
+        let src = i as i64 + j as i64 - (k / 2) as i64;
+        if src < 0 || src >= n {
+            continue; // zero padding
+        }
+        // Rebuild the input offset: all axes except the trailing window axis.
+        let mut in_off = 0;
+        for d in 0..in_shape.len() {
+            let coord = (flat / out_strides[d]) % out_shape[d];
+            let coord = if d == axis { src as usize } else { coord };
+            in_off += coord * in_strides[d];
+        }
+        *item = data[in_off];
+    }
+    out
+}
+
+/// Transpose of [`unfold`]: accumulates windows back onto the base axis
+/// (used by autodiff).
+///
+/// # Panics
+///
+/// Panics when `grad`'s trailing axis is not `k` or shapes mismatch.
+pub fn fold_acc(grad: &Tensor, axis: usize, k: usize, in_shape: &[usize]) -> Tensor {
+    assert_eq!(grad.rank(), in_shape.len() + 1, "fold rank mismatch");
+    assert_eq!(*grad.shape().last().unwrap(), k, "fold window mismatch");
+    let n = in_shape[axis] as i64;
+    let out_strides = Tensor::strides_of(grad.shape());
+    let in_strides = Tensor::strides_of(in_shape);
+    let mut out = Tensor::zeros(in_shape);
+    let out_shape = grad.shape().to_vec();
+    let data = grad.data();
+    for (flat, &g) in data.iter().enumerate() {
+        if g == 0.0 {
+            continue;
+        }
+        let j = (flat / out_strides[in_shape.len()]) % k;
+        let i = (flat / out_strides[axis]) % out_shape[axis];
+        let src = i as i64 + j as i64 - (k / 2) as i64;
+        if src < 0 || src >= n {
+            continue;
+        }
+        let mut in_off = 0;
+        for d in 0..in_shape.len() {
+            let coord = (flat / out_strides[d]) % out_shape[d];
+            let coord = if d == axis { src as usize } else { coord };
+            in_off += coord * in_strides[d];
+        }
+        out.data_mut()[in_off] += g;
+    }
+    out
+}
+
+/// Strided selection along `axis`: `out[..., i, ...] = in[..., s·i, ...]`
+/// with output extent `n / s` — the top-down semantics of `Stride`.
+///
+/// # Panics
+///
+/// Panics when `axis` is out of range or `s` does not divide the extent.
+pub fn strided(t: &Tensor, axis: usize, s: usize) -> Tensor {
+    assert!(axis < t.rank(), "axis out of range");
+    let in_shape = t.shape().to_vec();
+    assert!(s > 0 && in_shape[axis] % s == 0, "stride must divide extent");
+    let mut out_shape = in_shape.clone();
+    out_shape[axis] = in_shape[axis] / s;
+    let in_strides = Tensor::strides_of(&in_shape);
+    let out_strides = Tensor::strides_of(&out_shape);
+    let mut out = Tensor::zeros(&out_shape);
+    let data = t.data();
+    let out_data = out.data_mut();
+    for (flat, item) in out_data.iter_mut().enumerate() {
+        let mut in_off = 0;
+        for d in 0..in_shape.len() {
+            let coord = (flat / out_strides[d]) % out_shape[d];
+            let coord = if d == axis { coord * s } else { coord };
+            in_off += coord * in_strides[d];
+        }
+        *item = data[in_off];
+    }
+    out
+}
+
+/// Transpose of [`strided`]: scatters gradients to the multiples of `s`.
+pub fn strided_scatter(grad: &Tensor, axis: usize, s: usize, in_shape: &[usize]) -> Tensor {
+    let out_strides = Tensor::strides_of(grad.shape());
+    let in_strides = Tensor::strides_of(in_shape);
+    let mut out = Tensor::zeros(in_shape);
+    let grad_shape = grad.shape().to_vec();
+    for (flat, &g) in grad.data().iter().enumerate() {
+        let mut in_off = 0;
+        for d in 0..in_shape.len() {
+            let coord = (flat / out_strides[d]) % grad_shape[d];
+            let coord = if d == axis { coord * s } else { coord };
+            in_off += coord * in_strides[d];
+        }
+        out.data_mut()[in_off] += g;
+    }
+    out
+}
+
+/// Inserts a new axis of extent `times` at position `axis`, repeating the
+/// input — the top-down semantics of `Expand`.
+///
+/// # Panics
+///
+/// Panics when `axis > rank`.
+pub fn repeat(t: &Tensor, axis: usize, times: usize) -> Tensor {
+    assert!(axis <= t.rank(), "axis out of range");
+    let mut out_shape = t.shape().to_vec();
+    out_shape.insert(axis, times);
+    let in_strides = Tensor::strides_of(t.shape());
+    let out_strides = Tensor::strides_of(&out_shape);
+    let mut out = Tensor::zeros(&out_shape);
+    let data = t.data();
+    let out_data = out.data_mut();
+    for (flat, item) in out_data.iter_mut().enumerate() {
+        let mut in_off = 0;
+        let mut in_d = 0;
+        for d in 0..out_shape.len() {
+            if d == axis {
+                continue;
+            }
+            let coord = (flat / out_strides[d]) % out_shape[d];
+            in_off += coord * in_strides[in_d];
+            in_d += 1;
+        }
+        *item = data[in_off];
+    }
+    out
+}
+
+/// Sums over `axis`, removing it — the top-down semantics of `Reduce`.
+///
+/// # Panics
+///
+/// Panics when `axis` is out of range.
+pub fn sum_axis(t: &Tensor, axis: usize) -> Tensor {
+    assert!(axis < t.rank(), "axis out of range");
+    let in_shape = t.shape().to_vec();
+    let mut out_shape = in_shape.clone();
+    out_shape.remove(axis);
+    let in_strides = Tensor::strides_of(&in_shape);
+    let out_strides = Tensor::strides_of(&out_shape);
+    let mut out = Tensor::zeros(&out_shape);
+    for (flat, &v) in t.data().iter().enumerate() {
+        let mut out_off = 0;
+        let mut out_d = 0;
+        for d in 0..in_shape.len() {
+            if d == axis {
+                continue;
+            }
+            let coord = (flat / in_strides[d]) % in_shape[d];
+            out_off += coord * out_strides[out_d];
+            out_d += 1;
+        }
+        out.data_mut()[out_off] += v;
+    }
+    out
+}
+
+/// Mean over `axis`.
+///
+/// # Panics
+///
+/// Panics when `axis` is out of range.
+pub fn mean_axis(t: &Tensor, axis: usize) -> Tensor {
+    let n = t.shape()[axis] as f32;
+    sum_axis(t, axis).scale(1.0 / n)
+}
+
+/// Softmax over the last axis (numerically stabilized).
+///
+/// # Panics
+///
+/// Panics on rank-0 input.
+pub fn softmax_last(t: &Tensor) -> Tensor {
+    assert!(t.rank() >= 1, "softmax needs rank >= 1");
+    let last = *t.shape().last().unwrap();
+    let rows = t.numel() / last;
+    let mut out = t.clone();
+    let data = out.data_mut();
+    for r in 0..rows {
+        let row = &mut data[r * last..(r + 1) * last];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+    out
+}
+
+/// Slices `[start, start+len)` along `axis`.
+///
+/// # Panics
+///
+/// Panics when the range exceeds the extent.
+pub fn slice(t: &Tensor, axis: usize, start: usize, len: usize) -> Tensor {
+    assert!(axis < t.rank(), "axis out of range");
+    let in_shape = t.shape().to_vec();
+    assert!(start + len <= in_shape[axis], "slice out of range");
+    let mut out_shape = in_shape.clone();
+    out_shape[axis] = len;
+    let in_strides = Tensor::strides_of(&in_shape);
+    let out_strides = Tensor::strides_of(&out_shape);
+    let mut out = Tensor::zeros(&out_shape);
+    let data = t.data();
+    let out_data = out.data_mut();
+    for (flat, item) in out_data.iter_mut().enumerate() {
+        let mut in_off = 0;
+        for d in 0..in_shape.len() {
+            let coord = (flat / out_strides[d]) % out_shape[d];
+            let coord = if d == axis { coord + start } else { coord };
+            in_off += coord * in_strides[d];
+        }
+        *item = data[in_off];
+    }
+    out
+}
+
+/// Concatenates tensors along `axis`.
+///
+/// # Panics
+///
+/// Panics when shapes disagree off-axis or the list is empty.
+pub fn concat(tensors: &[&Tensor], axis: usize) -> Tensor {
+    assert!(!tensors.is_empty(), "concat of nothing");
+    let first = tensors[0].shape().to_vec();
+    let mut total = 0;
+    for t in tensors {
+        assert_eq!(t.rank(), first.len(), "concat rank mismatch");
+        for d in 0..first.len() {
+            if d != axis {
+                assert_eq!(t.shape()[d], first[d], "concat off-axis mismatch");
+            }
+        }
+        total += t.shape()[axis];
+    }
+    let mut out_shape = first.clone();
+    out_shape[axis] = total;
+    let out_strides = Tensor::strides_of(&out_shape);
+    let mut out = Tensor::zeros(&out_shape);
+    let mut base = 0usize;
+    for t in tensors {
+        let in_shape = t.shape().to_vec();
+        let in_strides = Tensor::strides_of(&in_shape);
+        for (flat, &v) in t.data().iter().enumerate() {
+            let mut out_off = 0;
+            for d in 0..in_shape.len() {
+                let coord = (flat / in_strides[d]) % in_shape[d];
+                let coord = if d == axis { coord + base } else { coord };
+                out_off += coord * out_strides[d];
+            }
+            out.data_mut()[out_off] = v;
+        }
+        base += t.shape()[axis];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iota(shape: &[usize]) -> Tensor {
+        let n: usize = shape.iter().product();
+        Tensor::from_vec((0..n).map(|i| i as f32).collect(), shape)
+    }
+
+    #[test]
+    fn reshape_preserves_order() {
+        let t = iota(&[2, 3]);
+        let r = reshape(&t, &[3, 2]);
+        assert_eq!(r.data(), t.data());
+        assert_eq!(r.shape(), &[3, 2]);
+    }
+
+    #[test]
+    fn permute_transposes() {
+        let t = iota(&[2, 3]);
+        let p = permute(&t, &[1, 0]);
+        assert_eq!(p.shape(), &[3, 2]);
+        assert_eq!(p.get(&[0, 1]), t.get(&[1, 0]));
+        assert_eq!(p.get(&[2, 0]), t.get(&[0, 2]));
+        // Inverse round-trips.
+        let back = permute(&p, &inverse_permutation(&[1, 0]));
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn permute_3d() {
+        let t = iota(&[2, 3, 4]);
+        let p = permute(&t, &[2, 0, 1]);
+        assert_eq!(p.shape(), &[4, 2, 3]);
+        assert_eq!(p.get(&[3, 1, 2]), t.get(&[1, 2, 3]));
+        let back = permute(&p, &inverse_permutation(&[2, 0, 1]));
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn roll_wraps() {
+        let t = iota(&[4]);
+        let r = roll(&t, 0, 1); // out[i] = in[(i+1)%4]
+        assert_eq!(r.data(), &[1.0, 2.0, 3.0, 0.0]);
+        let r2 = roll(&t, 0, -1);
+        assert_eq!(r2.data(), &[3.0, 0.0, 1.0, 2.0]);
+        assert_eq!(roll(&r, 0, -1), t);
+    }
+
+    #[test]
+    fn unfold_zero_pads() {
+        let t = iota(&[4]); // [0,1,2,3]
+        let u = unfold(&t, 0, 3); // out[i,j] = in[i+j-1]
+        assert_eq!(u.shape(), &[4, 3]);
+        assert_eq!(u.get(&[0, 0]), 0.0); // in[-1] clipped
+        assert_eq!(u.get(&[0, 1]), 0.0); // in[0]
+        assert_eq!(u.get(&[0, 2]), 1.0);
+        assert_eq!(u.get(&[3, 1]), 3.0);
+        assert_eq!(u.get(&[3, 2]), 0.0); // in[4] clipped
+    }
+
+    #[test]
+    fn unfold_middle_axis() {
+        let t = iota(&[2, 3]);
+        let u = unfold(&t, 1, 3);
+        assert_eq!(u.shape(), &[2, 3, 3]);
+        assert_eq!(u.get(&[1, 1, 0]), t.get(&[1, 0]));
+        assert_eq!(u.get(&[1, 1, 1]), t.get(&[1, 1]));
+        assert_eq!(u.get(&[1, 2, 2]), 0.0); // clip
+    }
+
+    #[test]
+    fn fold_is_unfold_transpose() {
+        // <unfold(x), g> == <x, fold(g)> — adjointness on random data.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = Tensor::from_vec((0..6).map(|_| rng.random::<f32>()).collect(), &[6]);
+        let g = Tensor::from_vec((0..18).map(|_| rng.random::<f32>()).collect(), &[6, 3]);
+        let ux = unfold(&x, 0, 3);
+        let lhs: f32 = ux.mul(&g).sum_all();
+        let fg = fold_acc(&g, 0, 3, &[6]);
+        let rhs: f32 = x.mul(&fg).sum_all();
+        assert!((lhs - rhs).abs() < 1e-4);
+    }
+
+    #[test]
+    fn strided_selects_multiples() {
+        let t = iota(&[6]);
+        let s = strided(&t, 0, 2);
+        assert_eq!(s.data(), &[0.0, 2.0, 4.0]);
+        let g = Tensor::ones(&[3]);
+        let back = strided_scatter(&g, 0, 2, &[6]);
+        assert_eq!(back.data(), &[1.0, 0.0, 1.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn repeat_inserts_axis() {
+        let t = iota(&[2]);
+        let r = repeat(&t, 0, 3);
+        assert_eq!(r.shape(), &[3, 2]);
+        for i in 0..3 {
+            assert_eq!(r.get(&[i, 0]), 0.0);
+            assert_eq!(r.get(&[i, 1]), 1.0);
+        }
+        let r2 = repeat(&t, 1, 3);
+        assert_eq!(r2.shape(), &[2, 3]);
+        assert_eq!(r2.get(&[1, 2]), 1.0);
+    }
+
+    #[test]
+    fn sum_axis_matches_manual() {
+        let t = iota(&[2, 3]);
+        let s0 = sum_axis(&t, 0);
+        assert_eq!(s0.data(), &[3.0, 5.0, 7.0]);
+        let s1 = sum_axis(&t, 1);
+        assert_eq!(s1.data(), &[3.0, 12.0]);
+        let m = mean_axis(&t, 1);
+        assert_eq!(m.data(), &[1.0, 4.0]);
+    }
+
+    #[test]
+    fn softmax_rows_normalize() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 1.0, 1.0, 1.0], &[2, 3]);
+        let s = softmax_last(&t);
+        let row0: f32 = s.data()[0..3].iter().sum();
+        let row1: f32 = s.data()[3..6].iter().sum();
+        assert!((row0 - 1.0).abs() < 1e-6);
+        assert!((row1 - 1.0).abs() < 1e-6);
+        assert!((s.get(&[1, 0]) - 1.0 / 3.0).abs() < 1e-6);
+        assert!(s.get(&[0, 2]) > s.get(&[0, 1]));
+    }
+
+    #[test]
+    fn slice_and_concat_round_trip() {
+        let t = iota(&[2, 4]);
+        let a = slice(&t, 1, 0, 2);
+        let b = slice(&t, 1, 2, 2);
+        assert_eq!(concat(&[&a, &b], 1), t);
+        assert_eq!(a.get(&[1, 1]), t.get(&[1, 1]));
+        assert_eq!(b.get(&[1, 0]), t.get(&[1, 2]));
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests over the tensor runtime: structural-op round trips,
+//! einsum laws, and adjointness of the view operations' backward passes.
+
+use proptest::prelude::*;
+use syno_tensor::{einsum, ops, Tensor};
+
+fn tensor_2d() -> impl Strategy<Value = Tensor> {
+    (1usize..5, 1usize..5).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-10.0f32..10.0, r * c)
+            .prop_map(move |data| Tensor::from_vec(data, &[r, c]))
+    })
+}
+
+proptest! {
+    #[test]
+    fn permute_round_trips(t in tensor_2d()) {
+        let p = ops::permute(&t, &[1, 0]);
+        let back = ops::permute(&p, &[1, 0]);
+        prop_assert_eq!(back, t);
+    }
+
+    #[test]
+    fn reshape_preserves_sum(t in tensor_2d()) {
+        let n = t.numel();
+        let flat = ops::reshape(&t, &[n]);
+        prop_assert!((flat.sum_all() - t.sum_all()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn roll_is_cyclic(t in tensor_2d()) {
+        let rows = t.shape()[0] as i64;
+        let r = ops::roll(&t, 0, rows);
+        prop_assert_eq!(r, t);
+    }
+
+    #[test]
+    fn einsum_matmul_matches_manual(a in tensor_2d(), b in tensor_2d()) {
+        // Make shapes compatible by construction.
+        let (m, k1) = (a.shape()[0], a.shape()[1]);
+        let k2 = b.shape()[0];
+        if k1 != k2 { return Ok(()); }
+        let n = b.shape()[1];
+        let c = einsum("mk,kn->mn", &[&a, &b]).unwrap();
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for kk in 0..k1 {
+                    acc += a.get(&[i, kk]) * b.get(&[kk, j]);
+                }
+                prop_assert!((c.get(&[i, j]) - acc).abs() < 1e-2);
+            }
+        }
+    }
+
+    #[test]
+    fn einsum_is_linear_in_each_operand(a in tensor_2d()) {
+        let scaled = a.scale(3.0);
+        let ones = Tensor::ones(&[a.shape()[1]]);
+        let y1 = einsum("mk,k->m", &[&a, &ones]).unwrap();
+        let y3 = einsum("mk,k->m", &[&scaled, &ones]).unwrap();
+        prop_assert!(y1.scale(3.0).allclose(&y3, 1e-3));
+    }
+
+    #[test]
+    fn unfold_fold_adjoint(t in tensor_2d()) {
+        // <unfold(x), g> == <x, fold(g)> for random g.
+        let u = ops::unfold(&t, 1, 3);
+        let g = Tensor::ones(u.shape());
+        let lhs = u.mul(&g).sum_all();
+        let folded = ops::fold_acc(&g, 1, 3, t.shape());
+        let rhs = t.mul(&folded).sum_all();
+        prop_assert!((lhs - rhs).abs() < 1e-2, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(t in tensor_2d()) {
+        let s = ops::softmax_last(&t);
+        let rows = t.shape()[0];
+        let cols = t.shape()[1];
+        for r in 0..rows {
+            let mut sum = 0.0;
+            for c in 0..cols {
+                let v = s.get(&[r, c]);
+                prop_assert!((0.0..=1.0 + 1e-5).contains(&v));
+                sum += v;
+            }
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn sum_axis_agrees_with_total(t in tensor_2d()) {
+        let s0 = ops::sum_axis(&t, 0).sum_all();
+        let s1 = ops::sum_axis(&t, 1).sum_all();
+        prop_assert!((s0 - t.sum_all()).abs() < 1e-2);
+        prop_assert!((s1 - t.sum_all()).abs() < 1e-2);
+    }
+}

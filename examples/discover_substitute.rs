@@ -1,0 +1,50 @@
+//! Discover convolution substitutes with MCTS, score them with the
+//! accuracy proxy, and price them on three devices — the full Algorithm 1
+//! pipeline at toy scale.
+//!
+//! Run with: `cargo run --release --example discover_substitute`
+
+use std::sync::Arc;
+use syno::compiler::{CompilerKind, Device};
+use syno::core::prelude::*;
+use syno::nn::{ProxyConfig, TrainConfig};
+use syno::search::{search_substitutions, MctsConfig, SearchSettings};
+
+fn main() {
+    let mut vars = VarTable::new();
+    let n = vars.declare("N", VarKind::Primary);
+    let cin = vars.declare("Cin", VarKind::Primary);
+    let cout = vars.declare("Cout", VarKind::Primary);
+    let h = vars.declare("H", VarKind::Primary);
+    let w = vars.declare("W", VarKind::Primary);
+    let k = vars.declare("k", VarKind::Coefficient);
+    vars.push_valuation(vec![(n, 8), (cin, 4), (cout, 8), (h, 8), (w, 8), (k, 3)]);
+    let vars = vars.into_shared();
+    let spec = OperatorSpec::new(
+        TensorShape::new(vec![Size::var(n), Size::var(cin), Size::var(h), Size::var(w)]),
+        TensorShape::new(vec![Size::var(n), Size::var(cout), Size::var(h), Size::var(w)]),
+    );
+
+    let settings = SearchSettings {
+        synth: SynthConfig::auto(&vars, 4),
+        mcts: MctsConfig { iterations: 40, seed: 1, ..MctsConfig::default() },
+        proxy: ProxyConfig {
+            train: TrainConfig { steps: 15, batch: 8, eval_batches: 2, ..TrainConfig::default() },
+            ..ProxyConfig::default()
+        },
+        devices: Device::all(),
+        compiler: CompilerKind::Tvm,
+        workers: 4,
+    };
+    let candidates = search_substitutions(&vars, &spec, &settings);
+    println!("discovered {} candidate operators", candidates.len());
+    println!("{:<6} {:>9} {:>12} {:>10} {:>12} {:>12} {:>12}",
+        "rank", "accuracy", "flops", "params", "cpu(us)", "mgpu(us)", "a100(us)");
+    for (i, c) in candidates.iter().take(10).enumerate() {
+        println!(
+            "{:<6} {:>9.3} {:>12} {:>10} {:>12.1} {:>12.1} {:>12.1}",
+            i + 1, c.accuracy, c.flops, c.params,
+            c.latencies[0] * 1e6, c.latencies[1] * 1e6, c.latencies[2] * 1e6
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! Quickstart: synthesize pooling-like operators for `[H] -> [H/s]`,
+//! then execute the best one on real data through both code generators.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use std::sync::Arc;
+use syno::core::prelude::*;
+use syno::ir::{eager, lower_optimized};
+use syno::tensor::Tensor;
+
+fn main() {
+    // 1. Declare symbolic shapes with one concrete valuation.
+    let mut vars = VarTable::new();
+    let h = vars.declare("H", VarKind::Primary);
+    let s = vars.declare("s", VarKind::Coefficient);
+    vars.push_valuation(vec![(h, 16), (s, 2)]);
+    let vars = vars.into_shared();
+
+    // 2. Ask for operators mapping [H] to [H/s].
+    let spec = OperatorSpec::new(
+        TensorShape::new(vec![Size::var(h)]),
+        TensorShape::new(vec![Size::var(h).div(&Size::var(s))]),
+    );
+
+    // 3. Enumerate every canonical operator of at most 3 primitives
+    //    (Algorithm 1 with shape-distance pruning).
+    let enumerator = Enumerator::new(SynthConfig::auto(&vars, 3));
+    let (found, stats) = enumerator.enumerate(&vars, &spec);
+    println!("found {} operators ({stats:?})", found.len());
+
+    // 4. Execute the first discovery on concrete data with both backends.
+    let graph = &found[0];
+    println!("operator:\n{}", graph.render());
+    let x = Tensor::from_vec((0..16).map(|v| v as f32).collect(), &[16]);
+    let weights: Vec<Tensor> = eager::weight_shapes(graph, 0)
+        .expect("weight shapes")
+        .iter()
+        .map(|shape| Tensor::ones(shape))
+        .collect();
+    let eager_out = eager::execute(graph, 0, &x, &weights).expect("eager executes");
+    let kernel = lower_optimized(graph, 0).expect("lowers");
+    let kernel_out = kernel.execute(&x, &weights);
+    assert!(eager_out.allclose(&kernel_out, 1e-4));
+    println!("output: {:?}", eager_out.data());
+    println!("both code generators agree; kernel flops = {}", kernel.flops());
+}

@@ -1,0 +1,24 @@
+//! # syno — a Rust reproduction of *Syno: Structured Synthesis for Neural Operators* (ASPLOS 2025)
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | crate | contents |
+//! |-------|----------|
+//! | [`core`] | primitives, pGraphs, canonicalization, shape distance, synthesis (§5–§7) |
+//! | [`tensor`] | dense f32 runtime, einsum, autodiff (PyTorch substitute) |
+//! | [`ir`] | loop-nest IR, materialized reduction, eager + interpreter backends (§8) |
+//! | [`compiler`] | device models and the TVM-/TorchInductor-style compiler simulators (§9.1) |
+//! | [`nn`] | training substrate, synthetic datasets, accuracy/perplexity proxies |
+//! | [`search`] | MCTS over partial pGraphs and the Algorithm 1 orchestration (§7.2) |
+//! | [`models`] | backbone layer tables, NAS-PTE baselines, Operators 1 & 2 (§9) |
+//!
+//! See `examples/quickstart.rs` for a five-minute tour, DESIGN.md for the
+//! system inventory, and EXPERIMENTS.md for the paper-vs-measured record.
+
+pub use syno_compiler as compiler;
+pub use syno_core as core;
+pub use syno_ir as ir;
+pub use syno_models as models;
+pub use syno_nn as nn;
+pub use syno_search as search;
+pub use syno_tensor as tensor;

@@ -1,0 +1,63 @@
+//! The whole Algorithm 1 pipeline across crates: synthesize, train the
+//! proxy, and price the candidates — plus the canonicalization and
+//! shape-distance machinery exercised through the public facade.
+
+use std::sync::Arc;
+use syno::compiler::{CompilerKind, Device};
+use syno::core::prelude::*;
+use syno::nn::{ProxyConfig, TrainConfig};
+use syno::search::{search_substitutions, MctsConfig, SearchSettings};
+
+#[test]
+fn search_pipeline_discovers_priced_candidates() {
+    let mut vars = VarTable::new();
+    let n = vars.declare("N", VarKind::Primary);
+    let cin = vars.declare("Cin", VarKind::Primary);
+    let cout = vars.declare("Cout", VarKind::Primary);
+    let h = vars.declare("H", VarKind::Primary);
+    let w = vars.declare("W", VarKind::Primary);
+    let k = vars.declare("k", VarKind::Coefficient);
+    vars.push_valuation(vec![(n, 8), (cin, 4), (cout, 8), (h, 8), (w, 8), (k, 3)]);
+    let vars = vars.into_shared();
+    let spec = OperatorSpec::new(
+        TensorShape::new(vec![Size::var(n), Size::var(cin), Size::var(h), Size::var(w)]),
+        TensorShape::new(vec![Size::var(n), Size::var(cout), Size::var(h), Size::var(w)]),
+    );
+    let settings = SearchSettings {
+        synth: SynthConfig::auto(&vars, 4),
+        mcts: MctsConfig { iterations: 10, seed: 3, ..MctsConfig::default() },
+        proxy: ProxyConfig {
+            train: TrainConfig { steps: 5, batch: 8, eval_batches: 1, ..TrainConfig::default() },
+            ..ProxyConfig::default()
+        },
+        devices: vec![Device::mobile_cpu()],
+        compiler: CompilerKind::Tvm,
+        workers: 2,
+    };
+    let candidates = search_substitutions(&vars, &spec, &settings);
+    assert!(!candidates.is_empty());
+    for c in &candidates {
+        assert!(c.graph.is_complete());
+        assert!(c.latencies[0].is_finite());
+    }
+}
+
+#[test]
+fn flops_budget_is_a_hard_ceiling() {
+    // §7.2: FLOPs are a hard limit, not part of the reward.
+    let mut vars = VarTable::new();
+    let h = vars.declare("H", VarKind::Primary);
+    let s = vars.declare("s", VarKind::Coefficient);
+    vars.push_valuation(vec![(h, 16), (s, 2)]);
+    let vars = vars.into_shared();
+    let spec = OperatorSpec::new(
+        TensorShape::new(vec![Size::var(h)]),
+        TensorShape::new(vec![Size::var(h).div(&Size::var(s))]),
+    );
+    let mut config = SynthConfig::auto(&vars, 3);
+    config.max_flops = Some(8); // nothing real fits
+    let enumerator = Enumerator::new(config);
+    let (results, stats) = enumerator.enumerate(&vars, &spec);
+    assert!(results.is_empty());
+    assert!(stats.expanded > 0);
+}

@@ -1,0 +1,32 @@
+//! Smoke tests over the figure pipelines through the bench crate: the
+//! qualitative shapes the paper reports must hold end to end.
+
+use syno_bench::{fig5::fig5_data, fig5::geomean_speedup, table3::table3_data};
+
+#[test]
+fn fig5_preserves_paper_shape() {
+    let rows = fig5_data();
+    // Syno wins on average with TVM on every platform (paper: 2.06x, 1.72x,
+    // 1.47x) — the reproduction target is the ordering, not the numbers.
+    for device in ["mobile-cpu", "mobile-gpu", "a100"] {
+        assert!(geomean_speedup(&rows, device, "TVM") > 1.0, "{device}");
+    }
+    // And mobile-CPU TVM gains exceed A100 TVM gains, as in the paper.
+    assert!(
+        geomean_speedup(&rows, "mobile-cpu", "TVM")
+            > geomean_speedup(&rows, "a100", "TVM")
+    );
+}
+
+#[test]
+fn table3_redundancy_is_massive() {
+    let rows = table3_data(1500, 8, 9);
+    let sampled: u64 = rows.iter().map(|r| r.sampled).sum();
+    let canonical: u64 = rows.iter().map(|r| r.canonical).sum();
+    assert!(sampled > 1000);
+    // Paper: 6452 samples, 86 canonical (75x). Require at least 5x here.
+    assert!(
+        canonical * 5 < sampled,
+        "canonicalization must cut heavily: {canonical}/{sampled}"
+    );
+}
