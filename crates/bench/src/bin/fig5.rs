@@ -4,7 +4,7 @@ use syno_bench::fig5::{fig5_data, geomean_speedup};
 fn main() {
     let rows = fig5_data();
     println!("# Figure 5 — end-to-end speedup of Syno-optimized models");
-    println!("{:<18} {:<11} {:<14} {:>12} {:>12} {:>8}  {}", "model", "device", "compiler", "baseline(ms)", "syno(ms)", "speedup", "winner");
+    println!("{:<18} {:<11} {:<14} {:>12} {:>12} {:>8}  winner", "model", "device", "compiler", "baseline(ms)", "syno(ms)", "speedup");
     for r in &rows {
         println!(
             "{:<18} {:<11} {:<14} {:>12.3} {:>12.3} {:>7.2}x  {}",

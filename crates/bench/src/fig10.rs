@@ -26,7 +26,7 @@ pub struct Fig10Data {
 /// pGraph: the §9.3 discovery ("constructs the original projections by
 /// groups, which allows the QKV matrices to learn from different features").
 pub fn grouped_projection(m: u64, k: u64, n: u64, g: u64) -> Option<PGraph> {
-    if k % g != 0 || n % g != 0 || k / g < 2 || n / g < 2 {
+    if !k.is_multiple_of(g) || !n.is_multiple_of(g) || k / g < 2 || n / g < 2 {
         return None;
     }
     let mut vars = VarTable::new();

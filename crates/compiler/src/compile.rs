@@ -198,6 +198,24 @@ pub fn compile(
     }
 }
 
+/// Profiles a pGraph and compiles it in one step, with unified errors.
+///
+/// This is the latency-tuning entry point of the `Session` pipeline:
+/// lowering failures surface as `SynoError::Lower` instead of a bare
+/// `LowerError`, so search orchestration can `?` across crates.
+pub fn profile_and_compile(
+    graph: &syno_core::graph::PGraph,
+    valuation: usize,
+    class: crate::profile::OperatorClass,
+    name: &str,
+    device: &Device,
+    kind: CompilerKind,
+    dtype: DType,
+) -> Result<Compiled, syno_core::error::SynoError> {
+    let profile = crate::profile::profile_graph(graph, valuation, class, name)?;
+    Ok(compile(&profile, device, kind, dtype))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

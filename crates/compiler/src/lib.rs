@@ -24,7 +24,9 @@ pub mod cost;
 pub mod device;
 pub mod profile;
 
-pub use compile::{compile, compile_template, compile_tuned, Compiled, CompilerKind, DType};
+pub use compile::{
+    compile, compile_template, compile_tuned, profile_and_compile, Compiled, CompilerKind, DType,
+};
 pub use cost::{stage_latency, Schedule};
 pub use device::{Device, DeviceKind};
 pub use profile::{eager_chain, profile_graph, OperatorClass, OperatorProfile, StageProfile};

@@ -1,0 +1,224 @@
+//! Workspace-wide structured errors.
+//!
+//! The seed reproduction reported failure through `Option`, `unwrap`, and
+//! ad-hoc per-crate enums. This module defines the shared [`SynoError`] that
+//! every public pipeline entry point now returns, plus the synthesis-local
+//! [`SynthError`] yielded by the resumable [`Synthesis`](crate::synth::Synthesis)
+//! driver.
+//!
+//! Layering: `syno-core` owns both types so every downstream crate can
+//! convert into them. Errors born in `syno-ir`, `syno-compiler`, and
+//! `syno-nn` keep their precise local enums (`LowerError`, `EagerError`, …)
+//! and gain `From` conversions into [`SynoError`] in their own crates, so a
+//! caller holding a `Result<_, SynoError>` can use `?` across crate
+//! boundaries without losing the failure stage.
+
+use crate::canon::CanonViolation;
+use crate::graph::ApplyError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the synthesis driver itself.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SynthError {
+    /// The configuration cannot drive a search (zero steps, empty budgets).
+    InvalidConfig(String),
+    /// The operator specification is malformed or does not evaluate under
+    /// the variable table's valuations.
+    InvalidSpec(String),
+    /// The `max_visits` safety valve tripped before the space was exhausted;
+    /// carries what had been explored so the caller can decide whether the
+    /// partial enumeration is usable.
+    VisitBudgetExhausted {
+        /// Partial states expanded before the cutoff.
+        visited: u64,
+        /// Complete operators already yielded.
+        found: usize,
+    },
+}
+
+impl fmt::Display for SynthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthError::InvalidConfig(why) => write!(f, "invalid synthesis config: {why}"),
+            SynthError::InvalidSpec(why) => write!(f, "invalid operator spec: {why}"),
+            SynthError::VisitBudgetExhausted { visited, found } => write!(
+                f,
+                "visit budget exhausted after {visited} states ({found} operators found)"
+            ),
+        }
+    }
+}
+
+impl Error for SynthError {}
+
+/// The unified error type of the workspace's public API.
+///
+/// Structured variants keep their originating payloads where the type lives
+/// in (or below) `syno-core`; failures from higher crates carry the stage
+/// and a rendered reason instead, which keeps this enum dependency-free.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SynoError {
+    /// Synthesis-driver failure.
+    Synth(SynthError),
+    /// A primitive application was rejected.
+    Apply(ApplyError),
+    /// An action violated the canonicalization rules.
+    Canon(CanonViolation),
+    /// A symbolic size or shape failed to evaluate under a valuation.
+    Eval {
+        /// What was being evaluated.
+        what: String,
+    },
+    /// Kernel lowering failed (from `syno-ir`'s `LowerError`).
+    Lower {
+        /// Rendered lowering error.
+        reason: String,
+    },
+    /// Eager realization failed (from `syno-ir`'s `EagerError`).
+    Eager {
+        /// Rendered eager-backend error.
+        reason: String,
+    },
+    /// Profiling or compilation failed (from `syno-compiler`).
+    Compile {
+        /// Rendered compiler error.
+        reason: String,
+    },
+    /// The accuracy proxy could not evaluate a candidate (from `syno-nn`).
+    Proxy {
+        /// Rendered proxy error.
+        reason: String,
+    },
+    /// The operation was cancelled through a `CancelToken`.
+    Cancelled,
+    /// A worker thread panicked; the run's remaining results were salvaged.
+    Worker {
+        /// Rendered panic payload.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SynoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynoError::Synth(e) => write!(f, "synthesis failed: {e}"),
+            SynoError::Apply(e) => write!(f, "primitive application rejected: {e}"),
+            SynoError::Canon(e) => write!(f, "uncanonical action: {e}"),
+            SynoError::Eval { what } => write!(f, "{what} does not evaluate under the valuation"),
+            SynoError::Lower { reason } => write!(f, "lowering failed: {reason}"),
+            SynoError::Eager { reason } => write!(f, "eager realization failed: {reason}"),
+            SynoError::Compile { reason } => write!(f, "compilation failed: {reason}"),
+            SynoError::Proxy { reason } => write!(f, "accuracy proxy failed: {reason}"),
+            SynoError::Cancelled => write!(f, "cancelled"),
+            SynoError::Worker { reason } => write!(f, "worker thread failed: {reason}"),
+        }
+    }
+}
+
+impl Error for SynoError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SynoError::Synth(e) => Some(e),
+            SynoError::Apply(e) => Some(e),
+            SynoError::Canon(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SynthError> for SynoError {
+    fn from(e: SynthError) -> Self {
+        SynoError::Synth(e)
+    }
+}
+
+impl From<ApplyError> for SynoError {
+    fn from(e: ApplyError) -> Self {
+        SynoError::Apply(e)
+    }
+}
+
+impl From<CanonViolation> for SynoError {
+    fn from(e: CanonViolation) -> Self {
+        SynoError::Canon(e)
+    }
+}
+
+impl SynoError {
+    /// An evaluation failure over `what`.
+    pub fn eval(what: impl Into<String>) -> Self {
+        SynoError::Eval { what: what.into() }
+    }
+
+    /// A lowering failure with a rendered reason.
+    pub fn lower(reason: impl fmt::Display) -> Self {
+        SynoError::Lower {
+            reason: reason.to_string(),
+        }
+    }
+
+    /// An eager-backend failure with a rendered reason.
+    pub fn eager(reason: impl fmt::Display) -> Self {
+        SynoError::Eager {
+            reason: reason.to_string(),
+        }
+    }
+
+    /// A compiler failure with a rendered reason.
+    pub fn compile(reason: impl fmt::Display) -> Self {
+        SynoError::Compile {
+            reason: reason.to_string(),
+        }
+    }
+
+    /// A proxy failure with a rendered reason.
+    pub fn proxy(reason: impl fmt::Display) -> Self {
+        SynoError::Proxy {
+            reason: reason.to_string(),
+        }
+    }
+
+    /// A worker-thread failure with a rendered reason.
+    pub fn worker(reason: impl fmt::Display) -> Self {
+        SynoError::Worker {
+            reason: reason.to_string(),
+        }
+    }
+
+    /// True when the error is the cooperative-cancellation sentinel.
+    pub fn is_cancelled(&self) -> bool {
+        matches!(self, SynoError::Cancelled)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_preserve_payloads() {
+        let e: SynoError = SynthError::InvalidConfig("no steps".into()).into();
+        assert!(matches!(e, SynoError::Synth(SynthError::InvalidConfig(_))));
+        let e: SynoError = ApplyError::NotDivisible.into();
+        assert!(matches!(e, SynoError::Apply(ApplyError::NotDivisible)));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = SynoError::from(SynthError::VisitBudgetExhausted {
+            visited: 10,
+            found: 2,
+        });
+        let s = e.to_string();
+        assert!(s.contains("10"), "{s}");
+        assert!(s.contains('2'), "{s}");
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SynoError>();
+        assert_send_sync::<SynthError>();
+    }
+}

@@ -51,6 +51,7 @@
 pub mod analysis;
 pub mod canon;
 pub mod distance;
+pub mod error;
 pub mod expr;
 pub mod graph;
 pub mod ops;
@@ -66,12 +67,15 @@ pub mod prelude {
     pub use crate::analysis;
     pub use crate::canon::{CanonRules, CanonViolation};
     pub use crate::distance::shape_distance;
+    pub use crate::error::{SynoError, SynthError};
     pub use crate::expr::{AtomId, AtomKind, ExprArena, ExprId, ExprNode};
     pub use crate::graph::{ApplyError, CoordId, NodeId, PGraph, WeightTensor};
     pub use crate::ops;
     pub use crate::primitive::{Action, PrimKind};
     pub use crate::size::Size;
     pub use crate::spec::{OperatorSpec, TensorShape};
-    pub use crate::synth::{rollout, EnumStats, Enumerator, RolloutResult, SynthConfig};
+    pub use crate::synth::{
+        rollout, EnumStats, Enumerator, RolloutResult, SynthConfig, SynthConfigBuilder, Synthesis,
+    };
     pub use crate::var::{VarId, VarKind, VarTable};
 }

@@ -208,7 +208,7 @@ impl Size {
                 }
             }
         }
-        if den == 0 || num % den != 0 {
+        if den == 0 || !num.is_multiple_of(den) {
             return None;
         }
         let q = num / den;

@@ -6,6 +6,7 @@
 //! backbone. Shapes are sequences of symbolic [`Size`]s over a shared
 //! [`VarTable`](crate::var::VarTable).
 
+use crate::error::SynthError;
 use crate::size::Size;
 use crate::var::VarTable;
 use std::fmt;
@@ -115,6 +116,24 @@ impl OperatorSpec {
     /// `true` when both shapes are valid under every valuation.
     pub fn is_valid(&self, vars: &VarTable) -> bool {
         self.input.is_valid(vars) && self.output.is_valid(vars)
+    }
+
+    /// Checks that the spec can drive a synthesis or search run: the table
+    /// has at least one valuation and both shapes evaluate under the base
+    /// valuation. The one typed-validation entry point shared by the
+    /// [`Synthesis`](crate::synth::Synthesis) driver and `syno-search`.
+    pub fn validate(&self, vars: &VarTable) -> Result<(), SynthError> {
+        if vars.valuation_count() == 0 {
+            return Err(SynthError::InvalidSpec(
+                "variable table has no valuations".into(),
+            ));
+        }
+        if self.input.eval(vars, 0).is_none() || self.output.eval(vars, 0).is_none() {
+            return Err(SynthError::InvalidSpec(
+                "input/output shapes do not evaluate under valuation 0".into(),
+            ));
+        }
+        Ok(())
     }
 }
 

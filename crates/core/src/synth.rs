@@ -9,12 +9,17 @@
 //!
 //! Two drivers share the child enumeration:
 //!
-//! * [`Enumerator::enumerate`] — the exhaustive DFS of Algorithm 1;
+//! * [`Synthesis`] — a resumable, iterator-style DFS of Algorithm 1:
+//!   [`Synthesis::next_operator`] yields one canonical operator at a time, so
+//!   callers can interleave synthesis with evaluation, stop early, or stream
+//!   discoveries ([`Enumerator::enumerate`] remains as a thin collect-all
+//!   compatibility wrapper);
 //! * [`rollout`] — a random completion used by MCTS simulations and by the
 //!   §9.4 shape-distance ablation (`guided = false` reproduces the paper's
 //!   "500M unguided trials find nothing" result).
 
 use crate::analysis;
+use crate::error::SynthError;
 use crate::canon::CanonRules;
 use crate::distance::shape_distance;
 use crate::graph::PGraph;
@@ -96,6 +101,126 @@ impl SynthConfig {
             max_results: 256,
             max_visits: 1_000_000,
         }
+    }
+
+    /// Starts a builder with empty parameter candidates and the same default
+    /// budgets as [`SynthConfig::auto`] (an empty variable table derives no
+    /// `Merge`/`Stride`/`Reduce` candidates).
+    pub fn builder() -> SynthConfigBuilder {
+        SynthConfigBuilder {
+            config: SynthConfig::auto(&VarTable::new(), 3),
+        }
+    }
+
+    /// Starts a builder seeded from [`SynthConfig::auto`].
+    pub fn builder_auto(vars: &VarTable, max_steps: usize) -> SynthConfigBuilder {
+        SynthConfigBuilder {
+            config: SynthConfig::auto(vars, max_steps),
+        }
+    }
+}
+
+/// Fluent construction of a validated [`SynthConfig`].
+///
+/// ```
+/// use syno_core::prelude::*;
+///
+/// let mut vars = VarTable::new();
+/// let h = vars.declare("H", VarKind::Primary);
+/// let s = vars.declare("s", VarKind::Coefficient);
+/// vars.push_valuation(vec![(h, 16), (s, 2)]);
+///
+/// let config = SynthConfig::builder_auto(&vars, 3)
+///     .max_results(16)
+///     .require_weight(false)
+///     .build()
+///     .unwrap();
+/// assert_eq!(config.max_steps, 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SynthConfigBuilder {
+    config: SynthConfig,
+}
+
+impl SynthConfigBuilder {
+    /// Maximum number of primitives per operator (`d_max`).
+    pub fn max_steps(mut self, steps: usize) -> Self {
+        self.config.max_steps = steps;
+        self
+    }
+
+    /// Candidate block sizes for `Merge`.
+    pub fn merge_blocks(mut self, blocks: Vec<Size>) -> Self {
+        self.config.merge_blocks = blocks;
+        self
+    }
+
+    /// Candidate dilation factors for `Stride`.
+    pub fn stride_factors(mut self, factors: Vec<Size>) -> Self {
+        self.config.stride_factors = factors;
+        self
+    }
+
+    /// Candidate domains for `Reduce`.
+    pub fn reduce_domains(mut self, domains: Vec<Size>) -> Self {
+        self.config.reduce_domains = domains;
+        self
+    }
+
+    /// Canonicalization rule set applied during enumeration.
+    pub fn canon(mut self, rules: CanonRules) -> Self {
+        self.config.canon = rules;
+        self
+    }
+
+    /// Hard FLOPs ceiling (naive estimate, first valuation).
+    pub fn max_flops(mut self, limit: u128) -> Self {
+        self.config.max_flops = Some(limit);
+        self
+    }
+
+    /// Hard parameter-count ceiling (first valuation).
+    pub fn max_params(mut self, limit: u128) -> Self {
+        self.config.max_params = Some(limit);
+        self
+    }
+
+    /// Require at least one weight tensor in accepted operators.
+    pub fn require_weight(mut self, yes: bool) -> Self {
+        self.config.require_weight = yes;
+        self
+    }
+
+    /// Stop after this many complete operators.
+    pub fn max_results(mut self, n: usize) -> Self {
+        self.config.max_results = n;
+        self
+    }
+
+    /// Safety valve on visited states.
+    pub fn max_visits(mut self, n: usize) -> Self {
+        self.config.max_visits = n;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<SynthConfig, SynthError> {
+        if self.config.max_steps == 0 {
+            return Err(SynthError::InvalidConfig(
+                "max_steps must be at least 1".into(),
+            ));
+        }
+        if self.config.max_results == 0 {
+            return Err(SynthError::InvalidConfig(
+                "max_results must be at least 1".into(),
+            ));
+        }
+        if self.config.max_visits == 0 {
+            return Err(SynthError::InvalidConfig(
+                "max_visits must be at least 1".into(),
+            ));
+        }
+        Ok(self.config)
     }
 }
 
@@ -214,63 +339,188 @@ impl Enumerator {
         true
     }
 
-    /// Runs the DFS of Algorithm 1 from scratch for `spec`.
-    pub fn enumerate(&self, vars: &Arc<VarTable>, spec: &OperatorSpec) -> (Vec<PGraph>, EnumStats) {
-        let mut results = Vec::new();
-        let mut stats = EnumStats::default();
-        let mut seen = HashSet::new();
-        let root = PGraph::new(Arc::clone(vars), spec.clone());
-        self.dfs(&root, 0, &mut results, &mut stats, &mut seen);
-        (results, stats)
+    /// Starts a resumable synthesis run for `spec`.
+    ///
+    /// The returned [`Synthesis`] yields operators one at a time; dropping it
+    /// abandons the rest of the space at zero cost.
+    pub fn synthesis(&self, vars: &Arc<VarTable>, spec: &OperatorSpec) -> Synthesis {
+        Synthesis::new(self.config.clone(), vars, spec)
     }
 
-    fn dfs(
-        &self,
-        graph: &PGraph,
-        depth: usize,
-        results: &mut Vec<PGraph>,
-        stats: &mut EnumStats,
-        seen: &mut HashSet<u64>,
-    ) {
-        if results.len() >= self.config.max_results
-            || stats.expanded >= self.config.max_visits as u64
-        {
-            return;
-        }
-        stats.expanded += 1;
-        if graph.is_complete() && !graph.is_empty() {
-            stats.complete += 1;
-            if !self.within_budgets(graph) {
-                stats.over_budget += 1;
-            } else if seen.insert(graph.state_hash()) {
-                results.push(graph.clone());
-            } else {
-                stats.duplicates += 1;
+    /// Runs the DFS of Algorithm 1 to completion for `spec`.
+    ///
+    /// Compatibility wrapper over [`Enumerator::synthesis`]: collects every
+    /// yielded operator and, like the original recursive enumerator, treats
+    /// the `max_visits` cutoff as a silent stop rather than an error (the
+    /// cutoff is still visible as `stats.expanded == max_visits`).
+    pub fn enumerate(&self, vars: &Arc<VarTable>, spec: &OperatorSpec) -> (Vec<PGraph>, EnumStats) {
+        let mut driver = self.synthesis(vars, spec);
+        let mut results = Vec::new();
+        while let Some(item) = driver.next_operator() {
+            match item {
+                Ok(graph) => results.push(graph),
+                Err(_) => break,
             }
         }
-        if depth >= self.config.max_steps {
-            return;
+        (results, driver.stats())
+    }
+}
+
+/// A resumable, iterator-style synthesis driver (Algorithm 1 as a machine).
+///
+/// Produced by [`Enumerator::synthesis`]. Each call to
+/// [`next_operator`](Synthesis::next_operator) advances the depth-first
+/// search just far enough to surface the next canonical, in-budget operator,
+/// then suspends. The traversal order is identical to the seed's recursive
+/// enumerator, so collected results match `enumerate()` exactly.
+///
+/// `Synthesis` also implements [`Iterator`], so the usual adapters work:
+///
+/// ```
+/// use syno_core::prelude::*;
+///
+/// let mut vars = VarTable::new();
+/// let h = vars.declare("H", VarKind::Primary);
+/// let s = vars.declare("s", VarKind::Coefficient);
+/// vars.push_valuation(vec![(h, 16), (s, 2)]);
+/// let vars = vars.into_shared();
+/// let spec = OperatorSpec::new(
+///     TensorShape::new(vec![Size::var(h)]),
+///     TensorShape::new(vec![Size::var(h).div(&Size::var(s))]),
+/// );
+/// let enumerator = Enumerator::new(SynthConfig::auto(&vars, 3));
+/// let first = enumerator.synthesis(&vars, &spec).next();
+/// assert!(first.is_some());
+/// ```
+#[derive(Clone, Debug)]
+pub struct Synthesis {
+    enumerator: Enumerator,
+    /// DFS frontier of `(partial graph, depth)` pairs, top of stack next.
+    stack: Vec<(PGraph, usize)>,
+    seen: HashSet<u64>,
+    stats: EnumStats,
+    found: usize,
+    pending_error: Option<SynthError>,
+    done: bool,
+}
+
+impl Synthesis {
+    /// Builds a driver rooted at the empty pGraph for `spec`.
+    pub fn new(config: SynthConfig, vars: &Arc<VarTable>, spec: &OperatorSpec) -> Synthesis {
+        let pending_error = if config.max_steps == 0 {
+            Some(SynthError::InvalidConfig(
+                "max_steps must be at least 1".into(),
+            ))
+        } else {
+            spec.validate(vars).err()
+        };
+        let root = PGraph::new(Arc::clone(vars), spec.clone());
+        Synthesis {
+            enumerator: Enumerator::new(config),
+            stack: vec![(root, 0)],
+            seen: HashSet::new(),
+            stats: EnumStats::default(),
+            found: 0,
+            pending_error,
+            done: false,
         }
-        let remaining = self.config.max_steps - depth - 1;
-        for action in self.children(graph) {
-            let child = match graph.apply(&action) {
-                Ok(c) => c,
-                Err(_) => {
-                    stats.invalid += 1;
-                    continue;
+    }
+
+    /// The statistics accumulated so far.
+    pub fn stats(&self) -> EnumStats {
+        self.stats
+    }
+
+    /// Number of operators yielded so far.
+    pub fn found(&self) -> usize {
+        self.found
+    }
+
+    /// True once the search space (or a budget) is exhausted.
+    pub fn is_finished(&self) -> bool {
+        self.done
+    }
+
+    /// Advances the search to the next canonical operator.
+    ///
+    /// Returns `Some(Ok(graph))` per discovery, `Some(Err(_))` exactly once
+    /// if the run dies (invalid spec/config, or the `max_visits` safety
+    /// valve), and `None` when the space is exhausted or `max_results` was
+    /// reached. After an `Err` or `None` the driver is finished and keeps
+    /// returning `None`.
+    pub fn next_operator(&mut self) -> Option<Result<PGraph, SynthError>> {
+        if self.done {
+            return None;
+        }
+        if let Some(err) = self.pending_error.take() {
+            self.done = true;
+            return Some(Err(err));
+        }
+        let config = self.enumerator.config().clone();
+        while let Some((graph, depth)) = self.stack.pop() {
+            if self.found >= config.max_results {
+                break;
+            }
+            if self.stats.expanded >= config.max_visits as u64 {
+                self.done = true;
+                return Some(Err(SynthError::VisitBudgetExhausted {
+                    visited: self.stats.expanded,
+                    found: self.found,
+                }));
+            }
+            self.stats.expanded += 1;
+
+            let mut yielded = None;
+            if graph.is_complete() && !graph.is_empty() {
+                self.stats.complete += 1;
+                if !self.enumerator.within_budgets(&graph) {
+                    self.stats.over_budget += 1;
+                } else if self.seen.insert(graph.state_hash()) {
+                    yielded = Some(graph.clone());
+                } else {
+                    self.stats.duplicates += 1;
                 }
-            };
-            let d = shape_distance(
-                &child.frontier_sizes(),
-                child.spec().input.dims(),
-                child.vars(),
-            );
-            if d as usize > remaining {
-                stats.pruned_distance += 1;
-                continue;
             }
-            self.dfs(&child, depth + 1, results, stats, seen);
+
+            // Push children before yielding so the suspended traversal
+            // resumes exactly where the recursive DFS would have continued.
+            if depth < config.max_steps {
+                let remaining = config.max_steps - depth - 1;
+                let children = self.enumerator.children(&graph);
+                for action in children.iter().rev() {
+                    match graph.apply(action) {
+                        Ok(child) => {
+                            let d = shape_distance(
+                                &child.frontier_sizes(),
+                                child.spec().input.dims(),
+                                child.vars(),
+                            );
+                            if d as usize > remaining {
+                                self.stats.pruned_distance += 1;
+                            } else {
+                                self.stack.push((child, depth + 1));
+                            }
+                        }
+                        Err(_) => self.stats.invalid += 1,
+                    }
+                }
+            }
+
+            if let Some(found) = yielded {
+                self.found += 1;
+                return Some(Ok(found));
+            }
         }
+        self.done = true;
+        None
+    }
+}
+
+impl Iterator for Synthesis {
+    type Item = Result<PGraph, SynthError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_operator()
     }
 }
 
@@ -438,6 +688,96 @@ mod tests {
         let (results, stats) = enumerator.enumerate(&vars, &spec);
         assert!(results.is_empty());
         assert!(stats.over_budget > 0 || stats.complete == 0);
+    }
+
+    #[test]
+    fn synthesis_streams_same_results_as_enumerate() {
+        let (vars, spec) = pool_setup();
+        let config = SynthConfig::auto(&vars, 3);
+        let enumerator = Enumerator::new(config);
+        let (batch, batch_stats) = enumerator.enumerate(&vars, &spec);
+
+        let mut driver = enumerator.synthesis(&vars, &spec);
+        let mut streamed = Vec::new();
+        while let Some(item) = driver.next_operator() {
+            streamed.push(item.expect("no budget errors in this space"));
+        }
+        assert_eq!(batch.len(), streamed.len());
+        for (a, b) in batch.iter().zip(&streamed) {
+            assert_eq!(a.state_hash(), b.state_hash());
+        }
+        assert_eq!(batch_stats, driver.stats());
+        assert!(driver.is_finished());
+        assert!(driver.next_operator().is_none(), "finished drivers stay done");
+    }
+
+    #[test]
+    fn synthesis_can_stop_after_first_discovery() {
+        let (vars, spec) = pool_setup();
+        let enumerator = Enumerator::new(SynthConfig::auto(&vars, 3));
+        let mut driver = enumerator.synthesis(&vars, &spec);
+        let first = driver.next_operator().expect("space is nonempty");
+        assert!(first.is_ok());
+        // Suspended early: far fewer states expanded than a full enumeration.
+        let (_, full) = enumerator.enumerate(&vars, &spec);
+        assert!(driver.stats().expanded < full.expanded);
+        assert_eq!(driver.found(), 1);
+    }
+
+    #[test]
+    fn synthesis_reports_visit_budget_as_typed_error() {
+        let (vars, spec) = pool_setup();
+        let config = SynthConfig::builder_auto(&vars, 3)
+            .max_visits(4)
+            .build()
+            .unwrap();
+        let mut driver = Enumerator::new(config).synthesis(&vars, &spec);
+        let mut saw_budget_error = false;
+        while let Some(item) = driver.next_operator() {
+            if let Err(SynthError::VisitBudgetExhausted { visited, .. }) = item {
+                assert!(visited >= 4);
+                saw_budget_error = true;
+            }
+        }
+        assert!(saw_budget_error, "tiny visit budget must trip the valve");
+        assert!(driver.next_operator().is_none());
+    }
+
+    #[test]
+    fn builder_validates_configuration() {
+        let (vars, _) = pool_setup();
+        assert!(matches!(
+            SynthConfig::builder().max_steps(0).build(),
+            Err(SynthError::InvalidConfig(_))
+        ));
+        let built = SynthConfig::builder_auto(&vars, 4)
+            .max_flops(1_000_000)
+            .max_results(7)
+            .build()
+            .unwrap();
+        assert_eq!(built.max_results, 7);
+        assert_eq!(built.max_flops, Some(1_000_000));
+        let auto = SynthConfig::auto(&vars, 4);
+        assert_eq!(built.merge_blocks, auto.merge_blocks);
+    }
+
+    #[test]
+    fn invalid_spec_surfaces_through_next_operator() {
+        // A variable table with no valuations cannot evaluate any shape.
+        let mut vars = VarTable::new();
+        let h = vars.declare("H", VarKind::Primary);
+        let vars = vars.into_shared();
+        let spec = OperatorSpec::new(
+            TensorShape::new(vec![Size::var(h)]),
+            TensorShape::new(vec![Size::var(h)]),
+        );
+        let config = SynthConfig::builder().max_steps(2).build().unwrap();
+        let mut driver = Synthesis::new(config, &vars, &spec);
+        match driver.next_operator() {
+            Some(Err(SynthError::InvalidSpec(_))) => {}
+            other => panic!("expected InvalidSpec, got {other:?}"),
+        }
+        assert!(driver.next_operator().is_none());
     }
 
     #[test]

@@ -56,6 +56,12 @@ impl fmt::Display for EagerError {
 
 impl Error for EagerError {}
 
+impl From<EagerError> for syno_core::error::SynoError {
+    fn from(e: EagerError) -> Self {
+        syno_core::error::SynoError::eager(e)
+    }
+}
+
 /// The operations the eager generator needs from its execution substrate.
 pub trait Executor {
     /// Handle to a tensor value.
@@ -307,9 +313,7 @@ pub fn lower_eager<E: Executor>(
 
     // Multiply weights scheduled at T = n (before visiting any node).
     let n = graph.len();
-    multiply_due(
-        exec, graph, &points, n, &mut current, &mut axes, weights,
-    )?;
+    multiply_due(exec, graph, &points, n, &mut current, &axes, weights)?;
 
     for t in (0..n).rev() {
         let node = &graph.nodes()[t];
@@ -397,9 +401,7 @@ pub fn lower_eager<E: Executor>(
                 axes.push(*coord);
             }
         }
-        multiply_due(
-            exec, graph, &points, t, &mut current, &mut axes, weights,
-        )?;
+        multiply_due(exec, graph, &points, t, &mut current, &axes, weights)?;
     }
 
     // Axes now carry the output coordinates; order them per output spec.
@@ -429,7 +431,7 @@ fn multiply_due<E: Executor>(
     points: &[usize],
     t: usize,
     current: &mut E::Handle,
-    axes: &mut Vec<CoordId>,
+    axes: &[CoordId],
     weights: &[E::Handle],
 ) -> Result<(), EagerError> {
     for (w, &point) in points.iter().enumerate() {

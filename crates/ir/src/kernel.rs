@@ -61,6 +61,11 @@ pub struct Stage {
     pub reduce: Vec<LoopDef>,
     /// Multiplicands.
     pub operands: Vec<Operand>,
+    /// Clip predicates: expressions that must evaluate (an `Unfold` clip
+    /// makes evaluation fail) for an iteration point to contribute. These
+    /// arise from coordinates discarded by `Expand` — no operand reads them,
+    /// but their zero-padding window still gates the sum.
+    pub guards: Vec<ExprId>,
     /// Expressions (in the pre-substitution atom space) by which *later*
     /// stages index this buffer; parallel to `loops`.
     pub output_key: Vec<ExprId>,
@@ -158,11 +163,24 @@ impl Kernel {
                     for (d, l) in stage.reduce.iter().enumerate().rev() {
                         let extent = reduce_dims[d].max(1);
                         atom_values[l.atom.index()] = (rrem % extent) as i64;
-                        rrem /= extent as u64;
+                        rrem /= extent;
                     }
                     let mut product = 1.0f32;
                     let mut clipped = false;
+                    for &guard in &stage.guards {
+                        if self
+                            .arena
+                            .eval(guard, &atom_values, &self.vars, self.valuation)
+                            .is_none()
+                        {
+                            clipped = true;
+                            break;
+                        }
+                    }
                     for op in &stage.operands {
+                        if clipped {
+                            break;
+                        }
                         let (data, dims): (&[f32], Vec<usize>) = match op.source {
                             OperandRef::Input => (input.data(), self.input_shape.clone()),
                             OperandRef::Weight(w) => {

@@ -19,6 +19,7 @@
 use crate::kernel::{Kernel, LoopDef, Operand, OperandRef, Stage};
 use syno_core::expr::{AtomId, AtomKind, ExprArena, ExprId, ExprNode};
 use syno_core::graph::PGraph;
+use syno_core::primitive::Action;
 use std::collections::{HashMap, HashSet};
 use std::error::Error;
 use std::fmt;
@@ -43,9 +44,28 @@ impl fmt::Display for LowerError {
 
 impl Error for LowerError {}
 
+impl From<LowerError> for syno_core::error::SynoError {
+    fn from(e: LowerError) -> Self {
+        syno_core::error::SynoError::lower(e)
+    }
+}
+
 /// Does `expr` mention any atom in `atoms`?
 fn mentions(arena: &ExprArena, expr: ExprId, atoms: &HashSet<AtomId>) -> bool {
     arena.atoms_of(expr).iter().any(|a| atoms.contains(a))
+}
+
+/// Does `expr` contain an `Unfold` (i.e. carry zero-padding clip semantics)?
+fn has_clip(arena: &ExprArena, expr: ExprId) -> bool {
+    match *arena.node(expr) {
+        ExprNode::Atom(_) => false,
+        ExprNode::Affine { lhs, rhs, .. } => has_clip(arena, lhs) || has_clip(arena, rhs),
+        ExprNode::Div { inner, .. }
+        | ExprNode::Mod { inner, .. }
+        | ExprNode::Shift { inner, .. }
+        | ExprNode::Stride { inner, .. } => has_clip(arena, inner),
+        ExprNode::Unfold { .. } => true,
+    }
 }
 
 /// Collects maximal subtrees of `expr` that do not mention `atoms`.
@@ -204,6 +224,17 @@ fn lower_with_plan(graph: &PGraph, valuation: usize, plan: &Plan) -> Result<Kern
         });
     }
 
+    // Clip predicates of coordinates discarded by `Expand`: no operand reads
+    // them, but an `Unfold` in their history still zeroes out-of-window
+    // terms, so they must survive lowering as stage guards.
+    let mut pending_guards: Vec<ExprId> = graph
+        .nodes()
+        .iter()
+        .filter(|node| matches!(node.action, Action::Expand { .. }))
+        .map(|node| graph.coord_expr(node.consumed[0]))
+        .filter(|&e| has_clip(&arena, e))
+        .collect();
+
     let mut stages: Vec<Stage> = Vec::new();
 
     for group in plan {
@@ -212,6 +243,12 @@ fn lower_with_plan(graph: &PGraph, valuation: usize, plan: &Plan) -> Result<Kern
         let (consumed, kept): (Vec<Operand>, Vec<Operand>) = operands
             .into_iter()
             .partition(|op| op.indices.iter().any(|&e| mentions(&arena, e, &group_set)));
+        // Guards binding the group's atoms must be evaluated inside this
+        // stage's reduction.
+        let (consumed_guards, kept_guards): (Vec<ExprId>, Vec<ExprId>) = pending_guards
+            .into_iter()
+            .partition(|&e| mentions(&arena, e, &group_set));
+        pending_guards = kept_guards;
         // A reduction no operand mentions is a pure multiplier; summing all
         // remaining operands over it keeps the semantics.
         let (consumed, kept) = if consumed.is_empty() {
@@ -219,7 +256,8 @@ fn lower_with_plan(graph: &PGraph, valuation: usize, plan: &Plan) -> Result<Kern
         } else {
             (consumed, kept)
         };
-        let (stage, mut new_op) = build_stage(&mut arena, &vars, valuation, consumed, group)?;
+        let (stage, mut new_op) =
+            build_stage(&mut arena, &vars, valuation, consumed, consumed_guards, group)?;
         stages.push(stage);
         new_op.source = OperandRef::Buffer(stages.len() - 1);
         operands = kept;
@@ -239,7 +277,8 @@ fn lower_with_plan(graph: &PGraph, valuation: usize, plan: &Plan) -> Result<Kern
         v
     };
 
-    let identity_final = operands.len() == 1
+    let identity_final = pending_guards.is_empty()
+        && operands.len() == 1
         && matches!(operands[0].source, OperandRef::Buffer(_))
         && {
             let key = &operands[0].indices;
@@ -278,6 +317,7 @@ fn lower_with_plan(graph: &PGraph, valuation: usize, plan: &Plan) -> Result<Kern
             loops,
             reduce: Vec::new(),
             operands,
+            guards: pending_guards,
             output_key: key,
         });
     }
@@ -301,15 +341,21 @@ fn build_stage(
     vars: &std::sync::Arc<syno_core::var::VarTable>,
     valuation: usize,
     consumed: Vec<Operand>,
+    guards: Vec<ExprId>,
     group: &[AtomId],
 ) -> Result<(Stage, Operand), LowerError> {
     let group_set: HashSet<AtomId> = group.iter().copied().collect();
-    // Collect cuts across all consumed index expressions.
+    // Collect cuts across all consumed index expressions (guards included:
+    // their group-independent subtrees must become stage axes too, so the
+    // buffer is materialized per guard-relevant value).
     let mut cuts: Vec<ExprId> = Vec::new();
     for op in &consumed {
         for &e in &op.indices {
             cuts_of(arena, e, &group_set, &mut cuts);
         }
+    }
+    for &e in &guards {
+        cuts_of(arena, e, &group_set, &mut cuts);
     }
     // Fresh atoms substitute for the cuts inside this stage.
     let mut subst: HashMap<ExprId, ExprId> = HashMap::new();
@@ -350,10 +396,15 @@ fn build_stage(
             }
         })
         .collect();
+    let guards = guards
+        .into_iter()
+        .map(|e| substitute(arena, e, &subst))
+        .collect();
     let stage = Stage {
         loops,
         reduce,
         operands,
+        guards,
         output_key: cuts.clone(),
     };
     Ok((

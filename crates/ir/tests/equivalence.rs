@@ -116,7 +116,7 @@ fn conv2d_matches_direct_reference() {
     assert_eq!(wshape, vec![4, 3, 3, 8]);
     let w = init::uniform(&mut rng, &wshape, -1.0, 1.0);
 
-    let got = eager::execute(&conv, 0, &x, &[w.clone()]).unwrap();
+    let got = eager::execute(&conv, 0, &x, std::slice::from_ref(&w)).unwrap();
     assert_eq!(got.shape(), &[2, 8, 8, 8]);
 
     let mut want = Tensor::zeros(&[2, 8, 8, 8]);
@@ -130,7 +130,7 @@ fn conv2d_matches_direct_reference() {
                             for kw in 0..3i64 {
                                 let iy = y + kh - 1;
                                 let ix = xx + kw - 1;
-                                if iy < 0 || iy >= 8 || ix < 0 || ix >= 8 {
+                                if !(0..8).contains(&iy) || !(0..8).contains(&ix) {
                                     continue;
                                 }
                                 acc += x.get(&[n, ci, iy as usize, ix as usize])
@@ -166,7 +166,7 @@ fn matmul_matches_einsum_reference() {
     let wshape = eager::weight_shapes(&mm, 0).unwrap()[0].clone();
     // Weight dims: [K, N] = [8, 8].
     let w = init::uniform(&mut rng, &wshape, -1.0, 1.0);
-    let got = eager::execute(&mm, 0, &x, &[w.clone()]).unwrap();
+    let got = eager::execute(&mm, 0, &x, std::slice::from_ref(&w)).unwrap();
     let want = syno_tensor::matmul(&x, &syno_tensor::ops::reshape(&w, &[8, 8]));
     assert!(got.allclose(&want, 1e-3));
 }
@@ -356,7 +356,7 @@ fn tape_recording_matches_eager_and_differentiates() {
     let wshape = eager::weight_shapes(&conv, 0).unwrap()[0].clone();
     let w = init::uniform(&mut rng, &wshape, -0.5, 0.5);
 
-    let plain = eager::execute(&conv, 0, &x, &[w.clone()]).unwrap();
+    let plain = eager::execute(&conv, 0, &x, std::slice::from_ref(&w)).unwrap();
 
     let mut tape = syno_tensor::Tape::new();
     let xv = tape.leaf(x.clone());

@@ -43,7 +43,7 @@ pub fn nas_pte_graphs(shape: &ConvShape, seq: NasPteSeq) -> Option<Vec<PGraph>> 
     match seq {
         NasPteSeq::Seq1 => {
             let g = 2;
-            if shape.cin % g != 0 || shape.cin / g < 2 || shape.cout % g != 0 {
+            if !shape.cin.is_multiple_of(g) || shape.cin / g < 2 || !shape.cout.is_multiple_of(g) {
                 return None;
             }
             Some(vec![grouped_conv_graph(&ConvShape { g, ..*shape })?])
@@ -67,7 +67,7 @@ pub fn nas_pte_graphs(shape: &ConvShape, seq: NasPteSeq) -> Option<Vec<PGraph>> 
         NasPteSeq::Seq3 => {
             let g = 2;
             let mid = shape.cout / 2;
-            if shape.cin % g != 0 || shape.cin / g < 2 || mid % g != 0 || mid / g < 2 {
+            if !shape.cin.is_multiple_of(g) || shape.cin / g < 2 || !mid.is_multiple_of(g) || mid / g < 2 {
                 return None;
             }
             let reduce = conv_graph(&ConvShape {

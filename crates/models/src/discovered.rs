@@ -38,8 +38,8 @@ impl ConvShape {
     pub fn substitutable(&self) -> bool {
         self.k >= 2
             && self.cin >= 2 * self.g
-            && self.cin % self.g == 0
-            && self.cout % (self.g * self.s) == 0
+            && self.cin.is_multiple_of(self.g)
+            && self.cout.is_multiple_of(self.g * self.s)
             && self.cout / (self.g * self.s) >= 2
             && self.hw >= 2 * self.k
     }

@@ -225,7 +225,7 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use std::sync::Arc;
+
     use syno_core::ops;
     use syno_core::var::{VarKind, VarTable};
 

@@ -17,6 +17,7 @@ use syno_tensor::{init, Tape, Tensor, Var};
 /// The QKV projection: either a dense matmul (the GPT-2 baseline) or a
 /// synthesized operator mapping `[tokens, D] → [tokens, 3D]`.
 #[derive(Debug)]
+#[allow(clippy::large_enum_variant)] // Operator layers are rare and long-lived
 pub enum QkvProjection {
     /// Dense `[D, 3D]` matmul.
     Dense,

@@ -13,6 +13,7 @@ use crate::layer::{GlobalAvgPool, LinearLayer, Model, OperatorLayer, ReluLayer};
 use crate::train::{train_on_task, TrainConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use syno_core::error::SynoError;
 use syno_core::graph::PGraph;
 
 /// Proxy-task configuration: the operator is trained inside a
@@ -37,24 +38,41 @@ impl Default for ProxyConfig {
     }
 }
 
-/// Evaluates a candidate operator's proxy accuracy in `[0, 1]`.
+/// Evaluates a candidate operator's proxy accuracy in `[0, 1]`, reporting
+/// *why* a candidate cannot be scored instead of silently zeroing it.
 ///
 /// The operator must map `[N, Cin, H, W] → [N, Cout, H, W]` under
-/// `valuation`; candidates that cannot be eagerly realized score 0 (they
-/// are skipped, like the paper's invalid candidates).
-pub fn operator_accuracy(graph: &PGraph, valuation: usize, config: &ProxyConfig) -> f32 {
-    let Ok(layer) = OperatorLayer::new(graph.clone(), valuation) else {
-        return 0.0;
-    };
+/// `valuation`. Errors are [`SynoError::Eager`] for non-realizable graphs
+/// and [`SynoError::Proxy`] for shape mismatches with the vision task.
+pub fn try_operator_accuracy(
+    graph: &PGraph,
+    valuation: usize,
+    config: &ProxyConfig,
+) -> Result<f32, SynoError> {
+    // Validate the task shape before the (more expensive, potentially
+    // panicking) dry-run tape construction inside `OperatorLayer::new`.
     let dims = match graph.spec().input.eval(graph.vars(), valuation) {
         Some(d) if d.len() == 4 => d,
-        _ => return 0.0,
+        Some(d) => {
+            return Err(SynoError::proxy(format!(
+                "input rank {} is not the 4-D vision layout",
+                d.len()
+            )))
+        }
+        None => return Err(SynoError::eval("input shape")),
     };
     let (batch, channels, height, _) = (dims[0], dims[1], dims[2], dims[3]);
     let out_dims = match graph.spec().output.eval(graph.vars(), valuation) {
         Some(d) if d.len() == 4 => d,
-        _ => return 0.0,
+        Some(d) => {
+            return Err(SynoError::proxy(format!(
+                "output rank {} is not the 4-D vision layout",
+                d.len()
+            )))
+        }
+        None => return Err(SynoError::eval("output shape")),
     };
+    let layer = OperatorLayer::new(graph.clone(), valuation)?;
     let classes = 4usize;
     let task = VisionTask::new(config.task_seed, channels as usize, height as usize, classes);
 
@@ -71,7 +89,16 @@ pub fn operator_accuracy(graph: &PGraph, valuation: usize, config: &ProxyConfig)
     let mut train = config.train;
     train.batch = batch as usize;
     let (_, acc) = train_on_task(&mut model, &task, &train);
-    acc
+    Ok(acc)
+}
+
+/// Evaluates a candidate operator's proxy accuracy in `[0, 1]`.
+///
+/// Compatibility wrapper over [`try_operator_accuracy`]: candidates that
+/// cannot be realized or do not fit the vision task score 0 (they are
+/// skipped, like the paper's invalid candidates).
+pub fn operator_accuracy(graph: &PGraph, valuation: usize, config: &ProxyConfig) -> f32 {
+    try_operator_accuracy(graph, valuation, config).unwrap_or(0.0)
 }
 
 #[cfg(test)]

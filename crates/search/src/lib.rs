@@ -1,13 +1,18 @@
 //! # syno-search — MCTS-guided operator discovery and orchestration
 //!
-//! Implements §7.2 of the paper:
+//! Implements §7.2 of the paper as a streaming, cancellable service layer:
 //!
 //! * [`mcts`] — UCT over the partial-pGraph MDP with shape-distance-feasible
-//!   children, guided rollouts, and a transposition table;
+//!   children, guided rollouts, and early-stop hooks;
 //! * [`discovered`] — discovered-operator records and Pareto-front
 //!   extraction (Fig. 6);
-//! * [`orchestrator`] — Algorithm 1's outer loop: synthesize → train proxy →
-//!   tune latency, with a worker pool for candidate evaluation.
+//! * [`run`] — the `SearchBuilder → SearchRun` driver: Algorithm 1's outer
+//!   loop (synthesize → proxy-train → latency-tune) streaming
+//!   [`SearchEvent`]s over a channel, with [`CancelToken`] cancellation,
+//!   step/FLOP/wall-clock [`Budget`]s, and concurrent multi-spec scenarios
+//!   on a worker pool;
+//! * [`orchestrator`] — the legacy blocking entry points, kept as documented
+//!   thin wrappers over [`run`].
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -15,7 +20,12 @@
 pub mod discovered;
 pub mod mcts;
 pub mod orchestrator;
+pub mod run;
 
 pub use discovered::{pareto_front, Discovered, TradeoffPoint};
 pub use mcts::{Mcts, MctsConfig, MctsStats};
-pub use orchestrator::{evaluate_candidates, search_substitutions, Candidate, SearchSettings};
+pub use orchestrator::{evaluate_candidates, search_substitutions, SearchSettings};
+pub use run::{
+    Budget, CancelToken, Candidate, SearchBuilder, SearchEvent, SearchReport, SearchRun,
+    StopReason,
+};

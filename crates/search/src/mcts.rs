@@ -119,12 +119,28 @@ impl Mcts {
     pub fn search(
         &mut self,
         root: &PGraph,
+        reward: impl FnMut(&PGraph) -> f64,
+    ) -> Vec<Discovered> {
+        self.search_while(root, reward, |_| true)
+    }
+
+    /// Like [`search`](Mcts::search), but consults `keep_going` with the
+    /// upcoming iteration index before every iteration; returning `false`
+    /// stops the search early and yields the discoveries so far. This is the
+    /// cancellation/budget hook used by the streaming `SearchRun` driver.
+    pub fn search_while(
+        &mut self,
+        root: &PGraph,
         mut reward: impl FnMut(&PGraph) -> f64,
+        mut keep_going: impl FnMut(u64) -> bool,
     ) -> Vec<Discovered> {
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let mut found: HashMap<u64, Discovered> = HashMap::new();
 
-        for _ in 0..self.config.iterations {
+        for iteration in 0..self.config.iterations {
+            if !keep_going(iteration as u64) {
+                break;
+            }
             // Selection: walk down by UCB until an unexpanded node.
             let mut path: Vec<usize> = vec![0];
             let mut state = root.clone();
@@ -233,7 +249,7 @@ impl Mcts {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
+
     use syno_core::prelude::*;
 
     fn pool_root() -> (Enumerator, PGraph) {

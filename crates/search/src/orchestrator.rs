@@ -1,40 +1,23 @@
-//! End-to-end orchestration: Algorithm 1's outer loop.
+//! Legacy blocking entry points for Algorithm 1's outer loop.
 //!
-//! `Search(model, d_max)` in the paper extracts the operators of a backbone,
-//! synthesizes substitutions with MCTS, trains each candidate for accuracy,
-//! and tunes the survivors for latency. The orchestrator here runs the same
-//! pipeline against the reproduction's substrates: the accuracy proxy of
-//! `syno-nn` and the compiler simulator of `syno-compiler`. Candidate
-//! evaluation fans out over a thread pool (the paper's distributed
-//! multi-GPU search reduced to one process).
+//! These are **documented thin wrappers** over the streaming
+//! [`SearchBuilder`](crate::run::SearchBuilder)/[`SearchRun`](crate::run::SearchRun)
+//! driver, kept so early scripts keep compiling. New code should use the
+//! builder API (or the `syno::Session` facade), which adds event streaming,
+//! cancellation, budgets, and multi-scenario concurrency.
 
 use crate::discovered::Discovered;
 use crate::mcts::{Mcts, MctsConfig};
-use parking_lot::Mutex;
-use syno_compiler::{compile, CompilerKind, DType, Device, OperatorClass};
+use crate::run::Candidate;
+use std::sync::Arc;
+use syno_compiler::{CompilerKind, Device};
 use syno_core::graph::PGraph;
 use syno_core::spec::OperatorSpec;
 use syno_core::synth::{Enumerator, SynthConfig};
 use syno_core::var::VarTable;
 use syno_nn::{operator_accuracy, ProxyConfig};
-use std::sync::Arc;
 
-/// A fully evaluated candidate.
-#[derive(Clone, Debug)]
-pub struct Candidate {
-    /// The operator.
-    pub graph: PGraph,
-    /// Proxy accuracy in `[0, 1]`.
-    pub accuracy: f64,
-    /// Naive FLOPs under valuation 0.
-    pub flops: u128,
-    /// Parameter count under valuation 0.
-    pub params: u128,
-    /// Tuned latency per requested device, in input order.
-    pub latencies: Vec<f64>,
-}
-
-/// Orchestration settings.
+/// Orchestration settings for the legacy one-spec entry point.
 #[derive(Clone, Debug)]
 pub struct SearchSettings {
     /// Synthesis budgets and parameter candidates.
@@ -51,9 +34,16 @@ pub struct SearchSettings {
     pub workers: usize,
 }
 
-/// Runs the full pipeline for one operator specification.
+/// Runs the full pipeline for one operator specification, blocking until
+/// done. Returns candidates sorted by descending accuracy.
 ///
-/// Returns candidates sorted by descending accuracy.
+/// Thin wrapper composing the same MCTS and pricing primitives as the
+/// streaming `SearchRun` driver, with the seed's exact semantics: every
+/// discovered operator appears in the result, and candidates that cannot
+/// be profiled keep infinite latencies instead of being skipped (the
+/// streaming API reports those as typed `CandidateSkipped` events
+/// instead). New code should use the builder API for events, budgets, and
+/// cancellation.
 pub fn search_substitutions(
     vars: &Arc<VarTable>,
     spec: &OperatorSpec,
@@ -62,74 +52,33 @@ pub fn search_substitutions(
     let enumerator = Enumerator::new(settings.synth.clone());
     let root = PGraph::new(Arc::clone(vars), spec.clone());
     let mut mcts = Mcts::new(enumerator, settings.mcts);
-
-    // Reward = proxy accuracy (sequential inside MCTS: the tree is
-    // sequential by nature; the paper parallelizes across substitution
-    // sites, mirrored by callers invoking this per layer).
     let proxy = settings.proxy;
     let discovered = mcts.search(&root, |graph| operator_accuracy(graph, 0, &proxy) as f64);
-
-    // Fan out latency evaluation across workers.
     evaluate_candidates(&discovered, settings)
 }
 
-/// Tunes every discovered operator on every device, in parallel.
+/// Tunes every already-discovered operator on every device, in parallel
+/// over `settings.workers` threads.
+///
+/// Thin wrapper over the streaming driver's pricing stage; kept for callers
+/// that run MCTS themselves. Candidates are returned sorted by descending
+/// accuracy, with unpriceable operators pinned to infinite latency (the
+/// seed behavior).
 pub fn evaluate_candidates(
     discovered: &[Discovered],
     settings: &SearchSettings,
 ) -> Vec<Candidate> {
-    let results: Mutex<Vec<(usize, Candidate)>> = Mutex::new(Vec::new());
-    let workers = settings.workers.max(1);
-    let next: Mutex<usize> = Mutex::new(0);
-
-    crossbeam::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let idx = {
-                    let mut guard = next.lock();
-                    let idx = *guard;
-                    *guard += 1;
-                    idx
-                };
-                if idx >= discovered.len() {
-                    break;
-                }
-                let d = &discovered[idx];
-                let flops = syno_core::analysis::naive_flops(&d.graph, 0).unwrap_or(u128::MAX);
-                let params =
-                    syno_core::analysis::parameter_count(&d.graph, 0).unwrap_or(u128::MAX);
-                let latencies: Vec<f64> = match syno_compiler::profile_graph(
-                    &d.graph,
-                    0,
-                    OperatorClass::Novel,
-                    "candidate",
-                ) {
-                    Ok(profile) => settings
-                        .devices
-                        .iter()
-                        .map(|dev| compile(&profile, dev, settings.compiler, DType::F32).latency)
-                        .collect(),
-                    Err(_) => vec![f64::INFINITY; settings.devices.len()],
-                };
-                results.lock().push((
-                    idx,
-                    Candidate {
-                        graph: d.graph.clone(),
-                        accuracy: d.reward,
-                        flops,
-                        params,
-                        latencies,
-                    },
-                ));
-            });
-        }
-    })
-    .expect("worker threads join");
-
-    let mut out = results.into_inner();
-    out.sort_by_key(|(idx, _)| *idx);
-    let mut candidates: Vec<Candidate> = out.into_iter().map(|(_, c)| c).collect();
-    candidates.sort_by(|a, b| b.accuracy.partial_cmp(&a.accuracy).expect("finite"));
+    let mut candidates = crate::run::price_discovered(
+        discovered,
+        &settings.devices,
+        settings.compiler,
+        settings.workers,
+    );
+    candidates.sort_by(|a, b| {
+        b.accuracy
+            .partial_cmp(&a.accuracy)
+            .expect("accuracies are clamped and finite")
+    });
     candidates
 }
 

@@ -1,0 +1,1011 @@
+//! The streaming search driver: `SearchBuilder` → [`SearchRun`].
+//!
+//! Algorithm 1 is a long-running, interruptible pipeline (synthesize →
+//! proxy-train → latency-tune). The seed exposed it as blocking free
+//! functions returning bare `Vec`s; this module replaces them with a
+//! builder-configured run that
+//!
+//! * streams [`SearchEvent`]s over a channel as the pipeline advances, in
+//!   per-candidate order `CandidateFound → ProxyScored → LatencyTuned`;
+//! * supports cooperative cancellation through a [`CancelToken`] and
+//!   step/FLOP/wall-clock [`Budget`]s, returning the candidates discovered
+//!   so far when stopped early;
+//! * evaluates multiple [`OperatorSpec`] *scenarios* concurrently over a
+//!   worker pool (the paper's parallelism across substitution sites).
+//!
+//! The old `search_substitutions`/`evaluate_candidates` entry points remain
+//! in [`crate::orchestrator`] as thin wrappers over this driver.
+
+use crate::discovered::Discovered;
+use crate::mcts::{Mcts, MctsConfig};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+use syno_compiler::{CompilerKind, DType, Device, OperatorClass};
+use syno_core::error::{SynoError, SynthError};
+use syno_core::graph::PGraph;
+use syno_core::spec::OperatorSpec;
+use syno_core::synth::{Enumerator, SynthConfig};
+use syno_core::var::VarTable;
+use syno_nn::{try_operator_accuracy, ProxyConfig};
+
+/// A cloneable cooperative-cancellation handle.
+///
+/// All clones share one flag; any of them can [`cancel`](CancelToken::cancel)
+/// a run, which stops between pipeline steps and salvages partial results.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// Has cancellation been requested?
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+}
+
+/// Resource ceilings for one search run (all disabled by default).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Budget {
+    /// Maximum MCTS iterations summed across all scenarios.
+    pub max_steps: Option<u64>,
+    /// Maximum cumulative naive FLOPs of proxy-scored candidates.
+    pub max_flops: Option<u128>,
+    /// Maximum wall-clock time for the whole run.
+    pub max_wall: Option<Duration>,
+}
+
+/// Why a run stopped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    /// Every scenario ran its configured iterations to completion.
+    Completed,
+    /// A [`CancelToken`] fired.
+    Cancelled,
+    /// The step budget was exhausted.
+    StepBudget,
+    /// The FLOP budget was exhausted.
+    FlopBudget,
+    /// The wall-clock budget was exhausted.
+    WallClock,
+}
+
+/// A fully evaluated candidate (one row of the paper's result tables).
+#[derive(Clone, Debug)]
+pub struct Candidate {
+    /// Index of the scenario (spec) this candidate substitutes.
+    pub scenario: usize,
+    /// The operator.
+    pub graph: PGraph,
+    /// Proxy accuracy in `[0, 1]`.
+    pub accuracy: f64,
+    /// Naive FLOPs under valuation 0.
+    pub flops: u128,
+    /// Parameter count under valuation 0.
+    pub params: u128,
+    /// Tuned latency per requested device, in input order.
+    pub latencies: Vec<f64>,
+}
+
+/// One pipeline notification, streamed in emission order per scenario.
+#[derive(Clone, Debug)]
+pub enum SearchEvent {
+    /// MCTS completed a rollout to a new distinct operator.
+    CandidateFound {
+        /// Scenario index.
+        scenario: usize,
+        /// Semantic state hash identifying the candidate across events.
+        id: u64,
+        /// The operator.
+        graph: PGraph,
+    },
+    /// The accuracy proxy finished training the candidate.
+    ProxyScored {
+        /// Scenario index.
+        scenario: usize,
+        /// Candidate id ([`PGraph::state_hash`]).
+        id: u64,
+        /// Proxy accuracy in `[0, 1]`.
+        accuracy: f64,
+    },
+    /// The compiler simulator tuned the candidate on every device.
+    LatencyTuned {
+        /// Scenario index.
+        scenario: usize,
+        /// Candidate id ([`PGraph::state_hash`]).
+        id: u64,
+        /// The finished candidate record.
+        candidate: Candidate,
+    },
+    /// A candidate could not be evaluated; carries the typed reason.
+    CandidateSkipped {
+        /// Scenario index.
+        scenario: usize,
+        /// Candidate id ([`PGraph::state_hash`]).
+        id: u64,
+        /// Why the candidate was dropped.
+        error: SynoError,
+    },
+    /// Periodic heartbeat per scenario.
+    Progress {
+        /// Scenario index.
+        scenario: usize,
+        /// Iterations finished in this scenario.
+        iterations: u64,
+        /// Iterations configured for this scenario.
+        total_iterations: u64,
+        /// Distinct candidates discovered so far in this scenario.
+        discovered: u64,
+    },
+    /// A scenario finished (successfully or by early stop).
+    ScenarioFinished {
+        /// Scenario index.
+        scenario: usize,
+        /// Candidates this scenario contributed.
+        candidates: usize,
+    },
+}
+
+impl SearchEvent {
+    /// The scenario this event belongs to.
+    pub fn scenario(&self) -> usize {
+        match *self {
+            SearchEvent::CandidateFound { scenario, .. }
+            | SearchEvent::ProxyScored { scenario, .. }
+            | SearchEvent::LatencyTuned { scenario, .. }
+            | SearchEvent::CandidateSkipped { scenario, .. }
+            | SearchEvent::Progress { scenario, .. }
+            | SearchEvent::ScenarioFinished { scenario, .. } => scenario,
+        }
+    }
+}
+
+/// Final accounting of a run.
+#[derive(Clone, Debug)]
+pub struct SearchReport {
+    /// All candidates, every scenario, sorted by descending accuracy.
+    pub candidates: Vec<Candidate>,
+    /// Why the run ended.
+    pub stopped: StopReason,
+    /// MCTS iterations executed across scenarios.
+    pub steps: u64,
+    /// Cumulative naive FLOPs of scored candidates.
+    pub flops: u128,
+    /// Wall-clock duration of the run.
+    pub wall: Duration,
+}
+
+struct Scenario {
+    label: String,
+    vars: Arc<VarTable>,
+    spec: OperatorSpec,
+    synth: Option<SynthConfig>,
+}
+
+/// Configures and launches a streaming search run.
+///
+/// ```no_run
+/// use std::sync::Arc;
+/// use syno_core::prelude::*;
+/// use syno_search::{SearchBuilder, SearchEvent};
+/// # fn vars_and_spec() -> (Arc<VarTable>, OperatorSpec) { unimplemented!() }
+///
+/// let (vars, spec) = vars_and_spec();
+/// let run = SearchBuilder::new()
+///     .scenario("conv3x3", &vars, &spec)
+///     .max_steps(100)
+///     .start()
+///     .unwrap();
+/// for event in run.events() {
+///     if let SearchEvent::LatencyTuned { candidate, .. } = event {
+///         println!("{:.3} acc, {} flops", candidate.accuracy, candidate.flops);
+///     }
+/// }
+/// ```
+#[derive(Debug)]
+pub struct SearchBuilder {
+    scenarios: Vec<Scenario>,
+    synth: Option<SynthConfig>,
+    mcts: MctsConfig,
+    proxy: ProxyConfig,
+    devices: Vec<Device>,
+    compiler: CompilerKind,
+    workers: usize,
+    budget: Budget,
+    cancel: CancelToken,
+    progress_every: u64,
+}
+
+impl std::fmt::Debug for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scenario")
+            .field("label", &self.label)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for SearchBuilder {
+    fn default() -> Self {
+        SearchBuilder {
+            scenarios: Vec::new(),
+            synth: None,
+            mcts: MctsConfig::default(),
+            proxy: ProxyConfig::default(),
+            devices: vec![Device::mobile_cpu()],
+            compiler: CompilerKind::Tvm,
+            workers: 2,
+            budget: Budget::default(),
+            cancel: CancelToken::new(),
+            progress_every: 10,
+        }
+    }
+}
+
+impl SearchBuilder {
+    /// A builder with default settings and no scenarios.
+    pub fn new() -> Self {
+        SearchBuilder::default()
+    }
+
+    /// Adds a search scenario (one operator specification to substitute).
+    /// Scenarios run concurrently over the worker pool.
+    pub fn scenario(
+        mut self,
+        label: impl Into<String>,
+        vars: &Arc<VarTable>,
+        spec: &OperatorSpec,
+    ) -> Self {
+        self.scenarios.push(Scenario {
+            label: label.into(),
+            vars: Arc::clone(vars),
+            spec: spec.clone(),
+            synth: None,
+        });
+        self
+    }
+
+    /// Adds a scenario with its own synthesis configuration (overrides the
+    /// run-wide [`synth`](SearchBuilder::synth) default for this spec).
+    pub fn scenario_with_synth(
+        mut self,
+        label: impl Into<String>,
+        vars: &Arc<VarTable>,
+        spec: &OperatorSpec,
+        synth: SynthConfig,
+    ) -> Self {
+        self.scenarios.push(Scenario {
+            label: label.into(),
+            vars: Arc::clone(vars),
+            spec: spec.clone(),
+            synth: Some(synth),
+        });
+        self
+    }
+
+    /// Run-wide synthesis budgets and parameter candidates (defaults to
+    /// [`SynthConfig::auto`] with 4 steps per scenario).
+    pub fn synth(mut self, config: SynthConfig) -> Self {
+        self.synth = Some(config);
+        self
+    }
+
+    /// MCTS settings (iterations here are per scenario).
+    pub fn mcts(mut self, config: MctsConfig) -> Self {
+        self.mcts = config;
+        self
+    }
+
+    /// Accuracy-proxy settings.
+    pub fn proxy(mut self, config: ProxyConfig) -> Self {
+        self.proxy = config;
+        self
+    }
+
+    /// Devices to tune every candidate for.
+    pub fn devices(mut self, devices: Vec<Device>) -> Self {
+        self.devices = devices;
+        self
+    }
+
+    /// Compiler used for the latency column.
+    pub fn compiler(mut self, kind: CompilerKind) -> Self {
+        self.compiler = kind;
+        self
+    }
+
+    /// Worker threads for concurrent scenario evaluation.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Replaces the whole budget.
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Caps total MCTS iterations across scenarios.
+    pub fn max_steps(mut self, steps: u64) -> Self {
+        self.budget.max_steps = Some(steps);
+        self
+    }
+
+    /// Caps cumulative naive FLOPs of scored candidates.
+    pub fn max_flops(mut self, flops: u128) -> Self {
+        self.budget.max_flops = Some(flops);
+        self
+    }
+
+    /// Caps wall-clock time.
+    pub fn max_wall(mut self, wall: Duration) -> Self {
+        self.budget.max_wall = Some(wall);
+        self
+    }
+
+    /// Uses an externally created token so callers can cancel from another
+    /// thread; [`SearchRun::cancel_token`] returns the same token.
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = token;
+        self
+    }
+
+    /// Emits a [`SearchEvent::Progress`] every `n` iterations (default 10).
+    pub fn progress_every(mut self, n: u64) -> Self {
+        self.progress_every = n.max(1);
+        self
+    }
+
+    /// Validates the configuration and launches the run in the background.
+    ///
+    /// # Errors
+    ///
+    /// [`SynthError::InvalidConfig`] (as [`SynoError::Synth`]) when no
+    /// scenario was added; [`SynthError::InvalidSpec`] when a scenario's
+    /// shapes do not evaluate under its variable table.
+    pub fn start(self) -> Result<SearchRun, SynoError> {
+        if self.scenarios.is_empty() {
+            return Err(SynthError::InvalidConfig("no scenarios added".into()).into());
+        }
+        for s in &self.scenarios {
+            s.spec.validate(&s.vars).map_err(|e| {
+                SynthError::InvalidSpec(format!("scenario '{}': {e}", s.label))
+            })?;
+        }
+
+        let (sender, receiver) = channel();
+        let cancel = self.cancel.clone();
+        let handle = thread::spawn(move || supervise(self, sender));
+        Ok(SearchRun {
+            events: receiver,
+            cancel,
+            handle,
+        })
+    }
+
+    /// Convenience: starts the run, drains (and drops) all events, and
+    /// returns the final report.
+    pub fn run(self) -> Result<SearchReport, SynoError> {
+        let run = self.start()?;
+        for _event in run.events() {}
+        run.join()
+    }
+}
+
+/// A live streaming search.
+///
+/// Obtain events through [`events`](SearchRun::events) (an iterator that
+/// blocks until the next event and ends when the run finishes), cancel
+/// through [`cancel`](SearchRun::cancel), and collect the final
+/// [`SearchReport`] with [`join`](SearchRun::join).
+#[derive(Debug)]
+pub struct SearchRun {
+    events: Receiver<SearchEvent>,
+    cancel: CancelToken,
+    handle: thread::JoinHandle<SearchReport>,
+}
+
+impl SearchRun {
+    /// Blocking iterator over the run's events; ends when the run finishes.
+    pub fn events(&self) -> impl Iterator<Item = SearchEvent> + '_ {
+        self.events.iter()
+    }
+
+    /// Non-blocking: the next event if one is ready.
+    pub fn try_next_event(&self) -> Option<SearchEvent> {
+        self.events.try_recv().ok()
+    }
+
+    /// The run's cancellation token (same token every call).
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Requests cooperative cancellation; the run stops between pipeline
+    /// steps and [`join`](SearchRun::join) returns partial results.
+    pub fn cancel(&self) {
+        self.cancel.cancel();
+    }
+
+    /// Waits for the run to finish and returns the report.
+    ///
+    /// # Errors
+    ///
+    /// [`SynoError::Worker`] when the supervisor thread panicked.
+    pub fn join(self) -> Result<SearchReport, SynoError> {
+        drop(self.events); // unblock senders if the caller never drained
+        self.handle
+            .join()
+            .map_err(|payload| SynoError::worker(panic_message(&payload)))
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked".to_owned()
+    }
+}
+
+/// Shared run state across scenario workers.
+struct Shared {
+    budget: Budget,
+    cancel: CancelToken,
+    started: Instant,
+    steps: Mutex<u64>,
+    flops: Mutex<u128>,
+    stop: Mutex<Option<StopReason>>,
+}
+
+impl Shared {
+    /// Records `reason` if the run is not already stopping.
+    fn request_stop(&self, reason: StopReason) {
+        let mut slot = self.stop.lock().expect("stop lock");
+        if slot.is_none() {
+            *slot = Some(reason);
+        }
+    }
+
+    /// Checks cancellation and budgets; records and returns the stop reason.
+    fn should_stop(&self) -> Option<StopReason> {
+        if let Some(reason) = *self.stop.lock().expect("stop lock") {
+            return Some(reason);
+        }
+        if self.cancel.is_cancelled() {
+            self.request_stop(StopReason::Cancelled);
+            return Some(StopReason::Cancelled);
+        }
+        if let Some(max) = self.budget.max_wall {
+            if self.started.elapsed() >= max {
+                self.request_stop(StopReason::WallClock);
+                return Some(StopReason::WallClock);
+            }
+        }
+        if let Some(max) = self.budget.max_steps {
+            if *self.steps.lock().expect("steps lock") >= max {
+                self.request_stop(StopReason::StepBudget);
+                return Some(StopReason::StepBudget);
+            }
+        }
+        if let Some(max) = self.budget.max_flops {
+            if *self.flops.lock().expect("flops lock") >= max {
+                self.request_stop(StopReason::FlopBudget);
+                return Some(StopReason::FlopBudget);
+            }
+        }
+        None
+    }
+}
+
+/// Runs the whole search on the supervisor thread: a pool of `workers`
+/// threads pulls scenarios off a shared queue until done or stopped.
+fn supervise(builder: SearchBuilder, sender: Sender<SearchEvent>) -> SearchReport {
+    let SearchBuilder {
+        scenarios,
+        synth,
+        mcts,
+        proxy,
+        devices,
+        compiler,
+        workers,
+        budget,
+        cancel,
+        progress_every,
+    } = builder;
+
+    let shared = Shared {
+        budget,
+        cancel,
+        started: Instant::now(),
+        steps: Mutex::new(0),
+        flops: Mutex::new(0),
+        stop: Mutex::new(None),
+    };
+    let queue: Mutex<Vec<(usize, Scenario)>> = {
+        let mut q: Vec<(usize, Scenario)> = scenarios.into_iter().enumerate().collect();
+        q.reverse(); // pop() serves scenario 0 first
+        Mutex::new(q)
+    };
+    let results: Mutex<Vec<Candidate>> = Mutex::new(Vec::new());
+
+    let worker_count = workers.max(1);
+    thread::scope(|scope| {
+        for _ in 0..worker_count {
+            scope.spawn(|| loop {
+                if shared.should_stop().is_some() {
+                    break;
+                }
+                let next = queue.lock().expect("queue lock").pop();
+                let Some((index, scenario)) = next else {
+                    break;
+                };
+                let found = run_scenario(
+                    index, &scenario, &synth, mcts, &proxy, &devices, compiler, progress_every,
+                    &shared, &sender,
+                );
+                let mut all = results.lock().expect("results lock");
+                let _ = sender.send(SearchEvent::ScenarioFinished {
+                    scenario: index,
+                    candidates: found.len(),
+                });
+                all.extend(found);
+            });
+        }
+    });
+
+    let mut candidates = results.into_inner().expect("results lock");
+    candidates.sort_by(|a, b| {
+        b.accuracy
+            .partial_cmp(&a.accuracy)
+            .expect("accuracies are clamped and finite")
+            .then_with(|| a.scenario.cmp(&b.scenario))
+    });
+    let stopped = shared
+        .stop
+        .lock()
+        .expect("stop lock")
+        .unwrap_or(StopReason::Completed);
+    let steps = *shared.steps.lock().expect("steps lock");
+    let flops = *shared.flops.lock().expect("flops lock");
+    SearchReport {
+        candidates,
+        stopped,
+        steps,
+        flops,
+        wall: shared.started.elapsed(),
+    }
+}
+
+/// Synthesize → proxy-train → latency-tune for one scenario, streaming
+/// events and pricing each distinct candidate as soon as it is scored.
+#[allow(clippy::too_many_arguments)]
+fn run_scenario(
+    index: usize,
+    scenario: &Scenario,
+    synth: &Option<SynthConfig>,
+    mcts_config: MctsConfig,
+    proxy: &ProxyConfig,
+    devices: &[Device],
+    compiler: CompilerKind,
+    progress_every: u64,
+    shared: &Shared,
+    sender: &Sender<SearchEvent>,
+) -> Vec<Candidate> {
+    let config = scenario
+        .synth
+        .clone()
+        .or_else(|| synth.clone())
+        .unwrap_or_else(|| SynthConfig::auto(&scenario.vars, 4));
+    let enumerator = Enumerator::new(config);
+    let root = PGraph::new(Arc::clone(&scenario.vars), scenario.spec.clone());
+    // Distinct seeds keep concurrent scenarios on distinct rollout streams.
+    let mut mcts = Mcts::new(
+        enumerator,
+        MctsConfig {
+            seed: mcts_config.seed.wrapping_add(index as u64),
+            ..mcts_config
+        },
+    );
+
+    let total_iterations = mcts_config.iterations as u64;
+    let candidates: Mutex<Vec<Candidate>> = Mutex::new(Vec::new());
+    let discovered_count = Mutex::new(0u64);
+
+    mcts.search_while(
+        &root,
+        |graph| {
+            let id = graph.state_hash();
+            let _ = sender.send(SearchEvent::CandidateFound {
+                scenario: index,
+                id,
+                graph: graph.clone(),
+            });
+            // A proxy panic (e.g. an exotic candidate the tape einsum cannot
+            // differentiate) must not take down the whole run: demote it to
+            // a typed skip, like any other per-candidate failure.
+            let scored = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                try_operator_accuracy(graph, 0, proxy)
+            }))
+            .unwrap_or_else(|payload| Err(SynoError::proxy(panic_message(&payload))));
+            match scored {
+                Ok(acc) => {
+                    let accuracy = (acc as f64).clamp(0.0, 1.0);
+                    if let Some(flops) = syno_core::analysis::naive_flops(graph, 0) {
+                        let mut total = shared.flops.lock().expect("flops lock");
+                        *total = total.saturating_add(flops);
+                    }
+                    let _ = sender.send(SearchEvent::ProxyScored {
+                        scenario: index,
+                        id,
+                        accuracy,
+                    });
+                    *discovered_count.lock().expect("count lock") += 1;
+                    // Latency-tune immediately: the candidate is complete in
+                    // the stream, and a cancelled run keeps every candidate
+                    // it has announced.
+                    match price_candidate(index, graph, accuracy, devices, compiler) {
+                        Ok(candidate) => {
+                            let _ = sender.send(SearchEvent::LatencyTuned {
+                                scenario: index,
+                                id,
+                                candidate: candidate.clone(),
+                            });
+                            candidates.lock().expect("candidates lock").push(candidate);
+                        }
+                        Err(error) => {
+                            let _ = sender.send(SearchEvent::CandidateSkipped {
+                                scenario: index,
+                                id,
+                                error,
+                            });
+                        }
+                    }
+                    accuracy
+                }
+                Err(error) => {
+                    let _ = sender.send(SearchEvent::CandidateSkipped {
+                        scenario: index,
+                        id,
+                        error,
+                    });
+                    0.0
+                }
+            }
+        },
+        |iteration| {
+            if shared.should_stop().is_some() {
+                return false;
+            }
+            *shared.steps.lock().expect("steps lock") += 1;
+            if iteration > 0 && iteration % progress_every == 0 {
+                let _ = sender.send(SearchEvent::Progress {
+                    scenario: index,
+                    iterations: iteration,
+                    total_iterations,
+                    discovered: *discovered_count.lock().expect("count lock"),
+                });
+            }
+            true
+        },
+    );
+
+    candidates.into_inner().expect("candidates lock")
+}
+
+/// Tunes one scored candidate on every device.
+pub(crate) fn price_candidate(
+    scenario: usize,
+    graph: &PGraph,
+    accuracy: f64,
+    devices: &[Device],
+    compiler: CompilerKind,
+) -> Result<Candidate, SynoError> {
+    let flops = syno_core::analysis::naive_flops(graph, 0).unwrap_or(u128::MAX);
+    let params = syno_core::analysis::parameter_count(graph, 0).unwrap_or(u128::MAX);
+    let mut latencies = Vec::with_capacity(devices.len());
+    for device in devices {
+        let compiled = syno_compiler::profile_and_compile(
+            graph,
+            0,
+            OperatorClass::Novel,
+            "candidate",
+            device,
+            compiler,
+            DType::F32,
+        )?;
+        latencies.push(compiled.latency);
+    }
+    Ok(Candidate {
+        scenario,
+        graph: graph.clone(),
+        accuracy,
+        flops,
+        params,
+        latencies,
+    })
+}
+
+/// Re-evaluates already-discovered operators (the legacy pricing path).
+pub(crate) fn price_discovered(
+    discovered: &[Discovered],
+    devices: &[Device],
+    compiler: CompilerKind,
+    workers: usize,
+) -> Vec<Candidate> {
+    let results: Mutex<Vec<(usize, Candidate)>> = Mutex::new(Vec::new());
+    let next: Mutex<usize> = Mutex::new(0);
+    let worker_count = workers.max(1);
+    thread::scope(|scope| {
+        for _ in 0..worker_count {
+            scope.spawn(|| loop {
+                let idx = {
+                    let mut guard = next.lock().expect("index lock");
+                    let idx = *guard;
+                    *guard += 1;
+                    idx
+                };
+                if idx >= discovered.len() {
+                    break;
+                }
+                let d = &discovered[idx];
+                let candidate = price_candidate(0, &d.graph, d.reward, devices, compiler)
+                    .unwrap_or_else(|_| Candidate {
+                        scenario: 0,
+                        graph: d.graph.clone(),
+                        accuracy: d.reward,
+                        flops: syno_core::analysis::naive_flops(&d.graph, 0)
+                            .unwrap_or(u128::MAX),
+                        params: syno_core::analysis::parameter_count(&d.graph, 0)
+                            .unwrap_or(u128::MAX),
+                        latencies: vec![f64::INFINITY; devices.len()],
+                    });
+                results.lock().expect("results lock").push((idx, candidate));
+            });
+        }
+    });
+    let mut out = results.into_inner().expect("results lock");
+    out.sort_by_key(|(idx, _)| *idx);
+    out.into_iter().map(|(_, c)| c).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use syno_core::prelude::*;
+    use syno_nn::TrainConfig;
+
+    fn pool_scenario() -> (Arc<VarTable>, OperatorSpec) {
+        let mut vars = VarTable::new();
+        let h = vars.declare("H", VarKind::Primary);
+        let s = vars.declare("s", VarKind::Coefficient);
+        vars.push_valuation(vec![(h, 16), (s, 2)]);
+        let vars = vars.into_shared();
+        let spec = OperatorSpec::new(
+            TensorShape::new(vec![Size::var(h)]),
+            TensorShape::new(vec![Size::var(h).div(&Size::var(s))]),
+        );
+        (vars, spec)
+    }
+
+    /// A tiny 4-D conv-like scenario the vision proxy can actually score.
+    fn conv_scenario() -> (Arc<VarTable>, OperatorSpec) {
+        let mut vars = VarTable::new();
+        let n = vars.declare("N", VarKind::Primary);
+        let cin = vars.declare("Cin", VarKind::Primary);
+        let cout = vars.declare("Cout", VarKind::Primary);
+        let h = vars.declare("H", VarKind::Primary);
+        let w = vars.declare("W", VarKind::Primary);
+        let k = vars.declare("k", VarKind::Coefficient);
+        vars.push_valuation(vec![(n, 4), (cin, 3), (cout, 4), (h, 8), (w, 8), (k, 3)]);
+        let vars = vars.into_shared();
+        let spec = OperatorSpec::new(
+            TensorShape::new(vec![
+                Size::var(n),
+                Size::var(cin),
+                Size::var(h),
+                Size::var(w),
+            ]),
+            TensorShape::new(vec![
+                Size::var(n),
+                Size::var(cout),
+                Size::var(h),
+                Size::var(w),
+            ]),
+        );
+        (vars, spec)
+    }
+
+    fn quick_proxy() -> ProxyConfig {
+        ProxyConfig {
+            train: TrainConfig {
+                steps: 2,
+                batch: 4,
+                eval_batches: 1,
+                ..TrainConfig::default()
+            },
+            ..ProxyConfig::default()
+        }
+    }
+
+    #[test]
+    fn builder_without_scenarios_is_a_typed_error() {
+        let err = SearchBuilder::new().start().expect_err("must fail");
+        assert!(matches!(
+            err,
+            SynoError::Synth(SynthError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_scenario_spec_is_a_typed_error() {
+        let mut vars = VarTable::new();
+        let h = vars.declare("H", VarKind::Primary);
+        let vars = vars.into_shared(); // no valuations pushed
+        let spec = OperatorSpec::new(
+            TensorShape::new(vec![Size::var(h)]),
+            TensorShape::new(vec![Size::var(h)]),
+        );
+        let err = SearchBuilder::new()
+            .scenario("bad", &vars, &spec)
+            .start()
+            .expect_err("must fail");
+        assert!(matches!(err, SynoError::Synth(SynthError::InvalidSpec(_))));
+    }
+
+    #[test]
+    fn events_stream_in_pipeline_order_per_candidate() {
+        let (vars, spec) = conv_scenario();
+        let run = SearchBuilder::new()
+            .scenario("conv", &vars, &spec)
+            .mcts(MctsConfig {
+                iterations: 25,
+                seed: 2,
+                ..MctsConfig::default()
+            })
+            .proxy(quick_proxy())
+            .progress_every(5)
+            .start()
+            .unwrap();
+
+        let events: Vec<SearchEvent> = run.events().collect();
+        let mut seen_found = std::collections::HashSet::new();
+        let mut seen_scored = std::collections::HashSet::new();
+        let mut tuned = 0usize;
+        for event in &events {
+            match event {
+                SearchEvent::CandidateFound { id, .. } => {
+                    assert!(seen_found.insert(*id), "duplicate CandidateFound for {id}");
+                }
+                SearchEvent::ProxyScored { id, .. } => {
+                    assert!(seen_found.contains(id), "scored before found");
+                    seen_scored.insert(*id);
+                }
+                SearchEvent::LatencyTuned { id, candidate, .. } => {
+                    assert!(seen_scored.contains(id), "tuned before scored");
+                    assert!(candidate.graph.is_complete());
+                    tuned += 1;
+                }
+                _ => {}
+            }
+        }
+        assert!(tuned > 0, "conv scenario must produce tuned candidates");
+
+        let report = run.join().unwrap();
+        assert_eq!(report.stopped, StopReason::Completed);
+        assert_eq!(report.candidates.len(), tuned);
+        assert!(report.steps > 0);
+    }
+
+    #[test]
+    fn cancellation_stops_early_with_partial_results() {
+        let (vars, spec) = conv_scenario();
+        let token = CancelToken::new();
+        let run = SearchBuilder::new()
+            .scenario("conv", &vars, &spec)
+            .mcts(MctsConfig {
+                iterations: 100_000,
+                seed: 3,
+                ..MctsConfig::default()
+            })
+            .proxy(quick_proxy())
+            .cancel_token(token.clone())
+            .start()
+            .unwrap();
+
+        // Cancel as soon as the first candidate is fully through the
+        // pipeline; the run must wind down and keep what it announced.
+        let mut tuned_before_cancel = 0usize;
+        for event in run.events() {
+            if let SearchEvent::LatencyTuned { .. } = event {
+                tuned_before_cancel += 1;
+                if !token.is_cancelled() {
+                    token.cancel();
+                }
+            }
+        }
+        let report = run.join().unwrap();
+        assert_eq!(report.stopped, StopReason::Cancelled);
+        assert!(tuned_before_cancel >= 1);
+        assert_eq!(report.candidates.len(), tuned_before_cancel);
+        assert!(
+            report.steps < 100_000,
+            "cancellation must cut the run short ({} steps)",
+            report.steps
+        );
+    }
+
+    #[test]
+    fn step_budget_bounds_total_iterations() {
+        let (vars, spec) = pool_scenario();
+        let report = SearchBuilder::new()
+            .scenario("pool", &vars, &spec)
+            .mcts(MctsConfig {
+                iterations: 100_000,
+                seed: 4,
+                ..MctsConfig::default()
+            })
+            .proxy(quick_proxy())
+            .max_steps(30)
+            .run()
+            .unwrap();
+        assert_eq!(report.stopped, StopReason::StepBudget);
+        assert!(report.steps >= 30 && report.steps < 40, "{}", report.steps);
+    }
+
+    #[test]
+    fn scenarios_run_concurrently_and_tag_results() {
+        let (vars, spec) = conv_scenario();
+        let report = SearchBuilder::new()
+            .scenario("conv-a", &vars, &spec)
+            .scenario("conv-b", &vars, &spec)
+            .mcts(MctsConfig {
+                iterations: 20,
+                seed: 5,
+                ..MctsConfig::default()
+            })
+            .proxy(quick_proxy())
+            .workers(2)
+            .run()
+            .unwrap();
+        let scenarios: std::collections::HashSet<usize> =
+            report.candidates.iter().map(|c| c.scenario).collect();
+        assert!(scenarios.contains(&0) && scenarios.contains(&1), "{scenarios:?}");
+        for pair in report.candidates.windows(2) {
+            assert!(pair[0].accuracy >= pair[1].accuracy);
+        }
+    }
+
+    #[test]
+    fn wall_clock_budget_stops_the_run() {
+        let (vars, spec) = pool_scenario();
+        let report = SearchBuilder::new()
+            .scenario("pool", &vars, &spec)
+            .mcts(MctsConfig {
+                iterations: 1_000_000,
+                seed: 6,
+                ..MctsConfig::default()
+            })
+            .proxy(quick_proxy())
+            .max_wall(Duration::from_millis(200))
+            .run()
+            .unwrap();
+        assert_eq!(report.stopped, StopReason::WallClock);
+        assert!(report.wall < Duration::from_secs(30));
+    }
+}

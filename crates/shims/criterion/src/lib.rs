@@ -1,0 +1,162 @@
+//! Vendored stand-in for `criterion`, exposing the subset the bench targets
+//! use: [`Criterion::benchmark_group`], `sample_size`, `bench_function`,
+//! [`Bencher::iter`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! It measures wall-clock means over a handful of samples and prints one
+//! line per benchmark — no statistics, plots, or baselines. The point is
+//! that `cargo bench` (and `cargo build --benches`) work offline with
+//! unmodified bench sources.
+
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+/// Opaque value barrier, re-exported from `std::hint`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Per-iteration timing context handed to bench closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: usize,
+    /// Mean seconds per iteration of the last `iter` call.
+    last_mean: f64,
+}
+
+impl Bencher {
+    /// Times `f`, running it once per sample.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        let samples = self.samples.max(1);
+        // One untimed warm-up iteration.
+        black_box(f());
+        let start = Instant::now();
+        for _ in 0..samples {
+            black_box(f());
+        }
+        self.last_mean = start.elapsed().as_secs_f64() / samples as f64;
+    }
+}
+
+fn run_one(group: Option<&str>, id: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        samples,
+        last_mean: 0.0,
+    };
+    f(&mut bencher);
+    let name = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_owned(),
+    };
+    println!(
+        "bench {name:<40} {:>12.3} us/iter ({samples} samples)",
+        bencher.last_mean * 1e6
+    );
+}
+
+/// The bench harness entry point.
+#[derive(Debug)]
+pub struct Criterion {
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let default_samples = std::env::var("CRITERION_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(10);
+        Criterion { default_samples }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: self.default_samples,
+            _parent: self,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(None, &id.into(), self.default_samples, &mut f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a sample count.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(Some(&self.name), &id.into(), self.samples, &mut f);
+        self
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a bench group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

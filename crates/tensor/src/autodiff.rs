@@ -33,6 +33,7 @@ impl Var {
 }
 
 #[derive(Clone, Debug)]
+#[allow(dead_code)] // some payloads exist only for the tape's Debug output
 enum Op {
     Leaf,
     Add(Var, Var),

@@ -175,7 +175,7 @@ pub fn fold_acc(grad: &Tensor, axis: usize, k: usize, in_shape: &[usize]) -> Ten
 pub fn strided(t: &Tensor, axis: usize, s: usize) -> Tensor {
     assert!(axis < t.rank(), "axis out of range");
     let in_shape = t.shape().to_vec();
-    assert!(s > 0 && in_shape[axis] % s == 0, "stride must divide extent");
+    assert!(s > 0 && in_shape[axis].is_multiple_of(s), "stride must divide extent");
     let mut out_shape = in_shape.clone();
     out_shape[axis] = in_shape[axis] / s;
     let in_strides = Tensor::strides_of(&in_shape);
@@ -348,9 +348,9 @@ pub fn concat(tensors: &[&Tensor], axis: usize) -> Tensor {
     let mut total = 0;
     for t in tensors {
         assert_eq!(t.rank(), first.len(), "concat rank mismatch");
-        for d in 0..first.len() {
+        for (d, (&td, &fd)) in t.shape().iter().zip(&first).enumerate() {
             if d != axis {
-                assert_eq!(t.shape()[d], first[d], "concat off-axis mismatch");
+                assert_eq!(td, fd, "concat off-axis mismatch");
             }
         }
         total += t.shape()[axis];

@@ -1,50 +1,86 @@
-//! Discover convolution substitutes with MCTS, score them with the
-//! accuracy proxy, and price them on three devices — the full Algorithm 1
+//! Discover convolution substitutes with the streaming `Session` search:
+//! MCTS synthesis, accuracy-proxy scoring, and per-device latency tuning,
+//! with live events printed as the pipeline advances — the full Algorithm 1
 //! pipeline at toy scale.
 //!
 //! Run with: `cargo run --release --example discover_substitute`
 
-use std::sync::Arc;
-use syno::compiler::{CompilerKind, Device};
-use syno::core::prelude::*;
+use syno::compiler::Device;
 use syno::nn::{ProxyConfig, TrainConfig};
-use syno::search::{search_substitutions, MctsConfig, SearchSettings};
+use syno::search::MctsConfig;
+use syno::{SearchEvent, Session};
 
 fn main() {
-    let mut vars = VarTable::new();
-    let n = vars.declare("N", VarKind::Primary);
-    let cin = vars.declare("Cin", VarKind::Primary);
-    let cout = vars.declare("Cout", VarKind::Primary);
-    let h = vars.declare("H", VarKind::Primary);
-    let w = vars.declare("W", VarKind::Primary);
-    let k = vars.declare("k", VarKind::Coefficient);
-    vars.push_valuation(vec![(n, 8), (cin, 4), (cout, 8), (h, 8), (w, 8), (k, 3)]);
-    let vars = vars.into_shared();
-    let spec = OperatorSpec::new(
-        TensorShape::new(vec![Size::var(n), Size::var(cin), Size::var(h), Size::var(w)]),
-        TensorShape::new(vec![Size::var(n), Size::var(cout), Size::var(h), Size::var(w)]),
-    );
-
-    let settings = SearchSettings {
-        synth: SynthConfig::auto(&vars, 4),
-        mcts: MctsConfig { iterations: 40, seed: 1, ..MctsConfig::default() },
-        proxy: ProxyConfig {
-            train: TrainConfig { steps: 15, batch: 8, eval_batches: 2, ..TrainConfig::default() },
+    let session = Session::builder()
+        .primary("N", 8)
+        .primary("Cin", 4)
+        .primary("Cout", 8)
+        .primary("H", 8)
+        .primary("W", 8)
+        .coefficient("k", 3)
+        .devices(Device::all())
+        .workers(4)
+        .mcts(MctsConfig {
+            iterations: 40,
+            seed: 1,
+            ..MctsConfig::default()
+        })
+        .proxy(ProxyConfig {
+            train: TrainConfig {
+                steps: 15,
+                batch: 8,
+                eval_batches: 2,
+                ..TrainConfig::default()
+            },
             ..ProxyConfig::default()
-        },
-        devices: Device::all(),
-        compiler: CompilerKind::Tvm,
-        workers: 4,
-    };
-    let candidates = search_substitutions(&vars, &spec, &settings);
-    println!("discovered {} candidate operators", candidates.len());
-    println!("{:<6} {:>9} {:>12} {:>10} {:>12} {:>12} {:>12}",
-        "rank", "accuracy", "flops", "params", "cpu(us)", "mgpu(us)", "a100(us)");
-    for (i, c) in candidates.iter().take(10).enumerate() {
+        })
+        .build()
+        .expect("session builds");
+
+    let spec = session
+        .spec(&["N", "Cin", "H", "W"], &["N", "Cout", "H", "W"])
+        .expect("spec builds");
+
+    let run = session.scenario("conv", &spec).start().expect("run starts");
+    for event in run.events() {
+        match event {
+            SearchEvent::ProxyScored { id, accuracy, .. } => {
+                println!("scored   {id:>20}  accuracy {accuracy:.3}");
+            }
+            SearchEvent::Progress {
+                iterations,
+                total_iterations,
+                discovered,
+                ..
+            } => {
+                println!("progress {iterations}/{total_iterations} iterations, {discovered} operators");
+            }
+            _ => {}
+        }
+    }
+    let report = run.join().expect("search finishes");
+
+    println!(
+        "\ndiscovered {} candidate operators in {:?} ({} MCTS steps, stop: {:?})",
+        report.candidates.len(),
+        report.wall,
+        report.steps,
+        report.stopped
+    );
+    println!(
+        "{:<6} {:>9} {:>12} {:>10} {:>12} {:>12} {:>12}",
+        "rank", "accuracy", "flops", "params", "cpu(us)", "mgpu(us)", "a100(us)"
+    );
+    for (i, c) in report.candidates.iter().take(10).enumerate() {
         println!(
             "{:<6} {:>9.3} {:>12} {:>10} {:>12.1} {:>12.1} {:>12.1}",
-            i + 1, c.accuracy, c.flops, c.params,
-            c.latencies[0] * 1e6, c.latencies[1] * 1e6, c.latencies[2] * 1e6
+            i + 1,
+            c.accuracy,
+            c.flops,
+            c.params,
+            c.latencies[0] * 1e6,
+            c.latencies[1] * 1e6,
+            c.latencies[2] * 1e6
         );
     }
 }

@@ -1,32 +1,34 @@
-//! Quickstart: synthesize pooling-like operators for `[H] -> [H/s]`,
-//! then execute the best one on real data through both code generators.
+//! Quickstart: synthesize pooling-like operators for `[H] -> [H/s]` with
+//! the `Session` facade, then execute the best one on real data through
+//! both code generators.
 //!
 //! Run with: `cargo run --example quickstart`
 
-use std::sync::Arc;
-use syno::core::prelude::*;
 use syno::ir::{eager, lower_optimized};
 use syno::tensor::Tensor;
+use syno::Session;
 
 fn main() {
     // 1. Declare symbolic shapes with one concrete valuation.
-    let mut vars = VarTable::new();
-    let h = vars.declare("H", VarKind::Primary);
-    let s = vars.declare("s", VarKind::Coefficient);
-    vars.push_valuation(vec![(h, 16), (s, 2)]);
-    let vars = vars.into_shared();
+    let session = Session::builder()
+        .primary("H", 16)
+        .coefficient("s", 2)
+        .build()
+        .expect("session builds");
 
     // 2. Ask for operators mapping [H] to [H/s].
-    let spec = OperatorSpec::new(
-        TensorShape::new(vec![Size::var(h)]),
-        TensorShape::new(vec![Size::var(h).div(&Size::var(s))]),
-    );
+    let spec = session.spec(&["H"], &["H/s"]).expect("spec builds");
 
-    // 3. Enumerate every canonical operator of at most 3 primitives
-    //    (Algorithm 1 with shape-distance pruning).
-    let enumerator = Enumerator::new(SynthConfig::auto(&vars, 3));
-    let (found, stats) = enumerator.enumerate(&vars, &spec);
-    println!("found {} operators ({stats:?})", found.len());
+    // 3. Stream canonical operators of at most 3 primitives (Algorithm 1
+    //    with shape-distance pruning) — the driver suspends between
+    //    discoveries, so taking a few costs only a few.
+    let mut driver = session.synthesis(&spec, 3);
+    let found: Vec<_> = driver
+        .by_ref()
+        .take(8)
+        .collect::<Result<Vec<_>, _>>()
+        .expect("synthesis yields operators");
+    println!("streamed {} operators ({:?})", found.len(), driver.stats());
 
     // 4. Execute the first discovery on concrete data with both backends.
     let graph = &found[0];

@@ -1,6 +1,21 @@
 //! # syno — a Rust reproduction of *Syno: Structured Synthesis for Neural Operators* (ASPLOS 2025)
 //!
-//! This facade crate re-exports the whole workspace:
+//! The public API is the [`Session`] facade: declare symbolic shapes once,
+//! then drive the two halves of the system —
+//!
+//! * [`Session::synthesis`] — the resumable Algorithm 1 enumerator
+//!   ([`core::synth::Synthesis`]), yielding canonical operators one at a
+//!   time with typed [`SynthError`]s;
+//! * [`Session::search`] / [`Session::scenario`] — the streaming
+//!   [`SearchBuilder`] → [`SearchRun`] pipeline (synthesize → proxy-train →
+//!   latency-tune), which emits [`SearchEvent`]s over a channel, honors
+//!   step/FLOP/wall-clock [`Budget`]s, cancels cooperatively through a
+//!   [`CancelToken`], and evaluates many specs concurrently over a worker
+//!   pool.
+//!
+//! Failures everywhere are the workspace-wide [`SynoError`].
+//!
+//! The underlying crates remain re-exported for direct use:
 //!
 //! | crate | contents |
 //! |-------|----------|
@@ -9,11 +24,11 @@
 //! | [`ir`] | loop-nest IR, materialized reduction, eager + interpreter backends (§8) |
 //! | [`compiler`] | device models and the TVM-/TorchInductor-style compiler simulators (§9.1) |
 //! | [`nn`] | training substrate, synthetic datasets, accuracy/perplexity proxies |
-//! | [`search`] | MCTS over partial pGraphs and the Algorithm 1 orchestration (§7.2) |
+//! | [`search`] | MCTS, and the streaming `SearchBuilder`/`SearchRun` orchestration (§7.2) |
 //! | [`models`] | backbone layer tables, NAS-PTE baselines, Operators 1 & 2 (§9) |
 //!
-//! See `examples/quickstart.rs` for a five-minute tour, DESIGN.md for the
-//! system inventory, and EXPERIMENTS.md for the paper-vs-measured record.
+//! See `examples/quickstart.rs` for a five-minute tour and DESIGN.md for
+//! the API reference.
 
 pub use syno_compiler as compiler;
 pub use syno_core as core;
@@ -22,3 +37,12 @@ pub use syno_models as models;
 pub use syno_nn as nn;
 pub use syno_search as search;
 pub use syno_tensor as tensor;
+
+mod session;
+
+pub use session::{Session, SessionBuilder};
+pub use syno_core::error::{SynoError, SynthError};
+pub use syno_search::{
+    Budget, CancelToken, Candidate, SearchBuilder, SearchEvent, SearchReport, SearchRun,
+    StopReason,
+};

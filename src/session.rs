@@ -1,0 +1,317 @@
+//! The [`Session`] facade: one object that owns the symbolic-shape
+//! vocabulary and default pipeline settings, and hands out the workspace's
+//! drivers — resumable [`Synthesis`] enumeration and streaming
+//! [`SearchBuilder`] runs — without the caller wiring seven crates together.
+//!
+//! ```
+//! use syno::{Session, SearchEvent};
+//!
+//! let session = Session::builder()
+//!     .primary("H", 16)
+//!     .coefficient("s", 2)
+//!     .build()
+//!     .unwrap();
+//!
+//! // [H] -> [H/s]: enumerate canonical pooling-like operators lazily.
+//! let spec = session.spec(&["H"], &["H/s"]).unwrap();
+//! let first = session
+//!     .synthesis(&spec, 3)
+//!     .next()
+//!     .expect("space is nonempty")
+//!     .unwrap();
+//! assert!(first.is_complete());
+//! ```
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use syno_core::error::{SynoError, SynthError};
+use syno_core::size::Size;
+use syno_core::spec::{OperatorSpec, TensorShape};
+use syno_core::synth::{Enumerator, SynthConfig, Synthesis};
+use syno_core::var::{VarId, VarKind, VarTable};
+use syno_nn::ProxyConfig;
+use syno_search::{MctsConfig, SearchBuilder};
+use syno_compiler::{CompilerKind, Device};
+
+/// Declares the symbolic-shape vocabulary and default pipeline settings for
+/// a [`Session`].
+#[derive(Clone, Debug, Default)]
+pub struct SessionBuilder {
+    vars: Vec<(String, VarKind, u64)>,
+    extra_valuations: Vec<Vec<(String, u64)>>,
+    devices: Option<Vec<Device>>,
+    compiler: Option<CompilerKind>,
+    workers: Option<usize>,
+    mcts: Option<MctsConfig>,
+    proxy: Option<ProxyConfig>,
+}
+
+impl SessionBuilder {
+    /// Declares a primary variable (a backbone dimension like `H` or
+    /// `C_out`) with its value under the session's base valuation.
+    pub fn primary(mut self, name: impl Into<String>, value: u64) -> Self {
+        self.vars.push((name.into(), VarKind::Primary, value));
+        self
+    }
+
+    /// Declares a coefficient variable (a tunable factor like a kernel size
+    /// or stride) with its value under the base valuation.
+    pub fn coefficient(mut self, name: impl Into<String>, value: u64) -> Self {
+        self.vars.push((name.into(), VarKind::Coefficient, value));
+        self
+    }
+
+    /// Records an additional valuation (values for every declared variable,
+    /// by name) — e.g. a larger deployment shape.
+    pub fn valuation(mut self, values: &[(&str, u64)]) -> Self {
+        self.extra_valuations
+            .push(values.iter().map(|&(n, v)| (n.to_owned(), v)).collect());
+        self
+    }
+
+    /// Default devices for search runs (defaults to all three platforms).
+    pub fn devices(mut self, devices: Vec<Device>) -> Self {
+        self.devices = Some(devices);
+        self
+    }
+
+    /// Default compiler for the latency column.
+    pub fn compiler(mut self, kind: CompilerKind) -> Self {
+        self.compiler = Some(kind);
+        self
+    }
+
+    /// Default worker-thread count for search runs.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers);
+        self
+    }
+
+    /// Default MCTS settings for search runs.
+    pub fn mcts(mut self, config: MctsConfig) -> Self {
+        self.mcts = Some(config);
+        self
+    }
+
+    /// Default accuracy-proxy settings for search runs.
+    pub fn proxy(mut self, config: ProxyConfig) -> Self {
+        self.proxy = Some(config);
+        self
+    }
+
+    /// Validates the declarations and builds the session.
+    ///
+    /// # Errors
+    ///
+    /// [`SynthError::InvalidConfig`] (as [`SynoError::Synth`]) for duplicate
+    /// variable names, an empty vocabulary, or a valuation that misses a
+    /// declared variable.
+    pub fn build(self) -> Result<Session, SynoError> {
+        if self.vars.is_empty() {
+            return Err(SynthError::InvalidConfig("no variables declared".into()).into());
+        }
+        let mut table = VarTable::new();
+        let mut ids: HashMap<String, VarId> = HashMap::new();
+        for (name, kind, _) in &self.vars {
+            if ids.contains_key(name) {
+                return Err(SynthError::InvalidConfig(format!(
+                    "variable '{name}' declared twice"
+                ))
+                .into());
+            }
+            ids.insert(name.clone(), table.declare(name, *kind));
+        }
+        let base: Vec<(VarId, u64)> = self
+            .vars
+            .iter()
+            .map(|(name, _, value)| (ids[name], *value))
+            .collect();
+        table.push_valuation(base);
+        for valuation in &self.extra_valuations {
+            let mut row = Vec::with_capacity(self.vars.len());
+            for (name, _, _) in &self.vars {
+                let value = valuation
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .map(|&(_, v)| v)
+                    .ok_or_else(|| {
+                        SynoError::from(SynthError::InvalidConfig(format!(
+                            "valuation misses variable '{name}'"
+                        )))
+                    })?;
+                row.push((ids[name], value));
+            }
+            table.push_valuation(row);
+        }
+        Ok(Session {
+            vars: table.into_shared(),
+            ids,
+            devices: self.devices.unwrap_or_else(Device::all),
+            compiler: self.compiler.unwrap_or(CompilerKind::Tvm),
+            workers: self.workers.unwrap_or(2),
+            mcts: self.mcts.unwrap_or_default(),
+            proxy: self.proxy.unwrap_or_default(),
+        })
+    }
+}
+
+/// The workspace facade: symbolic shapes plus pipeline defaults.
+///
+/// A `Session` is cheap to clone (the variable table is shared) and hands
+/// out both drivers of the reproduction:
+///
+/// * [`synthesis`](Session::synthesis) — the resumable Algorithm 1
+///   enumerator ([`Synthesis`] yields one operator at a time);
+/// * [`search`](Session::search) — a [`SearchBuilder`] pre-seeded with the
+///   session's devices/compiler/workers/MCTS/proxy defaults, which streams
+///   [`SearchEvent`](syno_search::SearchEvent)s and honors budgets and
+///   [`CancelToken`](syno_search::CancelToken)s.
+#[derive(Clone, Debug)]
+pub struct Session {
+    vars: Arc<VarTable>,
+    ids: HashMap<String, VarId>,
+    devices: Vec<Device>,
+    compiler: CompilerKind,
+    workers: usize,
+    mcts: MctsConfig,
+    proxy: ProxyConfig,
+}
+
+impl Session {
+    /// Starts declaring a session.
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::default()
+    }
+
+    /// The shared variable table.
+    pub fn vars(&self) -> &Arc<VarTable> {
+        &self.vars
+    }
+
+    /// Looks up a declared variable by name.
+    pub fn var(&self, name: &str) -> Option<VarId> {
+        self.ids.get(name).copied()
+    }
+
+    /// A size term by name: `"H"`, or a quotient `"H/s"` (one `/`).
+    ///
+    /// # Errors
+    ///
+    /// [`SynthError::InvalidSpec`] for unknown variable names.
+    pub fn size(&self, term: &str) -> Result<Size, SynoError> {
+        let mk = |name: &str| -> Result<Size, SynoError> {
+            self.var(name.trim()).map(Size::var).ok_or_else(|| {
+                SynoError::from(SynthError::InvalidSpec(format!(
+                    "unknown variable '{}'",
+                    name.trim()
+                )))
+            })
+        };
+        match term.split_once('/') {
+            Some((num, den)) => Ok(mk(num)?.div(&mk(den)?)),
+            None => mk(term),
+        }
+    }
+
+    /// Builds an operator specification from per-dimension size terms, e.g.
+    /// `session.spec(&["N", "Cin", "H", "W"], &["N", "Cout", "H", "W"])`.
+    ///
+    /// # Errors
+    ///
+    /// [`SynthError::InvalidSpec`] for unknown variable names.
+    pub fn spec(&self, input: &[&str], output: &[&str]) -> Result<OperatorSpec, SynoError> {
+        let dims = |terms: &[&str]| -> Result<Vec<Size>, SynoError> {
+            terms.iter().map(|t| self.size(t)).collect()
+        };
+        Ok(OperatorSpec::new(
+            TensorShape::new(dims(input)?),
+            TensorShape::new(dims(output)?),
+        ))
+    }
+
+    /// A resumable synthesis driver for `spec` with auto-derived parameter
+    /// candidates and at most `max_steps` primitives per operator.
+    pub fn synthesis(&self, spec: &OperatorSpec, max_steps: usize) -> Synthesis {
+        self.synthesis_with(SynthConfig::auto(&self.vars, max_steps), spec)
+    }
+
+    /// A resumable synthesis driver with an explicit configuration (see
+    /// [`SynthConfig::builder`]).
+    pub fn synthesis_with(&self, config: SynthConfig, spec: &OperatorSpec) -> Synthesis {
+        Enumerator::new(config).synthesis(&self.vars, spec)
+    }
+
+    /// A [`SearchBuilder`] pre-seeded with this session's defaults; add
+    /// scenarios with [`scenario`](Session::scenario) or directly on the
+    /// returned builder.
+    pub fn search(&self) -> SearchBuilder {
+        SearchBuilder::new()
+            .devices(self.devices.clone())
+            .compiler(self.compiler)
+            .workers(self.workers)
+            .mcts(self.mcts)
+            .proxy(self.proxy)
+    }
+
+    /// Shorthand: a pre-seeded search builder with one scenario added.
+    pub fn scenario(&self, label: &str, spec: &OperatorSpec) -> SearchBuilder {
+        self.search().scenario(label, &self.vars, spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_declares_vars_and_valuations() {
+        let session = Session::builder()
+            .primary("H", 16)
+            .coefficient("s", 2)
+            .valuation(&[("H", 32), ("s", 4)])
+            .build()
+            .unwrap();
+        assert_eq!(session.vars().valuation_count(), 2);
+        assert!(session.var("H").is_some());
+        assert!(session.var("nope").is_none());
+    }
+
+    #[test]
+    fn duplicate_variable_is_a_typed_error() {
+        let err = Session::builder()
+            .primary("H", 16)
+            .primary("H", 8)
+            .build()
+            .expect_err("must fail");
+        assert!(matches!(err, SynoError::Synth(SynthError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn spec_parses_quotient_terms() {
+        let session = Session::builder()
+            .primary("H", 16)
+            .coefficient("s", 2)
+            .build()
+            .unwrap();
+        let spec = session.spec(&["H"], &["H/s"]).unwrap();
+        assert_eq!(spec.input.eval(session.vars(), 0), Some(vec![16]));
+        assert_eq!(spec.output.eval(session.vars(), 0), Some(vec![8]));
+        assert!(session.spec(&["Q"], &["H"]).is_err());
+    }
+
+    #[test]
+    fn synthesis_streams_operators() {
+        let session = Session::builder()
+            .primary("H", 16)
+            .coefficient("s", 2)
+            .build()
+            .unwrap();
+        let spec = session.spec(&["H"], &["H/s"]).unwrap();
+        let ops: Vec<_> = session
+            .synthesis(&spec, 3)
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap();
+        assert!(!ops.is_empty());
+        assert!(ops.iter().all(|g| g.is_complete()));
+    }
+}

@@ -1,15 +1,63 @@
-//! The whole Algorithm 1 pipeline across crates: synthesize, train the
-//! proxy, and price the candidates — plus the canonicalization and
-//! shape-distance machinery exercised through the public facade.
+//! The whole Algorithm 1 pipeline across crates through the public facade:
+//! synthesize, train the proxy, and price the candidates — via the new
+//! `Session` API, plus the legacy wrapper for compatibility.
 
-use std::sync::Arc;
 use syno::compiler::{CompilerKind, Device};
 use syno::core::prelude::*;
 use syno::nn::{ProxyConfig, TrainConfig};
 use syno::search::{search_substitutions, MctsConfig, SearchSettings};
+use syno::Session;
+
+fn quick_proxy() -> ProxyConfig {
+    ProxyConfig {
+        train: TrainConfig {
+            steps: 5,
+            batch: 8,
+            eval_batches: 1,
+            ..TrainConfig::default()
+        },
+        ..ProxyConfig::default()
+    }
+}
 
 #[test]
-fn search_pipeline_discovers_priced_candidates() {
+fn session_search_discovers_priced_candidates() {
+    let session = Session::builder()
+        .primary("N", 8)
+        .primary("Cin", 4)
+        .primary("Cout", 8)
+        .primary("H", 8)
+        .primary("W", 8)
+        .coefficient("k", 3)
+        .devices(vec![Device::mobile_cpu()])
+        .compiler(CompilerKind::Tvm)
+        .workers(2)
+        .proxy(quick_proxy())
+        .mcts(MctsConfig {
+            iterations: 10,
+            seed: 3,
+            ..MctsConfig::default()
+        })
+        .build()
+        .expect("session builds");
+    let spec = session
+        .spec(&["N", "Cin", "H", "W"], &["N", "Cout", "H", "W"])
+        .unwrap();
+    let report = session
+        .scenario("conv", &spec)
+        .run()
+        .expect("search finishes");
+    assert!(!report.candidates.is_empty());
+    for c in &report.candidates {
+        assert!(c.graph.is_complete());
+        assert!(c.latencies[0].is_finite());
+    }
+}
+
+#[test]
+fn legacy_wrapper_matches_new_pipeline_shape() {
+    // The seed's free-function entry point survives as a thin wrapper over
+    // the builder; it must still produce complete, priced, sorted results.
     let mut vars = VarTable::new();
     let n = vars.declare("N", VarKind::Primary);
     let cin = vars.declare("Cin", VarKind::Primary);
@@ -26,10 +74,7 @@ fn search_pipeline_discovers_priced_candidates() {
     let settings = SearchSettings {
         synth: SynthConfig::auto(&vars, 4),
         mcts: MctsConfig { iterations: 10, seed: 3, ..MctsConfig::default() },
-        proxy: ProxyConfig {
-            train: TrainConfig { steps: 5, batch: 8, eval_batches: 1, ..TrainConfig::default() },
-            ..ProxyConfig::default()
-        },
+        proxy: quick_proxy(),
         devices: vec![Device::mobile_cpu()],
         compiler: CompilerKind::Tvm,
         workers: 2,
@@ -40,24 +85,32 @@ fn search_pipeline_discovers_priced_candidates() {
         assert!(c.graph.is_complete());
         assert!(c.latencies[0].is_finite());
     }
+    for pair in candidates.windows(2) {
+        assert!(pair[0].accuracy >= pair[1].accuracy);
+    }
 }
 
 #[test]
 fn flops_budget_is_a_hard_ceiling() {
-    // §7.2: FLOPs are a hard limit, not part of the reward.
-    let mut vars = VarTable::new();
-    let h = vars.declare("H", VarKind::Primary);
-    let s = vars.declare("s", VarKind::Coefficient);
-    vars.push_valuation(vec![(h, 16), (s, 2)]);
-    let vars = vars.into_shared();
-    let spec = OperatorSpec::new(
-        TensorShape::new(vec![Size::var(h)]),
-        TensorShape::new(vec![Size::var(h).div(&Size::var(s))]),
-    );
-    let mut config = SynthConfig::auto(&vars, 3);
-    config.max_flops = Some(8); // nothing real fits
-    let enumerator = Enumerator::new(config);
-    let (results, stats) = enumerator.enumerate(&vars, &spec);
-    assert!(results.is_empty());
-    assert!(stats.expanded > 0);
+    // §7.2: FLOPs are a hard limit, not part of the reward — expressed
+    // through the SynthConfig builder.
+    let session = Session::builder()
+        .primary("H", 16)
+        .coefficient("s", 2)
+        .build()
+        .unwrap();
+    let spec = session.spec(&["H"], &["H/s"]).unwrap();
+    let config = SynthConfig::builder_auto(session.vars(), 3)
+        .max_flops(8) // nothing real fits
+        .build()
+        .unwrap();
+    let mut driver = session.synthesis_with(config, &spec);
+    let mut found = 0;
+    while let Some(item) = driver.next_operator() {
+        if item.is_ok() {
+            found += 1;
+        }
+    }
+    assert_eq!(found, 0);
+    assert!(driver.stats().expanded > 0);
 }

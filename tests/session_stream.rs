@@ -1,0 +1,168 @@
+//! End-to-end coverage of the `Session` facade's streaming search API:
+//! events arrive in pipeline order, budgets and cancellation stop runs
+//! early, and a cancelled run still returns everything it announced.
+
+use syno::{SearchEvent, Session, StopReason, SynoError, SynthError};
+use syno::nn::{ProxyConfig, TrainConfig};
+use syno::search::MctsConfig;
+use std::collections::{HashMap, HashSet};
+
+fn conv_session() -> Session {
+    Session::builder()
+        .primary("N", 4)
+        .primary("Cin", 3)
+        .primary("Cout", 4)
+        .primary("H", 8)
+        .primary("W", 8)
+        .coefficient("k", 3)
+        .devices(vec![syno::compiler::Device::mobile_cpu()])
+        .workers(2)
+        .proxy(ProxyConfig {
+            train: TrainConfig {
+                steps: 2,
+                batch: 4,
+                eval_batches: 1,
+                ..TrainConfig::default()
+            },
+            ..ProxyConfig::default()
+        })
+        .build()
+        .expect("session builds")
+}
+
+#[test]
+fn events_arrive_in_pipeline_order() {
+    let session = conv_session();
+    let spec = session
+        .spec(&["N", "Cin", "H", "W"], &["N", "Cout", "H", "W"])
+        .unwrap();
+    let run = session
+        .scenario("conv", &spec)
+        .mcts(MctsConfig {
+            iterations: 20,
+            seed: 11,
+            ..MctsConfig::default()
+        })
+        .start()
+        .expect("run starts");
+
+    // Per candidate id, the pipeline must announce
+    // CandidateFound -> ProxyScored -> LatencyTuned, in that order.
+    #[derive(Default)]
+    struct Stages {
+        found: usize,
+        scored: usize,
+        tuned: usize,
+    }
+    let mut stages: HashMap<u64, Stages> = HashMap::new();
+    for event in run.events() {
+        match event {
+            SearchEvent::CandidateFound { id, graph, .. } => {
+                let s = stages.entry(id).or_default();
+                assert_eq!(s.found, 0, "candidate {id} announced twice");
+                s.found += 1;
+                assert!(graph.is_complete());
+            }
+            SearchEvent::ProxyScored { id, accuracy, .. } => {
+                let s = stages.entry(id).or_default();
+                assert_eq!(s.found, 1, "scored before found");
+                assert_eq!(s.scored, 0);
+                s.scored += 1;
+                assert!((0.0..=1.0).contains(&accuracy));
+            }
+            SearchEvent::LatencyTuned { id, candidate, .. } => {
+                let s = stages.entry(id).or_default();
+                assert_eq!(s.scored, 1, "tuned before scored");
+                s.tuned += 1;
+                assert_eq!(candidate.latencies.len(), 1);
+                assert!(candidate.latencies[0].is_finite() && candidate.latencies[0] > 0.0);
+            }
+            SearchEvent::CandidateSkipped { id, .. } => {
+                let s = stages.entry(id).or_default();
+                assert_eq!(s.found, 1, "skipped before found");
+            }
+            _ => {}
+        }
+    }
+    let report = run.join().expect("run joins");
+    assert_eq!(report.stopped, StopReason::Completed);
+    let tuned_total: usize = stages.values().map(|s| s.tuned).sum();
+    assert!(tuned_total > 0, "conv search must tune candidates");
+    assert_eq!(report.candidates.len(), tuned_total);
+}
+
+#[test]
+fn cancellation_returns_partial_results() {
+    let session = conv_session();
+    let spec = session
+        .spec(&["N", "Cin", "H", "W"], &["N", "Cout", "H", "W"])
+        .unwrap();
+    let run = session
+        .scenario("conv", &spec)
+        .mcts(MctsConfig {
+            iterations: 1_000_000, // would run (effectively) forever
+            seed: 7,
+            ..MctsConfig::default()
+        })
+        .start()
+        .expect("run starts");
+    let token = run.cancel_token();
+
+    let mut announced: HashSet<u64> = HashSet::new();
+    for event in run.events() {
+        if let SearchEvent::LatencyTuned { id, .. } = event {
+            announced.insert(id);
+            token.cancel(); // stop after the first fully-tuned candidate
+        }
+    }
+    let report = run.join().expect("cancelled runs still join cleanly");
+    assert_eq!(report.stopped, StopReason::Cancelled);
+    assert!(!announced.is_empty());
+    assert_eq!(
+        report.candidates.len(),
+        announced.len(),
+        "a cancelled run keeps exactly the candidates it announced"
+    );
+    assert!(
+        report.steps < 1_000_000,
+        "cancellation must cut the run short ({} steps)",
+        report.steps
+    );
+}
+
+#[test]
+fn step_budget_stops_multi_scenario_runs() {
+    let session = conv_session();
+    let spec = session
+        .spec(&["N", "Cin", "H", "W"], &["N", "Cout", "H", "W"])
+        .unwrap();
+    let report = session
+        .search()
+        .scenario("site-a", session.vars(), &spec)
+        .scenario("site-b", session.vars(), &spec)
+        .mcts(MctsConfig {
+            iterations: 1_000_000,
+            seed: 3,
+            ..MctsConfig::default()
+        })
+        .max_steps(25)
+        .run()
+        .expect("run finishes");
+    assert_eq!(report.stopped, StopReason::StepBudget);
+    assert!(report.steps >= 25, "{}", report.steps);
+    // Workers poll the budget between iterations, so the overshoot is at
+    // most one iteration per worker.
+    assert!(report.steps < 25 + 4, "{}", report.steps);
+}
+
+#[test]
+fn session_errors_are_typed() {
+    // No variables at all.
+    let err = Session::builder().build().expect_err("must fail");
+    assert!(matches!(err, SynoError::Synth(SynthError::InvalidConfig(_))));
+
+    // A search with no scenarios.
+    let session = conv_session();
+    let err = session.search().start().expect_err("must fail");
+    assert!(matches!(err, SynoError::Synth(SynthError::InvalidConfig(_))));
+}
