@@ -9,7 +9,7 @@
 //! * [`profile`] — operator characterization (per-stage FLOPs/traffic from
 //!   the lowered kernel, plus the eager ATen-fallback chain);
 //! * [`cost`] — a cache-aware roofline model parameterized by schedules;
-//! * [`compile`] — the tuning (TVM-like) and template (TorchInductor-like)
+//! * [`mod@compile`] — the tuning (TVM-like) and template (TorchInductor-like)
 //!   compilation flows, including TF32 tensor-core templates on big GPUs
 //!   and ATen fallback on mobile (§9.2).
 //!

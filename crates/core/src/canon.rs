@@ -10,7 +10,7 @@
 //! The rules implemented here and their §6 provenance:
 //!
 //! * **Weight finality / Share symmetry** — weights receive no views and sit
-//!   on the right of `Share`; structural in [`PGraph`](crate::graph::PGraph).
+//!   on the right of `Share`; structural in [`PGraph`].
 //! * **Merge-above-Split** (Fig. 3a): `Merge` may not consume a `Split`
 //!   output; the term-rewrite system shows the pushed-down form is simpler.
 //! * **Split-reassembles-Merge**: `Split(q, r)` over the two outputs of one

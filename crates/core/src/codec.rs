@@ -1,0 +1,641 @@
+//! Versioned, dependency-free binary encoding for persisted synthesis state.
+//!
+//! The candidate store (`syno-store`) journals operators to disk and reloads
+//! them across runs, which needs a serialization format that (a) pulls in no
+//! external crates — the build environment has no crates.io access — and
+//! (b) is explicitly versioned, so a store written by one build is either
+//! read correctly or rejected loudly by another.
+//!
+//! The format is little-endian and minimal: fixed-width integers, length-
+//! prefixed strings, and a [`FORMAT_VERSION`] header on every top-level
+//! value. A [`PGraph`] is **not** serialized structurally (its arena ids and
+//! coordinate table are history-dependent); instead we persist its *recipe*:
+//! the variable table, the operator specification, and the exact action
+//! sequence. Decoding replays the actions through [`PGraph::apply`], which
+//! reproduces the identical graph — same frontier, same weights, same
+//! [`state_hash`](PGraph::state_hash)/[`content_hash`](PGraph::content_hash)
+//! — while re-validating every step against the shape algebra, so a corrupt
+//! or hand-edited journal can never materialize an ill-formed graph.
+//!
+//! # Examples
+//!
+//! ```
+//! use syno_core::prelude::*;
+//! use syno_core::codec;
+//!
+//! let mut vars = VarTable::new();
+//! let h = vars.declare("H", VarKind::Primary);
+//! let s = vars.declare("s", VarKind::Coefficient);
+//! vars.push_valuation(vec![(h, 16), (s, 2)]);
+//! let vars = vars.into_shared();
+//! let spec = OperatorSpec::new(
+//!     TensorShape::new(vec![Size::var(h)]),
+//!     TensorShape::new(vec![Size::var(h).div(&Size::var(s))]),
+//! );
+//! let g = Enumerator::new(SynthConfig::auto(&vars, 3))
+//!     .synthesis(&vars, &spec)
+//!     .next()
+//!     .unwrap()
+//!     .unwrap();
+//!
+//! let bytes = codec::encode_graph(&g);
+//! let back = codec::decode_graph(&bytes).unwrap();
+//! assert_eq!(back.content_hash(), g.content_hash());
+//! assert_eq!(back.render(), g.render());
+//! ```
+
+use crate::graph::{CoordId, PGraph};
+use crate::primitive::Action;
+use crate::size::Size;
+use crate::spec::{OperatorSpec, TensorShape};
+use crate::var::{VarKind, VarTable};
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+
+/// Version of the binary layout. Bump on **any** change to the encoding
+/// below *or* to the stable hashing chain
+/// ([`crate::stable::StableHasher`] → [`PGraph::content_hash`]): persisted
+/// content keys are only meaningful while both stay fixed.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Errors surfaced while decoding persisted bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// The byte stream ended before the value was complete.
+    UnexpectedEof {
+        /// Offset at which more bytes were required.
+        at: usize,
+    },
+    /// An enum tag byte was out of range.
+    BadTag {
+        /// What was being decoded.
+        what: &'static str,
+        /// The offending tag value.
+        tag: u8,
+    },
+    /// A length-prefixed string was not valid UTF-8.
+    BadUtf8 {
+        /// Offset of the string payload.
+        at: usize,
+    },
+    /// The format-version header does not match [`FORMAT_VERSION`].
+    Version {
+        /// The version found in the header.
+        found: u32,
+    },
+    /// The bytes decoded structurally but describe an invalid value (e.g.
+    /// an action sequence [`PGraph::apply`] rejects on replay).
+    Invalid(String),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnexpectedEof { at } => write!(f, "unexpected end of input at byte {at}"),
+            CodecError::BadTag { what, tag } => write!(f, "invalid {what} tag {tag:#04x}"),
+            CodecError::BadUtf8 { at } => write!(f, "invalid utf-8 string at byte {at}"),
+            CodecError::Version { found } => write!(
+                f,
+                "unsupported format version {found} (this build reads {FORMAT_VERSION})"
+            ),
+            CodecError::Invalid(why) => write!(f, "invalid persisted value: {why}"),
+        }
+    }
+}
+
+impl Error for CodecError {}
+
+/// Appends primitive values to a growable little-endian byte buffer.
+#[derive(Clone, Debug, Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// An empty encoder.
+    pub fn new() -> Self {
+        Encoder::default()
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a `u32`, little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u64`, little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes an `i32`, little-endian two's complement.
+    pub fn put_i32(&mut self, v: i32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes an `f64` as its IEEE-754 bit pattern, little-endian.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Writes a length-prefixed byte slice.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_bytes(v.as_bytes());
+    }
+
+    /// Writes a [`Size`]: constant factor then `(var, exponent)` pairs.
+    pub fn put_size(&mut self, size: &Size) {
+        let (num, den) = size.constant_factor();
+        self.put_u64(num);
+        self.put_u64(den);
+        let powers: Vec<_> = size.powers().collect();
+        self.put_u32(powers.len() as u32);
+        for (var, exp) in powers {
+            self.put_u32(var.index() as u32);
+            self.put_i32(exp);
+        }
+    }
+}
+
+/// Reads primitive values back out of a byte slice.
+#[derive(Clone, Debug)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// A decoder positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Decoder { buf, pos: 0 }
+    }
+
+    /// Current read offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::UnexpectedEof { at: self.pos });
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `i32`.
+    pub fn get_i32(&mut self) -> Result<i32, CodecError> {
+        Ok(i32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads an `f64` bit pattern.
+    pub fn get_f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Reads a length-prefixed byte slice.
+    pub fn get_bytes(&mut self) -> Result<&'a [u8], CodecError> {
+        let len = self.get_u32()? as usize;
+        self.take(len)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String, CodecError> {
+        let at = self.pos;
+        let bytes = self.get_bytes()?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| CodecError::BadUtf8 { at })
+    }
+
+    /// Reads a [`Size`] written by [`Encoder::put_size`].
+    ///
+    /// Variable indices are interpreted against `vars` (the table the size
+    /// was encoded under, reconstructed first).
+    pub fn get_size(&mut self, vars: &VarTable) -> Result<Size, CodecError> {
+        let num = self.get_u64()?;
+        let den = self.get_u64()?;
+        if num == 0 || den == 0 {
+            return Err(CodecError::Invalid("size constant must be positive".into()));
+        }
+        let mut size = Size::constant(num).div(&Size::constant(den));
+        let count = self.get_u32()?;
+        for _ in 0..count {
+            let index = self.get_u32()? as usize;
+            let exp = self.get_i32()?;
+            let var = vars
+                .iter()
+                .nth(index)
+                .ok_or_else(|| CodecError::Invalid(format!("variable index {index} out of range")))?;
+            size = size.mul(&Size::var_pow(var, exp));
+        }
+        Ok(size)
+    }
+}
+
+fn put_var_table(e: &mut Encoder, vars: &VarTable) {
+    e.put_u32(vars.len() as u32);
+    for var in vars.iter() {
+        e.put_str(vars.name(var));
+        e.put_u8(match vars.kind(var) {
+            VarKind::Primary => 0,
+            VarKind::Coefficient => 1,
+        });
+    }
+    e.put_u32(vars.valuation_count() as u32);
+    for valuation in 0..vars.valuation_count() {
+        for var in vars.iter() {
+            e.put_u64(vars.value(valuation, var));
+        }
+    }
+}
+
+fn get_var_table(d: &mut Decoder<'_>) -> Result<VarTable, CodecError> {
+    let mut vars = VarTable::new();
+    let count = d.get_u32()?;
+    let mut ids = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let name = d.get_str()?;
+        let kind = match d.get_u8()? {
+            0 => VarKind::Primary,
+            1 => VarKind::Coefficient,
+            tag => return Err(CodecError::BadTag { what: "VarKind", tag }),
+        };
+        if vars.find(&name).is_some() {
+            return Err(CodecError::Invalid(format!("duplicate variable '{name}'")));
+        }
+        ids.push(vars.declare(&name, kind));
+    }
+    let valuations = d.get_u32()?;
+    for _ in 0..valuations {
+        let mut row = Vec::with_capacity(ids.len());
+        for &id in &ids {
+            let value = d.get_u64()?;
+            if value == 0 {
+                return Err(CodecError::Invalid("valuation value must be positive".into()));
+            }
+            row.push((id, value));
+        }
+        vars.push_valuation(row);
+    }
+    Ok(vars)
+}
+
+fn put_shape(e: &mut Encoder, shape: &TensorShape) {
+    e.put_u32(shape.rank() as u32);
+    for dim in shape.dims() {
+        e.put_size(dim);
+    }
+}
+
+fn get_shape(d: &mut Decoder<'_>, vars: &VarTable) -> Result<TensorShape, CodecError> {
+    let rank = d.get_u32()?;
+    let mut dims = Vec::with_capacity(rank as usize);
+    for _ in 0..rank {
+        dims.push(d.get_size(vars)?);
+    }
+    Ok(TensorShape::new(dims))
+}
+
+fn put_spec(e: &mut Encoder, spec: &OperatorSpec) {
+    put_shape(e, &spec.input);
+    put_shape(e, &spec.output);
+}
+
+fn get_spec(d: &mut Decoder<'_>, vars: &VarTable) -> Result<OperatorSpec, CodecError> {
+    let input = get_shape(d, vars)?;
+    let output = get_shape(d, vars)?;
+    Ok(OperatorSpec::new(input, output))
+}
+
+fn put_action(e: &mut Encoder, action: &Action) {
+    match action {
+        Action::Split { lhs, rhs } => {
+            e.put_u8(0);
+            e.put_u32(lhs.index() as u32);
+            e.put_u32(rhs.index() as u32);
+        }
+        Action::Merge { coord, block } => {
+            e.put_u8(1);
+            e.put_u32(coord.index() as u32);
+            e.put_size(block);
+        }
+        Action::Shift { coord } => {
+            e.put_u8(2);
+            e.put_u32(coord.index() as u32);
+        }
+        Action::Expand { coord } => {
+            e.put_u8(3);
+            e.put_u32(coord.index() as u32);
+        }
+        Action::Unfold { base, window } => {
+            e.put_u8(4);
+            e.put_u32(base.index() as u32);
+            e.put_u32(window.index() as u32);
+        }
+        Action::Stride { coord, stride } => {
+            e.put_u8(5);
+            e.put_u32(coord.index() as u32);
+            e.put_size(stride);
+        }
+        Action::Reduce { domain } => {
+            e.put_u8(6);
+            e.put_size(domain);
+        }
+        Action::Share { coord, weight } => {
+            e.put_u8(7);
+            e.put_u32(coord.index() as u32);
+            e.put_u32(*weight as u32);
+        }
+        Action::MatchWeight { coord, weight } => {
+            e.put_u8(8);
+            e.put_u32(coord.index() as u32);
+            e.put_u32(*weight as u32);
+        }
+    }
+}
+
+fn get_action(d: &mut Decoder<'_>, vars: &VarTable) -> Result<Action, CodecError> {
+    let coord = |d: &mut Decoder<'_>| -> Result<CoordId, CodecError> {
+        Ok(CoordId(d.get_u32()?))
+    };
+    Ok(match d.get_u8()? {
+        0 => Action::Split {
+            lhs: coord(d)?,
+            rhs: coord(d)?,
+        },
+        1 => Action::Merge {
+            coord: coord(d)?,
+            block: d.get_size(vars)?,
+        },
+        2 => Action::Shift { coord: coord(d)? },
+        3 => Action::Expand { coord: coord(d)? },
+        4 => Action::Unfold {
+            base: coord(d)?,
+            window: coord(d)?,
+        },
+        5 => Action::Stride {
+            coord: coord(d)?,
+            stride: d.get_size(vars)?,
+        },
+        6 => Action::Reduce {
+            domain: d.get_size(vars)?,
+        },
+        7 => Action::Share {
+            coord: coord(d)?,
+            weight: d.get_u32()? as usize,
+        },
+        8 => Action::MatchWeight {
+            coord: coord(d)?,
+            weight: d.get_u32()? as usize,
+        },
+        tag => return Err(CodecError::BadTag { what: "Action", tag }),
+    })
+}
+
+/// Encodes an operator specification (with its variable table) as a
+/// standalone versioned value.
+pub fn encode_spec(vars: &VarTable, spec: &OperatorSpec) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.put_u32(FORMAT_VERSION);
+    put_var_table(&mut e, vars);
+    put_spec(&mut e, spec);
+    e.into_bytes()
+}
+
+/// Decodes a specification written by [`encode_spec`].
+///
+/// # Errors
+///
+/// [`CodecError::Version`] on a header mismatch, and the usual structural
+/// errors on truncated or corrupt bytes.
+pub fn decode_spec(bytes: &[u8]) -> Result<(Arc<VarTable>, OperatorSpec), CodecError> {
+    let mut d = Decoder::new(bytes);
+    let version = d.get_u32()?;
+    if version != FORMAT_VERSION {
+        return Err(CodecError::Version { found: version });
+    }
+    let vars = get_var_table(&mut d)?;
+    let spec = get_spec(&mut d, &vars)?;
+    Ok((vars.into_shared(), spec))
+}
+
+/// Encodes a complete or partial [`PGraph`] as its replayable recipe:
+/// format version, variable table, specification, action sequence.
+pub fn encode_graph(graph: &PGraph) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.put_u32(FORMAT_VERSION);
+    put_var_table(&mut e, graph.vars());
+    put_spec(&mut e, graph.spec());
+    e.put_u32(graph.len() as u32);
+    for node in graph.nodes() {
+        put_action(&mut e, &node.action);
+    }
+    e.into_bytes()
+}
+
+/// Decodes a graph written by [`encode_graph`] by replaying its actions.
+///
+/// The result is a fresh graph over a fresh (equal) variable table with the
+/// same semantics, rendering, and
+/// [`content_hash`](PGraph::content_hash) as the encoded one.
+///
+/// # Errors
+///
+/// [`CodecError::Version`] on a header mismatch; [`CodecError::Invalid`]
+/// when a persisted action no longer applies (a corrupt journal, or bytes
+/// produced by an incompatible build that slipped past the version check).
+pub fn decode_graph(bytes: &[u8]) -> Result<PGraph, CodecError> {
+    let mut d = Decoder::new(bytes);
+    let version = d.get_u32()?;
+    if version != FORMAT_VERSION {
+        return Err(CodecError::Version { found: version });
+    }
+    let vars = get_var_table(&mut d)?;
+    let spec = get_spec(&mut d, &vars)?;
+    let vars = vars.into_shared();
+    let mut graph = PGraph::new(Arc::clone(&vars), spec);
+    let steps = d.get_u32()?;
+    for step in 0..steps {
+        let action = get_action(&mut d, &vars)?;
+        graph = graph.apply(&action).map_err(|e| {
+            CodecError::Invalid(format!("action {step} failed to replay: {e}"))
+        })?;
+    }
+    Ok(graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{Enumerator, SynthConfig};
+
+    fn pool_setup() -> (Arc<VarTable>, OperatorSpec) {
+        let mut vars = VarTable::new();
+        let h = vars.declare("H", VarKind::Primary);
+        let s = vars.declare("s", VarKind::Coefficient);
+        vars.push_valuation(vec![(h, 16), (s, 2)]);
+        vars.push_valuation(vec![(h, 32), (s, 2)]);
+        let vars = vars.into_shared();
+        let spec = OperatorSpec::new(
+            TensorShape::new(vec![Size::var(h)]),
+            TensorShape::new(vec![Size::var(h).div(&Size::var(s))]),
+        );
+        (vars, spec)
+    }
+
+    #[test]
+    fn primitive_values_round_trip() {
+        let mut e = Encoder::new();
+        e.put_u8(7);
+        e.put_u32(0xdead_beef);
+        e.put_u64(u64::MAX);
+        e.put_i32(-42);
+        e.put_f64(0.25);
+        e.put_str("syno");
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(d.get_u8().unwrap(), 7);
+        assert_eq!(d.get_u32().unwrap(), 0xdead_beef);
+        assert_eq!(d.get_u64().unwrap(), u64::MAX);
+        assert_eq!(d.get_i32().unwrap(), -42);
+        assert_eq!(d.get_f64().unwrap(), 0.25);
+        assert_eq!(d.get_str().unwrap(), "syno");
+        assert_eq!(d.remaining(), 0);
+        assert!(d.get_u8().is_err());
+    }
+
+    #[test]
+    fn sizes_round_trip() {
+        let (vars, _) = pool_setup();
+        let h = vars.find("H").unwrap();
+        let s = vars.find("s").unwrap();
+        for size in [
+            Size::one(),
+            Size::constant(6),
+            Size::var(h),
+            Size::var(h).div(&Size::var(s)),
+            Size::constant(3).mul(&Size::var_pow(s, -2)).mul(&Size::var(h)),
+        ] {
+            let mut e = Encoder::new();
+            e.put_size(&size);
+            let bytes = e.into_bytes();
+            let mut d = Decoder::new(&bytes);
+            assert_eq!(d.get_size(&vars).unwrap(), size);
+        }
+    }
+
+    #[test]
+    fn spec_round_trips_with_vars() {
+        let (vars, spec) = pool_setup();
+        let bytes = encode_spec(&vars, &spec);
+        let (vars2, spec2) = decode_spec(&bytes).unwrap();
+        assert_eq!(spec2, spec);
+        assert_eq!(vars2.len(), vars.len());
+        assert_eq!(vars2.valuation_count(), vars.valuation_count());
+        assert_eq!(spec2.fingerprint(&vars2), spec.fingerprint(&vars));
+    }
+
+    #[test]
+    fn graphs_round_trip_by_replay() {
+        let (vars, spec) = pool_setup();
+        let enumerator = Enumerator::new(SynthConfig::auto(&vars, 3));
+        let mut count = 0;
+        for item in enumerator.synthesis(&vars, &spec).take(12) {
+            let graph = item.unwrap();
+            let bytes = encode_graph(&graph);
+            let back = decode_graph(&bytes).unwrap();
+            assert_eq!(back.render(), graph.render());
+            assert_eq!(back.state_hash(), graph.state_hash());
+            assert_eq!(back.content_hash(), graph.content_hash());
+            assert_eq!(back.len(), graph.len());
+            count += 1;
+        }
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let (vars, spec) = pool_setup();
+        let graph = PGraph::new(Arc::clone(&vars), spec);
+        let mut bytes = encode_graph(&graph);
+        bytes[0] = 0xfe; // clobber the version header
+        assert!(matches!(
+            decode_graph(&bytes),
+            Err(CodecError::Version { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_bytes_are_rejected() {
+        let (vars, spec) = pool_setup();
+        let enumerator = Enumerator::new(SynthConfig::auto(&vars, 3));
+        let graph = enumerator
+            .synthesis(&vars, &spec)
+            .next()
+            .unwrap()
+            .unwrap();
+        let bytes = encode_graph(&graph);
+        for cut in [0, 3, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode_graph(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn bad_action_tag_is_a_typed_error() {
+        let (vars, spec) = pool_setup();
+        let mut e = Encoder::new();
+        e.put_u32(FORMAT_VERSION);
+        put_var_table(&mut e, &vars);
+        put_spec(&mut e, &spec);
+        e.put_u32(1);
+        e.put_u8(0xee); // no such action
+        let err = decode_graph(&e.into_bytes()).unwrap_err();
+        assert!(matches!(err, CodecError::BadTag { what: "Action", .. }));
+    }
+}

@@ -90,6 +90,11 @@ pub enum SynoError {
         /// Rendered proxy error.
         reason: String,
     },
+    /// The persistent candidate store failed (from `syno-store`).
+    Store {
+        /// Rendered store error.
+        reason: String,
+    },
     /// The operation was cancelled through a `CancelToken`.
     Cancelled,
     /// A worker thread panicked; the run's remaining results were salvaged.
@@ -110,6 +115,7 @@ impl fmt::Display for SynoError {
             SynoError::Eager { reason } => write!(f, "eager realization failed: {reason}"),
             SynoError::Compile { reason } => write!(f, "compilation failed: {reason}"),
             SynoError::Proxy { reason } => write!(f, "accuracy proxy failed: {reason}"),
+            SynoError::Store { reason } => write!(f, "candidate store failed: {reason}"),
             SynoError::Cancelled => write!(f, "cancelled"),
             SynoError::Worker { reason } => write!(f, "worker thread failed: {reason}"),
         }
@@ -175,6 +181,13 @@ impl SynoError {
     /// A proxy failure with a rendered reason.
     pub fn proxy(reason: impl fmt::Display) -> Self {
         SynoError::Proxy {
+            reason: reason.to_string(),
+        }
+    }
+
+    /// A candidate-store failure with a rendered reason.
+    pub fn store(reason: impl fmt::Display) -> Self {
+        SynoError::Store {
             reason: reason.to_string(),
         }
     }

@@ -204,9 +204,9 @@ impl ExprArena {
     }
 
     fn hash_node(&self, node: &ExprNode) -> u64 {
-        use std::collections::hash_map::DefaultHasher;
+        use crate::stable::StableHasher;
         use std::hash::{Hash, Hasher};
-        let mut h = DefaultHasher::new();
+        let mut h = StableHasher::new();
         // Hash structurally: children are replaced by their structural hash,
         // making the result stable across arenas with different id orders.
         match node {
@@ -255,6 +255,11 @@ impl ExprArena {
     }
 
     /// A structural hash stable under hash-consing.
+    ///
+    /// Computed with the deterministic [`StableHasher`](crate::stable::StableHasher),
+    /// so the value is identical across platforms and Rust releases and is
+    /// safe to persist (it feeds [`PGraph::state_hash`](crate::graph::PGraph::state_hash)
+    /// and the `syno-store` content keys).
     pub fn structural_hash(&self, expr: ExprId) -> u64 {
         self.hashes[expr.index()]
     }

@@ -596,8 +596,15 @@ impl PGraph {
     /// A semantic state hash: identical for graphs whose frontier expression
     /// multiset and weight tensors coincide, regardless of application
     /// history. Used for MCTS transpositions and duplicate filtering.
+    ///
+    /// Computed with the deterministic
+    /// [`StableHasher`](crate::stable::StableHasher) (64-bit FNV-1a), so the
+    /// value is identical across platforms and Rust releases — in-memory
+    /// dedup and the on-disk keys of the `syno-store` candidate store agree
+    /// by construction. `DefaultHasher` must never reappear here: its output
+    /// is not stable and would silently invalidate persisted stores.
     pub fn state_hash(&self) -> u64 {
-        use std::collections::hash_map::DefaultHasher;
+        use crate::stable::StableHasher;
         use std::hash::{Hash, Hasher};
         let mut frontier: Vec<u64> = self
             .frontier
@@ -615,15 +622,34 @@ impl PGraph {
                     .map(|d| self.arena.structural_hash(d.expr))
                     .collect();
                 dims.sort_unstable();
-                let mut h = DefaultHasher::new();
+                let mut h = StableHasher::new();
                 dims.hash(&mut h);
                 h.finish()
             })
             .collect();
         weights.sort_unstable();
-        let mut h = DefaultHasher::new();
+        let mut h = StableHasher::new();
         frontier.hash(&mut h);
         weights.hash(&mut h);
+        h.finish()
+    }
+
+    /// The persistent content address of this operator: the semantic
+    /// [`state_hash`](PGraph::state_hash) combined with a fingerprint of the
+    /// specification it synthesizes toward (shapes and valuations).
+    ///
+    /// Two graphs share a content hash exactly when they denote the same
+    /// operator for the same concrete specification, which is the key the
+    /// `syno-store` journal uses for cross-run deduplication and evaluation
+    /// caching. Like `state_hash`, the value is computed with the
+    /// deterministic [`StableHasher`](crate::stable::StableHasher) and is
+    /// safe to persist.
+    pub fn content_hash(&self) -> u64 {
+        use crate::stable::StableHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h = StableHasher::new();
+        self.spec.fingerprint(&self.vars).hash(&mut h);
+        self.state_hash().hash(&mut h);
         h.finish()
     }
 
@@ -863,6 +889,22 @@ mod tests {
             .unwrap();
         assert_eq!(a.state_hash(), b.state_hash());
         assert_ne!(a.state_hash(), g.state_hash());
+    }
+
+    #[test]
+    fn state_hash_values_are_pinned() {
+        // Regression pins for the stable hashing chain (StableHasher →
+        // structural_hash → state_hash/content_hash). These exact values are
+        // persisted as keys in syno-store journals: if this test fails, the
+        // hash function changed and the store's format version must be
+        // bumped, or existing stores silently stop matching.
+        let (vars, spec) = conv_spec();
+        let g = PGraph::new(vars, spec);
+        assert_eq!(g.state_hash(), 0x56dd5398d566b721);
+        assert_eq!(g.content_hash(), 0xeb5a01d3e41eaac0);
+        let h = g.frontier()[2];
+        let g2 = g.apply(&Action::Shift { coord: h }).unwrap();
+        assert_eq!(g2.state_hash(), 0x74c100f689104ed3);
     }
 
     #[test]

@@ -18,6 +18,8 @@
 //! * [`distance`] — the §7.1 shape-distance metric;
 //! * [`synth`] — the Algorithm 1 enumerator and random rollouts;
 //! * [`analysis`] — FLOPs / parameter / memory analyses;
+//! * [`stable`] / [`codec`] — the stable FNV-1a hashing chain and the
+//!   versioned binary encoding behind the `syno-store` candidate store;
 //! * [`ops`] — the Table 2 reference operators (conv2d, matmul, pooling,
 //!   pixel shuffle, grouped/depthwise/pointwise convolutions).
 //!
@@ -50,6 +52,7 @@
 
 pub mod analysis;
 pub mod canon;
+pub mod codec;
 pub mod distance;
 pub mod error;
 pub mod expr;
@@ -59,6 +62,7 @@ pub mod primitive;
 pub mod simplify;
 pub mod size;
 pub mod spec;
+pub mod stable;
 pub mod synth;
 pub mod var;
 
@@ -74,6 +78,7 @@ pub mod prelude {
     pub use crate::primitive::{Action, PrimKind};
     pub use crate::size::Size;
     pub use crate::spec::{OperatorSpec, TensorShape};
+    pub use crate::stable::{stable_hash_of, StableHasher};
     pub use crate::synth::{
         rollout, EnumStats, Enumerator, RolloutResult, SynthConfig, SynthConfigBuilder, Synthesis,
     };

@@ -219,7 +219,7 @@ fn rewrite(term: &Term, vars: &VarTable) -> Option<Term> {
     }
 }
 
-/// Applies [`rewrite`] bottom-up to a fixpoint.
+/// Applies the rewrite rules bottom-up to a fixpoint.
 pub fn simplify_term(term: &Term, vars: &VarTable) -> Term {
     // First simplify children.
     let rebuilt = match term {

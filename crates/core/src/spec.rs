@@ -4,7 +4,7 @@
 //! A specification says "discover an operator mapping `[N, C_in, H, W]` to
 //! `[N, C_out, H, W]`" — the shapes of the operator being replaced in the
 //! backbone. Shapes are sequences of symbolic [`Size`]s over a shared
-//! [`VarTable`](crate::var::VarTable).
+//! [`VarTable`].
 
 use crate::error::SynthError;
 use crate::size::Size;
@@ -116,6 +116,27 @@ impl OperatorSpec {
     /// `true` when both shapes are valid under every valuation.
     pub fn is_valid(&self, vars: &VarTable) -> bool {
         self.input.is_valid(vars) && self.output.is_valid(vars)
+    }
+
+    /// A deterministic fingerprint of the specification *as instantiated*:
+    /// the symbolic input/output shapes plus every concrete valuation of
+    /// `vars`. Computed with the stable FNV-1a hasher
+    /// ([`crate::stable::StableHasher`]), so the value may be persisted —
+    /// the `syno-store` journal keys checkpoints and candidate content
+    /// hashes by it.
+    pub fn fingerprint(&self, vars: &VarTable) -> u64 {
+        use crate::stable::StableHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h = StableHasher::new();
+        self.input.dims().hash(&mut h);
+        self.output.dims().hash(&mut h);
+        vars.valuation_count().hash(&mut h);
+        for valuation in 0..vars.valuation_count() {
+            for var in vars.iter() {
+                vars.value(valuation, var).hash(&mut h);
+            }
+        }
+        h.finish()
     }
 
     /// Checks that the spec can drive a synthesis or search run: the table

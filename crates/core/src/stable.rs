@@ -1,0 +1,177 @@
+//! A stable, dependency-free hasher for persisted identities.
+//!
+//! [`std::collections::hash_map::DefaultHasher`] makes no cross-release
+//! stability promise, so its output must never leak into on-disk keys. This
+//! module provides [`StableHasher`], a hand-rolled 64-bit FNV-1a hasher with
+//! explicitly little-endian integer encoding: the same value sequence hashes
+//! to the same `u64` on every platform, every Rust release, forever. It
+//! backs both the in-memory semantic dedup
+//! ([`PGraph::state_hash`](crate::graph::PGraph::state_hash)) and the
+//! content-addressed keys of the on-disk candidate store (`syno-store`), so
+//! the two always agree.
+//!
+//! The FNV-1a parameters are the canonical 64-bit offset basis and prime.
+//! FNV is not cryptographic — collisions are possible in principle — but the
+//! store only uses the hash as a cache key over a search space of at most
+//! millions of candidates, where a 64-bit space is comfortably sparse.
+
+use std::hash::Hasher;
+
+/// 64-bit FNV-1a offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// 64-bit FNV-1a prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A deterministic [`Hasher`]: 64-bit FNV-1a over a little-endian byte
+/// stream.
+///
+/// Multi-byte integers are written little-endian and `usize`/`isize` are
+/// widened to 64 bits, so the digest is independent of platform endianness
+/// and pointer width.
+///
+/// # Examples
+///
+/// ```
+/// use std::hash::{Hash, Hasher};
+/// use syno_core::stable::StableHasher;
+///
+/// let mut h = StableHasher::new();
+/// 42u64.hash(&mut h);
+/// "syno".hash(&mut h);
+/// let digest = h.finish();
+/// let mut h2 = StableHasher::new();
+/// 42u64.hash(&mut h2);
+/// "syno".hash(&mut h2);
+/// assert_eq!(digest, h2.finish());
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct StableHasher {
+    state: u64,
+}
+
+impl StableHasher {
+    /// A fresh hasher at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        StableHasher { state: FNV_OFFSET }
+    }
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        StableHasher::new()
+    }
+}
+
+impl Hasher for StableHasher {
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state = (self.state ^ b as u64).wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    fn write_u8(&mut self, v: u8) {
+        self.write(&[v]);
+    }
+
+    fn write_u16(&mut self, v: u16) {
+        self.write(&v.to_le_bytes());
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        self.write(&v.to_le_bytes());
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    fn write_u128(&mut self, v: u128) {
+        self.write(&v.to_le_bytes());
+    }
+
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    fn write_i8(&mut self, v: i8) {
+        self.write_u8(v as u8);
+    }
+
+    fn write_i16(&mut self, v: i16) {
+        self.write_u16(v as u16);
+    }
+
+    fn write_i32(&mut self, v: i32) {
+        self.write_u32(v as u32);
+    }
+
+    fn write_i64(&mut self, v: i64) {
+        self.write_u64(v as u64);
+    }
+
+    fn write_i128(&mut self, v: i128) {
+        self.write_u128(v as u128);
+    }
+
+    fn write_isize(&mut self, v: isize) {
+        self.write_i64(v as i64);
+    }
+}
+
+/// Hashes one `Hash` value with a fresh [`StableHasher`].
+pub fn stable_hash_of<T: std::hash::Hash + ?Sized>(value: &T) -> u64 {
+    let mut h = StableHasher::new();
+    value.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    #[test]
+    fn matches_reference_fnv1a_vectors() {
+        // Reference vectors for raw FNV-1a byte streams.
+        let mut h = StableHasher::new();
+        h.write(b"");
+        assert_eq!(h.finish(), 0xcbf2_9ce4_8422_2325);
+        let mut h = StableHasher::new();
+        h.write(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+        let mut h = StableHasher::new();
+        h.write(b"foobar");
+        assert_eq!(h.finish(), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn integers_hash_little_endian() {
+        let mut via_int = StableHasher::new();
+        0x0102_0304u32.hash(&mut via_int);
+        let mut via_bytes = StableHasher::new();
+        via_bytes.write(&[0x04, 0x03, 0x02, 0x01]);
+        assert_eq!(via_int.finish(), via_bytes.finish());
+    }
+
+    #[test]
+    fn usize_widens_to_u64() {
+        let mut a = StableHasher::new();
+        a.write_usize(7);
+        let mut b = StableHasher::new();
+        b.write_u64(7);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn helper_equals_manual() {
+        assert_eq!(stable_hash_of(&123u64), {
+            let mut h = StableHasher::new();
+            123u64.hash(&mut h);
+            h.finish()
+        });
+    }
+}

@@ -353,6 +353,14 @@ impl Enumerator {
     /// yielded operator and, like the original recursive enumerator, treats
     /// the `max_visits` cutoff as a silent stop rather than an error (the
     /// cutoff is still visible as `stats.expanded == max_visits`).
+    ///
+    /// Note on persistence: this wrapper always re-enumerates from scratch.
+    /// Search runs resumed through a `syno-store` journal
+    /// (`SearchBuilder::resume_from` in `syno-search`) skip the
+    /// already-journaled prefix instead — candidates evaluated before the
+    /// interruption are recalled from the store (as `CacheHit` events)
+    /// rather than re-synthesized and re-trained, so only the unexplored
+    /// remainder of the space pays full cost.
     pub fn enumerate(&self, vars: &Arc<VarTable>, spec: &OperatorSpec) -> (Vec<PGraph>, EnumStats) {
         let mut driver = self.synthesis(vars, spec);
         let mut results = Vec::new();

@@ -8,7 +8,7 @@
 //!   dimensions. They are assumed large and are never allowed in the
 //!   denominator of a coordinate expression.
 //! * **Coefficient variables** (`k`, `s`, `g`, …) are introduced by primitive
-//!   parameters (e.g. the block size of [`Merge`](crate::primitive::Primitive::Merge)).
+//!   parameters (e.g. the block size of [`Merge`](crate::primitive::PrimKind::Merge)).
 //!   They are small and may appear in denominators.
 //!
 //! A [`VarTable`] owns the variable declarations together with one or more

@@ -9,8 +9,12 @@
 //! * [`run`] — the `SearchBuilder → SearchRun` driver: Algorithm 1's outer
 //!   loop (synthesize → proxy-train → latency-tune) streaming
 //!   [`SearchEvent`]s over a channel, with [`CancelToken`] cancellation,
-//!   step/FLOP/wall-clock [`Budget`]s, and concurrent multi-spec scenarios
-//!   on a worker pool;
+//!   step/FLOP/wall-clock [`Budget`]s, concurrent multi-spec scenarios on a
+//!   worker pool, and optional persistence: attach a `syno-store`
+//!   [`Store`](syno_store::Store) via [`SearchBuilder::store`] for cross-run
+//!   evaluation caching (`SearchEvent::CacheHit`) or
+//!   [`SearchBuilder::resume_from`] to continue an interrupted run from its
+//!   journaled checkpoints;
 //! * [`orchestrator`] — the legacy blocking entry points, kept as documented
 //!   thin wrappers over [`run`].
 

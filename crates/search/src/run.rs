@@ -30,6 +30,7 @@ use syno_core::spec::OperatorSpec;
 use syno_core::synth::{Enumerator, SynthConfig};
 use syno_core::var::VarTable;
 use syno_nn::{try_operator_accuracy, ProxyConfig};
+use syno_store::{Checkpoint, Store};
 
 /// A cloneable cooperative-cancellation handle.
 ///
@@ -107,7 +108,8 @@ pub enum SearchEvent {
     CandidateFound {
         /// Scenario index.
         scenario: usize,
-        /// Semantic state hash identifying the candidate across events.
+        /// Stable content hash identifying the candidate across events and
+        /// store runs ([`PGraph::content_hash`]).
         id: u64,
         /// The operator.
         graph: PGraph,
@@ -116,16 +118,29 @@ pub enum SearchEvent {
     ProxyScored {
         /// Scenario index.
         scenario: usize,
-        /// Candidate id ([`PGraph::state_hash`]).
+        /// Candidate id ([`PGraph::content_hash`]).
         id: u64,
         /// Proxy accuracy in `[0, 1]`.
         accuracy: f64,
+    },
+    /// The candidate's evaluation was recalled from the attached
+    /// [`Store`] instead of recomputed: no proxy training ran, so no
+    /// [`ProxyScored`](SearchEvent::ProxyScored) /
+    /// [`LatencyTuned`](SearchEvent::LatencyTuned) follow — the carried
+    /// [`Candidate`] is already final.
+    CacheHit {
+        /// Scenario index.
+        scenario: usize,
+        /// Candidate id ([`PGraph::content_hash`]).
+        id: u64,
+        /// The recalled, fully evaluated candidate record.
+        candidate: Candidate,
     },
     /// The compiler simulator tuned the candidate on every device.
     LatencyTuned {
         /// Scenario index.
         scenario: usize,
-        /// Candidate id ([`PGraph::state_hash`]).
+        /// Candidate id ([`PGraph::content_hash`]).
         id: u64,
         /// The finished candidate record.
         candidate: Candidate,
@@ -134,10 +149,19 @@ pub enum SearchEvent {
     CandidateSkipped {
         /// Scenario index.
         scenario: usize,
-        /// Candidate id ([`PGraph::state_hash`]).
+        /// Candidate id ([`PGraph::content_hash`]).
         id: u64,
         /// Why the candidate was dropped.
         error: SynoError,
+    },
+    /// The scenario's position was journaled to the attached [`Store`]; a
+    /// later [`SearchBuilder::resume_from`] replays the evaluated prefix
+    /// from the journal and continues past it.
+    CheckpointWritten {
+        /// Scenario index.
+        scenario: usize,
+        /// Iterations completed at the checkpoint.
+        iterations: u64,
     },
     /// Periodic heartbeat per scenario.
     Progress {
@@ -165,8 +189,10 @@ impl SearchEvent {
         match *self {
             SearchEvent::CandidateFound { scenario, .. }
             | SearchEvent::ProxyScored { scenario, .. }
+            | SearchEvent::CacheHit { scenario, .. }
             | SearchEvent::LatencyTuned { scenario, .. }
             | SearchEvent::CandidateSkipped { scenario, .. }
+            | SearchEvent::CheckpointWritten { scenario, .. }
             | SearchEvent::Progress { scenario, .. }
             | SearchEvent::ScenarioFinished { scenario, .. } => scenario,
         }
@@ -227,6 +253,8 @@ pub struct SearchBuilder {
     budget: Budget,
     cancel: CancelToken,
     progress_every: u64,
+    store: Option<Arc<Store>>,
+    resume: bool,
 }
 
 impl std::fmt::Debug for Scenario {
@@ -250,6 +278,8 @@ impl Default for SearchBuilder {
             budget: Budget::default(),
             cancel: CancelToken::new(),
             progress_every: 10,
+            store: None,
+            resume: false,
         }
     }
 }
@@ -366,6 +396,43 @@ impl SearchBuilder {
     /// Emits a [`SearchEvent::Progress`] every `n` iterations (default 10).
     pub fn progress_every(mut self, n: u64) -> Self {
         self.progress_every = n.max(1);
+        self
+    }
+
+    /// Attaches a persistent candidate [`Store`].
+    ///
+    /// With a store attached the run (a) consults it before proxy-training
+    /// each discovered candidate and emits [`SearchEvent::CacheHit`] with
+    /// the recalled evaluation instead of recomputing, (b) journals every
+    /// fresh candidate, proxy score, and tuned latency, and (c) journals a
+    /// [`Checkpoint`] of each scenario's position every
+    /// [`progress_every`](SearchBuilder::progress_every) iterations
+    /// (emitting [`SearchEvent::CheckpointWritten`]).
+    pub fn store(mut self, store: Arc<Store>) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// Attaches `store` *and* resumes interrupted scenarios from their
+    /// journaled [`Checkpoint`]s.
+    ///
+    /// A resumed scenario re-adopts the checkpointed MCTS seed (the
+    /// binding field — it keeps the replay aligned even when scenario
+    /// ordering, and hence the default per-index seed, changed), so its
+    /// deterministic rollout stream replays the interrupted run exactly.
+    /// The cheap MCTS iterations of the completed prefix are re-rolled to
+    /// rebuild the (unserialized) tree, but **no evaluation is repeated**:
+    /// successfully evaluated candidates come back as
+    /// [`SearchEvent::CacheHit`]s and journaled proxy *failures* are
+    /// skipped from their stored marker, so the prefix costs recall, not
+    /// training. The run then continues past where it was killed, and the
+    /// final candidate set matches an uninterrupted run of the same
+    /// configuration. The checkpoint's `iterations`/`discovered` fields
+    /// are informational (progress reporting).
+    #[must_use = "resume_from only configures the builder; call .start() or .run() to launch"]
+    pub fn resume_from(mut self, store: Arc<Store>) -> Self {
+        self.store = Some(store);
+        self.resume = true;
         self
     }
 
@@ -527,6 +594,8 @@ fn supervise(builder: SearchBuilder, sender: Sender<SearchEvent>) -> SearchRepor
         budget,
         cancel,
         progress_every,
+        store,
+        resume,
     } = builder;
 
     let shared = Shared {
@@ -557,7 +626,7 @@ fn supervise(builder: SearchBuilder, sender: Sender<SearchEvent>) -> SearchRepor
                 };
                 let found = run_scenario(
                     index, &scenario, &synth, mcts, &proxy, &devices, compiler, progress_every,
-                    &shared, &sender,
+                    store.as_deref(), resume, &shared, &sender,
                 );
                 let mut all = results.lock().expect("results lock");
                 let _ = sender.send(SearchEvent::ScenarioFinished {
@@ -594,6 +663,12 @@ fn supervise(builder: SearchBuilder, sender: Sender<SearchEvent>) -> SearchRepor
 
 /// Synthesize → proxy-train → latency-tune for one scenario, streaming
 /// events and pricing each distinct candidate as soon as it is scored.
+///
+/// With a store attached, every evaluation consults the journal first
+/// (cache hits skip proxy training entirely) and the scenario's position is
+/// checkpointed alongside each progress heartbeat. In resume mode the
+/// journaled checkpoint's seed is re-adopted so the deterministic rollout
+/// stream replays the interrupted run.
 #[allow(clippy::too_many_arguments)]
 fn run_scenario(
     index: usize,
@@ -604,6 +679,8 @@ fn run_scenario(
     devices: &[Device],
     compiler: CompilerKind,
     progress_every: u64,
+    store: Option<&Store>,
+    resume: bool,
     shared: &Shared,
     sender: &Sender<SearchEvent>,
 ) -> Vec<Candidate> {
@@ -614,28 +691,107 @@ fn run_scenario(
         .unwrap_or_else(|| SynthConfig::auto(&scenario.vars, 4));
     let enumerator = Enumerator::new(config);
     let root = PGraph::new(Arc::clone(&scenario.vars), scenario.spec.clone());
-    // Distinct seeds keep concurrent scenarios on distinct rollout streams.
-    let mut mcts = Mcts::new(
-        enumerator,
-        MctsConfig {
-            seed: mcts_config.seed.wrapping_add(index as u64),
-            ..mcts_config
-        },
-    );
+    let fingerprint = scenario.spec.fingerprint(&scenario.vars);
+    // Distinct seeds keep concurrent scenarios on distinct rollout streams;
+    // a resumed scenario re-adopts its journaled seed so the deterministic
+    // replay matches the interrupted run.
+    let base_seed = mcts_config.seed.wrapping_add(index as u64);
+    let seed = if resume {
+        store
+            .and_then(|s| s.checkpoint(&scenario.label, fingerprint))
+            .map(|cp| cp.seed)
+            .unwrap_or(base_seed)
+    } else {
+        base_seed
+    };
+    let mut mcts = Mcts::new(enumerator, MctsConfig { seed, ..mcts_config });
 
     let total_iterations = mcts_config.iterations as u64;
     let candidates: Mutex<Vec<Candidate>> = Mutex::new(Vec::new());
     let discovered_count = Mutex::new(0u64);
+    let iterations_done = Mutex::new(0u64);
 
     mcts.search_while(
         &root,
         |graph| {
-            let id = graph.state_hash();
+            let id = graph.content_hash();
             let _ = sender.send(SearchEvent::CandidateFound {
                 scenario: index,
                 id,
                 graph: graph.clone(),
             });
+
+            // Store first: a journaled evaluation makes proxy training (and
+            // usually latency tuning) unnecessary — the cross-run analogue
+            // of the paper's canonical-form dedup within a run.
+            if let Some(store) = store {
+                if let Some(accuracy) = store.score(id) {
+                    // NaN is the journaled-failure marker: this candidate's
+                    // proxy training failed in a previous run, and it fails
+                    // deterministically — skip without re-training.
+                    if accuracy.is_nan() {
+                        let _ = sender.send(SearchEvent::CandidateSkipped {
+                            scenario: index,
+                            id,
+                            error: SynoError::proxy("proxy failure recalled from store"),
+                        });
+                        return 0.0;
+                    }
+                    let device_names: Vec<&str> = devices.iter().map(|d| d.name).collect();
+                    let priced = match store.latencies(id, &device_names, compiler.name()) {
+                        Some(latencies) => Ok(Candidate {
+                            scenario: index,
+                            graph: graph.clone(),
+                            accuracy,
+                            flops: syno_core::analysis::naive_flops(graph, 0).unwrap_or(u128::MAX),
+                            params: syno_core::analysis::parameter_count(graph, 0)
+                                .unwrap_or(u128::MAX),
+                            latencies,
+                        }),
+                        // Scored in a previous run but tuned for different
+                        // devices: reuse the accuracy, re-tune the latency.
+                        None => {
+                            let priced =
+                                price_candidate(index, graph, accuracy, devices, compiler);
+                            if let Ok(candidate) = &priced {
+                                for (device, latency) in devices.iter().zip(&candidate.latencies)
+                                {
+                                    let _ = store.put_latency(
+                                        id,
+                                        device.name,
+                                        compiler.name(),
+                                        *latency,
+                                    );
+                                }
+                            }
+                            priced
+                        }
+                    };
+                    match priced {
+                        Ok(candidate) => {
+                            // Counted only now, when the recall is actually
+                            // served: stats.cache_hits == CacheHit events.
+                            store.record_hit();
+                            let _ = sender.send(SearchEvent::CacheHit {
+                                scenario: index,
+                                id,
+                                candidate: candidate.clone(),
+                            });
+                            *discovered_count.lock().expect("count lock") += 1;
+                            candidates.lock().expect("candidates lock").push(candidate);
+                        }
+                        Err(error) => {
+                            let _ = sender.send(SearchEvent::CandidateSkipped {
+                                scenario: index,
+                                id,
+                                error,
+                            });
+                        }
+                    }
+                    return accuracy;
+                }
+            }
+
             // A proxy panic (e.g. an exotic candidate the tape einsum cannot
             // differentiate) must not take down the whole run: demote it to
             // a typed skip, like any other per-candidate failure.
@@ -655,12 +811,29 @@ fn run_scenario(
                         id,
                         accuracy,
                     });
+                    if let Some(store) = store {
+                        // Journal best-effort: a full disk degrades the run
+                        // to cache-less, it does not kill it.
+                        let _ = store.put_candidate(id, graph);
+                        let _ = store.put_score(id, accuracy);
+                    }
                     *discovered_count.lock().expect("count lock") += 1;
                     // Latency-tune immediately: the candidate is complete in
                     // the stream, and a cancelled run keeps every candidate
                     // it has announced.
                     match price_candidate(index, graph, accuracy, devices, compiler) {
                         Ok(candidate) => {
+                            if let Some(store) = store {
+                                for (device, latency) in devices.iter().zip(&candidate.latencies)
+                                {
+                                    let _ = store.put_latency(
+                                        id,
+                                        device.name,
+                                        compiler.name(),
+                                        *latency,
+                                    );
+                                }
+                            }
                             let _ = sender.send(SearchEvent::LatencyTuned {
                                 scenario: index,
                                 id,
@@ -679,6 +852,12 @@ fn run_scenario(
                     accuracy
                 }
                 Err(error) => {
+                    if let Some(store) = store {
+                        // Journal the failure (NaN marker) so resumed runs
+                        // skip this candidate instead of re-training it.
+                        let _ = store.put_candidate(id, graph);
+                        let _ = store.put_score(id, f64::NAN);
+                    }
                     let _ = sender.send(SearchEvent::CandidateSkipped {
                         scenario: index,
                         id,
@@ -693,17 +872,53 @@ fn run_scenario(
                 return false;
             }
             *shared.steps.lock().expect("steps lock") += 1;
+            *iterations_done.lock().expect("iterations lock") = iteration + 1;
             if iteration > 0 && iteration % progress_every == 0 {
+                let discovered = *discovered_count.lock().expect("count lock");
                 let _ = sender.send(SearchEvent::Progress {
                     scenario: index,
                     iterations: iteration,
                     total_iterations,
-                    discovered: *discovered_count.lock().expect("count lock"),
+                    discovered,
                 });
+                if let Some(store) = store {
+                    let written = store.put_checkpoint(&Checkpoint {
+                        label: scenario.label.clone(),
+                        spec_fingerprint: fingerprint,
+                        seed,
+                        iterations: iteration,
+                        discovered,
+                    });
+                    if written.is_ok() {
+                        let _ = sender.send(SearchEvent::CheckpointWritten {
+                            scenario: index,
+                            iterations: iteration,
+                        });
+                    }
+                }
             }
             true
         },
     );
+
+    // Final checkpoint: pins the scenario's end position so resume_from
+    // knows completed scenarios replay (all hits) rather than re-train.
+    if let Some(store) = store {
+        let iterations = *iterations_done.lock().expect("iterations lock");
+        let written = store.put_checkpoint(&Checkpoint {
+            label: scenario.label.clone(),
+            spec_fingerprint: fingerprint,
+            seed,
+            iterations,
+            discovered: *discovered_count.lock().expect("count lock"),
+        });
+        if written.is_ok() {
+            let _ = sender.send(SearchEvent::CheckpointWritten {
+                scenario: index,
+                iterations,
+            });
+        }
+    }
 
     candidates.into_inner().expect("candidates lock")
 }
@@ -989,6 +1204,86 @@ mod tests {
         for pair in report.candidates.windows(2) {
             assert!(pair[0].accuracy >= pair[1].accuracy);
         }
+    }
+
+    #[test]
+    fn warm_store_serves_cache_hits_without_retraining() {
+        let dir = std::env::temp_dir().join(format!("syno-run-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (vars, spec) = conv_scenario();
+        let mcts = MctsConfig {
+            iterations: 15,
+            seed: 9,
+            ..MctsConfig::default()
+        };
+
+        let store = Arc::new(syno_store::StoreBuilder::new(&dir).open().unwrap());
+        let cold = SearchBuilder::new()
+            .scenario("conv", &vars, &spec)
+            .mcts(mcts)
+            .proxy(quick_proxy())
+            .store(Arc::clone(&store))
+            .start()
+            .unwrap();
+        let mut cold_scored = std::collections::HashSet::new();
+        let mut cold_checkpoints = 0usize;
+        for event in cold.events() {
+            match event {
+                SearchEvent::ProxyScored { id, .. } => {
+                    cold_scored.insert(id);
+                }
+                SearchEvent::CacheHit { .. } => panic!("cold run cannot hit the cache"),
+                SearchEvent::CheckpointWritten { .. } => cold_checkpoints += 1,
+                _ => {}
+            }
+        }
+        let cold_report = cold.join().unwrap();
+        assert!(!cold_scored.is_empty());
+        assert!(cold_checkpoints > 0, "store runs must journal checkpoints");
+
+        // Same scenario, same store, fresh process state: every evaluation
+        // must come back from the journal — zero duplicate proxy trainings.
+        drop(store);
+        let store = Arc::new(syno_store::StoreBuilder::new(&dir).open().unwrap());
+        let warm = SearchBuilder::new()
+            .scenario("conv", &vars, &spec)
+            .mcts(mcts)
+            .proxy(quick_proxy())
+            .store(Arc::clone(&store))
+            .start()
+            .unwrap();
+        let mut hits = 0usize;
+        for event in warm.events() {
+            match event {
+                SearchEvent::ProxyScored { id, .. } => {
+                    assert!(
+                        !cold_scored.contains(&id),
+                        "candidate {id:#x} was re-trained despite a warm store"
+                    );
+                }
+                SearchEvent::CacheHit { id, candidate, .. } => {
+                    assert!(cold_scored.contains(&id), "hit for unknown candidate");
+                    assert!(candidate.latencies.iter().all(|l| l.is_finite()));
+                    hits += 1;
+                }
+                _ => {}
+            }
+        }
+        let warm_report = warm.join().unwrap();
+        assert!(hits >= 1, "warm run must recall from the store");
+        assert_eq!(
+            store.stats().cache_hits,
+            hits as u64,
+            "store hit counter and events agree"
+        );
+        // Deterministic replay: the warm run rediscovers the same set.
+        let ids = |r: &SearchReport| {
+            let mut v: Vec<u64> = r.candidates.iter().map(|c| c.graph.content_hash()).collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(ids(&cold_report), ids(&warm_report));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,0 +1,1189 @@
+//! The append-only journal and its in-memory index.
+//!
+//! ## On-disk layout
+//!
+//! ```text
+//! +--------------------------------------------------------------+
+//! | magic "SYNOSTOR" (8 bytes) | journal version (u32 LE)        |  header
+//! +--------------------------------------------------------------+
+//! | kind (u8) | payload len (u32 LE) | payload | checksum (u32)  |  record 0
+//! +--------------------------------------------------------------+
+//! | ...                                                          |  record 1…
+//! ```
+//!
+//! The checksum is the low 32 bits of a 64-bit FNV-1a digest over the kind
+//! byte plus the payload, computed with the same stable hasher that backs
+//! content hashes. Records are only ever appended; a crash can therefore
+//! corrupt at most the **tail** of the file. Loading walks the records in
+//! order and, at the first framing or checksum failure, truncates the file
+//! back to the last good record boundary — the recovery strategy of every
+//! write-ahead log. A record that frames and checksums correctly but fails
+//! to decode indicates real corruption (or a foreign writer) and is reported
+//! as [`StoreError::Corrupt`] rather than silently dropped.
+//!
+//! ## Payloads
+//!
+//! Payloads use [`syno_core::codec`] primitives. `Candidate` embeds the
+//! graph's own versioned encoding ([`syno_core::codec::encode_graph`]), so
+//! the codec's `FORMAT_VERSION` is checked again when a graph is decoded.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use syno_core::codec::{self, CodecError, Decoder, Encoder};
+use syno_core::graph::PGraph;
+use syno_core::stable::StableHasher;
+
+/// File magic identifying a syno-store journal.
+const MAGIC: [u8; 8] = *b"SYNOSTOR";
+/// Version of the journal framing (independent of the value codec's
+/// [`codec::FORMAT_VERSION`], which is checked per embedded graph).
+const JOURNAL_VERSION: u32 = 1;
+/// Bytes of header before the first record.
+const HEADER_LEN: u64 = 12;
+/// Refuse absurd frame lengths so a corrupt length prefix cannot force a
+/// multi-gigabyte allocation.
+const MAX_PAYLOAD: u32 = 64 * 1024 * 1024;
+
+/// Errors surfaced by store operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StoreError {
+    /// An OS-level I/O failure, tagged with the operation that failed.
+    Io {
+        /// What the store was doing.
+        op: &'static str,
+        /// Rendered `std::io::Error`.
+        reason: String,
+    },
+    /// The file exists but does not start with the journal magic.
+    BadMagic,
+    /// The journal framing version is not supported by this build.
+    Version {
+        /// Version found in the header.
+        found: u32,
+    },
+    /// A record framed and checksummed correctly but its payload is
+    /// malformed — not a torn tail, real corruption.
+    Corrupt {
+        /// Byte offset of the offending record.
+        offset: u64,
+        /// What went wrong.
+        reason: String,
+    },
+    /// A value-level decode failure (from [`syno_core::codec`]).
+    Codec(CodecError),
+    /// The store has no journaled graph under the requested content hash.
+    UnknownHash {
+        /// The missing key.
+        hash: u64,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { op, reason } => write!(f, "store {op} failed: {reason}"),
+            StoreError::BadMagic => write!(f, "not a syno-store journal (bad magic)"),
+            StoreError::Version { found } => write!(
+                f,
+                "unsupported journal version {found} (this build reads {JOURNAL_VERSION})"
+            ),
+            StoreError::Corrupt { offset, reason } => {
+                write!(f, "corrupt record at byte {offset}: {reason}")
+            }
+            StoreError::Codec(e) => write!(f, "codec error: {e}"),
+            StoreError::UnknownHash { hash } => {
+                write!(f, "no candidate journaled under {hash:#018x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<CodecError> for StoreError {
+    fn from(e: CodecError) -> Self {
+        StoreError::Codec(e)
+    }
+}
+
+fn io_err(op: &'static str) -> impl FnOnce(std::io::Error) -> StoreError {
+    move |e| StoreError::Io {
+        op,
+        reason: e.to_string(),
+    }
+}
+
+/// The four journaled record kinds.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum RecordKind {
+    /// A candidate operator (content hash + encoded graph recipe).
+    Candidate,
+    /// A proxy-training result for a candidate.
+    ProxyScore,
+    /// One tuned latency for a candidate on one device/compiler pair.
+    LatencyMeasurement,
+    /// A search scenario's journaled position.
+    Checkpoint,
+}
+
+impl RecordKind {
+    fn tag(self) -> u8 {
+        match self {
+            RecordKind::Candidate => 1,
+            RecordKind::ProxyScore => 2,
+            RecordKind::LatencyMeasurement => 3,
+            RecordKind::Checkpoint => 4,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Option<RecordKind> {
+        Some(match tag {
+            1 => RecordKind::Candidate,
+            2 => RecordKind::ProxyScore,
+            3 => RecordKind::LatencyMeasurement,
+            4 => RecordKind::Checkpoint,
+            _ => return None,
+        })
+    }
+}
+
+/// A search scenario's journaled position, written periodically by
+/// `syno-search` and consumed by `SearchBuilder::resume_from`.
+///
+/// The `(label, spec_fingerprint)` pair identifies the scenario; `seed` pins
+/// the MCTS rollout stream so a resumed run replays the same deterministic
+/// candidate sequence (with evaluations recalled from the store instead of
+/// recomputed).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Checkpoint {
+    /// The scenario label the checkpoint belongs to.
+    pub label: String,
+    /// [`OperatorSpec::fingerprint`](syno_core::spec::OperatorSpec::fingerprint)
+    /// of the scenario's spec under its variable table.
+    pub spec_fingerprint: u64,
+    /// The MCTS seed the scenario ran with.
+    pub seed: u64,
+    /// Iterations completed when the checkpoint was written.
+    pub iterations: u64,
+    /// Distinct candidates discovered when the checkpoint was written.
+    pub discovered: u64,
+}
+
+/// One decoded journal record (exposed for tooling and tests; the search
+/// pipeline uses the typed `put_*`/lookup methods instead).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Record {
+    /// A candidate operator.
+    Candidate {
+        /// Content hash (the store key).
+        hash: u64,
+        /// [`codec::encode_graph`] bytes.
+        graph: Vec<u8>,
+    },
+    /// A proxy accuracy for `hash`.
+    ProxyScore {
+        /// Content hash of the scored candidate.
+        hash: u64,
+        /// Proxy accuracy in `[0, 1]`.
+        accuracy: f64,
+    },
+    /// A tuned latency for `hash` on one device/compiler pair.
+    LatencyMeasurement {
+        /// Content hash of the tuned candidate.
+        hash: u64,
+        /// Device display name.
+        device: String,
+        /// Compiler display name.
+        compiler: String,
+        /// Latency in seconds.
+        latency: f64,
+    },
+    /// A search checkpoint.
+    Checkpoint(Checkpoint),
+}
+
+impl Record {
+    /// The kind tag of this record.
+    pub fn kind(&self) -> RecordKind {
+        match self {
+            Record::Candidate { .. } => RecordKind::Candidate,
+            Record::ProxyScore { .. } => RecordKind::ProxyScore,
+            Record::LatencyMeasurement { .. } => RecordKind::LatencyMeasurement,
+            Record::Checkpoint(_) => RecordKind::Checkpoint,
+        }
+    }
+
+    fn encode_payload(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        match self {
+            Record::Candidate { hash, graph } => {
+                e.put_u64(*hash);
+                e.put_bytes(graph);
+            }
+            Record::ProxyScore { hash, accuracy } => {
+                e.put_u64(*hash);
+                e.put_f64(*accuracy);
+            }
+            Record::LatencyMeasurement {
+                hash,
+                device,
+                compiler,
+                latency,
+            } => {
+                e.put_u64(*hash);
+                e.put_str(device);
+                e.put_str(compiler);
+                e.put_f64(*latency);
+            }
+            Record::Checkpoint(cp) => {
+                e.put_str(&cp.label);
+                e.put_u64(cp.spec_fingerprint);
+                e.put_u64(cp.seed);
+                e.put_u64(cp.iterations);
+                e.put_u64(cp.discovered);
+            }
+        }
+        e.into_bytes()
+    }
+
+    fn decode_payload(kind: RecordKind, payload: &[u8]) -> Result<Record, CodecError> {
+        let mut d = Decoder::new(payload);
+        let record = match kind {
+            RecordKind::Candidate => Record::Candidate {
+                hash: d.get_u64()?,
+                graph: d.get_bytes()?.to_vec(),
+            },
+            RecordKind::ProxyScore => Record::ProxyScore {
+                hash: d.get_u64()?,
+                accuracy: d.get_f64()?,
+            },
+            RecordKind::LatencyMeasurement => Record::LatencyMeasurement {
+                hash: d.get_u64()?,
+                device: d.get_str()?,
+                compiler: d.get_str()?,
+                latency: d.get_f64()?,
+            },
+            RecordKind::Checkpoint => Record::Checkpoint(Checkpoint {
+                label: d.get_str()?,
+                spec_fingerprint: d.get_u64()?,
+                seed: d.get_u64()?,
+                iterations: d.get_u64()?,
+                discovered: d.get_u64()?,
+            }),
+        };
+        if d.remaining() != 0 {
+            return Err(CodecError::Invalid(format!(
+                "{} trailing bytes after record payload",
+                d.remaining()
+            )));
+        }
+        Ok(record)
+    }
+}
+
+/// FNV-1a over the kind byte + payload, truncated to 32 bits.
+fn frame_checksum(kind: u8, payload: &[u8]) -> u32 {
+    use std::hash::Hasher;
+    let mut h = StableHasher::new();
+    h.write(&[kind]);
+    h.write(payload);
+    h.finish() as u32
+}
+
+/// Aggregate store counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Distinct candidates journaled.
+    pub candidates: u64,
+    /// Candidates with a successful proxy score (NaN failure markers are
+    /// excluded).
+    pub scored: u64,
+    /// Latency measurements journaled (device/compiler pairs).
+    pub latency_measurements: u64,
+    /// Live checkpoints (latest per scenario).
+    pub checkpoints: u64,
+    /// Journal size on disk, bytes.
+    pub file_bytes: u64,
+    /// Bytes discarded by torn-tail recovery when the store was opened.
+    pub recovered_bytes: u64,
+    /// Evaluations served from the store instead of recomputed, this
+    /// process (not persisted).
+    pub cache_hits: u64,
+}
+
+#[derive(Clone, Debug, Default)]
+struct CandidateEntry {
+    graph: Vec<u8>,
+    accuracy: Option<f64>,
+    /// `(device, compiler) → latency seconds`, latest record wins.
+    latencies: HashMap<(String, String), f64>,
+}
+
+struct Inner {
+    file: File,
+    path: PathBuf,
+    sync_on_append: bool,
+    len_bytes: u64,
+    recovered_bytes: u64,
+    cache_hits: u64,
+    /// Content hash → everything known about the candidate.
+    index: HashMap<u64, CandidateEntry>,
+    /// First-journaled order of candidate hashes (compaction preserves it).
+    order: Vec<u64>,
+    /// `(label, spec fingerprint) → latest checkpoint`.
+    checkpoints: HashMap<(String, u64), Checkpoint>,
+}
+
+/// Opens or creates a [`Store`].
+///
+/// The builder is inert until [`open`](StoreBuilder::open) is called, hence
+/// the `#[must_use]`.
+#[must_use = "a StoreBuilder does nothing until .open() is called"]
+#[derive(Clone, Debug)]
+pub struct StoreBuilder {
+    path: PathBuf,
+    create: bool,
+    sync_on_append: bool,
+}
+
+impl StoreBuilder {
+    /// Targets the journal directory `path` (the journal file lives at
+    /// `path/journal.syno`).
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        StoreBuilder {
+            path: path.into(),
+            create: true,
+            sync_on_append: false,
+        }
+    }
+
+    /// Whether to create the directory and journal when missing (default
+    /// `true`); with `false`, opening a missing store fails.
+    pub fn create(mut self, yes: bool) -> Self {
+        self.create = yes;
+        self
+    }
+
+    /// `fsync` the journal after every append (default `false`: appends are
+    /// flushed to the OS but not forced to disk, so a *power* failure may
+    /// tear the tail — which recovery handles — while a process crash loses
+    /// nothing).
+    pub fn sync_on_append(mut self, yes: bool) -> Self {
+        self.sync_on_append = yes;
+        self
+    }
+
+    /// Opens the store, replaying the journal into the in-memory index and
+    /// truncating a torn tail record if the last session crashed mid-append.
+    ///
+    /// The journal is **single-writer**: opening takes an exclusive OS
+    /// advisory lock held until the [`Store`] is dropped, so a second open
+    /// of the same directory — from this process or another — fails
+    /// instead of silently interleaving appends. The lock is released by
+    /// the kernel even on crash.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the directory or file cannot be
+    /// created/opened, or when another live `Store` holds the journal
+    /// lock; [`StoreError::BadMagic`] / [`StoreError::Version`] for a
+    /// foreign or incompatible file; [`StoreError::Corrupt`] when a
+    /// well-framed record fails to decode (which truncation must *not*
+    /// paper over).
+    pub fn open(self) -> Result<Store, StoreError> {
+        let dir = &self.path;
+        if !dir.exists() {
+            if !self.create {
+                return Err(StoreError::Io {
+                    op: "open",
+                    reason: format!("{} does not exist", dir.display()),
+                });
+            }
+            std::fs::create_dir_all(dir).map_err(io_err("create dir"))?;
+        }
+        let file_path = Store::journal_path(dir);
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(self.create)
+            .open(&file_path)
+            .map_err(io_err("open journal"))?;
+        // Single-writer guard: an exclusive advisory lock held for the
+        // store's lifetime. Two concurrent writers would append at
+        // overlapping offsets and shred each other's frames; the kernel
+        // releases the lock on crash, so there are no stale locks to clean.
+        file.try_lock().map_err(|e| StoreError::Io {
+            op: "lock journal (is another process using this store?)",
+            reason: e.to_string(),
+        })?;
+
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes).map_err(io_err("read journal"))?;
+
+        let mut inner = Inner {
+            file,
+            path: file_path,
+            sync_on_append: self.sync_on_append,
+            len_bytes: 0,
+            recovered_bytes: 0,
+            cache_hits: 0,
+            index: HashMap::new(),
+            order: Vec::new(),
+            checkpoints: HashMap::new(),
+        };
+
+        if bytes.len() < HEADER_LEN as usize {
+            // Empty or torn-header file: start fresh.
+            inner.recovered_bytes = bytes.len() as u64;
+            inner.file.set_len(0).map_err(io_err("truncate"))?;
+            let mut header = Vec::with_capacity(HEADER_LEN as usize);
+            header.extend_from_slice(&MAGIC);
+            header.extend_from_slice(&JOURNAL_VERSION.to_le_bytes());
+            inner.file.seek(SeekFrom::Start(0)).map_err(io_err("seek"))?;
+            inner.file.write_all(&header).map_err(io_err("write header"))?;
+            inner.file.sync_data().map_err(io_err("sync header"))?;
+            inner.len_bytes = HEADER_LEN;
+            return Ok(Store {
+                inner: Mutex::new(inner),
+            });
+        }
+
+        if bytes[..8] != MAGIC {
+            return Err(StoreError::BadMagic);
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+        if version != JOURNAL_VERSION {
+            return Err(StoreError::Version { found: version });
+        }
+
+        // Replay records; stop (and truncate) at the first torn frame.
+        let mut offset = HEADER_LEN as usize;
+        let mut good = offset;
+        loop {
+            match read_frame(&bytes, offset) {
+                FrameResult::Record(record, next) => {
+                    inner.apply(record);
+                    offset = next;
+                    good = next;
+                }
+                FrameResult::End => break,
+                FrameResult::Torn => break,
+                FrameResult::Corrupt(reason) => {
+                    return Err(StoreError::Corrupt {
+                        offset: offset as u64,
+                        reason,
+                    });
+                }
+            }
+        }
+        if good < bytes.len() {
+            inner.recovered_bytes = (bytes.len() - good) as u64;
+            inner.file.set_len(good as u64).map_err(io_err("truncate"))?;
+            inner.file.sync_data().map_err(io_err("sync truncate"))?;
+        }
+        inner.len_bytes = good as u64;
+        Ok(Store {
+            inner: Mutex::new(inner),
+        })
+    }
+}
+
+enum FrameResult {
+    Record(Record, usize),
+    /// Clean end of journal.
+    End,
+    /// The frame is incomplete or fails its checksum: a torn append.
+    Torn,
+    /// The frame is intact but its payload is malformed.
+    Corrupt(String),
+}
+
+fn read_frame(bytes: &[u8], offset: usize) -> FrameResult {
+    if offset == bytes.len() {
+        return FrameResult::End;
+    }
+    if bytes.len() - offset < 5 {
+        return FrameResult::Torn;
+    }
+    let tag = bytes[offset];
+    let len = u32::from_le_bytes(bytes[offset + 1..offset + 5].try_into().unwrap());
+    if len > MAX_PAYLOAD {
+        return FrameResult::Torn;
+    }
+    let payload_start = offset + 5;
+    let payload_end = payload_start + len as usize;
+    let frame_end = payload_end + 4;
+    if bytes.len() < frame_end {
+        return FrameResult::Torn;
+    }
+    let payload = &bytes[payload_start..payload_end];
+    let stored = u32::from_le_bytes(bytes[payload_end..frame_end].try_into().unwrap());
+    if stored != frame_checksum(tag, payload) {
+        return FrameResult::Torn;
+    }
+    // Frame verified: structural failures beyond this point are corruption,
+    // not a torn tail.
+    let Some(kind) = RecordKind::from_tag(tag) else {
+        return FrameResult::Corrupt(format!("unknown record tag {tag:#04x}"));
+    };
+    match Record::decode_payload(kind, payload) {
+        Ok(record) => FrameResult::Record(record, frame_end),
+        Err(e) => FrameResult::Corrupt(e.to_string()),
+    }
+}
+
+impl Inner {
+    /// The index entry for `hash`, created (and ordered) on first sight.
+    fn entry(&mut self, hash: u64) -> &mut CandidateEntry {
+        if !self.index.contains_key(&hash) {
+            self.order.push(hash);
+            self.index.insert(hash, CandidateEntry::default());
+        }
+        self.index.get_mut(&hash).expect("just inserted")
+    }
+
+    fn apply(&mut self, record: Record) {
+        match record {
+            Record::Candidate { hash, graph } => {
+                let entry = self.entry(hash);
+                if entry.graph.is_empty() {
+                    entry.graph = graph;
+                }
+            }
+            Record::ProxyScore { hash, accuracy } => {
+                self.entry(hash).accuracy = Some(accuracy);
+            }
+            Record::LatencyMeasurement {
+                hash,
+                device,
+                compiler,
+                latency,
+            } => {
+                self.entry(hash).latencies.insert((device, compiler), latency);
+            }
+            Record::Checkpoint(cp) => {
+                self.checkpoints
+                    .insert((cp.label.clone(), cp.spec_fingerprint), cp);
+            }
+        }
+    }
+
+    fn append(&mut self, record: &Record) -> Result<(), StoreError> {
+        let payload = record.encode_payload();
+        let tag = record.kind().tag();
+        let mut frame = Vec::with_capacity(payload.len() + 9);
+        frame.push(tag);
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        frame.extend_from_slice(&frame_checksum(tag, &payload).to_le_bytes());
+        self.file
+            .seek(SeekFrom::Start(self.len_bytes))
+            .map_err(io_err("seek"))?;
+        self.file.write_all(&frame).map_err(io_err("append"))?;
+        self.file.flush().map_err(io_err("flush"))?;
+        if self.sync_on_append {
+            self.file.sync_data().map_err(io_err("sync"))?;
+        }
+        self.len_bytes += frame.len() as u64;
+        Ok(())
+    }
+}
+
+/// The persistent candidate store: an append-only journal plus an in-memory
+/// index keyed by content hash.
+///
+/// All methods take `&self`; the store is internally synchronized and is
+/// shared across search workers behind an [`Arc`](std::sync::Arc).
+pub struct Store {
+    inner: Mutex<Inner>,
+}
+
+impl fmt::Debug for Store {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("Store")
+            .field("path", &self.path())
+            .field("candidates", &stats.candidates)
+            .field("scored", &stats.scored)
+            .field("checkpoints", &stats.checkpoints)
+            .finish()
+    }
+}
+
+impl Store {
+    /// The journal file inside a store directory.
+    pub fn journal_path(dir: &Path) -> PathBuf {
+        dir.join("journal.syno")
+    }
+
+    /// Shorthand for `StoreBuilder::new(path).open()`.
+    ///
+    /// # Errors
+    ///
+    /// See [`StoreBuilder::open`].
+    pub fn open(path: impl Into<PathBuf>) -> Result<Store, StoreError> {
+        StoreBuilder::new(path).open()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().expect("store lock")
+    }
+
+    /// Path of the journal file.
+    pub fn path(&self) -> PathBuf {
+        self.lock().path.clone()
+    }
+
+    /// Journals a candidate operator under its content hash. Returns `false`
+    /// without writing when the hash is already present (cross-run dedup).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the append fails.
+    pub fn put_candidate(&self, hash: u64, graph: &PGraph) -> Result<bool, StoreError> {
+        let mut inner = self.lock();
+        if inner.index.get(&hash).is_some_and(|e| !e.graph.is_empty()) {
+            return Ok(false);
+        }
+        let record = Record::Candidate {
+            hash,
+            graph: codec::encode_graph(graph),
+        };
+        inner.append(&record)?;
+        inner.apply(record);
+        Ok(true)
+    }
+
+    /// Journals a proxy score for `hash`.
+    ///
+    /// By convention `NaN` marks a *journaled failure*: the candidate's
+    /// proxy training failed deterministically, and consumers (the search
+    /// pipeline) skip it on recall instead of re-training. NaN scores are
+    /// excluded from [`StoreStats::scored`].
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the append fails.
+    pub fn put_score(&self, hash: u64, accuracy: f64) -> Result<(), StoreError> {
+        let mut inner = self.lock();
+        let record = Record::ProxyScore { hash, accuracy };
+        inner.append(&record)?;
+        inner.apply(record);
+        Ok(())
+    }
+
+    /// Journals a tuned latency for `hash` on one device/compiler pair.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the append fails.
+    pub fn put_latency(
+        &self,
+        hash: u64,
+        device: &str,
+        compiler: &str,
+        latency: f64,
+    ) -> Result<(), StoreError> {
+        let mut inner = self.lock();
+        let record = Record::LatencyMeasurement {
+            hash,
+            device: device.to_owned(),
+            compiler: compiler.to_owned(),
+            latency,
+        };
+        inner.append(&record)?;
+        inner.apply(record);
+        Ok(())
+    }
+
+    /// Journals a checkpoint (latest per `(label, spec_fingerprint)` wins).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the append fails.
+    pub fn put_checkpoint(&self, checkpoint: &Checkpoint) -> Result<(), StoreError> {
+        let mut inner = self.lock();
+        let record = Record::Checkpoint(checkpoint.clone());
+        inner.append(&record)?;
+        inner.apply(record);
+        Ok(())
+    }
+
+    /// `true` when a candidate is journaled under `hash`.
+    pub fn contains(&self, hash: u64) -> bool {
+        self.lock().index.contains_key(&hash)
+    }
+
+    /// The cached proxy accuracy for `hash`, counting a hit toward
+    /// [`StoreStats::cache_hits`] when present. Use [`Store::score`] for a
+    /// side-effect-free probe, or probe + [`Store::record_hit`] when the
+    /// recall may still fall through to recomputation (the search pipeline
+    /// does this so `cache_hits` counts only evaluations actually served).
+    pub fn recall_score(&self, hash: u64) -> Option<f64> {
+        let mut inner = self.lock();
+        let hit = inner.index.get(&hash).and_then(|e| e.accuracy);
+        if hit.is_some() {
+            inner.cache_hits += 1;
+        }
+        hit
+    }
+
+    /// Counts one served recall toward [`StoreStats::cache_hits`]. For
+    /// callers that probe with [`Store::score`] and only later learn
+    /// whether the recall was actually served.
+    pub fn record_hit(&self) {
+        self.lock().cache_hits += 1;
+    }
+
+    /// The cached proxy accuracy for `hash`, without touching hit counters.
+    /// `Some(NaN)` is the journaled-failure marker (see
+    /// [`Store::put_score`]).
+    pub fn score(&self, hash: u64) -> Option<f64> {
+        self.lock().index.get(&hash).and_then(|e| e.accuracy)
+    }
+
+    /// The cached latency for `hash` on one device/compiler pair.
+    pub fn latency(&self, hash: u64, device: &str, compiler: &str) -> Option<f64> {
+        self.lock()
+            .index
+            .get(&hash)
+            .and_then(|e| e.latencies.get(&(device.to_owned(), compiler.to_owned())).copied())
+    }
+
+    /// Cached latencies for every requested device under one compiler, in
+    /// request order; `None` unless **all** are present.
+    pub fn latencies(&self, hash: u64, devices: &[&str], compiler: &str) -> Option<Vec<f64>> {
+        let inner = self.lock();
+        let entry = inner.index.get(&hash)?;
+        devices
+            .iter()
+            .map(|d| {
+                entry
+                    .latencies
+                    .get(&((*d).to_owned(), compiler.to_owned()))
+                    .copied()
+            })
+            .collect()
+    }
+
+    /// Decodes the journaled graph for `hash`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::UnknownHash`] when nothing is journaled under `hash`;
+    /// [`StoreError::Codec`] when the stored bytes no longer decode.
+    pub fn graph(&self, hash: u64) -> Result<PGraph, StoreError> {
+        let bytes = {
+            let inner = self.lock();
+            let entry = inner
+                .index
+                .get(&hash)
+                .filter(|e| !e.graph.is_empty())
+                .ok_or(StoreError::UnknownHash { hash })?;
+            entry.graph.clone()
+        };
+        Ok(codec::decode_graph(&bytes)?)
+    }
+
+    /// Content hashes of every journaled candidate, in first-seen order.
+    pub fn hashes(&self) -> Vec<u64> {
+        self.lock().order.clone()
+    }
+
+    /// The latest checkpoint for a scenario, if any.
+    pub fn checkpoint(&self, label: &str, spec_fingerprint: u64) -> Option<Checkpoint> {
+        self.lock()
+            .checkpoints
+            .get(&(label.to_owned(), spec_fingerprint))
+            .cloned()
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> StoreStats {
+        let inner = self.lock();
+        StoreStats {
+            candidates: inner.order.len() as u64,
+            scored: inner
+                .index
+                .values()
+                .filter(|e| e.accuracy.is_some_and(|a| !a.is_nan()))
+                .count() as u64,
+            latency_measurements: inner
+                .index
+                .values()
+                .map(|e| e.latencies.len() as u64)
+                .sum(),
+            checkpoints: inner.checkpoints.len() as u64,
+            file_bytes: inner.len_bytes,
+            recovered_bytes: inner.recovered_bytes,
+            cache_hits: inner.cache_hits,
+        }
+    }
+
+    /// Rewrites the journal keeping only the live state: one `Candidate`,
+    /// at most one `ProxyScore`, and the latest latency per device/compiler
+    /// pair for each hash (in first-seen order), plus the latest checkpoint
+    /// per scenario. Superseded duplicates are dropped. Returns the stats
+    /// after compaction.
+    ///
+    /// The rewrite goes through a temporary file and an atomic rename, so a
+    /// crash mid-compaction leaves either the old or the new journal intact.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when writing or renaming fails.
+    pub fn compact(&self) -> Result<StoreStats, StoreError> {
+        let mut inner = self.lock();
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&JOURNAL_VERSION.to_le_bytes());
+        let frame = |record: &Record, bytes: &mut Vec<u8>| {
+            let payload = record.encode_payload();
+            let tag = record.kind().tag();
+            bytes.push(tag);
+            bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            bytes.extend_from_slice(&payload);
+            bytes.extend_from_slice(&frame_checksum(tag, &payload).to_le_bytes());
+        };
+        for &hash in &inner.order {
+            let entry = &inner.index[&hash];
+            if !entry.graph.is_empty() {
+                frame(
+                    &Record::Candidate {
+                        hash,
+                        graph: entry.graph.clone(),
+                    },
+                    &mut bytes,
+                );
+            }
+            if let Some(accuracy) = entry.accuracy {
+                frame(&Record::ProxyScore { hash, accuracy }, &mut bytes);
+            }
+            let mut pairs: Vec<_> = entry.latencies.iter().collect();
+            pairs.sort_by(|a, b| a.0.cmp(b.0));
+            for ((device, compiler), &latency) in pairs {
+                frame(
+                    &Record::LatencyMeasurement {
+                        hash,
+                        device: device.clone(),
+                        compiler: compiler.clone(),
+                        latency,
+                    },
+                    &mut bytes,
+                );
+            }
+        }
+        let mut checkpoints: Vec<_> = inner.checkpoints.values().cloned().collect();
+        checkpoints.sort_by(|a, b| {
+            a.label
+                .cmp(&b.label)
+                .then(a.spec_fingerprint.cmp(&b.spec_fingerprint))
+        });
+        for cp in checkpoints {
+            frame(&Record::Checkpoint(cp), &mut bytes);
+        }
+
+        let tmp = inner.path.with_extension("syno.tmp");
+        let mut out = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp)
+            .map_err(io_err("create compact file"))?;
+        out.write_all(&bytes).map_err(io_err("write compact file"))?;
+        out.sync_data().map_err(io_err("sync compact file"))?;
+        // Take the single-writer lock on the replacement *before* the swap,
+        // so no other opener can slip in between rename and relock; the old
+        // handle's lock dies with it on reassignment below.
+        out.try_lock().map_err(|e| StoreError::Io {
+            op: "lock compact file",
+            reason: e.to_string(),
+        })?;
+        std::fs::rename(&tmp, &inner.path).map_err(io_err("swap compact file"))?;
+        inner.file = out;
+        inner.len_bytes = bytes.len() as u64;
+        drop(inner);
+        Ok(self.stats())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    use syno_core::prelude::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "syno-store-test-{}-{tag}-{n}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn pool_graphs(n: usize) -> Vec<PGraph> {
+        let mut vars = VarTable::new();
+        let h = vars.declare("H", VarKind::Primary);
+        let s = vars.declare("s", VarKind::Coefficient);
+        vars.push_valuation(vec![(h, 16), (s, 2)]);
+        let vars = vars.into_shared();
+        let spec = OperatorSpec::new(
+            TensorShape::new(vec![Size::var(h)]),
+            TensorShape::new(vec![Size::var(h).div(&Size::var(s))]),
+        );
+        Enumerator::new(SynthConfig::auto(&vars, 3))
+            .synthesis(&vars, &spec)
+            .take(n)
+            .map(|r| r.unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn records_survive_reopen() {
+        let dir = temp_dir("reopen");
+        let graphs = pool_graphs(3);
+        {
+            let store = StoreBuilder::new(&dir).open().unwrap();
+            for (i, g) in graphs.iter().enumerate() {
+                let hash = g.content_hash();
+                assert!(store.put_candidate(hash, g).unwrap());
+                store.put_score(hash, 0.5 + i as f64 / 10.0).unwrap();
+                store.put_latency(hash, "mobile-cpu", "TVM", 1e-3 * (i + 1) as f64).unwrap();
+            }
+            store
+                .put_checkpoint(&Checkpoint {
+                    label: "pool".into(),
+                    spec_fingerprint: 42,
+                    seed: 7,
+                    iterations: 100,
+                    discovered: 3,
+                })
+                .unwrap();
+        }
+        let store = StoreBuilder::new(&dir).open().unwrap();
+        let stats = store.stats();
+        assert_eq!(stats.candidates, 3);
+        assert_eq!(stats.scored, 3);
+        assert_eq!(stats.latency_measurements, 3);
+        assert_eq!(stats.checkpoints, 1);
+        assert_eq!(stats.recovered_bytes, 0);
+        for (i, g) in graphs.iter().enumerate() {
+            let hash = g.content_hash();
+            assert_eq!(store.score(hash), Some(0.5 + i as f64 / 10.0));
+            assert_eq!(store.latency(hash, "mobile-cpu", "TVM"), Some(1e-3 * (i + 1) as f64));
+            let back = store.graph(hash).unwrap();
+            assert_eq!(back.content_hash(), hash);
+            assert_eq!(back.render(), g.render());
+        }
+        let cp = store.checkpoint("pool", 42).unwrap();
+        assert_eq!(cp.iterations, 100);
+        assert!(store.checkpoint("pool", 43).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn duplicate_candidates_are_not_rewritten() {
+        let dir = temp_dir("dedup");
+        let graphs = pool_graphs(1);
+        let store = StoreBuilder::new(&dir).open().unwrap();
+        let hash = graphs[0].content_hash();
+        assert!(store.put_candidate(hash, &graphs[0]).unwrap());
+        let bytes_after_first = store.stats().file_bytes;
+        assert!(!store.put_candidate(hash, &graphs[0]).unwrap());
+        assert_eq!(store.stats().file_bytes, bytes_after_first);
+        assert_eq!(store.stats().candidates, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_open() {
+        let dir = temp_dir("torn");
+        let graphs = pool_graphs(2);
+        let (h0, h1) = (graphs[0].content_hash(), graphs[1].content_hash());
+        {
+            let store = StoreBuilder::new(&dir).open().unwrap();
+            store.put_candidate(h0, &graphs[0]).unwrap();
+            store.put_score(h0, 0.9).unwrap();
+            store.put_candidate(h1, &graphs[1]).unwrap();
+        }
+        // Simulate a crash mid-append: chop bytes off the last record.
+        let journal = Store::journal_path(&dir);
+        let len = std::fs::metadata(&journal).unwrap().len();
+        let file = OpenOptions::new().write(true).open(&journal).unwrap();
+        file.set_len(len - 7).unwrap();
+        drop(file);
+
+        let store = StoreBuilder::new(&dir).open().unwrap();
+        let stats = store.stats();
+        assert!(stats.recovered_bytes > 0, "{stats:?}");
+        assert_eq!(stats.candidates, 1, "torn second candidate dropped");
+        assert_eq!(store.score(h0), Some(0.9));
+        assert!(!store.contains(h1));
+        // The store keeps working after recovery.
+        store.put_candidate(h1, &graphs[1]).unwrap();
+        drop(store);
+        let store = StoreBuilder::new(&dir).open().unwrap();
+        assert_eq!(store.stats().candidates, 2);
+        assert_eq!(store.stats().recovered_bytes, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn garbage_tail_checksum_is_recovered() {
+        let dir = temp_dir("garbage");
+        let graphs = pool_graphs(1);
+        let hash = graphs[0].content_hash();
+        {
+            let store = StoreBuilder::new(&dir).open().unwrap();
+            store.put_candidate(hash, &graphs[0]).unwrap();
+        }
+        let journal = Store::journal_path(&dir);
+        let mut file = OpenOptions::new().append(true).open(&journal).unwrap();
+        file.write_all(&[2, 16, 0, 0, 0]).unwrap(); // score frame header…
+        file.write_all(&[0xab; 20]).unwrap(); // …with garbage payload+crc
+        drop(file);
+        let store = StoreBuilder::new(&dir).open().unwrap();
+        assert!(store.stats().recovered_bytes > 0);
+        assert!(store.contains(hash));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn foreign_file_is_rejected() {
+        let dir = temp_dir("foreign");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(Store::journal_path(&dir), b"definitely not a journal").unwrap();
+        assert_eq!(StoreBuilder::new(&dir).open().unwrap_err(), StoreError::BadMagic);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_store_without_create_fails() {
+        let dir = temp_dir("missing");
+        let err = StoreBuilder::new(&dir).create(false).open().unwrap_err();
+        assert!(matches!(err, StoreError::Io { op: "open", .. }));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_drops_superseded_records() {
+        let dir = temp_dir("compact");
+        let graphs = pool_graphs(2);
+        let store = StoreBuilder::new(&dir).open().unwrap();
+        for g in &graphs {
+            store.put_candidate(g.content_hash(), g).unwrap();
+        }
+        let h = graphs[0].content_hash();
+        for i in 0..10 {
+            store.put_score(h, i as f64 / 10.0).unwrap();
+            store.put_latency(h, "mobile-cpu", "TVM", 1e-3 * (i + 1) as f64).unwrap();
+            store
+                .put_checkpoint(&Checkpoint {
+                    label: "pool".into(),
+                    spec_fingerprint: 1,
+                    seed: 0,
+                    iterations: i,
+                    discovered: 1,
+                })
+                .unwrap();
+        }
+        let before = store.stats();
+        let after = store.compact().unwrap();
+        assert!(after.file_bytes < before.file_bytes, "{after:?} vs {before:?}");
+        assert_eq!(after.candidates, 2);
+        assert_eq!(after.scored, 1);
+        assert_eq!(after.latency_measurements, 1);
+        assert_eq!(after.checkpoints, 1);
+        // Latest values won.
+        assert_eq!(store.score(h), Some(0.9));
+        assert_eq!(store.latency(h, "mobile-cpu", "TVM"), Some(1e-2));
+        assert_eq!(store.checkpoint("pool", 1).unwrap().iterations, 9);
+        // Appending still works after the swap, and a reopen sees one
+        // consistent journal.
+        store.put_score(h, 0.95).unwrap();
+        drop(store);
+        let store = StoreBuilder::new(&dir).open().unwrap();
+        assert_eq!(store.score(h), Some(0.95));
+        assert_eq!(store.stats().candidates, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn second_writer_is_locked_out() {
+        let dir = temp_dir("lock");
+        let store = StoreBuilder::new(&dir).open().unwrap();
+        let err = StoreBuilder::new(&dir).open().unwrap_err();
+        assert!(matches!(err, StoreError::Io { .. }), "{err}");
+        drop(store);
+        StoreBuilder::new(&dir).open().expect("lock released on drop");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn nan_scores_mark_journaled_failures() {
+        let dir = temp_dir("nan");
+        let graphs = pool_graphs(1);
+        let h = graphs[0].content_hash();
+        {
+            let store = StoreBuilder::new(&dir).open().unwrap();
+            store.put_candidate(h, &graphs[0]).unwrap();
+            store.put_score(h, f64::NAN).unwrap();
+            assert!(store.score(h).unwrap().is_nan());
+            assert_eq!(store.stats().scored, 0, "failure markers are not scores");
+            store.compact().unwrap();
+        }
+        let store = StoreBuilder::new(&dir).open().unwrap();
+        assert!(
+            store.score(h).unwrap().is_nan(),
+            "failure marker survives reopen and compaction"
+        );
+        assert_eq!(store.stats().scored, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recall_counts_cache_hits() {
+        let dir = temp_dir("hits");
+        let graphs = pool_graphs(1);
+        let h = graphs[0].content_hash();
+        let store = StoreBuilder::new(&dir).open().unwrap();
+        assert_eq!(store.recall_score(h), None);
+        assert_eq!(store.stats().cache_hits, 0);
+        store.put_candidate(h, &graphs[0]).unwrap();
+        store.put_score(h, 0.7).unwrap();
+        assert_eq!(store.recall_score(h), Some(0.7));
+        assert_eq!(store.recall_score(h), Some(0.7));
+        assert_eq!(store.stats().cache_hits, 2);
+        assert_eq!(store.score(h), Some(0.7), "probe does not count");
+        assert_eq!(store.stats().cache_hits, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_is_shareable_across_threads() {
+        let dir = temp_dir("threads");
+        let graphs = pool_graphs(4);
+        let store = Arc::new(StoreBuilder::new(&dir).open().unwrap());
+        std::thread::scope(|scope| {
+            for g in &graphs {
+                let store = Arc::clone(&store);
+                scope.spawn(move || {
+                    let h = g.content_hash();
+                    store.put_candidate(h, g).unwrap();
+                    store.put_score(h, 0.5).unwrap();
+                });
+            }
+        });
+        assert_eq!(store.stats().candidates, graphs.len() as u64);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,43 @@
+//! # syno-store — the persistent, content-addressed candidate store
+//!
+//! Syno's search loop (Algorithm 1) spends nearly all of its wall-clock on
+//! candidate evaluation: proxy training and latency tuning dominate, and the
+//! paper leans on canonical-form deduplication to avoid redundant work
+//! *within* one run. This crate extends that amortization *across* runs: an
+//! append-only on-disk journal of candidate operators and their evaluation
+//! results, keyed by the stable content hash
+//! ([`PGraph::content_hash`](syno_core::graph::PGraph::content_hash)), plus
+//! search checkpoints that let an interrupted run resume without repeating
+//! completed evaluations.
+//!
+//! * [`Store`] — the journal: [`Record`]s (`Candidate`, `ProxyScore`,
+//!   `LatencyMeasurement`, `Checkpoint`) framed with length + checksum,
+//!   loaded through crash-safe recovery that truncates a torn tail record,
+//!   indexed in memory by content hash, and compactable in place.
+//! * [`StoreBuilder`] — open/create configuration.
+//! * [`StoreStats`] — counters for dashboards and tests.
+//! * [`Checkpoint`] — a search scenario's journaled position (label, spec
+//!   fingerprint, seed, iterations, discoveries), consumed by
+//!   `SearchBuilder::resume_from` in `syno-search`.
+//!
+//! Serialization is `syno-core`'s hand-rolled versioned binary codec
+//! ([`syno_core::codec`]); this crate adds the journal framing on top. There
+//! are no dependencies beyond `syno-core` and `std`.
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use syno_store::StoreBuilder;
+//!
+//! let store = StoreBuilder::new("/tmp/syno-store").create(true).open().unwrap();
+//! println!("{:?}", store.stats());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod journal;
+
+pub use journal::{
+    Checkpoint, Record, RecordKind, Store, StoreBuilder, StoreError, StoreStats,
+};

@@ -1,0 +1,135 @@
+//! Property tests for the persistence layer: arbitrary small operators
+//! produced by the real `Synthesis` driver must survive the encode → decode
+//! round trip exactly — same rendering, same stable hashes — and must do so
+//! through the journal as well as through the raw codec.
+
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use syno_core::codec::{decode_graph, encode_graph};
+use syno_core::prelude::*;
+use syno_store::StoreBuilder;
+
+/// Deterministic fresh temp dir per call.
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "syno-store-prop-{}-{tag}-{n}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// `[H] -> [H/s]` pooling-like scenario.
+fn pool_space() -> (Arc<VarTable>, OperatorSpec) {
+    let mut vars = VarTable::new();
+    let h = vars.declare("H", VarKind::Primary);
+    let s = vars.declare("s", VarKind::Coefficient);
+    vars.push_valuation(vec![(h, 16), (s, 2)]);
+    vars.push_valuation(vec![(h, 32), (s, 2)]);
+    let vars = vars.into_shared();
+    let spec = OperatorSpec::new(
+        TensorShape::new(vec![Size::var(h)]),
+        TensorShape::new(vec![Size::var(h).div(&Size::var(s))]),
+    );
+    (vars, spec)
+}
+
+/// `[N, C, H] -> [N, C, H]` identity-shaped scenario with two coefficients,
+/// which exercises Unfold/Share/MatchWeight-heavy operators.
+fn conv_space() -> (Arc<VarTable>, OperatorSpec) {
+    let mut vars = VarTable::new();
+    let n = vars.declare("N", VarKind::Primary);
+    let c = vars.declare("C", VarKind::Primary);
+    let h = vars.declare("H", VarKind::Primary);
+    let k = vars.declare("k", VarKind::Coefficient);
+    vars.push_valuation(vec![(n, 2), (c, 4), (h, 12), (k, 3)]);
+    let vars = vars.into_shared();
+    let shape = TensorShape::new(vec![Size::var(n), Size::var(c), Size::var(h)]);
+    let spec = OperatorSpec::new(shape.clone(), shape);
+    (vars, spec)
+}
+
+/// All operators of the given space up to `max_steps` primitives.
+fn operators(space: usize, max_steps: usize) -> Vec<PGraph> {
+    let (vars, spec) = if space == 0 { pool_space() } else { conv_space() };
+    Enumerator::new(SynthConfig::auto(&vars, max_steps))
+        .synthesis(&vars, &spec)
+        .take(64)
+        .map(|r| r.expect("space is enumerable"))
+        .collect()
+}
+
+proptest! {
+    /// decode(encode(g)) reproduces the graph exactly: structure (render),
+    /// semantic identity (state hash), and persisted key (content hash).
+    #[test]
+    fn codec_round_trips_synthesized_operators(
+        (space, steps, pick) in (0usize..2, 2usize..4, 0usize..64)
+    ) {
+        let ops = operators(space, steps);
+        prop_assert!(!ops.is_empty());
+        let graph = &ops[pick % ops.len()];
+        let bytes = encode_graph(graph);
+        let back = decode_graph(&bytes).map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert_eq!(back.render(), graph.render());
+        prop_assert_eq!(back.state_hash(), graph.state_hash());
+        prop_assert_eq!(back.content_hash(), graph.content_hash());
+        prop_assert_eq!(back.len(), graph.len());
+        prop_assert_eq!(back.weight_count(), graph.weight_count());
+        prop_assert_eq!(back.is_complete(), graph.is_complete());
+    }
+
+    /// Every truncation of an encoding fails to decode — no prefix is
+    /// silently accepted as a different graph.
+    #[test]
+    fn truncated_encodings_never_decode(
+        (space, pick, frac) in (0usize..2, 0usize..64, 0.0f64..1.0)
+    ) {
+        let ops = operators(space, 3);
+        let graph = &ops[pick % ops.len()];
+        let bytes = encode_graph(graph);
+        let cut = ((bytes.len() - 1) as f64 * frac) as usize;
+        prop_assert!(decode_graph(&bytes[..cut]).is_err());
+    }
+
+    /// The journal preserves the same round-trip guarantee across a real
+    /// write → reopen → read cycle.
+    #[test]
+    fn journal_round_trips_operators((steps, pick) in (2usize..4, 0usize..64)) {
+        let ops = operators(0, steps);
+        let graph = &ops[pick % ops.len()];
+        let hash = graph.content_hash();
+        let dir = temp_dir("roundtrip");
+        {
+            let store = StoreBuilder::new(&dir)
+                .open()
+                .map_err(|e| TestCaseError::fail(e.to_string()))?;
+            store
+                .put_candidate(hash, graph)
+                .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        }
+        let store = StoreBuilder::new(&dir)
+            .open()
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        let back = store
+            .graph(hash)
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert_eq!(back.render(), graph.render());
+        prop_assert_eq!(back.content_hash(), hash);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Exhaustive (non-property) sweep: *every* operator in the 3-step pooling
+/// space round-trips, not just sampled ones.
+#[test]
+fn whole_pool_space_round_trips() {
+    for graph in operators(0, 3) {
+        let back = decode_graph(&encode_graph(&graph)).expect("decodes");
+        assert_eq!(back.render(), graph.render());
+        assert_eq!(back.content_hash(), graph.content_hash());
+    }
+}

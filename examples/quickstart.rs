@@ -1,18 +1,39 @@
 //! Quickstart: synthesize pooling-like operators for `[H] -> [H/s]` with
-//! the `Session` facade, then execute the best one on real data through
-//! both code generators.
+//! the `Session` facade, execute the best one on real data through both
+//! code generators, then search a conv-like spec with a persistent store
+//! attached so the next run recalls evaluations instead of recomputing.
 //!
-//! Run with: `cargo run --example quickstart`
+//! Run with: `cargo run --example quickstart` (twice, to see cache hits)
 
 use syno::ir::{eager, lower_optimized};
+use syno::nn::{ProxyConfig, TrainConfig};
 use syno::tensor::Tensor;
-use syno::Session;
+use syno::{SearchEvent, Session};
 
 fn main() {
-    // 1. Declare symbolic shapes with one concrete valuation.
+    // 1. Declare symbolic shapes with one concrete valuation, and attach a
+    //    persistent candidate store: search evaluations journal there and
+    //    are recalled across runs (delete the directory to start cold).
+    let store_dir = std::env::temp_dir().join("syno-quickstart-store");
     let session = Session::builder()
         .primary("H", 16)
+        .primary("N", 4)
+        .primary("Cin", 3)
+        .primary("Cout", 4)
+        .primary("W", 8)
         .coefficient("s", 2)
+        .coefficient("k", 3)
+        .devices(vec![syno::compiler::Device::mobile_cpu()])
+        .proxy(ProxyConfig {
+            train: TrainConfig {
+                steps: 4,
+                batch: 4,
+                eval_batches: 1,
+                ..TrainConfig::default()
+            },
+            ..ProxyConfig::default()
+        })
+        .store(&store_dir)
         .build()
         .expect("session builds");
 
@@ -45,4 +66,34 @@ fn main() {
     assert!(eager_out.allclose(&kernel_out, 1e-4));
     println!("output: {:?}", eager_out.data());
     println!("both code generators agree; kernel flops = {}", kernel.flops());
+
+    // 5. Search a conv-like spec with the store attached: proxy-train +
+    //    latency-tune every discovery, journaling results. Re-run this
+    //    example and the same candidates come back as CacheHit events — no
+    //    retraining (watch `recalled` flip from 0 to nonzero).
+    let conv = session
+        .spec(&["N", "Cin", "W", "W"], &["N", "Cout", "W", "W"])
+        .expect("spec builds");
+    let run = session
+        .scenario("conv", &conv)
+        .max_steps(12)
+        .start()
+        .expect("search starts");
+    let (mut fresh, mut recalled) = (0usize, 0usize);
+    for event in run.events() {
+        match event {
+            SearchEvent::LatencyTuned { .. } => fresh += 1,
+            SearchEvent::CacheHit { .. } => recalled += 1,
+            _ => {}
+        }
+    }
+    run.join().expect("search finishes");
+    let stats = session.store_stats().expect("store attached");
+    println!(
+        "search: {fresh} evaluated, {recalled} recalled from {} \
+         ({} candidates journaled, {} cache hits served)",
+        store_dir.display(),
+        stats.candidates,
+        stats.cache_hits,
+    );
 }

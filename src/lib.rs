@@ -11,7 +11,12 @@
 //!   latency-tune), which emits [`SearchEvent`]s over a channel, honors
 //!   step/FLOP/wall-clock [`Budget`]s, cancels cooperatively through a
 //!   [`CancelToken`], and evaluates many specs concurrently over a worker
-//!   pool.
+//!   pool;
+//! * [`SessionBuilder::store`] — persistence: a content-addressed on-disk
+//!   [`Store`] that deduplicates candidates across runs, recalls cached
+//!   evaluations as [`SearchEvent::CacheHit`]s instead of re-training, and
+//!   journals [`Checkpoint`]s so [`Session::resume`] /
+//!   [`SearchBuilder::resume_from`] continue an interrupted search.
 //!
 //! Failures everywhere are the workspace-wide [`SynoError`].
 //!
@@ -25,6 +30,7 @@
 //! | [`compiler`] | device models and the TVM-/TorchInductor-style compiler simulators (§9.1) |
 //! | [`nn`] | training substrate, synthetic datasets, accuracy/perplexity proxies |
 //! | [`search`] | MCTS, and the streaming `SearchBuilder`/`SearchRun` orchestration (§7.2) |
+//! | [`store`] | persistent content-addressed candidate store: cross-run dedup, evaluation caching, checkpoint/resume |
 //! | [`models`] | backbone layer tables, NAS-PTE baselines, Operators 1 & 2 (§9) |
 //!
 //! See `examples/quickstart.rs` for a five-minute tour and DESIGN.md for
@@ -36,6 +42,7 @@ pub use syno_ir as ir;
 pub use syno_models as models;
 pub use syno_nn as nn;
 pub use syno_search as search;
+pub use syno_store as store;
 pub use syno_tensor as tensor;
 
 mod session;
@@ -46,3 +53,4 @@ pub use syno_search::{
     Budget, CancelToken, Candidate, SearchBuilder, SearchEvent, SearchReport, SearchRun,
     StopReason,
 };
+pub use syno_store::{Checkpoint, Store, StoreBuilder, StoreError, StoreStats};

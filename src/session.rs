@@ -23,6 +23,7 @@
 //! ```
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::Arc;
 use syno_core::error::{SynoError, SynthError};
 use syno_core::size::Size;
@@ -31,6 +32,7 @@ use syno_core::synth::{Enumerator, SynthConfig, Synthesis};
 use syno_core::var::{VarId, VarKind, VarTable};
 use syno_nn::ProxyConfig;
 use syno_search::{MctsConfig, SearchBuilder};
+use syno_store::{Store, StoreBuilder, StoreStats};
 use syno_compiler::{CompilerKind, Device};
 
 /// Declares the symbolic-shape vocabulary and default pipeline settings for
@@ -44,6 +46,7 @@ pub struct SessionBuilder {
     workers: Option<usize>,
     mcts: Option<MctsConfig>,
     proxy: Option<ProxyConfig>,
+    store_path: Option<PathBuf>,
 }
 
 impl SessionBuilder {
@@ -99,6 +102,19 @@ impl SessionBuilder {
         self
     }
 
+    /// Attaches a persistent candidate store at `path` (created if
+    /// missing, opened and recovered otherwise).
+    ///
+    /// With a store attached, every search run started through
+    /// [`Session::search`]/[`Session::scenario`] journals its candidates,
+    /// proxy scores, latencies, and checkpoints there, and recalls cached
+    /// evaluations as [`SearchEvent::CacheHit`](syno_search::SearchEvent)
+    /// instead of recomputing them — across sessions and process restarts.
+    pub fn store(mut self, path: impl Into<PathBuf>) -> Self {
+        self.store_path = Some(path.into());
+        self
+    }
+
     /// Validates the declarations and builds the session.
     ///
     /// # Errors
@@ -143,6 +159,14 @@ impl SessionBuilder {
             }
             table.push_valuation(row);
         }
+        let store = match &self.store_path {
+            Some(path) => Some(Arc::new(
+                StoreBuilder::new(path)
+                    .open()
+                    .map_err(SynoError::store)?,
+            )),
+            None => None,
+        };
         Ok(Session {
             vars: table.into_shared(),
             ids,
@@ -151,6 +175,7 @@ impl SessionBuilder {
             workers: self.workers.unwrap_or(2),
             mcts: self.mcts.unwrap_or_default(),
             proxy: self.proxy.unwrap_or_default(),
+            store,
         })
     }
 }
@@ -175,6 +200,7 @@ pub struct Session {
     workers: usize,
     mcts: MctsConfig,
     proxy: ProxyConfig,
+    store: Option<Arc<Store>>,
 }
 
 impl Session {
@@ -243,19 +269,53 @@ impl Session {
 
     /// A [`SearchBuilder`] pre-seeded with this session's defaults; add
     /// scenarios with [`scenario`](Session::scenario) or directly on the
-    /// returned builder.
+    /// returned builder. When the session has a [store](SessionBuilder::store)
+    /// attached, the builder journals to (and recalls from) it.
     pub fn search(&self) -> SearchBuilder {
-        SearchBuilder::new()
+        let builder = SearchBuilder::new()
             .devices(self.devices.clone())
             .compiler(self.compiler)
             .workers(self.workers)
             .mcts(self.mcts)
-            .proxy(self.proxy)
+            .proxy(self.proxy);
+        match &self.store {
+            Some(store) => builder.store(Arc::clone(store)),
+            None => builder,
+        }
     }
 
     /// Shorthand: a pre-seeded search builder with one scenario added.
     pub fn scenario(&self, label: &str, spec: &OperatorSpec) -> SearchBuilder {
         self.search().scenario(label, &self.vars, spec)
+    }
+
+    /// A pre-seeded search builder that *resumes* from the session store's
+    /// journaled checkpoints (see
+    /// [`SearchBuilder::resume_from`]): interrupted scenarios replay their
+    /// completed prefix from the journal as cache hits, then continue.
+    ///
+    /// # Errors
+    ///
+    /// [`SynoError::Store`] when the session has no store attached.
+    pub fn resume(&self) -> Result<SearchBuilder, SynoError> {
+        let store = self
+            .store
+            .as_ref()
+            .ok_or_else(|| SynoError::store("session has no store attached"))?;
+        Ok(self.search().resume_from(Arc::clone(store)))
+    }
+
+    /// The session's persistent candidate store, if one was attached.
+    pub fn store(&self) -> Option<&Arc<Store>> {
+        self.store.as_ref()
+    }
+
+    /// Aggregate counters of the attached store (`None` without one):
+    /// journaled candidates/scores/latencies/checkpoints, journal size,
+    /// bytes recovered by torn-tail truncation, and cache hits served this
+    /// process.
+    pub fn store_stats(&self) -> Option<StoreStats> {
+        self.store.as_ref().map(|s| s.stats())
     }
 }
 
@@ -297,6 +357,30 @@ mod tests {
         assert_eq!(spec.input.eval(session.vars(), 0), Some(vec![16]));
         assert_eq!(spec.output.eval(session.vars(), 0), Some(vec![8]));
         assert!(session.spec(&["Q"], &["H"]).is_err());
+    }
+
+    #[test]
+    fn store_attaches_and_reports_stats() {
+        let dir = std::env::temp_dir().join(format!("syno-session-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let session = Session::builder()
+            .primary("H", 16)
+            .coefficient("s", 2)
+            .store(dir.clone())
+            .build()
+            .unwrap();
+        let stats = session.store_stats().expect("store attached");
+        assert_eq!(stats.candidates, 0);
+        assert!(session.store().is_some());
+        assert!(session.resume().is_ok());
+
+        let bare = Session::builder().primary("H", 16).build().unwrap();
+        assert!(bare.store_stats().is_none());
+        assert!(matches!(
+            bare.resume().unwrap_err(),
+            SynoError::Store { .. }
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,13 +1,15 @@
 //! End-to-end coverage of the `Session` facade's streaming search API:
 //! events arrive in pipeline order, budgets and cancellation stop runs
-//! early, and a cancelled run still returns everything it announced.
+//! early, a cancelled run still returns everything it announced, and a
+//! warm store serves recalls instead of recomputing.
 
-use syno::{SearchEvent, Session, StopReason, SynoError, SynthError};
+use syno::{SearchEvent, Session, SessionBuilder, StopReason, SynoError, SynthError};
 use syno::nn::{ProxyConfig, TrainConfig};
 use syno::search::MctsConfig;
 use std::collections::{HashMap, HashSet};
+use std::path::PathBuf;
 
-fn conv_session() -> Session {
+fn conv_session_builder() -> SessionBuilder {
     Session::builder()
         .primary("N", 4)
         .primary("Cin", 3)
@@ -26,8 +28,10 @@ fn conv_session() -> Session {
             },
             ..ProxyConfig::default()
         })
-        .build()
-        .expect("session builds")
+}
+
+fn conv_session() -> Session {
+    conv_session_builder().build().expect("session builds")
 }
 
 #[test]
@@ -81,7 +85,13 @@ fn events_arrive_in_pipeline_order() {
                 let s = stages.entry(id).or_default();
                 assert_eq!(s.found, 1, "skipped before found");
             }
-            _ => {}
+            SearchEvent::CacheHit { .. } => {
+                panic!("no store attached: nothing can be recalled");
+            }
+            SearchEvent::CheckpointWritten { .. } => {
+                panic!("no store attached: nothing can be checkpointed");
+            }
+            SearchEvent::Progress { .. } | SearchEvent::ScenarioFinished { .. } => {}
         }
     }
     let report = run.join().expect("run joins");
@@ -153,6 +163,101 @@ fn step_budget_stops_multi_scenario_runs() {
     // Workers poll the budget between iterations, so the overshoot is at
     // most one iteration per worker.
     assert!(report.steps < 25 + 4, "{}", report.steps);
+}
+
+/// Warm-store event order: the second run of an identical scenario against
+/// the same store must recall every previously evaluated candidate
+/// (`CacheHit`) and re-train none of them (`ProxyScored` only for genuinely
+/// new candidates — with an identical deterministic run, that means zero).
+#[test]
+fn warm_store_second_run_recalls_instead_of_retraining() {
+    let dir: PathBuf = std::env::temp_dir().join(format!(
+        "syno-session-stream-store-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mcts = MctsConfig {
+        iterations: 15,
+        seed: 21,
+        ..MctsConfig::default()
+    };
+    let run_once = || {
+        let session = conv_session_builder()
+            .store(dir.clone())
+            .build()
+            .expect("session builds");
+        let spec = session
+            .spec(&["N", "Cin", "H", "W"], &["N", "Cout", "H", "W"])
+            .unwrap();
+        let run = session
+            .scenario("conv", &spec)
+            .mcts(mcts)
+            .start()
+            .expect("run starts");
+        let mut scored = HashSet::new();
+        let mut tuned = HashSet::new();
+        let mut hits = HashSet::new();
+        let mut checkpoints = 0usize;
+        for event in run.events() {
+            match event {
+                SearchEvent::ProxyScored { id, .. } => {
+                    scored.insert(id);
+                }
+                SearchEvent::LatencyTuned { id, .. } => {
+                    tuned.insert(id);
+                }
+                SearchEvent::CacheHit { id, candidate, .. } => {
+                    hits.insert(id);
+                    assert!(candidate.graph.is_complete());
+                    assert!((0.0..=1.0).contains(&candidate.accuracy));
+                }
+                SearchEvent::CheckpointWritten { iterations, .. } => {
+                    checkpoints += 1;
+                    assert!(iterations <= mcts.iterations as u64);
+                }
+                _ => {}
+            }
+        }
+        let report = run.join().expect("run joins");
+        let stats = session.store_stats().expect("store attached");
+        (scored, tuned, hits, checkpoints, report, stats)
+    };
+
+    let (cold_scored, cold_tuned, cold_hits, cold_checkpoints, cold_report, _) = run_once();
+    assert!(!cold_scored.is_empty(), "cold run trains candidates");
+    assert!(!cold_tuned.is_empty(), "cold run tunes candidates");
+    assert!(cold_hits.is_empty(), "cold run cannot hit an empty store");
+    assert!(cold_checkpoints > 0, "store runs journal checkpoints");
+
+    let (warm_scored, _, warm_hits, _, warm_report, warm_stats) = run_once();
+    assert!(!warm_hits.is_empty(), "warm run must recall from the store");
+    assert_eq!(
+        warm_scored.intersection(&cold_scored).count(),
+        0,
+        "zero recomputed ProxyScored for cached candidates"
+    );
+    assert!(
+        warm_scored.is_empty(),
+        "identical deterministic run: everything is recalled, {warm_scored:?}"
+    );
+    assert!(
+        warm_hits.is_subset(&cold_scored),
+        "hits can only recall journaled scores"
+    );
+    assert!(
+        cold_tuned.is_subset(&warm_hits),
+        "every fully evaluated candidate must come back as a hit"
+    );
+    assert!(warm_stats.cache_hits as usize >= warm_hits.len());
+
+    // Cross-run dedup: both runs surface the same candidate set.
+    let ids = |r: &syno::SearchReport| {
+        let mut v: Vec<u64> = r.candidates.iter().map(|c| c.graph.content_hash()).collect();
+        v.sort_unstable();
+        v
+    };
+    assert_eq!(ids(&cold_report), ids(&warm_report));
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
