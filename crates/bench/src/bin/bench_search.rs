@@ -1,0 +1,82 @@
+//! Prints the serial-versus-pipelined search throughput comparison and
+//! writes it to `BENCH_search.json` (the CI perf-trajectory artifact).
+//!
+//! Environment knobs (all optional): `BENCH_SEARCH_ITERATIONS` (default
+//! 30), `BENCH_SEARCH_PROXY_STEPS` (default 6), `BENCH_SEARCH_WORKERS`
+//! (default 4), `BENCH_SEARCH_OUT` (default `BENCH_search.json`).
+
+use syno_bench::search_pipeline::{search_pipeline_data, SearchPipelineData};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn to_json(data: &SearchPipelineData) -> String {
+    format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"search_pipeline\",\n",
+            "  \"spec\": \"conv [N,Cin,H,W] -> [N,Cout,H,W] (N=4, Cin=3, Cout=4, H=W=8, k=3)\",\n",
+            "  \"iterations\": {},\n",
+            "  \"available_parallelism\": {},\n",
+            "  \"serial\": {{ \"eval_workers\": {}, \"wall_secs\": {:.4}, \"candidates\": {}, \"candidates_per_sec\": {:.4} }},\n",
+            "  \"pipelined\": {{ \"eval_workers\": {}, \"wall_secs\": {:.4}, \"candidates\": {}, \"candidates_per_sec\": {:.4} }},\n",
+            "  \"speedup\": {:.4},\n",
+            "  \"identical_candidate_sets\": {}\n",
+            "}}\n"
+        ),
+        data.iterations,
+        data.available_parallelism,
+        data.serial.eval_workers,
+        data.serial.wall_secs,
+        data.serial.candidates,
+        data.serial.throughput,
+        data.pipelined.eval_workers,
+        data.pipelined.wall_secs,
+        data.pipelined.candidates,
+        data.pipelined.throughput,
+        data.speedup,
+        data.identical_sets,
+    )
+}
+
+fn main() {
+    let iterations = env_usize("BENCH_SEARCH_ITERATIONS", 30);
+    let proxy_steps = env_usize("BENCH_SEARCH_PROXY_STEPS", 6);
+    let workers = env_usize("BENCH_SEARCH_WORKERS", 4);
+    let out = std::env::var("BENCH_SEARCH_OUT").unwrap_or_else(|_| "BENCH_search.json".into());
+
+    eprintln!(
+        "search pipeline bench: {iterations} iterations, {proxy_steps} proxy steps, \
+         serial vs eval_workers({workers}) ..."
+    );
+    let data = search_pipeline_data(iterations, proxy_steps, workers);
+
+    println!("mode        eval_workers  wall_secs  candidates  cand/sec");
+    for sample in [&data.serial, &data.pipelined] {
+        let label = if sample.eval_workers == 1 {
+            "serial"
+        } else {
+            "pipelined"
+        };
+        println!(
+            "{label:<11} {:>12}  {:>9.3}  {:>10}  {:>8.3}",
+            sample.eval_workers, sample.wall_secs, sample.candidates, sample.throughput
+        );
+    }
+    println!(
+        "speedup: {:.2}x on {} hardware thread(s); identical candidate sets: {}",
+        data.speedup, data.available_parallelism, data.identical_sets
+    );
+    assert!(
+        data.identical_sets,
+        "determinism contract violated: serial and pipelined candidate sets differ"
+    );
+
+    let json = to_json(&data);
+    std::fs::write(&out, &json).expect("write bench json");
+    eprintln!("wrote {out}");
+}

@@ -2,7 +2,10 @@
 //!
 //! Each `figN_*` function computes the data behind one figure of §9; the
 //! `src/bin/*` binaries print them as tables and the Criterion benches
-//! exercise the same paths. Absolute latencies come from the
+//! exercise the same paths. [`search_pipeline`] is the odd one out: a
+//! repo-perf probe (serial vs pipelined candidate evaluation, the
+//! `bench_search` binary / `BENCH_search.json` CI artifact) rather than a
+//! paper figure. Absolute latencies come from the
 //! `syno-compiler` machine models, accuracies from the `syno-nn` proxies —
 //! see EXPERIMENTS.md for the paper-vs-measured comparison.
 
@@ -13,6 +16,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig8;
 pub mod fig9;
+pub mod search_pipeline;
 pub mod table3;
 
 pub use fig10::{fig10_data, Fig10Data};
@@ -20,4 +24,5 @@ pub use fig5::{fig5_data, Fig5Row};
 pub use fig6::{fig6_data, Fig6Point};
 pub use fig8::{fig8_data, Fig8Row};
 pub use fig9::{fig9_data, Fig9Row};
+pub use search_pipeline::{search_pipeline_data, PipelineSample, SearchPipelineData};
 pub use table3::{ablation_shape_distance, table3_data, SdAblation, Table3Row};

@@ -1,0 +1,158 @@
+//! Search-throughput measurement: candidates/second of the single-scenario
+//! evaluation pipeline, serial (`eval_workers(1)`) versus pipelined
+//! (`eval_workers(n)`).
+//!
+//! This is the perf-trajectory probe for the system's hottest path — the
+//! paper's search cost is dominated by evaluating complete candidates
+//! (§7.2, ≈0.1 GPU-hours of proxy training each), which the reproduction
+//! pipelines over evaluator workers. Both runs use the same seed, so the
+//! determinism contract (identical candidate sets) is checked alongside
+//! the timing. The `bench_search` binary prints the result and emits
+//! `BENCH_search.json`.
+
+use std::sync::Arc;
+use std::time::Instant;
+use syno_core::size::Size;
+use syno_core::spec::{OperatorSpec, TensorShape};
+use syno_core::var::{VarKind, VarTable};
+use syno_nn::{ProxyConfig, TrainConfig};
+use syno_search::{MctsConfig, SearchBuilder};
+
+/// One timed pipeline configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct PipelineSample {
+    /// `SearchBuilder::eval_workers` setting.
+    pub eval_workers: usize,
+    /// Wall-clock seconds for the whole run.
+    pub wall_secs: f64,
+    /// Fully evaluated candidates the run produced.
+    pub candidates: usize,
+    /// Candidates per second of wall clock.
+    pub throughput: f64,
+}
+
+/// The serial-versus-pipelined comparison on the bench spec.
+#[derive(Clone, Debug)]
+pub struct SearchPipelineData {
+    /// MCTS iterations per run.
+    pub iterations: usize,
+    /// The serial baseline.
+    pub serial: PipelineSample,
+    /// The pipelined run.
+    pub pipelined: PipelineSample,
+    /// Wall-clock speedup of the pipelined run over serial.
+    pub speedup: f64,
+    /// Whether both runs discovered the identical candidate set (keyed by
+    /// content hash) — the determinism contract.
+    pub identical_sets: bool,
+    /// Hardware parallelism the measurement ran on; a speedup near 1.0 is
+    /// expected when this is 1 regardless of `eval_workers`.
+    pub available_parallelism: usize,
+}
+
+/// The 4-D conv-like spec the accuracy proxy can score — the same shape
+/// family as the search integration tests.
+fn bench_scenario() -> (Arc<VarTable>, OperatorSpec) {
+    let mut vars = VarTable::new();
+    let n = vars.declare("N", VarKind::Primary);
+    let cin = vars.declare("Cin", VarKind::Primary);
+    let cout = vars.declare("Cout", VarKind::Primary);
+    let h = vars.declare("H", VarKind::Primary);
+    let w = vars.declare("W", VarKind::Primary);
+    let k = vars.declare("k", VarKind::Coefficient);
+    vars.push_valuation(vec![(n, 4), (cin, 3), (cout, 4), (h, 8), (w, 8), (k, 3)]);
+    let vars = vars.into_shared();
+    let spec = OperatorSpec::new(
+        TensorShape::new(vec![
+            Size::var(n),
+            Size::var(cin),
+            Size::var(h),
+            Size::var(w),
+        ]),
+        TensorShape::new(vec![
+            Size::var(n),
+            Size::var(cout),
+            Size::var(h),
+            Size::var(w),
+        ]),
+    );
+    (vars, spec)
+}
+
+fn timed_run(
+    vars: &Arc<VarTable>,
+    spec: &OperatorSpec,
+    iterations: usize,
+    proxy_steps: usize,
+    eval_workers: usize,
+) -> (PipelineSample, Vec<u64>) {
+    let proxy = ProxyConfig {
+        train: TrainConfig {
+            steps: proxy_steps,
+            batch: 4,
+            eval_batches: 1,
+            ..TrainConfig::default()
+        },
+        ..ProxyConfig::default()
+    };
+    let started = Instant::now();
+    let report = SearchBuilder::new()
+        .scenario("bench-conv", vars, spec)
+        .mcts(MctsConfig {
+            iterations,
+            seed: 7,
+            ..MctsConfig::default()
+        })
+        .proxy(proxy)
+        .eval_workers(eval_workers)
+        .run()
+        .expect("bench search runs");
+    let wall_secs = started.elapsed().as_secs_f64();
+    let mut ids: Vec<u64> = report
+        .candidates
+        .iter()
+        .map(|c| c.graph.content_hash())
+        .collect();
+    ids.sort_unstable();
+    let candidates = report.candidates.len();
+    (
+        PipelineSample {
+            eval_workers,
+            wall_secs,
+            candidates,
+            throughput: if wall_secs > 0.0 {
+                candidates as f64 / wall_secs
+            } else {
+                0.0
+            },
+        },
+        ids,
+    )
+}
+
+/// Times the bench spec serially and with `eval_workers` evaluator threads
+/// (same seed), `iterations` MCTS iterations each, `proxy_steps` training
+/// steps per candidate.
+pub fn search_pipeline_data(
+    iterations: usize,
+    proxy_steps: usize,
+    eval_workers: usize,
+) -> SearchPipelineData {
+    let (vars, spec) = bench_scenario();
+    let (serial, serial_ids) = timed_run(&vars, &spec, iterations, proxy_steps, 1);
+    let (pipelined, piped_ids) = timed_run(&vars, &spec, iterations, proxy_steps, eval_workers);
+    SearchPipelineData {
+        iterations,
+        serial,
+        pipelined,
+        speedup: if pipelined.wall_secs > 0.0 {
+            serial.wall_secs / pipelined.wall_secs
+        } else {
+            0.0
+        },
+        identical_sets: serial_ids == piped_ids,
+        available_parallelism: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}

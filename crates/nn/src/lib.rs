@@ -23,5 +23,5 @@ pub mod train;
 pub use data::{TextTask, VisionTask};
 pub use layer::{GlobalAvgPool, Layer, LinearLayer, Model, OperatorLayer, ReluLayer};
 pub use lm::{LmConfig, QkvProjection, TinyGpt};
-pub use proxy::{operator_accuracy, try_operator_accuracy, ProxyConfig};
+pub use proxy::{operator_accuracy, try_operator_accuracy, validate_proxy_task, ProxyConfig};
 pub use train::{accuracy, train_on_task, train_step, Sgd, TrainConfig};

@@ -15,6 +15,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use syno_core::error::SynoError;
 use syno_core::graph::PGraph;
+use syno_core::spec::OperatorSpec;
+use syno_core::var::VarTable;
 
 /// Proxy-task configuration: the operator is trained inside a
 /// conv→relu→pool→linear student whose conv slot it fills.
@@ -38,6 +40,56 @@ impl Default for ProxyConfig {
     }
 }
 
+/// Checks that `spec` is scorable by the vision proxy under `valuation`:
+/// both shapes must evaluate and be the 4-D `[N, C, H, W]` layout.
+///
+/// This is the cheap precondition behind [`try_operator_accuracy`],
+/// callable *before* any search runs (no graph, no training): drivers use
+/// it to reject unscorable scenarios up front instead of letting every
+/// rollout backpropagate a zero reward.
+///
+/// # Errors
+///
+/// [`SynoError::Proxy`] when a shape is not rank 4, [`SynoError::Eval`]
+/// when it does not evaluate under the valuation.
+pub fn validate_proxy_task(
+    spec: &OperatorSpec,
+    vars: &VarTable,
+    valuation: usize,
+) -> Result<(), SynoError> {
+    task_shapes(spec, vars, valuation).map(|_| ())
+}
+
+/// The concrete `(input, output)` task shapes, or why the proxy cannot
+/// score the spec.
+fn task_shapes(
+    spec: &OperatorSpec,
+    vars: &VarTable,
+    valuation: usize,
+) -> Result<(Vec<u64>, Vec<u64>), SynoError> {
+    let dims = match spec.input.eval(vars, valuation) {
+        Some(d) if d.len() == 4 => d,
+        Some(d) => {
+            return Err(SynoError::proxy(format!(
+                "input rank {} is not the 4-D vision layout",
+                d.len()
+            )))
+        }
+        None => return Err(SynoError::eval("input shape")),
+    };
+    let out_dims = match spec.output.eval(vars, valuation) {
+        Some(d) if d.len() == 4 => d,
+        Some(d) => {
+            return Err(SynoError::proxy(format!(
+                "output rank {} is not the 4-D vision layout",
+                d.len()
+            )))
+        }
+        None => return Err(SynoError::eval("output shape")),
+    };
+    Ok((dims, out_dims))
+}
+
 /// Evaluates a candidate operator's proxy accuracy in `[0, 1]`, reporting
 /// *why* a candidate cannot be scored instead of silently zeroing it.
 ///
@@ -51,27 +103,8 @@ pub fn try_operator_accuracy(
 ) -> Result<f32, SynoError> {
     // Validate the task shape before the (more expensive, potentially
     // panicking) dry-run tape construction inside `OperatorLayer::new`.
-    let dims = match graph.spec().input.eval(graph.vars(), valuation) {
-        Some(d) if d.len() == 4 => d,
-        Some(d) => {
-            return Err(SynoError::proxy(format!(
-                "input rank {} is not the 4-D vision layout",
-                d.len()
-            )))
-        }
-        None => return Err(SynoError::eval("input shape")),
-    };
+    let (dims, out_dims) = task_shapes(graph.spec(), graph.vars(), valuation)?;
     let (batch, channels, height, _) = (dims[0], dims[1], dims[2], dims[3]);
-    let out_dims = match graph.spec().output.eval(graph.vars(), valuation) {
-        Some(d) if d.len() == 4 => d,
-        Some(d) => {
-            return Err(SynoError::proxy(format!(
-                "output rank {} is not the 4-D vision layout",
-                d.len()
-            )))
-        }
-        None => return Err(SynoError::eval("output shape")),
-    };
     let layer = OperatorLayer::new(graph.clone(), valuation)?;
     let classes = 4usize;
     let task = VisionTask::new(config.task_seed, channels as usize, height as usize, classes);
@@ -203,5 +236,32 @@ mod tests {
         let f = fixture();
         let mm = ops::matmul(&f.vars, f.cin, f.cout, f.h).unwrap();
         assert_eq!(operator_accuracy(&mm, 0, &quick()), 0.0);
+    }
+
+    #[test]
+    fn validate_proxy_task_accepts_vision_and_rejects_other_ranks() {
+        let f = fixture();
+        let vision = OperatorSpec::new(
+            TensorShape::new(vec![
+                Size::var(f.n),
+                Size::var(f.cin),
+                Size::var(f.h),
+                Size::var(f.w),
+            ]),
+            TensorShape::new(vec![
+                Size::var(f.n),
+                Size::var(f.cout),
+                Size::var(f.h),
+                Size::var(f.w),
+            ]),
+        );
+        assert!(validate_proxy_task(&vision, &f.vars, 0).is_ok());
+
+        let flat = OperatorSpec::new(
+            TensorShape::new(vec![Size::var(f.h)]),
+            TensorShape::new(vec![Size::var(f.h).div(&Size::var(f.k))]),
+        );
+        let err = validate_proxy_task(&flat, &f.vars, 0).expect_err("1-D must be rejected");
+        assert!(matches!(err, SynoError::Proxy { .. }), "{err}");
     }
 }

@@ -3,7 +3,9 @@
 //! Implements §7.2 of the paper as a streaming, cancellable service layer:
 //!
 //! * [`mcts`] — UCT over the partial-pGraph MDP with shape-distance-feasible
-//!   children, guided rollouts, and early-stop hooks;
+//!   children, guided rollouts, early-stop hooks, and a pipelined
+//!   evaluation mode ([`Mcts::search_async_while`]) that overlaps proxy
+//!   training with tree search under a virtual loss;
 //! * [`discovered`] — discovered-operator records and Pareto-front
 //!   extraction (Fig. 6);
 //! * [`run`] — the `SearchBuilder → SearchRun` driver: Algorithm 1's outer
@@ -27,7 +29,7 @@ pub mod orchestrator;
 pub mod run;
 
 pub use discovered::{pareto_front, Discovered, TradeoffPoint};
-pub use mcts::{Mcts, MctsConfig, MctsStats};
+pub use mcts::{EvalOutcome, EvalRequest, Mcts, MctsConfig, MctsStats};
 pub use orchestrator::{evaluate_candidates, search_substitutions, SearchSettings};
 pub use run::{
     Budget, CancelToken, Candidate, SearchBuilder, SearchEvent, SearchReport, SearchRun,

@@ -5,14 +5,30 @@
 //! states are complete operators. Rewards come from the accuracy proxy
 //! (FLOPs are a *hard* ceiling enforced by the synthesis budgets, per the
 //! paper: "we set a hard upper limit for FLOPs and use accuracy as the
-//! reward"). The implementation is UCT with a transposition table keyed by
-//! the semantic state hash, shape-distance-feasible child filtering, and
-//! guided rollouts.
+//! reward"). The implementation is UCT with shape-distance-feasible child
+//! filtering and guided rollouts.
+//!
+//! # Evaluation modes
+//!
+//! The searcher does not train proxies itself — it asks its caller for
+//! rewards, in one of two modes:
+//!
+//! * **Serial** ([`search`](Mcts::search)/[`search_while`](Mcts::search_while)):
+//!   the reward closure runs inline, blocking the tree between iterations.
+//! * **Pipelined** ([`search_async_while`](Mcts::search_async_while)): new
+//!   distinct candidates are *submitted* as [`EvalRequest`]s to an external
+//!   evaluator pool and the iteration continues under a virtual loss; the
+//!   matching [`EvalOutcome`]s are backpropagated as they drain. Tree reads
+//!   that would observe a not-yet-applied reward block until it lands, so a
+//!   seeded pipelined run makes exactly the selection decisions of the
+//!   serial run and discovers the identical candidate set (see the module
+//!   docs of [`crate::run`] for the determinism contract).
 
 use crate::discovered::Discovered;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::sync::mpsc::Receiver;
 use syno_core::distance::shape_distance;
 use syno_core::graph::PGraph;
 use syno_core::primitive::Action;
@@ -39,6 +55,26 @@ impl Default for MctsConfig {
     }
 }
 
+/// A candidate handed to an external evaluator by
+/// [`Mcts::search_async_while`].
+#[derive(Clone, Debug)]
+pub struct EvalRequest {
+    /// Stable candidate identity ([`PGraph::content_hash`]) — the same key
+    /// the event stream and the `syno-store` journal use.
+    pub id: u64,
+    /// The complete operator to evaluate.
+    pub graph: PGraph,
+}
+
+/// The evaluator's answer to an [`EvalRequest`].
+#[derive(Clone, Copy, Debug)]
+pub struct EvalOutcome {
+    /// The candidate identity echoed from the request.
+    pub id: u64,
+    /// Reward in `[0, 1]` (clamped on application).
+    pub reward: f64,
+}
+
 #[derive(Debug, Default)]
 struct TreeNode {
     visits: u64,
@@ -46,14 +82,90 @@ struct TreeNode {
     /// Feasible actions and the child node index once taken.
     children: Vec<(Action, Option<usize>)>,
     expanded: bool,
+    /// Outstanding asynchronous evaluations whose reward has not been
+    /// folded into `total_reward` yet. While non-zero, the node's visit
+    /// count already includes those iterations (the *virtual loss*), so
+    /// UCB reads must wait for the count to return to zero.
+    pending: u32,
+}
+
+/// A submitted evaluation the tree is still waiting on: the operator (for
+/// the final [`Discovered`] record) and every selection path that reached
+/// it, each owed one reward backpropagation.
+struct PendingEval {
+    graph: PGraph,
+    paths: Vec<Vec<usize>>,
+}
+
+/// How the engine obtains rewards: inline (serial) or from an external
+/// evaluator pool (pipelined). Private — the public surface is the pair of
+/// `search_while`/`search_async_while` entry points.
+trait EvalBridge {
+    /// Hands a new distinct candidate to the evaluator. Returns `false`
+    /// when the evaluator is gone (the search degrades to zero rewards
+    /// instead of deadlocking).
+    fn submit(&mut self, request: EvalRequest) -> bool;
+    /// A completed outcome, if one is ready right now.
+    fn try_next(&mut self) -> Option<EvalOutcome>;
+    /// Blocks until an outcome completes; `None` when the evaluator is
+    /// gone and nothing further will arrive.
+    fn wait_next(&mut self) -> Option<EvalOutcome>;
+}
+
+/// Serial mode: evaluate inline at submission, so every outcome is ready
+/// before the iteration ends — the exact legacy `search_while` behavior.
+struct SerialBridge<F> {
+    reward: F,
+    ready: VecDeque<EvalOutcome>,
+}
+
+impl<F: FnMut(&PGraph) -> f64> EvalBridge for SerialBridge<F> {
+    fn submit(&mut self, request: EvalRequest) -> bool {
+        let reward = (self.reward)(&request.graph);
+        self.ready.push_back(EvalOutcome {
+            id: request.id,
+            reward,
+        });
+        true
+    }
+
+    fn try_next(&mut self) -> Option<EvalOutcome> {
+        self.ready.pop_front()
+    }
+
+    fn wait_next(&mut self) -> Option<EvalOutcome> {
+        self.ready.pop_front()
+    }
+}
+
+/// Pipelined mode: submission goes through a caller-provided hook (which
+/// typically announces the candidate and sends it down a bounded queue) and
+/// outcomes drain from a channel fed by the evaluator pool.
+struct ChannelBridge<'a, S> {
+    submit: S,
+    outcomes: &'a Receiver<EvalOutcome>,
+}
+
+impl<S: FnMut(EvalRequest) -> bool> EvalBridge for ChannelBridge<'_, S> {
+    fn submit(&mut self, request: EvalRequest) -> bool {
+        (self.submit)(request)
+    }
+
+    fn try_next(&mut self) -> Option<EvalOutcome> {
+        self.outcomes.try_recv().ok()
+    }
+
+    fn wait_next(&mut self) -> Option<EvalOutcome> {
+        self.outcomes.recv().ok()
+    }
 }
 
 /// The tree searcher.
 ///
 /// Nodes form a proper tree keyed by action path (coordinate identifiers
 /// are history-dependent, so semantically-equal states from different
-/// histories cannot share tree nodes; result deduplication still uses the
-/// semantic state hash).
+/// histories cannot share tree nodes; result deduplication uses the stable
+/// content hash, the same key as the event stream and the store journal).
 #[derive(Debug)]
 pub struct Mcts {
     enumerator: Enumerator,
@@ -70,7 +182,9 @@ pub struct MctsStats {
     pub completed_rollouts: u64,
     /// Rollouts that failed (dead end or over budget).
     pub failed_rollouts: u64,
-    /// Distinct complete operators discovered.
+    /// Distinct complete operators discovered (keyed by
+    /// [`PGraph::content_hash`], so this agrees with the per-candidate
+    /// event stream and the store journal).
     pub distinct_operators: u64,
 }
 
@@ -131,11 +245,59 @@ impl Mcts {
     pub fn search_while(
         &mut self,
         root: &PGraph,
-        mut reward: impl FnMut(&PGraph) -> f64,
+        reward: impl FnMut(&PGraph) -> f64,
+        keep_going: impl FnMut(u64) -> bool,
+    ) -> Vec<Discovered> {
+        let mut bridge = SerialBridge {
+            reward,
+            ready: VecDeque::new(),
+        };
+        self.engine(root, &mut bridge, keep_going)
+    }
+
+    /// Pipelined search: every new distinct complete operator is handed to
+    /// `submit` as an [`EvalRequest`] (typically feeding a bounded queue
+    /// drained by evaluator workers) and the search continues under a
+    /// virtual loss until the matching [`EvalOutcome`] arrives on
+    /// `outcomes`, at which point the reward is backpropagated along every
+    /// selection path that reached the candidate.
+    ///
+    /// # Determinism
+    ///
+    /// A UCB comparison never reads a node with outstanding evaluations —
+    /// the engine blocks on `outcomes` until the relevant rewards have been
+    /// applied. Selection is otherwise reward-independent (untried children
+    /// are taken first), so for a fixed seed the tree evolves exactly as in
+    /// [`search_while`](Mcts::search_while) regardless of evaluator timing,
+    /// and the discovered candidate set is identical to the serial run's.
+    ///
+    /// `submit` returning `false`, or `outcomes` disconnecting while
+    /// evaluations are outstanding, means the evaluator pool died; the
+    /// search then scores the affected candidates 0.0 (the skip semantics)
+    /// instead of deadlocking. Before returning — normally or through
+    /// `keep_going` — the engine blocks until every in-flight evaluation
+    /// has drained, so cancellation never abandons a submitted candidate.
+    pub fn search_async_while(
+        &mut self,
+        root: &PGraph,
+        submit: impl FnMut(EvalRequest) -> bool,
+        outcomes: &Receiver<EvalOutcome>,
+        keep_going: impl FnMut(u64) -> bool,
+    ) -> Vec<Discovered> {
+        let mut bridge = ChannelBridge { submit, outcomes };
+        self.engine(root, &mut bridge, keep_going)
+    }
+
+    /// The select → expand → rollout → backprop loop shared by both modes.
+    fn engine<B: EvalBridge>(
+        &mut self,
+        root: &PGraph,
+        bridge: &mut B,
         mut keep_going: impl FnMut(u64) -> bool,
     ) -> Vec<Discovered> {
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let mut found: HashMap<u64, Discovered> = HashMap::new();
+        let mut pending: HashMap<u64, PendingEval> = HashMap::new();
 
         for iteration in 0..self.config.iterations {
             if !keep_going(iteration as u64) {
@@ -146,7 +308,6 @@ impl Mcts {
             let mut state = root.clone();
             let mut current = 0usize;
             loop {
-                let exploration = self.config.exploration;
                 if !self.nodes[current].expanded {
                     let children: Vec<(Action, Option<usize>)> = self
                         .feasible_children(&state)
@@ -158,34 +319,25 @@ impl Mcts {
                     node.expanded = true;
                     break;
                 }
-                let (children, parent_visits) = {
-                    let node = &self.nodes[current];
-                    (node.children.clone(), node.visits.max(1) as f64)
-                };
-                if children.is_empty() {
+                if self.nodes[current].children.is_empty() {
                     break; // dead end or terminal
                 }
-                // Pick an untried child first, else best UCB.
-                let pick = if let Some(idx) = children.iter().position(|(_, c)| c.is_none()) {
-                    idx
-                } else {
-                    let mut best = 0;
-                    let mut best_score = f64::NEG_INFINITY;
-                    for (idx, (_, child)) in children.iter().enumerate() {
-                        let child_id = child.expect("all tried");
-                        let c = &self.nodes[child_id];
-                        let (v, q) = (c.visits.max(1) as f64, c.total_reward);
-                        let ucb = q / v + exploration * (parent_visits.ln() / v).sqrt();
-                        if ucb > best_score {
-                            best_score = ucb;
-                            best = idx;
-                        }
+                // Pick an untried child first (reward-independent), else
+                // best UCB over fully-applied statistics.
+                let untried = self.nodes[current]
+                    .children
+                    .iter()
+                    .position(|(_, c)| c.is_none());
+                let pick = match untried {
+                    Some(idx) => idx,
+                    None => {
+                        self.settle_children(current, bridge, &mut found, &mut pending);
+                        self.best_ucb_child(current)
                     }
-                    best
                 };
-                let action = children[pick].0.clone();
+                let action = self.nodes[current].children[pick].0.clone();
                 let child_state = state.apply(&action).expect("feasible child applies");
-                let child_id = match children[pick].1 {
+                let child_id = match self.nodes[current].children[pick].1 {
                     Some(id) => id,
                     None => {
                         let id = self.nodes.len();
@@ -203,46 +355,190 @@ impl Mcts {
                 }
             }
 
-            // Rollout from the reached state.
-            let value = match rollout(&mut rng, &self.enumerator, &state, true) {
+            // Rollout from the reached state. A known reward (failure,
+            // rediscovery) backpropagates immediately; a new candidate is
+            // submitted for evaluation and leaves the path under a virtual
+            // loss (the visit counts now, the reward lands on drain).
+            let value: Option<f64> = match rollout(&mut rng, &self.enumerator, &state, true) {
                 RolloutResult::Complete(graph) => {
                     self.stats.completed_rollouts += 1;
-                    let hash = graph.state_hash();
-                    if let Some(existing) = found.get(&hash) {
-                        existing.reward
+                    let id = graph.content_hash();
+                    if let Some(existing) = found.get(&id) {
+                        Some(existing.reward)
+                    } else if let Some(p) = pending.get_mut(&id) {
+                        // Rediscovered while in flight: this path is owed
+                        // the same reward once the evaluation drains.
+                        p.paths.push(path.clone());
+                        None
                     } else {
-                        let r = reward(&graph).clamp(0.0, 1.0);
-                        found.insert(
-                            hash,
-                            Discovered {
-                                graph: *graph,
-                                reward: r,
-                            },
-                        );
                         self.stats.distinct_operators += 1;
-                        r
+                        if bridge.submit(EvalRequest {
+                            id,
+                            graph: (*graph).clone(),
+                        }) {
+                            pending.insert(
+                                id,
+                                PendingEval {
+                                    graph: *graph,
+                                    paths: vec![path.clone()],
+                                },
+                            );
+                            None
+                        } else {
+                            // Evaluator gone: degrade to skip semantics.
+                            found.insert(
+                                id,
+                                Discovered {
+                                    graph: *graph,
+                                    reward: 0.0,
+                                },
+                            );
+                            Some(0.0)
+                        }
                     }
                 }
                 _ => {
                     self.stats.failed_rollouts += 1;
-                    0.0
+                    Some(0.0)
                 }
             };
 
-            // Backpropagation.
-            for id in path {
-                let node = &mut self.nodes[id];
-                node.visits += 1;
-                node.total_reward += value;
+            // Backpropagation. Visits always count now; the reward either
+            // lands now (known) or when the outcome drains (pending).
+            match value {
+                Some(value) => {
+                    for &id in &path {
+                        let node = &mut self.nodes[id];
+                        node.visits += 1;
+                        node.total_reward += value;
+                    }
+                }
+                None => {
+                    for &id in &path {
+                        let node = &mut self.nodes[id];
+                        node.visits += 1;
+                        node.pending += 1;
+                    }
+                }
             }
             // Small jitter to the seed stream keeps rollouts diverse even
             // from identical states.
             let _ = rng.random::<u32>();
+
+            // Absorb whatever the evaluator finished in the meantime. In
+            // serial mode the just-computed reward is ready here, so it is
+            // applied before the next iteration — the legacy behavior.
+            while let Some(outcome) = bridge.try_next() {
+                self.apply_outcome(outcome, &mut found, &mut pending);
+            }
+        }
+
+        // Drain every in-flight evaluation before reporting: a stopped or
+        // cancelled run still keeps (and scores) everything it submitted.
+        while !pending.is_empty() {
+            match bridge.wait_next() {
+                Some(outcome) => self.apply_outcome(outcome, &mut found, &mut pending),
+                None => {
+                    self.abandon_pending(&mut found, &mut pending);
+                    break;
+                }
+            }
         }
 
         let mut results: Vec<Discovered> = found.into_values().collect();
         results.sort_by(|a, b| b.reward.partial_cmp(&a.reward).expect("finite rewards"));
         results
+    }
+
+    /// Best child of `current` by UCB; callers must have settled pending
+    /// rewards first so the comparison reads final statistics.
+    fn best_ucb_child(&self, current: usize) -> usize {
+        let node = &self.nodes[current];
+        let parent_visits = node.visits.max(1) as f64;
+        let exploration = self.config.exploration;
+        let mut best = 0;
+        let mut best_score = f64::NEG_INFINITY;
+        for (idx, (_, child)) in node.children.iter().enumerate() {
+            let child_id = child.expect("all tried");
+            let c = &self.nodes[child_id];
+            let (v, q) = (c.visits.max(1) as f64, c.total_reward);
+            let ucb = q / v + exploration * (parent_visits.ln() / v).sqrt();
+            if ucb > best_score {
+                best_score = ucb;
+                best = idx;
+            }
+        }
+        best
+    }
+
+    /// Blocks until no child of `current` carries a pending reward, so the
+    /// following UCB comparison observes exactly the statistics the serial
+    /// search would.
+    fn settle_children<B: EvalBridge>(
+        &mut self,
+        current: usize,
+        bridge: &mut B,
+        found: &mut HashMap<u64, Discovered>,
+        pending: &mut HashMap<u64, PendingEval>,
+    ) {
+        loop {
+            let unsettled = self.nodes[current]
+                .children
+                .iter()
+                .any(|(_, c)| c.is_some_and(|id| self.nodes[id].pending > 0));
+            if !unsettled {
+                return;
+            }
+            match bridge.wait_next() {
+                Some(outcome) => self.apply_outcome(outcome, found, pending),
+                None => {
+                    self.abandon_pending(found, pending);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Folds a completed evaluation into the tree: the clamped reward is
+    /// added along every path that reached the candidate (their visits were
+    /// already counted at submission) and the discovery becomes final.
+    fn apply_outcome(
+        &mut self,
+        outcome: EvalOutcome,
+        found: &mut HashMap<u64, Discovered>,
+        pending: &mut HashMap<u64, PendingEval>,
+    ) {
+        let Some(entry) = pending.remove(&outcome.id) else {
+            return; // stale or duplicate outcome
+        };
+        let reward = outcome.reward.clamp(0.0, 1.0);
+        for path in &entry.paths {
+            for &id in path {
+                let node = &mut self.nodes[id];
+                node.total_reward += reward;
+                node.pending = node.pending.saturating_sub(1);
+            }
+        }
+        found.insert(
+            outcome.id,
+            Discovered {
+                graph: entry.graph,
+                reward,
+            },
+        );
+    }
+
+    /// The evaluator died with evaluations outstanding: score them 0.0 so
+    /// counters stay consistent and the search can report what it has.
+    fn abandon_pending(
+        &mut self,
+        found: &mut HashMap<u64, Discovered>,
+        pending: &mut HashMap<u64, PendingEval>,
+    ) {
+        let ids: Vec<u64> = pending.keys().copied().collect();
+        for id in ids {
+            self.apply_outcome(EvalOutcome { id, reward: 0.0 }, found, pending);
+        }
     }
 }
 
@@ -250,6 +546,7 @@ impl Mcts {
 mod tests {
     use super::*;
 
+    use std::sync::mpsc::channel;
     use syno_core::prelude::*;
 
     fn pool_root() -> (Enumerator, PGraph) {
@@ -314,8 +611,8 @@ mod tests {
                 },
             );
             let mut r = mcts.search(&root, |g| 1.0 / (1.0 + g.len() as f64));
-            r.sort_by_key(|d| d.graph.state_hash());
-            r.iter().map(|d| d.graph.state_hash()).collect::<Vec<_>>()
+            r.sort_by_key(|d| d.graph.content_hash());
+            r.iter().map(|d| d.graph.content_hash()).collect::<Vec<_>>()
         };
         assert_eq!(run(7), run(7));
     }
@@ -332,6 +629,100 @@ mod tests {
             },
         );
         let results = mcts.search(&root, |_| 0.1);
+        assert_eq!(results.len() as u64, mcts.stats.distinct_operators);
+    }
+
+    /// The async engine against a threaded evaluator must discover the
+    /// exact candidate set (and rewards) of the serial run, regardless of
+    /// evaluator timing — the pipeline determinism contract at the tree
+    /// level, exercised under pool-spec UCB pressure (few children, many
+    /// iterations, so selection really does read rewards).
+    #[test]
+    fn async_search_matches_serial_candidate_set() {
+        let (enumerator, root) = pool_root();
+        let config = MctsConfig {
+            iterations: 60,
+            seed: 13,
+            ..MctsConfig::default()
+        };
+        let reward_of = |g: &PGraph| 1.0 / (1.0 + g.len() as f64);
+
+        let serial = {
+            let mut mcts = Mcts::new(Enumerator::new(enumerator.config().clone()), config);
+            let mut r = mcts.search(&root, reward_of);
+            r.sort_by_key(|d| d.graph.content_hash());
+            (r, mcts.stats)
+        };
+
+        let (request_tx, request_rx) = channel::<EvalRequest>();
+        let (outcome_tx, outcome_rx) = channel::<EvalOutcome>();
+        let evaluator = std::thread::spawn(move || {
+            for request in request_rx {
+                // Stagger replies so outcomes genuinely lag submissions.
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                let reward = 1.0 / (1.0 + request.graph.len() as f64);
+                if outcome_tx
+                    .send(EvalOutcome {
+                        id: request.id,
+                        reward,
+                    })
+                    .is_err()
+                {
+                    break;
+                }
+            }
+        });
+        let asynchronous = {
+            let mut mcts = Mcts::new(Enumerator::new(enumerator.config().clone()), config);
+            let mut r = mcts.search_async_while(
+                &root,
+                |request| request_tx.send(request).is_ok(),
+                &outcome_rx,
+                |_| true,
+            );
+            r.sort_by_key(|d| d.graph.content_hash());
+            (r, mcts.stats)
+        };
+        drop(request_tx);
+        evaluator.join().unwrap();
+
+        let ids = |r: &[Discovered]| {
+            r.iter()
+                .map(|d| (d.graph.content_hash(), d.reward.to_bits()))
+                .collect::<Vec<_>>()
+        };
+        assert!(!serial.0.is_empty());
+        assert_eq!(ids(&serial.0), ids(&asynchronous.0));
+        assert_eq!(
+            serial.1.completed_rollouts,
+            asynchronous.1.completed_rollouts
+        );
+        assert_eq!(
+            serial.1.distinct_operators,
+            asynchronous.1.distinct_operators
+        );
+    }
+
+    /// A dead evaluator must not deadlock the search: outstanding
+    /// candidates degrade to zero reward and the run still reports them.
+    #[test]
+    fn async_search_survives_evaluator_death() {
+        let (enumerator, root) = pool_root();
+        let mut mcts = Mcts::new(
+            enumerator,
+            MctsConfig {
+                iterations: 40,
+                seed: 5,
+                ..MctsConfig::default()
+            },
+        );
+        // The outcome channel's sender is dropped immediately and every
+        // submission is refused.
+        let (outcome_tx, outcome_rx) = channel::<EvalOutcome>();
+        drop(outcome_tx);
+        let results = mcts.search_async_while(&root, |_| false, &outcome_rx, |_| true);
+        assert!(!results.is_empty());
+        assert!(results.iter().all(|d| d.reward == 0.0));
         assert_eq!(results.len() as u64, mcts.stats.distinct_operators);
     }
 }

@@ -11,15 +11,34 @@
 //!   step/FLOP/wall-clock [`Budget`]s, returning the candidates discovered
 //!   so far when stopped early;
 //! * evaluates multiple [`OperatorSpec`] *scenarios* concurrently over a
-//!   worker pool (the paper's parallelism across substitution sites).
+//!   worker pool (the paper's parallelism across substitution sites);
+//! * pipelines candidate evaluation *within* a scenario over
+//!   [`SearchBuilder::eval_workers`] threads — the search-cost hot path,
+//!   since complete candidates dominate wall-clock (§7.2's ≈0.1 GPU-hours
+//!   of proxy training each).
+//!
+//! # Evaluation-pipeline determinism contract
+//!
+//! With `eval_workers(n)`, the MCTS submits each new distinct candidate to
+//! a bounded queue and continues under a virtual loss while `n` evaluator
+//! workers perform store lookup → proxy training → latency tuning
+//! concurrently. Tree reads that would observe a not-yet-applied reward
+//! block until it drains, so for a fixed seed the pipelined run makes
+//! exactly the serial run's selection decisions: the discovered candidate
+//! set (keyed by [`PGraph::content_hash`]) and each candidate's event
+//! subsequence (`CandidateFound` → `ProxyScored`/`CacheHit` →
+//! `LatencyTuned`) are identical to `eval_workers(1)`; only the
+//! interleaving *across* candidates differs. (Wall-clock-dependent stop
+//! conditions — cancellation, time/FLOP budgets — still cut runs at
+//! timing-dependent points, exactly as they do across scenario workers.)
 //!
 //! The old `search_substitutions`/`evaluate_candidates` entry points remain
 //! in [`crate::orchestrator`] as thin wrappers over this driver.
 
 use crate::discovered::Discovered;
-use crate::mcts::{Mcts, MctsConfig};
+use crate::mcts::{EvalOutcome, EvalRequest, Mcts, MctsConfig};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{channel, sync_channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
@@ -29,7 +48,7 @@ use syno_core::graph::PGraph;
 use syno_core::spec::OperatorSpec;
 use syno_core::synth::{Enumerator, SynthConfig};
 use syno_core::var::VarTable;
-use syno_nn::{try_operator_accuracy, ProxyConfig};
+use syno_nn::{try_operator_accuracy, validate_proxy_task, ProxyConfig};
 use syno_store::{Checkpoint, Store};
 
 /// A cloneable cooperative-cancellation handle.
@@ -250,6 +269,7 @@ pub struct SearchBuilder {
     devices: Vec<Device>,
     compiler: CompilerKind,
     workers: usize,
+    eval_workers: usize,
     budget: Budget,
     cancel: CancelToken,
     progress_every: u64,
@@ -275,6 +295,7 @@ impl Default for SearchBuilder {
             devices: vec![Device::mobile_cpu()],
             compiler: CompilerKind::Tvm,
             workers: 2,
+            eval_workers: 1,
             budget: Budget::default(),
             cancel: CancelToken::new(),
             progress_every: 10,
@@ -362,6 +383,20 @@ impl SearchBuilder {
         self
     }
 
+    /// Evaluator threads *within* each scenario (default 1).
+    ///
+    /// With `n > 1`, candidate evaluation (store lookup → proxy training →
+    /// latency tuning) is decoupled from the tree search: new candidates
+    /// flow through a bounded queue to `n` concurrent evaluator workers
+    /// while MCTS keeps searching under a virtual loss. `n = 1` is the
+    /// exact serial behavior, and seeded runs discover the identical
+    /// candidate set either way — see the [module docs](self) for the
+    /// determinism contract.
+    pub fn eval_workers(mut self, workers: usize) -> Self {
+        self.eval_workers = workers.max(1);
+        self
+    }
+
     /// Replaces the whole budget.
     pub fn budget(mut self, budget: Budget) -> Self {
         self.budget = budget;
@@ -442,7 +477,11 @@ impl SearchBuilder {
     ///
     /// [`SynthError::InvalidConfig`] (as [`SynoError::Synth`]) when no
     /// scenario was added; [`SynthError::InvalidSpec`] when a scenario's
-    /// shapes do not evaluate under its variable table.
+    /// shapes do not evaluate under its variable table;
+    /// [`SynoError::Proxy`] when a scenario's spec is not the 4-D vision
+    /// layout the accuracy proxy can score — such a search would burn its
+    /// whole iteration budget backpropagating zero rewards, so it is
+    /// rejected before it runs.
     pub fn start(self) -> Result<SearchRun, SynoError> {
         if self.scenarios.is_empty() {
             return Err(SynthError::InvalidConfig("no scenarios added".into()).into());
@@ -450,6 +489,15 @@ impl SearchBuilder {
         for s in &self.scenarios {
             s.spec.validate(&s.vars).map_err(|e| {
                 SynthError::InvalidSpec(format!("scenario '{}': {e}", s.label))
+            })?;
+            // Fail fast on unscorable scenarios. `try_operator_accuracy`
+            // would produce the same typed error per candidate, but only
+            // after the search already spent its iterations.
+            validate_proxy_task(&s.spec, &s.vars, 0).map_err(|e| match e {
+                SynoError::Proxy { reason } => {
+                    SynoError::proxy(format!("scenario '{}': {reason}", s.label))
+                }
+                other => other,
             })?;
         }
 
@@ -591,6 +639,7 @@ fn supervise(builder: SearchBuilder, sender: Sender<SearchEvent>) -> SearchRepor
         devices,
         compiler,
         workers,
+        eval_workers,
         budget,
         cancel,
         progress_every,
@@ -625,8 +674,8 @@ fn supervise(builder: SearchBuilder, sender: Sender<SearchEvent>) -> SearchRepor
                     break;
                 };
                 let found = run_scenario(
-                    index, &scenario, &synth, mcts, &proxy, &devices, compiler, progress_every,
-                    store.as_deref(), resume, &shared, &sender,
+                    index, &scenario, &synth, mcts, &proxy, &devices, compiler, eval_workers,
+                    progress_every, store.as_deref(), resume, &shared, &sender,
                 );
                 let mut all = results.lock().expect("results lock");
                 let _ = sender.send(SearchEvent::ScenarioFinished {
@@ -661,6 +710,183 @@ fn supervise(builder: SearchBuilder, sender: Sender<SearchEvent>) -> SearchRepor
     }
 }
 
+/// Everything one candidate evaluation needs — shared by the serial reward
+/// closure and the pipelined evaluator workers, so both modes run the
+/// byte-identical store lookup → proxy training → latency tuning sequence.
+#[derive(Clone, Copy)]
+struct EvalContext<'a> {
+    index: usize,
+    proxy: &'a ProxyConfig,
+    devices: &'a [Device],
+    compiler: CompilerKind,
+    store: Option<&'a Store>,
+    shared: &'a Shared,
+    candidates: &'a Mutex<Vec<Candidate>>,
+    discovered_count: &'a Mutex<u64>,
+}
+
+impl EvalContext<'_> {
+    /// Evaluates one discovered candidate, emitting its
+    /// `ProxyScored`/`CacheHit`/`LatencyTuned`/`CandidateSkipped` events on
+    /// `sender` (the `CandidateFound` announcement is the caller's job, so
+    /// it always precedes these regardless of worker scheduling), and
+    /// returns the reward to backpropagate.
+    fn evaluate(&self, id: u64, graph: &PGraph, sender: &Sender<SearchEvent>) -> f64 {
+        let index = self.index;
+        // Store first: a journaled evaluation makes proxy training (and
+        // usually latency tuning) unnecessary — the cross-run analogue
+        // of the paper's canonical-form dedup within a run.
+        if let Some(store) = self.store {
+            if let Some(accuracy) = store.score(id) {
+                // NaN is the journaled-failure marker: this candidate's
+                // proxy training failed in a previous run, and it fails
+                // deterministically — skip without re-training.
+                if accuracy.is_nan() {
+                    let _ = sender.send(SearchEvent::CandidateSkipped {
+                        scenario: index,
+                        id,
+                        error: SynoError::proxy("proxy failure recalled from store"),
+                    });
+                    return 0.0;
+                }
+                let device_names: Vec<&str> = self.devices.iter().map(|d| d.name).collect();
+                let priced = match store.latencies(id, &device_names, self.compiler.name()) {
+                    Some(latencies) => Ok(Candidate {
+                        scenario: index,
+                        graph: graph.clone(),
+                        accuracy,
+                        flops: syno_core::analysis::naive_flops(graph, 0).unwrap_or(u128::MAX),
+                        params: syno_core::analysis::parameter_count(graph, 0)
+                            .unwrap_or(u128::MAX),
+                        latencies,
+                    }),
+                    // Scored in a previous run but tuned for different
+                    // devices: reuse the accuracy, re-tune the latency.
+                    None => {
+                        let priced =
+                            price_candidate(index, graph, accuracy, self.devices, self.compiler);
+                        if let Ok(candidate) = &priced {
+                            for (device, latency) in self.devices.iter().zip(&candidate.latencies)
+                            {
+                                let _ = store.put_latency(
+                                    id,
+                                    device.name,
+                                    self.compiler.name(),
+                                    *latency,
+                                );
+                            }
+                        }
+                        priced
+                    }
+                };
+                match priced {
+                    Ok(candidate) => {
+                        // Counted only now, when the recall is actually
+                        // served: stats.cache_hits == CacheHit events.
+                        store.record_hit();
+                        let _ = sender.send(SearchEvent::CacheHit {
+                            scenario: index,
+                            id,
+                            candidate: candidate.clone(),
+                        });
+                        *self.discovered_count.lock().expect("count lock") += 1;
+                        self.candidates
+                            .lock()
+                            .expect("candidates lock")
+                            .push(candidate);
+                    }
+                    Err(error) => {
+                        let _ = sender.send(SearchEvent::CandidateSkipped {
+                            scenario: index,
+                            id,
+                            error,
+                        });
+                    }
+                }
+                return accuracy;
+            }
+        }
+
+        // A proxy panic (e.g. an exotic candidate the tape einsum cannot
+        // differentiate) must not take down the whole run: demote it to
+        // a typed skip, like any other per-candidate failure.
+        let scored = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            try_operator_accuracy(graph, 0, self.proxy)
+        }))
+        .unwrap_or_else(|payload| Err(SynoError::proxy(panic_message(&payload))));
+        match scored {
+            Ok(acc) => {
+                let accuracy = (acc as f64).clamp(0.0, 1.0);
+                if let Some(flops) = syno_core::analysis::naive_flops(graph, 0) {
+                    let mut total = self.shared.flops.lock().expect("flops lock");
+                    *total = total.saturating_add(flops);
+                }
+                let _ = sender.send(SearchEvent::ProxyScored {
+                    scenario: index,
+                    id,
+                    accuracy,
+                });
+                if let Some(store) = self.store {
+                    // Journal best-effort: a full disk degrades the run
+                    // to cache-less, it does not kill it.
+                    let _ = store.put_candidate(id, graph);
+                    let _ = store.put_score(id, accuracy);
+                }
+                *self.discovered_count.lock().expect("count lock") += 1;
+                // Latency-tune immediately: the candidate is complete in
+                // the stream, and a cancelled run keeps every candidate
+                // it has announced.
+                match price_candidate(index, graph, accuracy, self.devices, self.compiler) {
+                    Ok(candidate) => {
+                        if let Some(store) = self.store {
+                            for (device, latency) in self.devices.iter().zip(&candidate.latencies)
+                            {
+                                let _ = store.put_latency(
+                                    id,
+                                    device.name,
+                                    self.compiler.name(),
+                                    *latency,
+                                );
+                            }
+                        }
+                        let _ = sender.send(SearchEvent::LatencyTuned {
+                            scenario: index,
+                            id,
+                            candidate: candidate.clone(),
+                        });
+                        self.candidates
+                            .lock()
+                            .expect("candidates lock")
+                            .push(candidate);
+                    }
+                    Err(error) => {
+                        let _ = sender.send(SearchEvent::CandidateSkipped {
+                            scenario: index,
+                            id,
+                            error,
+                        });
+                    }
+                }
+                accuracy
+            }
+            Err(error) => {
+                if let Some(store) = self.store {
+                    // Journal the failure (NaN marker) so resumed runs
+                    // skip this candidate instead of re-training it.
+                    let _ = store.put_candidate(id, graph);
+                    let _ = store.put_score(id, f64::NAN);
+                }
+                let _ = sender.send(SearchEvent::CandidateSkipped {
+                    scenario: index,
+                    id,
+                    error,
+                });
+                0.0
+            }
+        }
+    }
+}
+
 /// Synthesize → proxy-train → latency-tune for one scenario, streaming
 /// events and pricing each distinct candidate as soon as it is scored.
 ///
@@ -669,6 +895,13 @@ fn supervise(builder: SearchBuilder, sender: Sender<SearchEvent>) -> SearchRepor
 /// checkpointed alongside each progress heartbeat. In resume mode the
 /// journaled checkpoint's seed is re-adopted so the deterministic rollout
 /// stream replays the interrupted run.
+///
+/// With `eval_workers > 1` the evaluation sequence runs on scoped worker
+/// threads fed by a bounded queue while the tree search continues under a
+/// virtual loss (see the module docs for the determinism contract). The
+/// store keeps its single-writer discipline: every worker shares the one
+/// process-locked [`Store`], whose internal mutex serializes journal
+/// appends.
 #[allow(clippy::too_many_arguments)]
 fn run_scenario(
     index: usize,
@@ -678,6 +911,7 @@ fn run_scenario(
     proxy: &ProxyConfig,
     devices: &[Device],
     compiler: CompilerKind,
+    eval_workers: usize,
     progress_every: u64,
     store: Option<&Store>,
     resume: bool,
@@ -711,195 +945,134 @@ fn run_scenario(
     let discovered_count = Mutex::new(0u64);
     let iterations_done = Mutex::new(0u64);
 
-    mcts.search_while(
-        &root,
-        |graph| {
-            let id = graph.content_hash();
-            let _ = sender.send(SearchEvent::CandidateFound {
+    let eval = EvalContext {
+        index,
+        proxy,
+        devices,
+        compiler,
+        store,
+        shared,
+        candidates: &candidates,
+        discovered_count: &discovered_count,
+    };
+
+    let keep_going = |iteration: u64| {
+        if shared.should_stop().is_some() {
+            return false;
+        }
+        *shared.steps.lock().expect("steps lock") += 1;
+        *iterations_done.lock().expect("iterations lock") = iteration + 1;
+        if iteration > 0 && iteration.is_multiple_of(progress_every) {
+            let discovered = *discovered_count.lock().expect("count lock");
+            let _ = sender.send(SearchEvent::Progress {
                 scenario: index,
-                id,
-                graph: graph.clone(),
+                iterations: iteration,
+                total_iterations,
+                discovered,
             });
-
-            // Store first: a journaled evaluation makes proxy training (and
-            // usually latency tuning) unnecessary — the cross-run analogue
-            // of the paper's canonical-form dedup within a run.
             if let Some(store) = store {
-                if let Some(accuracy) = store.score(id) {
-                    // NaN is the journaled-failure marker: this candidate's
-                    // proxy training failed in a previous run, and it fails
-                    // deterministically — skip without re-training.
-                    if accuracy.is_nan() {
-                        let _ = sender.send(SearchEvent::CandidateSkipped {
-                            scenario: index,
-                            id,
-                            error: SynoError::proxy("proxy failure recalled from store"),
-                        });
-                        return 0.0;
-                    }
-                    let device_names: Vec<&str> = devices.iter().map(|d| d.name).collect();
-                    let priced = match store.latencies(id, &device_names, compiler.name()) {
-                        Some(latencies) => Ok(Candidate {
-                            scenario: index,
-                            graph: graph.clone(),
-                            accuracy,
-                            flops: syno_core::analysis::naive_flops(graph, 0).unwrap_or(u128::MAX),
-                            params: syno_core::analysis::parameter_count(graph, 0)
-                                .unwrap_or(u128::MAX),
-                            latencies,
-                        }),
-                        // Scored in a previous run but tuned for different
-                        // devices: reuse the accuracy, re-tune the latency.
-                        None => {
-                            let priced =
-                                price_candidate(index, graph, accuracy, devices, compiler);
-                            if let Ok(candidate) = &priced {
-                                for (device, latency) in devices.iter().zip(&candidate.latencies)
-                                {
-                                    let _ = store.put_latency(
-                                        id,
-                                        device.name,
-                                        compiler.name(),
-                                        *latency,
-                                    );
-                                }
-                            }
-                            priced
-                        }
-                    };
-                    match priced {
-                        Ok(candidate) => {
-                            // Counted only now, when the recall is actually
-                            // served: stats.cache_hits == CacheHit events.
-                            store.record_hit();
-                            let _ = sender.send(SearchEvent::CacheHit {
-                                scenario: index,
-                                id,
-                                candidate: candidate.clone(),
-                            });
-                            *discovered_count.lock().expect("count lock") += 1;
-                            candidates.lock().expect("candidates lock").push(candidate);
-                        }
-                        Err(error) => {
-                            let _ = sender.send(SearchEvent::CandidateSkipped {
-                                scenario: index,
-                                id,
-                                error,
-                            });
-                        }
-                    }
-                    return accuracy;
-                }
-            }
-
-            // A proxy panic (e.g. an exotic candidate the tape einsum cannot
-            // differentiate) must not take down the whole run: demote it to
-            // a typed skip, like any other per-candidate failure.
-            let scored = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                try_operator_accuracy(graph, 0, proxy)
-            }))
-            .unwrap_or_else(|payload| Err(SynoError::proxy(panic_message(&payload))));
-            match scored {
-                Ok(acc) => {
-                    let accuracy = (acc as f64).clamp(0.0, 1.0);
-                    if let Some(flops) = syno_core::analysis::naive_flops(graph, 0) {
-                        let mut total = shared.flops.lock().expect("flops lock");
-                        *total = total.saturating_add(flops);
-                    }
-                    let _ = sender.send(SearchEvent::ProxyScored {
-                        scenario: index,
-                        id,
-                        accuracy,
-                    });
-                    if let Some(store) = store {
-                        // Journal best-effort: a full disk degrades the run
-                        // to cache-less, it does not kill it.
-                        let _ = store.put_candidate(id, graph);
-                        let _ = store.put_score(id, accuracy);
-                    }
-                    *discovered_count.lock().expect("count lock") += 1;
-                    // Latency-tune immediately: the candidate is complete in
-                    // the stream, and a cancelled run keeps every candidate
-                    // it has announced.
-                    match price_candidate(index, graph, accuracy, devices, compiler) {
-                        Ok(candidate) => {
-                            if let Some(store) = store {
-                                for (device, latency) in devices.iter().zip(&candidate.latencies)
-                                {
-                                    let _ = store.put_latency(
-                                        id,
-                                        device.name,
-                                        compiler.name(),
-                                        *latency,
-                                    );
-                                }
-                            }
-                            let _ = sender.send(SearchEvent::LatencyTuned {
-                                scenario: index,
-                                id,
-                                candidate: candidate.clone(),
-                            });
-                            candidates.lock().expect("candidates lock").push(candidate);
-                        }
-                        Err(error) => {
-                            let _ = sender.send(SearchEvent::CandidateSkipped {
-                                scenario: index,
-                                id,
-                                error,
-                            });
-                        }
-                    }
-                    accuracy
-                }
-                Err(error) => {
-                    if let Some(store) = store {
-                        // Journal the failure (NaN marker) so resumed runs
-                        // skip this candidate instead of re-training it.
-                        let _ = store.put_candidate(id, graph);
-                        let _ = store.put_score(id, f64::NAN);
-                    }
-                    let _ = sender.send(SearchEvent::CandidateSkipped {
-                        scenario: index,
-                        id,
-                        error,
-                    });
-                    0.0
-                }
-            }
-        },
-        |iteration| {
-            if shared.should_stop().is_some() {
-                return false;
-            }
-            *shared.steps.lock().expect("steps lock") += 1;
-            *iterations_done.lock().expect("iterations lock") = iteration + 1;
-            if iteration > 0 && iteration % progress_every == 0 {
-                let discovered = *discovered_count.lock().expect("count lock");
-                let _ = sender.send(SearchEvent::Progress {
-                    scenario: index,
+                let written = store.put_checkpoint(&Checkpoint {
+                    label: scenario.label.clone(),
+                    spec_fingerprint: fingerprint,
+                    seed,
                     iterations: iteration,
-                    total_iterations,
                     discovered,
                 });
-                if let Some(store) = store {
-                    let written = store.put_checkpoint(&Checkpoint {
-                        label: scenario.label.clone(),
-                        spec_fingerprint: fingerprint,
-                        seed,
+                if written.is_ok() {
+                    let _ = sender.send(SearchEvent::CheckpointWritten {
+                        scenario: index,
                         iterations: iteration,
-                        discovered,
                     });
-                    if written.is_ok() {
-                        let _ = sender.send(SearchEvent::CheckpointWritten {
-                            scenario: index,
-                            iterations: iteration,
-                        });
-                    }
                 }
             }
-            true
-        },
-    );
+        }
+        true
+    };
+
+    if eval_workers <= 1 {
+        // Serial mode: evaluate inline in the reward closure — the exact
+        // pre-pipeline behavior.
+        mcts.search_while(
+            &root,
+            |graph| {
+                let id = graph.content_hash();
+                let _ = sender.send(SearchEvent::CandidateFound {
+                    scenario: index,
+                    id,
+                    graph: graph.clone(),
+                });
+                eval.evaluate(id, graph, sender)
+            },
+            keep_going,
+        );
+    } else {
+        // Pipelined mode: `CandidateFound` is announced from the search
+        // thread at submission (so it precedes the candidate's evaluation
+        // events no matter how workers are scheduled), then the bounded
+        // queue hands the operator to an evaluator worker. One worker owns
+        // a candidate end to end, keeping its event subsequence in
+        // pipeline order.
+        let (request_tx, request_rx) = sync_channel::<EvalRequest>(eval_workers * 2);
+        let request_rx = Mutex::new(request_rx);
+        let (outcome_tx, outcome_rx) = channel::<EvalOutcome>();
+        thread::scope(|scope| {
+            for _ in 0..eval_workers {
+                let outcome_tx = outcome_tx.clone();
+                let worker_sender = sender.clone();
+                let request_rx = &request_rx;
+                let eval = &eval;
+                scope.spawn(move || loop {
+                    // The mutex is held only across the blocking pop, not
+                    // the evaluation, so workers truly run concurrently.
+                    let request = request_rx.lock().expect("eval queue lock").recv();
+                    let Ok(request) = request else { break };
+                    // Every popped request MUST resolve to an outcome: a
+                    // panic that escaped the evaluation (e.g. from latency
+                    // tuning) would otherwise lose its reward while the
+                    // surviving workers keep the outcome channel open, and
+                    // the engine's drain would wait forever. Demote it to
+                    // a typed skip, like any other per-candidate failure.
+                    let reward = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        eval.evaluate(request.id, &request.graph, &worker_sender)
+                    }))
+                    .unwrap_or_else(|payload| {
+                        let _ = worker_sender.send(SearchEvent::CandidateSkipped {
+                            scenario: index,
+                            id: request.id,
+                            error: SynoError::worker(panic_message(&payload)),
+                        });
+                        0.0
+                    });
+                    if outcome_tx
+                        .send(EvalOutcome {
+                            id: request.id,
+                            reward,
+                        })
+                        .is_err()
+                    {
+                        break;
+                    }
+                });
+            }
+            drop(outcome_tx);
+            mcts.search_async_while(
+                &root,
+                |request| {
+                    let _ = sender.send(SearchEvent::CandidateFound {
+                        scenario: index,
+                        id: request.id,
+                        graph: request.graph.clone(),
+                    });
+                    request_tx.send(request).is_ok()
+                },
+                &outcome_rx,
+                keep_going,
+            );
+            // Closing the queue lets idle workers exit; the scope joins
+            // them only after everything still in flight has drained.
+            drop(request_tx);
+        });
+    }
 
     // Final checkpoint: pins the scenario's end position so resume_from
     // knows completed scenarios replay (all hits) rather than re-train.
@@ -1167,9 +1340,9 @@ mod tests {
 
     #[test]
     fn step_budget_bounds_total_iterations() {
-        let (vars, spec) = pool_scenario();
+        let (vars, spec) = conv_scenario();
         let report = SearchBuilder::new()
-            .scenario("pool", &vars, &spec)
+            .scenario("conv", &vars, &spec)
             .mcts(MctsConfig {
                 iterations: 100_000,
                 seed: 4,
@@ -1181,6 +1354,25 @@ mod tests {
             .unwrap();
         assert_eq!(report.stopped, StopReason::StepBudget);
         assert!(report.steps >= 30 && report.steps < 40, "{}", report.steps);
+    }
+
+    /// A spec the accuracy proxy cannot score (here 1-D pooling) must be
+    /// rejected at `start()` with a typed error instead of burning the
+    /// whole iteration budget on zero rewards.
+    #[test]
+    fn unscorable_spec_is_rejected_at_start() {
+        let (vars, spec) = pool_scenario();
+        let err = SearchBuilder::new()
+            .scenario("pool", &vars, &spec)
+            .start()
+            .expect_err("1-D specs are unscorable and must fail fast");
+        match err {
+            SynoError::Proxy { reason } => {
+                assert!(reason.contains("pool"), "names the scenario: {reason}");
+                assert!(reason.contains("4-D"), "explains the limitation: {reason}");
+            }
+            other => panic!("expected SynoError::Proxy, got {other:?}"),
+        }
     }
 
     #[test]
@@ -1288,9 +1480,9 @@ mod tests {
 
     #[test]
     fn wall_clock_budget_stops_the_run() {
-        let (vars, spec) = pool_scenario();
+        let (vars, spec) = conv_scenario();
         let report = SearchBuilder::new()
-            .scenario("pool", &vars, &spec)
+            .scenario("conv", &vars, &spec)
             .mcts(MctsConfig {
                 iterations: 1_000_000,
                 seed: 6,
@@ -1302,5 +1494,139 @@ mod tests {
             .unwrap();
         assert_eq!(report.stopped, StopReason::WallClock);
         assert!(report.wall < Duration::from_secs(30));
+    }
+
+    /// The event-kind subsequence each candidate produced, in stream order
+    /// (pipeline heartbeats and scenario bookkeeping excluded).
+    fn per_candidate_sequences(
+        events: &[SearchEvent],
+    ) -> std::collections::HashMap<u64, Vec<&'static str>> {
+        let mut map: std::collections::HashMap<u64, Vec<&'static str>> =
+            std::collections::HashMap::new();
+        for event in events {
+            let (id, kind) = match event {
+                SearchEvent::CandidateFound { id, .. } => (*id, "found"),
+                SearchEvent::ProxyScored { id, .. } => (*id, "scored"),
+                SearchEvent::CacheHit { id, .. } => (*id, "hit"),
+                SearchEvent::LatencyTuned { id, .. } => (*id, "tuned"),
+                SearchEvent::CandidateSkipped { id, .. } => (*id, "skipped"),
+                _ => continue,
+            };
+            map.entry(id).or_default().push(kind);
+        }
+        map
+    }
+
+    /// The determinism contract of the evaluation pipeline: with a fixed
+    /// seed, `eval_workers(4)` discovers exactly the serial run's candidate
+    /// set (by content hash, with the same rewards) and every candidate
+    /// sees the same event subsequence — only cross-candidate interleaving
+    /// may differ.
+    #[test]
+    fn eval_pipeline_matches_serial_run() {
+        let (vars, spec) = conv_scenario();
+        let run_with = |eval_workers: usize| {
+            let run = SearchBuilder::new()
+                .scenario("conv", &vars, &spec)
+                .mcts(MctsConfig {
+                    iterations: 25,
+                    seed: 2,
+                    ..MctsConfig::default()
+                })
+                .proxy(quick_proxy())
+                .eval_workers(eval_workers)
+                .start()
+                .unwrap();
+            let events: Vec<SearchEvent> = run.events().collect();
+            let report = run.join().unwrap();
+            (events, report)
+        };
+
+        let (serial_events, serial_report) = run_with(1);
+        let (piped_events, piped_report) = run_with(4);
+
+        assert_eq!(serial_report.stopped, StopReason::Completed);
+        assert_eq!(piped_report.stopped, StopReason::Completed);
+        assert_eq!(serial_report.steps, piped_report.steps);
+
+        // Identical candidate sets, accuracies included.
+        let ids = |r: &SearchReport| {
+            let mut v: Vec<(u64, u64)> = r
+                .candidates
+                .iter()
+                .map(|c| (c.graph.content_hash(), c.accuracy.to_bits()))
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        assert!(!serial_report.candidates.is_empty());
+        assert_eq!(ids(&serial_report), ids(&piped_report));
+
+        // Identical per-candidate event subsequences.
+        let serial_seq = per_candidate_sequences(&serial_events);
+        let piped_seq = per_candidate_sequences(&piped_events);
+        assert_eq!(serial_seq, piped_seq);
+        for (id, seq) in &piped_seq {
+            assert_eq!(seq[0], "found", "candidate {id:#x} out of order: {seq:?}");
+        }
+    }
+
+    /// Cancelling a pipelined run must drain in-flight evaluations
+    /// cleanly: every announced candidate still reaches a terminal event
+    /// (tuned or skipped) and the report keeps everything announced.
+    #[test]
+    fn eval_pipeline_cancellation_drains_in_flight() {
+        let (vars, spec) = conv_scenario();
+        let token = CancelToken::new();
+        let run = SearchBuilder::new()
+            .scenario("conv", &vars, &spec)
+            .mcts(MctsConfig {
+                iterations: 100_000,
+                seed: 3,
+                ..MctsConfig::default()
+            })
+            .proxy(quick_proxy())
+            .eval_workers(3)
+            .cancel_token(token.clone())
+            .start()
+            .unwrap();
+
+        let mut events = Vec::new();
+        for event in run.events() {
+            if let SearchEvent::LatencyTuned { .. } = event {
+                if !token.is_cancelled() {
+                    token.cancel();
+                }
+            }
+            events.push(event);
+        }
+        let report = run.join().unwrap();
+        assert_eq!(report.stopped, StopReason::Cancelled);
+        assert!(
+            report.steps < 100_000,
+            "cancellation must cut the run short ({} steps)",
+            report.steps
+        );
+
+        let sequences = per_candidate_sequences(&events);
+        assert!(!sequences.is_empty());
+        let mut tuned = 0usize;
+        for (id, seq) in &sequences {
+            assert_eq!(seq[0], "found", "candidate {id:#x}: {seq:?}");
+            let terminal = seq.last().unwrap();
+            assert!(
+                *terminal == "tuned" || *terminal == "skipped" || *terminal == "hit",
+                "candidate {id:#x} was announced but never finished: {seq:?}"
+            );
+            if *terminal == "tuned" {
+                tuned += 1;
+            }
+        }
+        assert!(tuned >= 1);
+        assert_eq!(
+            report.candidates.len(),
+            tuned,
+            "a cancelled pipelined run keeps exactly what it finished"
+        );
     }
 }

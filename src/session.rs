@@ -44,6 +44,7 @@ pub struct SessionBuilder {
     devices: Option<Vec<Device>>,
     compiler: Option<CompilerKind>,
     workers: Option<usize>,
+    eval_workers: Option<usize>,
     mcts: Option<MctsConfig>,
     proxy: Option<ProxyConfig>,
     store_path: Option<PathBuf>,
@@ -87,6 +88,20 @@ impl SessionBuilder {
     /// Default worker-thread count for search runs.
     pub fn workers(mut self, workers: usize) -> Self {
         self.workers = Some(workers);
+        self
+    }
+
+    /// Default evaluator-thread count *within* each search scenario
+    /// (defaults to 1 — serial evaluation).
+    ///
+    /// With `n > 1`, search runs started through this session pipeline
+    /// candidate evaluation (store lookup → proxy training → latency
+    /// tuning) over `n` concurrent workers per scenario while the tree
+    /// search continues under a virtual loss. Seeded runs discover the
+    /// identical candidate set either way; see
+    /// [`SearchBuilder::eval_workers`] for the determinism contract.
+    pub fn eval_workers(mut self, workers: usize) -> Self {
+        self.eval_workers = Some(workers);
         self
     }
 
@@ -173,6 +188,7 @@ impl SessionBuilder {
             devices: self.devices.unwrap_or_else(Device::all),
             compiler: self.compiler.unwrap_or(CompilerKind::Tvm),
             workers: self.workers.unwrap_or(2),
+            eval_workers: self.eval_workers.unwrap_or(1),
             mcts: self.mcts.unwrap_or_default(),
             proxy: self.proxy.unwrap_or_default(),
             store,
@@ -188,7 +204,8 @@ impl SessionBuilder {
 /// * [`synthesis`](Session::synthesis) — the resumable Algorithm 1
 ///   enumerator ([`Synthesis`] yields one operator at a time);
 /// * [`search`](Session::search) — a [`SearchBuilder`] pre-seeded with the
-///   session's devices/compiler/workers/MCTS/proxy defaults, which streams
+///   session's devices/compiler/workers/eval-workers/MCTS/proxy defaults,
+///   which streams
 ///   [`SearchEvent`](syno_search::SearchEvent)s and honors budgets and
 ///   [`CancelToken`](syno_search::CancelToken)s.
 #[derive(Clone, Debug)]
@@ -198,6 +215,7 @@ pub struct Session {
     devices: Vec<Device>,
     compiler: CompilerKind,
     workers: usize,
+    eval_workers: usize,
     mcts: MctsConfig,
     proxy: ProxyConfig,
     store: Option<Arc<Store>>,
@@ -276,6 +294,7 @@ impl Session {
             .devices(self.devices.clone())
             .compiler(self.compiler)
             .workers(self.workers)
+            .eval_workers(self.eval_workers)
             .mcts(self.mcts)
             .proxy(self.proxy);
         match &self.store {
