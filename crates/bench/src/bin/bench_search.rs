@@ -1,9 +1,19 @@
-//! Prints the serial-versus-pipelined search throughput comparison and
-//! writes it to `BENCH_search.json` (the CI perf-trajectory artifact).
+//! Prints the search-throughput comparison and writes it to
+//! `BENCH_search.json` (the CI perf-trajectory artifact): serial vs
+//! pipelined evaluation, the vision + LM multi-scenario section, and the
+//! cold/warm store section.
 //!
-//! Environment knobs (all optional): `BENCH_SEARCH_ITERATIONS` (default
-//! 30), `BENCH_SEARCH_PROXY_STEPS` (default 6), `BENCH_SEARCH_WORKERS`
-//! (default 4), `BENCH_SEARCH_OUT` (default `BENCH_search.json`).
+//! Environment knobs (all optional):
+//!
+//! * `BENCH_SEARCH_MODE` — `throughput` (all sections, never asserts; CI
+//!   runs this non-gating), `determinism` (serial-vs-pipelined and
+//!   cold-vs-warm candidate-set checks only — the unasserted
+//!   multi-scenario timing is skipped — exits nonzero on a violation; CI
+//!   runs this as a gating step), or `full` (all sections *and* the
+//!   assertions — the default for humans running it locally).
+//! * `BENCH_SEARCH_ITERATIONS` (default 30), `BENCH_SEARCH_PROXY_STEPS`
+//!   (default 6), `BENCH_SEARCH_WORKERS` (default 4), `BENCH_SEARCH_OUT`
+//!   (default `BENCH_search.json`).
 
 use syno_bench::search_pipeline::{search_pipeline_data, SearchPipelineData};
 
@@ -15,7 +25,7 @@ fn env_usize(name: &str, default: usize) -> usize {
 }
 
 fn to_json(data: &SearchPipelineData) -> String {
-    format!(
+    let mut out = format!(
         concat!(
             "{{\n",
             "  \"bench\": \"search_pipeline\",\n",
@@ -25,8 +35,7 @@ fn to_json(data: &SearchPipelineData) -> String {
             "  \"serial\": {{ \"eval_workers\": {}, \"wall_secs\": {:.4}, \"candidates\": {}, \"candidates_per_sec\": {:.4} }},\n",
             "  \"pipelined\": {{ \"eval_workers\": {}, \"wall_secs\": {:.4}, \"candidates\": {}, \"candidates_per_sec\": {:.4} }},\n",
             "  \"speedup\": {:.4},\n",
-            "  \"identical_candidate_sets\": {}\n",
-            "}}\n"
+            "  \"identical_candidate_sets\": {}",
         ),
         data.iterations,
         data.available_parallelism,
@@ -40,20 +49,58 @@ fn to_json(data: &SearchPipelineData) -> String {
         data.pipelined.throughput,
         data.speedup,
         data.identical_sets,
-    )
+    );
+    if let Some(multi) = &data.multi_scenario {
+        out.push_str(&format!(
+            concat!(
+                ",\n  \"multi_scenario\": {{ \"spec_lm\": \"[B,T,C] -> [B,T,C] (B=4, T=4, C=8, k=2)\", ",
+                "\"wall_secs\": {:.4}, \"vision_candidates\": {}, \"lm_candidates\": {}, ",
+                "\"candidates_per_sec\": {:.4} }}"
+            ),
+            multi.wall_secs, multi.vision_candidates, multi.lm_candidates, multi.throughput,
+        ));
+    }
+    if let Some(warm) = &data.warm_store {
+        out.push_str(&format!(
+            concat!(
+                ",\n  \"warm_store\": {{ \"cold_wall_secs\": {:.4}, \"warm_wall_secs\": {:.4}, ",
+                "\"cache_hits\": {}, \"warm_trainings\": {}, \"speedup\": {:.4}, ",
+                "\"identical_candidate_sets\": {} }}"
+            ),
+            warm.cold_wall_secs,
+            warm.warm_wall_secs,
+            warm.cache_hits,
+            warm.warm_trainings,
+            warm.speedup,
+            warm.identical_sets,
+        ));
+    }
+    out.push_str("\n}\n");
+    out
 }
 
 fn main() {
+    let mode = std::env::var("BENCH_SEARCH_MODE").unwrap_or_else(|_| "full".into());
+    // (with_multi_scenario, with_warm_store, asserting, write_json)
+    let (with_multi, with_warm, asserting, write_json) = match mode.as_str() {
+        "throughput" => (true, true, false, true),
+        "determinism" => (false, true, true, false),
+        "full" => (true, true, true, true),
+        other => {
+            eprintln!("unknown BENCH_SEARCH_MODE '{other}' (throughput|determinism|full)");
+            std::process::exit(2);
+        }
+    };
     let iterations = env_usize("BENCH_SEARCH_ITERATIONS", 30);
     let proxy_steps = env_usize("BENCH_SEARCH_PROXY_STEPS", 6);
     let workers = env_usize("BENCH_SEARCH_WORKERS", 4);
     let out = std::env::var("BENCH_SEARCH_OUT").unwrap_or_else(|_| "BENCH_search.json".into());
 
     eprintln!(
-        "search pipeline bench: {iterations} iterations, {proxy_steps} proxy steps, \
+        "search pipeline bench [{mode}]: {iterations} iterations, {proxy_steps} proxy steps, \
          serial vs eval_workers({workers}) ..."
     );
-    let data = search_pipeline_data(iterations, proxy_steps, workers);
+    let data = search_pipeline_data(iterations, proxy_steps, workers, with_multi, with_warm);
 
     println!("mode        eval_workers  wall_secs  candidates  cand/sec");
     for sample in [&data.serial, &data.pipelined] {
@@ -71,12 +118,48 @@ fn main() {
         "speedup: {:.2}x on {} hardware thread(s); identical candidate sets: {}",
         data.speedup, data.available_parallelism, data.identical_sets
     );
-    assert!(
-        data.identical_sets,
-        "determinism contract violated: serial and pipelined candidate sets differ"
-    );
+    if let Some(multi) = &data.multi_scenario {
+        println!(
+            "multi-scenario (vision + LM): {:.3}s wall, {} + {} candidates, {:.3} cand/sec",
+            multi.wall_secs, multi.vision_candidates, multi.lm_candidates, multi.throughput
+        );
+    }
+    if let Some(warm) = &data.warm_store {
+        println!(
+            "warm store: cold {:.3}s -> warm {:.3}s ({:.2}x), {} hits, {} re-trainings, \
+             identical sets: {}",
+            warm.cold_wall_secs,
+            warm.warm_wall_secs,
+            warm.speedup,
+            warm.cache_hits,
+            warm.warm_trainings,
+            warm.identical_sets
+        );
+    }
 
-    let json = to_json(&data);
-    std::fs::write(&out, &json).expect("write bench json");
-    eprintln!("wrote {out}");
+    if asserting {
+        assert!(
+            data.identical_sets,
+            "determinism contract violated: serial and pipelined candidate sets differ"
+        );
+        if let Some(warm) = &data.warm_store {
+            assert!(
+                warm.identical_sets,
+                "store replay contract violated: cold and warm candidate sets differ"
+            );
+            assert!(
+                warm.warm_trainings == 0,
+                "warm store must serve every evaluation from the journal \
+                 ({} re-trainings)",
+                warm.warm_trainings
+            );
+        }
+        eprintln!("determinism contracts hold");
+    }
+
+    if write_json {
+        let json = to_json(&data);
+        std::fs::write(&out, &json).expect("write bench json");
+        eprintln!("wrote {out}");
+    }
 }

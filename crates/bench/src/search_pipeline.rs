@@ -1,14 +1,20 @@
-//! Search-throughput measurement: candidates/second of the single-scenario
-//! evaluation pipeline, serial (`eval_workers(1)`) versus pipelined
-//! (`eval_workers(n)`).
+//! Search-throughput measurement: candidates/second of the evaluation
+//! pipeline across three sections —
+//!
+//! * **serial vs pipelined** (`eval_workers(1)` vs `eval_workers(n)`) on
+//!   the vision spec, with the determinism contract (identical candidate
+//!   sets) checked alongside the timing;
+//! * **multi-scenario**: a vision and an LM scenario side by side over the
+//!   scenario worker pool — the task-family registry's throughput probe;
+//! * **warm-store**: the same vision run cold (journal everything) and
+//!   warm (recall everything), measuring the cross-run caching win.
 //!
 //! This is the perf-trajectory probe for the system's hottest path — the
 //! paper's search cost is dominated by evaluating complete candidates
-//! (§7.2, ≈0.1 GPU-hours of proxy training each), which the reproduction
-//! pipelines over evaluator workers. Both runs use the same seed, so the
-//! determinism contract (identical candidate sets) is checked alongside
-//! the timing. The `bench_search` binary prints the result and emits
-//! `BENCH_search.json`.
+//! (§7.2, ≈0.1 GPU-hours of proxy training each). The `bench_search`
+//! binary prints the result and emits `BENCH_search.json`; CI diffs its
+//! throughput against the committed `BENCH_baseline.json` and gates on the
+//! determinism section.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -16,7 +22,8 @@ use syno_core::size::Size;
 use syno_core::spec::{OperatorSpec, TensorShape};
 use syno_core::var::{VarKind, VarTable};
 use syno_nn::{ProxyConfig, TrainConfig};
-use syno_search::{MctsConfig, SearchBuilder};
+use syno_search::{MctsConfig, SearchBuilder, SearchEvent};
+use syno_store::StoreBuilder;
 
 /// One timed pipeline configuration.
 #[derive(Clone, Copy, Debug)]
@@ -29,6 +36,40 @@ pub struct PipelineSample {
     pub candidates: usize,
     /// Candidates per second of wall clock.
     pub throughput: f64,
+}
+
+/// The multi-scenario (vision + LM) section: both task families searched
+/// in one run over the scenario worker pool.
+#[derive(Clone, Copy, Debug)]
+pub struct MultiScenarioSample {
+    /// Wall-clock seconds for the combined run.
+    pub wall_secs: f64,
+    /// Fully evaluated candidates from the vision scenario.
+    pub vision_candidates: usize,
+    /// Fully evaluated candidates from the LM scenario.
+    pub lm_candidates: usize,
+    /// Combined candidates per second of wall clock.
+    pub throughput: f64,
+}
+
+/// The warm-store section: one vision run journaling to a cold store, then
+/// the identical run recalling from it.
+#[derive(Clone, Copy, Debug)]
+pub struct WarmStoreSample {
+    /// Wall-clock seconds of the cold (journal-everything) run.
+    pub cold_wall_secs: f64,
+    /// Wall-clock seconds of the warm (recall-everything) run.
+    pub warm_wall_secs: f64,
+    /// `CacheHit` evaluations the warm run served from the journal.
+    pub cache_hits: usize,
+    /// Proxy trainings the warm run still had to perform (0 when the
+    /// journal covers the whole candidate set).
+    pub warm_trainings: usize,
+    /// Cold-over-warm wall-clock speedup — the cross-run caching win.
+    pub speedup: f64,
+    /// Whether cold and warm discovered the identical candidate set — the
+    /// replay-determinism contract of the store.
+    pub identical_sets: bool,
 }
 
 /// The serial-versus-pipelined comparison on the bench spec.
@@ -48,6 +89,11 @@ pub struct SearchPipelineData {
     /// Hardware parallelism the measurement ran on; a speedup near 1.0 is
     /// expected when this is 1 regardless of `eval_workers`.
     pub available_parallelism: usize,
+    /// The vision + LM multi-scenario section (`None` when not requested —
+    /// determinism-only runs skip this unasserted timing).
+    pub multi_scenario: Option<MultiScenarioSample>,
+    /// The cold/warm store section (`None` when not requested).
+    pub warm_store: Option<WarmStoreSample>,
 }
 
 /// The 4-D conv-like spec the accuracy proxy can score — the same shape
@@ -79,14 +125,25 @@ fn bench_scenario() -> (Arc<VarTable>, OperatorSpec) {
     (vars, spec)
 }
 
-fn timed_run(
-    vars: &Arc<VarTable>,
-    spec: &OperatorSpec,
-    iterations: usize,
-    proxy_steps: usize,
-    eval_workers: usize,
-) -> (PipelineSample, Vec<u64>) {
-    let proxy = ProxyConfig {
+/// The `[B, T, C] → [B, T, C]` sequence spec scored by the LM proxy
+/// family — the second half of the multi-scenario section.
+fn lm_bench_scenario() -> (Arc<VarTable>, OperatorSpec) {
+    let mut vars = VarTable::new();
+    let b = vars.declare("B", VarKind::Primary);
+    let t = vars.declare("T", VarKind::Primary);
+    let c = vars.declare("C", VarKind::Primary);
+    let k = vars.declare("k", VarKind::Coefficient);
+    vars.push_valuation(vec![(b, 4), (t, 4), (c, 8), (k, 2)]);
+    let vars = vars.into_shared();
+    let spec = OperatorSpec::new(
+        TensorShape::new(vec![Size::var(b), Size::var(t), Size::var(c)]),
+        TensorShape::new(vec![Size::var(b), Size::var(t), Size::var(c)]),
+    );
+    (vars, spec)
+}
+
+fn bench_proxy(proxy_steps: usize) -> ProxyConfig {
+    ProxyConfig {
         train: TrainConfig {
             steps: proxy_steps,
             batch: 4,
@@ -94,7 +151,17 @@ fn timed_run(
             ..TrainConfig::default()
         },
         ..ProxyConfig::default()
-    };
+    }
+}
+
+fn timed_run(
+    vars: &Arc<VarTable>,
+    spec: &OperatorSpec,
+    iterations: usize,
+    proxy_steps: usize,
+    eval_workers: usize,
+) -> (PipelineSample, Vec<u64>) {
+    let proxy = bench_proxy(proxy_steps);
     let started = Instant::now();
     let report = SearchBuilder::new()
         .scenario("bench-conv", vars, spec)
@@ -130,17 +197,115 @@ fn timed_run(
     )
 }
 
+/// The vision + LM multi-scenario section: one run, two task families,
+/// two scenario workers.
+fn multi_scenario_sample(iterations: usize, proxy_steps: usize) -> MultiScenarioSample {
+    let (conv_vars, conv_spec) = bench_scenario();
+    let (lm_vars, lm_spec) = lm_bench_scenario();
+    let started = Instant::now();
+    let report = SearchBuilder::new()
+        .scenario("bench-conv", &conv_vars, &conv_spec)
+        .scenario("bench-lm", &lm_vars, &lm_spec)
+        .mcts(MctsConfig {
+            iterations,
+            seed: 7,
+            ..MctsConfig::default()
+        })
+        .proxy(bench_proxy(proxy_steps))
+        .workers(2)
+        .run()
+        .expect("multi-scenario bench runs");
+    let wall_secs = started.elapsed().as_secs_f64();
+    let vision = report.candidates.iter().filter(|c| c.scenario == 0).count();
+    let lm = report.candidates.iter().filter(|c| c.scenario == 1).count();
+    MultiScenarioSample {
+        wall_secs,
+        vision_candidates: vision,
+        lm_candidates: lm,
+        throughput: if wall_secs > 0.0 {
+            (vision + lm) as f64 / wall_secs
+        } else {
+            0.0
+        },
+    }
+}
+
+/// The cold/warm store section: journal a run, then replay it from disk.
+fn warm_store_sample(iterations: usize, proxy_steps: usize) -> WarmStoreSample {
+    let (vars, spec) = bench_scenario();
+    let dir = std::env::temp_dir().join(format!("syno-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mcts = MctsConfig {
+        iterations,
+        seed: 7,
+        ..MctsConfig::default()
+    };
+
+    let run = |label: &str| {
+        let store = Arc::new(
+            StoreBuilder::new(&dir)
+                .open()
+                .unwrap_or_else(|e| panic!("open bench store ({label}): {e}")),
+        );
+        let started = Instant::now();
+        let run = SearchBuilder::new()
+            .scenario("bench-conv", &vars, &spec)
+            .mcts(mcts)
+            .proxy(bench_proxy(proxy_steps))
+            .store(Arc::clone(&store))
+            .start()
+            .expect("warm-store bench runs");
+        let mut hits = 0usize;
+        let mut trainings = 0usize;
+        for event in run.events() {
+            match event {
+                SearchEvent::CacheHit { .. } => hits += 1,
+                SearchEvent::ProxyScored { .. } => trainings += 1,
+                _ => {}
+            }
+        }
+        let report = run.join().expect("warm-store bench joins");
+        let wall = started.elapsed().as_secs_f64();
+        let mut ids: Vec<u64> = report
+            .candidates
+            .iter()
+            .map(|c| c.graph.content_hash())
+            .collect();
+        ids.sort_unstable();
+        (wall, hits, trainings, ids)
+    };
+
+    let (cold_wall, _, _, cold_ids) = run("cold");
+    let (warm_wall, warm_hits, warm_trainings, warm_ids) = run("warm");
+    let _ = std::fs::remove_dir_all(&dir);
+    WarmStoreSample {
+        cold_wall_secs: cold_wall,
+        warm_wall_secs: warm_wall,
+        cache_hits: warm_hits,
+        warm_trainings,
+        speedup: if warm_wall > 0.0 { cold_wall / warm_wall } else { 0.0 },
+        identical_sets: cold_ids == warm_ids,
+    }
+}
+
 /// Times the bench spec serially and with `eval_workers` evaluator threads
 /// (same seed), `iterations` MCTS iterations each, `proxy_steps` training
-/// steps per candidate.
+/// steps per candidate. `with_multi_scenario` / `with_warm_store` opt into
+/// the vision + LM and cold/warm store sections individually — the
+/// determinism-only CI step runs the warm-store section (it asserts its
+/// replay contract) but skips the unasserted multi-scenario timing.
 pub fn search_pipeline_data(
     iterations: usize,
     proxy_steps: usize,
     eval_workers: usize,
+    with_multi_scenario: bool,
+    with_warm_store: bool,
 ) -> SearchPipelineData {
     let (vars, spec) = bench_scenario();
     let (serial, serial_ids) = timed_run(&vars, &spec, iterations, proxy_steps, 1);
     let (pipelined, piped_ids) = timed_run(&vars, &spec, iterations, proxy_steps, eval_workers);
+    let multi_scenario = with_multi_scenario.then(|| multi_scenario_sample(iterations, proxy_steps));
+    let warm_store = with_warm_store.then(|| warm_store_sample(iterations, proxy_steps));
     SearchPipelineData {
         iterations,
         serial,
@@ -154,5 +319,7 @@ pub fn search_pipeline_data(
         available_parallelism: std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1),
+        multi_scenario,
+        warm_store,
     }
 }

@@ -54,10 +54,34 @@ use std::fmt;
 use std::sync::Arc;
 
 /// Version of the binary layout. Bump on **any** change to the encoding
-/// below *or* to the stable hashing chain
-/// ([`crate::stable::StableHasher`] → [`PGraph::content_hash`]): persisted
-/// content keys are only meaningful while both stay fixed.
-pub const FORMAT_VERSION: u32 = 1;
+/// below, to the stable hashing chain
+/// ([`crate::stable::StableHasher`] → [`PGraph::content_hash`]), *or* to
+/// the semantics of persisted records built on these primitives: persisted
+/// content keys are only meaningful while all three stay fixed.
+///
+/// History:
+/// * **1** — initial layout.
+/// * **2** — proxy scores journaled by `syno-store` carry a task-family
+///   tag (`"vision"` / `"sequence"`); the graph/spec wire layout is
+///   unchanged, so version-1 values still decode
+///   (see [`MIN_FORMAT_VERSION`]) and untagged legacy scores are read as
+///   vision scores (historically always true).
+pub const FORMAT_VERSION: u32 = 2;
+
+/// Oldest format version this build still decodes. Versions 1 and 2 share
+/// the graph/spec wire layout, so journals written before the family tag
+/// stay readable; anything older than this (or newer than
+/// [`FORMAT_VERSION`]) is rejected loudly.
+pub const MIN_FORMAT_VERSION: u32 = 1;
+
+/// Shared header check for decoders.
+fn check_version(found: u32) -> Result<(), CodecError> {
+    if (MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&found) {
+        Ok(())
+    } else {
+        Err(CodecError::Version { found })
+    }
+}
 
 /// Errors surfaced while decoding persisted bytes.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -97,7 +121,8 @@ impl fmt::Display for CodecError {
             CodecError::BadUtf8 { at } => write!(f, "invalid utf-8 string at byte {at}"),
             CodecError::Version { found } => write!(
                 f,
-                "unsupported format version {found} (this build reads {FORMAT_VERSION})"
+                "unsupported format version {found} (this build reads \
+                 {MIN_FORMAT_VERSION}..={FORMAT_VERSION})"
             ),
             CodecError::Invalid(why) => write!(f, "invalid persisted value: {why}"),
         }
@@ -456,10 +481,7 @@ pub fn encode_spec(vars: &VarTable, spec: &OperatorSpec) -> Vec<u8> {
 /// errors on truncated or corrupt bytes.
 pub fn decode_spec(bytes: &[u8]) -> Result<(Arc<VarTable>, OperatorSpec), CodecError> {
     let mut d = Decoder::new(bytes);
-    let version = d.get_u32()?;
-    if version != FORMAT_VERSION {
-        return Err(CodecError::Version { found: version });
-    }
+    check_version(d.get_u32()?)?;
     let vars = get_var_table(&mut d)?;
     let spec = get_spec(&mut d, &vars)?;
     Ok((vars.into_shared(), spec))
@@ -492,10 +514,7 @@ pub fn encode_graph(graph: &PGraph) -> Vec<u8> {
 /// produced by an incompatible build that slipped past the version check).
 pub fn decode_graph(bytes: &[u8]) -> Result<PGraph, CodecError> {
     let mut d = Decoder::new(bytes);
-    let version = d.get_u32()?;
-    if version != FORMAT_VERSION {
-        return Err(CodecError::Version { found: version });
-    }
+    check_version(d.get_u32()?)?;
     let vars = get_var_table(&mut d)?;
     let spec = get_spec(&mut d, &vars)?;
     let vars = vars.into_shared();
@@ -609,6 +628,38 @@ mod tests {
             decode_graph(&bytes),
             Err(CodecError::Version { .. })
         ));
+        // One past the current version must also be rejected — forward
+        // compatibility is never assumed.
+        let mut bytes = encode_graph(&graph);
+        bytes[..4].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+        assert!(matches!(
+            decode_graph(&bytes),
+            Err(CodecError::Version { .. })
+        ));
+    }
+
+    /// Version-1 values (pre family-tag journals) share the wire layout
+    /// and must keep decoding after the bump to version 2.
+    #[test]
+    fn legacy_version_1_values_still_decode() {
+        let (vars, spec) = pool_setup();
+        let graph = Enumerator::new(SynthConfig::auto(&vars, 3))
+            .synthesis(&vars, &spec)
+            .next()
+            .unwrap()
+            .unwrap();
+
+        let mut bytes = encode_graph(&graph);
+        bytes[..4].copy_from_slice(&MIN_FORMAT_VERSION.to_le_bytes());
+        let back = decode_graph(&bytes).unwrap();
+        assert_eq!(back.content_hash(), graph.content_hash());
+        assert_eq!(back.render(), graph.render());
+
+        let mut bytes = encode_spec(&vars, &spec);
+        bytes[..4].copy_from_slice(&MIN_FORMAT_VERSION.to_le_bytes());
+        let (vars2, spec2) = decode_spec(&bytes).unwrap();
+        assert_eq!(spec2, spec);
+        assert_eq!(spec2.fingerprint(&vars2), spec.fingerprint(&vars));
     }
 
     #[test]

@@ -1,0 +1,348 @@
+//! The task-family proxy registry.
+//!
+//! The paper evaluates synthesized operators on two workload families —
+//! vision CNNs (CIFAR/ImageNet backbones) and GPT-2-style language models
+//! (Fig. 10) — but until this module the search reward path was hard-wired
+//! to the 4-D `[N, C, H, W]` vision proxy and rejected everything else.
+//! [`ProxyFamily`] abstracts what the search actually needs from a proxy:
+//!
+//! * a cheap *spec-compatibility check* ([`ProxyFamily::validate`]) that
+//!   runs before any search thread spawns, and
+//! * a deterministic *train-and-score* step ([`ProxyFamily::score`]) that
+//!   builds a synthetic task plus a small student model around the
+//!   candidate operator and returns a held-out accuracy in `[0, 1]`.
+//!
+//! Two families are registered:
+//!
+//! * [`ProxyFamilyId::Vision`] — the original 4-D teacher-student vision
+//!   proxy ([`crate::proxy`]), behavior-identical to the pre-registry code
+//!   (a regression test below pins exact score bits);
+//! * [`ProxyFamilyId::Sequence`] — the sequence/LM family
+//!   ([`crate::seq`]), which scores rank-1/2/3 specs (pooling vectors,
+//!   `[M, D] → [M, D']` token projections, `[B, T, C] → [B, T, C']`
+//!   sequence operators) on the Markov [`TextTask`](crate::data::TextTask)
+//!   source behind the Fig. 10 LM machinery.
+//!
+//! [`resolve_family`] auto-detects the family from the spec (first
+//! registered family whose `validate` passes, vision before sequence);
+//! drivers can override the choice explicitly (e.g.
+//! `SearchBuilder::proxy_family` in `syno-search`). The resolved family's
+//! [`name`](ProxyFamilyId::name) is persisted alongside proxy scores in
+//! `syno-store` journals, so cached evaluations stay attributable across
+//! runs.
+
+use crate::proxy::{self, ProxyConfig};
+use crate::seq;
+use std::fmt;
+use syno_core::error::SynoError;
+use syno_core::graph::PGraph;
+use syno_core::spec::OperatorSpec;
+use syno_core::var::VarTable;
+
+/// One task family's proxy: spec compatibility, synthetic-task
+/// construction, proxy-model build, and train/score — the reward provider
+/// behind the MCTS search.
+///
+/// Implementations must be deterministic: the same graph, valuation, and
+/// [`ProxyConfig`] must produce bit-identical scores (rewards are persisted
+/// and replayed across runs).
+pub trait ProxyFamily: Send + Sync + fmt::Debug {
+    /// The registry id of this family.
+    fn id(&self) -> ProxyFamilyId;
+
+    /// The stable name persisted in store records and shown in errors.
+    fn name(&self) -> &'static str {
+        self.id().name()
+    }
+
+    /// Checks — before any graph exists or training runs — whether this
+    /// family can score candidates for `spec` under `valuation`.
+    ///
+    /// # Errors
+    ///
+    /// [`SynoError::Proxy`] with a family-specific reason when the spec
+    /// does not fit the family's task layout; [`SynoError::Eval`] when a
+    /// shape does not evaluate under the valuation at all.
+    fn validate(
+        &self,
+        spec: &OperatorSpec,
+        vars: &VarTable,
+        valuation: usize,
+    ) -> Result<(), SynoError>;
+
+    /// Builds the family's synthetic task and student model around the
+    /// candidate operator, trains it, and returns held-out accuracy in
+    /// `[0, 1]`. A diverging candidate scores `0.0` (the paper's early
+    /// termination), a structurally unscorable one is a typed error.
+    ///
+    /// # Errors
+    ///
+    /// [`SynoError::Proxy`] / [`SynoError::Eager`] when the candidate
+    /// cannot be realized or does not fit the family's task.
+    fn score(
+        &self,
+        graph: &PGraph,
+        valuation: usize,
+        config: &ProxyConfig,
+    ) -> Result<f32, SynoError>;
+}
+
+/// Identifies a registered proxy family (stable, persistable).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ProxyFamilyId {
+    /// The 4-D `[N, C, H, W]` teacher-student vision proxy.
+    Vision,
+    /// The rank-1/2/3 sequence/LM proxy over the Markov text source.
+    Sequence,
+}
+
+impl ProxyFamilyId {
+    /// Every registered family, in auto-detection order (vision first, so
+    /// 4-D specs keep their historical scores).
+    pub const ALL: [ProxyFamilyId; 2] = [ProxyFamilyId::Vision, ProxyFamilyId::Sequence];
+
+    /// The stable name persisted in store records (`"vision"`,
+    /// `"sequence"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            ProxyFamilyId::Vision => "vision",
+            ProxyFamilyId::Sequence => "sequence",
+        }
+    }
+
+    /// Looks a family up by its persisted [`name`](ProxyFamilyId::name).
+    pub fn from_name(name: &str) -> Option<ProxyFamilyId> {
+        ProxyFamilyId::ALL.into_iter().find(|id| id.name() == name)
+    }
+
+    /// The family implementation behind this id.
+    pub fn family(self) -> &'static dyn ProxyFamily {
+        match self {
+            ProxyFamilyId::Vision => &VisionFamily,
+            ProxyFamilyId::Sequence => &seq::SequenceFamily,
+        }
+    }
+}
+
+impl fmt::Display for ProxyFamilyId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The original 4-D vision proxy as a [`ProxyFamily`].
+///
+/// Pure delegation to [`crate::proxy`]: scores are byte-for-byte identical
+/// to the pre-registry `try_operator_accuracy` (pinned by
+/// `vision_family_scores_are_pinned` below).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct VisionFamily;
+
+impl ProxyFamily for VisionFamily {
+    fn id(&self) -> ProxyFamilyId {
+        ProxyFamilyId::Vision
+    }
+
+    fn validate(
+        &self,
+        spec: &OperatorSpec,
+        vars: &VarTable,
+        valuation: usize,
+    ) -> Result<(), SynoError> {
+        proxy::validate_vision_task(spec, vars, valuation)
+    }
+
+    fn score(
+        &self,
+        graph: &PGraph,
+        valuation: usize,
+        config: &ProxyConfig,
+    ) -> Result<f32, SynoError> {
+        proxy::try_operator_accuracy(graph, valuation, config)
+    }
+}
+
+/// Auto-detects which registered family can score `spec`: the first of
+/// [`ProxyFamilyId::ALL`] whose [`validate`](ProxyFamily::validate)
+/// passes (vision claims 4-D, sequence claims ranks 1–3).
+///
+/// # Errors
+///
+/// [`SynoError::Eval`] when a shape does not evaluate under the valuation;
+/// otherwise [`SynoError::Proxy`] naming every family tried, each family's
+/// rejection reason, and the spec ranks it saw.
+pub fn resolve_family(
+    spec: &OperatorSpec,
+    vars: &VarTable,
+    valuation: usize,
+) -> Result<ProxyFamilyId, SynoError> {
+    let mut reasons = Vec::with_capacity(ProxyFamilyId::ALL.len());
+    for id in ProxyFamilyId::ALL {
+        match id.family().validate(spec, vars, valuation) {
+            Ok(()) => return Ok(id),
+            Err(SynoError::Proxy { reason }) => reasons.push(format!("{id}: {reason}")),
+            // Non-proxy failures (e.g. the shapes do not evaluate) are not
+            // family-specific; surface them directly.
+            Err(other) => return Err(other),
+        }
+    }
+    Err(SynoError::proxy(format!(
+        "no proxy family can score this spec (input rank {}, output rank {}) — {}",
+        spec.input.rank(),
+        spec.output.rank(),
+        reasons.join("; ")
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TrainConfig;
+    use std::sync::Arc;
+    use syno_core::ops;
+    use syno_core::primitive::Action;
+    use syno_core::size::Size;
+    use syno_core::spec::TensorShape;
+    use syno_core::var::{VarId, VarKind};
+
+    struct F {
+        vars: Arc<VarTable>,
+        n: VarId,
+        cin: VarId,
+        cout: VarId,
+        h: VarId,
+        w: VarId,
+        k: VarId,
+    }
+
+    fn fixture() -> F {
+        let mut vars = VarTable::new();
+        let n = vars.declare("N", VarKind::Primary);
+        let cin = vars.declare("Cin", VarKind::Primary);
+        let cout = vars.declare("Cout", VarKind::Primary);
+        let h = vars.declare("H", VarKind::Primary);
+        let w = vars.declare("W", VarKind::Primary);
+        let k = vars.declare("k", VarKind::Coefficient);
+        vars.push_valuation(vec![(n, 8), (cin, 3), (cout, 4), (h, 8), (w, 8), (k, 3)]);
+        F {
+            vars: vars.into_shared(),
+            n,
+            cin,
+            cout,
+            h,
+            w,
+            k,
+        }
+    }
+
+    fn pin_config() -> ProxyConfig {
+        ProxyConfig {
+            train: TrainConfig {
+                steps: 6,
+                batch: 8,
+                eval_batches: 2,
+                ..TrainConfig::default()
+            },
+            ..ProxyConfig::default()
+        }
+    }
+
+    fn shape(dims: &[VarId]) -> TensorShape {
+        TensorShape::new(dims.iter().map(|&v| Size::var(v)).collect())
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for id in ProxyFamilyId::ALL {
+            assert_eq!(ProxyFamilyId::from_name(id.name()), Some(id));
+            assert_eq!(id.family().id(), id);
+            assert_eq!(id.family().name(), id.name());
+        }
+        assert_eq!(ProxyFamilyId::from_name("tabular"), None);
+    }
+
+    #[test]
+    fn resolution_picks_vision_for_4d_and_sequence_for_low_rank() {
+        let f = fixture();
+        let vision = OperatorSpec::new(shape(&[f.n, f.cin, f.h, f.w]), shape(&[f.n, f.cout, f.h, f.w]));
+        assert_eq!(
+            resolve_family(&vision, &f.vars, 0).unwrap(),
+            ProxyFamilyId::Vision
+        );
+
+        let pool = OperatorSpec::new(
+            TensorShape::new(vec![Size::var(f.h)]),
+            TensorShape::new(vec![Size::var(f.h).div(&Size::constant(2))]),
+        );
+        assert_eq!(
+            resolve_family(&pool, &f.vars, 0).unwrap(),
+            ProxyFamilyId::Sequence
+        );
+
+        let seq3 = OperatorSpec::new(shape(&[f.n, f.h, f.cin]), shape(&[f.n, f.h, f.cout]));
+        assert_eq!(
+            resolve_family(&seq3, &f.vars, 0).unwrap(),
+            ProxyFamilyId::Sequence
+        );
+    }
+
+    /// The satellite bugfix: an unscorable spec's error names every family
+    /// tried and the ranks it saw, not just "unsupported spec".
+    #[test]
+    fn resolution_error_names_families_and_ranks() {
+        let f = fixture();
+        let five_d = OperatorSpec::new(
+            shape(&[f.n, f.cin, f.h, f.w, f.k]),
+            shape(&[f.n, f.cout, f.h, f.w, f.k]),
+        );
+        let err = resolve_family(&five_d, &f.vars, 0).expect_err("rank 5 is unscorable");
+        let SynoError::Proxy { reason } = err else {
+            panic!("expected SynoError::Proxy, got {err:?}");
+        };
+        assert!(reason.contains("vision"), "names vision: {reason}");
+        assert!(reason.contains("sequence"), "names sequence: {reason}");
+        assert!(reason.contains("rank 5"), "states the rank seen: {reason}");
+    }
+
+    /// The refactor guarantee: vision-family scores are **bit-identical**
+    /// to the pre-registry proxy. The pinned constants were computed by the
+    /// pre-refactor `operator_accuracy` on this exact fixture; if this test
+    /// fails, the vision reward path changed and every persisted vision
+    /// score is stale (bump `syno_core::codec::FORMAT_VERSION`).
+    #[test]
+    fn vision_family_scores_are_pinned() {
+        let f = fixture();
+        let config = pin_config();
+        let conv = ops::conv2d(&f.vars, f.n, f.cin, f.cout, f.h, f.w, f.k).unwrap();
+        let acc = VisionFamily.score(&conv, 0, &config).unwrap();
+        assert_eq!(acc.to_bits(), 0x3e80_0000, "conv pin: got {acc}");
+
+        let spec = OperatorSpec::new(shape(&[f.n, f.cin, f.h, f.w]), shape(&[f.n, f.cout, f.h, f.w]));
+        let g = PGraph::new(Arc::clone(&f.vars), spec);
+        let co = g.frontier()[1];
+        let g = g.apply(&Action::Expand { coord: co }).unwrap();
+        let g = g
+            .apply(&Action::Reduce {
+                domain: Size::var(f.cin),
+            })
+            .unwrap();
+        assert!(g.is_complete());
+        let acc = VisionFamily.score(&g, 0, &config).unwrap();
+        assert_eq!(acc.to_bits(), 0x3ec0_0000, "weightless pin: got {acc}");
+
+        // And the legacy entry point still takes the identical path.
+        let legacy = crate::try_operator_accuracy(&conv, 0, &config).unwrap();
+        assert_eq!(legacy.to_bits(), 0x3e80_0000);
+    }
+
+    #[test]
+    fn vision_family_rejects_low_rank_specs() {
+        let f = fixture();
+        let pool = OperatorSpec::new(
+            TensorShape::new(vec![Size::var(f.h)]),
+            TensorShape::new(vec![Size::var(f.h).div(&Size::constant(2))]),
+        );
+        let err = VisionFamily.validate(&pool, &f.vars, 0).expect_err("1-D");
+        assert!(matches!(err, SynoError::Proxy { .. }), "{err}");
+    }
+}

@@ -8,20 +8,33 @@
 //! * [`data`] — synthetic stand-ins for CIFAR-100/ImageNet (teacher-student
 //!   vision tasks) and lm1b (Markov text) — see DESIGN.md §3;
 //! * [`train`] — SGD with momentum, training loops, accuracy evaluation;
-//! * [`proxy`] — the candidate-operator accuracy proxy consumed by MCTS;
+//! * [`family`] — the task-family proxy registry ([`ProxyFamily`],
+//!   auto-detection via [`resolve_family`]) that routes candidate scoring
+//!   to a per-workload proxy;
+//! * [`proxy`] — the 4-D vision accuracy proxy (the registry's
+//!   [`ProxyFamilyId::Vision`] member);
+//! * [`seq`] — the sequence/LM proxy for rank-1/2/3 specs (the registry's
+//!   [`ProxyFamilyId::Sequence`] member);
 //! * [`lm`] — the miniature GPT with a replaceable QKV projection (Fig. 10).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod data;
+pub mod family;
 pub mod layer;
 pub mod lm;
 pub mod proxy;
+pub mod seq;
 pub mod train;
 
 pub use data::{TextTask, VisionTask};
+pub use family::{resolve_family, ProxyFamily, ProxyFamilyId, VisionFamily};
 pub use layer::{GlobalAvgPool, Layer, LinearLayer, Model, OperatorLayer, ReluLayer};
 pub use lm::{LmConfig, QkvProjection, TinyGpt};
-pub use proxy::{operator_accuracy, try_operator_accuracy, validate_proxy_task, ProxyConfig};
+pub use proxy::{
+    operator_accuracy, try_operator_accuracy, validate_proxy_task, validate_vision_task,
+    ProxyConfig,
+};
+pub use seq::{try_sequence_accuracy, SequenceFamily};
 pub use train::{accuracy, train_on_task, train_step, Sgd, TrainConfig};

@@ -1,4 +1,6 @@
-//! The accuracy proxy: the reward signal consumed by the MCTS search.
+//! The vision accuracy proxy: the original reward signal consumed by the
+//! MCTS search, now the [`crate::family::ProxyFamilyId::Vision`] member of
+//! the task-family registry.
 //!
 //! The paper trains each candidate-substituted model for ~100 CIFAR-100
 //! epochs (≈0.1 GPU-hours amortized); the reproduction trains a small
@@ -6,7 +8,8 @@
 //! The proxy preserves what the search needs: candidates whose operators
 //! mix spatial/channel information train to higher accuracy than degenerate
 //! ones, and divergent candidates score zero (the paper's early
-//! termination).
+//! termination). The sequence/LM counterpart lives in [`crate::seq`];
+//! [`validate_proxy_task`] spans the whole registry.
 
 use crate::data::VisionTask;
 use crate::layer::{GlobalAvgPool, LinearLayer, Model, OperatorLayer, ReluLayer};
@@ -40,19 +43,39 @@ impl Default for ProxyConfig {
     }
 }
 
-/// Checks that `spec` is scorable by the vision proxy under `valuation`:
-/// both shapes must evaluate and be the 4-D `[N, C, H, W]` layout.
+/// Checks that `spec` is scorable by *some* registered proxy family under
+/// `valuation` — 4-D specs by the vision family, rank-1/2/3 sequence specs
+/// by [`crate::seq::SequenceFamily`].
 ///
-/// This is the cheap precondition behind [`try_operator_accuracy`],
-/// callable *before* any search runs (no graph, no training): drivers use
-/// it to reject unscorable scenarios up front instead of letting every
-/// rollout backpropagate a zero reward.
+/// This is the cheap precondition callable *before* any search runs (no
+/// graph, no training): drivers use it to reject unscorable scenarios up
+/// front instead of letting every rollout backpropagate a zero reward. Use
+/// [`crate::family::resolve_family`] when the caller also needs to know
+/// *which* family claimed the spec, or [`validate_vision_task`] for the
+/// vision-only check this function used to be.
+///
+/// # Errors
+///
+/// [`SynoError::Proxy`] naming every family tried and the spec ranks seen
+/// when no family accepts, [`SynoError::Eval`] when a shape does not
+/// evaluate under the valuation.
+pub fn validate_proxy_task(
+    spec: &OperatorSpec,
+    vars: &VarTable,
+    valuation: usize,
+) -> Result<(), SynoError> {
+    crate::family::resolve_family(spec, vars, valuation).map(|_| ())
+}
+
+/// Checks that `spec` is scorable by the **vision** proxy under
+/// `valuation`: both shapes must evaluate and be the 4-D `[N, C, H, W]`
+/// layout. The precondition behind [`try_operator_accuracy`].
 ///
 /// # Errors
 ///
 /// [`SynoError::Proxy`] when a shape is not rank 4, [`SynoError::Eval`]
 /// when it does not evaluate under the valuation.
-pub fn validate_proxy_task(
+pub fn validate_vision_task(
     spec: &OperatorSpec,
     vars: &VarTable,
     valuation: usize,
@@ -239,7 +262,7 @@ mod tests {
     }
 
     #[test]
-    fn validate_proxy_task_accepts_vision_and_rejects_other_ranks() {
+    fn validate_proxy_task_spans_the_family_registry() {
         let f = fixture();
         let vision = OperatorSpec::new(
             TensorShape::new(vec![
@@ -256,12 +279,36 @@ mod tests {
             ]),
         );
         assert!(validate_proxy_task(&vision, &f.vars, 0).is_ok());
+        assert!(validate_vision_task(&vision, &f.vars, 0).is_ok());
 
+        // 1-D specs used to be rejected outright; the sequence family now
+        // claims them — only the vision-specific check still refuses.
         let flat = OperatorSpec::new(
             TensorShape::new(vec![Size::var(f.h)]),
-            TensorShape::new(vec![Size::var(f.h).div(&Size::var(f.k))]),
+            TensorShape::new(vec![Size::var(f.h).div(&Size::constant(2))]),
         );
-        let err = validate_proxy_task(&flat, &f.vars, 0).expect_err("1-D must be rejected");
+        assert!(validate_proxy_task(&flat, &f.vars, 0).is_ok());
+        let err = validate_vision_task(&flat, &f.vars, 0).expect_err("vision is 4-D only");
+        assert!(matches!(err, SynoError::Proxy { .. }), "{err}");
+
+        // Nothing claims rank 5.
+        let five = OperatorSpec::new(
+            TensorShape::new(vec![
+                Size::var(f.n),
+                Size::var(f.cin),
+                Size::var(f.h),
+                Size::var(f.w),
+                Size::var(f.k),
+            ]),
+            TensorShape::new(vec![
+                Size::var(f.n),
+                Size::var(f.cout),
+                Size::var(f.h),
+                Size::var(f.w),
+                Size::var(f.k),
+            ]),
+        );
+        let err = validate_proxy_task(&five, &f.vars, 0).expect_err("rank 5 is unscorable");
         assert!(matches!(err, SynoError::Proxy { .. }), "{err}");
     }
 }

@@ -35,3 +35,6 @@ pub use run::{
     Budget, CancelToken, Candidate, SearchBuilder, SearchEvent, SearchReport, SearchRun,
     StopReason,
 };
+// The per-scenario proxy-family selector threaded through
+// `SearchBuilder::proxy_family` (defined by the registry in `syno-nn`).
+pub use syno_nn::ProxyFamilyId;

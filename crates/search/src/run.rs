@@ -48,7 +48,7 @@ use syno_core::graph::PGraph;
 use syno_core::spec::OperatorSpec;
 use syno_core::synth::{Enumerator, SynthConfig};
 use syno_core::var::VarTable;
-use syno_nn::{try_operator_accuracy, validate_proxy_task, ProxyConfig};
+use syno_nn::{resolve_family, ProxyConfig, ProxyFamilyId};
 use syno_store::{Checkpoint, Store};
 
 /// A cloneable cooperative-cancellation handle.
@@ -238,6 +238,10 @@ struct Scenario {
     vars: Arc<VarTable>,
     spec: OperatorSpec,
     synth: Option<SynthConfig>,
+    /// The proxy family scoring this scenario's candidates. `None` until
+    /// [`SearchBuilder::start`] resolves it (auto-detected from the spec,
+    /// or the run-wide [`SearchBuilder::proxy_family`] override).
+    family: Option<ProxyFamilyId>,
 }
 
 /// Configures and launches a streaming search run.
@@ -275,6 +279,7 @@ pub struct SearchBuilder {
     progress_every: u64,
     store: Option<Arc<Store>>,
     resume: bool,
+    proxy_family: Option<ProxyFamilyId>,
 }
 
 impl std::fmt::Debug for Scenario {
@@ -301,6 +306,7 @@ impl Default for SearchBuilder {
             progress_every: 10,
             store: None,
             resume: false,
+            proxy_family: None,
         }
     }
 }
@@ -324,6 +330,7 @@ impl SearchBuilder {
             vars: Arc::clone(vars),
             spec: spec.clone(),
             synth: None,
+            family: None,
         });
         self
     }
@@ -342,6 +349,7 @@ impl SearchBuilder {
             vars: Arc::clone(vars),
             spec: spec.clone(),
             synth: Some(synth),
+            family: None,
         });
         self
     }
@@ -362,6 +370,17 @@ impl SearchBuilder {
     /// Accuracy-proxy settings.
     pub fn proxy(mut self, config: ProxyConfig) -> Self {
         self.proxy = config;
+        self
+    }
+
+    /// Forces every scenario onto one proxy family instead of auto-detecting
+    /// per spec (4-D specs → vision, rank-1/2/3 → sequence/LM).
+    ///
+    /// [`start`](SearchBuilder::start) still validates each scenario's spec
+    /// against the forced family and rejects incompatible ones with a typed
+    /// [`SynoError::Proxy`], so the override cannot silently zero rewards.
+    pub fn proxy_family(mut self, family: ProxyFamilyId) -> Self {
+        self.proxy_family = Some(family);
         self
     }
 
@@ -473,32 +492,47 @@ impl SearchBuilder {
 
     /// Validates the configuration and launches the run in the background.
     ///
+    /// Each scenario is bound to a proxy family here: auto-detected from
+    /// its spec ([`syno_nn::resolve_family`] — 4-D specs go to the vision
+    /// family, rank-1/2/3 sequence specs to the sequence/LM family), or
+    /// the run-wide [`proxy_family`](SearchBuilder::proxy_family) override
+    /// re-validated against every spec.
+    ///
     /// # Errors
     ///
     /// [`SynthError::InvalidConfig`] (as [`SynoError::Synth`]) when no
     /// scenario was added; [`SynthError::InvalidSpec`] when a scenario's
     /// shapes do not evaluate under its variable table;
-    /// [`SynoError::Proxy`] when a scenario's spec is not the 4-D vision
-    /// layout the accuracy proxy can score — such a search would burn its
-    /// whole iteration budget backpropagating zero rewards, so it is
-    /// rejected before it runs.
-    pub fn start(self) -> Result<SearchRun, SynoError> {
+    /// [`SynoError::Proxy`] when no registered proxy family can score a
+    /// scenario's spec (the error names the scenario, the families tried,
+    /// and the spec ranks seen) — such a search would burn its whole
+    /// iteration budget backpropagating zero rewards, so it is rejected
+    /// before it runs.
+    pub fn start(mut self) -> Result<SearchRun, SynoError> {
         if self.scenarios.is_empty() {
             return Err(SynthError::InvalidConfig("no scenarios added".into()).into());
         }
-        for s in &self.scenarios {
+        let forced = self.proxy_family;
+        for s in &mut self.scenarios {
             s.spec.validate(&s.vars).map_err(|e| {
                 SynthError::InvalidSpec(format!("scenario '{}': {e}", s.label))
             })?;
-            // Fail fast on unscorable scenarios. `try_operator_accuracy`
-            // would produce the same typed error per candidate, but only
-            // after the search already spent its iterations.
-            validate_proxy_task(&s.spec, &s.vars, 0).map_err(|e| match e {
+            // Bind the scenario to a proxy family up front. Every rollout's
+            // reward would hit the same typed error per candidate, but only
+            // after the search already spent its iterations — fail fast.
+            let resolved = match forced {
+                Some(family) => family
+                    .family()
+                    .validate(&s.spec, &s.vars, 0)
+                    .map(|()| family),
+                None => resolve_family(&s.spec, &s.vars, 0),
+            };
+            s.family = Some(resolved.map_err(|e| match e {
                 SynoError::Proxy { reason } => {
                     SynoError::proxy(format!("scenario '{}': {reason}", s.label))
                 }
                 other => other,
-            })?;
+            })?);
         }
 
         let (sender, receiver) = channel();
@@ -645,6 +679,7 @@ fn supervise(builder: SearchBuilder, sender: Sender<SearchEvent>) -> SearchRepor
         progress_every,
         store,
         resume,
+        proxy_family: _, // already resolved into each scenario by start()
     } = builder;
 
     let shared = Shared {
@@ -716,6 +751,9 @@ fn supervise(builder: SearchBuilder, sender: Sender<SearchEvent>) -> SearchRepor
 #[derive(Clone, Copy)]
 struct EvalContext<'a> {
     index: usize,
+    /// The proxy family start() bound this scenario to; provides the
+    /// train-and-score step and tags journaled scores.
+    family: ProxyFamilyId,
     proxy: &'a ProxyConfig,
     devices: &'a [Device],
     compiler: CompilerKind,
@@ -735,9 +773,13 @@ impl EvalContext<'_> {
         let index = self.index;
         // Store first: a journaled evaluation makes proxy training (and
         // usually latency tuning) unnecessary — the cross-run analogue
-        // of the paper's canonical-form dedup within a run.
+        // of the paper's canonical-form dedup within a run. A score is
+        // only served when its journaled family tag matches the
+        // scenario's family (content hashes cover the spec, so a mismatch
+        // cannot happen through the normal pipeline — this guards against
+        // hand-edited or cross-version journals).
         if let Some(store) = self.store {
-            if let Some(accuracy) = store.score(id) {
+            if let Some(accuracy) = store.score_for_family(id, self.family.name()) {
                 // NaN is the journaled-failure marker: this candidate's
                 // proxy training failed in a previous run, and it fails
                 // deterministically — skip without re-training.
@@ -811,7 +853,7 @@ impl EvalContext<'_> {
         // differentiate) must not take down the whole run: demote it to
         // a typed skip, like any other per-candidate failure.
         let scored = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            try_operator_accuracy(graph, 0, self.proxy)
+            self.family.family().score(graph, 0, self.proxy)
         }))
         .unwrap_or_else(|payload| Err(SynoError::proxy(panic_message(&payload))));
         match scored {
@@ -830,7 +872,7 @@ impl EvalContext<'_> {
                     // Journal best-effort: a full disk degrades the run
                     // to cache-less, it does not kill it.
                     let _ = store.put_candidate(id, graph);
-                    let _ = store.put_score(id, accuracy);
+                    let _ = store.put_score(id, accuracy, self.family.name());
                 }
                 *self.discovered_count.lock().expect("count lock") += 1;
                 // Latency-tune immediately: the candidate is complete in
@@ -874,7 +916,7 @@ impl EvalContext<'_> {
                     // Journal the failure (NaN marker) so resumed runs
                     // skip this candidate instead of re-training it.
                     let _ = store.put_candidate(id, graph);
-                    let _ = store.put_score(id, f64::NAN);
+                    let _ = store.put_score(id, f64::NAN, self.family.name());
                 }
                 let _ = sender.send(SearchEvent::CandidateSkipped {
                     scenario: index,
@@ -947,6 +989,12 @@ fn run_scenario(
 
     let eval = EvalContext {
         index,
+        // A missing family is a programming error (an internal caller
+        // bypassed start()); failing loudly beats silently burning the
+        // iteration budget on a family that rejects every candidate.
+        family: scenario
+            .family
+            .expect("start() resolves a proxy family for every scenario"),
         proxy,
         devices,
         compiler,
@@ -1178,6 +1226,8 @@ mod tests {
     use syno_core::prelude::*;
     use syno_nn::TrainConfig;
 
+    /// The 1-D pooling spec PR 3 rejected at `start()`; the sequence
+    /// family now scores it.
     fn pool_scenario() -> (Arc<VarTable>, OperatorSpec) {
         let mut vars = VarTable::new();
         let h = vars.declare("H", VarKind::Primary);
@@ -1187,6 +1237,37 @@ mod tests {
         let spec = OperatorSpec::new(
             TensorShape::new(vec![Size::var(h)]),
             TensorShape::new(vec![Size::var(h).div(&Size::var(s))]),
+        );
+        (vars, spec)
+    }
+
+    /// A `[B, T, C] → [B, T, C]` sequence spec — the LM-workload analogue
+    /// of [`conv_scenario`], scored by the sequence/LM proxy family.
+    fn lm_scenario() -> (Arc<VarTable>, OperatorSpec) {
+        let mut vars = VarTable::new();
+        let b = vars.declare("B", VarKind::Primary);
+        let t = vars.declare("T", VarKind::Primary);
+        let c = vars.declare("C", VarKind::Primary);
+        let k = vars.declare("k", VarKind::Coefficient);
+        vars.push_valuation(vec![(b, 4), (t, 4), (c, 8), (k, 2)]);
+        let vars = vars.into_shared();
+        let spec = OperatorSpec::new(
+            TensorShape::new(vec![Size::var(b), Size::var(t), Size::var(c)]),
+            TensorShape::new(vec![Size::var(b), Size::var(t), Size::var(c)]),
+        );
+        (vars, spec)
+    }
+
+    /// No registered family scores rank 5.
+    fn unscorable_scenario() -> (Arc<VarTable>, OperatorSpec) {
+        let mut vars = VarTable::new();
+        let h = vars.declare("H", VarKind::Primary);
+        vars.push_valuation(vec![(h, 4)]);
+        let vars = vars.into_shared();
+        let dims = vec![Size::var(h); 5];
+        let spec = OperatorSpec::new(
+            TensorShape::new(dims.clone()),
+            TensorShape::new(dims),
         );
         (vars, spec)
     }
@@ -1356,23 +1437,114 @@ mod tests {
         assert!(report.steps >= 30 && report.steps < 40, "{}", report.steps);
     }
 
-    /// A spec the accuracy proxy cannot score (here 1-D pooling) must be
-    /// rejected at `start()` with a typed error instead of burning the
-    /// whole iteration budget on zero rewards.
+    /// A spec no proxy family can score (here rank 5) must be rejected at
+    /// `start()` with a typed error naming the scenario, every family
+    /// tried, and the rank seen — instead of burning the whole iteration
+    /// budget on zero rewards.
     #[test]
     fn unscorable_spec_is_rejected_at_start() {
-        let (vars, spec) = pool_scenario();
+        let (vars, spec) = unscorable_scenario();
         let err = SearchBuilder::new()
-            .scenario("pool", &vars, &spec)
+            .scenario("weird", &vars, &spec)
             .start()
-            .expect_err("1-D specs are unscorable and must fail fast");
+            .expect_err("rank-5 specs are unscorable and must fail fast");
         match err {
             SynoError::Proxy { reason } => {
-                assert!(reason.contains("pool"), "names the scenario: {reason}");
-                assert!(reason.contains("4-D"), "explains the limitation: {reason}");
+                assert!(reason.contains("weird"), "names the scenario: {reason}");
+                assert!(reason.contains("vision"), "names the vision family: {reason}");
+                assert!(reason.contains("sequence"), "names the sequence family: {reason}");
+                assert!(reason.contains("rank 5"), "states the rank seen: {reason}");
             }
             other => panic!("expected SynoError::Proxy, got {other:?}"),
         }
+    }
+
+    /// The `proxy_family` override is re-validated per scenario: forcing
+    /// the vision family onto a 1-D spec fails fast instead of zeroing
+    /// every reward.
+    #[test]
+    fn family_override_is_validated_against_the_spec() {
+        let (vars, spec) = pool_scenario();
+        let err = SearchBuilder::new()
+            .scenario("pool", &vars, &spec)
+            .proxy_family(syno_nn::ProxyFamilyId::Vision)
+            .start()
+            .expect_err("vision cannot score a 1-D spec");
+        assert!(matches!(err, SynoError::Proxy { .. }), "{err}");
+
+        // The matching override works like auto-detection.
+        let run = SearchBuilder::new()
+            .scenario("pool", &vars, &spec)
+            .proxy_family(syno_nn::ProxyFamilyId::Sequence)
+            .mcts(MctsConfig {
+                iterations: 3,
+                seed: 1,
+                ..MctsConfig::default()
+            })
+            .proxy(quick_proxy())
+            .start()
+            .expect("sequence override accepts the 1-D spec");
+        run.join().unwrap();
+    }
+
+    /// The headline of the family registry: the 1-D pooling spec that
+    /// PR 3's `start()` rejected now runs search end-to-end and produces
+    /// scored candidates through the sequence family.
+    #[test]
+    fn pool_scenario_now_searches_end_to_end() {
+        let (vars, spec) = pool_scenario();
+        let run = SearchBuilder::new()
+            .scenario("pool", &vars, &spec)
+            .mcts(MctsConfig {
+                iterations: 12,
+                seed: 2,
+                ..MctsConfig::default()
+            })
+            .proxy(quick_proxy())
+            .start()
+            .expect("1-D specs are scorable now");
+        let events: Vec<SearchEvent> = run.events().collect();
+        let scored: Vec<f64> = events
+            .iter()
+            .filter_map(|e| match e {
+                SearchEvent::ProxyScored { accuracy, .. } => Some(*accuracy),
+                _ => None,
+            })
+            .collect();
+        assert!(!scored.is_empty(), "pool search must score candidates");
+        assert!(
+            scored.iter().any(|&a| a > 0.0),
+            "sequence proxy must produce nonzero rewards: {scored:?}"
+        );
+        let report = run.join().unwrap();
+        assert_eq!(report.stopped, StopReason::Completed);
+        assert!(!report.candidates.is_empty());
+    }
+
+    /// Vision and LM scenarios run side by side in one multi-scenario
+    /// search, each scored by its own family.
+    #[test]
+    fn mixed_vision_and_lm_scenarios_run_concurrently() {
+        let (conv_vars, conv_spec) = conv_scenario();
+        let (lm_vars, lm_spec) = lm_scenario();
+        let report = SearchBuilder::new()
+            .scenario("conv", &conv_vars, &conv_spec)
+            .scenario("lm", &lm_vars, &lm_spec)
+            .mcts(MctsConfig {
+                iterations: 10,
+                seed: 5,
+                ..MctsConfig::default()
+            })
+            .proxy(quick_proxy())
+            .workers(2)
+            .run()
+            .unwrap();
+        let scenarios: std::collections::HashSet<usize> =
+            report.candidates.iter().map(|c| c.scenario).collect();
+        assert!(
+            scenarios.contains(&0) && scenarios.contains(&1),
+            "both families must contribute candidates: {scenarios:?}"
+        );
     }
 
     #[test]

@@ -26,6 +26,10 @@
 //! Payloads use [`syno_core::codec`] primitives. `Candidate` embeds the
 //! graph's own versioned encoding ([`syno_core::codec::encode_graph`]), so
 //! the codec's `FORMAT_VERSION` is checked again when a graph is decoded.
+//! Since codec format version 2, `ProxyScore` payloads carry the task
+//! family that produced the score; shorter legacy payloads decode with the
+//! family defaulted to `"vision"` (the only family that existed when they
+//! were written), so version-1 journals stay fully readable.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -190,6 +194,11 @@ pub enum Record {
         hash: u64,
         /// Proxy accuracy in `[0, 1]`.
         accuracy: f64,
+        /// The task family whose proxy produced the score (e.g.
+        /// `"vision"`, `"sequence"`). Records written before codec format
+        /// version 2 carry no tag and decode as `"vision"` — historically
+        /// the only family that existed.
+        family: String,
     },
     /// A tuned latency for `hash` on one device/compiler pair.
     LatencyMeasurement {
@@ -224,9 +233,14 @@ impl Record {
                 e.put_u64(*hash);
                 e.put_bytes(graph);
             }
-            Record::ProxyScore { hash, accuracy } => {
+            Record::ProxyScore {
+                hash,
+                accuracy,
+                family,
+            } => {
                 e.put_u64(*hash);
                 e.put_f64(*accuracy);
+                e.put_str(family);
             }
             Record::LatencyMeasurement {
                 hash,
@@ -257,10 +271,23 @@ impl Record {
                 hash: d.get_u64()?,
                 graph: d.get_bytes()?.to_vec(),
             },
-            RecordKind::ProxyScore => Record::ProxyScore {
-                hash: d.get_u64()?,
-                accuracy: d.get_f64()?,
-            },
+            RecordKind::ProxyScore => {
+                let hash = d.get_u64()?;
+                let accuracy = d.get_f64()?;
+                // Legacy (codec format version 1) score records end here;
+                // every score written back then came from the vision
+                // proxy, so the default tag is historically exact.
+                let family = if d.remaining() > 0 {
+                    d.get_str()?
+                } else {
+                    "vision".to_owned()
+                };
+                Record::ProxyScore {
+                    hash,
+                    accuracy,
+                    family,
+                }
+            }
             RecordKind::LatencyMeasurement => Record::LatencyMeasurement {
                 hash: d.get_u64()?,
                 device: d.get_str()?,
@@ -319,6 +346,9 @@ pub struct StoreStats {
 struct CandidateEntry {
     graph: Vec<u8>,
     accuracy: Option<f64>,
+    /// Task family that produced `accuracy` (`"vision"` for legacy
+    /// records); set with it by `ProxyScore` records.
+    family: Option<String>,
     /// `(device, compiler) → latency seconds`, latest record wins.
     latencies: HashMap<(String, String), f64>,
 }
@@ -554,8 +584,14 @@ impl Inner {
                     entry.graph = graph;
                 }
             }
-            Record::ProxyScore { hash, accuracy } => {
-                self.entry(hash).accuracy = Some(accuracy);
+            Record::ProxyScore {
+                hash,
+                accuracy,
+                family,
+            } => {
+                let entry = self.entry(hash);
+                entry.accuracy = Some(accuracy);
+                entry.family = Some(family);
             }
             Record::LatencyMeasurement {
                 hash,
@@ -658,7 +694,8 @@ impl Store {
         Ok(true)
     }
 
-    /// Journals a proxy score for `hash`.
+    /// Journals a proxy score for `hash`, tagged with the task `family`
+    /// whose proxy produced it (`"vision"`, `"sequence"`, …).
     ///
     /// By convention `NaN` marks a *journaled failure*: the candidate's
     /// proxy training failed deterministically, and consumers (the search
@@ -668,9 +705,13 @@ impl Store {
     /// # Errors
     ///
     /// [`StoreError::Io`] when the append fails.
-    pub fn put_score(&self, hash: u64, accuracy: f64) -> Result<(), StoreError> {
+    pub fn put_score(&self, hash: u64, accuracy: f64, family: &str) -> Result<(), StoreError> {
         let mut inner = self.lock();
-        let record = Record::ProxyScore { hash, accuracy };
+        let record = Record::ProxyScore {
+            hash,
+            accuracy,
+            family: family.to_owned(),
+        };
         inner.append(&record)?;
         inner.apply(record);
         Ok(())
@@ -744,6 +785,26 @@ impl Store {
     /// [`Store::put_score`]).
     pub fn score(&self, hash: u64) -> Option<f64> {
         self.lock().index.get(&hash).and_then(|e| e.accuracy)
+    }
+
+    /// The task family that produced the cached score for `hash`
+    /// (`"vision"` for legacy untagged records), or `None` when no score
+    /// is journaled.
+    pub fn score_family(&self, hash: u64) -> Option<String> {
+        self.lock().index.get(&hash).and_then(|e| e.family.clone())
+    }
+
+    /// The cached proxy accuracy for `hash` *if* it was produced by
+    /// `family` (or by a legacy record with no tag, which always matches).
+    /// One lock, no allocation — the search pipeline's recall probe; a
+    /// family mismatch reads as a miss so the caller re-evaluates.
+    pub fn score_for_family(&self, hash: u64, family: &str) -> Option<f64> {
+        let inner = self.lock();
+        let entry = inner.index.get(&hash)?;
+        if entry.family.as_deref().is_some_and(|f| f != family) {
+            return None;
+        }
+        entry.accuracy
     }
 
     /// The cached latency for `hash` on one device/compiler pair.
@@ -861,7 +922,16 @@ impl Store {
                 );
             }
             if let Some(accuracy) = entry.accuracy {
-                frame(&Record::ProxyScore { hash, accuracy }, &mut bytes);
+                frame(
+                    &Record::ProxyScore {
+                        hash,
+                        accuracy,
+                        // Legacy untagged records were vision scores; the
+                        // compacted journal makes that explicit.
+                        family: entry.family.clone().unwrap_or_else(|| "vision".to_owned()),
+                    },
+                    &mut bytes,
+                );
             }
             let mut pairs: Vec<_> = entry.latencies.iter().collect();
             pairs.sort_by(|a, b| a.0.cmp(b.0));
@@ -956,7 +1026,7 @@ mod tests {
             for (i, g) in graphs.iter().enumerate() {
                 let hash = g.content_hash();
                 assert!(store.put_candidate(hash, g).unwrap());
-                store.put_score(hash, 0.5 + i as f64 / 10.0).unwrap();
+                store.put_score(hash, 0.5 + i as f64 / 10.0, "vision").unwrap();
                 store.put_latency(hash, "mobile-cpu", "TVM", 1e-3 * (i + 1) as f64).unwrap();
             }
             store
@@ -1012,7 +1082,7 @@ mod tests {
         {
             let store = StoreBuilder::new(&dir).open().unwrap();
             store.put_candidate(h0, &graphs[0]).unwrap();
-            store.put_score(h0, 0.9).unwrap();
+            store.put_score(h0, 0.9, "vision").unwrap();
             store.put_candidate(h1, &graphs[1]).unwrap();
         }
         // Simulate a crash mid-append: chop bytes off the last record.
@@ -1084,7 +1154,7 @@ mod tests {
         }
         let h = graphs[0].content_hash();
         for i in 0..10 {
-            store.put_score(h, i as f64 / 10.0).unwrap();
+            store.put_score(h, i as f64 / 10.0, "vision").unwrap();
             store.put_latency(h, "mobile-cpu", "TVM", 1e-3 * (i + 1) as f64).unwrap();
             store
                 .put_checkpoint(&Checkpoint {
@@ -1109,7 +1179,7 @@ mod tests {
         assert_eq!(store.checkpoint("pool", 1).unwrap().iterations, 9);
         // Appending still works after the swap, and a reopen sees one
         // consistent journal.
-        store.put_score(h, 0.95).unwrap();
+        store.put_score(h, 0.95, "vision").unwrap();
         drop(store);
         let store = StoreBuilder::new(&dir).open().unwrap();
         assert_eq!(store.score(h), Some(0.95));
@@ -1136,7 +1206,7 @@ mod tests {
         {
             let store = StoreBuilder::new(&dir).open().unwrap();
             store.put_candidate(h, &graphs[0]).unwrap();
-            store.put_score(h, f64::NAN).unwrap();
+            store.put_score(h, f64::NAN, "sequence").unwrap();
             assert!(store.score(h).unwrap().is_nan());
             assert_eq!(store.stats().scored, 0, "failure markers are not scores");
             store.compact().unwrap();
@@ -1159,12 +1229,81 @@ mod tests {
         assert_eq!(store.recall_score(h), None);
         assert_eq!(store.stats().cache_hits, 0);
         store.put_candidate(h, &graphs[0]).unwrap();
-        store.put_score(h, 0.7).unwrap();
+        store.put_score(h, 0.7, "vision").unwrap();
         assert_eq!(store.recall_score(h), Some(0.7));
         assert_eq!(store.recall_score(h), Some(0.7));
         assert_eq!(store.stats().cache_hits, 2);
         assert_eq!(store.score(h), Some(0.7), "probe does not count");
         assert_eq!(store.stats().cache_hits, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Family tags round-trip across reopen and compaction — the store
+    /// side of the codec format-version-2 change.
+    #[test]
+    fn score_family_tags_survive_reopen_and_compaction() {
+        let dir = temp_dir("family");
+        let graphs = pool_graphs(2);
+        let (h0, h1) = (graphs[0].content_hash(), graphs[1].content_hash());
+        {
+            let store = StoreBuilder::new(&dir).open().unwrap();
+            store.put_candidate(h0, &graphs[0]).unwrap();
+            store.put_score(h0, 0.6, "sequence").unwrap();
+            store.put_candidate(h1, &graphs[1]).unwrap();
+            store.put_score(h1, 0.4, "vision").unwrap();
+        }
+        let store = StoreBuilder::new(&dir).open().unwrap();
+        assert_eq!(store.score_family(h0).as_deref(), Some("sequence"));
+        assert_eq!(store.score_family(h1).as_deref(), Some("vision"));
+        assert_eq!(store.score(h0), Some(0.6));
+        store.compact().unwrap();
+        drop(store);
+        let store = StoreBuilder::new(&dir).open().unwrap();
+        assert_eq!(store.score_family(h0).as_deref(), Some("sequence"));
+        assert_eq!(store.score(h1), Some(0.4));
+        assert!(store.score_family(0xdead).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A journal written before the family tag existed (16-byte
+    /// `ProxyScore` payloads) must load, defaulting the family to
+    /// `"vision"` — old journals stay readable across the codec bump.
+    #[test]
+    fn legacy_untagged_score_records_decode_as_vision() {
+        let dir = temp_dir("legacy");
+        let graphs = pool_graphs(1);
+        let hash = graphs[0].content_hash();
+        {
+            let store = StoreBuilder::new(&dir).open().unwrap();
+            store.put_candidate(hash, &graphs[0]).unwrap();
+        }
+        // Append a legacy-framed score record by hand: hash + accuracy,
+        // no family string — exactly what pre-version-2 builds wrote.
+        let mut e = Encoder::new();
+        e.put_u64(hash);
+        e.put_f64(0.8125);
+        let payload = e.into_bytes();
+        let tag = RecordKind::ProxyScore.tag();
+        let mut frame = Vec::new();
+        frame.push(tag);
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        frame.extend_from_slice(&frame_checksum(tag, &payload).to_le_bytes());
+        let journal = Store::journal_path(&dir);
+        let mut file = OpenOptions::new().append(true).open(&journal).unwrap();
+        file.write_all(&frame).unwrap();
+        drop(file);
+
+        let store = StoreBuilder::new(&dir).open().unwrap();
+        assert_eq!(store.stats().recovered_bytes, 0, "legacy frame is valid");
+        assert_eq!(store.score(hash), Some(0.8125));
+        assert_eq!(store.score_family(hash).as_deref(), Some("vision"));
+        // Compaction rewrites it with an explicit tag and it still reads.
+        store.compact().unwrap();
+        drop(store);
+        let store = StoreBuilder::new(&dir).open().unwrap();
+        assert_eq!(store.score(hash), Some(0.8125));
+        assert_eq!(store.score_family(hash).as_deref(), Some("vision"));
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -1179,7 +1318,7 @@ mod tests {
                 scope.spawn(move || {
                     let h = g.content_hash();
                     store.put_candidate(h, g).unwrap();
-                    store.put_score(h, 0.5).unwrap();
+                    store.put_score(h, 0.5, "vision").unwrap();
                 });
             }
         });

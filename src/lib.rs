@@ -51,6 +51,7 @@ mod session;
 
 pub use session::{Session, SessionBuilder};
 pub use syno_core::error::{SynoError, SynthError};
+pub use syno_nn::ProxyFamilyId;
 pub use syno_search::{
     Budget, CancelToken, Candidate, SearchBuilder, SearchEvent, SearchReport, SearchRun,
     StopReason,

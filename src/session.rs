@@ -30,7 +30,7 @@ use syno_core::size::Size;
 use syno_core::spec::{OperatorSpec, TensorShape};
 use syno_core::synth::{Enumerator, SynthConfig, Synthesis};
 use syno_core::var::{VarId, VarKind, VarTable};
-use syno_nn::ProxyConfig;
+use syno_nn::{ProxyConfig, ProxyFamilyId};
 use syno_search::{MctsConfig, SearchBuilder};
 use syno_store::{Store, StoreBuilder, StoreStats};
 use syno_compiler::{CompilerKind, Device};
@@ -47,6 +47,7 @@ pub struct SessionBuilder {
     eval_workers: Option<usize>,
     mcts: Option<MctsConfig>,
     proxy: Option<ProxyConfig>,
+    proxy_family: Option<ProxyFamilyId>,
     store_path: Option<PathBuf>,
 }
 
@@ -114,6 +115,16 @@ impl SessionBuilder {
     /// Default accuracy-proxy settings for search runs.
     pub fn proxy(mut self, config: ProxyConfig) -> Self {
         self.proxy = Some(config);
+        self
+    }
+
+    /// Forces search runs onto one proxy family instead of auto-detecting
+    /// per scenario spec (4-D specs → the vision proxy, rank-1/2/3
+    /// sequence specs → the sequence/LM proxy). Each scenario is still
+    /// validated against the forced family at `start()`; see
+    /// [`SearchBuilder::proxy_family`].
+    pub fn proxy_family(mut self, family: ProxyFamilyId) -> Self {
+        self.proxy_family = Some(family);
         self
     }
 
@@ -191,6 +202,7 @@ impl SessionBuilder {
             eval_workers: self.eval_workers.unwrap_or(1),
             mcts: self.mcts.unwrap_or_default(),
             proxy: self.proxy.unwrap_or_default(),
+            proxy_family: self.proxy_family,
             store,
         })
     }
@@ -218,6 +230,7 @@ pub struct Session {
     eval_workers: usize,
     mcts: MctsConfig,
     proxy: ProxyConfig,
+    proxy_family: Option<ProxyFamilyId>,
     store: Option<Arc<Store>>,
 }
 
@@ -290,13 +303,16 @@ impl Session {
     /// returned builder. When the session has a [store](SessionBuilder::store)
     /// attached, the builder journals to (and recalls from) it.
     pub fn search(&self) -> SearchBuilder {
-        let builder = SearchBuilder::new()
+        let mut builder = SearchBuilder::new()
             .devices(self.devices.clone())
             .compiler(self.compiler)
             .workers(self.workers)
             .eval_workers(self.eval_workers)
             .mcts(self.mcts)
             .proxy(self.proxy);
+        if let Some(family) = self.proxy_family {
+            builder = builder.proxy_family(family);
+        }
         match &self.store {
             Some(store) => builder.store(Arc::clone(store)),
             None => builder,

@@ -143,16 +143,31 @@ fn unscorable_spec_fails_fast_with_typed_error() {
         .coefficient("s", 2)
         .build()
         .expect("session builds");
-    // 1-D pooling enumerates fine…
+    // 1-D pooling enumerates fine, and since the task-family registry it
+    // also *scores* fine (sequence family) — `start()` accepts it now.
     let spec = session.spec(&["H"], &["H/s"]).unwrap();
     assert!(session.synthesis(&spec, 3).next().is_some());
-    // …but the vision proxy cannot score it, so search refuses to start
-    // instead of burning the iteration budget on zero rewards.
-    let err = session
+    let run = session
         .scenario("pool", &spec)
         .start()
+        .expect("the sequence family scores 1-D specs");
+    run.cancel();
+    run.join().unwrap();
+    // A spec no family claims (rank 5) still fails fast with a typed
+    // error instead of burning the iteration budget on zero rewards.
+    let five = session.spec(&["H"; 5], &["H"; 5]).unwrap();
+    let err = session
+        .scenario("weird", &five)
+        .start()
         .expect_err("must fail fast");
-    assert!(matches!(err, SynoError::Proxy { .. }), "{err}");
+    match err {
+        SynoError::Proxy { reason } => {
+            assert!(reason.contains("vision") && reason.contains("sequence"),
+                "names the families tried: {reason}");
+            assert!(reason.contains("rank 5"), "states the rank: {reason}");
+        }
+        other => panic!("expected SynoError::Proxy, got {other:?}"),
+    }
 }
 
 #[test]
