@@ -13,8 +13,16 @@
 //!   assertions — the default for humans running it locally).
 //! * `BENCH_SEARCH_ITERATIONS` (default 30), `BENCH_SEARCH_PROXY_STEPS`
 //!   (default 6), `BENCH_SEARCH_WORKERS` (default 4), `BENCH_SEARCH_OUT`
-//!   (default `BENCH_search.json`).
+//!   (default `BENCH_search.json`), `BENCH_PROXY_TRAIN_STEPS` (default
+//!   30), `BENCH_PROXY_KERNEL_ITERS` (default 50).
+//!
+//! Every mode also runs the `proxy_train` section — single-thread
+//! train-step throughput of the stride-compiled engine vs the naive
+//! reference engine, plus the kernel-interpreter comparison. The two
+//! engines must produce bit-identical scores; `determinism` (and `full`)
+//! exit nonzero when they do not.
 
+use syno_bench::proxy_train::{proxy_train_data, ProxyTrainData};
 use syno_bench::search_pipeline::{search_pipeline_data, SearchPipelineData};
 
 fn env_usize(name: &str, default: usize) -> usize {
@@ -24,7 +32,33 @@ fn env_usize(name: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
-fn to_json(data: &SearchPipelineData) -> String {
+fn proxy_train_json(data: &ProxyTrainData) -> String {
+    format!(
+        concat!(
+            ",\n  \"proxy_train\": {{ ",
+            "\"spec\": \"conv student [N=8, Cin=3, Cout=4, H=W=8, k=3], batch 8\", ",
+            "\"steps\": {}, ",
+            "\"compiled\": {{ \"wall_secs\": {:.4}, \"steps_per_sec\": {:.4} }}, ",
+            "\"reference\": {{ \"wall_secs\": {:.4}, \"steps_per_sec\": {:.4} }}, ",
+            "\"speedup\": {:.4}, \"scores_identical\": {}, ",
+            "\"kernel\": {{ \"iters\": {}, \"compiled_secs\": {:.4}, ",
+            "\"reference_secs\": {:.4}, \"speedup\": {:.4} }} }}"
+        ),
+        data.steps,
+        data.compiled.wall_secs,
+        data.compiled.steps_per_sec,
+        data.reference.wall_secs,
+        data.reference.steps_per_sec,
+        data.speedup,
+        data.scores_identical,
+        data.kernel_iters,
+        data.kernel_compiled_secs,
+        data.kernel_reference_secs,
+        data.kernel_speedup,
+    )
+}
+
+fn to_json(data: &SearchPipelineData, proxy: &ProxyTrainData) -> String {
     let mut out = format!(
         concat!(
             "{{\n",
@@ -75,6 +109,7 @@ fn to_json(data: &SearchPipelineData) -> String {
             warm.identical_sets,
         ));
     }
+    out.push_str(&proxy_train_json(proxy));
     out.push_str("\n}\n");
     out
 }
@@ -94,6 +129,8 @@ fn main() {
     let iterations = env_usize("BENCH_SEARCH_ITERATIONS", 30);
     let proxy_steps = env_usize("BENCH_SEARCH_PROXY_STEPS", 6);
     let workers = env_usize("BENCH_SEARCH_WORKERS", 4);
+    let train_steps = env_usize("BENCH_PROXY_TRAIN_STEPS", 30);
+    let kernel_iters = env_usize("BENCH_PROXY_KERNEL_ITERS", 50);
     let out = std::env::var("BENCH_SEARCH_OUT").unwrap_or_else(|_| "BENCH_search.json".into());
 
     eprintln!(
@@ -101,6 +138,11 @@ fn main() {
          serial vs eval_workers({workers}) ..."
     );
     let data = search_pipeline_data(iterations, proxy_steps, workers, with_multi, with_warm);
+    eprintln!(
+        "proxy_train bench: {train_steps} train steps, compiled vs reference engine, \
+         {kernel_iters} kernel executions ..."
+    );
+    let proxy = proxy_train_data(train_steps, kernel_iters);
 
     println!("mode        eval_workers  wall_secs  candidates  cand/sec");
     for sample in [&data.serial, &data.pipelined] {
@@ -137,7 +179,22 @@ fn main() {
         );
     }
 
+    println!(
+        "proxy_train: compiled {:.2} steps/sec vs reference {:.2} steps/sec ({:.2}x), \
+         scores identical: {}; kernel engine {:.2}x over tree-walk interpreter",
+        proxy.compiled.steps_per_sec,
+        proxy.reference.steps_per_sec,
+        proxy.speedup,
+        proxy.scores_identical,
+        proxy.kernel_speedup,
+    );
+
     if asserting {
+        assert!(
+            proxy.scores_identical,
+            "bit-identity contract violated: compiled and reference engines \
+             produced different scores"
+        );
         assert!(
             data.identical_sets,
             "determinism contract violated: serial and pipelined candidate sets differ"
@@ -158,7 +215,7 @@ fn main() {
     }
 
     if write_json {
-        let json = to_json(&data);
+        let json = to_json(&data, &proxy);
         std::fs::write(&out, &json).expect("write bench json");
         eprintln!("wrote {out}");
     }

@@ -1,0 +1,205 @@
+//! Train-step throughput of the execution engine — the `proxy_train`
+//! section of `BENCH_search.json`.
+//!
+//! Candidate evaluation is dominated by proxy training (§7.2), and proxy
+//! training is dominated by the tensor runtime's inner loops. This bench
+//! trains the same conv student twice on the same task:
+//!
+//! * **compiled** — the stride-compiled einsum engine with tape/buffer
+//!   reuse ([`Tape::new`](syno_tensor::Tape::new) + [`syno_nn::train_step_on`] in a reused-tape loop);
+//! * **reference** — the pre-compilation engine kept for differential
+//!   testing ([`Tape::new_reference`](syno_tensor::Tape::new_reference): naive per-element einsum, fresh
+//!   allocations every op).
+//!
+//! Both runs must produce **bit-identical** final scores — the bench
+//! doubles as a determinism probe (`scores_identical` gates in the CI
+//! determinism mode). A second sub-section times the loop-nest kernel
+//! engines on the lowered conv: stride-compiled [`Kernel::execute`](syno_ir::Kernel::execute) vs the
+//! tree-walking [`Kernel::execute_reference`](syno_ir::Kernel::execute_reference), also bit-checked.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+use syno_core::ops;
+use syno_core::var::{VarKind, VarTable};
+use syno_ir::lower_optimized;
+use syno_nn::{
+    accuracy_on, train_step_on, GlobalAvgPool, LinearLayer, Model, OperatorLayer, ReluLayer, Sgd,
+    TrainConfig, VisionTask,
+};
+use syno_tensor::{init, Tape};
+
+/// One engine's timing.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineSample {
+    /// Wall-clock seconds for the whole training run.
+    pub wall_secs: f64,
+    /// Train steps per second.
+    pub steps_per_sec: f64,
+    /// Final held-out accuracy bits (for the identity check).
+    pub score_bits: u32,
+}
+
+/// The `proxy_train` section: compiled vs reference train-step throughput
+/// plus the kernel-interpreter comparison.
+#[derive(Clone, Copy, Debug)]
+pub struct ProxyTrainData {
+    /// Train steps per run.
+    pub steps: usize,
+    /// The stride-compiled engine.
+    pub compiled: EngineSample,
+    /// The naive reference engine (pre-PR behavior).
+    pub reference: EngineSample,
+    /// Train-step throughput speedup, compiled over reference.
+    pub speedup: f64,
+    /// Whether both engines produced bit-identical final scores — the
+    /// bit-identity contract of the execution engine.
+    pub scores_identical: bool,
+    /// Wall-clock seconds for `kernel_iters` compiled kernel executions.
+    pub kernel_compiled_secs: f64,
+    /// Wall-clock seconds for `kernel_iters` reference-interpreter runs.
+    pub kernel_reference_secs: f64,
+    /// Kernel-engine speedup, compiled over reference interpreter.
+    pub kernel_speedup: f64,
+    /// Kernel executions timed per engine.
+    pub kernel_iters: usize,
+}
+
+fn conv_graph() -> syno_core::graph::PGraph {
+    let mut vars = VarTable::new();
+    let n = vars.declare("N", VarKind::Primary);
+    let cin = vars.declare("Cin", VarKind::Primary);
+    let cout = vars.declare("Cout", VarKind::Primary);
+    let h = vars.declare("H", VarKind::Primary);
+    let w = vars.declare("W", VarKind::Primary);
+    let k = vars.declare("k", VarKind::Coefficient);
+    vars.push_valuation(vec![(n, 8), (cin, 3), (cout, 4), (h, 8), (w, 8), (k, 3)]);
+    let vars = vars.into_shared();
+    ops::conv2d(&vars, n, cin, cout, h, w, k).expect("conv fixture builds")
+}
+
+fn student(seed: u64) -> Model {
+    let graph = conv_graph();
+    let layer = OperatorLayer::new(graph, 0).expect("conv layer realizes");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut model = Model::new();
+    model.push(Box::new(layer), &mut rng);
+    model.push(Box::new(ReluLayer), &mut rng);
+    model.push(Box::new(GlobalAvgPool), &mut rng);
+    model.push(Box::new(LinearLayer::new(4, 4)), &mut rng);
+    model
+}
+
+fn timed_train(tape: &mut Tape, steps: usize) -> EngineSample {
+    let task = VisionTask::new(1234, 3, 8, 4);
+    let config = TrainConfig {
+        steps,
+        batch: 8,
+        eval_batches: 2,
+        ..TrainConfig::default()
+    };
+    // Same init seed for both engines: identical models, identical task
+    // stream, so the scores must match bit-for-bit.
+    let mut model = student(99);
+    let mut opt = Sgd::new(&model, config.lr, config.momentum, config.weight_decay);
+    // Time the train steps only (the measured quantity is train-step
+    // throughput); the held-out accuracy runs untimed afterwards, purely
+    // for the bit-identity check.
+    let started = Instant::now();
+    for step in 0..config.steps {
+        let (images, labels) = task.batch(step as u64, config.batch);
+        train_step_on(tape, &mut model, &mut opt, &images, &labels);
+    }
+    let wall_secs = started.elapsed().as_secs_f64();
+    let mut correct_frac = 0.0;
+    for i in 0..config.eval_batches {
+        let (images, labels) = task.batch(u64::MAX / 2 - i as u64, config.batch);
+        correct_frac += accuracy_on(tape, &model, &images, &labels);
+    }
+    let acc = correct_frac / config.eval_batches.max(1) as f32;
+    EngineSample {
+        wall_secs,
+        steps_per_sec: if wall_secs > 0.0 {
+            steps as f64 / wall_secs
+        } else {
+            0.0
+        },
+        score_bits: acc.to_bits(),
+    }
+}
+
+/// Measures both engines for `steps` train steps and `kernel_iters` kernel
+/// executions each.
+pub fn proxy_train_data(steps: usize, kernel_iters: usize) -> ProxyTrainData {
+    // Reference first, compiled second: if anything leaks between runs the
+    // ordering disadvantages the compiled engine, not the claim.
+    let reference = timed_train(&mut Tape::new_reference(), steps);
+    let compiled = timed_train(&mut Tape::new(), steps);
+
+    // Kernel-interpreter comparison on the lowered conv.
+    let graph = conv_graph();
+    let kernel = lower_optimized(&graph, 0).expect("conv lowers");
+    let mut rng = StdRng::seed_from_u64(7);
+    let input = init::uniform(&mut rng, &kernel.input_shape, -1.0, 1.0);
+    let weights: Vec<_> = kernel
+        .weight_shapes
+        .iter()
+        .map(|s| init::uniform(&mut rng, s, -1.0, 1.0))
+        .collect();
+    let started = Instant::now();
+    let mut slow_out = None;
+    for _ in 0..kernel_iters {
+        slow_out = Some(kernel.execute_reference(&input, &weights));
+    }
+    let kernel_reference_secs = started.elapsed().as_secs_f64();
+    let compiled_kernel = kernel.compile();
+    let started = Instant::now();
+    let mut fast_out = None;
+    for _ in 0..kernel_iters {
+        fast_out = Some(compiled_kernel.execute(&input, &weights));
+    }
+    let kernel_compiled_secs = started.elapsed().as_secs_f64();
+    let kernels_identical = match (fast_out, slow_out) {
+        (Some(f), Some(s)) => {
+            f.shape() == s.shape()
+                && f.data()
+                    .iter()
+                    .zip(s.data())
+                    .all(|(a, b)| a.to_bits() == b.to_bits())
+        }
+        _ => kernel_iters == 0,
+    };
+
+    ProxyTrainData {
+        steps,
+        compiled,
+        reference,
+        speedup: if compiled.wall_secs > 0.0 {
+            reference.wall_secs / compiled.wall_secs
+        } else {
+            0.0
+        },
+        scores_identical: compiled.score_bits == reference.score_bits && kernels_identical,
+        kernel_compiled_secs,
+        kernel_reference_secs,
+        kernel_speedup: if kernel_compiled_secs > 0.0 {
+            kernel_reference_secs / kernel_compiled_secs
+        } else {
+            0.0
+        },
+        kernel_iters,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engines_agree_bitwise() {
+        let data = proxy_train_data(3, 2);
+        assert!(data.scores_identical, "engines diverged");
+        assert!(data.compiled.steps_per_sec > 0.0);
+        assert!(data.reference.steps_per_sec > 0.0);
+    }
+}

@@ -122,8 +122,8 @@ impl ShapeExecutor {
 impl Executor for ShapeExecutor {
     type Handle = usize;
 
-    fn shape(&self, h: usize) -> Vec<usize> {
-        self.shapes[h].clone()
+    fn shape(&self, h: usize) -> &[usize] {
+        &self.shapes[h]
     }
     fn reshape(&mut self, h: usize, shape: &[usize]) -> usize {
         // Reshape of a contiguous tensor is free (a view).

@@ -67,8 +67,10 @@ pub trait Executor {
     /// Handle to a tensor value.
     type Handle: Copy;
 
-    /// Shape of a handle.
-    fn shape(&self, h: Self::Handle) -> Vec<usize>;
+    /// Shape of a handle, borrowed from the executor — implementations
+    /// return their stored shape directly instead of cloning a `Vec` per
+    /// call (the eager walk queries shapes at every step).
+    fn shape(&self, h: Self::Handle) -> &[usize];
     /// Reinterpret shape.
     fn reshape(&mut self, h: Self::Handle, shape: &[usize]) -> Self::Handle;
     /// Permute axes.
@@ -87,10 +89,15 @@ pub trait Executor {
     fn einsum(&mut self, spec: &str, inputs: &[Self::Handle]) -> Self::Handle;
 }
 
-/// Plain-tensor executor.
+/// Plain-tensor executor with a scratch-buffer pool and a cached einsum
+/// engine: [`TensorExecutor::reset`] reclaims every value buffer while
+/// keeping the compiled plans, so repeated executions of the same operator
+/// stop allocating after the first.
 #[derive(Debug, Default)]
 pub struct TensorExecutor {
     values: Vec<Tensor>,
+    pool: syno_tensor::ScratchPool,
+    engine: syno_tensor::EinsumEngine,
 }
 
 impl TensorExecutor {
@@ -109,45 +116,57 @@ impl TensorExecutor {
     pub fn tensor(&self, h: usize) -> &Tensor {
         &self.values[h]
     }
+
+    /// Drops all values, recycling their buffers for the next execution;
+    /// compiled einsum plans survive.
+    pub fn reset(&mut self) {
+        let TensorExecutor { values, pool, .. } = self;
+        for t in values.drain(..) {
+            pool.recycle(t);
+        }
+    }
 }
 
 impl Executor for TensorExecutor {
     type Handle = usize;
 
-    fn shape(&self, h: usize) -> Vec<usize> {
-        self.values[h].shape().to_vec()
+    fn shape(&self, h: usize) -> &[usize] {
+        self.values[h].shape()
     }
     fn reshape(&mut self, h: usize, shape: &[usize]) -> usize {
-        let t = ops::reshape(&self.values[h], shape);
+        let t = ops::reshape_in(&mut self.pool, &self.values[h], shape);
         self.insert(t)
     }
     fn permute(&mut self, h: usize, perm: &[usize]) -> usize {
-        let t = ops::permute(&self.values[h], perm);
+        let t = ops::permute_in(&mut self.pool, &self.values[h], perm);
         self.insert(t)
     }
     fn unfold(&mut self, h: usize, axis: usize, k: usize) -> usize {
-        let t = ops::unfold(&self.values[h], axis, k);
+        let t = ops::unfold_in(&mut self.pool, &self.values[h], axis, k);
         self.insert(t)
     }
     fn roll(&mut self, h: usize, axis: usize, amount: i64) -> usize {
-        let t = ops::roll(&self.values[h], axis, amount);
+        let t = ops::roll_in(&mut self.pool, &self.values[h], axis, amount);
         self.insert(t)
     }
     fn strided(&mut self, h: usize, axis: usize, s: usize) -> usize {
-        let t = ops::strided(&self.values[h], axis, s);
+        let t = ops::strided_in(&mut self.pool, &self.values[h], axis, s);
         self.insert(t)
     }
     fn repeat(&mut self, h: usize, axis: usize, times: usize) -> usize {
-        let t = ops::repeat(&self.values[h], axis, times);
+        let t = ops::repeat_in(&mut self.pool, &self.values[h], axis, times);
         self.insert(t)
     }
     fn sum_axis(&mut self, h: usize, axis: usize) -> usize {
-        let t = ops::sum_axis(&self.values[h], axis);
+        let t = ops::sum_axis_in(&mut self.pool, &self.values[h], axis);
         self.insert(t)
     }
     fn einsum(&mut self, spec: &str, inputs: &[usize]) -> usize {
-        let tensors: Vec<&Tensor> = inputs.iter().map(|&h| &self.values[h]).collect();
-        let t = syno_tensor::einsum(spec, &tensors).expect("eager einsum shapes are consistent");
+        let TensorExecutor { values, pool, engine } = self;
+        let tensors: Vec<&Tensor> = inputs.iter().map(|&h| &values[h]).collect();
+        let t = engine
+            .einsum(spec, &tensors, pool)
+            .expect("eager einsum shapes are consistent");
         self.insert(t)
     }
 }
@@ -168,8 +187,8 @@ impl<'a> TapeExecutor<'a> {
 impl Executor for TapeExecutor<'_> {
     type Handle = Var;
 
-    fn shape(&self, h: Var) -> Vec<usize> {
-        self.tape.value(h).shape().to_vec()
+    fn shape(&self, h: Var) -> &[usize] {
+        self.tape.value(h).shape()
     }
     fn reshape(&mut self, h: Var, shape: &[usize]) -> Var {
         self.tape.reshape(h, shape)
@@ -297,7 +316,7 @@ pub fn lower_eager<E: Executor>(
         .iter()
         .map(|&v| v as usize)
         .collect();
-    if exec.shape(input) != want_input {
+    if exec.shape(input) != want_input.as_slice() {
         return Err(EagerError::ShapeMismatch("input"));
     }
 
@@ -324,7 +343,7 @@ pub fn lower_eager<E: Executor>(
                 let pos = axis_of(&axes, product)?;
                 let g = eval(graph.coord_expr(*lhs))?;
                 let b = eval(graph.coord_expr(*rhs))?;
-                let mut shape = exec.shape(current);
+                let mut shape = exec.shape(current).to_vec();
                 shape.splice(pos..=pos, [g, b]);
                 current = exec.reshape(current, &shape);
                 axes.splice(pos..=pos, [*lhs, *rhs]);
@@ -345,7 +364,7 @@ pub fn lower_eager<E: Executor>(
                     axes = order.iter().map(|&i| axes[i]).collect();
                 }
                 let qpos = axis_of(&axes, q)?;
-                let mut shape = exec.shape(current);
+                let mut shape = exec.shape(current).to_vec();
                 let merged = shape[qpos] * shape[qpos + 1];
                 shape.splice(qpos..=qpos + 1, [merged]);
                 current = exec.reshape(current, &shape);

@@ -128,12 +128,31 @@ impl Kernel {
             .sum()
     }
 
-    /// Executes the kernel on concrete tensors.
+    /// Compiles the kernel's index expressions into stride programs for
+    /// repeated execution (see [`crate::plan`]).
+    pub fn compile(&self) -> crate::plan::CompiledKernel<'_> {
+        crate::plan::CompiledKernel::new(self)
+    }
+
+    /// Executes the kernel on concrete tensors via the stride-compiled
+    /// engine (bit-identical to [`Kernel::execute_reference`]).
     ///
     /// # Panics
     ///
     /// Panics when tensor shapes disagree with the kernel's declared shapes.
     pub fn execute(&self, input: &Tensor, weights: &[Tensor]) -> Tensor {
+        self.compile().execute(input, weights)
+    }
+
+    /// Executes the kernel with the tree-walking reference interpreter:
+    /// every index expression is re-evaluated per element through
+    /// [`ExprArena::eval`]. Kept verbatim as the ground truth the compiled
+    /// engine is differentially tested against.
+    ///
+    /// # Panics
+    ///
+    /// Panics when tensor shapes disagree with the kernel's declared shapes.
+    pub fn execute_reference(&self, input: &Tensor, weights: &[Tensor]) -> Tensor {
         assert_eq!(input.shape(), &self.input_shape[..], "input shape");
         assert_eq!(weights.len(), self.weight_shapes.len(), "weight count");
         for (w, s) in weights.iter().zip(&self.weight_shapes) {

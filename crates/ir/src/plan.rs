@@ -1,0 +1,508 @@
+//! Stride-compiled execution of lowered kernels.
+//!
+//! The reference interpreter in [`crate::kernel`] re-walks each operand's
+//! [`ExprArena`] index-expression tree for **every element** of every stage
+//! — a recursive descent with a symbolic [`Size`](syno_core::size::Size)
+//! evaluation at each node. This module compiles each [`Stage`] once into a
+//! flat program:
+//!
+//! * every expression node becomes one instruction over an `i64` register
+//!   file, with all symbolic sizes evaluated to constants at compile time;
+//! * every instruction carries a *level* — one past the deepest loop
+//!   (spatial then reduction, in interpreter order) it depends on — and the
+//!   instruction list is sorted by level, so when loop `d` ticks only the
+//!   suffix `first_at_level[d + 1]..` is re-evaluated (the "incremental per
+//!   loop level" evaluation);
+//! * `Unfold` clips become per-register poison flags that propagate through
+//!   dependent instructions, exactly mirroring the `Option` threading of
+//!   [`ExprArena::eval`];
+//! * [`Stage::guards`] whose registers depend only on spatial loops are
+//!   **hoisted**: they are checked once per output element, skipping the
+//!   entire reduction nest (which would have contributed zero anyway).
+//!
+//! Iteration order — and therefore FP summation order — is identical to the
+//! reference interpreter, so compiled and interpreted execution are
+//! **bit-identical**; the differential test suite pins this. A stage whose
+//! expressions cannot be compiled (an atom outside the stage's loops, which
+//! a well-formed lowering never produces) falls back to the reference
+//! interpreter for the whole kernel.
+
+use crate::kernel::{Kernel, OperandRef, Stage};
+use syno_core::expr::{ExprArena, ExprId, ExprNode};
+use syno_tensor::Tensor;
+
+use std::collections::HashMap;
+
+/// One compiled expression node. `dst`/`src` index the stage's register
+/// file; all block/stride/window sizes are pre-evaluated constants.
+#[derive(Clone, Copy, Debug)]
+enum Instr {
+    /// `r[dst] = block * r[lhs] + r[rhs]`.
+    Affine { dst: usize, lhs: usize, rhs: usize, block: i64 },
+    /// `r[dst] = r[src].div_euclid(block)`.
+    Div { dst: usize, src: usize, block: i64 },
+    /// `r[dst] = r[src].rem_euclid(block)`.
+    Mod { dst: usize, src: usize, block: i64 },
+    /// `r[dst] = (r[src] + 1).rem_euclid(modulus)`.
+    Shift { dst: usize, src: usize, modulus: i64 },
+    /// `r[dst] = factor * r[src]`.
+    Mul { dst: usize, src: usize, factor: i64 },
+    /// `r[dst] = r[base] + r[window] - half`, poisoned outside `[0, extent)`.
+    Unfold {
+        dst: usize,
+        base: usize,
+        window: usize,
+        half: i64,
+        extent: i64,
+    },
+    /// A size failed to evaluate at compile time: the register is always
+    /// poisoned (the reference interpreter's per-element `None`).
+    Poison { dst: usize },
+}
+
+/// One axis of one operand: which register indexes it, the axis extent to
+/// bounds-check against, and the row-major stride to scale by.
+#[derive(Clone, Copy, Debug)]
+struct AxisRef {
+    reg: usize,
+    dim: i64,
+    stride: usize,
+}
+
+/// A compiled operand: its data source plus per-axis access program.
+#[derive(Clone, Debug)]
+struct OperandAccess {
+    source: OperandRef,
+    axes: Vec<AxisRef>,
+}
+
+/// The compiled program for one [`Stage`].
+#[derive(Clone, Debug)]
+struct StageProgram {
+    /// Spatial extents (the stage buffer shape).
+    spatial_dims: Vec<usize>,
+    /// Reduction extents.
+    reduce_dims: Vec<usize>,
+    /// Register count; registers `0..n_loops` are the loop counters
+    /// (spatial then reduction, interpreter order).
+    n_regs: usize,
+    /// Instructions sorted ascending by level.
+    instrs: Vec<Instr>,
+    /// `first_at_level[d]`: index of the first instruction at level ≥ `d`.
+    /// Levels run `0..=n_loops`; level `d` means "depends on loop `d − 1`".
+    first_at_level: Vec<usize>,
+    /// Compiled operand accesses.
+    operands: Vec<OperandAccess>,
+    /// Guard registers depending only on spatial loops — checked once per
+    /// output element, skipping the whole reduction nest (the hoist).
+    spatial_guards: Vec<usize>,
+    /// Guard registers that bind reduction loops — checked per reduction
+    /// point, as the interpreter does.
+    reduce_guards: Vec<usize>,
+}
+
+/// A kernel compiled for repeated execution.
+///
+/// Built by [`Kernel::compile`]; execution is bit-identical to
+/// [`Kernel::execute_reference`].
+#[derive(Clone, Debug)]
+pub struct CompiledKernel<'k> {
+    kernel: &'k Kernel,
+    /// `None` when some stage could not be compiled — execution falls back
+    /// to the reference interpreter.
+    stages: Option<Vec<StageProgram>>,
+}
+
+struct StageCompiler<'a> {
+    arena: &'a ExprArena,
+    kernel: &'a Kernel,
+    /// Atom index → loop register, for atoms bound by this stage's loops.
+    atom_reg: HashMap<usize, usize>,
+    /// Memoized expression registers (expressions are hash-consed, so one
+    /// register per distinct subexpression per stage).
+    expr_reg: HashMap<ExprId, usize>,
+    /// Level per register (`0` = loop-invariant).
+    reg_level: Vec<usize>,
+    /// Emitted instructions with their levels, in postorder.
+    emitted: Vec<(usize, Instr)>,
+    n_loops: usize,
+}
+
+impl<'a> StageCompiler<'a> {
+    fn new(kernel: &'a Kernel, stage: &Stage) -> Self {
+        let mut atom_reg = HashMap::new();
+        let n_loops = stage.loops.len() + stage.reduce.len();
+        for (j, l) in stage.loops.iter().chain(&stage.reduce).enumerate() {
+            atom_reg.insert(l.atom.index(), j);
+        }
+        StageCompiler {
+            arena: &kernel.arena,
+            kernel,
+            atom_reg,
+            expr_reg: HashMap::new(),
+            // Loop-counter registers: register j is loop j, level j + 1.
+            reg_level: (1..=n_loops).collect(),
+            emitted: Vec::new(),
+            n_loops,
+        }
+    }
+
+    fn eval_size(&self, size: &syno_core::size::Size) -> Option<i64> {
+        size.eval(&self.kernel.vars, self.kernel.valuation)
+            .map(|v| v as i64)
+    }
+
+    fn fresh(&mut self, level: usize) -> usize {
+        self.reg_level.push(level);
+        self.reg_level.len() - 1
+    }
+
+    /// Compiles `expr`, returning its register, or `None` when the
+    /// expression references an atom outside the stage's loops (fallback).
+    fn compile_expr(&mut self, expr: ExprId) -> Option<usize> {
+        if let Some(&reg) = self.expr_reg.get(&expr) {
+            return Some(reg);
+        }
+        let reg = match *self.arena.node(expr) {
+            ExprNode::Atom(a) => *self.atom_reg.get(&a.index())?,
+            ExprNode::Affine { lhs, rhs, ref block } => {
+                let block = block.clone();
+                let l = self.compile_expr(lhs)?;
+                let r = self.compile_expr(rhs)?;
+                let level = self.reg_level[l].max(self.reg_level[r]);
+                let dst = self.fresh(level);
+                match self.eval_size(&block) {
+                    Some(b) => self.emitted.push((
+                        level,
+                        Instr::Affine {
+                            dst,
+                            lhs: l,
+                            rhs: r,
+                            block: b,
+                        },
+                    )),
+                    None => self.emitted.push((0, Instr::Poison { dst })),
+                }
+                dst
+            }
+            ExprNode::Div { inner, ref block } => {
+                let block = block.clone();
+                self.unary(inner, &block, |dst, src, b| Instr::Div { dst, src, block: b })?
+            }
+            ExprNode::Mod { inner, ref block } => {
+                let block = block.clone();
+                self.unary(inner, &block, |dst, src, b| Instr::Mod { dst, src, block: b })?
+            }
+            ExprNode::Shift { inner, ref domain } => {
+                let domain = domain.clone();
+                self.unary(inner, &domain, |dst, src, m| Instr::Shift {
+                    dst,
+                    src,
+                    modulus: m,
+                })?
+            }
+            ExprNode::Stride { inner, ref stride } => {
+                let stride = stride.clone();
+                self.unary(inner, &stride, |dst, src, f| Instr::Mul {
+                    dst,
+                    src,
+                    factor: f,
+                })?
+            }
+            ExprNode::Unfold {
+                base,
+                window,
+                ref window_size,
+            } => {
+                let window_size = window_size.clone();
+                let extent = self.arena.domain(base).clone();
+                let b = self.compile_expr(base)?;
+                let w = self.compile_expr(window)?;
+                let level = self.reg_level[b].max(self.reg_level[w]);
+                let dst = self.fresh(level);
+                match (self.eval_size(&window_size), self.eval_size(&extent)) {
+                    (Some(k), Some(n)) => self.emitted.push((
+                        level,
+                        Instr::Unfold {
+                            dst,
+                            base: b,
+                            window: w,
+                            half: k / 2,
+                            extent: n,
+                        },
+                    )),
+                    _ => self.emitted.push((0, Instr::Poison { dst })),
+                }
+                dst
+            }
+        };
+        self.expr_reg.insert(expr, reg);
+        Some(reg)
+    }
+
+    /// Emits a single-child instruction whose constant is `size`.
+    fn unary(
+        &mut self,
+        inner: ExprId,
+        size: &syno_core::size::Size,
+        build: impl FnOnce(usize, usize, i64) -> Instr,
+    ) -> Option<usize> {
+        let src = self.compile_expr(inner)?;
+        let level = self.reg_level[src];
+        let dst = self.fresh(level);
+        match self.eval_size(size) {
+            Some(v) => self.emitted.push((level, build(dst, src, v))),
+            None => self.emitted.push((0, Instr::Poison { dst })),
+        }
+        Some(dst)
+    }
+
+    fn finish(self, stage: &Stage, operands: Vec<OperandAccess>, guards: Vec<usize>) -> StageProgram {
+        let mut emitted = self.emitted;
+        // Stable by level: children precede parents within a level because
+        // they were emitted first (postorder), and levels never decrease
+        // from child to parent.
+        emitted.sort_by_key(|&(level, _)| level);
+        let mut first_at_level = vec![emitted.len(); self.n_loops + 2];
+        for (i, &(level, _)) in emitted.iter().enumerate().rev() {
+            for slot in first_at_level.iter_mut().take(level + 1) {
+                *slot = i;
+            }
+        }
+        let m = stage.loops.len();
+        let (spatial_guards, reduce_guards) = guards
+            .into_iter()
+            .partition(|&reg| self.reg_level[reg] <= m);
+        StageProgram {
+            spatial_dims: stage.loops.iter().map(|l| l.extent as usize).collect(),
+            reduce_dims: stage.reduce.iter().map(|l| l.extent as usize).collect(),
+            n_regs: self.reg_level.len(),
+            instrs: emitted.into_iter().map(|(_, i)| i).collect(),
+            first_at_level,
+            operands,
+            spatial_guards,
+            reduce_guards,
+        }
+    }
+}
+
+/// Compiles one stage; `None` requests interpreter fallback.
+fn compile_stage(kernel: &Kernel, stage: &Stage) -> Option<StageProgram> {
+    let mut c = StageCompiler::new(kernel, stage);
+    let mut operands = Vec::with_capacity(stage.operands.len());
+    for op in &stage.operands {
+        let dims: Vec<usize> = match op.source {
+            OperandRef::Input => kernel.input_shape.clone(),
+            OperandRef::Weight(w) => kernel.weight_shapes[w].clone(),
+            OperandRef::Buffer(b) => kernel.stages[b].shape(),
+        };
+        let strides = Tensor::strides_of(&dims);
+        let mut axes = Vec::with_capacity(op.indices.len());
+        for (expr, (&dim, &stride)) in op.indices.iter().zip(dims.iter().zip(&strides)) {
+            let reg = c.compile_expr(*expr)?;
+            axes.push(AxisRef {
+                reg,
+                dim: dim as i64,
+                stride,
+            });
+        }
+        operands.push(OperandAccess {
+            source: op.source,
+            axes,
+        });
+    }
+    let mut guards = Vec::with_capacity(stage.guards.len());
+    for &g in &stage.guards {
+        guards.push(c.compile_expr(g)?);
+    }
+    Some(c.finish(stage, operands, guards))
+}
+
+/// Compiles every stage of `kernel`; `None` requests interpreter fallback.
+fn compile_kernel(kernel: &Kernel) -> Option<Vec<StageProgram>> {
+    kernel
+        .stages
+        .iter()
+        .map(|stage| compile_stage(kernel, stage))
+        .collect()
+}
+
+/// Advances a little-endian-last odometer; returns the outermost changed
+/// dim (everything deeper was reset to zero).
+fn advance(idx: &mut [usize], dims: &[usize]) -> usize {
+    for d in (0..idx.len()).rev() {
+        idx[d] += 1;
+        if idx[d] < dims[d] {
+            return d;
+        }
+        idx[d] = 0;
+    }
+    0
+}
+
+impl StageProgram {
+    /// Re-evaluates instructions from `from` (a `first_at_level` entry).
+    fn run_instrs(&self, from: usize, regs: &mut [i64], poison: &mut [bool]) {
+        for instr in &self.instrs[from..] {
+            match *instr {
+                Instr::Affine { dst, lhs, rhs, block } => {
+                    regs[dst] = block * regs[lhs] + regs[rhs];
+                    poison[dst] = poison[lhs] || poison[rhs];
+                }
+                Instr::Div { dst, src, block } => {
+                    regs[dst] = regs[src].div_euclid(block);
+                    poison[dst] = poison[src];
+                }
+                Instr::Mod { dst, src, block } => {
+                    regs[dst] = regs[src].rem_euclid(block);
+                    poison[dst] = poison[src];
+                }
+                Instr::Shift { dst, src, modulus } => {
+                    regs[dst] = (regs[src] + 1).rem_euclid(modulus);
+                    poison[dst] = poison[src];
+                }
+                Instr::Mul { dst, src, factor } => {
+                    regs[dst] = factor * regs[src];
+                    poison[dst] = poison[src];
+                }
+                Instr::Unfold {
+                    dst,
+                    base,
+                    window,
+                    half,
+                    extent,
+                } => {
+                    let v = regs[base] + regs[window] - half;
+                    regs[dst] = v;
+                    poison[dst] = poison[base] || poison[window] || v < 0 || v >= extent;
+                }
+                Instr::Poison { dst } => poison[dst] = true,
+            }
+        }
+    }
+
+    /// Executes the stage into `out` (zeroed, of the stage's spatial size).
+    fn execute(
+        &self,
+        out: &mut [f32],
+        input: &Tensor,
+        weights: &[Tensor],
+        buffers: &[Tensor],
+    ) {
+        let data_of = |source: OperandRef| -> &[f32] {
+            match source {
+                OperandRef::Input => input.data(),
+                OperandRef::Weight(w) => weights[w].data(),
+                OperandRef::Buffer(b) => buffers[b].data(),
+            }
+        };
+        let sources: Vec<&[f32]> = self.operands.iter().map(|op| data_of(op.source)).collect();
+
+        let m = self.spatial_dims.len();
+        let k = self.reduce_dims.len();
+        let spatial_total: usize = self.spatial_dims.iter().product::<usize>().max(1);
+        let reduce_total: usize = self.reduce_dims.iter().product::<usize>().max(1);
+
+        let mut regs = vec![0i64; self.n_regs];
+        let mut poison = vec![false; self.n_regs];
+        let mut sidx = vec![0usize; m];
+        let mut ridx = vec![0usize; k];
+        // All loop counters start at zero; evaluate everything once.
+        self.run_instrs(0, &mut regs, &mut poison);
+
+        for (flat, slot) in out.iter_mut().enumerate().take(spatial_total) {
+            if flat > 0 {
+                let d = advance(&mut sidx, &self.spatial_dims);
+                for (j, &v) in sidx.iter().enumerate().skip(d) {
+                    regs[j] = v as i64;
+                }
+                // Reduction counters restart for this output element.
+                for (j, r) in ridx.iter_mut().enumerate() {
+                    *r = 0;
+                    regs[m + j] = 0;
+                }
+                self.run_instrs(self.first_at_level[d + 1], &mut regs, &mut poison);
+            }
+            // Hoisted guards: a clipped spatial-only guard zeroes the whole
+            // reduction (every term would have been skipped).
+            if self.spatial_guards.iter().any(|&g| poison[g]) {
+                *slot = 0.0;
+                continue;
+            }
+            let mut acc = 0.0f32;
+            for rflat in 0..reduce_total {
+                if rflat > 0 {
+                    let d = advance(&mut ridx, &self.reduce_dims);
+                    for (j, &v) in ridx.iter().enumerate().skip(d) {
+                        regs[m + j] = v as i64;
+                    }
+                    self.run_instrs(self.first_at_level[m + d + 1], &mut regs, &mut poison);
+                }
+                if self.reduce_guards.iter().any(|&g| poison[g]) {
+                    continue;
+                }
+                let mut product = 1.0f32;
+                let mut clipped = false;
+                'operands: for (op, data) in self.operands.iter().zip(&sources) {
+                    let mut off = 0usize;
+                    for ax in &op.axes {
+                        let v = regs[ax.reg];
+                        if poison[ax.reg] || v < 0 || v >= ax.dim {
+                            clipped = true;
+                            break 'operands;
+                        }
+                        off += v as usize * ax.stride;
+                    }
+                    product *= data[off];
+                }
+                if !clipped {
+                    acc += product;
+                }
+            }
+            *slot = acc;
+        }
+    }
+}
+
+impl<'k> CompiledKernel<'k> {
+    /// Compiles `kernel`, falling back to the reference interpreter when a
+    /// stage is not compilable.
+    pub fn new(kernel: &'k Kernel) -> Self {
+        CompiledKernel {
+            kernel,
+            stages: compile_kernel(kernel),
+        }
+    }
+
+    /// `true` when every stage runs the stride-compiled fast path.
+    pub fn is_compiled(&self) -> bool {
+        self.stages.is_some()
+    }
+
+    /// Executes the kernel; bit-identical to
+    /// [`Kernel::execute_reference`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when tensor shapes disagree with the kernel's declared shapes.
+    pub fn execute(&self, input: &Tensor, weights: &[Tensor]) -> Tensor {
+        let Some(stages) = &self.stages else {
+            return self.kernel.execute_reference(input, weights);
+        };
+        let kernel = self.kernel;
+        assert_eq!(input.shape(), &kernel.input_shape[..], "input shape");
+        assert_eq!(weights.len(), kernel.weight_shapes.len(), "weight count");
+        for (w, s) in weights.iter().zip(&kernel.weight_shapes) {
+            assert_eq!(w.shape(), &s[..], "weight shape");
+        }
+
+        let mut buffers: Vec<Tensor> = Vec::with_capacity(stages.len());
+        for (program, stage) in stages.iter().zip(&kernel.stages) {
+            let mut out = Tensor::zeros(&stage.shape());
+            program.execute(out.data_mut(), input, weights, &buffers);
+            buffers.push(out);
+        }
+        let last = buffers.pop().expect("at least one stage");
+        syno_tensor::ops::permute(&last, &kernel.output_perm)
+    }
+}

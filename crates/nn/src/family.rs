@@ -335,6 +335,42 @@ mod tests {
         assert_eq!(legacy.to_bits(), 0x3e80_0000);
     }
 
+    /// Mirror of [`vision_family_scores_are_pinned`] for the sequence
+    /// family: both registered families now pin exact score bits, so an FP
+    /// summation-order change anywhere in the execution engine (einsum,
+    /// pooled ops, tape reuse) trips one of the two. The constants were
+    /// computed on this fixture when the stride-compiled engine landed; a
+    /// failure means persisted sequence scores are stale (bump
+    /// `syno_core::codec::FORMAT_VERSION`), not that the pins should be
+    /// edited.
+    #[test]
+    fn sequence_family_scores_are_pinned() {
+        let mut vars = VarTable::new();
+        let m = vars.declare("M", VarKind::Primary);
+        let nv = vars.declare("Nv", VarKind::Primary);
+        let kv = vars.declare("K", VarKind::Primary);
+        let h = vars.declare("H", VarKind::Primary);
+        let s = vars.declare("s", VarKind::Coefficient);
+        vars.push_valuation(vec![(m, 8), (nv, 8), (kv, 8), (h, 16), (s, 2)]);
+        let vars = vars.into_shared();
+        let config = pin_config();
+
+        // [M, K] → [M, Nv]: the QKV-projection layout (Fig. 10).
+        let mm = ops::matmul(&vars, m, nv, kv).unwrap();
+        let acc = seq::SequenceFamily.score(&mm, 0, &config).unwrap();
+        assert_eq!(acc.to_bits(), 0x3e60_0000, "matmul pin: got {acc}");
+
+        // [H] → [H/s]: the 1-D pooling spec the pre-registry search
+        // rejected; weightless, so it exercises the guard-free fast path.
+        let pool = ops::avg_pool1d(&vars, h, s).unwrap();
+        let acc = seq::SequenceFamily.score(&pool, 0, &config).unwrap();
+        assert_eq!(acc.to_bits(), 0x3e90_0000, "pool pin: got {acc}");
+
+        // The legacy entry point takes the identical path.
+        let legacy = crate::try_sequence_accuracy(&mm, 0, &config).unwrap();
+        assert_eq!(legacy.to_bits(), 0x3e60_0000);
+    }
+
     #[test]
     fn vision_family_rejects_low_rank_specs() {
         let f = fixture();

@@ -37,4 +37,7 @@ pub use proxy::{
     ProxyConfig,
 };
 pub use seq::{try_sequence_accuracy, SequenceFamily};
-pub use train::{accuracy, train_on_task, train_step, Sgd, TrainConfig};
+pub use train::{
+    accuracy, accuracy_on, train_on_task, train_on_task_with, train_step, train_step_on, Sgd,
+    TrainConfig,
+};

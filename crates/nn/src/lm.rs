@@ -177,9 +177,21 @@ impl TinyGpt {
 
     /// One SGD training step; returns the batch loss.
     pub fn train_step(&mut self, contexts: &[usize], targets: &[usize], lr: f32) -> f32 {
-        let n = targets.len();
         let mut tape = Tape::new();
-        let (logits, params) = self.forward(&mut tape, contexts, n);
+        self.train_step_on(&mut tape, contexts, targets, lr)
+    }
+
+    /// [`TinyGpt::train_step`] on a caller-owned (reused) tape.
+    pub fn train_step_on(
+        &mut self,
+        tape: &mut Tape,
+        contexts: &[usize],
+        targets: &[usize],
+        lr: f32,
+    ) -> f32 {
+        let n = targets.len();
+        tape.reset();
+        let (logits, params) = self.forward(tape, contexts, n);
         let loss = tape.softmax_cross_entropy(logits, targets);
         let loss_value = tape.value(loss).data()[0];
         let grads = tape.backward(loss);
@@ -197,6 +209,7 @@ impl TinyGpt {
                 *tensor = tensor.sub(&g.scale(lr));
             }
         }
+        tape.recycle_gradients(grads);
         loss_value
     }
 
@@ -223,9 +236,10 @@ impl TinyGpt {
         // the training batch size.
         let (eval_ctx, eval_tgt) = task.eval_batch(batch);
         let mut curve = vec![(0, self.perplexity(&eval_ctx, &eval_tgt))];
+        let mut tape = Tape::new();
         for step in 1..=steps {
             let (ctx, tgt) = task.batch(step as u64, batch);
-            self.train_step(&ctx, &tgt, lr);
+            self.train_step_on(&mut tape, &ctx, &tgt, lr);
             if step % eval_every == 0 || step == steps {
                 curve.push((step, self.perplexity(&eval_ctx, &eval_tgt)));
             }

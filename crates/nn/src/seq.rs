@@ -220,10 +220,16 @@ impl SeqStudent {
         tensors
     }
 
-    /// One SGD step on a labeled batch; returns the loss.
-    fn train_step(&mut self, contexts: &[usize], targets: &[usize], lr: f32) -> f32 {
-        let mut tape = Tape::new();
-        let (logits, params) = self.forward(&mut tape, contexts);
+    /// One SGD step on a caller-owned (reused) tape; returns the loss.
+    fn train_step(
+        &mut self,
+        tape: &mut Tape,
+        contexts: &[usize],
+        targets: &[usize],
+        lr: f32,
+    ) -> f32 {
+        tape.reset();
+        let (logits, params) = self.forward(tape, contexts);
         let loss = tape.softmax_cross_entropy(logits, targets);
         let loss_value = tape.value(loss).data()[0];
         let grads = tape.backward(loss);
@@ -232,13 +238,14 @@ impl SeqStudent {
                 *tensor = tensor.sub(&g.scale(lr));
             }
         }
+        tape.recycle_gradients(grads);
         loss_value
     }
 
     /// Correct next-token predictions on a labeled batch.
-    fn correct(&self, contexts: &[usize], targets: &[usize]) -> usize {
-        let mut tape = Tape::new();
-        let (logits, _) = self.forward(&mut tape, contexts);
+    fn correct(&self, tape: &mut Tape, contexts: &[usize], targets: &[usize]) -> usize {
+        tape.reset();
+        let (logits, _) = self.forward(tape, contexts);
         let preds = tape.value(logits).argmax_last();
         preds.iter().zip(targets).filter(|(p, t)| p == t).count()
     }
@@ -265,9 +272,12 @@ pub fn try_sequence_accuracy(
     let task = TextTask::new(config.task_seed, VOCAB, context);
     let mut student = SeqStudent::new(graph, valuation, shapes, config.init_seed)?;
 
+    // One tape for the whole evaluation: buffers and compiled einsum plans
+    // carry across steps.
+    let mut tape = Tape::new();
     for step in 0..config.train.steps {
         let (contexts, targets) = task.batch(step as u64, batch);
-        let loss = student.train_step(&contexts, &targets, config.train.lr);
+        let loss = student.train_step(&mut tape, &contexts, &targets, config.train.lr);
         if !loss.is_finite() {
             // Diverged — early terminate, like the paper's early stopping.
             return Ok(0.0);
@@ -284,7 +294,7 @@ pub fn try_sequence_accuracy(
     let mut correct = 0usize;
     for i in 0..rounds {
         let (contexts, targets) = task.batch(u64::MAX / 2 - i as u64, batch);
-        correct += student.correct(&contexts, &targets);
+        correct += student.correct(&mut tape, &contexts, &targets);
     }
     Ok(correct as f32 / (rounds * batch) as f32)
 }

@@ -50,6 +50,10 @@ impl Sgd {
 }
 
 /// One optimization step on a labeled batch; returns the loss.
+///
+/// Convenience wrapper over [`train_step_on`] with a throwaway tape;
+/// training loops should hold one tape and call [`train_step_on`] so
+/// buffers and compiled einsum plans carry across steps.
 pub fn train_step(
     model: &mut Model,
     opt: &mut Sgd,
@@ -57,8 +61,22 @@ pub fn train_step(
     labels: &[usize],
 ) -> f32 {
     let mut tape = Tape::new();
+    train_step_on(&mut tape, model, opt, images, labels)
+}
+
+/// One optimization step recorded on a caller-owned tape. The tape is
+/// [`reset`](Tape::reset) first, so step *n+1* reuses step *n*'s buffers
+/// and every einsum runs its already-compiled stride plan.
+pub fn train_step_on(
+    tape: &mut Tape,
+    model: &mut Model,
+    opt: &mut Sgd,
+    images: &Tensor,
+    labels: &[usize],
+) -> f32 {
+    tape.reset();
     let x = tape.leaf(images.clone());
-    let (logits, param_vars) = model.forward(&mut tape, x);
+    let (logits, param_vars) = model.forward(tape, x);
     let loss = tape.softmax_cross_entropy(logits, labels);
     let loss_value = tape.value(loss).data()[0];
     let grads = tape.backward(loss);
@@ -66,6 +84,7 @@ pub fn train_step(
         .iter()
         .map(|layer| layer.iter().map(|&v| grads.get(v).cloned()).collect())
         .collect();
+    tape.recycle_gradients(grads);
     opt.step(model, &grad_tensors);
     loss_value
 }
@@ -73,8 +92,14 @@ pub fn train_step(
 /// Top-1 accuracy on a labeled batch.
 pub fn accuracy(model: &Model, images: &Tensor, labels: &[usize]) -> f32 {
     let mut tape = Tape::new();
+    accuracy_on(&mut tape, model, images, labels)
+}
+
+/// [`accuracy`] on a caller-owned (reused) tape.
+pub fn accuracy_on(tape: &mut Tape, model: &Model, images: &Tensor, labels: &[usize]) -> f32 {
+    tape.reset();
     let x = tape.leaf(images.clone());
-    let (logits, _) = model.forward(&mut tape, x);
+    let (logits, _) = model.forward(tape, x);
     let preds = tape.value(logits).argmax_last();
     let correct = preds
         .iter()
@@ -117,11 +142,24 @@ impl Default for TrainConfig {
 
 /// Trains `model` on `task` and returns `(final_train_loss, eval_accuracy)`.
 pub fn train_on_task(model: &mut Model, task: &VisionTask, config: &TrainConfig) -> (f32, f32) {
+    train_on_task_with(&mut Tape::new(), model, task, config)
+}
+
+/// [`train_on_task`] on a caller-owned tape — the engine-mode hook: pass
+/// [`Tape::new`] for the stride-compiled engine or [`Tape::new_reference`]
+/// for the naive pre-compilation engine (the `proxy_train` bench measures
+/// one against the other; scores are bit-identical either way).
+pub fn train_on_task_with(
+    tape: &mut Tape,
+    model: &mut Model,
+    task: &VisionTask,
+    config: &TrainConfig,
+) -> (f32, f32) {
     let mut opt = Sgd::new(model, config.lr, config.momentum, config.weight_decay);
     let mut last_loss = f32::NAN;
     for step in 0..config.steps {
         let (images, labels) = task.batch(step as u64, config.batch);
-        last_loss = train_step(model, &mut opt, &images, &labels);
+        last_loss = train_step_on(tape, model, &mut opt, &images, &labels);
         if !last_loss.is_finite() {
             // Diverged — early terminate, like the paper's early stopping
             // for bad candidates (§9.1 "terminate early when accuracy is
@@ -134,7 +172,7 @@ pub fn train_on_task(model: &mut Model, task: &VisionTask, config: &TrainConfig)
     let mut correct_frac = 0.0;
     for i in 0..config.eval_batches {
         let (images, labels) = task.batch(u64::MAX / 2 - i as u64, config.batch);
-        correct_frac += accuracy(model, &images, &labels);
+        correct_frac += accuracy_on(tape, model, &images, &labels);
     }
     (last_loss, correct_frac / config.eval_batches.max(1) as f32)
 }

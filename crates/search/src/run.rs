@@ -1154,17 +1154,12 @@ pub(crate) fn price_candidate(
 ) -> Result<Candidate, SynoError> {
     let flops = syno_core::analysis::naive_flops(graph, 0).unwrap_or(u128::MAX);
     let params = syno_core::analysis::parameter_count(graph, 0).unwrap_or(u128::MAX);
+    // Profile once (lowering enumerates materialization plans — the
+    // expensive part), then compile the shared profile per device.
+    let profile = syno_compiler::profile_graph(graph, 0, OperatorClass::Novel, "candidate")?;
     let mut latencies = Vec::with_capacity(devices.len());
     for device in devices {
-        let compiled = syno_compiler::profile_and_compile(
-            graph,
-            0,
-            OperatorClass::Novel,
-            "candidate",
-            device,
-            compiler,
-            DType::F32,
-        )?;
+        let compiled = syno_compiler::compile(&profile, device, compiler, DType::F32);
         latencies.push(compiled.latency);
     }
     Ok(Candidate {

@@ -11,14 +11,27 @@
 //! einsum differentiates by the standard swap rule: the gradient w.r.t. one
 //! operand is an einsum of the output gradient with the remaining operands.
 //!
+//! # The execution engine
+//!
+//! A tape owns a [`ScratchPool`] and an [`EinsumEngine`]: every op writes
+//! into recycled buffers and every contraction runs through a stride-compiled
+//! plan cached across calls. [`Tape::reset`] reclaims all node buffers while
+//! keeping the plan cache, so a training loop that resets its tape each step
+//! stops allocating after the first step. [`Tape::new_reference`] builds a
+//! tape in *reference mode* — naive per-element einsum, no buffer reuse, the
+//! pre-compilation engine — which the differential-testing suite and the
+//! `proxy_train` bench compare against; both modes are bit-identical by
+//! construction (identical FP summation order).
+//!
 //! # Limitations
 //!
 //! The einsum VJP requires each operand's index list to be duplicate-free
 //! (e.g. no `"ii->i"`); the Syno lowering never produces such terms —
 //! canonicalization rejects diagonal weights.
 
-use crate::einsum::{einsum_spec, EinsumSpec};
+use crate::einsum::{einsum_spec_reference, EinsumEngine, EinsumSpec};
 use crate::ops;
+use crate::pool::ScratchPool;
 use crate::tensor::Tensor;
 
 /// Handle to a node on a [`Tape`].
@@ -95,12 +108,32 @@ impl Gradients {
 #[derive(Debug, Default)]
 pub struct Tape {
     nodes: Vec<Node>,
+    pool: ScratchPool,
+    engine: EinsumEngine,
+    reference: bool,
 }
 
 impl Tape {
-    /// An empty tape.
+    /// An empty tape using the stride-compiled engine with buffer reuse.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty tape in *reference mode*: naive per-element einsum and no
+    /// buffer recycling — the pre-compilation engine, kept as the
+    /// differential-testing baseline. Produces bit-identical values to
+    /// [`Tape::new`].
+    pub fn new_reference() -> Self {
+        Tape {
+            pool: ScratchPool::disabled(),
+            reference: true,
+            ..Self::default()
+        }
+    }
+
+    /// `true` when this tape runs the naive reference engine.
+    pub fn is_reference(&self) -> bool {
+        self.reference
     }
 
     /// Number of recorded nodes.
@@ -111,6 +144,24 @@ impl Tape {
     /// `true` when nothing has been recorded.
     pub fn is_empty(&self) -> bool {
         self.nodes.is_empty()
+    }
+
+    /// Clears all recorded nodes, reclaiming their buffers into the scratch
+    /// pool and keeping the compiled einsum plans. A training loop calls
+    /// this between steps so step *n+1* reuses step *n*'s allocations.
+    pub fn reset(&mut self) {
+        let Tape { nodes, pool, .. } = self;
+        for node in nodes.drain(..) {
+            pool.recycle(node.value);
+        }
+    }
+
+    /// Returns gradient buffers to the scratch pool once the caller has
+    /// consumed them (e.g. after the optimizer step).
+    pub fn recycle_gradients(&mut self, grads: Gradients) {
+        for g in grads.grads.into_iter().flatten() {
+            self.pool.recycle(g);
+        }
     }
 
     fn push(&mut self, value: Tensor, op: Op) -> Var {
@@ -131,31 +182,46 @@ impl Tape {
 
     /// Elementwise sum.
     pub fn add(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).add(self.value(b));
+        let v = ops::zip_map_in(
+            &mut self.pool,
+            &self.nodes[a.0].value,
+            &self.nodes[b.0].value,
+            |x, y| x + y,
+        );
         self.push(v, Op::Add(a, b))
     }
 
     /// Elementwise difference.
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).sub(self.value(b));
+        let v = ops::zip_map_in(
+            &mut self.pool,
+            &self.nodes[a.0].value,
+            &self.nodes[b.0].value,
+            |x, y| x - y,
+        );
         self.push(v, Op::Sub(a, b))
     }
 
     /// Elementwise product.
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).mul(self.value(b));
+        let v = ops::zip_map_in(
+            &mut self.pool,
+            &self.nodes[a.0].value,
+            &self.nodes[b.0].value,
+            |x, y| x * y,
+        );
         self.push(v, Op::Mul(a, b))
     }
 
     /// Scalar multiplication.
     pub fn scale(&mut self, a: Var, c: f32) -> Var {
-        let v = self.value(a).scale(c);
+        let v = ops::map_in(&mut self.pool, &self.nodes[a.0].value, |x| x * c);
         self.push(v, Op::Scale(a, c))
     }
 
     /// Scalar addition.
     pub fn add_scalar(&mut self, a: Var, c: f32) -> Var {
-        let v = self.value(a).add_scalar(c);
+        let v = ops::map_in(&mut self.pool, &self.nodes[a.0].value, |x| x + c);
         self.push(v, Op::AddScalar(a, c))
     }
 
@@ -177,8 +243,20 @@ impl Tape {
                 "einsum VJP requires duplicate-free operand indices"
             );
         }
-        let tensors: Vec<&Tensor> = inputs.iter().map(|&v| self.value(v)).collect();
-        let value = einsum_spec(&parsed, &tensors).expect("einsum executes");
+        let Tape {
+            nodes,
+            pool,
+            engine,
+            reference,
+        } = self;
+        let tensors: Vec<&Tensor> = inputs.iter().map(|&v| &nodes[v.0].value).collect();
+        let value = if *reference {
+            einsum_spec_reference(&parsed, &tensors).expect("einsum executes")
+        } else {
+            engine
+                .einsum_parsed(&parsed, &tensors, pool)
+                .expect("einsum executes")
+        };
         self.push(
             value,
             Op::Einsum {
@@ -195,61 +273,61 @@ impl Tape {
 
     /// Shape reinterpretation.
     pub fn reshape(&mut self, a: Var, shape: &[usize]) -> Var {
-        let v = ops::reshape(self.value(a), shape);
+        let v = ops::reshape_in(&mut self.pool, &self.nodes[a.0].value, shape);
         self.push(v, Op::Reshape(a))
     }
 
     /// Axis permutation.
     pub fn permute(&mut self, a: Var, perm: &[usize]) -> Var {
-        let v = ops::permute(self.value(a), perm);
+        let v = ops::permute_in(&mut self.pool, &self.nodes[a.0].value, perm);
         self.push(v, Op::Permute(a, perm.to_vec()))
     }
 
     /// Sliding-window extraction with zero padding (`Unfold`).
     pub fn unfold(&mut self, a: Var, axis: usize, k: usize) -> Var {
-        let v = ops::unfold(self.value(a), axis, k);
+        let v = ops::unfold_in(&mut self.pool, &self.nodes[a.0].value, axis, k);
         self.push(v, Op::Unfold { input: a, axis, k })
     }
 
     /// Axis rotation (`Shift`).
     pub fn roll(&mut self, a: Var, axis: usize, amount: i64) -> Var {
-        let v = ops::roll(self.value(a), axis, amount);
+        let v = ops::roll_in(&mut self.pool, &self.nodes[a.0].value, axis, amount);
         self.push(v, Op::Roll { input: a, axis, amount })
     }
 
     /// Strided selection (`Stride`).
     pub fn strided(&mut self, a: Var, axis: usize, s: usize) -> Var {
-        let v = ops::strided(self.value(a), axis, s);
+        let v = ops::strided_in(&mut self.pool, &self.nodes[a.0].value, axis, s);
         self.push(v, Op::Strided { input: a, axis, s })
     }
 
     /// Axis insertion with repetition (`Expand`).
     pub fn repeat(&mut self, a: Var, axis: usize, times: usize) -> Var {
-        let v = ops::repeat(self.value(a), axis, times);
+        let v = ops::repeat_in(&mut self.pool, &self.nodes[a.0].value, axis, times);
         self.push(v, Op::Repeat { input: a, axis, times })
     }
 
     /// Axis summation (`Reduce`).
     pub fn sum_axis(&mut self, a: Var, axis: usize) -> Var {
-        let v = ops::sum_axis(self.value(a), axis);
+        let v = ops::sum_axis_in(&mut self.pool, &self.nodes[a.0].value, axis);
         self.push(v, Op::SumAxis { input: a, axis })
     }
 
     /// Rectified linear unit.
     pub fn relu(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(|x| x.max(0.0));
+        let v = ops::map_in(&mut self.pool, &self.nodes[a.0].value, |x| x.max(0.0));
         self.push(v, Op::Relu(a))
     }
 
     /// Hyperbolic tangent.
     pub fn tanh(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(f32::tanh);
+        let v = ops::map_in(&mut self.pool, &self.nodes[a.0].value, f32::tanh);
         self.push(v, Op::Tanh(a))
     }
 
     /// Softmax over the last axis.
     pub fn softmax_last(&mut self, a: Var) -> Var {
-        let v = ops::softmax_last(self.value(a));
+        let v = ops::softmax_last_in(&mut self.pool, &self.nodes[a.0].value);
         self.push(v, Op::SoftmaxLast(a))
     }
 
@@ -261,8 +339,19 @@ impl Tape {
 
     /// Mean-squared error against a constant target (scalar output).
     pub fn mse(&mut self, a: Var, target: &Tensor) -> Var {
-        let diff = self.value(a).sub(target);
-        let v = Tensor::scalar(diff.sq_norm() / diff.numel().max(1) as f32);
+        let x = self.value(a);
+        assert_eq!(x.shape(), target.shape(), "elementwise shape mismatch");
+        // Same accumulation order as `x.sub(target).sq_norm()`.
+        let sq: f32 = x
+            .data()
+            .iter()
+            .zip(target.data())
+            .map(|(&a, &b)| {
+                let d = a - b;
+                d * d
+            })
+            .sum();
+        let v = Tensor::scalar(sq / x.numel().max(1) as f32);
         self.push(
             v,
             Op::Mse {
@@ -279,16 +368,18 @@ impl Tape {
     ///
     /// Panics when `logits` is not rank-2 or labels mismatch the batch.
     pub fn softmax_cross_entropy(&mut self, logits: Var, labels: &[usize]) -> Var {
-        let l = self.value(logits);
+        let Tape { nodes, pool, .. } = self;
+        let l = &nodes[logits.0].value;
         assert_eq!(l.rank(), 2, "logits must be [batch, classes]");
         let (b, c) = (l.shape()[0], l.shape()[1]);
         assert_eq!(labels.len(), b, "one label per row");
-        let probs = ops::softmax_last(l);
+        let probs = ops::softmax_last_in(pool, l);
         let mut loss = 0.0;
         for (row, &label) in labels.iter().enumerate() {
             assert!(label < c, "label out of range");
             loss -= probs.get(&[row, label]).max(1e-12).ln();
         }
+        pool.recycle(probs);
         let v = Tensor::scalar(loss / b as f32);
         self.push(
             v,
@@ -305,10 +396,11 @@ impl Tape {
     ///
     /// Panics when `table` is not rank-2 or an id is out of range.
     pub fn gather(&mut self, table: Var, ids: &[usize]) -> Var {
-        let t = self.value(table);
+        let Tape { nodes, pool, .. } = self;
+        let t = &nodes[table.0].value;
         assert_eq!(t.rank(), 2, "gather table must be [vocab, dim]");
         let dim = t.shape()[1];
-        let mut out = Tensor::zeros(&[ids.len(), dim]);
+        let mut out = pool.take_tensor(&[ids.len(), dim]);
         for (row, &id) in ids.iter().enumerate() {
             assert!(id < t.shape()[0], "gather id out of range");
             for d in 0..dim {
@@ -326,138 +418,192 @@ impl Tape {
 
     /// Runs reverse-mode differentiation from `loss` (any shape; seeded with
     /// ones).
-    pub fn backward(&self, loss: Var) -> Gradients {
-        let mut grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
-        grads[loss.0] = Some(Tensor::ones(self.value(loss).shape()));
+    pub fn backward(&mut self, loss: Var) -> Gradients {
+        let Tape {
+            nodes,
+            pool,
+            engine,
+            reference,
+        } = self;
+        let mut grads: Vec<Option<Tensor>> = Vec::new();
+        grads.resize_with(nodes.len(), || None);
+        grads[loss.0] = Some(Tensor::ones(nodes[loss.0].value.shape()));
         for id in (0..=loss.0).rev() {
-            let Some(grad) = grads[id].clone() else {
+            if grads[id].is_none() {
                 continue;
-            };
-            let add_grad = |grads: &mut Vec<Option<Tensor>>, var: Var, g: Tensor| {
-                match &mut grads[var.0] {
-                    Some(existing) => existing.accumulate(&g),
-                    slot @ None => *slot = Some(g),
-                }
-            };
-            match &self.nodes[id].op {
+            }
+            // Detach this node's gradient so downstream accumulation can
+            // borrow the rest of `grads`; reattached below.
+            let grad = grads[id].take().expect("checked above");
+            match &nodes[id].op {
                 Op::Leaf => {}
                 Op::Add(a, b) => {
-                    add_grad(&mut grads, *a, grad.clone());
-                    add_grad(&mut grads, *b, grad);
+                    let ga = pool.take_clone(&grad);
+                    add_grad(pool, &mut grads, *a, ga);
+                    let gb = pool.take_clone(&grad);
+                    add_grad(pool, &mut grads, *b, gb);
                 }
                 Op::Sub(a, b) => {
-                    add_grad(&mut grads, *a, grad.clone());
-                    add_grad(&mut grads, *b, grad.scale(-1.0));
+                    let ga = pool.take_clone(&grad);
+                    add_grad(pool, &mut grads, *a, ga);
+                    let neg = ops::map_in(pool, &grad, |x| -x);
+                    add_grad(pool, &mut grads, *b, neg);
                 }
                 Op::Mul(a, b) => {
-                    let ga = grad.mul(self.value(*b));
-                    let gb = grad.mul(self.value(*a));
-                    add_grad(&mut grads, *a, ga);
-                    add_grad(&mut grads, *b, gb);
+                    let ga = ops::zip_map_in(pool, &grad, &nodes[b.0].value, |g, v| g * v);
+                    let gb = ops::zip_map_in(pool, &grad, &nodes[a.0].value, |g, v| g * v);
+                    add_grad(pool, &mut grads, *a, ga);
+                    add_grad(pool, &mut grads, *b, gb);
                 }
-                Op::Scale(a, c) => add_grad(&mut grads, *a, grad.scale(*c)),
-                Op::AddScalar(a, _) => add_grad(&mut grads, *a, grad),
+                Op::Scale(a, c) => {
+                    let c = *c;
+                    let g = ops::map_in(pool, &grad, |x| x * c);
+                    add_grad(pool, &mut grads, *a, g);
+                }
+                Op::AddScalar(a, _) => {
+                    let g = pool.take_clone(&grad);
+                    add_grad(pool, &mut grads, *a, g);
+                }
                 Op::Einsum { spec, inputs } => {
                     for (wrt, &input) in inputs.iter().enumerate() {
                         let tensors: Vec<&Tensor> =
-                            inputs.iter().map(|&v| self.value(v)).collect();
-                        let g = einsum_vjp(spec, &tensors, &grad, wrt);
-                        add_grad(&mut grads, input, g);
+                            inputs.iter().map(|&v| &nodes[v.0].value).collect();
+                        let g = einsum_vjp(engine, pool, *reference, spec, &tensors, &grad, wrt);
+                        add_grad(pool, &mut grads, input, g);
                     }
                 }
                 Op::Reshape(a) => {
-                    let g = ops::reshape(&grad, self.value(*a).shape());
-                    add_grad(&mut grads, *a, g);
+                    let g = ops::reshape_in(pool, &grad, nodes[a.0].value.shape());
+                    add_grad(pool, &mut grads, *a, g);
                 }
                 Op::Permute(a, perm) => {
-                    let g = ops::permute(&grad, &ops::inverse_permutation(perm));
-                    add_grad(&mut grads, *a, g);
+                    let g = ops::permute_in(pool, &grad, &ops::inverse_permutation(perm));
+                    add_grad(pool, &mut grads, *a, g);
                 }
                 Op::Unfold { input, axis, k } => {
-                    let g = ops::fold_acc(&grad, *axis, *k, self.value(*input).shape());
-                    add_grad(&mut grads, *input, g);
+                    let g = ops::fold_acc_in(pool, &grad, *axis, *k, nodes[input.0].value.shape());
+                    add_grad(pool, &mut grads, *input, g);
                 }
                 Op::Roll { input, axis, amount } => {
-                    let g = ops::roll(&grad, *axis, -amount);
-                    add_grad(&mut grads, *input, g);
+                    let g = ops::roll_in(pool, &grad, *axis, -amount);
+                    add_grad(pool, &mut grads, *input, g);
                 }
                 Op::Strided { input, axis, s } => {
-                    let g = ops::strided_scatter(&grad, *axis, *s, self.value(*input).shape());
-                    add_grad(&mut grads, *input, g);
+                    let g = ops::strided_scatter_in(
+                        pool,
+                        &grad,
+                        *axis,
+                        *s,
+                        nodes[input.0].value.shape(),
+                    );
+                    add_grad(pool, &mut grads, *input, g);
                 }
                 Op::Repeat { input, axis, .. } => {
-                    let g = ops::sum_axis(&grad, *axis);
-                    add_grad(&mut grads, *input, g);
+                    let g = ops::sum_axis_in(pool, &grad, *axis);
+                    add_grad(pool, &mut grads, *input, g);
                 }
                 Op::SumAxis { input, axis } => {
-                    let times = self.value(*input).shape()[*axis];
-                    let g = ops::repeat(&grad, *axis, times);
-                    add_grad(&mut grads, *input, g);
+                    let times = nodes[input.0].value.shape()[*axis];
+                    let g = ops::repeat_in(pool, &grad, *axis, times);
+                    add_grad(pool, &mut grads, *input, g);
                 }
                 Op::Relu(a) => {
-                    let mask = self.value(*a).map(|x| if x > 0.0 { 1.0 } else { 0.0 });
-                    add_grad(&mut grads, *a, grad.mul(&mask));
+                    let g = ops::zip_map_in(pool, &grad, &nodes[a.0].value, |g, x| {
+                        g * if x > 0.0 { 1.0 } else { 0.0 }
+                    });
+                    add_grad(pool, &mut grads, *a, g);
                 }
                 Op::Tanh(a) => {
-                    let y = &self.nodes[id].value;
-                    let g = grad.zip_map(y, |g, y| g * (1.0 - y * y));
-                    add_grad(&mut grads, *a, g);
+                    let y = &nodes[id].value;
+                    let g = ops::zip_map_in(pool, &grad, y, |g, y| g * (1.0 - y * y));
+                    add_grad(pool, &mut grads, *a, g);
                 }
                 Op::SoftmaxLast(a) => {
                     // dL/dx = (g - sum(g*y) along last) * y
-                    let y = &self.nodes[id].value;
-                    let gy = grad.mul(y);
+                    let y = &nodes[id].value;
+                    let gy = ops::zip_map_in(pool, &grad, y, |g, y| g * y);
                     let last_axis = y.rank() - 1;
-                    let s = ops::sum_axis(&gy, last_axis);
-                    let s_b = ops::repeat(&s, last_axis, y.shape()[last_axis]);
-                    let g = gy.sub(&s_b.mul(y));
-                    add_grad(&mut grads, *a, g);
+                    let s = ops::sum_axis_in(pool, &gy, last_axis);
+                    let s_b = ops::repeat_in(pool, &s, last_axis, y.shape()[last_axis]);
+                    let sy = ops::zip_map_in(pool, &s_b, y, |s, y| s * y);
+                    let g = ops::zip_map_in(pool, &gy, &sy, |a, b| a - b);
+                    pool.recycle(gy);
+                    pool.recycle(s);
+                    pool.recycle(s_b);
+                    pool.recycle(sy);
+                    add_grad(pool, &mut grads, *a, g);
                 }
                 Op::MeanAll(a) => {
-                    let n = self.value(*a).numel().max(1) as f32;
+                    let n = nodes[a.0].value.numel().max(1) as f32;
                     let seed = grad.sum_all() / n;
-                    let g = Tensor::full(self.value(*a).shape(), seed);
-                    add_grad(&mut grads, *a, g);
+                    let mut g = pool.take_tensor(nodes[a.0].value.shape());
+                    g.data_mut().fill(seed);
+                    add_grad(pool, &mut grads, *a, g);
                 }
                 Op::Mse { input, target } => {
-                    let x = self.value(*input);
+                    let x = &nodes[input.0].value;
                     let n = x.numel().max(1) as f32;
                     let seed = grad.sum_all();
-                    let g = x.sub(target).scale(2.0 * seed / n);
-                    add_grad(&mut grads, *input, g);
+                    let c = 2.0 * seed / n;
+                    let g = ops::zip_map_in(pool, x, target, |a, b| (a - b) * c);
+                    add_grad(pool, &mut grads, *input, g);
                 }
                 Op::SoftmaxCrossEntropy { logits, labels } => {
-                    let l = self.value(*logits);
+                    let l = &nodes[logits.0].value;
                     let b = l.shape()[0] as f32;
-                    let mut g = ops::softmax_last(l);
+                    let mut g = ops::softmax_last_in(pool, l);
                     for (row, &label) in labels.iter().enumerate() {
                         let v = g.get(&[row, label]);
                         g.set(&[row, label], v - 1.0);
                     }
                     let seed = grad.sum_all();
-                    add_grad(&mut grads, *logits, g.scale(seed / b));
+                    let c = seed / b;
+                    let scaled = ops::map_in(pool, &g, |x| x * c);
+                    pool.recycle(g);
+                    add_grad(pool, &mut grads, *logits, scaled);
                 }
                 Op::Gather { table, ids } => {
-                    let t = self.value(*table);
+                    let t = &nodes[table.0].value;
                     let dim = t.shape()[1];
-                    let mut g = Tensor::zeros(t.shape());
+                    let mut g = pool.take_tensor(t.shape());
                     for (row, &id) in ids.iter().enumerate() {
                         for d in 0..dim {
                             let v = g.get(&[id, d]) + grad.get(&[row, d]);
                             g.set(&[id, d], v);
                         }
                     }
-                    add_grad(&mut grads, *table, g);
+                    add_grad(pool, &mut grads, *table, g);
                 }
             }
+            grads[id] = Some(grad);
         }
         Gradients { grads }
     }
 }
 
+/// Accumulates `g` into `grads[var]`, recycling `g`'s buffer when the slot
+/// already holds a gradient.
+fn add_grad(pool: &mut ScratchPool, grads: &mut [Option<Tensor>], var: Var, g: Tensor) {
+    match &mut grads[var.0] {
+        Some(existing) => {
+            existing.accumulate(&g);
+            pool.recycle(g);
+        }
+        slot @ None => *slot = Some(g),
+    }
+}
+
 /// VJP of einsum w.r.t. operand `wrt`: contract the output gradient with the
 /// remaining operands, then broadcast along indices private to `wrt`.
-fn einsum_vjp(spec: &EinsumSpec, operands: &[&Tensor], grad: &Tensor, wrt: usize) -> Tensor {
+fn einsum_vjp(
+    engine: &mut EinsumEngine,
+    pool: &mut ScratchPool,
+    reference: bool,
+    spec: &EinsumSpec,
+    operands: &[&Tensor],
+    grad: &Tensor,
+    wrt: usize,
+) -> Tensor {
     let wrt_spec = &spec.inputs[wrt];
     let mut in_specs = vec![spec.output.clone()];
     let mut tensors: Vec<&Tensor> = vec![grad];
@@ -477,12 +623,20 @@ fn einsum_vjp(spec: &EinsumSpec, operands: &[&Tensor], grad: &Tensor, wrt: usize
         inputs: in_specs,
         output: reduced.clone(),
     };
-    let mut g = einsum_spec(&vjp_spec, &tensors).expect("vjp einsum executes");
+    let mut g = if reference {
+        einsum_spec_reference(&vjp_spec, &tensors).expect("vjp einsum executes")
+    } else {
+        engine
+            .einsum_parsed(&vjp_spec, &tensors, pool)
+            .expect("vjp einsum executes")
+    };
     // Broadcast along wrt-private indices (they were summed in the forward).
     for (pos, c) in wrt_spec.iter().enumerate() {
         if !reduced.contains(c) {
             let extent = operands[wrt].shape()[pos];
-            g = ops::repeat(&g, pos, extent);
+            let expanded = ops::repeat_in(pool, &g, pos, extent);
+            pool.recycle(g);
+            g = expanded;
         }
     }
     g
@@ -711,5 +865,56 @@ mod tests {
         let grads = tape.backward(loss);
         assert!(grads.get(x).is_some());
         assert!(grads.get(z).is_none());
+    }
+
+    /// Records one model-ish step on a tape and returns (loss bits, grad
+    /// tensors) — used to compare the compiled and reference engines.
+    fn one_step(tape: &mut Tape, seed: u64) -> (u32, Vec<Tensor>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x0 = randn(&mut rng, &[2, 3, 4]);
+        let w0 = randn(&mut rng, &[3, 5]);
+        let x = tape.leaf(x0);
+        let w = tape.leaf(w0);
+        let u = tape.unfold(x, 2, 3);
+        let s = tape.sum_axis(u, 3);
+        let y = tape.einsum("nch,cd->ndh", &[s, w]);
+        let r = tape.relu(y);
+        let p = tape.permute(r, &[0, 2, 1]);
+        let f = tape.reshape(p, &[2, 20]);
+        let h = tape.leaf(Tensor::ones(&[20, 3]));
+        let logits = tape.matmul(f, h);
+        let loss = tape.softmax_cross_entropy(logits, &[0, 2]);
+        let bits = tape.value(loss).data()[0].to_bits();
+        let grads = tape.backward(loss);
+        let gx = grads.get(x).unwrap().clone();
+        let gw = grads.get(w).unwrap().clone();
+        tape.recycle_gradients(grads);
+        (bits, vec![gx, gw])
+    }
+
+    #[test]
+    fn compiled_engine_matches_reference_bit_for_bit() {
+        let mut fast = Tape::new();
+        let mut slow = Tape::new_reference();
+        assert!(!fast.is_reference() && slow.is_reference());
+        let (lf, gf) = one_step(&mut fast, 42);
+        let (ls, gs) = one_step(&mut slow, 42);
+        assert_eq!(lf, ls, "loss bits diverge between engines");
+        for (a, b) in gf.iter().zip(&gs) {
+            assert_eq!(a.shape(), b.shape());
+            for (x, y) in a.data().iter().zip(b.data()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "gradient bits diverge");
+            }
+        }
+    }
+
+    #[test]
+    fn reset_reuses_buffers_and_keeps_results_identical() {
+        let mut tape = Tape::new();
+        let (first, _) = one_step(&mut tape, 7);
+        tape.reset();
+        assert!(tape.is_empty());
+        let (second, _) = one_step(&mut tape, 7);
+        assert_eq!(first, second, "reset must not change values");
     }
 }

@@ -5,10 +5,17 @@
 //! equivalent engine for the Rust runtime. Any number of operands is
 //! supported; indices absent from the output are summed.
 //!
-//! The implementation deliberately favors a direct dense loop over the full
-//! index space — the reproduction's performance story lives in the
-//! `syno-compiler` cost model, not in this runtime.
+//! Execution is *stride-compiled*: [`EinsumPlan::compile`] turns a spec plus
+//! operand shapes into a reusable program of per-loop-index strides, and
+//! execution walks the full index space once, updating every operand offset
+//! incrementally as the loop odometer ticks — no per-element stride dot
+//! products, no per-call allocation when driven through an
+//! [`EinsumEngine`]. The iteration order (and therefore the FP summation
+//! order) is exactly that of the original per-element implementation, which
+//! survives as [`einsum_reference`]: the differential-testing suite pins the
+//! two paths bit-for-bit equal.
 
+use crate::pool::ScratchPool;
 use crate::tensor::Tensor;
 use std::collections::BTreeMap;
 use std::error::Error;
@@ -97,28 +104,28 @@ impl EinsumSpec {
     }
 }
 
-/// Binds index letters to extents across all operands.
+/// Binds index letters to extents across all operand shapes.
 fn bind_extents(
     spec: &EinsumSpec,
-    operands: &[&Tensor],
+    shapes: &[&[usize]],
 ) -> Result<BTreeMap<char, usize>, EinsumError> {
-    if operands.len() != spec.inputs.len() {
+    if shapes.len() != spec.inputs.len() {
         return Err(EinsumError::BadSpec(format!(
             "{} operands for {} input specs",
-            operands.len(),
+            shapes.len(),
             spec.inputs.len()
         )));
     }
     let mut extents = BTreeMap::new();
-    for (input, t) in spec.inputs.iter().zip(operands) {
-        if input.len() != t.rank() {
+    for (input, shape) in spec.inputs.iter().zip(shapes) {
+        if input.len() != shape.len() {
             return Err(EinsumError::BadSpec(format!(
                 "operand rank {} != spec arity {}",
-                t.rank(),
+                shape.len(),
                 input.len()
             )));
         }
-        for (&c, &extent) in input.iter().zip(t.shape()) {
+        for (&c, &extent) in input.iter().zip(shape.iter()) {
             match extents.get(&c) {
                 Some(&e) if e != extent => return Err(EinsumError::ExtentMismatch(c)),
                 Some(_) => {}
@@ -136,13 +143,299 @@ fn bind_extents(
     Ok(extents)
 }
 
-/// Executes a parsed einsum over the operands.
+/// A stride-compiled einsum: the spec plus concrete operand shapes, lowered
+/// once into per-loop-index strides and reusable across executions.
+///
+/// The loop order (output indices first, then summed indices, both in
+/// first-seen order) matches [`einsum_reference`] exactly, so compiled and
+/// reference execution accumulate in the identical FP order and produce
+/// bit-identical outputs.
+#[derive(Clone, Debug)]
+pub struct EinsumPlan {
+    /// Loop extents, one per distinct index.
+    dims: Vec<usize>,
+    /// Total iteration count (matches the reference's `product().max(1)`).
+    total: usize,
+    /// Output tensor shape.
+    out_shape: Vec<usize>,
+    /// Operand shapes the plan was compiled for (validated at execution).
+    op_shapes: Vec<Vec<usize>>,
+    /// `op_strides[op][slot]`: offset delta when loop `slot` ticks.
+    op_strides: Vec<Vec<usize>>,
+    /// Output offset delta per loop slot.
+    out_strides: Vec<usize>,
+}
+
+impl EinsumPlan {
+    /// Compiles `spec` for the given operand shapes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates binding errors; see [`EinsumError`].
+    pub fn compile(spec: &EinsumSpec, shapes: &[&[usize]]) -> Result<Self, EinsumError> {
+        let extents = bind_extents(spec, shapes)?;
+        let order = spec.all_indices();
+        let dims: Vec<usize> = order.iter().map(|c| extents[c]).collect();
+        let out_shape: Vec<usize> = spec.output.iter().map(|c| extents[c]).collect();
+        let out_tensor_strides = Tensor::strides_of(&out_shape);
+
+        let mut op_strides: Vec<Vec<usize>> = Vec::with_capacity(shapes.len());
+        for (input, shape) in spec.inputs.iter().zip(shapes) {
+            let ts = Tensor::strides_of(shape);
+            let mut per_index = vec![0usize; order.len()];
+            for (pos, &c) in input.iter().enumerate() {
+                let slot = order.iter().position(|&o| o == c).expect("bound index");
+                per_index[slot] += ts[pos];
+            }
+            op_strides.push(per_index);
+        }
+        let mut out_strides = vec![0usize; order.len()];
+        for (pos, &c) in spec.output.iter().enumerate() {
+            let slot = order.iter().position(|&o| o == c).expect("output index");
+            out_strides[slot] += out_tensor_strides[pos];
+        }
+        Ok(EinsumPlan {
+            total: dims.iter().product::<usize>().max(1),
+            dims,
+            out_shape,
+            op_shapes: shapes.iter().map(|s| s.to_vec()).collect(),
+            op_strides,
+            out_strides,
+        })
+    }
+
+    /// The output shape this plan produces.
+    pub fn out_shape(&self) -> &[usize] {
+        &self.out_shape
+    }
+
+    /// `true` when `operands` match the shapes the plan was compiled for.
+    pub fn matches(&self, operands: &[&Tensor]) -> bool {
+        operands.len() == self.op_shapes.len()
+            && operands
+                .iter()
+                .zip(&self.op_shapes)
+                .all(|(t, s)| t.shape() == s.as_slice())
+    }
+
+    /// Accumulates the contraction into `out` (which must be zeroed and of
+    /// the plan's output element count). `idx`/`offs` are caller-provided
+    /// scratch so repeated execution allocates nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics when operand count/shapes disagree with the compiled shapes.
+    pub fn execute_into(
+        &self,
+        operands: &[&Tensor],
+        out: &mut [f32],
+        idx: &mut Vec<usize>,
+        offs: &mut Vec<usize>,
+    ) {
+        assert!(self.matches(operands), "operands do not match the plan");
+        assert_eq!(out.len(), self.out_shape.iter().product::<usize>());
+        idx.clear();
+        idx.resize(self.dims.len(), 0);
+        offs.clear();
+        offs.resize(operands.len(), 0);
+        // Specialize the dominant arities so the inner loop reads data
+        // slices hoisted out of the element loop (the iteration and
+        // summation order is identical across all three paths).
+        match operands {
+            [a] => self.run_loop(out, idx, offs, |offs| a.data()[offs[0]]),
+            [a, b] => {
+                let (a, b) = (a.data(), b.data());
+                self.run_loop(out, idx, offs, |offs| a[offs[0]] * b[offs[1]]);
+            }
+            _ => {
+                let datas: Vec<&[f32]> = operands.iter().map(|t| t.data()).collect();
+                self.run_loop(out, idx, offs, |offs| {
+                    let mut product = 1.0f32;
+                    for (data, &off) in datas.iter().zip(offs.iter()) {
+                        product *= data[off];
+                    }
+                    product
+                });
+            }
+        }
+    }
+
+    /// The shared odometer loop: `term` computes one element's product from
+    /// the current operand offsets.
+    fn run_loop(
+        &self,
+        out: &mut [f32],
+        idx: &mut [usize],
+        offs: &mut [usize],
+        term: impl Fn(&[usize]) -> f32,
+    ) {
+        let mut out_off = 0usize;
+        for _ in 0..self.total {
+            out[out_off] += term(offs);
+
+            // Odometer increment with incremental offset updates: a tick of
+            // loop `d` adds its stride; a wrap backs out the whole extent.
+            for d in (0..idx.len()).rev() {
+                idx[d] += 1;
+                if idx[d] < self.dims[d] {
+                    for (off, strides) in offs.iter_mut().zip(&self.op_strides) {
+                        *off += strides[d];
+                    }
+                    out_off += self.out_strides[d];
+                    break;
+                }
+                idx[d] = 0;
+                let back = self.dims[d] - 1;
+                for (off, strides) in offs.iter_mut().zip(&self.op_strides) {
+                    *off -= back * strides[d];
+                }
+                out_off -= back * self.out_strides[d];
+            }
+        }
+    }
+
+    /// Executes the plan into a fresh tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when operand shapes disagree with the compiled shapes.
+    pub fn execute(&self, operands: &[&Tensor]) -> Tensor {
+        let mut out = Tensor::zeros(&self.out_shape);
+        let (mut idx, mut offs) = (Vec::new(), Vec::new());
+        self.execute_into(operands, out.data_mut(), &mut idx, &mut offs);
+        out
+    }
+}
+
+/// A cache of [`EinsumPlan`]s keyed by spec and operand shapes, plus the
+/// execution scratch — one per executor/tape, so the per-candidate hot loop
+/// compiles each contraction once and then runs allocation-free.
+///
+/// Lookups compare the raw spec text (forward path) or the parsed spec
+/// (autodiff VJP path) against a small linear table; models use a handful
+/// of distinct contractions, so the scan is cheaper than hashing.
+#[derive(Debug, Default)]
+pub struct EinsumEngine {
+    entries: Vec<EngineEntry>,
+    idx: Vec<usize>,
+    offs: Vec<usize>,
+}
+
+#[derive(Debug)]
+struct EngineEntry {
+    /// Raw spec text (empty for entries created from parsed specs).
+    text: String,
+    spec: EinsumSpec,
+    plan: EinsumPlan,
+}
+
+impl EinsumEngine {
+    /// An empty engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of compiled plans.
+    pub fn plans(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Executes `spec` over `operands`, compiling and caching the plan on
+    /// first use; the output buffer comes from `pool`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse/binding errors; see [`EinsumError`].
+    pub fn einsum(
+        &mut self,
+        spec: &str,
+        operands: &[&Tensor],
+        pool: &mut ScratchPool,
+    ) -> Result<Tensor, EinsumError> {
+        let hit = self
+            .entries
+            .iter()
+            .position(|e| e.text == spec && e.plan.matches(operands));
+        let at = match hit {
+            Some(at) => at,
+            None => {
+                let parsed = EinsumSpec::parse(spec)?;
+                self.insert(spec.to_owned(), parsed, operands)?
+            }
+        };
+        Ok(self.run(at, operands, pool))
+    }
+
+    /// [`EinsumEngine::einsum`] for an already-parsed spec (the autodiff
+    /// backward path, whose VJP specs never exist as text).
+    ///
+    /// # Errors
+    ///
+    /// Propagates binding errors; see [`EinsumError`].
+    pub fn einsum_parsed(
+        &mut self,
+        spec: &EinsumSpec,
+        operands: &[&Tensor],
+        pool: &mut ScratchPool,
+    ) -> Result<Tensor, EinsumError> {
+        let hit = self
+            .entries
+            .iter()
+            .position(|e| e.spec == *spec && e.plan.matches(operands));
+        let at = match hit {
+            Some(at) => at,
+            None => self.insert(String::new(), spec.clone(), operands)?,
+        };
+        Ok(self.run(at, operands, pool))
+    }
+
+    fn insert(
+        &mut self,
+        text: String,
+        spec: EinsumSpec,
+        operands: &[&Tensor],
+    ) -> Result<usize, EinsumError> {
+        let shapes: Vec<&[usize]> = operands.iter().map(|t| t.shape()).collect();
+        let plan = EinsumPlan::compile(&spec, &shapes)?;
+        self.entries.push(EngineEntry { text, spec, plan });
+        Ok(self.entries.len() - 1)
+    }
+
+    fn run(&mut self, at: usize, operands: &[&Tensor], pool: &mut ScratchPool) -> Tensor {
+        let EinsumEngine { entries, idx, offs } = self;
+        let plan = &entries[at].plan;
+        let mut out = pool.take_tensor(plan.out_shape());
+        plan.execute_into(operands, out.data_mut(), idx, offs);
+        out
+    }
+}
+
+/// Executes a parsed einsum over the operands via a one-shot
+/// [`EinsumPlan`].
 ///
 /// # Errors
 ///
 /// Propagates binding errors; see [`EinsumError`].
 pub fn einsum_spec(spec: &EinsumSpec, operands: &[&Tensor]) -> Result<Tensor, EinsumError> {
-    let extents = bind_extents(spec, operands)?;
+    let shapes: Vec<&[usize]> = operands.iter().map(|t| t.shape()).collect();
+    Ok(EinsumPlan::compile(spec, &shapes)?.execute(operands))
+}
+
+/// The deliberately naive per-element reference implementation: for every
+/// point of the full index space, recompute each operand offset as a stride
+/// dot product. This is the pre-compilation engine, kept verbatim as the
+/// ground truth the stride-compiled path is differentially tested against
+/// (and the baseline the `proxy_train` bench measures speedup over).
+///
+/// # Errors
+///
+/// Propagates binding errors; see [`EinsumError`].
+pub fn einsum_spec_reference(
+    spec: &EinsumSpec,
+    operands: &[&Tensor],
+) -> Result<Tensor, EinsumError> {
+    let shapes: Vec<&[usize]> = operands.iter().map(|t| t.shape()).collect();
+    let extents = bind_extents(spec, &shapes)?;
     let order = spec.all_indices();
     let dims: Vec<usize> = order.iter().map(|c| extents[c]).collect();
     let out_shape: Vec<usize> = spec.output.iter().map(|c| extents[c]).collect();
@@ -194,6 +487,15 @@ pub fn einsum_spec(spec: &EinsumSpec, operands: &[&Tensor]) -> Result<Tensor, Ei
         }
     }
     Ok(out)
+}
+
+/// Parses and executes `spec` over `operands` with [`einsum_spec_reference`].
+///
+/// # Errors
+///
+/// Returns an [`EinsumError`] on malformed specs or shape conflicts.
+pub fn einsum_reference(spec: &str, operands: &[&Tensor]) -> Result<Tensor, EinsumError> {
+    einsum_spec_reference(&EinsumSpec::parse(spec)?, operands)
 }
 
 /// Parses and executes `spec` over `operands`.
@@ -331,5 +633,52 @@ mod tests {
             einsum("i->ij", &[&a]).unwrap_err(),
             EinsumError::UnboundOutput('j')
         );
+    }
+
+    #[test]
+    fn compiled_is_bit_identical_to_reference() {
+        let cases: &[(&str, Vec<Tensor>)] = &[
+            ("mk,kn->mn", vec![iota(&[3, 4]), iota(&[4, 2])]),
+            ("ii->", vec![iota(&[3, 3])]),
+            ("ii->i", vec![iota(&[3, 3])]),
+            ("nchw,dc->ndhw", vec![iota(&[2, 3, 4, 4]), iota(&[5, 3])]),
+            ("ij,jk,kl->il", vec![iota(&[2, 3]), iota(&[3, 2]), iota(&[2, 2])]),
+            ("ch,c->c", vec![iota(&[2, 3]), iota(&[2])]),
+            ("ij->", vec![iota(&[2, 3])]),
+        ];
+        for (spec, tensors) in cases {
+            let refs: Vec<&Tensor> = tensors.iter().collect();
+            let fast = einsum(spec, &refs).unwrap();
+            let slow = einsum_reference(spec, &refs).unwrap();
+            assert_eq!(fast.shape(), slow.shape(), "{spec}");
+            for (a, b) in fast.data().iter().zip(slow.data()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{spec}");
+            }
+        }
+    }
+
+    #[test]
+    fn engine_caches_plans_and_reuses_buffers() {
+        let mut engine = EinsumEngine::new();
+        let mut pool = ScratchPool::new();
+        let a = iota(&[2, 3]);
+        let b = iota(&[3, 2]);
+        let first = engine.einsum("mk,kn->mn", &[&a, &b], &mut pool).unwrap();
+        assert_eq!(engine.plans(), 1);
+        pool.recycle(first);
+        let again = engine.einsum("mk,kn->mn", &[&a, &b], &mut pool).unwrap();
+        assert_eq!(engine.plans(), 1, "same spec + shapes hit the cache");
+        assert!(pool.recycled() >= 1, "output buffer came from the pool");
+        assert_eq!(again, einsum_reference("mk,kn->mn", &[&a, &b]).unwrap());
+
+        // A different shape under the same text compiles a second plan.
+        let c = iota(&[4, 3]);
+        let _ = engine.einsum("mk,kn->mn", &[&c, &b], &mut pool).unwrap();
+        assert_eq!(engine.plans(), 2);
+
+        // The parsed-spec path shares the table.
+        let parsed = EinsumSpec::parse("mk,kn->mn").unwrap();
+        let via_parsed = engine.einsum_parsed(&parsed, &[&a, &b], &mut pool).unwrap();
+        assert_eq!(via_parsed, einsum("mk,kn->mn", &[&a, &b]).unwrap());
     }
 }

@@ -40,8 +40,13 @@ mod autodiff;
 mod einsum;
 pub mod init;
 pub mod ops;
+mod pool;
 mod tensor;
 
 pub use autodiff::{Gradients, Tape, Var};
-pub use einsum::{einsum, einsum_spec, matmul, EinsumError, EinsumSpec};
+pub use einsum::{
+    einsum, einsum_reference, einsum_spec, einsum_spec_reference, matmul, EinsumEngine,
+    EinsumError, EinsumPlan, EinsumSpec,
+};
+pub use pool::ScratchPool;
 pub use tensor::Tensor;

@@ -13,7 +13,71 @@
 //! | `Reduce` — sum a dimension         | [`sum_axis`] |
 //! | `Share`  — weight product          | [`crate::einsum`] |
 
+use crate::pool::ScratchPool;
 use crate::tensor::Tensor;
+
+/// An odometer over `dims` maintaining an affine offset: ticking dimension
+/// `d` adds `steps[d]`, wrapping it subtracts the whole extent back out.
+/// Replaces the per-element `(flat / stride) % extent` decode (one integer
+/// division per dimension per element) in the structural-op inner loops;
+/// the visit order — and therefore every op's read/write/accumulation
+/// order — is unchanged, so results stay bit-identical.
+struct Odometer {
+    dims: Vec<usize>,
+    coords: Vec<usize>,
+    steps: Vec<usize>,
+    offset: usize,
+}
+
+impl Odometer {
+    fn new(dims: &[usize], steps: Vec<usize>) -> Self {
+        debug_assert_eq!(dims.len(), steps.len());
+        Odometer {
+            dims: dims.to_vec(),
+            coords: vec![0; dims.len()],
+            steps,
+            offset: 0,
+        }
+    }
+
+    #[inline]
+    fn step(&mut self) {
+        for d in (0..self.dims.len()).rev() {
+            self.coords[d] += 1;
+            if self.coords[d] < self.dims[d] {
+                self.offset += self.steps[d];
+                return;
+            }
+            self.coords[d] = 0;
+            self.offset -= (self.dims[d] - 1) * self.steps[d];
+        }
+    }
+}
+
+/// Applies `f` elementwise into a pooled buffer (see [`Tensor::map`]).
+pub fn map_in(pool: &mut ScratchPool, t: &Tensor, f: impl Fn(f32) -> f32) -> Tensor {
+    let mut buf = pool.take_raw();
+    buf.extend(t.data().iter().map(|&x| f(x)));
+    Tensor::from_vec(buf, t.shape())
+}
+
+/// Combines two same-shape tensors elementwise into a pooled buffer (see
+/// [`Tensor::zip_map`]).
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn zip_map_in(
+    pool: &mut ScratchPool,
+    a: &Tensor,
+    b: &Tensor,
+    f: impl Fn(f32, f32) -> f32,
+) -> Tensor {
+    assert_eq!(a.shape(), b.shape(), "elementwise shape mismatch");
+    let mut buf = pool.take_raw();
+    buf.extend(a.data().iter().zip(b.data()).map(|(&x, &y)| f(x, y)));
+    Tensor::from_vec(buf, a.shape())
+}
 
 /// Reinterprets the buffer under a new shape of equal element count.
 ///
@@ -21,9 +85,18 @@ use crate::tensor::Tensor;
 ///
 /// Panics when element counts differ.
 pub fn reshape(t: &Tensor, shape: &[usize]) -> Tensor {
+    reshape_in(&mut ScratchPool::disabled(), t, shape)
+}
+
+/// [`reshape`] into a pooled buffer.
+///
+/// # Panics
+///
+/// Panics when element counts differ.
+pub fn reshape_in(pool: &mut ScratchPool, t: &Tensor, shape: &[usize]) -> Tensor {
     let numel: usize = shape.iter().product();
     assert_eq!(t.numel(), numel, "reshape element-count mismatch");
-    Tensor::from_vec(t.data().to_vec(), shape)
+    Tensor::from_vec(pool.take_copied(t.data()), shape)
 }
 
 /// Permutes axes: `out[i_perm[0], …] = in[i_0, …]`, i.e. axis `d` of the
@@ -33,6 +106,15 @@ pub fn reshape(t: &Tensor, shape: &[usize]) -> Tensor {
 ///
 /// Panics when `perm` is not a permutation of `0..rank`.
 pub fn permute(t: &Tensor, perm: &[usize]) -> Tensor {
+    permute_in(&mut ScratchPool::disabled(), t, perm)
+}
+
+/// [`permute`] into a pooled buffer.
+///
+/// # Panics
+///
+/// Panics when `perm` is not a permutation of `0..rank`.
+pub fn permute_in(pool: &mut ScratchPool, t: &Tensor, perm: &[usize]) -> Tensor {
     assert_eq!(perm.len(), t.rank(), "permutation rank mismatch");
     let mut seen = vec![false; perm.len()];
     for &p in perm {
@@ -42,19 +124,16 @@ pub fn permute(t: &Tensor, perm: &[usize]) -> Tensor {
     let in_shape = t.shape();
     let out_shape: Vec<usize> = perm.iter().map(|&p| in_shape[p]).collect();
     let in_strides = Tensor::strides_of(in_shape);
-    let mut out = Tensor::zeros(&out_shape);
-    let out_strides = Tensor::strides_of(&out_shape);
+    let mut out = pool.take_tensor(&out_shape);
     let numel = t.numel();
     let data = t.data();
     let out_data = out.data_mut();
-    for (flat, item) in out_data.iter_mut().enumerate().take(numel) {
-        // Decode output index, map through perm, encode input offset.
-        let mut in_off = 0;
-        for d in 0..perm.len() {
-            let coord = (flat / out_strides[d]) % out_shape[d];
-            in_off += coord * in_strides[perm[d]];
-        }
-        *item = data[in_off];
+    // Output axis d walks input axis perm[d].
+    let steps: Vec<usize> = perm.iter().map(|&p| in_strides[p]).collect();
+    let mut odo = Odometer::new(&out_shape, steps);
+    for item in out_data.iter_mut().take(numel) {
+        *item = data[odo.offset];
+        odo.step();
     }
     out
 }
@@ -75,18 +154,32 @@ pub fn inverse_permutation(perm: &[usize]) -> Vec<usize> {
 ///
 /// Panics when `axis` is out of range.
 pub fn roll(t: &Tensor, axis: usize, amount: i64) -> Tensor {
+    roll_in(&mut ScratchPool::disabled(), t, axis, amount)
+}
+
+/// [`roll`] into a pooled buffer.
+///
+/// # Panics
+///
+/// Panics when `axis` is out of range.
+pub fn roll_in(pool: &mut ScratchPool, t: &Tensor, axis: usize, amount: i64) -> Tensor {
     assert!(axis < t.rank(), "axis out of range");
     let shape = t.shape().to_vec();
     let n = shape[axis] as i64;
     let strides = Tensor::strides_of(&shape);
-    let mut out = Tensor::zeros(&shape);
+    let mut out = pool.take_tensor(&shape);
     let data = t.data();
     let out_data = out.data_mut();
-    for (flat, item) in out_data.iter_mut().enumerate() {
-        let coord = ((flat / strides[axis]) % shape[axis]) as i64;
-        let src = (coord + amount).rem_euclid(n) as usize;
-        let src_off = flat - (coord as usize) * strides[axis] + src * strides[axis];
-        *item = data[src_off];
+    // Offset carries every axis except `axis`; the rotated coordinate is
+    // resolved per element from the odometer position.
+    let steps: Vec<usize> = (0..shape.len())
+        .map(|d| if d == axis { 0 } else { strides[d] })
+        .collect();
+    let mut odo = Odometer::new(&shape, steps);
+    for item in out_data.iter_mut() {
+        let src = (odo.coords[axis] as i64 + amount).rem_euclid(n) as usize;
+        *item = data[odo.offset + src * strides[axis]];
+        odo.step();
     }
     out
 }
@@ -100,32 +193,39 @@ pub fn roll(t: &Tensor, axis: usize, amount: i64) -> Tensor {
 ///
 /// Panics when `axis` is out of range or `k == 0`.
 pub fn unfold(t: &Tensor, axis: usize, k: usize) -> Tensor {
+    unfold_in(&mut ScratchPool::disabled(), t, axis, k)
+}
+
+/// [`unfold`] into a pooled buffer.
+///
+/// # Panics
+///
+/// Panics when `axis` is out of range or `k == 0`.
+pub fn unfold_in(pool: &mut ScratchPool, t: &Tensor, axis: usize, k: usize) -> Tensor {
     assert!(axis < t.rank(), "axis out of range");
     assert!(k > 0, "window must be positive");
     let in_shape = t.shape().to_vec();
+    let rank = in_shape.len();
     let n = in_shape[axis] as i64;
+    let half = (k / 2) as i64;
     let mut out_shape = in_shape.clone();
     out_shape.push(k);
     let in_strides = Tensor::strides_of(&in_shape);
-    let out_strides = Tensor::strides_of(&out_shape);
-    let mut out = Tensor::zeros(&out_shape);
+    let mut out = pool.take_tensor(&out_shape);
     let data = t.data();
     let out_data = out.data_mut();
-    for (flat, item) in out_data.iter_mut().enumerate() {
-        let j = (flat / out_strides[in_shape.len()]) % k;
-        let i = (flat / out_strides[axis]) % in_shape[axis];
-        let src = i as i64 + j as i64 - (k / 2) as i64;
-        if src < 0 || src >= n {
-            continue; // zero padding
-        }
-        // Rebuild the input offset: all axes except the trailing window axis.
-        let mut in_off = 0;
-        for d in 0..in_shape.len() {
-            let coord = (flat / out_strides[d]) % out_shape[d];
-            let coord = if d == axis { src as usize } else { coord };
-            in_off += coord * in_strides[d];
-        }
-        *item = data[in_off];
+    // Offset carries every input axis except the unfolded one; the window
+    // position is resolved per element from the odometer coordinates.
+    let steps: Vec<usize> = (0..out_shape.len())
+        .map(|d| if d == axis || d >= rank { 0 } else { in_strides[d] })
+        .collect();
+    let mut odo = Odometer::new(&out_shape, steps);
+    for item in out_data.iter_mut() {
+        let src = odo.coords[axis] as i64 + odo.coords[rank] as i64 - half;
+        if src >= 0 && src < n {
+            *item = data[odo.offset + src as usize * in_strides[axis]];
+        } // else: zero padding
+        odo.step();
     }
     out
 }
@@ -137,31 +237,43 @@ pub fn unfold(t: &Tensor, axis: usize, k: usize) -> Tensor {
 ///
 /// Panics when `grad`'s trailing axis is not `k` or shapes mismatch.
 pub fn fold_acc(grad: &Tensor, axis: usize, k: usize, in_shape: &[usize]) -> Tensor {
+    fold_acc_in(&mut ScratchPool::disabled(), grad, axis, k, in_shape)
+}
+
+/// [`fold_acc`] into a pooled buffer.
+///
+/// # Panics
+///
+/// Panics when `grad`'s trailing axis is not `k` or shapes mismatch.
+pub fn fold_acc_in(
+    pool: &mut ScratchPool,
+    grad: &Tensor,
+    axis: usize,
+    k: usize,
+    in_shape: &[usize],
+) -> Tensor {
     assert_eq!(grad.rank(), in_shape.len() + 1, "fold rank mismatch");
     assert_eq!(*grad.shape().last().unwrap(), k, "fold window mismatch");
+    let rank = in_shape.len();
     let n = in_shape[axis] as i64;
-    let out_strides = Tensor::strides_of(grad.shape());
+    let half = (k / 2) as i64;
     let in_strides = Tensor::strides_of(in_shape);
-    let mut out = Tensor::zeros(in_shape);
-    let out_shape = grad.shape().to_vec();
+    let mut out = pool.take_tensor(in_shape);
+    let grad_shape = grad.shape().to_vec();
     let data = grad.data();
-    for (flat, &g) in data.iter().enumerate() {
-        if g == 0.0 {
-            continue;
+    let out_data = out.data_mut();
+    let steps: Vec<usize> = (0..grad_shape.len())
+        .map(|d| if d == axis || d >= rank { 0 } else { in_strides[d] })
+        .collect();
+    let mut odo = Odometer::new(&grad_shape, steps);
+    for &g in data.iter() {
+        if g != 0.0 {
+            let src = odo.coords[axis] as i64 + odo.coords[rank] as i64 - half;
+            if src >= 0 && src < n {
+                out_data[odo.offset + src as usize * in_strides[axis]] += g;
+            }
         }
-        let j = (flat / out_strides[in_shape.len()]) % k;
-        let i = (flat / out_strides[axis]) % out_shape[axis];
-        let src = i as i64 + j as i64 - (k / 2) as i64;
-        if src < 0 || src >= n {
-            continue;
-        }
-        let mut in_off = 0;
-        for d in 0..in_shape.len() {
-            let coord = (flat / out_strides[d]) % out_shape[d];
-            let coord = if d == axis { src as usize } else { coord };
-            in_off += coord * in_strides[d];
-        }
-        out.data_mut()[in_off] += g;
+        odo.step();
     }
     out
 }
@@ -173,42 +285,59 @@ pub fn fold_acc(grad: &Tensor, axis: usize, k: usize, in_shape: &[usize]) -> Ten
 ///
 /// Panics when `axis` is out of range or `s` does not divide the extent.
 pub fn strided(t: &Tensor, axis: usize, s: usize) -> Tensor {
+    strided_in(&mut ScratchPool::disabled(), t, axis, s)
+}
+
+/// [`strided`] into a pooled buffer.
+///
+/// # Panics
+///
+/// Panics when `axis` is out of range or `s` does not divide the extent.
+pub fn strided_in(pool: &mut ScratchPool, t: &Tensor, axis: usize, s: usize) -> Tensor {
     assert!(axis < t.rank(), "axis out of range");
     let in_shape = t.shape().to_vec();
     assert!(s > 0 && in_shape[axis].is_multiple_of(s), "stride must divide extent");
     let mut out_shape = in_shape.clone();
     out_shape[axis] = in_shape[axis] / s;
     let in_strides = Tensor::strides_of(&in_shape);
-    let out_strides = Tensor::strides_of(&out_shape);
-    let mut out = Tensor::zeros(&out_shape);
+    let mut out = pool.take_tensor(&out_shape);
     let data = t.data();
     let out_data = out.data_mut();
-    for (flat, item) in out_data.iter_mut().enumerate() {
-        let mut in_off = 0;
-        for d in 0..in_shape.len() {
-            let coord = (flat / out_strides[d]) % out_shape[d];
-            let coord = if d == axis { coord * s } else { coord };
-            in_off += coord * in_strides[d];
-        }
-        *item = data[in_off];
+    let steps: Vec<usize> = (0..in_shape.len())
+        .map(|d| if d == axis { s * in_strides[d] } else { in_strides[d] })
+        .collect();
+    let mut odo = Odometer::new(&out_shape, steps);
+    for item in out_data.iter_mut() {
+        *item = data[odo.offset];
+        odo.step();
     }
     out
 }
 
 /// Transpose of [`strided`]: scatters gradients to the multiples of `s`.
 pub fn strided_scatter(grad: &Tensor, axis: usize, s: usize, in_shape: &[usize]) -> Tensor {
-    let out_strides = Tensor::strides_of(grad.shape());
+    strided_scatter_in(&mut ScratchPool::disabled(), grad, axis, s, in_shape)
+}
+
+/// [`strided_scatter`] into a pooled buffer.
+pub fn strided_scatter_in(
+    pool: &mut ScratchPool,
+    grad: &Tensor,
+    axis: usize,
+    s: usize,
+    in_shape: &[usize],
+) -> Tensor {
     let in_strides = Tensor::strides_of(in_shape);
-    let mut out = Tensor::zeros(in_shape);
+    let mut out = pool.take_tensor(in_shape);
     let grad_shape = grad.shape().to_vec();
-    for (flat, &g) in grad.data().iter().enumerate() {
-        let mut in_off = 0;
-        for d in 0..in_shape.len() {
-            let coord = (flat / out_strides[d]) % grad_shape[d];
-            let coord = if d == axis { coord * s } else { coord };
-            in_off += coord * in_strides[d];
-        }
-        out.data_mut()[in_off] += g;
+    let out_data = out.data_mut();
+    let steps: Vec<usize> = (0..in_shape.len())
+        .map(|d| if d == axis { s * in_strides[d] } else { in_strides[d] })
+        .collect();
+    let mut odo = Odometer::new(&grad_shape, steps);
+    for &g in grad.data().iter() {
+        out_data[odo.offset] += g;
+        odo.step();
     }
     out
 }
@@ -220,26 +349,29 @@ pub fn strided_scatter(grad: &Tensor, axis: usize, s: usize, in_shape: &[usize])
 ///
 /// Panics when `axis > rank`.
 pub fn repeat(t: &Tensor, axis: usize, times: usize) -> Tensor {
+    repeat_in(&mut ScratchPool::disabled(), t, axis, times)
+}
+
+/// [`repeat`] into a pooled buffer.
+///
+/// # Panics
+///
+/// Panics when `axis > rank`.
+pub fn repeat_in(pool: &mut ScratchPool, t: &Tensor, axis: usize, times: usize) -> Tensor {
     assert!(axis <= t.rank(), "axis out of range");
     let mut out_shape = t.shape().to_vec();
     out_shape.insert(axis, times);
     let in_strides = Tensor::strides_of(t.shape());
-    let out_strides = Tensor::strides_of(&out_shape);
-    let mut out = Tensor::zeros(&out_shape);
+    let mut out = pool.take_tensor(&out_shape);
     let data = t.data();
     let out_data = out.data_mut();
-    for (flat, item) in out_data.iter_mut().enumerate() {
-        let mut in_off = 0;
-        let mut in_d = 0;
-        for d in 0..out_shape.len() {
-            if d == axis {
-                continue;
-            }
-            let coord = (flat / out_strides[d]) % out_shape[d];
-            in_off += coord * in_strides[in_d];
-            in_d += 1;
-        }
-        *item = data[in_off];
+    // The inserted axis contributes nothing to the input offset.
+    let mut steps = in_strides;
+    steps.insert(axis, 0);
+    let mut odo = Odometer::new(&out_shape, steps);
+    for item in out_data.iter_mut() {
+        *item = data[odo.offset];
+        odo.step();
     }
     out
 }
@@ -250,25 +382,30 @@ pub fn repeat(t: &Tensor, axis: usize, times: usize) -> Tensor {
 ///
 /// Panics when `axis` is out of range.
 pub fn sum_axis(t: &Tensor, axis: usize) -> Tensor {
+    sum_axis_in(&mut ScratchPool::disabled(), t, axis)
+}
+
+/// [`sum_axis`] into a pooled buffer.
+///
+/// # Panics
+///
+/// Panics when `axis` is out of range.
+pub fn sum_axis_in(pool: &mut ScratchPool, t: &Tensor, axis: usize) -> Tensor {
     assert!(axis < t.rank(), "axis out of range");
     let in_shape = t.shape().to_vec();
     let mut out_shape = in_shape.clone();
     out_shape.remove(axis);
-    let in_strides = Tensor::strides_of(&in_shape);
     let out_strides = Tensor::strides_of(&out_shape);
-    let mut out = Tensor::zeros(&out_shape);
-    for (flat, &v) in t.data().iter().enumerate() {
-        let mut out_off = 0;
-        let mut out_d = 0;
-        for d in 0..in_shape.len() {
-            if d == axis {
-                continue;
-            }
-            let coord = (flat / in_strides[d]) % in_shape[d];
-            out_off += coord * out_strides[out_d];
-            out_d += 1;
-        }
-        out.data_mut()[out_off] += v;
+    let mut out = pool.take_tensor(&out_shape);
+    let out_data = out.data_mut();
+    // Walk the input in order; the summed axis contributes no output step,
+    // so the accumulation order per output slot is unchanged.
+    let mut steps = out_strides;
+    steps.insert(axis, 0);
+    let mut odo = Odometer::new(&in_shape, steps);
+    for &v in t.data().iter() {
+        out_data[odo.offset] += v;
+        odo.step();
     }
     out
 }
@@ -289,10 +426,19 @@ pub fn mean_axis(t: &Tensor, axis: usize) -> Tensor {
 ///
 /// Panics on rank-0 input.
 pub fn softmax_last(t: &Tensor) -> Tensor {
+    softmax_last_in(&mut ScratchPool::disabled(), t)
+}
+
+/// [`softmax_last`] into a pooled buffer.
+///
+/// # Panics
+///
+/// Panics on rank-0 input.
+pub fn softmax_last_in(pool: &mut ScratchPool, t: &Tensor) -> Tensor {
     assert!(t.rank() >= 1, "softmax needs rank >= 1");
     let last = *t.shape().last().unwrap();
     let rows = t.numel() / last;
-    let mut out = t.clone();
+    let mut out = pool.take_clone(t);
     let data = out.data_mut();
     for r in 0..rows {
         let row = &mut data[r * last..(r + 1) * last];

@@ -1,0 +1,158 @@
+//! Buffer recycling for the execution hot path.
+//!
+//! Candidate evaluation dominates search wall-clock, and its inner loop —
+//! proxy training — used to allocate a fresh `Vec<f32>` for every tensor an
+//! op produced, every step. A [`ScratchPool`] keeps those buffers alive
+//! across calls (and, via [`Tape::reset`](crate::Tape::reset), across
+//! training steps): `take*` hands out a recycled buffer when one is
+//! available, `recycle*` returns buffers once their tensors are dead.
+//!
+//! Recycling is **value-invisible**: a taken buffer is always fully
+//! initialized (zeroed, copied, or filled by the caller) before it becomes a
+//! tensor, so pooled and unpooled execution produce bit-identical results —
+//! the invariant the differential-testing suite pins.
+
+use crate::tensor::Tensor;
+
+/// A recycling allocator for `f32` buffers.
+///
+/// Buffers are handed out LIFO; training loops repeat the same op sequence
+/// with the same shapes each step, so after a warm-up step the pool serves
+/// every request without touching the system allocator.
+///
+/// # Examples
+///
+/// ```
+/// use syno_tensor::ScratchPool;
+///
+/// let mut pool = ScratchPool::new();
+/// let buf = pool.take_zeroed(16);
+/// assert!(buf.iter().all(|&x| x == 0.0));
+/// pool.recycle_buffer(buf);
+/// assert_eq!(pool.recycled(), 0); // not yet re-served
+/// let again = pool.take_zeroed(8);
+/// assert_eq!(again.len(), 8);
+/// assert_eq!(pool.recycled(), 1); // served from the pool
+/// ```
+#[derive(Debug, Default)]
+pub struct ScratchPool {
+    free: Vec<Vec<f32>>,
+    disabled: bool,
+    recycled: usize,
+}
+
+impl ScratchPool {
+    /// An empty, enabled pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A pool that never recycles: every `take*` allocates fresh and every
+    /// `recycle*` drops. This is the pre-PR allocation behavior, kept for
+    /// the reference engine mode the differential tests and the
+    /// `proxy_train` bench compare against.
+    pub fn disabled() -> Self {
+        ScratchPool {
+            disabled: true,
+            ..Self::default()
+        }
+    }
+
+    /// How many `take*` requests were served from recycled buffers.
+    pub fn recycled(&self) -> usize {
+        self.recycled
+    }
+
+    /// An empty buffer (length 0), reusing a pooled allocation when one is
+    /// available. The caller fills it.
+    pub fn take_raw(&mut self) -> Vec<f32> {
+        match self.free.pop() {
+            Some(mut buf) => {
+                buf.clear();
+                self.recycled += 1;
+                buf
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// A buffer of `numel` zeros.
+    pub fn take_zeroed(&mut self, numel: usize) -> Vec<f32> {
+        let mut buf = self.take_raw();
+        buf.resize(numel, 0.0);
+        buf
+    }
+
+    /// A buffer holding a copy of `data`.
+    pub fn take_copied(&mut self, data: &[f32]) -> Vec<f32> {
+        let mut buf = self.take_raw();
+        buf.extend_from_slice(data);
+        buf
+    }
+
+    /// A zero tensor of `shape`, backed by a pooled buffer.
+    pub fn take_tensor(&mut self, shape: &[usize]) -> Tensor {
+        let numel = shape.iter().product();
+        Tensor::from_vec(self.take_zeroed(numel), shape)
+    }
+
+    /// A copy of `t` backed by a pooled buffer.
+    pub fn take_clone(&mut self, t: &Tensor) -> Tensor {
+        Tensor::from_vec(self.take_copied(t.data()), t.shape())
+    }
+
+    /// Returns a raw buffer to the pool.
+    pub fn recycle_buffer(&mut self, buf: Vec<f32>) {
+        if !self.disabled && buf.capacity() > 0 {
+            self.free.push(buf);
+        }
+    }
+
+    /// Returns a tensor's backing buffer to the pool.
+    pub fn recycle(&mut self, t: Tensor) {
+        self.recycle_buffer(t.into_vec());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_cycle_and_grow() {
+        let mut pool = ScratchPool::new();
+        let a = pool.take_zeroed(4);
+        pool.recycle_buffer(a);
+        let b = pool.take_zeroed(8);
+        assert_eq!(b.len(), 8);
+        assert!(b.iter().all(|&x| x == 0.0));
+        assert_eq!(pool.recycled(), 1);
+    }
+
+    #[test]
+    fn recycled_buffers_come_back_zeroed() {
+        let mut pool = ScratchPool::new();
+        let mut t = pool.take_tensor(&[2, 2]);
+        t.data_mut().fill(7.0);
+        pool.recycle(t);
+        let again = pool.take_tensor(&[2, 2]);
+        assert_eq!(again.data(), &[0.0; 4]);
+    }
+
+    #[test]
+    fn copied_matches_source() {
+        let mut pool = ScratchPool::new();
+        let src = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
+        let copy = pool.take_clone(&src);
+        assert_eq!(copy, src);
+    }
+
+    #[test]
+    fn disabled_pool_never_recycles() {
+        let mut pool = ScratchPool::disabled();
+        let a = pool.take_zeroed(4);
+        pool.recycle_buffer(a);
+        let _ = pool.take_zeroed(4);
+        assert_eq!(pool.recycled(), 0);
+    }
+}

@@ -1,8 +1,16 @@
 //! Property-based tests over the tensor runtime: structural-op round trips,
-//! einsum laws, and adjointness of the view operations' backward passes.
+//! einsum laws, adjointness of the view operations' backward passes, and the
+//! differential contract of the stride-compiled einsum engine: for random
+//! specs and shapes it must equal the deliberately naive per-element
+//! reference implementation **exactly** (same bits — the FP summation order
+//! is part of the engine's contract).
 
 use proptest::prelude::*;
-use syno_tensor::{einsum, ops, Tensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use syno_tensor::{
+    einsum, einsum_spec, einsum_spec_reference, ops, EinsumSpec, Tensor,
+};
 
 fn tensor_2d() -> impl Strategy<Value = Tensor> {
     (1usize..5, 1usize..5).prop_flat_map(|(r, c)| {
@@ -94,5 +102,72 @@ proptest! {
         let s1 = ops::sum_axis(&t, 1).sum_all();
         prop_assert!((s0 - t.sum_all()).abs() < 1e-2);
         prop_assert!((s1 - t.sum_all()).abs() < 1e-2);
+    }
+
+    /// The execution-engine differential: a random einsum spec over random
+    /// shapes produces the same bits from the stride-compiled plan as from
+    /// the naive per-element reference.
+    #[test]
+    fn compiled_einsum_matches_naive_reference_exactly(seed in 0u64..u64::MAX) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        const LETTERS: [char; 4] = ['a', 'b', 'c', 'd'];
+        let extents: Vec<usize> = (0..LETTERS.len())
+            .map(|_| rng.random_range(1usize..5))
+            .collect();
+
+        // Random operands: 1-3 tensors of rank 0-3, letters drawn with
+        // repetition (duplicates like "aa" are legal einsum inputs).
+        let n_ops = rng.random_range(1usize..=3);
+        let mut inputs: Vec<Vec<char>> = Vec::new();
+        let mut tensors: Vec<Tensor> = Vec::new();
+        let mut used: Vec<char> = Vec::new();
+        for _ in 0..n_ops {
+            let rank = rng.random_range(0usize..=3);
+            let letters: Vec<char> = (0..rank)
+                .map(|_| LETTERS[rng.random_range(0usize..LETTERS.len())])
+                .collect();
+            let shape: Vec<usize> = letters
+                .iter()
+                .map(|c| extents[LETTERS.iter().position(|l| l == c).unwrap()])
+                .collect();
+            let numel: usize = shape.iter().product();
+            let data: Vec<f32> = (0..numel)
+                .map(|_| rng.random_range(-4.0f32..4.0))
+                .collect();
+            tensors.push(Tensor::from_vec(data, &shape));
+            for &c in &letters {
+                if !used.contains(&c) {
+                    used.push(c);
+                }
+            }
+            inputs.push(letters);
+        }
+
+        // Random output: a shuffled subset of the used letters (duplicates
+        // excluded so the spec stays VJP-compatible with the tape's rules).
+        let mut output: Vec<char> = used
+            .iter()
+            .copied()
+            .filter(|_| rng.random_bool(0.5))
+            .collect();
+        for i in (1..output.len()).rev() {
+            output.swap(i, rng.random_range(0usize..=i));
+        }
+
+        let spec = EinsumSpec { inputs, output };
+        let operands: Vec<&Tensor> = tensors.iter().collect();
+        let fast = einsum_spec(&spec, &operands).expect("compiled path executes");
+        let slow = einsum_spec_reference(&spec, &operands).expect("reference path executes");
+        prop_assert_eq!(fast.shape(), slow.shape());
+        for (i, (a, b)) in fast.data().iter().zip(slow.data()).enumerate() {
+            prop_assert!(
+                a.to_bits() == b.to_bits(),
+                "element {} diverges ({} vs {}) for spec {}",
+                i,
+                a,
+                b,
+                spec.render()
+            );
+        }
     }
 }
