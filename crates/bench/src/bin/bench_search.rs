@@ -1,16 +1,18 @@
 //! Prints the search-throughput comparison and writes it to
 //! `BENCH_search.json` (the CI perf-trajectory artifact): serial vs
-//! pipelined evaluation, the vision + LM multi-scenario section, and the
-//! cold/warm store section.
+//! pipelined evaluation, the vision + LM multi-scenario section, the
+//! cold/warm store section, and the `serve` section (per-tenant
+//! candidates/sec through the `syno-serve` daemon at 1/2/4 concurrent
+//! sessions vs the in-process baseline).
 //!
 //! Environment knobs (all optional):
 //!
 //! * `BENCH_SEARCH_MODE` — `throughput` (all sections, never asserts; CI
 //!   runs this non-gating), `determinism` (serial-vs-pipelined and
 //!   cold-vs-warm candidate-set checks only — the unasserted
-//!   multi-scenario timing is skipped — exits nonzero on a violation; CI
-//!   runs this as a gating step), or `full` (all sections *and* the
-//!   assertions — the default for humans running it locally).
+//!   multi-scenario and serve timings are skipped — exits nonzero on a
+//!   violation; CI runs this as a gating step), or `full` (all sections
+//!   *and* the assertions — the default for humans running it locally).
 //! * `BENCH_SEARCH_ITERATIONS` (default 30), `BENCH_SEARCH_PROXY_STEPS`
 //!   (default 6), `BENCH_SEARCH_WORKERS` (default 4), `BENCH_SEARCH_OUT`
 //!   (default `BENCH_search.json`), `BENCH_PROXY_TRAIN_STEPS` (default
@@ -24,6 +26,7 @@
 
 use syno_bench::proxy_train::{proxy_train_data, ProxyTrainData};
 use syno_bench::search_pipeline::{search_pipeline_data, SearchPipelineData};
+use syno_bench::serve_bench::{serve_data, ServeData, ServeSample};
 
 fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name)
@@ -58,7 +61,35 @@ fn proxy_train_json(data: &ProxyTrainData) -> String {
     )
 }
 
-fn to_json(data: &SearchPipelineData, proxy: &ProxyTrainData) -> String {
+fn serve_sample_json(sample: &ServeSample) -> String {
+    format!(
+        concat!(
+            "{{ \"sessions\": {}, \"wall_secs\": {:.4}, \"candidates\": {}, ",
+            "\"per_tenant_candidates_per_sec\": {:.4} }}"
+        ),
+        sample.sessions, sample.wall_secs, sample.candidates, sample.per_tenant_throughput,
+    )
+}
+
+fn serve_json(data: &ServeData) -> String {
+    let fanout: Vec<String> = data.fanout.iter().map(serve_sample_json).collect();
+    format!(
+        concat!(
+            ",\n  \"serve\": {{ \"iterations\": {}, \"eval_workers\": {}, ",
+            "\"in_process_baseline\": {}, \"fanout\": [{}] }}"
+        ),
+        data.iterations,
+        data.eval_workers,
+        serve_sample_json(&data.baseline),
+        fanout.join(", "),
+    )
+}
+
+fn to_json(
+    data: &SearchPipelineData,
+    proxy: &ProxyTrainData,
+    serve: Option<&ServeData>,
+) -> String {
     let mut out = format!(
         concat!(
             "{{\n",
@@ -109,6 +140,9 @@ fn to_json(data: &SearchPipelineData, proxy: &ProxyTrainData) -> String {
             warm.identical_sets,
         ));
     }
+    if let Some(serve) = serve {
+        out.push_str(&serve_json(serve));
+    }
     out.push_str(&proxy_train_json(proxy));
     out.push_str("\n}\n");
     out
@@ -116,11 +150,11 @@ fn to_json(data: &SearchPipelineData, proxy: &ProxyTrainData) -> String {
 
 fn main() {
     let mode = std::env::var("BENCH_SEARCH_MODE").unwrap_or_else(|_| "full".into());
-    // (with_multi_scenario, with_warm_store, asserting, write_json)
-    let (with_multi, with_warm, asserting, write_json) = match mode.as_str() {
-        "throughput" => (true, true, false, true),
-        "determinism" => (false, true, true, false),
-        "full" => (true, true, true, true),
+    // (with_multi_scenario, with_warm_store, with_serve, asserting, write_json)
+    let (with_multi, with_warm, with_serve, asserting, write_json) = match mode.as_str() {
+        "throughput" => (true, true, true, false, true),
+        "determinism" => (false, true, false, true, false),
+        "full" => (true, true, true, true, true),
         other => {
             eprintln!("unknown BENCH_SEARCH_MODE '{other}' (throughput|determinism|full)");
             std::process::exit(2);
@@ -143,6 +177,15 @@ fn main() {
          {kernel_iters} kernel executions ..."
     );
     let proxy = proxy_train_data(train_steps, kernel_iters);
+    let serve = if with_serve {
+        eprintln!(
+            "serve bench: {iterations} iterations/session, daemon fan-out at 1/2/4 \
+             sessions over a {workers}-wide shared eval pool ..."
+        );
+        Some(serve_data(iterations, proxy_steps, workers))
+    } else {
+        None
+    };
 
     println!("mode        eval_workers  wall_secs  candidates  cand/sec");
     for sample in [&data.serial, &data.pipelined] {
@@ -177,6 +220,19 @@ fn main() {
             warm.warm_trainings,
             warm.identical_sets
         );
+    }
+
+    if let Some(serve) = &serve {
+        println!(
+            "serve (daemon, {}-wide shared pool): in-process baseline {:.3} cand/sec/tenant",
+            serve.eval_workers, serve.baseline.per_tenant_throughput
+        );
+        for level in &serve.fanout {
+            println!(
+                "  {} session(s): {:>9.3}s wall, {:>3} candidates, {:.3} cand/sec/tenant",
+                level.sessions, level.wall_secs, level.candidates, level.per_tenant_throughput
+            );
+        }
     }
 
     println!(
@@ -215,7 +271,7 @@ fn main() {
     }
 
     if write_json {
-        let json = to_json(&data, &proxy);
+        let json = to_json(&data, &proxy, serve.as_ref());
         std::fs::write(&out, &json).expect("write bench json");
         eprintln!("wrote {out}");
     }

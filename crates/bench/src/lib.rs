@@ -2,11 +2,11 @@
 //!
 //! Each `figN_*` function computes the data behind one figure of §9; the
 //! `src/bin/*` binaries print them as tables and the Criterion benches
-//! exercise the same paths. [`search_pipeline`] and [`proxy_train`] are
-//! the odd ones out: repo-perf probes (serial vs pipelined candidate
-//! evaluation; stride-compiled vs reference execution engine — the
-//! `bench_search` binary / `BENCH_search.json` CI artifact) rather than
-//! paper figures. Absolute latencies come from the
+//! exercise the same paths. [`search_pipeline`], [`proxy_train`] and
+//! [`serve_bench`] are the odd ones out: repo-perf probes (serial vs
+//! pipelined candidate evaluation; stride-compiled vs reference execution
+//! engine; daemon fan-out per-tenant throughput — the `bench_search`
+//! binary / `BENCH_search.json` CI artifact) rather than paper figures. Absolute latencies come from the
 //! `syno-compiler` machine models, accuracies from the `syno-nn` proxies —
 //! see EXPERIMENTS.md for the paper-vs-measured comparison.
 
@@ -19,6 +19,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod proxy_train;
 pub mod search_pipeline;
+pub mod serve_bench;
 pub mod table3;
 
 pub use fig10::{fig10_data, Fig10Data};
@@ -28,4 +29,5 @@ pub use fig8::{fig8_data, Fig8Row};
 pub use fig9::{fig9_data, Fig9Row};
 pub use proxy_train::{proxy_train_data, EngineSample, ProxyTrainData};
 pub use search_pipeline::{search_pipeline_data, PipelineSample, SearchPipelineData};
+pub use serve_bench::{serve_data, ServeData, ServeSample};
 pub use table3::{ablation_shape_distance, table3_data, SdAblation, Table3Row};

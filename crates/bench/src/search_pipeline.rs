@@ -98,7 +98,7 @@ pub struct SearchPipelineData {
 
 /// The 4-D conv-like spec the accuracy proxy can score — the same shape
 /// family as the search integration tests.
-fn bench_scenario() -> (Arc<VarTable>, OperatorSpec) {
+pub(crate) fn bench_scenario() -> (Arc<VarTable>, OperatorSpec) {
     let mut vars = VarTable::new();
     let n = vars.declare("N", VarKind::Primary);
     let cin = vars.declare("Cin", VarKind::Primary);
@@ -142,7 +142,7 @@ fn lm_bench_scenario() -> (Arc<VarTable>, OperatorSpec) {
     (vars, spec)
 }
 
-fn bench_proxy(proxy_steps: usize) -> ProxyConfig {
+pub(crate) fn bench_proxy(proxy_steps: usize) -> ProxyConfig {
     ProxyConfig {
         train: TrainConfig {
             steps: proxy_steps,

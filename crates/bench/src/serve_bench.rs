@@ -1,0 +1,169 @@
+//! Serving-layer throughput: per-tenant candidates/second through the
+//! `syno-serve` daemon at 1, 2 and 4 concurrent sessions against one
+//! shared eval pool, compared to the in-process [`SearchBuilder`]
+//! baseline on the same spec.
+//!
+//! Each daemon tenant searches the vision bench spec with a distinct MCTS
+//! seed (so the sessions do real, non-overlapping work — no store is
+//! attached, so nothing is served from cache) while the daemon fans every
+//! candidate into its shared worker pool. The interesting numbers are how
+//! the per-tenant rate degrades as sessions contend for the pool, and how
+//! close the single-session daemon rate sits to the in-process baseline
+//! (the wire + session-manager overhead). The `bench_search` binary emits
+//! this as the `serve` section of `BENCH_search.json`.
+
+use std::time::Instant;
+use syno_core::codec::encode_spec;
+use syno_search::{MctsConfig, SearchBuilder};
+use syno_serve::{Daemon, SearchRequest, ServeConfig, SessionMessage, SynoClient};
+
+use crate::search_pipeline::{bench_proxy, bench_scenario};
+
+/// One fan-out level: `sessions` concurrent tenants through one daemon
+/// (or the in-process baseline when measured without a daemon).
+#[derive(Clone, Copy, Debug)]
+pub struct ServeSample {
+    /// Concurrent sessions at this level.
+    pub sessions: usize,
+    /// Wall-clock seconds from first submit to last `SearchDone`.
+    pub wall_secs: f64,
+    /// Fully evaluated candidates across all sessions.
+    pub candidates: usize,
+    /// Candidates per second *per tenant*: `candidates / sessions /
+    /// wall_secs`.
+    pub per_tenant_throughput: f64,
+}
+
+/// The serving-layer section: in-process baseline plus the 1/2/4-session
+/// daemon fan-out.
+#[derive(Clone, Debug)]
+pub struct ServeData {
+    /// MCTS iterations per session.
+    pub iterations: usize,
+    /// Shared eval-pool width of the daemon (and `eval_workers` of the
+    /// in-process baseline).
+    pub eval_workers: usize,
+    /// The in-process `SearchBuilder` run — no daemon, no wire.
+    pub baseline: ServeSample,
+    /// Daemon runs at 1, 2 and 4 concurrent sessions.
+    pub fanout: Vec<ServeSample>,
+}
+
+fn sample(sessions: usize, wall_secs: f64, candidates: usize) -> ServeSample {
+    ServeSample {
+        sessions,
+        wall_secs,
+        candidates,
+        per_tenant_throughput: if wall_secs > 0.0 {
+            candidates as f64 / sessions as f64 / wall_secs
+        } else {
+            0.0
+        },
+    }
+}
+
+/// The in-process baseline: the identical search (same spec, seed, proxy
+/// config) driven directly through [`SearchBuilder`].
+fn baseline_run(iterations: usize, proxy_steps: usize, eval_workers: usize) -> ServeSample {
+    let (vars, spec) = bench_scenario();
+    let started = Instant::now();
+    let report = SearchBuilder::new()
+        .scenario("serve-baseline", &vars, &spec)
+        .mcts(MctsConfig {
+            iterations,
+            seed: 40,
+            ..MctsConfig::default()
+        })
+        .proxy(bench_proxy(proxy_steps))
+        .workers(1)
+        .eval_workers(eval_workers)
+        .run()
+        .expect("baseline search runs");
+    sample(1, started.elapsed().as_secs_f64(), report.candidates.len())
+}
+
+/// One daemon fan-out level: `sessions` tenants, each its own client
+/// connection and MCTS seed, racing through one shared eval pool.
+fn fanout_run(
+    sessions: usize,
+    iterations: usize,
+    proxy_steps: usize,
+    eval_workers: usize,
+) -> ServeSample {
+    let (vars, spec) = bench_scenario();
+    let spec_bytes = encode_spec(&vars, &spec);
+    let config = ServeConfig {
+        eval_workers,
+        max_sessions: sessions.max(1),
+        max_sessions_per_tenant: 1,
+        ..ServeConfig::default()
+    };
+    let daemon = Daemon::bind("127.0.0.1:0", None, config).expect("bind bench daemon");
+    let (handle, daemon_thread) = daemon.spawn();
+
+    let started = Instant::now();
+    let candidates: usize = std::thread::scope(|scope| {
+        let mut tenants = Vec::new();
+        for tenant in 0..sessions {
+            let addr = handle.addr().to_string();
+            let spec_bytes = spec_bytes.clone();
+            tenants.push(scope.spawn(move || {
+                let client = SynoClient::connect(&addr, &format!("bench-{tenant}"))
+                    .expect("connect bench tenant");
+                let request = SearchRequest {
+                    label: format!("serve-bench-{tenant}"),
+                    spec: spec_bytes,
+                    family: "vision".into(),
+                    iterations: iterations as u32,
+                    seed: 40 + tenant as u64,
+                    progress_every: u64::MAX,
+                    max_steps: 0,
+                    // Mirror `bench_proxy(proxy_steps)` via the
+                    // request-level overrides so daemon sessions train
+                    // exactly like the in-process baseline.
+                    train_steps: proxy_steps as u32,
+                    train_batch: 4,
+                    eval_batches: 1,
+                    resume: false,
+                };
+                let session = client.submit(&request).expect("bench session admitted");
+                let mut found = 0usize;
+                for message in session.messages() {
+                    match message {
+                        SessionMessage::Done { candidates, .. } => found = candidates as usize,
+                        SessionMessage::Error(error) => panic!("bench session failed: {error}"),
+                        SessionMessage::Event(_) => {}
+                    }
+                }
+                found
+            }));
+        }
+        tenants
+            .into_iter()
+            .map(|t| t.join().expect("bench tenant thread"))
+            .sum()
+    });
+    let wall_secs = started.elapsed().as_secs_f64();
+
+    handle.shutdown();
+    let _ = daemon_thread.join();
+    sample(sessions, wall_secs, candidates)
+}
+
+/// Measures the serving layer: the in-process baseline, then the daemon
+/// at 1, 2 and 4 concurrent sessions over one shared `eval_workers`-wide
+/// pool. Each daemon session uses the request-level proxy override so the
+/// config matches the baseline exactly.
+pub fn serve_data(iterations: usize, proxy_steps: usize, eval_workers: usize) -> ServeData {
+    let baseline = baseline_run(iterations, proxy_steps, eval_workers);
+    let fanout = [1usize, 2, 4]
+        .into_iter()
+        .map(|sessions| fanout_run(sessions, iterations, proxy_steps, eval_workers))
+        .collect();
+    ServeData {
+        iterations,
+        eval_workers,
+        baseline,
+        fanout,
+    }
+}

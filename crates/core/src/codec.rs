@@ -51,6 +51,7 @@ use crate::spec::{OperatorSpec, TensorShape};
 use crate::var::{VarKind, VarTable};
 use std::error::Error;
 use std::fmt;
+use std::io::{self, Read, Write};
 use std::sync::Arc;
 
 /// Version of the binary layout. Bump on **any** change to the encoding
@@ -529,6 +530,243 @@ pub fn decode_graph(bytes: &[u8]) -> Result<PGraph, CodecError> {
     Ok(graph)
 }
 
+// ---------------------------------------------------------------------------
+// Wire framing — the serving layer's length-prefixed frame format.
+// ---------------------------------------------------------------------------
+
+/// Version of the `syno-serve` wire protocol. Every typed frame payload
+/// leads with this value; a daemon and client negotiate it in the
+/// `Hello`/`HelloAck` exchange and reject mismatches loudly instead of
+/// misreading bytes.
+///
+/// History:
+/// * **1** — initial protocol (`Hello` … `ShuttingDown` frames).
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Hard ceiling on one frame's payload size (16 MiB). A length prefix read
+/// off a socket is attacker-controlled input; refusing oversized frames
+/// keeps a corrupt or malicious peer from forcing an unbounded allocation.
+pub const MAX_FRAME_PAYLOAD: u32 = 16 * 1024 * 1024;
+
+/// The kind byte of one wire frame, as exchanged between `syno-serve` and
+/// its clients. The payload encoding of each kind lives in `syno-serve`;
+/// this layer only gives every frame a tagged, checksummed, length-prefixed
+/// envelope built from the same primitives as the store journal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum FrameKind {
+    /// Client → server: protocol version + tenant identity (first frame).
+    Hello = 0,
+    /// Server → client: handshake accepted.
+    HelloAck = 1,
+    /// Client → server: submit one search session.
+    SubmitSearch = 2,
+    /// Server → client: session admitted; carries the session id.
+    Accepted = 3,
+    /// Server → client: session refused (admission control, bad spec, …).
+    Rejected = 4,
+    /// Server → client: one streamed search event for a session.
+    Event = 5,
+    /// Client → server: cooperatively cancel a session.
+    Cancel = 6,
+    /// Client → server: request daemon + store status.
+    Status = 7,
+    /// Server → client: the status snapshot.
+    StatusReply = 8,
+    /// Client → server: request a graceful daemon shutdown.
+    Shutdown = 9,
+    /// Server → client: terminal frame — the daemon is draining and has
+    /// checkpointed live sessions; no further frames follow.
+    ShuttingDown = 10,
+    /// Server → client: terminal frame of one session's event stream.
+    SearchDone = 11,
+    /// Server → client: a request-level error that did not kill the
+    /// connection.
+    Error = 12,
+}
+
+impl FrameKind {
+    /// Every frame kind, in tag order (for exhaustive round-trip tests).
+    pub const ALL: [FrameKind; 13] = [
+        FrameKind::Hello,
+        FrameKind::HelloAck,
+        FrameKind::SubmitSearch,
+        FrameKind::Accepted,
+        FrameKind::Rejected,
+        FrameKind::Event,
+        FrameKind::Cancel,
+        FrameKind::Status,
+        FrameKind::StatusReply,
+        FrameKind::Shutdown,
+        FrameKind::ShuttingDown,
+        FrameKind::SearchDone,
+        FrameKind::Error,
+    ];
+
+    /// The wire tag byte.
+    pub fn tag(self) -> u8 {
+        self as u8
+    }
+
+    /// Parses a wire tag byte.
+    pub fn from_tag(tag: u8) -> Option<FrameKind> {
+        FrameKind::ALL.get(tag as usize).copied()
+    }
+}
+
+impl fmt::Display for FrameKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// One decoded frame envelope: the kind byte plus its raw payload bytes
+/// (still to be decoded by the protocol layer in `syno-serve`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RawFrame {
+    /// The frame kind.
+    pub kind: FrameKind,
+    /// The payload bytes, exactly as written by [`write_frame`].
+    pub payload: Vec<u8>,
+}
+
+/// Errors surfaced while reading a frame off a stream.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying transport failed.
+    Io(io::Error),
+    /// The stream ended mid-frame (a torn write or dropped connection).
+    Truncated,
+    /// The kind byte is not a known [`FrameKind`].
+    BadKind {
+        /// The offending tag byte.
+        tag: u8,
+    },
+    /// The length prefix exceeds [`MAX_FRAME_PAYLOAD`].
+    TooLarge {
+        /// The claimed payload length.
+        len: u32,
+    },
+    /// The payload checksum does not match — bytes were corrupted in
+    /// transit or the peer speaks a different framing.
+    BadChecksum,
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame transport failed: {e}"),
+            FrameError::Truncated => write!(f, "stream ended mid-frame"),
+            FrameError::BadKind { tag } => write!(f, "unknown frame kind {tag:#04x}"),
+            FrameError::TooLarge { len } => write!(
+                f,
+                "frame payload of {len} bytes exceeds the {MAX_FRAME_PAYLOAD}-byte limit"
+            ),
+            FrameError::BadChecksum => write!(f, "frame checksum mismatch"),
+        }
+    }
+}
+
+impl Error for FrameError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FrameError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// FNV-1a over the kind byte + payload, truncated to 32 bits — the same
+/// integrity check the store journal applies to its records.
+fn wire_checksum(kind: u8, payload: &[u8]) -> u32 {
+    use crate::stable::StableHasher;
+    use std::hash::Hasher;
+    let mut h = StableHasher::new();
+    h.write(&[kind]);
+    h.write(payload);
+    h.finish() as u32
+}
+
+/// Writes one frame: `[kind u8][len u32][payload][checksum u32]`, all
+/// little-endian, and flushes the stream so the peer observes it promptly.
+///
+/// # Errors
+///
+/// [`FrameError::TooLarge`] when the payload exceeds
+/// [`MAX_FRAME_PAYLOAD`]; [`FrameError::Io`] on transport failure.
+pub fn write_frame(w: &mut impl Write, kind: FrameKind, payload: &[u8]) -> Result<(), FrameError> {
+    if payload.len() > MAX_FRAME_PAYLOAD as usize {
+        return Err(FrameError::TooLarge {
+            len: payload.len() as u32,
+        });
+    }
+    let mut header = [0u8; 5];
+    header[0] = kind.tag();
+    header[1..5].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    w.write_all(&wire_checksum(kind.tag(), payload).to_le_bytes())?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame written by [`write_frame`].
+///
+/// Returns `Ok(None)` on a clean end-of-stream (the peer closed the
+/// connection *between* frames); a stream that ends mid-frame is
+/// [`FrameError::Truncated`].
+///
+/// # Errors
+///
+/// [`FrameError`] on transport failure, an unknown kind byte, an oversized
+/// length prefix, or a checksum mismatch.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<RawFrame>, FrameError> {
+    let mut header = [0u8; 5];
+    // Distinguish "closed between frames" from "died mid-frame" by hand:
+    // a zero-byte first read is a clean EOF.
+    let mut filled = 0usize;
+    while filled < header.len() {
+        match r.read(&mut header[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => return Err(FrameError::Truncated),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let kind = FrameKind::from_tag(header[0]).ok_or(FrameError::BadKind { tag: header[0] })?;
+    let len = u32::from_le_bytes(header[1..5].try_into().unwrap());
+    if len > MAX_FRAME_PAYLOAD {
+        return Err(FrameError::TooLarge { len });
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            FrameError::Truncated
+        } else {
+            FrameError::Io(e)
+        }
+    })?;
+    let mut checksum = [0u8; 4];
+    r.read_exact(&mut checksum).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            FrameError::Truncated
+        } else {
+            FrameError::Io(e)
+        }
+    })?;
+    if u32::from_le_bytes(checksum) != wire_checksum(kind.tag(), &payload) {
+        return Err(FrameError::BadChecksum);
+    }
+    Ok(Some(RawFrame { kind, payload }))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -675,6 +913,70 @@ mod tests {
         for cut in [0, 3, bytes.len() / 2, bytes.len() - 1] {
             assert!(decode_graph(&bytes[..cut]).is_err(), "cut at {cut}");
         }
+    }
+
+    #[test]
+    fn frames_round_trip_over_a_stream() {
+        let mut stream = Vec::new();
+        for kind in FrameKind::ALL {
+            let payload = vec![kind.tag(); (kind.tag() as usize) * 3];
+            write_frame(&mut stream, kind, &payload).unwrap();
+        }
+        let mut reader = &stream[..];
+        for kind in FrameKind::ALL {
+            let frame = read_frame(&mut reader).unwrap().expect("frame present");
+            assert_eq!(frame.kind, kind);
+            assert_eq!(frame.payload.len(), (kind.tag() as usize) * 3);
+        }
+        assert!(read_frame(&mut reader).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn frame_kind_tags_are_stable() {
+        for (index, kind) in FrameKind::ALL.iter().enumerate() {
+            assert_eq!(kind.tag() as usize, index);
+            assert_eq!(FrameKind::from_tag(kind.tag()), Some(*kind));
+        }
+        assert_eq!(FrameKind::from_tag(FrameKind::ALL.len() as u8), None);
+    }
+
+    #[test]
+    fn torn_and_corrupt_frames_are_typed_errors() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, FrameKind::Event, b"payload").unwrap();
+
+        // Mid-frame truncation.
+        for cut in [1, 4, stream.len() - 1] {
+            let mut reader = &stream[..cut];
+            assert!(
+                matches!(read_frame(&mut reader), Err(FrameError::Truncated)),
+                "cut at {cut}"
+            );
+        }
+
+        // Unknown kind byte.
+        let mut bad = stream.clone();
+        bad[0] = 0xee;
+        assert!(matches!(
+            read_frame(&mut &bad[..]),
+            Err(FrameError::BadKind { tag: 0xee })
+        ));
+
+        // Flipped payload byte breaks the checksum.
+        let mut bad = stream.clone();
+        bad[6] ^= 0xff;
+        assert!(matches!(
+            read_frame(&mut &bad[..]),
+            Err(FrameError::BadChecksum)
+        ));
+
+        // Oversized length prefix is refused before allocating.
+        let mut bad = stream;
+        bad[1..5].copy_from_slice(&(MAX_FRAME_PAYLOAD + 1).to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut &bad[..]),
+            Err(FrameError::TooLarge { .. })
+        ));
     }
 
     #[test]

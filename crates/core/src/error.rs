@@ -65,9 +65,13 @@ pub enum SynoError {
     Apply(ApplyError),
     /// An action violated the canonicalization rules.
     Canon(CanonViolation),
-    /// A symbolic size or shape failed to evaluate under a valuation.
+    /// An evaluation failed: a symbolic size or shape did not evaluate
+    /// under a valuation, or a candidate's evaluation was lost because the
+    /// evaluator worker pool died or shut down while the candidate was in
+    /// flight (surfaced per candidate through
+    /// `SearchEvent::CandidateSkipped` instead of silently scoring 0.0).
     Eval {
-        /// What was being evaluated.
+        /// What failed to evaluate, with the reason.
         what: String,
     },
     /// Kernel lowering failed (from `syno-ir`'s `LowerError`).
@@ -110,7 +114,7 @@ impl fmt::Display for SynoError {
             SynoError::Synth(e) => write!(f, "synthesis failed: {e}"),
             SynoError::Apply(e) => write!(f, "primitive application rejected: {e}"),
             SynoError::Canon(e) => write!(f, "uncanonical action: {e}"),
-            SynoError::Eval { what } => write!(f, "{what} does not evaluate under the valuation"),
+            SynoError::Eval { what } => write!(f, "evaluation failed: {what}"),
             SynoError::Lower { reason } => write!(f, "lowering failed: {reason}"),
             SynoError::Eager { reason } => write!(f, "eager realization failed: {reason}"),
             SynoError::Compile { reason } => write!(f, "compilation failed: {reason}"),

@@ -98,7 +98,7 @@ fn task_shapes(
                 d.len()
             )))
         }
-        None => return Err(SynoError::eval("input shape")),
+        None => return Err(SynoError::eval("input shape does not evaluate under the valuation")),
     };
     let out_dims = match spec.output.eval(vars, valuation) {
         Some(d) if d.len() == 4 => d,
@@ -108,7 +108,7 @@ fn task_shapes(
                 d.len()
             )))
         }
-        None => return Err(SynoError::eval("output shape")),
+        None => return Err(SynoError::eval("output shape does not evaluate under the valuation")),
     };
     Ok((dims, out_dims))
 }

@@ -76,11 +76,11 @@ fn seq_shapes(
     let input = spec
         .input
         .eval(vars, valuation)
-        .ok_or_else(|| SynoError::eval("input shape"))?;
+        .ok_or_else(|| SynoError::eval("input shape does not evaluate under the valuation"))?;
     let output = spec
         .output
         .eval(vars, valuation)
-        .ok_or_else(|| SynoError::eval("output shape"))?;
+        .ok_or_else(|| SynoError::eval("output shape does not evaluate under the valuation"))?;
     if !(1..=3).contains(&input.len()) {
         return Err(SynoError::proxy(format!(
             "input rank {} is outside the 1-D/2-D/3-D sequence layouts",

@@ -26,14 +26,16 @@
 pub mod discovered;
 pub mod mcts;
 pub mod orchestrator;
+pub mod pool;
 pub mod run;
 
 pub use discovered::{pareto_front, Discovered, TradeoffPoint};
 pub use mcts::{EvalOutcome, EvalRequest, Mcts, MctsConfig, MctsStats};
 pub use orchestrator::{evaluate_candidates, search_substitutions, SearchSettings};
+pub use pool::EvalPool;
 pub use run::{
-    Budget, CancelToken, Candidate, SearchBuilder, SearchEvent, SearchReport, SearchRun,
-    StopReason,
+    Budget, CancelToken, Candidate, RunProgress, ScenarioProgress, SearchBuilder, SearchEvent,
+    SearchReport, SearchRun, StopReason,
 };
 // The per-scenario proxy-family selector threaded through
 // `SearchBuilder::proxy_family` (defined by the registry in `syno-nn`).

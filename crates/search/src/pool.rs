@@ -1,0 +1,226 @@
+//! A shareable candidate-evaluation worker pool.
+//!
+//! PR 3's evaluation pipeline spawned its worker threads *inside*
+//! `run_scenario`, scoped to one scenario of one run — correct, but useless
+//! to a daemon that multiplexes many concurrent search sessions: each
+//! session would spin up its own threads and the host would oversubscribe.
+//! [`EvalPool`] extracts that pool into a long-lived, cloneable handle that
+//! any number of concurrent [`SearchRun`](crate::SearchRun)s can share
+//! through [`SearchBuilder::eval_pool`](crate::SearchBuilder::eval_pool):
+//! candidate evaluations from every session fan into one bounded queue and
+//! one fixed set of worker threads.
+//!
+//! Jobs are opaque closures; each one evaluates a single candidate end to
+//! end (store recall → proxy training → latency tuning) and reports its
+//! outcome back to the owning session over that session's own channel, so
+//! sharing the pool never mixes sessions' event streams and each session's
+//! determinism contract (see [`crate::run`]) is untouched — only *which
+//! thread* runs an evaluation changes, never what it computes or the order
+//! in which its session applies it.
+//!
+//! Shutdown drains: [`EvalPool::shutdown`] closes the queue, lets the
+//! workers finish everything already submitted, and joins them. Jobs
+//! queued but never run are *dropped*, which the search layer turns into
+//! typed `SearchEvent::CandidateSkipped` notifications via a drop guard —
+//! a dead pool degrades loudly, not silently.
+
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// One queued evaluation: an opaque closure run on a worker thread.
+pub(crate) type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolShared {
+    /// `None` once the pool is shut down; submissions then fail.
+    queue: Mutex<Option<SyncSender<Job>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    worker_count: usize,
+}
+
+/// A fixed-size pool of evaluator threads shared across search runs.
+///
+/// Cloning is cheap (an `Arc` bump); all clones feed the same workers.
+/// Dropping the last clone shuts the pool down and joins the workers after
+/// draining everything already queued.
+#[derive(Clone)]
+pub struct EvalPool {
+    shared: Arc<PoolShared>,
+}
+
+impl std::fmt::Debug for EvalPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EvalPool")
+            .field("workers", &self.shared.worker_count)
+            .field("alive", &self.is_alive())
+            .finish()
+    }
+}
+
+impl EvalPool {
+    /// Spawns a pool of `workers` evaluator threads (at least one). The
+    /// submission queue is bounded at twice the worker count, so producers
+    /// feel backpressure instead of racing arbitrarily far ahead of the
+    /// evaluators — the same pacing the per-scenario pipeline used.
+    pub fn new(workers: usize) -> EvalPool {
+        let worker_count = workers.max(1);
+        let (tx, rx) = sync_channel::<Job>(worker_count * 2);
+        let rx = Arc::new(Mutex::new(rx));
+        let mut handles = Vec::with_capacity(worker_count);
+        for i in 0..worker_count {
+            let rx = Arc::clone(&rx);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("syno-eval-{i}"))
+                    .spawn(move || worker_loop(&rx))
+                    .expect("spawn evaluator thread"),
+            );
+        }
+        EvalPool {
+            shared: Arc::new(PoolShared {
+                queue: Mutex::new(Some(tx)),
+                workers: Mutex::new(handles),
+                worker_count,
+            }),
+        }
+    }
+
+    /// Number of evaluator threads the pool was built with.
+    pub fn workers(&self) -> usize {
+        self.shared.worker_count
+    }
+
+    /// `true` until [`shutdown`](EvalPool::shutdown) closes the queue.
+    pub fn is_alive(&self) -> bool {
+        self.shared.queue.lock().expect("pool queue lock").is_some()
+    }
+
+    /// Submits one evaluation job, blocking while the bounded queue is
+    /// full. Returns `false` when the pool has been shut down (the job is
+    /// dropped, firing whatever drop guards it carries).
+    pub(crate) fn submit(&self, job: Job) -> bool {
+        // Take a clone of the sender under the lock, then block on the
+        // bounded send *outside* it, so a full queue cannot deadlock a
+        // concurrent shutdown.
+        let Some(tx) = self.shared.queue.lock().expect("pool queue lock").clone() else {
+            return false;
+        };
+        let mut job = job;
+        loop {
+            match tx.try_send(job) {
+                Ok(()) => return true,
+                Err(TrySendError::Full(back)) => {
+                    job = back;
+                    // The queue is bounded at 2× workers, so progress is
+                    // imminent; a short sleep avoids burning a core.
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                    if self.shared.queue.lock().expect("pool queue lock").is_none() {
+                        return false;
+                    }
+                }
+                Err(TrySendError::Disconnected(_)) => return false,
+            }
+        }
+    }
+
+    /// Closes the queue, lets the workers drain everything already
+    /// submitted, and joins them. Idempotent; later `submit`s return
+    /// `false`.
+    pub fn shutdown(&self) {
+        let tx = self.shared.queue.lock().expect("pool queue lock").take();
+        drop(tx); // workers exit once the queue drains
+        let handles: Vec<_> = self
+            .shared
+            .workers
+            .lock()
+            .expect("pool workers lock")
+            .drain(..)
+            .collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for PoolShared {
+    fn drop(&mut self) {
+        // Last handle gone: close the queue and detach the workers (they
+        // exit after draining; joining from Drop could deadlock if a job
+        // itself holds the last clone).
+        self.queue.lock().expect("pool queue lock").take();
+    }
+}
+
+fn worker_loop(rx: &Mutex<Receiver<Job>>) {
+    loop {
+        // The mutex is held only across the blocking pop, never the job,
+        // so workers truly run concurrently.
+        let job = match rx.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => return,
+        };
+        let Ok(job) = job else { return };
+        // Jobs carry their own panic isolation (the search layer wraps
+        // every evaluation in `catch_unwind`); a panic that still escapes
+        // must not take the whole pool down with it.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn jobs_run_on_worker_threads_and_drain_on_shutdown() {
+        let pool = EvalPool::new(3);
+        assert_eq!(pool.workers(), 3);
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..32 {
+            let done = Arc::clone(&done);
+            assert!(pool.submit(Box::new(move || {
+                done.fetch_add(1, Ordering::SeqCst);
+            })));
+        }
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::SeqCst), 32, "shutdown drains the queue");
+        assert!(!pool.is_alive());
+        assert!(!pool.submit(Box::new(|| {})), "submissions after shutdown fail");
+    }
+
+    #[test]
+    fn a_panicking_job_does_not_kill_the_pool() {
+        let pool = EvalPool::new(1);
+        assert!(pool.submit(Box::new(|| panic!("job exploded"))));
+        let done = Arc::new(AtomicUsize::new(0));
+        let d = Arc::clone(&done);
+        assert!(pool.submit(Box::new(move || {
+            d.fetch_add(1, Ordering::SeqCst);
+        })));
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn dropped_jobs_fire_their_drop_guards() {
+        struct Guard(Arc<AtomicUsize>);
+        impl Drop for Guard {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let pool = EvalPool::new(1);
+        pool.shutdown();
+        let dropped = Arc::new(AtomicUsize::new(0));
+        let guard = Guard(Arc::clone(&dropped));
+        assert!(!pool.submit(Box::new(move || {
+            let _keep = &guard;
+        })));
+        assert_eq!(
+            dropped.load(Ordering::SeqCst),
+            1,
+            "a refused job's captures are dropped, firing guards"
+        );
+    }
+}

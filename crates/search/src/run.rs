@@ -37,7 +37,8 @@
 
 use crate::discovered::Discovered;
 use crate::mcts::{EvalOutcome, EvalRequest, Mcts, MctsConfig};
-use std::sync::atomic::{AtomicBool, Ordering};
+use crate::pool::EvalPool;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, sync_channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread;
@@ -101,6 +102,33 @@ pub enum StopReason {
     FlopBudget,
     /// The wall-clock budget was exhausted.
     WallClock,
+}
+
+impl StopReason {
+    /// Stable machine-readable name (used by the wire protocol and bench
+    /// JSON); round-trips through [`from_name`](StopReason::from_name).
+    pub fn name(self) -> &'static str {
+        match self {
+            StopReason::Completed => "completed",
+            StopReason::Cancelled => "cancelled",
+            StopReason::StepBudget => "step-budget",
+            StopReason::FlopBudget => "flop-budget",
+            StopReason::WallClock => "wall-clock",
+        }
+    }
+
+    /// Parses a [`name`](StopReason::name) back into the reason.
+    pub fn from_name(name: &str) -> Option<StopReason> {
+        [
+            StopReason::Completed,
+            StopReason::Cancelled,
+            StopReason::StepBudget,
+            StopReason::FlopBudget,
+            StopReason::WallClock,
+        ]
+        .into_iter()
+        .find(|r| r.name() == name)
+    }
 }
 
 /// A fully evaluated candidate (one row of the paper's result tables).
@@ -233,6 +261,100 @@ pub struct SearchReport {
     pub wall: Duration,
 }
 
+/// Live progress counters for one scenario of a run.
+///
+/// All fields are atomics updated by the search as it goes; reading them
+/// never locks or allocates, so a status endpoint can poll at any rate
+/// without perturbing the run. Counters are monotonically non-decreasing
+/// but individually relaxed: a snapshot taken mid-iteration may be one
+/// event ahead on one counter and behind on another.
+#[derive(Debug)]
+pub struct ScenarioProgress {
+    label: String,
+    total_iterations: AtomicU64,
+    iterations: AtomicU64,
+    discovered: AtomicU64,
+    candidates: AtomicU64,
+    finished: AtomicBool,
+}
+
+impl ScenarioProgress {
+    fn new(label: &str, total_iterations: u64) -> ScenarioProgress {
+        ScenarioProgress {
+            label: label.to_owned(),
+            total_iterations: AtomicU64::new(total_iterations),
+            iterations: AtomicU64::new(0),
+            discovered: AtomicU64::new(0),
+            candidates: AtomicU64::new(0),
+            finished: AtomicBool::new(false),
+        }
+    }
+
+    /// The scenario's label, as passed to [`SearchBuilder::scenario`].
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// MCTS iterations configured for this scenario.
+    pub fn total_iterations(&self) -> u64 {
+        self.total_iterations.load(Ordering::Relaxed)
+    }
+
+    /// MCTS iterations finished so far.
+    pub fn iterations(&self) -> u64 {
+        self.iterations.load(Ordering::Relaxed)
+    }
+
+    /// Distinct candidates discovered (scored or recalled) so far.
+    pub fn discovered(&self) -> u64 {
+        self.discovered.load(Ordering::Relaxed)
+    }
+
+    /// Fully evaluated candidate records kept so far.
+    pub fn candidates(&self) -> u64 {
+        self.candidates.load(Ordering::Relaxed)
+    }
+
+    /// Has the scenario finished (successfully or by early stop)?
+    pub fn finished(&self) -> bool {
+        self.finished.load(Ordering::Relaxed)
+    }
+}
+
+/// Allocation-free live progress for a whole [`SearchRun`].
+///
+/// Obtained once from [`SearchRun::progress`] (an `Arc` the caller can
+/// clone and poll from any thread); every accessor is a plain atomic load,
+/// so high-frequency status polling — the serving daemon answers a status
+/// frame per connected client — costs no locks, clones, or allocations.
+#[derive(Debug)]
+pub struct RunProgress {
+    scenarios: Vec<ScenarioProgress>,
+    steps: AtomicU64,
+}
+
+impl RunProgress {
+    /// Per-scenario counters, indexed like the events' `scenario` field.
+    pub fn scenarios(&self) -> &[ScenarioProgress] {
+        &self.scenarios
+    }
+
+    /// Total MCTS iterations executed across all scenarios.
+    pub fn steps(&self) -> u64 {
+        self.steps.load(Ordering::Relaxed)
+    }
+
+    /// Distinct candidates discovered across all scenarios.
+    pub fn discovered(&self) -> u64 {
+        self.scenarios.iter().map(ScenarioProgress::discovered).sum()
+    }
+
+    /// Have all scenarios finished?
+    pub fn finished(&self) -> bool {
+        self.scenarios.iter().all(ScenarioProgress::finished)
+    }
+}
+
 struct Scenario {
     label: String,
     vars: Arc<VarTable>,
@@ -274,6 +396,7 @@ pub struct SearchBuilder {
     compiler: CompilerKind,
     workers: usize,
     eval_workers: usize,
+    eval_pool: Option<EvalPool>,
     budget: Budget,
     cancel: CancelToken,
     progress_every: u64,
@@ -301,6 +424,7 @@ impl Default for SearchBuilder {
             compiler: CompilerKind::Tvm,
             workers: 2,
             eval_workers: 1,
+            eval_pool: None,
             budget: Budget::default(),
             cancel: CancelToken::new(),
             progress_every: 10,
@@ -413,6 +537,27 @@ impl SearchBuilder {
     /// determinism contract.
     pub fn eval_workers(mut self, workers: usize) -> Self {
         self.eval_workers = workers.max(1);
+        self
+    }
+
+    /// Evaluates candidates on a shared, long-lived [`EvalPool`] instead of
+    /// per-run threads.
+    ///
+    /// Many concurrent runs handed clones of one pool fan all their
+    /// candidate evaluations into its single bounded queue and fixed worker
+    /// set — the serving daemon's global evaluation queue. Each run keeps
+    /// its own event stream and outcome channel, so the [module
+    /// docs](self)' determinism contract holds per run: a pooled run
+    /// discovers exactly the candidate set of a serial one. Overrides
+    /// [`eval_workers`](SearchBuilder::eval_workers).
+    ///
+    /// If the pool is shut down while candidates are in flight, each
+    /// affected candidate surfaces as a
+    /// [`SearchEvent::CandidateSkipped`] carrying a typed
+    /// [`SynoError::Eval`] — a dead evaluator degrades loudly, never by
+    /// silently scoring 0.0.
+    pub fn eval_pool(mut self, pool: EvalPool) -> Self {
+        self.eval_pool = Some(pool);
         self
     }
 
@@ -537,10 +682,21 @@ impl SearchBuilder {
 
         let (sender, receiver) = channel();
         let cancel = self.cancel.clone();
-        let handle = thread::spawn(move || supervise(self, sender));
+        let total = self.mcts.iterations as u64;
+        let progress = Arc::new(RunProgress {
+            scenarios: self
+                .scenarios
+                .iter()
+                .map(|s| ScenarioProgress::new(&s.label, total))
+                .collect(),
+            steps: AtomicU64::new(0),
+        });
+        let run_progress = Arc::clone(&progress);
+        let handle = thread::spawn(move || supervise(self, progress, sender));
         Ok(SearchRun {
             events: receiver,
             cancel,
+            progress: run_progress,
             handle,
         })
     }
@@ -564,6 +720,7 @@ impl SearchBuilder {
 pub struct SearchRun {
     events: Receiver<SearchEvent>,
     cancel: CancelToken,
+    progress: Arc<RunProgress>,
     handle: thread::JoinHandle<SearchReport>,
 }
 
@@ -581,6 +738,16 @@ impl SearchRun {
     /// The run's cancellation token (same token every call).
     pub fn cancel_token(&self) -> CancelToken {
         self.cancel.clone()
+    }
+
+    /// Live progress counters, shared with the run.
+    ///
+    /// Returns a borrow of the run's one [`RunProgress`]; every read is an
+    /// atomic load, so polling this — even per status frame per client —
+    /// neither locks nor allocates. Clone the `Arc` to keep polling after
+    /// [`join`](SearchRun::join).
+    pub fn progress(&self) -> &Arc<RunProgress> {
+        &self.progress
     }
 
     /// Requests cooperative cancellation; the run stops between pipeline
@@ -617,7 +784,9 @@ struct Shared {
     budget: Budget,
     cancel: CancelToken,
     started: Instant,
-    steps: Mutex<u64>,
+    /// Live counters (steps, per-scenario progress) shared with the
+    /// caller-facing [`RunProgress`] handle.
+    progress: Arc<RunProgress>,
     flops: Mutex<u128>,
     stop: Mutex<Option<StopReason>>,
 }
@@ -647,7 +816,7 @@ impl Shared {
             }
         }
         if let Some(max) = self.budget.max_steps {
-            if *self.steps.lock().expect("steps lock") >= max {
+            if self.progress.steps() >= max {
                 self.request_stop(StopReason::StepBudget);
                 return Some(StopReason::StepBudget);
             }
@@ -664,7 +833,11 @@ impl Shared {
 
 /// Runs the whole search on the supervisor thread: a pool of `workers`
 /// threads pulls scenarios off a shared queue until done or stopped.
-fn supervise(builder: SearchBuilder, sender: Sender<SearchEvent>) -> SearchReport {
+fn supervise(
+    builder: SearchBuilder,
+    progress: Arc<RunProgress>,
+    sender: Sender<SearchEvent>,
+) -> SearchReport {
     let SearchBuilder {
         scenarios,
         synth,
@@ -674,6 +847,7 @@ fn supervise(builder: SearchBuilder, sender: Sender<SearchEvent>) -> SearchRepor
         compiler,
         workers,
         eval_workers,
+        eval_pool,
         budget,
         cancel,
         progress_every,
@@ -682,14 +856,15 @@ fn supervise(builder: SearchBuilder, sender: Sender<SearchEvent>) -> SearchRepor
         proxy_family: _, // already resolved into each scenario by start()
     } = builder;
 
-    let shared = Shared {
+    let shared = Arc::new(Shared {
         budget,
         cancel,
         started: Instant::now(),
-        steps: Mutex::new(0),
+        progress,
         flops: Mutex::new(0),
         stop: Mutex::new(None),
-    };
+    });
+    let devices = Arc::new(devices);
     let queue: Mutex<Vec<(usize, Scenario)>> = {
         let mut q: Vec<(usize, Scenario)> = scenarios.into_iter().enumerate().collect();
         q.reverse(); // pop() serves scenario 0 first
@@ -709,9 +884,24 @@ fn supervise(builder: SearchBuilder, sender: Sender<SearchEvent>) -> SearchRepor
                     break;
                 };
                 let found = run_scenario(
-                    index, &scenario, &synth, mcts, &proxy, &devices, compiler, eval_workers,
-                    progress_every, store.as_deref(), resume, &shared, &sender,
+                    index,
+                    &scenario,
+                    &synth,
+                    mcts,
+                    &proxy,
+                    &devices,
+                    compiler,
+                    eval_workers,
+                    eval_pool.as_ref(),
+                    progress_every,
+                    store.as_ref(),
+                    resume,
+                    &shared,
+                    &sender,
                 );
+                shared.progress.scenarios[index]
+                    .finished
+                    .store(true, Ordering::Relaxed);
                 let mut all = results.lock().expect("results lock");
                 let _ = sender.send(SearchEvent::ScenarioFinished {
                     scenario: index,
@@ -734,7 +924,7 @@ fn supervise(builder: SearchBuilder, sender: Sender<SearchEvent>) -> SearchRepor
         .lock()
         .expect("stop lock")
         .unwrap_or(StopReason::Completed);
-    let steps = *shared.steps.lock().expect("steps lock");
+    let steps = shared.progress.steps();
     let flops = *shared.flops.lock().expect("flops lock");
     SearchReport {
         candidates,
@@ -746,24 +936,32 @@ fn supervise(builder: SearchBuilder, sender: Sender<SearchEvent>) -> SearchRepor
 }
 
 /// Everything one candidate evaluation needs — shared by the serial reward
-/// closure and the pipelined evaluator workers, so both modes run the
-/// byte-identical store lookup → proxy training → latency tuning sequence.
-#[derive(Clone, Copy)]
-struct EvalContext<'a> {
+/// closure, the per-run pipelined evaluator workers, and jobs submitted to
+/// a shared [`EvalPool`], so all modes run the byte-identical store lookup
+/// → proxy training → latency tuning sequence.
+///
+/// Owns (or `Arc`-shares) every field so a clone can ride inside a
+/// `'static` pool job that outlives the submitting stack frame.
+#[derive(Clone)]
+struct EvalContext {
     index: usize,
     /// The proxy family start() bound this scenario to; provides the
     /// train-and-score step and tags journaled scores.
     family: ProxyFamilyId,
-    proxy: &'a ProxyConfig,
-    devices: &'a [Device],
+    proxy: ProxyConfig,
+    devices: Arc<Vec<Device>>,
     compiler: CompilerKind,
-    store: Option<&'a Store>,
-    shared: &'a Shared,
-    candidates: &'a Mutex<Vec<Candidate>>,
-    discovered_count: &'a Mutex<u64>,
+    store: Option<Arc<Store>>,
+    shared: Arc<Shared>,
+    candidates: Arc<Mutex<Vec<Candidate>>>,
 }
 
-impl EvalContext<'_> {
+impl EvalContext {
+    /// This scenario's live progress counters.
+    fn progress(&self) -> &ScenarioProgress {
+        &self.shared.progress.scenarios[self.index]
+    }
+
     /// Evaluates one discovered candidate, emitting its
     /// `ProxyScored`/`CacheHit`/`LatencyTuned`/`CandidateSkipped` events on
     /// `sender` (the `CandidateFound` announcement is the caller's job, so
@@ -778,7 +976,7 @@ impl EvalContext<'_> {
         // scenario's family (content hashes cover the spec, so a mismatch
         // cannot happen through the normal pipeline — this guards against
         // hand-edited or cross-version journals).
-        if let Some(store) = self.store {
+        if let Some(store) = self.store.as_deref() {
             if let Some(accuracy) = store.score_for_family(id, self.family.name()) {
                 // NaN is the journaled-failure marker: this candidate's
                 // proxy training failed in a previous run, and it fails
@@ -806,7 +1004,7 @@ impl EvalContext<'_> {
                     // devices: reuse the accuracy, re-tune the latency.
                     None => {
                         let priced =
-                            price_candidate(index, graph, accuracy, self.devices, self.compiler);
+                            price_candidate(index, graph, accuracy, &self.devices, self.compiler);
                         if let Ok(candidate) = &priced {
                             for (device, latency) in self.devices.iter().zip(&candidate.latencies)
                             {
@@ -826,12 +1024,16 @@ impl EvalContext<'_> {
                         // Counted only now, when the recall is actually
                         // served: stats.cache_hits == CacheHit events.
                         store.record_hit();
+                        // Counters advance before the event is emitted, so
+                        // a status poll racing the stream never undercounts
+                        // what the consumer already saw.
+                        self.progress().discovered.fetch_add(1, Ordering::Relaxed);
+                        self.progress().candidates.fetch_add(1, Ordering::Relaxed);
                         let _ = sender.send(SearchEvent::CacheHit {
                             scenario: index,
                             id,
                             candidate: candidate.clone(),
                         });
-                        *self.discovered_count.lock().expect("count lock") += 1;
                         self.candidates
                             .lock()
                             .expect("candidates lock")
@@ -853,7 +1055,7 @@ impl EvalContext<'_> {
         // differentiate) must not take down the whole run: demote it to
         // a typed skip, like any other per-candidate failure.
         let scored = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            self.family.family().score(graph, 0, self.proxy)
+            self.family.family().score(graph, 0, &self.proxy)
         }))
         .unwrap_or_else(|payload| Err(SynoError::proxy(panic_message(&payload))));
         match scored {
@@ -868,19 +1070,19 @@ impl EvalContext<'_> {
                     id,
                     accuracy,
                 });
-                if let Some(store) = self.store {
+                if let Some(store) = self.store.as_deref() {
                     // Journal best-effort: a full disk degrades the run
                     // to cache-less, it does not kill it.
                     let _ = store.put_candidate(id, graph);
                     let _ = store.put_score(id, accuracy, self.family.name());
                 }
-                *self.discovered_count.lock().expect("count lock") += 1;
+                self.progress().discovered.fetch_add(1, Ordering::Relaxed);
                 // Latency-tune immediately: the candidate is complete in
                 // the stream, and a cancelled run keeps every candidate
                 // it has announced.
-                match price_candidate(index, graph, accuracy, self.devices, self.compiler) {
+                match price_candidate(index, graph, accuracy, &self.devices, self.compiler) {
                     Ok(candidate) => {
-                        if let Some(store) = self.store {
+                        if let Some(store) = self.store.as_deref() {
                             for (device, latency) in self.devices.iter().zip(&candidate.latencies)
                             {
                                 let _ = store.put_latency(
@@ -891,6 +1093,7 @@ impl EvalContext<'_> {
                                 );
                             }
                         }
+                        self.progress().candidates.fetch_add(1, Ordering::Relaxed);
                         let _ = sender.send(SearchEvent::LatencyTuned {
                             scenario: index,
                             id,
@@ -912,7 +1115,7 @@ impl EvalContext<'_> {
                 accuracy
             }
             Err(error) => {
-                if let Some(store) = self.store {
+                if let Some(store) = self.store.as_deref() {
                     // Journal the failure (NaN marker) so resumed runs
                     // skip this candidate instead of re-training it.
                     let _ = store.put_candidate(id, graph);
@@ -951,13 +1154,14 @@ fn run_scenario(
     synth: &Option<SynthConfig>,
     mcts_config: MctsConfig,
     proxy: &ProxyConfig,
-    devices: &[Device],
+    devices: &Arc<Vec<Device>>,
     compiler: CompilerKind,
     eval_workers: usize,
+    eval_pool: Option<&EvalPool>,
     progress_every: u64,
-    store: Option<&Store>,
+    store: Option<&Arc<Store>>,
     resume: bool,
-    shared: &Shared,
+    shared: &Arc<Shared>,
     sender: &Sender<SearchEvent>,
 ) -> Vec<Candidate> {
     let config = scenario
@@ -983,9 +1187,8 @@ fn run_scenario(
     let mut mcts = Mcts::new(enumerator, MctsConfig { seed, ..mcts_config });
 
     let total_iterations = mcts_config.iterations as u64;
-    let candidates: Mutex<Vec<Candidate>> = Mutex::new(Vec::new());
-    let discovered_count = Mutex::new(0u64);
-    let iterations_done = Mutex::new(0u64);
+    let candidates: Arc<Mutex<Vec<Candidate>>> = Arc::new(Mutex::new(Vec::new()));
+    let progress = &shared.progress.scenarios[index];
 
     let eval = EvalContext {
         index,
@@ -995,23 +1198,22 @@ fn run_scenario(
         family: scenario
             .family
             .expect("start() resolves a proxy family for every scenario"),
-        proxy,
-        devices,
+        proxy: *proxy,
+        devices: Arc::clone(devices),
         compiler,
-        store,
-        shared,
-        candidates: &candidates,
-        discovered_count: &discovered_count,
+        store: store.map(Arc::clone),
+        shared: Arc::clone(shared),
+        candidates: Arc::clone(&candidates),
     };
 
     let keep_going = |iteration: u64| {
         if shared.should_stop().is_some() {
             return false;
         }
-        *shared.steps.lock().expect("steps lock") += 1;
-        *iterations_done.lock().expect("iterations lock") = iteration + 1;
+        shared.progress.steps.fetch_add(1, Ordering::Relaxed);
+        progress.iterations.store(iteration + 1, Ordering::Relaxed);
         if iteration > 0 && iteration.is_multiple_of(progress_every) {
-            let discovered = *discovered_count.lock().expect("count lock");
+            let discovered = progress.discovered();
             let _ = sender.send(SearchEvent::Progress {
                 scenario: index,
                 iterations: iteration,
@@ -1037,7 +1239,9 @@ fn run_scenario(
         true
     };
 
-    if eval_workers <= 1 {
+    if let Some(pool) = eval_pool {
+        run_pooled(index, &mut mcts, &root, pool, &eval, sender, keep_going);
+    } else if eval_workers <= 1 {
         // Serial mode: evaluate inline in the reward closure — the exact
         // pre-pipeline behavior.
         mcts.search_while(
@@ -1111,7 +1315,22 @@ fn run_scenario(
                         id: request.id,
                         graph: request.graph.clone(),
                     });
-                    request_tx.send(request).is_ok()
+                    let id = request.id;
+                    let accepted = request_tx.send(request).is_ok();
+                    if !accepted {
+                        // Every worker died (each only exits early when the
+                        // outcome channel is gone). The engine degrades this
+                        // candidate to skip semantics; surface that as a
+                        // typed per-candidate error instead of a silent 0.0.
+                        let _ = sender.send(SearchEvent::CandidateSkipped {
+                            scenario: index,
+                            id,
+                            error: SynoError::eval(
+                                "candidate evaluation lost: every evaluator worker died",
+                            ),
+                        });
+                    }
+                    accepted
                 },
                 &outcome_rx,
                 keep_going,
@@ -1125,13 +1344,13 @@ fn run_scenario(
     // Final checkpoint: pins the scenario's end position so resume_from
     // knows completed scenarios replay (all hits) rather than re-train.
     if let Some(store) = store {
-        let iterations = *iterations_done.lock().expect("iterations lock");
+        let iterations = progress.iterations();
         let written = store.put_checkpoint(&Checkpoint {
             label: scenario.label.clone(),
             spec_fingerprint: fingerprint,
             seed,
             iterations,
-            discovered: *discovered_count.lock().expect("count lock"),
+            discovered: progress.discovered(),
         });
         if written.is_ok() {
             let _ = sender.send(SearchEvent::CheckpointWritten {
@@ -1141,7 +1360,121 @@ fn run_scenario(
         }
     }
 
-    candidates.into_inner().expect("candidates lock")
+    // Pool workers may still be tearing down their job closures (each
+    // holds a clone of the Arc), but every evaluation that completed has
+    // already pushed — the search does not return before its outcomes
+    // drained — so taking the vector here loses nothing.
+    let found = std::mem::take(&mut *candidates.lock().expect("candidates lock"));
+    found
+}
+
+/// Sends the one [`EvalOutcome`] its candidate is owed, no matter how the
+/// pool job ends.
+///
+/// Armed at submission; [`complete`](OutcomeGuard::complete) reports a real
+/// reward. If the job is instead *dropped* unrun — the shared pool was shut
+/// down, or refused the submission — `Drop` surfaces the loss as a typed
+/// [`SynoError::Eval`] through the event stream and reports reward 0.0, so
+/// the engine's drain never deadlocks and the tenant sees exactly which
+/// candidates a dying evaluator took with it.
+struct OutcomeGuard {
+    scenario: usize,
+    id: u64,
+    outcome_tx: Sender<EvalOutcome>,
+    events: Sender<SearchEvent>,
+    done: bool,
+}
+
+impl OutcomeGuard {
+    fn complete(mut self, reward: f64) {
+        self.done = true;
+        let _ = self.outcome_tx.send(EvalOutcome {
+            id: self.id,
+            reward,
+        });
+    }
+}
+
+impl Drop for OutcomeGuard {
+    fn drop(&mut self) {
+        if !self.done {
+            let _ = self.events.send(SearchEvent::CandidateSkipped {
+                scenario: self.scenario,
+                id: self.id,
+                error: SynoError::eval(
+                    "candidate evaluation lost: the evaluator pool shut down before the \
+                     candidate was evaluated",
+                ),
+            });
+            let _ = self.outcome_tx.send(EvalOutcome {
+                id: self.id,
+                reward: 0.0,
+            });
+        }
+    }
+}
+
+/// The shared-pool evaluation mode: candidates are packaged as `'static`
+/// jobs and submitted to `pool`, whose workers serve every concurrent run.
+///
+/// The determinism contract is the scoped pipeline's, per run: this run's
+/// engine blocks on *its own* outcome channel before any UCB read that
+/// could observe an unsettled reward, and outcomes are keyed by candidate
+/// id, so sharing workers with other runs changes only scheduling, never
+/// this run's selection decisions.
+fn run_pooled(
+    index: usize,
+    mcts: &mut Mcts,
+    root: &PGraph,
+    pool: &EvalPool,
+    eval: &EvalContext,
+    sender: &Sender<SearchEvent>,
+    keep_going: impl FnMut(u64) -> bool,
+) {
+    let (outcome_tx, outcome_rx) = channel::<EvalOutcome>();
+    mcts.search_async_while(
+        root,
+        |request| {
+            let _ = sender.send(SearchEvent::CandidateFound {
+                scenario: index,
+                id: request.id,
+                graph: request.graph.clone(),
+            });
+            let guard = OutcomeGuard {
+                scenario: index,
+                id: request.id,
+                outcome_tx: outcome_tx.clone(),
+                events: sender.clone(),
+                done: false,
+            };
+            let eval = eval.clone();
+            let events = sender.clone();
+            let EvalRequest { id, graph } = request;
+            // One job owns the candidate end to end, keeping its event
+            // subsequence in pipeline order. A panic that escapes the
+            // evaluation is demoted to a typed skip (the pool also guards
+            // itself, but by then the outcome would be lost).
+            pool.submit(Box::new(move || {
+                let reward = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    eval.evaluate(id, &graph, &events)
+                }))
+                .unwrap_or_else(|payload| {
+                    let _ = events.send(SearchEvent::CandidateSkipped {
+                        scenario: index,
+                        id,
+                        error: SynoError::worker(panic_message(&payload)),
+                    });
+                    0.0
+                });
+                guard.complete(reward);
+            }))
+            // A refused submission drops the job, so the guard has already
+            // sent the skip event and the 0.0 outcome (which the engine
+            // discards as stale — it records the refusal itself).
+        },
+        &outcome_rx,
+        keep_going,
+    );
 }
 
 /// Tunes one scored candidate on every device.
@@ -1795,5 +2128,147 @@ mod tests {
             tuned,
             "a cancelled pipelined run keeps exactly what it finished"
         );
+    }
+
+    /// The shared-pool mode upholds the pipeline determinism contract:
+    /// runs fed through one `EvalPool` — even two of them concurrently —
+    /// discover exactly the serial run's candidate set with the same
+    /// per-candidate event subsequences.
+    #[test]
+    fn shared_eval_pool_matches_serial_run() {
+        let (vars, spec) = conv_scenario();
+        let mcts = MctsConfig {
+            iterations: 25,
+            seed: 2,
+            ..MctsConfig::default()
+        };
+        let serial = SearchBuilder::new()
+            .scenario("conv", &vars, &spec)
+            .mcts(mcts)
+            .proxy(quick_proxy())
+            .start()
+            .unwrap();
+        let serial_events: Vec<SearchEvent> = serial.events().collect();
+        let serial_report = serial.join().unwrap();
+
+        let pool = EvalPool::new(3);
+        let start_pooled = || {
+            SearchBuilder::new()
+                .scenario("conv", &vars, &spec)
+                .mcts(mcts)
+                .proxy(quick_proxy())
+                .eval_pool(pool.clone())
+                .start()
+                .unwrap()
+        };
+        // Two concurrent runs share the one pool — the daemon's shape.
+        let run_a = start_pooled();
+        let run_b = start_pooled();
+        let events_a: Vec<SearchEvent> = run_a.events().collect();
+        let events_b: Vec<SearchEvent> = run_b.events().collect();
+        let report_a = run_a.join().unwrap();
+        let report_b = run_b.join().unwrap();
+        pool.shutdown();
+
+        let ids = |r: &SearchReport| {
+            let mut v: Vec<(u64, u64)> = r
+                .candidates
+                .iter()
+                .map(|c| (c.graph.content_hash(), c.accuracy.to_bits()))
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        assert!(!serial_report.candidates.is_empty());
+        assert_eq!(ids(&serial_report), ids(&report_a));
+        assert_eq!(ids(&serial_report), ids(&report_b));
+        let serial_seq = per_candidate_sequences(&serial_events);
+        assert_eq!(serial_seq, per_candidate_sequences(&events_a));
+        assert_eq!(serial_seq, per_candidate_sequences(&events_b));
+    }
+
+    /// A pool shut down mid-run must degrade loudly: every candidate whose
+    /// evaluation was lost surfaces a typed `SynoError::Eval` through the
+    /// event stream instead of silently scoring 0.0.
+    #[test]
+    fn dead_pool_surfaces_typed_eval_errors() {
+        let (vars, spec) = conv_scenario();
+        let pool = EvalPool::new(1);
+        pool.shutdown();
+        let run = SearchBuilder::new()
+            .scenario("conv", &vars, &spec)
+            .mcts(MctsConfig {
+                iterations: 10,
+                seed: 2,
+                ..MctsConfig::default()
+            })
+            .proxy(quick_proxy())
+            .eval_pool(pool)
+            .start()
+            .unwrap();
+        let events: Vec<SearchEvent> = run.events().collect();
+        let skips: Vec<&SynoError> = events
+            .iter()
+            .filter_map(|e| match e {
+                SearchEvent::CandidateSkipped { error, .. } => Some(error),
+                _ => None,
+            })
+            .collect();
+        assert!(!skips.is_empty(), "a dead pool must report lost candidates");
+        for error in &skips {
+            assert!(
+                matches!(error, SynoError::Eval { .. }),
+                "lost evaluations carry SynoError::Eval, got {error:?}"
+            );
+        }
+        // Every announced candidate still reaches a terminal event.
+        for (id, seq) in per_candidate_sequences(&events) {
+            assert_eq!(seq.first(), Some(&"found"), "candidate {id:#x}: {seq:?}");
+            assert_eq!(seq.last(), Some(&"skipped"), "candidate {id:#x}: {seq:?}");
+        }
+        let report = run.join().unwrap();
+        assert!(report.candidates.is_empty());
+    }
+
+    /// `SearchRun::progress` exposes live counters without cloning: the
+    /// handle is the same `Arc` throughout, counters advance while the run
+    /// streams, and the final values agree with the report.
+    #[test]
+    fn progress_counters_track_the_run_allocation_free() {
+        let (vars, spec) = conv_scenario();
+        let run = SearchBuilder::new()
+            .scenario("conv", &vars, &spec)
+            .mcts(MctsConfig {
+                iterations: 20,
+                seed: 2,
+                ..MctsConfig::default()
+            })
+            .proxy(quick_proxy())
+            .start()
+            .unwrap();
+        let progress = Arc::clone(run.progress());
+        assert_eq!(progress.scenarios().len(), 1);
+        assert_eq!(progress.scenarios()[0].label(), "conv");
+        assert_eq!(progress.scenarios()[0].total_iterations(), 20);
+        assert!(Arc::ptr_eq(&progress, run.progress()), "same Arc every poll");
+
+        let mut tuned = 0u64;
+        for event in run.events() {
+            if let SearchEvent::LatencyTuned { .. } = event {
+                tuned += 1;
+                assert!(
+                    progress.scenarios()[0].candidates() >= tuned,
+                    "candidate counter advances with the stream"
+                );
+            }
+        }
+        let report = run.join().unwrap();
+        assert!(progress.finished());
+        assert_eq!(progress.steps(), report.steps);
+        assert_eq!(
+            progress.scenarios()[0].candidates() as usize,
+            report.candidates.len()
+        );
+        assert!(progress.scenarios()[0].discovered() >= tuned);
     }
 }

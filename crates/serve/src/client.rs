@@ -1,0 +1,392 @@
+//! `SynoClient` — the client handle for a running `syno-serve` daemon.
+//!
+//! One client is one authenticated connection for one tenant. A
+//! background reader thread demultiplexes inbound frames: session-scoped
+//! frames (`Event` / `SearchDone` / session `Error`) land in per-session
+//! queues drained through [`ClientSession`], everything else
+//! (`Accepted`, `Rejected`, `StatusReply`, `ShuttingDown`, connection
+//! `Error`) lands in a control queue the blocking calls wait on.
+
+use std::collections::HashMap;
+use std::io;
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use syno_core::codec::PROTOCOL_VERSION;
+
+use crate::protocol::{DaemonStatus, Frame, ProtocolError, SearchRequest, WireEvent};
+use crate::transport::{connect, Conn};
+
+/// Errors a [`SynoClient`] call can surface.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The transport failed.
+    Io(io::Error),
+    /// A frame failed to encode or decode.
+    Protocol(ProtocolError),
+    /// The daemon refused the request; carries its reason.
+    Rejected(String),
+    /// The daemon reported a request-level error.
+    Daemon(String),
+    /// The daemon did not answer within the client's deadline.
+    Timeout,
+    /// The connection closed before the expected reply arrived.
+    Disconnected,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "transport failed: {e}"),
+            ServeError::Protocol(e) => write!(f, "protocol failed: {e}"),
+            ServeError::Rejected(reason) => write!(f, "daemon rejected the request: {reason}"),
+            ServeError::Daemon(message) => write!(f, "daemon reported an error: {message}"),
+            ServeError::Timeout => write!(f, "timed out waiting for the daemon"),
+            ServeError::Disconnected => write!(f, "connection closed before the daemon replied"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<io::Error> for ServeError {
+    fn from(e: io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<ProtocolError> for ServeError {
+    fn from(e: ProtocolError) -> Self {
+        ServeError::Protocol(e)
+    }
+}
+
+/// One message on a session's stream, in daemon emission order.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SessionMessage {
+    /// A streamed search event.
+    Event(WireEvent),
+    /// The session's terminal frame; no further messages follow.
+    Done {
+        /// Why the run stopped
+        /// ([`StopReason::name`](syno_search::StopReason::name) or
+        /// `"error"`).
+        stopped: String,
+        /// MCTS iterations executed.
+        steps: u64,
+        /// Candidates in the final report.
+        candidates: u64,
+    },
+    /// A session-scoped daemon error (the terminal `Done` still follows).
+    Error(String),
+}
+
+/// Per-session inbound queue, created lazily by whichever side touches
+/// the session id first (the demux on an early `Event`, or
+/// [`SynoClient::submit`] on `Accepted`).
+struct SessionQueue {
+    tx: Sender<SessionMessage>,
+    rx: Option<Receiver<SessionMessage>>,
+}
+
+struct Demux {
+    sessions: Mutex<HashMap<u64, SessionQueue>>,
+    control_tx: Sender<Frame>,
+}
+
+impl Demux {
+    fn session_tx(&self, session: u64) -> Sender<SessionMessage> {
+        let mut sessions = self.sessions.lock().expect("session queues lock");
+        sessions
+            .entry(session)
+            .or_insert_with(|| {
+                let (tx, rx) = channel();
+                SessionQueue { tx, rx: Some(rx) }
+            })
+            .tx
+            .clone()
+    }
+
+    fn take_session_rx(&self, session: u64) -> Receiver<SessionMessage> {
+        let mut sessions = self.sessions.lock().expect("session queues lock");
+        sessions
+            .entry(session)
+            .or_insert_with(|| {
+                let (tx, rx) = channel();
+                SessionQueue { tx, rx: Some(rx) }
+            })
+            .rx
+            .take()
+            .expect("session receiver already taken")
+    }
+
+    fn route(&self, frame: Frame) {
+        match frame {
+            Frame::Event { session, event } => {
+                let _ = self.session_tx(session).send(SessionMessage::Event(event));
+            }
+            Frame::SearchDone {
+                session,
+                stopped,
+                steps,
+                candidates,
+            } => {
+                let _ = self.session_tx(session).send(SessionMessage::Done {
+                    stopped,
+                    steps,
+                    candidates,
+                });
+            }
+            Frame::Error { session, message } if session != 0 => {
+                let _ = self
+                    .session_tx(session)
+                    .send(SessionMessage::Error(message));
+            }
+            other => {
+                let _ = self.control_tx.send(other);
+            }
+        }
+    }
+}
+
+/// A client connection to a `syno-serve` daemon, authenticated as one
+/// tenant. Cheap to keep open; one client can run many concurrent
+/// sessions.
+pub struct SynoClient {
+    writer: Mutex<Box<dyn Conn>>,
+    shutdown_conn: Box<dyn Conn>,
+    demux: Arc<Demux>,
+    control_rx: Mutex<Receiver<Frame>>,
+    reader: Option<thread::JoinHandle<()>>,
+    timeout: Duration,
+}
+
+impl std::fmt::Debug for SynoClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SynoClient").finish_non_exhaustive()
+    }
+}
+
+impl SynoClient {
+    /// Connects to a daemon (listen-spec syntax: `"unix:<path>"` or a TCP
+    /// address) and completes the `Hello`/`HelloAck` handshake as
+    /// `tenant`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`]/[`ServeError::Protocol`] on connection or
+    /// handshake failure, [`ServeError::Daemon`] when the daemon refuses
+    /// the protocol version.
+    pub fn connect(addr: &str, tenant: &str) -> Result<SynoClient, ServeError> {
+        let mut conn = connect(addr)?;
+        Frame::Hello {
+            protocol: PROTOCOL_VERSION,
+            tenant: tenant.to_owned(),
+        }
+        .write_to(&mut conn)?;
+        match Frame::read_from(&mut conn)? {
+            Some(Frame::HelloAck { .. }) => {}
+            Some(Frame::Error { message, .. }) => return Err(ServeError::Daemon(message)),
+            Some(_) => {
+                return Err(ServeError::Daemon(
+                    "daemon answered the handshake with an unexpected frame".to_owned(),
+                ))
+            }
+            None => return Err(ServeError::Disconnected),
+        }
+
+        let writer = conn.try_clone_conn()?;
+        let shutdown_conn = conn.try_clone_conn()?;
+        let (control_tx, control_rx) = channel();
+        let demux = Arc::new(Demux {
+            sessions: Mutex::new(HashMap::new()),
+            control_tx,
+        });
+        let reader_demux = Arc::clone(&demux);
+        let mut reader_conn = conn;
+        let reader = thread::Builder::new()
+            .name("syno-client-reader".into())
+            .spawn(move || {
+                while let Ok(Some(frame)) = Frame::read_from(&mut reader_conn) {
+                    reader_demux.route(frame);
+                }
+                // EOF or error: closing the control sender wakes blocked
+                // waiters with `Disconnected`; session queues close with
+                // the demux.
+            })?;
+
+        Ok(SynoClient {
+            writer: Mutex::new(writer),
+            shutdown_conn,
+            demux,
+            control_rx: Mutex::new(control_rx),
+            reader: Some(reader),
+            timeout: Duration::from_secs(120),
+        })
+    }
+
+    /// Replaces the reply deadline used by the blocking calls (default
+    /// 120 s).
+    pub fn set_timeout(&mut self, timeout: Duration) {
+        self.timeout = timeout;
+    }
+
+    fn send(&self, frame: &Frame) -> Result<(), ServeError> {
+        let mut writer = self.writer.lock().expect("writer lock");
+        frame.write_to(&mut *writer)?;
+        Ok(())
+    }
+
+    /// Waits on the control queue until `want` matches a frame, skipping
+    /// (and dropping) non-matching control frames.
+    fn wait_control(&self, want: impl Fn(&Frame) -> bool) -> Result<Frame, ServeError> {
+        let control = self.control_rx.lock().expect("control queue lock");
+        let deadline = Instant::now() + self.timeout;
+        loop {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return Err(ServeError::Timeout);
+            }
+            match control.recv_timeout(left) {
+                Ok(frame) if want(&frame) => return Ok(frame),
+                Ok(_) => continue,
+                Err(RecvTimeoutError::Timeout) => return Err(ServeError::Timeout),
+                Err(RecvTimeoutError::Disconnected) => return Err(ServeError::Disconnected),
+            }
+        }
+    }
+
+    /// Submits one search session and waits for admission.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Rejected`] with the daemon's reason (admission cap,
+    /// bad spec, shutdown, …); transport/timeout errors otherwise.
+    pub fn submit(&self, request: &SearchRequest) -> Result<ClientSession<'_>, ServeError> {
+        self.send(&Frame::SubmitSearch(request.clone()))?;
+        let reply = self.wait_control(|frame| {
+            matches!(frame, Frame::Accepted { .. } | Frame::Rejected { .. })
+        })?;
+        match reply {
+            Frame::Accepted { session } => Ok(ClientSession {
+                client: self,
+                session,
+                rx: self.demux.take_session_rx(session),
+            }),
+            Frame::Rejected { reason } => Err(ServeError::Rejected(reason)),
+            _ => unreachable!("wait_control matched Accepted/Rejected"),
+        }
+    }
+
+    /// Requests the daemon's status snapshot (live sessions + shared
+    /// store statistics).
+    ///
+    /// # Errors
+    ///
+    /// Transport, timeout, or disconnection errors.
+    pub fn status(&self) -> Result<DaemonStatus, ServeError> {
+        self.send(&Frame::Status)?;
+        match self.wait_control(|frame| matches!(frame, Frame::StatusReply(_)))? {
+            Frame::StatusReply(status) => Ok(status),
+            _ => unreachable!("wait_control matched StatusReply"),
+        }
+    }
+
+    /// Requests a graceful daemon shutdown and waits for the terminal
+    /// `ShuttingDown`; returns the number of sessions the daemon
+    /// checkpointed during the drain.
+    ///
+    /// # Errors
+    ///
+    /// Transport, timeout, or disconnection errors.
+    pub fn shutdown(&self) -> Result<u64, ServeError> {
+        self.send(&Frame::Shutdown)?;
+        match self.wait_control(|frame| matches!(frame, Frame::ShuttingDown { .. }))? {
+            Frame::ShuttingDown { checkpointed } => Ok(checkpointed),
+            _ => unreachable!("wait_control matched ShuttingDown"),
+        }
+    }
+
+    /// Waits for the daemon-initiated terminal `ShuttingDown` frame
+    /// (e.g. after another connection — or SIGINT — triggered the
+    /// shutdown); returns the checkpointed-session count.
+    ///
+    /// # Errors
+    ///
+    /// Transport, timeout, or disconnection errors.
+    pub fn wait_shutdown(&self) -> Result<u64, ServeError> {
+        match self.wait_control(|frame| matches!(frame, Frame::ShuttingDown { .. }))? {
+            Frame::ShuttingDown { checkpointed } => Ok(checkpointed),
+            _ => unreachable!("wait_control matched ShuttingDown"),
+        }
+    }
+}
+
+impl Drop for SynoClient {
+    fn drop(&mut self) {
+        let _ = self.shutdown_conn.shutdown_conn();
+        if let Some(reader) = self.reader.take() {
+            let _ = reader.join();
+        }
+    }
+}
+
+/// One admitted search session: an iterator-style handle over its event
+/// stream plus cooperative cancellation.
+pub struct ClientSession<'a> {
+    client: &'a SynoClient,
+    session: u64,
+    rx: Receiver<SessionMessage>,
+}
+
+impl std::fmt::Debug for ClientSession<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClientSession")
+            .field("session", &self.session)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ClientSession<'_> {
+    /// The daemon-assigned session id.
+    pub fn id(&self) -> u64 {
+        self.session
+    }
+
+    /// Blocks for the next message; `None` once the terminal
+    /// [`SessionMessage::Done`] has been consumed (or the connection
+    /// died).
+    pub fn recv(&self) -> Option<SessionMessage> {
+        self.rx.recv().ok()
+    }
+
+    /// Blocking iterator over the session's messages, ending after the
+    /// terminal [`SessionMessage::Done`].
+    pub fn messages(&self) -> impl Iterator<Item = SessionMessage> + '_ {
+        let mut done = false;
+        std::iter::from_fn(move || {
+            if done {
+                return None;
+            }
+            let message = self.rx.recv().ok()?;
+            if matches!(message, SessionMessage::Done { .. }) {
+                done = true;
+            }
+            Some(message)
+        })
+    }
+
+    /// Asks the daemon to cooperatively cancel this session; the stream
+    /// still ends with its terminal [`SessionMessage::Done`].
+    ///
+    /// # Errors
+    ///
+    /// Transport errors writing the cancel frame.
+    pub fn cancel(&self) -> Result<(), ServeError> {
+        self.client.send(&Frame::Cancel {
+            session: self.session,
+        })
+    }
+}

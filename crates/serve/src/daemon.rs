@@ -1,0 +1,647 @@
+//! The `syno-serve` daemon: many concurrent search sessions, one warm
+//! store, one shared evaluation pool.
+//!
+//! # Architecture
+//!
+//! One [`Daemon`] owns a listening socket, an optional shared
+//! [`Store`], and a single [`EvalPool`]. Each inbound connection
+//! authenticates a *tenant* with a `Hello` handshake and may then submit
+//! any number of search sessions; every session is a full
+//! [`SearchRun`] whose candidate evaluations fan
+//! into the daemon's one pool via
+//! [`SearchBuilder::eval_pool`](syno_search::SearchBuilder::eval_pool).
+//! Because every session shares the store, a candidate proxy-trained for
+//! one tenant is a [`CacheHit`](crate::WireEvent::CacheHit) for every
+//! other tenant that discovers it — cross-tenant dedup falls out of the
+//! store's content-hash keys, no extra machinery.
+//!
+//! Per connection, three kinds of threads cooperate:
+//!
+//! * the **reader** (the connection's main thread) decodes inbound frames
+//!   and handles admission, cancel, and status requests;
+//! * one **writer** serializes all outbound frames from an mpsc channel,
+//!   so session pumps and the reader never interleave partial frames; it
+//!   closes the socket after writing the terminal `ShuttingDown` frame;
+//! * one **pump** per live session forwards
+//!   [`SearchEvent`](syno_search::SearchEvent)s as `Event` frames and
+//!   finishes with a `SearchDone` terminal frame;
+//! * one **drain watcher** waits out shutdown: once the daemon is
+//!   draining and this connection's sessions have all finished (each with
+//!   its final checkpoint journaled *before* its `SearchDone` was sent),
+//!   it emits `ShuttingDown` and lets the writer close the socket.
+//!
+//! # Admission control
+//!
+//! [`ServeConfig::max_sessions`] bounds live sessions daemon-wide and
+//! [`ServeConfig::max_sessions_per_tenant`] per tenant; a submit over
+//! either cap — or during shutdown — receives a `Rejected` frame naming
+//! the limit, never a silent queue. Budgets inside an admitted session
+//! are the search layer's own [`Budget`](syno_search::Budget) machinery
+//! (`max_steps` travels in the request).
+//!
+//! # Shutdown ordering
+//!
+//! [`DaemonHandle::shutdown`] (or an inbound `Shutdown` frame, or
+//! SIGINT in the binary) (1) marks the daemon draining so new submits are
+//! rejected, (2) cancels every live session's
+//! [`CancelToken`], (3) lets each run wind down
+//! through its normal path — in-flight pool evaluations complete, the
+//! final checkpoint is journaled to the store — then (4) answers every
+//! pending client with `SearchDone` per session followed by one terminal
+//! `ShuttingDown{checkpointed}` per connection, and (5) joins every
+//! thread and shuts the shared pool down. A later run with
+//! [`resume`](crate::SearchRequest::resume) (or an in-process
+//! [`SearchBuilder::resume_from`](syno_search::SearchBuilder::resume_from))
+//! replays each interrupted session to the identical candidate set.
+
+use std::collections::{HashMap, HashSet};
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use syno_compiler::{CompilerKind, Device};
+use syno_core::codec::{decode_spec, PROTOCOL_VERSION};
+use syno_nn::ProxyConfig;
+use syno_search::{
+    CancelToken, EvalPool, MctsConfig, ProxyFamilyId, RunProgress, SearchBuilder, SearchRun,
+};
+use syno_store::Store;
+
+use crate::protocol::{
+    wire_event, DaemonStatus, Frame, SearchRequest, SessionStatus, WireStoreStats,
+};
+use crate::transport::{connect, Conn, Listener};
+
+/// Daemon-wide tuning: the shared pool size, admission caps, and the
+/// evaluation defaults every session inherits unless its request
+/// overrides them.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Worker threads in the shared evaluation pool.
+    pub eval_workers: usize,
+    /// Live-session cap across all tenants.
+    pub max_sessions: usize,
+    /// Live-session cap per tenant.
+    pub max_sessions_per_tenant: usize,
+    /// Devices every candidate is latency-tuned for.
+    pub devices: Vec<Device>,
+    /// Compiler simulator for the latency column.
+    pub compiler: CompilerKind,
+    /// Proxy-training defaults (requests override steps/batch/batches).
+    pub proxy: ProxyConfig,
+    /// Default progress/checkpoint cadence in iterations.
+    pub progress_every: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            eval_workers: 2,
+            max_sessions: 8,
+            max_sessions_per_tenant: 4,
+            devices: vec![Device::mobile_cpu()],
+            compiler: CompilerKind::Tvm,
+            proxy: ProxyConfig::default(),
+            progress_every: 10,
+        }
+    }
+}
+
+/// One live session as the daemon tracks it.
+struct SessionEntry {
+    tenant: String,
+    label: String,
+    cancel: CancelToken,
+    progress: Arc<RunProgress>,
+}
+
+/// State shared by the accept loop, every connection, and the handle.
+struct DaemonState {
+    config: ServeConfig,
+    addr: String,
+    store: Option<Arc<Store>>,
+    pool: EvalPool,
+    sessions: Mutex<HashMap<u64, SessionEntry>>,
+    next_session: AtomicU64,
+    total_admitted: AtomicU64,
+    shutting_down: AtomicBool,
+    checkpointed: AtomicU64,
+}
+
+impl DaemonState {
+    /// Marks the daemon draining, cancels every live session, and pokes
+    /// the accept loop (a throwaway self-connection) so it observes the
+    /// flag even with no inbound connection pending. Safe to call more
+    /// than once.
+    fn trigger_shutdown(&self) {
+        self.shutting_down.store(true, Ordering::SeqCst);
+        {
+            let sessions = self.sessions.lock().expect("sessions lock");
+            for entry in sessions.values() {
+                entry.cancel.cancel();
+            }
+        }
+        let _ = connect(&self.addr);
+    }
+
+    fn status(&self) -> DaemonStatus {
+        let sessions = self.sessions.lock().expect("sessions lock");
+        let mut rows: Vec<SessionStatus> = sessions
+            .iter()
+            .map(|(id, entry)| {
+                let scenario = &entry.progress.scenarios()[0];
+                SessionStatus {
+                    session: *id,
+                    tenant: entry.tenant.clone(),
+                    label: entry.label.clone(),
+                    iterations: scenario.iterations(),
+                    total_iterations: scenario.total_iterations(),
+                    discovered: scenario.discovered(),
+                    candidates: scenario.candidates(),
+                }
+            })
+            .collect();
+        rows.sort_by_key(|row| row.session);
+        DaemonStatus {
+            active_sessions: rows.len() as u32,
+            total_admitted: self.total_admitted.load(Ordering::SeqCst),
+            shutting_down: self.shutting_down.load(Ordering::SeqCst),
+            sessions: rows,
+            store: self
+                .store
+                .as_ref()
+                .map(|store| WireStoreStats::from(&store.stats())),
+        }
+    }
+}
+
+/// A cloneable remote control for a running [`Daemon`] — the binary hands
+/// one to its SIGINT watcher, tests use one to stop the daemon in-process.
+#[derive(Clone)]
+pub struct DaemonHandle {
+    state: Arc<DaemonState>,
+    addr: String,
+}
+
+impl std::fmt::Debug for DaemonHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DaemonHandle")
+            .field("addr", &self.addr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl DaemonHandle {
+    /// The daemon's bound address in listen-spec syntax.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Is the daemon draining toward exit?
+    pub fn is_shutting_down(&self) -> bool {
+        self.state.shutting_down.load(Ordering::SeqCst)
+    }
+
+    /// Requests a graceful shutdown: reject new work, cancel live
+    /// sessions, drain in-flight evaluations, checkpoint, answer every
+    /// client with terminal frames. Returns immediately;
+    /// [`Daemon::run`] returns once the drain completes.
+    pub fn shutdown(&self) {
+        self.state.trigger_shutdown();
+    }
+}
+
+/// The serving daemon. [`bind`](Daemon::bind) it, then either
+/// [`run`](Daemon::run) on the current thread (the binary) or
+/// [`spawn`](Daemon::spawn) onto a background thread (tests).
+pub struct Daemon {
+    listener: Listener,
+    addr: String,
+    state: Arc<DaemonState>,
+}
+
+impl std::fmt::Debug for Daemon {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Daemon")
+            .field("addr", &self.addr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Daemon {
+    /// Binds the listen spec (`"unix:<path>"` or a TCP address; TCP port
+    /// `0` picks a free port) and builds the shared pool. No connection
+    /// is accepted until [`run`](Daemon::run).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind failures.
+    pub fn bind(
+        listen: &str,
+        store: Option<Arc<Store>>,
+        config: ServeConfig,
+    ) -> io::Result<Daemon> {
+        let listener = Listener::bind(listen)?;
+        let addr = listener.local_spec()?;
+        let pool = EvalPool::new(config.eval_workers);
+        Ok(Daemon {
+            listener,
+            addr: addr.clone(),
+            state: Arc::new(DaemonState {
+                config,
+                addr,
+                store,
+                pool,
+                sessions: Mutex::new(HashMap::new()),
+                next_session: AtomicU64::new(0),
+                total_admitted: AtomicU64::new(0),
+                shutting_down: AtomicBool::new(false),
+                checkpointed: AtomicU64::new(0),
+            }),
+        })
+    }
+
+    /// A control handle for this daemon (cloneable, thread-safe).
+    pub fn handle(&self) -> DaemonHandle {
+        DaemonHandle {
+            state: Arc::clone(&self.state),
+            addr: self.addr.clone(),
+        }
+    }
+
+    /// Serves connections until [`DaemonHandle::shutdown`] (or an inbound
+    /// `Shutdown` frame) completes the drain: every session finished and
+    /// checkpointed, every client answered, every thread joined, the
+    /// shared pool shut down.
+    pub fn run(self) {
+        let mut handlers = Vec::new();
+        loop {
+            let conn = match self.listener.accept_conn() {
+                Ok(conn) => conn,
+                Err(_) if self.state.shutting_down.load(Ordering::SeqCst) => break,
+                Err(_) => continue,
+            };
+            if self.state.shutting_down.load(Ordering::SeqCst) {
+                // The shutdown poke (or a late client); the handler will
+                // answer with `ShuttingDown` as soon as the peer says
+                // `Hello`, or exit on its EOF.
+                let state = Arc::clone(&self.state);
+                handlers.push(thread::spawn(move || serve_connection(state, conn)));
+                break;
+            }
+            let state = Arc::clone(&self.state);
+            handlers.push(thread::spawn(move || serve_connection(state, conn)));
+        }
+        for handler in handlers {
+            let _ = handler.join();
+        }
+        self.state.pool.shutdown();
+    }
+
+    /// Runs the daemon on a background thread; returns the control handle
+    /// and the join handle for the serving thread.
+    pub fn spawn(self) -> (DaemonHandle, thread::JoinHandle<()>) {
+        let handle = self.handle();
+        let join = thread::Builder::new()
+            .name("syno-serve-accept".into())
+            .spawn(move || self.run())
+            .expect("spawn daemon thread");
+        (handle, join)
+    }
+}
+
+/// Serves one client connection to completion (see the module docs for
+/// the thread roles).
+fn serve_connection(state: Arc<DaemonState>, conn: Box<dyn Conn>) {
+    let mut reader = conn;
+    let writer_conn = match reader.try_clone_conn() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    };
+
+    // Handshake: the first frame must be a version-matched `Hello`.
+    let tenant = match Frame::read_from(&mut reader) {
+        Ok(Some(Frame::Hello { protocol, tenant })) if protocol == PROTOCOL_VERSION => tenant,
+        Ok(Some(Frame::Hello { protocol, .. })) => {
+            let reply = Frame::Error {
+                session: 0,
+                message: format!(
+                    "protocol version {protocol} not supported (daemon speaks {PROTOCOL_VERSION})"
+                ),
+            };
+            let mut w = writer_conn;
+            let _ = reply.write_to(&mut w);
+            return;
+        }
+        Ok(Some(_)) | Ok(None) | Err(_) => return,
+    };
+
+    let (tx, rx) = channel::<Frame>();
+    let writer = spawn_writer(writer_conn, rx);
+    if tx
+        .send(Frame::HelloAck {
+            protocol: PROTOCOL_VERSION,
+        })
+        .is_err()
+    {
+        let _ = writer.join();
+        return;
+    }
+
+    // Sessions owned by this connection, still running.
+    let live = Arc::new(AtomicU64::new(0));
+    let closed = Arc::new(AtomicBool::new(false));
+    let watcher = spawn_drain_watcher(
+        Arc::clone(&state),
+        tx.clone(),
+        Arc::clone(&live),
+        Arc::clone(&closed),
+    );
+
+    let mut own_sessions: HashSet<u64> = HashSet::new();
+    let mut pumps: Vec<thread::JoinHandle<()>> = Vec::new();
+
+    loop {
+        match Frame::read_from(&mut reader) {
+            Ok(Some(Frame::SubmitSearch(request))) => {
+                match admit(&state, &tenant, &request) {
+                    Ok((session, run)) => {
+                        own_sessions.insert(session);
+                        live.fetch_add(1, Ordering::SeqCst);
+                        let _ = tx.send(Frame::Accepted { session });
+                        pumps.push(spawn_pump(
+                            Arc::clone(&state),
+                            session,
+                            run,
+                            tx.clone(),
+                            Arc::clone(&live),
+                        ));
+                    }
+                    Err(reason) => {
+                        let _ = tx.send(Frame::Rejected { reason });
+                    }
+                }
+            }
+            Ok(Some(Frame::Cancel { session })) => {
+                if own_sessions.contains(&session) {
+                    let sessions = state.sessions.lock().expect("sessions lock");
+                    if let Some(entry) = sessions.get(&session) {
+                        entry.cancel.cancel();
+                    }
+                } else {
+                    let _ = tx.send(Frame::Error {
+                        session,
+                        message: format!("session {session} is not owned by this connection"),
+                    });
+                }
+            }
+            Ok(Some(Frame::Status)) => {
+                let _ = tx.send(Frame::StatusReply(state.status()));
+            }
+            Ok(Some(Frame::Shutdown)) => {
+                state.trigger_shutdown();
+                // The drain watcher answers with `ShuttingDown` once this
+                // connection's sessions have wound down.
+            }
+            Ok(Some(other)) => {
+                let _ = tx.send(Frame::Error {
+                    session: 0,
+                    message: format!("unexpected client frame: {}", other.kind()),
+                });
+            }
+            // Clean EOF or a torn/closed socket: either the client hung
+            // up (cancel its orphaned sessions) or our writer closed the
+            // socket after the terminal `ShuttingDown`.
+            Ok(None) | Err(_) => {
+                if !state.shutting_down.load(Ordering::SeqCst) {
+                    let sessions = state.sessions.lock().expect("sessions lock");
+                    for id in &own_sessions {
+                        if let Some(entry) = sessions.get(id) {
+                            entry.cancel.cancel();
+                        }
+                    }
+                }
+                break;
+            }
+        }
+    }
+
+    for pump in pumps {
+        let _ = pump.join();
+    }
+    closed.store(true, Ordering::SeqCst);
+    let _ = watcher.join();
+    drop(tx);
+    let _ = writer.join();
+}
+
+/// The writer thread: serializes every outbound frame; after the
+/// terminal `ShuttingDown` it closes the socket, which unblocks the
+/// reader and completes the connection's drain.
+fn spawn_writer(mut conn: Box<dyn Conn>, rx: Receiver<Frame>) -> thread::JoinHandle<()> {
+    thread::Builder::new()
+        .name("syno-serve-writer".into())
+        .spawn(move || {
+            while let Ok(frame) = rx.recv() {
+                let terminal = matches!(frame, Frame::ShuttingDown { .. });
+                if frame.write_to(&mut conn).is_err() {
+                    break;
+                }
+                if terminal {
+                    let _ = conn.shutdown_conn();
+                    break;
+                }
+            }
+        })
+        .expect("spawn writer thread")
+}
+
+/// The drain watcher: once the daemon is shutting down and this
+/// connection's sessions have all finished (final checkpoints journaled,
+/// `SearchDone` frames queued), it queues the terminal `ShuttingDown`.
+fn spawn_drain_watcher(
+    state: Arc<DaemonState>,
+    tx: Sender<Frame>,
+    live: Arc<AtomicU64>,
+    closed: Arc<AtomicBool>,
+) -> thread::JoinHandle<()> {
+    thread::Builder::new()
+        .name("syno-serve-drain".into())
+        .spawn(move || loop {
+            if closed.load(Ordering::SeqCst) {
+                return;
+            }
+            if state.shutting_down.load(Ordering::SeqCst) && live.load(Ordering::SeqCst) == 0 {
+                let _ = tx.send(Frame::ShuttingDown {
+                    checkpointed: state.checkpointed.load(Ordering::SeqCst),
+                });
+                return;
+            }
+            thread::sleep(Duration::from_millis(20));
+        })
+        .expect("spawn drain watcher")
+}
+
+/// The per-session pump: forwards the run's event stream as `Event`
+/// frames, then the terminal `SearchDone`. The run's final checkpoint is
+/// journaled before its event channel closes, so `SearchDone` always
+/// trails the checkpoint — the ordering clients rely on for resume.
+fn spawn_pump(
+    state: Arc<DaemonState>,
+    session: u64,
+    run: SearchRun,
+    tx: Sender<Frame>,
+    live: Arc<AtomicU64>,
+) -> thread::JoinHandle<()> {
+    thread::Builder::new()
+        .name(format!("syno-serve-session-{session}"))
+        .spawn(move || {
+            for event in run.events() {
+                let frame = Frame::Event {
+                    session,
+                    event: wire_event(&event),
+                };
+                if tx.send(frame).is_err() {
+                    // The connection died; wind the run down and keep
+                    // draining so join() returns promptly.
+                    run.cancel();
+                }
+            }
+            let done = match run.join() {
+                Ok(report) => Frame::SearchDone {
+                    session,
+                    stopped: report.stopped.name().to_owned(),
+                    steps: report.steps,
+                    candidates: report.candidates.len() as u64,
+                },
+                Err(error) => {
+                    let _ = tx.send(Frame::Error {
+                        session,
+                        message: error.to_string(),
+                    });
+                    Frame::SearchDone {
+                        session,
+                        stopped: "error".to_owned(),
+                        steps: 0,
+                        candidates: 0,
+                    }
+                }
+            };
+            state
+                .sessions
+                .lock()
+                .expect("sessions lock")
+                .remove(&session);
+            if state.shutting_down.load(Ordering::SeqCst) && state.store.is_some() {
+                state.checkpointed.fetch_add(1, Ordering::SeqCst);
+            }
+            let _ = tx.send(done);
+            live.fetch_sub(1, Ordering::SeqCst);
+        })
+        .expect("spawn session pump")
+}
+
+/// Admission control + session construction: checks the caps, builds the
+/// [`SearchBuilder`] bound to the shared store and pool, and starts the
+/// run. Returns the rejection reason otherwise.
+fn admit(
+    state: &Arc<DaemonState>,
+    tenant: &str,
+    request: &SearchRequest,
+) -> Result<(u64, SearchRun), String> {
+    if state.shutting_down.load(Ordering::SeqCst) {
+        return Err("daemon is shutting down".to_owned());
+    }
+    {
+        let sessions = state.sessions.lock().expect("sessions lock");
+        if sessions.len() >= state.config.max_sessions {
+            return Err(format!(
+                "daemon session cap reached ({} live, max {})",
+                sessions.len(),
+                state.config.max_sessions
+            ));
+        }
+        let tenant_live = sessions
+            .values()
+            .filter(|entry| entry.tenant == tenant)
+            .count();
+        if tenant_live >= state.config.max_sessions_per_tenant {
+            return Err(format!(
+                "tenant '{tenant}' session cap reached ({tenant_live} live, max {})",
+                state.config.max_sessions_per_tenant
+            ));
+        }
+    }
+    if request.resume && state.store.is_none() {
+        return Err("resume requested but the daemon has no store attached".to_owned());
+    }
+
+    let (vars, spec) =
+        decode_spec(&request.spec).map_err(|error| format!("spec did not decode: {error}"))?;
+
+    let mut proxy = state.config.proxy;
+    if request.train_steps > 0 {
+        proxy.train.steps = request.train_steps as usize;
+    }
+    if request.train_batch > 0 {
+        proxy.train.batch = request.train_batch as usize;
+    }
+    if request.eval_batches > 0 {
+        proxy.train.eval_batches = request.eval_batches as usize;
+    }
+    let mut mcts = MctsConfig::default();
+    if request.iterations > 0 {
+        mcts.iterations = request.iterations as usize;
+    }
+    mcts.seed = request.seed;
+
+    let cancel = CancelToken::new();
+    let mut builder = SearchBuilder::new()
+        .scenario(&request.label, &vars, &spec)
+        .mcts(mcts)
+        .proxy(proxy)
+        .devices(state.config.devices.clone())
+        .compiler(state.config.compiler)
+        .workers(1)
+        .eval_pool(state.pool.clone())
+        .cancel_token(cancel.clone())
+        .progress_every(if request.progress_every > 0 {
+            request.progress_every
+        } else {
+            state.config.progress_every
+        });
+    match request.family.as_str() {
+        "" => {}
+        "vision" => builder = builder.proxy_family(ProxyFamilyId::Vision),
+        "sequence" => builder = builder.proxy_family(ProxyFamilyId::Sequence),
+        other => return Err(format!("unknown proxy family '{other}'")),
+    }
+    if let Some(store) = &state.store {
+        builder = if request.resume {
+            builder.resume_from(Arc::clone(store))
+        } else {
+            builder.store(Arc::clone(store))
+        };
+    }
+    if request.max_steps > 0 {
+        builder = builder.max_steps(request.max_steps);
+    }
+
+    let run = builder.start().map_err(|error| error.to_string())?;
+
+    let session = state.next_session.fetch_add(1, Ordering::SeqCst) + 1;
+    state.total_admitted.fetch_add(1, Ordering::SeqCst);
+    state.sessions.lock().expect("sessions lock").insert(
+        session,
+        SessionEntry {
+            tenant: tenant.to_owned(),
+            label: request.label.clone(),
+            cancel,
+            progress: Arc::clone(run.progress()),
+        },
+    );
+    Ok((session, run))
+}

@@ -1,0 +1,40 @@
+//! # syno-serve — the multi-tenant serving layer
+//!
+//! A long-running `syno-serve` daemon multiplexes many concurrent search
+//! sessions over **one** shared warm [`Store`](syno_store::Store) and
+//! **one** shared evaluation pool:
+//!
+//! * [`protocol`] — the dependency-free, length-prefixed wire protocol:
+//!   typed [`Frame`]s over `syno_core::codec`'s checksummed envelope,
+//!   versioned payloads, spoken over TCP or Unix sockets;
+//! * [`daemon`] — the session manager: per-tenant admission control,
+//!   per-session [`CancelToken`](syno_search::CancelToken)s, event
+//!   streaming, and the shared
+//!   [`EvalPool`](syno_search::EvalPool) that fans every session's
+//!   candidate evaluations into one worker set (cross-tenant dedup falls
+//!   out of the store's content-hash keys);
+//! * [`client`] — [`SynoClient`], the blocking client handle: submit
+//!   sessions, stream events, poll status, request graceful shutdown;
+//! * [`transport`] — TCP / Unix-socket streams behind one trait;
+//! * [`signal`] — a dependency-free SIGINT latch for the binary.
+//!
+//! Lifecycle: shutdown (handle, `Shutdown` frame, or SIGINT) drains
+//! in-flight evaluations, journals each session's final checkpoint to
+//! the store, then answers every pending client with terminal frames —
+//! see the [`daemon`] module docs for the exact ordering.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod client;
+pub mod daemon;
+pub mod protocol;
+pub mod signal;
+pub mod transport;
+
+pub use client::{ClientSession, ServeError, SessionMessage, SynoClient};
+pub use daemon::{Daemon, DaemonHandle, ServeConfig};
+pub use protocol::{
+    wire_event, DaemonStatus, Frame, ProtocolError, SearchRequest, SessionStatus, WireCandidate,
+    WireEvent, WireStoreStats,
+};

@@ -1,0 +1,132 @@
+//! The `syno-serve` binary: bind, serve, drain on SIGINT.
+//!
+//! ```text
+//! syno-serve [--listen ADDR] [--store DIR] [--eval-workers N]
+//!            [--max-sessions N] [--max-sessions-per-tenant N]
+//!            [--progress-every N]
+//! ```
+//!
+//! `ADDR` is `host:port` or `unix:<path>`. With `--store` the daemon
+//! opens (or creates) the shared warm store there; without it sessions
+//! run uncached. The first SIGINT triggers a graceful drain (reject new
+//! work, cancel live sessions, checkpoint, answer clients, exit); a
+//! second SIGINT aborts the process.
+
+use std::process::exit;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use syno_serve::daemon::{Daemon, ServeConfig};
+use syno_serve::signal::{install_sigint_handler, reset_sigint, sigint_received};
+use syno_store::StoreBuilder;
+
+struct Args {
+    listen: String,
+    store: Option<String>,
+    config: ServeConfig,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: syno-serve [--listen ADDR] [--store DIR] [--eval-workers N] \
+         [--max-sessions N] [--max-sessions-per-tenant N] [--progress-every N]"
+    );
+    exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        listen: "127.0.0.1:7171".to_owned(),
+        store: None,
+        config: ServeConfig::default(),
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut value = |what: &str| -> String {
+            argv.next().unwrap_or_else(|| {
+                eprintln!("syno-serve: {what} needs a value");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--listen" => args.listen = value("--listen"),
+            "--store" => args.store = Some(value("--store")),
+            "--eval-workers" => {
+                args.config.eval_workers = parse_num(&value("--eval-workers"), "--eval-workers")
+            }
+            "--max-sessions" => {
+                args.config.max_sessions = parse_num(&value("--max-sessions"), "--max-sessions")
+            }
+            "--max-sessions-per-tenant" => {
+                args.config.max_sessions_per_tenant = parse_num(
+                    &value("--max-sessions-per-tenant"),
+                    "--max-sessions-per-tenant",
+                )
+            }
+            "--progress-every" => {
+                args.config.progress_every =
+                    parse_num::<u64>(&value("--progress-every"), "--progress-every")
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("syno-serve: unknown flag '{other}'");
+                usage()
+            }
+        }
+    }
+    args
+}
+
+fn parse_num<T: std::str::FromStr>(value: &str, flag: &str) -> T {
+    value.parse().unwrap_or_else(|_| {
+        eprintln!("syno-serve: {flag} wants a number, got '{value}'");
+        usage()
+    })
+}
+
+fn main() {
+    let args = parse_args();
+
+    let store = args.store.as_ref().map(|dir| {
+        match StoreBuilder::new(dir).open() {
+            Ok(store) => Arc::new(store),
+            Err(error) => {
+                eprintln!("syno-serve: could not open store at '{dir}': {error}");
+                exit(1);
+            }
+        }
+    });
+
+    let daemon = match Daemon::bind(&args.listen, store, args.config) {
+        Ok(daemon) => daemon,
+        Err(error) => {
+            eprintln!("syno-serve: could not bind '{}': {error}", args.listen);
+            exit(1);
+        }
+    };
+    let handle = daemon.handle();
+    eprintln!("syno-serve: listening on {}", handle.addr());
+
+    if install_sigint_handler() {
+        let watcher_handle = handle.clone();
+        thread::Builder::new()
+            .name("syno-serve-sigint".into())
+            .spawn(move || loop {
+                if sigint_received() {
+                    if watcher_handle.is_shutting_down() {
+                        eprintln!("syno-serve: second SIGINT, aborting");
+                        exit(130);
+                    }
+                    eprintln!("syno-serve: SIGINT — draining sessions and checkpointing");
+                    reset_sigint();
+                    watcher_handle.shutdown();
+                }
+                thread::sleep(Duration::from_millis(100));
+            })
+            .expect("spawn SIGINT watcher");
+    }
+
+    daemon.run();
+    eprintln!("syno-serve: drained, exiting");
+}

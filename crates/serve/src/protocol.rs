@@ -1,0 +1,935 @@
+//! Typed frames over the core wire envelope.
+//!
+//! `syno_core::codec` owns the *envelope* — the tagged, length-prefixed,
+//! checksummed `[kind u8][len u32][payload][checksum u32]` layout shared
+//! with the store journal. This module owns the *payloads*: every
+//! [`FrameKind`] gets a typed [`Frame`] variant with a versioned binary
+//! encoding built from the same [`Encoder`]/[`Decoder`] primitives as the
+//! spec and graph codecs. Each payload leads with
+//! [`PROTOCOL_VERSION`], so a peer
+//! speaking a different protocol revision fails with a typed version error
+//! instead of misreading fields.
+//!
+//! Encoding is total (every [`Frame`] value encodes) and decoding is
+//! exact: `decode(encode(f)) == f` for every frame — the property the
+//! round-trip suite in `tests/protocol_properties.rs` drives per kind.
+
+use std::io::{Read, Write};
+use syno_core::codec::{
+    read_frame, write_frame, CodecError, Decoder, Encoder, FrameError, FrameKind,
+    PROTOCOL_VERSION,
+};
+use syno_store::StoreStats;
+
+/// Errors surfaced while speaking the typed protocol.
+#[derive(Debug)]
+pub enum ProtocolError {
+    /// The frame envelope failed (transport, truncation, checksum, …).
+    Frame(FrameError),
+    /// A payload field failed to decode.
+    Codec(CodecError),
+    /// The peer speaks a different protocol revision.
+    Version {
+        /// The version the peer declared.
+        got: u32,
+    },
+    /// The payload decoded but violates the protocol (bad enum tag, …).
+    Malformed(String),
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::Frame(e) => write!(f, "frame layer failed: {e}"),
+            ProtocolError::Codec(e) => write!(f, "payload decode failed: {e}"),
+            ProtocolError::Version { got } => write!(
+                f,
+                "peer speaks protocol version {got}, this build speaks {PROTOCOL_VERSION}"
+            ),
+            ProtocolError::Malformed(why) => write!(f, "malformed payload: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<FrameError> for ProtocolError {
+    fn from(e: FrameError) -> Self {
+        ProtocolError::Frame(e)
+    }
+}
+
+impl From<CodecError> for ProtocolError {
+    fn from(e: CodecError) -> Self {
+        ProtocolError::Codec(e)
+    }
+}
+
+/// One search submission: everything the daemon needs to start a
+/// [`SearchRun`](syno_search::SearchRun) for a tenant.
+///
+/// The spec travels as `syno_core::codec::encode_spec` bytes (variable
+/// table included), so the daemon reconstructs exactly the client's
+/// operator specification. Zero-valued tuning fields mean "daemon
+/// default".
+#[derive(Clone, Debug, PartialEq)]
+pub struct SearchRequest {
+    /// Scenario label (also the checkpoint key in the shared store).
+    pub label: String,
+    /// `encode_spec` bytes: variable table + operator spec.
+    pub spec: Vec<u8>,
+    /// Proxy family name (`"vision"` / `"sequence"`), or empty to
+    /// auto-detect from the spec.
+    pub family: String,
+    /// MCTS iterations (0 = daemon default).
+    pub iterations: u32,
+    /// MCTS seed.
+    pub seed: u64,
+    /// Progress/checkpoint cadence in iterations (0 = daemon default).
+    pub progress_every: u64,
+    /// Step-budget cap (0 = unlimited).
+    pub max_steps: u64,
+    /// Proxy training steps (0 = daemon default).
+    pub train_steps: u32,
+    /// Proxy training batch size (0 = daemon default).
+    pub train_batch: u32,
+    /// Proxy evaluation batches (0 = daemon default).
+    pub eval_batches: u32,
+    /// Resume from the label's journaled checkpoint in the daemon's store
+    /// instead of starting fresh.
+    pub resume: bool,
+}
+
+/// A fully evaluated candidate as it travels in
+/// [`WireEvent::CacheHit`]/[`WireEvent::LatencyTuned`] frames.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WireCandidate {
+    /// `encode_graph` bytes of the operator.
+    pub graph: Vec<u8>,
+    /// Proxy accuracy in `[0, 1]`.
+    pub accuracy: f64,
+    /// Naive FLOPs under valuation 0.
+    pub flops: u128,
+    /// Parameter count under valuation 0.
+    pub params: u128,
+    /// Tuned latency per requested device, in daemon device order.
+    pub latencies: Vec<f64>,
+}
+
+/// A [`SearchEvent`](syno_search::SearchEvent) as it travels in an
+/// [`Frame::Event`] frame. Scenario indices are per session; errors carry
+/// a machine-readable kind tag plus the rendered message, so a tenant can
+/// distinguish a lost evaluation (`"eval"`) from a proxy failure
+/// (`"proxy"`) without parsing prose.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WireEvent {
+    /// MCTS completed a rollout to a new distinct operator.
+    CandidateFound {
+        /// Scenario index within the session.
+        scenario: u32,
+        /// Stable candidate id (`PGraph::content_hash`).
+        id: u64,
+    },
+    /// The accuracy proxy finished training the candidate.
+    ProxyScored {
+        /// Scenario index within the session.
+        scenario: u32,
+        /// Candidate id.
+        id: u64,
+        /// Proxy accuracy in `[0, 1]`.
+        accuracy: f64,
+    },
+    /// The evaluation was recalled from the shared warm store.
+    CacheHit {
+        /// Scenario index within the session.
+        scenario: u32,
+        /// Candidate id.
+        id: u64,
+        /// The recalled, fully evaluated candidate.
+        candidate: WireCandidate,
+    },
+    /// The compiler simulator tuned the candidate on every device.
+    LatencyTuned {
+        /// Scenario index within the session.
+        scenario: u32,
+        /// Candidate id.
+        id: u64,
+        /// The finished candidate record.
+        candidate: WireCandidate,
+    },
+    /// A candidate could not be evaluated.
+    CandidateSkipped {
+        /// Scenario index within the session.
+        scenario: u32,
+        /// Candidate id.
+        id: u64,
+        /// Error kind tag: `"eval"`, `"proxy"`, `"worker"`, or `"other"`.
+        kind: String,
+        /// Rendered error message.
+        message: String,
+    },
+    /// The scenario's position was journaled to the shared store.
+    CheckpointWritten {
+        /// Scenario index within the session.
+        scenario: u32,
+        /// Iterations completed at the checkpoint.
+        iterations: u64,
+    },
+    /// Periodic per-scenario heartbeat.
+    Progress {
+        /// Scenario index within the session.
+        scenario: u32,
+        /// Iterations finished.
+        iterations: u64,
+        /// Iterations configured.
+        total_iterations: u64,
+        /// Distinct candidates discovered.
+        discovered: u64,
+    },
+    /// A scenario finished.
+    ScenarioFinished {
+        /// Scenario index within the session.
+        scenario: u32,
+        /// Candidates the scenario contributed.
+        candidates: u64,
+    },
+}
+
+/// Per-session live counters inside a [`DaemonStatus`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct SessionStatus {
+    /// Session id.
+    pub session: u64,
+    /// Owning tenant.
+    pub tenant: String,
+    /// Scenario label.
+    pub label: String,
+    /// MCTS iterations finished.
+    pub iterations: u64,
+    /// MCTS iterations configured.
+    pub total_iterations: u64,
+    /// Distinct candidates discovered.
+    pub discovered: u64,
+    /// Fully evaluated candidates kept.
+    pub candidates: u64,
+}
+
+/// Store statistics as they travel in a [`Frame::StatusReply`] — the wire
+/// shape of [`StoreStats`], per-family breakdown and hit ratio included.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct WireStoreStats {
+    /// Distinct candidates journaled.
+    pub candidates: u64,
+    /// Candidates with a successful proxy score.
+    pub scored: u64,
+    /// Successful scores per family, sorted by family name.
+    pub scores_by_family: Vec<(String, u64)>,
+    /// Latency measurements journaled.
+    pub latency_measurements: u64,
+    /// Live checkpoints.
+    pub checkpoints: u64,
+    /// Evaluations served from the store this process.
+    pub cache_hits: u64,
+    /// Recall probes answered this process, hit or miss.
+    pub lookups: u64,
+}
+
+impl WireStoreStats {
+    /// `cache_hits / lookups`, or `None` before the first probe — same
+    /// semantics as [`StoreStats::cache_hit_ratio`].
+    pub fn cache_hit_ratio(&self) -> Option<f64> {
+        if self.lookups == 0 {
+            None
+        } else {
+            Some(self.cache_hits as f64 / self.lookups as f64)
+        }
+    }
+}
+
+impl From<&StoreStats> for WireStoreStats {
+    fn from(s: &StoreStats) -> Self {
+        WireStoreStats {
+            candidates: s.candidates,
+            scored: s.scored,
+            scores_by_family: s.scores_by_family.clone(),
+            latency_measurements: s.latency_measurements,
+            checkpoints: s.checkpoints,
+            cache_hits: s.cache_hits,
+            lookups: s.lookups,
+        }
+    }
+}
+
+/// The daemon's answer to a [`Frame::Status`] request.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DaemonStatus {
+    /// Sessions currently live.
+    pub active_sessions: u32,
+    /// Sessions admitted since the daemon started.
+    pub total_admitted: u64,
+    /// Is the daemon draining toward shutdown?
+    pub shutting_down: bool,
+    /// Live sessions, in admission order.
+    pub sessions: Vec<SessionStatus>,
+    /// Shared-store statistics, when a store is attached.
+    pub store: Option<WireStoreStats>,
+}
+
+/// One typed protocol message — the payload of exactly one [`FrameKind`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum Frame {
+    /// Client → server: handshake (first frame on a connection).
+    Hello {
+        /// The client's protocol version.
+        protocol: u32,
+        /// Tenant identity (admission control is per tenant).
+        tenant: String,
+    },
+    /// Server → client: handshake accepted.
+    HelloAck {
+        /// The server's protocol version.
+        protocol: u32,
+    },
+    /// Client → server: submit one search session.
+    SubmitSearch(SearchRequest),
+    /// Server → client: session admitted.
+    Accepted {
+        /// The new session id.
+        session: u64,
+    },
+    /// Server → client: session refused.
+    Rejected {
+        /// Why (admission control, bad spec, shutdown, …).
+        reason: String,
+    },
+    /// Server → client: one streamed search event.
+    Event {
+        /// The session the event belongs to.
+        session: u64,
+        /// The event.
+        event: WireEvent,
+    },
+    /// Client → server: cooperatively cancel a session.
+    Cancel {
+        /// The session to cancel.
+        session: u64,
+    },
+    /// Client → server: request daemon + store status.
+    Status,
+    /// Server → client: the status snapshot.
+    StatusReply(DaemonStatus),
+    /// Client → server: request a graceful daemon shutdown.
+    Shutdown,
+    /// Server → client: terminal frame — live sessions have drained and
+    /// been checkpointed; no further frames follow on this connection.
+    ShuttingDown {
+        /// Sessions checkpointed to the store during the drain.
+        checkpointed: u64,
+    },
+    /// Server → client: terminal frame of one session's event stream.
+    SearchDone {
+        /// The finished session.
+        session: u64,
+        /// [`StopReason::name`](syno_search::StopReason::name), or
+        /// `"error"` when the run failed outright.
+        stopped: String,
+        /// MCTS iterations executed.
+        steps: u64,
+        /// Candidates in the final report.
+        candidates: u64,
+    },
+    /// Server → client: a request-level error that did not kill the
+    /// connection (session 0 = connection-scoped).
+    Error {
+        /// The session the error concerns, or 0.
+        session: u64,
+        /// Rendered reason.
+        message: String,
+    },
+}
+
+fn put_u128(e: &mut Encoder, v: u128) {
+    e.put_u64((v >> 64) as u64);
+    e.put_u64(v as u64);
+}
+
+fn get_u128(d: &mut Decoder<'_>) -> Result<u128, CodecError> {
+    let hi = d.get_u64()?;
+    let lo = d.get_u64()?;
+    Ok(((hi as u128) << 64) | lo as u128)
+}
+
+fn put_candidate(e: &mut Encoder, c: &WireCandidate) {
+    e.put_bytes(&c.graph);
+    e.put_f64(c.accuracy);
+    put_u128(e, c.flops);
+    put_u128(e, c.params);
+    e.put_u32(c.latencies.len() as u32);
+    for l in &c.latencies {
+        e.put_f64(*l);
+    }
+}
+
+fn get_candidate(d: &mut Decoder<'_>) -> Result<WireCandidate, ProtocolError> {
+    let graph = d.get_bytes()?.to_vec();
+    let accuracy = d.get_f64()?;
+    let flops = get_u128(d)?;
+    let params = get_u128(d)?;
+    let n = d.get_u32()? as usize;
+    let mut latencies = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        latencies.push(d.get_f64()?);
+    }
+    Ok(WireCandidate {
+        graph,
+        accuracy,
+        flops,
+        params,
+        latencies,
+    })
+}
+
+fn put_event(e: &mut Encoder, event: &WireEvent) {
+    match event {
+        WireEvent::CandidateFound { scenario, id } => {
+            e.put_u8(0);
+            e.put_u32(*scenario);
+            e.put_u64(*id);
+        }
+        WireEvent::ProxyScored {
+            scenario,
+            id,
+            accuracy,
+        } => {
+            e.put_u8(1);
+            e.put_u32(*scenario);
+            e.put_u64(*id);
+            e.put_f64(*accuracy);
+        }
+        WireEvent::CacheHit {
+            scenario,
+            id,
+            candidate,
+        } => {
+            e.put_u8(2);
+            e.put_u32(*scenario);
+            e.put_u64(*id);
+            put_candidate(e, candidate);
+        }
+        WireEvent::LatencyTuned {
+            scenario,
+            id,
+            candidate,
+        } => {
+            e.put_u8(3);
+            e.put_u32(*scenario);
+            e.put_u64(*id);
+            put_candidate(e, candidate);
+        }
+        WireEvent::CandidateSkipped {
+            scenario,
+            id,
+            kind,
+            message,
+        } => {
+            e.put_u8(4);
+            e.put_u32(*scenario);
+            e.put_u64(*id);
+            e.put_str(kind);
+            e.put_str(message);
+        }
+        WireEvent::CheckpointWritten {
+            scenario,
+            iterations,
+        } => {
+            e.put_u8(5);
+            e.put_u32(*scenario);
+            e.put_u64(*iterations);
+        }
+        WireEvent::Progress {
+            scenario,
+            iterations,
+            total_iterations,
+            discovered,
+        } => {
+            e.put_u8(6);
+            e.put_u32(*scenario);
+            e.put_u64(*iterations);
+            e.put_u64(*total_iterations);
+            e.put_u64(*discovered);
+        }
+        WireEvent::ScenarioFinished {
+            scenario,
+            candidates,
+        } => {
+            e.put_u8(7);
+            e.put_u32(*scenario);
+            e.put_u64(*candidates);
+        }
+    }
+}
+
+fn get_event(d: &mut Decoder<'_>) -> Result<WireEvent, ProtocolError> {
+    let tag = d.get_u8()?;
+    let scenario = d.get_u32()?;
+    Ok(match tag {
+        0 => WireEvent::CandidateFound {
+            scenario,
+            id: d.get_u64()?,
+        },
+        1 => WireEvent::ProxyScored {
+            scenario,
+            id: d.get_u64()?,
+            accuracy: d.get_f64()?,
+        },
+        2 => {
+            let id = d.get_u64()?;
+            WireEvent::CacheHit {
+                scenario,
+                id,
+                candidate: get_candidate(d)?,
+            }
+        }
+        3 => {
+            let id = d.get_u64()?;
+            WireEvent::LatencyTuned {
+                scenario,
+                id,
+                candidate: get_candidate(d)?,
+            }
+        }
+        4 => WireEvent::CandidateSkipped {
+            scenario,
+            id: d.get_u64()?,
+            kind: d.get_str()?,
+            message: d.get_str()?,
+        },
+        5 => WireEvent::CheckpointWritten {
+            scenario,
+            iterations: d.get_u64()?,
+        },
+        6 => WireEvent::Progress {
+            scenario,
+            iterations: d.get_u64()?,
+            total_iterations: d.get_u64()?,
+            discovered: d.get_u64()?,
+        },
+        7 => WireEvent::ScenarioFinished {
+            scenario,
+            candidates: d.get_u64()?,
+        },
+        other => {
+            return Err(ProtocolError::Malformed(format!(
+                "unknown event tag {other}"
+            )))
+        }
+    })
+}
+
+fn put_status(e: &mut Encoder, status: &DaemonStatus) {
+    e.put_u32(status.active_sessions);
+    e.put_u64(status.total_admitted);
+    e.put_u8(u8::from(status.shutting_down));
+    e.put_u32(status.sessions.len() as u32);
+    for s in &status.sessions {
+        e.put_u64(s.session);
+        e.put_str(&s.tenant);
+        e.put_str(&s.label);
+        e.put_u64(s.iterations);
+        e.put_u64(s.total_iterations);
+        e.put_u64(s.discovered);
+        e.put_u64(s.candidates);
+    }
+    match &status.store {
+        None => e.put_u8(0),
+        Some(store) => {
+            e.put_u8(1);
+            e.put_u64(store.candidates);
+            e.put_u64(store.scored);
+            e.put_u32(store.scores_by_family.len() as u32);
+            for (family, count) in &store.scores_by_family {
+                e.put_str(family);
+                e.put_u64(*count);
+            }
+            e.put_u64(store.latency_measurements);
+            e.put_u64(store.checkpoints);
+            e.put_u64(store.cache_hits);
+            e.put_u64(store.lookups);
+        }
+    }
+}
+
+fn get_status(d: &mut Decoder<'_>) -> Result<DaemonStatus, ProtocolError> {
+    let active_sessions = d.get_u32()?;
+    let total_admitted = d.get_u64()?;
+    let shutting_down = d.get_u8()? != 0;
+    let n = d.get_u32()? as usize;
+    let mut sessions = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        sessions.push(SessionStatus {
+            session: d.get_u64()?,
+            tenant: d.get_str()?,
+            label: d.get_str()?,
+            iterations: d.get_u64()?,
+            total_iterations: d.get_u64()?,
+            discovered: d.get_u64()?,
+            candidates: d.get_u64()?,
+        });
+    }
+    let store = match d.get_u8()? {
+        0 => None,
+        1 => {
+            let candidates = d.get_u64()?;
+            let scored = d.get_u64()?;
+            let families = d.get_u32()? as usize;
+            let mut scores_by_family = Vec::with_capacity(families.min(1024));
+            for _ in 0..families {
+                let family = d.get_str()?;
+                let count = d.get_u64()?;
+                scores_by_family.push((family, count));
+            }
+            Some(WireStoreStats {
+                candidates,
+                scored,
+                scores_by_family,
+                latency_measurements: d.get_u64()?,
+                checkpoints: d.get_u64()?,
+                cache_hits: d.get_u64()?,
+                lookups: d.get_u64()?,
+            })
+        }
+        other => {
+            return Err(ProtocolError::Malformed(format!(
+                "unknown store-presence tag {other}"
+            )))
+        }
+    };
+    Ok(DaemonStatus {
+        active_sessions,
+        total_admitted,
+        shutting_down,
+        sessions,
+        store,
+    })
+}
+
+impl Frame {
+    /// The envelope kind this frame travels as.
+    pub fn kind(&self) -> FrameKind {
+        match self {
+            Frame::Hello { .. } => FrameKind::Hello,
+            Frame::HelloAck { .. } => FrameKind::HelloAck,
+            Frame::SubmitSearch(_) => FrameKind::SubmitSearch,
+            Frame::Accepted { .. } => FrameKind::Accepted,
+            Frame::Rejected { .. } => FrameKind::Rejected,
+            Frame::Event { .. } => FrameKind::Event,
+            Frame::Cancel { .. } => FrameKind::Cancel,
+            Frame::Status => FrameKind::Status,
+            Frame::StatusReply(_) => FrameKind::StatusReply,
+            Frame::Shutdown => FrameKind::Shutdown,
+            Frame::ShuttingDown { .. } => FrameKind::ShuttingDown,
+            Frame::SearchDone { .. } => FrameKind::SearchDone,
+            Frame::Error { .. } => FrameKind::Error,
+        }
+    }
+
+    /// Encodes the payload bytes (version prefix included).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.put_u32(PROTOCOL_VERSION);
+        match self {
+            Frame::Hello { protocol, tenant } => {
+                e.put_u32(*protocol);
+                e.put_str(tenant);
+            }
+            Frame::HelloAck { protocol } => {
+                e.put_u32(*protocol);
+            }
+            Frame::SubmitSearch(req) => {
+                e.put_str(&req.label);
+                e.put_bytes(&req.spec);
+                e.put_str(&req.family);
+                e.put_u32(req.iterations);
+                e.put_u64(req.seed);
+                e.put_u64(req.progress_every);
+                e.put_u64(req.max_steps);
+                e.put_u32(req.train_steps);
+                e.put_u32(req.train_batch);
+                e.put_u32(req.eval_batches);
+                e.put_u8(u8::from(req.resume));
+            }
+            Frame::Accepted { session } => {
+                e.put_u64(*session);
+            }
+            Frame::Rejected { reason } => {
+                e.put_str(reason);
+            }
+            Frame::Event { session, event } => {
+                e.put_u64(*session);
+                put_event(&mut e, event);
+            }
+            Frame::Cancel { session } => {
+                e.put_u64(*session);
+            }
+            Frame::Status | Frame::Shutdown => {}
+            Frame::StatusReply(status) => {
+                put_status(&mut e, status);
+            }
+            Frame::ShuttingDown { checkpointed } => {
+                e.put_u64(*checkpointed);
+            }
+            Frame::SearchDone {
+                session,
+                stopped,
+                steps,
+                candidates,
+            } => {
+                e.put_u64(*session);
+                e.put_str(stopped);
+                e.put_u64(*steps);
+                e.put_u64(*candidates);
+            }
+            Frame::Error { session, message } => {
+                e.put_u64(*session);
+                e.put_str(message);
+            }
+        }
+        e.into_bytes()
+    }
+
+    /// Decodes a payload received under `kind`.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Version`] when the payload's version prefix is not
+    /// this build's; [`ProtocolError::Codec`]/[`Malformed`](ProtocolError::Malformed)
+    /// when the bytes do not parse as `kind`'s payload.
+    pub fn decode(kind: FrameKind, payload: &[u8]) -> Result<Frame, ProtocolError> {
+        let mut d = Decoder::new(payload);
+        let version = d.get_u32()?;
+        if version != PROTOCOL_VERSION {
+            return Err(ProtocolError::Version { got: version });
+        }
+        let frame = match kind {
+            FrameKind::Hello => Frame::Hello {
+                protocol: d.get_u32()?,
+                tenant: d.get_str()?,
+            },
+            FrameKind::HelloAck => Frame::HelloAck {
+                protocol: d.get_u32()?,
+            },
+            FrameKind::SubmitSearch => Frame::SubmitSearch(SearchRequest {
+                label: d.get_str()?,
+                spec: d.get_bytes()?.to_vec(),
+                family: d.get_str()?,
+                iterations: d.get_u32()?,
+                seed: d.get_u64()?,
+                progress_every: d.get_u64()?,
+                max_steps: d.get_u64()?,
+                train_steps: d.get_u32()?,
+                train_batch: d.get_u32()?,
+                eval_batches: d.get_u32()?,
+                resume: d.get_u8()? != 0,
+            }),
+            FrameKind::Accepted => Frame::Accepted {
+                session: d.get_u64()?,
+            },
+            FrameKind::Rejected => Frame::Rejected {
+                reason: d.get_str()?,
+            },
+            FrameKind::Event => {
+                let session = d.get_u64()?;
+                Frame::Event {
+                    session,
+                    event: get_event(&mut d)?,
+                }
+            }
+            FrameKind::Cancel => Frame::Cancel {
+                session: d.get_u64()?,
+            },
+            FrameKind::Status => Frame::Status,
+            FrameKind::StatusReply => Frame::StatusReply(get_status(&mut d)?),
+            FrameKind::Shutdown => Frame::Shutdown,
+            FrameKind::ShuttingDown => Frame::ShuttingDown {
+                checkpointed: d.get_u64()?,
+            },
+            FrameKind::SearchDone => Frame::SearchDone {
+                session: d.get_u64()?,
+                stopped: d.get_str()?,
+                steps: d.get_u64()?,
+                candidates: d.get_u64()?,
+            },
+            FrameKind::Error => Frame::Error {
+                session: d.get_u64()?,
+                message: d.get_str()?,
+            },
+        };
+        if d.remaining() != 0 {
+            return Err(ProtocolError::Malformed(format!(
+                "{} trailing bytes after {kind} payload",
+                d.remaining()
+            )));
+        }
+        Ok(frame)
+    }
+
+    /// Writes this frame to a stream (envelope + payload, flushed).
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Frame`] on transport failure.
+    pub fn write_to(&self, w: &mut impl Write) -> Result<(), ProtocolError> {
+        write_frame(w, self.kind(), &self.encode())?;
+        Ok(())
+    }
+
+    /// Reads the next frame from a stream; `Ok(None)` on clean EOF.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError`] on transport failure, a torn or corrupt envelope,
+    /// a version mismatch, or an unparseable payload.
+    pub fn read_from(r: &mut impl Read) -> Result<Option<Frame>, ProtocolError> {
+        match read_frame(r)? {
+            None => Ok(None),
+            Some(raw) => Frame::decode(raw.kind, &raw.payload).map(Some),
+        }
+    }
+}
+
+/// Converts a [`SearchEvent`](syno_search::SearchEvent) into its wire
+/// shape (graphs re-encoded with the graph codec, errors tagged by kind).
+pub fn wire_event(event: &syno_search::SearchEvent) -> WireEvent {
+    use syno_core::codec::encode_graph;
+    use syno_search::SearchEvent as E;
+    let wire_candidate = |c: &syno_search::Candidate| WireCandidate {
+        graph: encode_graph(&c.graph),
+        accuracy: c.accuracy,
+        flops: c.flops,
+        params: c.params,
+        latencies: c.latencies.clone(),
+    };
+    match event {
+        E::CandidateFound { scenario, id, .. } => WireEvent::CandidateFound {
+            scenario: *scenario as u32,
+            id: *id,
+        },
+        E::ProxyScored {
+            scenario,
+            id,
+            accuracy,
+        } => WireEvent::ProxyScored {
+            scenario: *scenario as u32,
+            id: *id,
+            accuracy: *accuracy,
+        },
+        E::CacheHit {
+            scenario,
+            id,
+            candidate,
+        } => WireEvent::CacheHit {
+            scenario: *scenario as u32,
+            id: *id,
+            candidate: wire_candidate(candidate),
+        },
+        E::LatencyTuned {
+            scenario,
+            id,
+            candidate,
+        } => WireEvent::LatencyTuned {
+            scenario: *scenario as u32,
+            id: *id,
+            candidate: wire_candidate(candidate),
+        },
+        E::CandidateSkipped {
+            scenario,
+            id,
+            error,
+        } => {
+            use syno_core::error::SynoError;
+            let kind = match error {
+                SynoError::Eval { .. } => "eval",
+                SynoError::Proxy { .. } => "proxy",
+                SynoError::Worker { .. } => "worker",
+                _ => "other",
+            };
+            WireEvent::CandidateSkipped {
+                scenario: *scenario as u32,
+                id: *id,
+                kind: kind.to_owned(),
+                message: error.to_string(),
+            }
+        }
+        E::CheckpointWritten {
+            scenario,
+            iterations,
+        } => WireEvent::CheckpointWritten {
+            scenario: *scenario as u32,
+            iterations: *iterations,
+        },
+        E::Progress {
+            scenario,
+            iterations,
+            total_iterations,
+            discovered,
+        } => WireEvent::Progress {
+            scenario: *scenario as u32,
+            iterations: *iterations,
+            total_iterations: *total_iterations,
+            discovered: *discovered,
+        },
+        E::ScenarioFinished {
+            scenario,
+            candidates,
+        } => WireEvent::ScenarioFinished {
+            scenario: *scenario as u32,
+            candidates: *candidates as u64,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip_through_payload_codec() {
+        let frames = vec![
+            Frame::Hello {
+                protocol: PROTOCOL_VERSION,
+                tenant: "vision-team".into(),
+            },
+            Frame::Status,
+            Frame::Shutdown,
+            Frame::Event {
+                session: 7,
+                event: WireEvent::CandidateSkipped {
+                    scenario: 0,
+                    id: 0xdead_beef,
+                    kind: "eval".into(),
+                    message: "evaluation failed: pool shut down".into(),
+                },
+            },
+        ];
+        for frame in frames {
+            let decoded = Frame::decode(frame.kind(), &frame.encode()).unwrap();
+            assert_eq!(frame, decoded);
+        }
+    }
+
+    #[test]
+    fn version_mismatch_is_a_typed_error() {
+        let mut e = Encoder::new();
+        e.put_u32(PROTOCOL_VERSION + 1);
+        let err = Frame::decode(FrameKind::Status, &e.into_bytes()).unwrap_err();
+        assert!(matches!(err, ProtocolError::Version { got } if got == PROTOCOL_VERSION + 1));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut payload = Frame::Status.encode();
+        payload.push(0xff);
+        let err = Frame::decode(FrameKind::Status, &payload).unwrap_err();
+        assert!(matches!(err, ProtocolError::Malformed(_)), "{err}");
+    }
+}

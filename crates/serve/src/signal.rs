@@ -1,0 +1,58 @@
+//! Minimal async-signal-safe SIGINT latch, dependency-free.
+//!
+//! The daemon binary wants "first Ctrl-C drains gracefully, second
+//! Ctrl-C kills" without pulling in a signal-handling crate. The handler
+//! installed here only flips an [`AtomicBool`] (async-signal-safe); the
+//! binary polls the latch from an ordinary thread and routes it to
+//! [`DaemonHandle::shutdown`](crate::DaemonHandle::shutdown).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Set by the signal handler on SIGINT; polled by the binary.
+static SIGINT: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod imp {
+    // `signal(2)` from libc (already linked by std); registering a plain
+    // handler avoids a sigaction struct definition.
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    const SIGINT_NUM: i32 = 2;
+
+    extern "C" fn on_sigint(_signum: i32) {
+        super::SIGINT.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    pub fn install() -> bool {
+        // SAFETY: `on_sigint` only performs an atomic store, which is
+        // async-signal-safe; `signal` is the documented libc entry point.
+        let handler = on_sigint as extern "C" fn(i32) as *const () as usize;
+        unsafe { signal(SIGINT_NUM, handler) != usize::MAX }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() -> bool {
+        false
+    }
+}
+
+/// Installs the SIGINT handler; returns `false` when the platform has no
+/// SIGINT to install (the latch then simply never fires).
+pub fn install_sigint_handler() -> bool {
+    imp::install()
+}
+
+/// Has SIGINT fired since [`install_sigint_handler`]?
+pub fn sigint_received() -> bool {
+    SIGINT.load(Ordering::SeqCst)
+}
+
+/// Clears the latch (so a second SIGINT can be told apart from the
+/// first).
+pub fn reset_sigint() {
+    SIGINT.store(false, Ordering::SeqCst);
+}

@@ -1,0 +1,141 @@
+//! Stream transport abstraction: TCP and Unix-domain sockets behind one
+//! object-safe trait, selected by the listen spec (`"unix:<path>"` binds a
+//! Unix socket, anything else a TCP address).
+
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::time::Duration;
+
+/// A bidirectional byte stream the protocol runs over.
+///
+/// Implemented for [`TcpStream`] and (on Unix) `UnixStream`; the daemon
+/// and client only ever see `Box<dyn Conn>`, so the two transports share
+/// every code path above the socket.
+pub trait Conn: Read + Write + Send {
+    /// Clones the underlying socket (independent read/write cursors onto
+    /// the same connection — used to split reader and writer threads).
+    fn try_clone_conn(&self) -> io::Result<Box<dyn Conn>>;
+    /// Bounds blocking reads so a reader thread can poll a shutdown flag.
+    fn set_read_timeout_conn(&self, timeout: Option<Duration>) -> io::Result<()>;
+    /// Closes both directions, unblocking any peer thread mid-read.
+    fn shutdown_conn(&self) -> io::Result<()>;
+}
+
+impl Conn for TcpStream {
+    fn try_clone_conn(&self) -> io::Result<Box<dyn Conn>> {
+        Ok(Box::new(self.try_clone()?))
+    }
+
+    fn set_read_timeout_conn(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.set_read_timeout(timeout)
+    }
+
+    fn shutdown_conn(&self) -> io::Result<()> {
+        self.shutdown(std::net::Shutdown::Both)
+    }
+}
+
+#[cfg(unix)]
+impl Conn for UnixStream {
+    fn try_clone_conn(&self) -> io::Result<Box<dyn Conn>> {
+        Ok(Box::new(self.try_clone()?))
+    }
+
+    fn set_read_timeout_conn(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.set_read_timeout(timeout)
+    }
+
+    fn shutdown_conn(&self) -> io::Result<()> {
+        self.shutdown(std::net::Shutdown::Both)
+    }
+}
+
+/// A bound listening socket (TCP or Unix).
+pub enum Listener {
+    /// TCP listener.
+    Tcp(TcpListener),
+    /// Unix-domain listener (the daemon unlinks the path on bind).
+    #[cfg(unix)]
+    Unix(UnixListener),
+}
+
+impl std::fmt::Debug for Listener {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Listener::Tcp(l) => f.debug_tuple("Tcp").field(&l.local_addr().ok()).finish(),
+            #[cfg(unix)]
+            Listener::Unix(_) => f.debug_tuple("Unix").finish(),
+        }
+    }
+}
+
+impl Listener {
+    /// Binds the listen spec: `"unix:<path>"` → Unix socket (stale socket
+    /// files are unlinked first), anything else → TCP address (port `0`
+    /// picks a free port; see [`local_spec`](Listener::local_spec)).
+    pub fn bind(spec: &str) -> io::Result<Listener> {
+        if let Some(path) = spec.strip_prefix("unix:") {
+            #[cfg(unix)]
+            {
+                let _ = std::fs::remove_file(path);
+                return Ok(Listener::Unix(UnixListener::bind(path)?));
+            }
+            #[cfg(not(unix))]
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                format!("unix sockets are unavailable on this platform: {path}"),
+            ));
+        }
+        Ok(Listener::Tcp(TcpListener::bind(spec)?))
+    }
+
+    /// The bound address in listen-spec syntax (resolves TCP port `0` to
+    /// the actual port, so tests can connect to what they bound).
+    pub fn local_spec(&self) -> io::Result<String> {
+        match self {
+            Listener::Tcp(l) => Ok(l.local_addr()?.to_string()),
+            #[cfg(unix)]
+            Listener::Unix(l) => {
+                let addr = l.local_addr()?;
+                let path = addr
+                    .as_pathname()
+                    .ok_or_else(|| io::Error::other("unnamed unix socket"))?;
+                Ok(format!("unix:{}", path.display()))
+            }
+        }
+    }
+
+    /// Blocks until the next inbound connection.
+    pub fn accept_conn(&self) -> io::Result<Box<dyn Conn>> {
+        match self {
+            Listener::Tcp(l) => {
+                let (stream, _) = l.accept()?;
+                stream.set_nodelay(true).ok();
+                Ok(Box::new(stream))
+            }
+            #[cfg(unix)]
+            Listener::Unix(l) => {
+                let (stream, _) = l.accept()?;
+                Ok(Box::new(stream))
+            }
+        }
+    }
+}
+
+/// Connects to a listen spec (same syntax as [`Listener::bind`]).
+pub fn connect(spec: &str) -> io::Result<Box<dyn Conn>> {
+    if let Some(path) = spec.strip_prefix("unix:") {
+        #[cfg(unix)]
+        return Ok(Box::new(UnixStream::connect(path)?));
+        #[cfg(not(unix))]
+        return Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            format!("unix sockets are unavailable on this platform: {path}"),
+        ));
+    }
+    let stream = TcpStream::connect(spec)?;
+    stream.set_nodelay(true).ok();
+    Ok(Box::new(stream))
+}

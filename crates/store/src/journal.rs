@@ -322,13 +322,17 @@ fn frame_checksum(kind: u8, payload: &[u8]) -> u32 {
 }
 
 /// Aggregate store counters.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct StoreStats {
     /// Distinct candidates journaled.
     pub candidates: u64,
     /// Candidates with a successful proxy score (NaN failure markers are
     /// excluded).
     pub scored: u64,
+    /// Successful proxy scores per task family, sorted by family name
+    /// (NaN failure markers are excluded) — the per-family breakdown the
+    /// serving layer's `Status` reply reports to tenants.
+    pub scores_by_family: Vec<(String, u64)>,
     /// Latency measurements journaled (device/compiler pairs).
     pub latency_measurements: u64,
     /// Live checkpoints (latest per scenario).
@@ -340,6 +344,31 @@ pub struct StoreStats {
     /// Evaluations served from the store instead of recomputed, this
     /// process (not persisted).
     pub cache_hits: u64,
+    /// Recall probes answered this process, hit or miss (not persisted).
+    /// Together with [`cache_hits`](StoreStats::cache_hits) this gives the
+    /// warm-store hit ratio.
+    pub lookups: u64,
+}
+
+impl StoreStats {
+    /// Fraction of recall probes served from the journal this process, or
+    /// `None` before the first probe. `Some(1.0)` is a fully warm store.
+    pub fn cache_hit_ratio(&self) -> Option<f64> {
+        if self.lookups == 0 {
+            None
+        } else {
+            Some(self.cache_hits as f64 / self.lookups as f64)
+        }
+    }
+
+    /// Successful proxy scores recorded for `family`.
+    pub fn scores_for_family(&self, family: &str) -> u64 {
+        self.scores_by_family
+            .iter()
+            .find(|(name, _)| name == family)
+            .map(|&(_, count)| count)
+            .unwrap_or(0)
+    }
 }
 
 #[derive(Clone, Debug, Default)]
@@ -360,6 +389,7 @@ struct Inner {
     len_bytes: u64,
     recovered_bytes: u64,
     cache_hits: u64,
+    lookups: u64,
     /// Content hash → everything known about the candidate.
     index: HashMap<u64, CandidateEntry>,
     /// First-journaled order of candidate hashes (compaction preserves it).
@@ -461,6 +491,7 @@ impl StoreBuilder {
             len_bytes: 0,
             recovered_bytes: 0,
             cache_hits: 0,
+            lookups: 0,
             index: HashMap::new(),
             order: Vec::new(),
             checkpoints: HashMap::new(),
@@ -799,7 +830,8 @@ impl Store {
     /// One lock, no allocation — the search pipeline's recall probe; a
     /// family mismatch reads as a miss so the caller re-evaluates.
     pub fn score_for_family(&self, hash: u64, family: &str) -> Option<f64> {
-        let inner = self.lock();
+        let mut inner = self.lock();
+        inner.lookups += 1;
         let entry = inner.index.get(&hash)?;
         if entry.family.as_deref().is_some_and(|f| f != family) {
             return None;
@@ -866,13 +898,21 @@ impl Store {
     /// Aggregate counters.
     pub fn stats(&self) -> StoreStats {
         let inner = self.lock();
+        let mut by_family: std::collections::BTreeMap<&str, u64> = std::collections::BTreeMap::new();
+        for entry in inner.index.values() {
+            if entry.accuracy.is_some_and(|a| !a.is_nan()) {
+                // Untagged legacy records were always vision scores.
+                let family = entry.family.as_deref().unwrap_or("vision");
+                *by_family.entry(family).or_insert(0) += 1;
+            }
+        }
         StoreStats {
             candidates: inner.order.len() as u64,
-            scored: inner
-                .index
-                .values()
-                .filter(|e| e.accuracy.is_some_and(|a| !a.is_nan()))
-                .count() as u64,
+            scored: by_family.values().sum(),
+            scores_by_family: by_family
+                .into_iter()
+                .map(|(name, count)| (name.to_owned(), count))
+                .collect(),
             latency_measurements: inner
                 .index
                 .values()
@@ -882,6 +922,7 @@ impl Store {
             file_bytes: inner.len_bytes,
             recovered_bytes: inner.recovered_bytes,
             cache_hits: inner.cache_hits,
+            lookups: inner.lookups,
         }
     }
 

@@ -33,6 +33,7 @@
 //! | [`nn`] | training substrate, synthetic datasets, accuracy/perplexity proxies |
 //! | [`search`] | MCTS, and the streaming `SearchBuilder`/`SearchRun` orchestration (§7.2) |
 //! | [`store`] | persistent content-addressed candidate store: cross-run dedup, evaluation caching, checkpoint/resume |
+//! | [`serve`] | the `syno-serve` daemon: wire protocol, multi-tenant session manager, shared eval pool over one warm store |
 //! | [`models`] | backbone layer tables, NAS-PTE baselines, Operators 1 & 2 (§9) |
 //!
 //! See `examples/quickstart.rs` for a five-minute tour and DESIGN.md for
@@ -44,6 +45,7 @@ pub use syno_ir as ir;
 pub use syno_models as models;
 pub use syno_nn as nn;
 pub use syno_search as search;
+pub use syno_serve as serve;
 pub use syno_store as store;
 pub use syno_tensor as tensor;
 
@@ -56,4 +58,5 @@ pub use syno_search::{
     Budget, CancelToken, Candidate, SearchBuilder, SearchEvent, SearchReport, SearchRun,
     StopReason,
 };
+pub use syno_serve::{SearchRequest, ServeConfig, SessionMessage, SynoClient};
 pub use syno_store::{Checkpoint, Store, StoreBuilder, StoreError, StoreStats};
