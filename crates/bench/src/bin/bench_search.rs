@@ -16,7 +16,17 @@
 //! * `BENCH_SEARCH_ITERATIONS` (default 30), `BENCH_SEARCH_PROXY_STEPS`
 //!   (default 6), `BENCH_SEARCH_WORKERS` (default 4), `BENCH_SEARCH_OUT`
 //!   (default `BENCH_search.json`), `BENCH_PROXY_TRAIN_STEPS` (default
-//!   30), `BENCH_PROXY_KERNEL_ITERS` (default 50).
+//!   30), `BENCH_PROXY_KERNEL_ITERS` (default 50), `BENCH_TRACE_OUT`
+//!   (default `BENCH_trace.txt`), `BENCH_METRICS_OUT` (default
+//!   `BENCH_metrics.prom`).
+//!
+//! Every mode also runs the telemetry section: the serial spec re-run
+//! with tracing + metrics enabled, asserting (in the asserting modes)
+//! that the discovered candidate set is bit-identical to the disabled
+//! run and reporting the wall-clock overhead. The writing modes emit the
+//! per-phase wall breakdown (`phase_breakdown` in the JSON) at
+//! `eval_workers` 1 and n, plus the drained trace summary and the
+//! metrics dump as separate artifacts.
 //!
 //! Every mode also runs the `proxy_train` section — single-thread
 //! train-step throughput of the stride-compiled engine vs the naive
@@ -25,7 +35,9 @@
 //! exit nonzero when they do not.
 
 use syno_bench::proxy_train::{proxy_train_data, ProxyTrainData};
-use syno_bench::search_pipeline::{search_pipeline_data, SearchPipelineData};
+use syno_bench::search_pipeline::{
+    search_pipeline_data, PhaseSample, SearchPipelineData, TelemetryData,
+};
 use syno_bench::serve_bench::{serve_data, ServeData, ServeSample};
 
 fn env_usize(name: &str, default: usize) -> usize {
@@ -82,6 +94,40 @@ fn serve_json(data: &ServeData) -> String {
         data.eval_workers,
         serve_sample_json(&data.baseline),
         fanout.join(", "),
+    )
+}
+
+fn phase_sample_json(sample: &PhaseSample) -> String {
+    format!(
+        concat!(
+            "{{ \"eval_workers\": {}, \"wall_secs\": {:.4}, \"synth_frac\": {:.4}, ",
+            "\"proxy_frac\": {:.4}, \"store_frac\": {:.4}, \"tune_frac\": {:.4}, ",
+            "\"idle_frac\": {:.4} }}"
+        ),
+        sample.eval_workers,
+        sample.wall_secs,
+        sample.synth_frac,
+        sample.eval_frac,
+        sample.store_frac,
+        sample.tune_frac,
+        sample.idle_frac,
+    )
+}
+
+fn telemetry_json(data: &TelemetryData) -> String {
+    let breakdown: Vec<String> = data.phase_breakdown.iter().map(phase_sample_json).collect();
+    format!(
+        concat!(
+            ",\n  \"telemetry\": {{ \"disabled_wall_secs\": {:.4}, ",
+            "\"enabled_wall_secs\": {:.4}, \"overhead_frac\": {:.4}, ",
+            "\"identical_candidate_sets\": {} }},\n",
+            "  \"phase_breakdown\": [{}]"
+        ),
+        data.disabled_wall_secs,
+        data.enabled_wall_secs,
+        data.overhead_frac,
+        data.identical_sets,
+        breakdown.join(", "),
     )
 }
 
@@ -143,6 +189,9 @@ fn to_json(
     if let Some(serve) = serve {
         out.push_str(&serve_json(serve));
     }
+    if let Some(telemetry) = &data.telemetry {
+        out.push_str(&telemetry_json(telemetry));
+    }
     out.push_str(&proxy_train_json(proxy));
     out.push_str("\n}\n");
     out
@@ -150,16 +199,20 @@ fn to_json(
 
 fn main() {
     let mode = std::env::var("BENCH_SEARCH_MODE").unwrap_or_else(|_| "full".into());
-    // (with_multi_scenario, with_warm_store, with_serve, asserting, write_json)
-    let (with_multi, with_warm, with_serve, asserting, write_json) = match mode.as_str() {
-        "throughput" => (true, true, true, false, true),
-        "determinism" => (false, true, false, true, false),
-        "full" => (true, true, true, true, true),
-        other => {
-            eprintln!("unknown BENCH_SEARCH_MODE '{other}' (throughput|determinism|full)");
-            std::process::exit(2);
-        }
-    };
+    // (with_multi_scenario, with_warm_store, with_serve, with_breakdown,
+    //  asserting, write_json); the telemetry-overhead section always runs —
+    // determinism mode asserts its identical-candidate-sets contract, the
+    // writing modes report the overhead.
+    let (with_multi, with_warm, with_serve, with_breakdown, asserting, write_json) =
+        match mode.as_str() {
+            "throughput" => (true, true, true, true, false, true),
+            "determinism" => (false, true, false, false, true, false),
+            "full" => (true, true, true, true, true, true),
+            other => {
+                eprintln!("unknown BENCH_SEARCH_MODE '{other}' (throughput|determinism|full)");
+                std::process::exit(2);
+            }
+        };
     let iterations = env_usize("BENCH_SEARCH_ITERATIONS", 30);
     let proxy_steps = env_usize("BENCH_SEARCH_PROXY_STEPS", 6);
     let workers = env_usize("BENCH_SEARCH_WORKERS", 4);
@@ -171,7 +224,15 @@ fn main() {
         "search pipeline bench [{mode}]: {iterations} iterations, {proxy_steps} proxy steps, \
          serial vs eval_workers({workers}) ..."
     );
-    let data = search_pipeline_data(iterations, proxy_steps, workers, with_multi, with_warm);
+    let data = search_pipeline_data(
+        iterations,
+        proxy_steps,
+        workers,
+        with_multi,
+        with_warm,
+        true,
+        with_breakdown,
+    );
     eprintln!(
         "proxy_train bench: {train_steps} train steps, compiled vs reference engine, \
          {kernel_iters} kernel executions ..."
@@ -222,6 +283,29 @@ fn main() {
         );
     }
 
+    if let Some(telemetry) = &data.telemetry {
+        println!(
+            "telemetry: serial {:.3}s off -> {:.3}s on ({:+.1}% overhead), \
+             identical sets: {}",
+            telemetry.disabled_wall_secs,
+            telemetry.enabled_wall_secs,
+            telemetry.overhead_frac * 100.0,
+            telemetry.identical_sets
+        );
+        for phases in &telemetry.phase_breakdown {
+            println!(
+                "  phases @ eval_workers({}): synth {:.1}% | proxy {:.1}% | store {:.1}% \
+                 | tune {:.1}% | idle {:.1}%",
+                phases.eval_workers,
+                phases.synth_frac * 100.0,
+                phases.eval_frac * 100.0,
+                phases.store_frac * 100.0,
+                phases.tune_frac * 100.0,
+                phases.idle_frac * 100.0
+            );
+        }
+    }
+
     if let Some(serve) = &serve {
         println!(
             "serve (daemon, {}-wide shared pool): in-process baseline {:.3} cand/sec/tenant",
@@ -267,7 +351,28 @@ fn main() {
                 warm.warm_trainings
             );
         }
+        if let Some(telemetry) = &data.telemetry {
+            assert!(
+                telemetry.identical_sets,
+                "telemetry out-of-band contract violated: enabling tracing \
+                 changed the discovered candidate set"
+            );
+        }
         eprintln!("determinism contracts hold");
+    }
+
+    if write_json {
+        // The telemetry-enabled runs above left their spans and counters in
+        // the process-global buffers; archive them next to the JSON.
+        let trace_out = std::env::var("BENCH_TRACE_OUT").unwrap_or_else(|_| "BENCH_trace.txt".into());
+        let metrics_out =
+            std::env::var("BENCH_METRICS_OUT").unwrap_or_else(|_| "BENCH_metrics.prom".into());
+        let spans = syno_telemetry::trace::drain();
+        std::fs::write(&trace_out, syno_telemetry::trace::flame_summary(&spans))
+            .expect("write trace summary");
+        std::fs::write(&metrics_out, syno_telemetry::metrics::global().render())
+            .expect("write metrics dump");
+        eprintln!("wrote {trace_out} ({} spans) and {metrics_out}", spans.len());
     }
 
     if write_json {

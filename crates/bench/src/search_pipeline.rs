@@ -72,6 +72,47 @@ pub struct WarmStoreSample {
     pub identical_sets: bool,
 }
 
+/// One per-phase wall-clock split (fractions of the run's wall clock),
+/// measured with telemetry enabled.
+#[derive(Clone, Copy, Debug)]
+pub struct PhaseSample {
+    /// `SearchBuilder::eval_workers` setting.
+    pub eval_workers: usize,
+    /// Wall-clock seconds for the run.
+    pub wall_secs: f64,
+    /// Fraction of wall in tree search (selection + rollout synthesis).
+    pub synth_frac: f64,
+    /// Fraction of wall in proxy training.
+    pub eval_frac: f64,
+    /// Fraction of wall in store lookups/appends.
+    pub store_frac: f64,
+    /// Fraction of wall in latency tuning.
+    pub tune_frac: f64,
+    /// Unattributed fraction (clamped at zero when phases overlap wall
+    /// with `eval_workers > 1`).
+    pub idle_frac: f64,
+}
+
+/// The telemetry section: serial throughput with the spans + metrics
+/// machinery enabled vs disabled (the <5% overhead budget), the
+/// determinism contract with tracing on, and the per-phase breakdown.
+#[derive(Clone, Debug)]
+pub struct TelemetryData {
+    /// Serial wall-clock seconds with telemetry disabled (the plain
+    /// serial sample, re-stated here for the overhead ratio).
+    pub disabled_wall_secs: f64,
+    /// Serial wall-clock seconds with telemetry enabled.
+    pub enabled_wall_secs: f64,
+    /// `enabled/disabled - 1` — positive means telemetry cost wall time.
+    pub overhead_frac: f64,
+    /// Whether the telemetry-enabled run discovered the identical
+    /// candidate set as the disabled run — tracing must be out-of-band.
+    pub identical_sets: bool,
+    /// Per-phase splits at `eval_workers` 1 and n (empty when the
+    /// breakdown was not requested).
+    pub phase_breakdown: Vec<PhaseSample>,
+}
+
 /// The serial-versus-pipelined comparison on the bench spec.
 #[derive(Clone, Debug)]
 pub struct SearchPipelineData {
@@ -94,6 +135,9 @@ pub struct SearchPipelineData {
     pub multi_scenario: Option<MultiScenarioSample>,
     /// The cold/warm store section (`None` when not requested).
     pub warm_store: Option<WarmStoreSample>,
+    /// The telemetry overhead + phase-breakdown section (`None` when not
+    /// requested).
+    pub telemetry: Option<TelemetryData>,
 }
 
 /// The 4-D conv-like spec the accuracy proxy can score — the same shape
@@ -160,7 +204,7 @@ fn timed_run(
     iterations: usize,
     proxy_steps: usize,
     eval_workers: usize,
-) -> (PipelineSample, Vec<u64>) {
+) -> (PipelineSample, Vec<u64>, PhaseSample) {
     let proxy = bench_proxy(proxy_steps);
     let started = Instant::now();
     let report = SearchBuilder::new()
@@ -182,6 +226,16 @@ fn timed_run(
         .collect();
     ids.sort_unstable();
     let candidates = report.candidates.len();
+    let frac = |phase| syno_search::PhaseWall::fraction_of(phase, report.wall);
+    let phases = PhaseSample {
+        eval_workers,
+        wall_secs,
+        synth_frac: frac(report.phases.synth),
+        eval_frac: frac(report.phases.eval),
+        store_frac: frac(report.phases.store),
+        tune_frac: frac(report.phases.tune),
+        idle_frac: frac(report.phases.idle),
+    };
     (
         PipelineSample {
             eval_workers,
@@ -194,6 +248,7 @@ fn timed_run(
             },
         },
         ids,
+        phases,
     )
 }
 
@@ -288,24 +343,76 @@ fn warm_store_sample(iterations: usize, proxy_steps: usize) -> WarmStoreSample {
     }
 }
 
+/// The telemetry section: re-runs the serial bench with tracing + metrics
+/// enabled (same seed), comparing wall clock and candidate sets against
+/// the disabled serial sample, and — when `with_breakdown` — the
+/// per-phase splits at `eval_workers` 1 and n.
+fn telemetry_data(
+    iterations: usize,
+    proxy_steps: usize,
+    eval_workers: usize,
+    disabled: &PipelineSample,
+    disabled_ids: &[u64],
+    with_breakdown: bool,
+) -> TelemetryData {
+    let (vars, spec) = bench_scenario();
+    syno_telemetry::reset();
+    syno_telemetry::set_enabled(true);
+    let (enabled, enabled_ids, serial_phases) =
+        timed_run(&vars, &spec, iterations, proxy_steps, 1);
+    let mut phase_breakdown = Vec::new();
+    if with_breakdown {
+        phase_breakdown.push(serial_phases);
+        let (_, _, pooled_phases) = timed_run(&vars, &spec, iterations, proxy_steps, eval_workers);
+        phase_breakdown.push(pooled_phases);
+    }
+    syno_telemetry::set_enabled(false);
+    TelemetryData {
+        disabled_wall_secs: disabled.wall_secs,
+        enabled_wall_secs: enabled.wall_secs,
+        overhead_frac: if disabled.wall_secs > 0.0 {
+            enabled.wall_secs / disabled.wall_secs - 1.0
+        } else {
+            0.0
+        },
+        identical_sets: enabled_ids == disabled_ids,
+        phase_breakdown,
+    }
+}
+
 /// Times the bench spec serially and with `eval_workers` evaluator threads
 /// (same seed), `iterations` MCTS iterations each, `proxy_steps` training
-/// steps per candidate. `with_multi_scenario` / `with_warm_store` opt into
-/// the vision + LM and cold/warm store sections individually — the
-/// determinism-only CI step runs the warm-store section (it asserts its
-/// replay contract) but skips the unasserted multi-scenario timing.
+/// steps per candidate. `with_multi_scenario` / `with_warm_store` /
+/// `with_telemetry` opt into the vision + LM, cold/warm store, and
+/// telemetry-overhead sections individually — the determinism-only CI
+/// step runs the warm-store and telemetry sections (both assert
+/// contracts) but skips the unasserted multi-scenario timing;
+/// `with_breakdown` additionally measures the per-phase splits (a timing,
+/// so determinism-only runs skip it).
 pub fn search_pipeline_data(
     iterations: usize,
     proxy_steps: usize,
     eval_workers: usize,
     with_multi_scenario: bool,
     with_warm_store: bool,
+    with_telemetry: bool,
+    with_breakdown: bool,
 ) -> SearchPipelineData {
     let (vars, spec) = bench_scenario();
-    let (serial, serial_ids) = timed_run(&vars, &spec, iterations, proxy_steps, 1);
-    let (pipelined, piped_ids) = timed_run(&vars, &spec, iterations, proxy_steps, eval_workers);
+    let (serial, serial_ids, _) = timed_run(&vars, &spec, iterations, proxy_steps, 1);
+    let (pipelined, piped_ids, _) = timed_run(&vars, &spec, iterations, proxy_steps, eval_workers);
     let multi_scenario = with_multi_scenario.then(|| multi_scenario_sample(iterations, proxy_steps));
     let warm_store = with_warm_store.then(|| warm_store_sample(iterations, proxy_steps));
+    let telemetry = with_telemetry.then(|| {
+        telemetry_data(
+            iterations,
+            proxy_steps,
+            eval_workers,
+            &serial,
+            &serial_ids,
+            with_breakdown,
+        )
+    });
     SearchPipelineData {
         iterations,
         serial,
@@ -321,5 +428,6 @@ pub fn search_pipeline_data(
             .unwrap_or(1),
         multi_scenario,
         warm_store,
+        telemetry,
     }
 }

@@ -541,7 +541,10 @@ pub fn decode_graph(bytes: &[u8]) -> Result<PGraph, CodecError> {
 ///
 /// History:
 /// * **1** — initial protocol (`Hello` … `ShuttingDown` frames).
-pub const PROTOCOL_VERSION: u32 = 1;
+/// * **2** — telemetry: `Metrics`/`MetricsReply` query frames, and
+///   per-phase wall accounting (synth/proxy/store/tune nanoseconds) in
+///   every session status payload.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Hard ceiling on one frame's payload size (16 MiB). A length prefix read
 /// off a socket is attacker-controlled input; refusing oversized frames
@@ -583,11 +586,15 @@ pub enum FrameKind {
     /// Server → client: a request-level error that did not kill the
     /// connection.
     Error = 12,
+    /// Client → server: request the daemon's live metrics dump.
+    Metrics = 13,
+    /// Server → client: the metrics dump (Prometheus exposition text).
+    MetricsReply = 14,
 }
 
 impl FrameKind {
     /// Every frame kind, in tag order (for exhaustive round-trip tests).
-    pub const ALL: [FrameKind; 13] = [
+    pub const ALL: [FrameKind; 15] = [
         FrameKind::Hello,
         FrameKind::HelloAck,
         FrameKind::SubmitSearch,
@@ -601,6 +608,8 @@ impl FrameKind {
         FrameKind::ShuttingDown,
         FrameKind::SearchDone,
         FrameKind::Error,
+        FrameKind::Metrics,
+        FrameKind::MetricsReply,
     ];
 
     /// The wire tag byte.

@@ -34,8 +34,8 @@ pub use mcts::{EvalOutcome, EvalRequest, Mcts, MctsConfig, MctsStats};
 pub use orchestrator::{evaluate_candidates, search_substitutions, SearchSettings};
 pub use pool::EvalPool;
 pub use run::{
-    Budget, CancelToken, Candidate, RunProgress, ScenarioProgress, SearchBuilder, SearchEvent,
-    SearchReport, SearchRun, StopReason,
+    Budget, CancelToken, Candidate, PhaseNanos, PhaseWall, RunProgress, ScenarioProgress,
+    SearchBuilder, SearchEvent, SearchReport, SearchRun, StopReason,
 };
 // The per-scenario proxy-family selector threaded through
 // `SearchBuilder::proxy_family` (defined by the registry in `syno-nn`).

@@ -186,6 +186,14 @@ pub struct MctsStats {
     /// [`PGraph::content_hash`], so this agrees with the per-candidate
     /// event stream and the store journal).
     pub distinct_operators: u64,
+    /// Nanoseconds spent in UCB selection/expansion (excluding time parked
+    /// waiting for evaluator outcomes). Telemetry-derived: stays 0 while
+    /// telemetry is disabled (`syno_telemetry::set_enabled`), and is
+    /// strictly out-of-band — it never influences the search.
+    pub select_ns: u64,
+    /// Nanoseconds spent in rollouts (synthesis proper). Telemetry-derived
+    /// like [`select_ns`](MctsStats::select_ns).
+    pub rollout_ns: u64,
 }
 
 impl Mcts {
@@ -303,7 +311,12 @@ impl Mcts {
             if !keep_going(iteration as u64) {
                 break;
             }
-            // Selection: walk down by UCB until an unexpanded node.
+            // Selection: walk down by UCB until an unexpanded node. Time
+            // parked in `settle_children` (waiting on evaluator outcomes)
+            // is traced as its own nested span and excluded from the
+            // selection phase accounting.
+            let select_span = syno_telemetry::span!("ucb_select");
+            let mut settled = std::time::Duration::ZERO;
             let mut path: Vec<usize> = vec![0];
             let mut state = root.clone();
             let mut current = 0usize;
@@ -331,7 +344,10 @@ impl Mcts {
                 let pick = match untried {
                     Some(idx) => idx,
                     None => {
+                        let wait_span = syno_telemetry::span!("eval_wait");
                         self.settle_children(current, bridge, &mut found, &mut pending);
+                        settled += wait_span.elapsed();
+                        drop(wait_span);
                         self.best_ucb_child(current)
                     }
                 };
@@ -355,11 +371,21 @@ impl Mcts {
                 }
             }
 
+            self.stats.select_ns += select_span
+                .elapsed()
+                .saturating_sub(settled)
+                .as_nanos() as u64;
+            drop(select_span);
+
             // Rollout from the reached state. A known reward (failure,
             // rediscovery) backpropagates immediately; a new candidate is
             // submitted for evaluation and leaves the path under a virtual
             // loss (the visit counts now, the reward lands on drain).
-            let value: Option<f64> = match rollout(&mut rng, &self.enumerator, &state, true) {
+            let synth_span = syno_telemetry::span!("synthesis");
+            let rolled = rollout(&mut rng, &self.enumerator, &state, true);
+            self.stats.rollout_ns += synth_span.elapsed().as_nanos() as u64;
+            drop(synth_span);
+            let value: Option<f64> = match rolled {
                 RolloutResult::Complete(graph) => {
                     self.stats.completed_rollouts += 1;
                     let id = graph.content_hash();
@@ -435,6 +461,7 @@ impl Mcts {
 
         // Drain every in-flight evaluation before reporting: a stopped or
         // cancelled run still keeps (and scores) everything it submitted.
+        let _drain_span = syno_telemetry::span!("eval_wait");
         while !pending.is_empty() {
             match bridge.wait_next() {
                 Some(outcome) => self.apply_outcome(outcome, &mut found, &mut pending),
@@ -658,8 +685,11 @@ mod tests {
         let (outcome_tx, outcome_rx) = channel::<EvalOutcome>();
         let evaluator = std::thread::spawn(move || {
             for request in request_rx {
-                // Stagger replies so outcomes genuinely lag submissions.
-                std::thread::sleep(std::time::Duration::from_millis(2));
+                // Stagger replies so outcomes genuinely lag submissions —
+                // a yield hands the core back to the engine thread without
+                // the fixed wall-clock sleep the first cut used (which
+                // cost 2ms per candidate and measured nothing).
+                std::thread::yield_now();
                 let reward = 1.0 / (1.0 + request.graph.len() as f64);
                 if outcome_tx
                     .send(EvalOutcome {

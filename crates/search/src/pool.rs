@@ -18,22 +18,58 @@
 //! thread* runs an evaluation changes, never what it computes or the order
 //! in which its session applies it.
 //!
+//! The queue is a condvar-parked `VecDeque`: producers facing a full queue
+//! and workers facing an empty one *park* and are woken by the state
+//! change itself, never by a polling sleep. (The first cut busy-waited
+//! 200µs at a time in `submit`, which both burned a core under backpressure
+//! and would have polluted the `syno_pool_queue_wait_seconds` histogram
+//! with our own polling latency.)
+//!
+//! Telemetry (all out-of-band, see `syno-telemetry`): queue depth gauge
+//! `syno_pool_queue_depth`, submission counter `syno_pool_jobs_total`,
+//! queue-wait histogram `syno_pool_queue_wait_seconds`, and per-worker
+//! `syno_pool_worker_{busy,idle}_seconds{worker="<i>"}` histograms.
+//!
 //! Shutdown drains: [`EvalPool::shutdown`] closes the queue, lets the
 //! workers finish everything already submitted, and joins them. Jobs
 //! queued but never run are *dropped*, which the search layer turns into
 //! typed `SearchEvent::CandidateSkipped` notifications via a drop guard —
 //! a dead pool degrades loudly, not silently.
 
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex};
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
+
+use syno_telemetry::metrics::{labeled, DURATION_BUCKETS};
+use syno_telemetry::{counter, gauge};
 
 /// One queued evaluation: an opaque closure run on a worker thread.
 pub(crate) type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// The queue proper — shared by producers and workers. Kept separate from
+/// [`PoolShared`] so worker threads hold no reference to their own
+/// `JoinHandle`s (which would keep the pool alive forever).
+struct QueueCore {
+    state: Mutex<QueueState>,
+    /// Wakes producers parked on a full queue.
+    space: Condvar,
+    /// Wakes workers parked on an empty queue.
+    ready: Condvar,
+    capacity: usize,
+}
+
+struct QueueState {
+    /// Pending jobs with their enqueue instants (for the queue-wait
+    /// histogram).
+    jobs: VecDeque<(Job, Instant)>,
+    /// `false` once the pool is shut down; submissions then fail and
+    /// workers exit after draining.
+    open: bool,
+}
+
 struct PoolShared {
-    /// `None` once the pool is shut down; submissions then fail.
-    queue: Mutex<Option<SyncSender<Job>>>,
+    core: Arc<QueueCore>,
     workers: Mutex<Vec<JoinHandle<()>>>,
     worker_count: usize,
 }
@@ -64,21 +100,28 @@ impl EvalPool {
     /// evaluators — the same pacing the per-scenario pipeline used.
     pub fn new(workers: usize) -> EvalPool {
         let worker_count = workers.max(1);
-        let (tx, rx) = sync_channel::<Job>(worker_count * 2);
-        let rx = Arc::new(Mutex::new(rx));
+        let core = Arc::new(QueueCore {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::with_capacity(worker_count * 2),
+                open: true,
+            }),
+            space: Condvar::new(),
+            ready: Condvar::new(),
+            capacity: worker_count * 2,
+        });
         let mut handles = Vec::with_capacity(worker_count);
         for i in 0..worker_count {
-            let rx = Arc::clone(&rx);
+            let core = Arc::clone(&core);
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("syno-eval-{i}"))
-                    .spawn(move || worker_loop(&rx))
+                    .spawn(move || worker_loop(&core, i))
                     .expect("spawn evaluator thread"),
             );
         }
         EvalPool {
             shared: Arc::new(PoolShared {
-                queue: Mutex::new(Some(tx)),
+                core,
                 workers: Mutex::new(handles),
                 worker_count,
             }),
@@ -92,43 +135,34 @@ impl EvalPool {
 
     /// `true` until [`shutdown`](EvalPool::shutdown) closes the queue.
     pub fn is_alive(&self) -> bool {
-        self.shared.queue.lock().expect("pool queue lock").is_some()
+        self.shared.core.state.lock().expect("pool queue lock").open
     }
 
-    /// Submits one evaluation job, blocking while the bounded queue is
+    /// Submits one evaluation job, parking while the bounded queue is
     /// full. Returns `false` when the pool has been shut down (the job is
     /// dropped, firing whatever drop guards it carries).
     pub(crate) fn submit(&self, job: Job) -> bool {
-        // Take a clone of the sender under the lock, then block on the
-        // bounded send *outside* it, so a full queue cannot deadlock a
-        // concurrent shutdown.
-        let Some(tx) = self.shared.queue.lock().expect("pool queue lock").clone() else {
-            return false;
-        };
-        let mut job = job;
-        loop {
-            match tx.try_send(job) {
-                Ok(()) => return true,
-                Err(TrySendError::Full(back)) => {
-                    job = back;
-                    // The queue is bounded at 2× workers, so progress is
-                    // imminent; a short sleep avoids burning a core.
-                    std::thread::sleep(std::time::Duration::from_micros(200));
-                    if self.shared.queue.lock().expect("pool queue lock").is_none() {
-                        return false;
-                    }
-                }
-                Err(TrySendError::Disconnected(_)) => return false,
-            }
+        let core = &self.shared.core;
+        let mut state = core.state.lock().expect("pool queue lock");
+        while state.open && state.jobs.len() >= core.capacity {
+            state = core.space.wait(state).expect("pool queue lock");
         }
+        if !state.open {
+            return false;
+        }
+        state.jobs.push_back((job, Instant::now()));
+        counter!("syno_pool_jobs_total").inc();
+        gauge!("syno_pool_queue_depth").set(state.jobs.len() as i64);
+        drop(state);
+        core.ready.notify_one();
+        true
     }
 
     /// Closes the queue, lets the workers drain everything already
     /// submitted, and joins them. Idempotent; later `submit`s return
     /// `false`.
     pub fn shutdown(&self) {
-        let tx = self.shared.queue.lock().expect("pool queue lock").take();
-        drop(tx); // workers exit once the queue drains
+        close(&self.shared.core);
         let handles: Vec<_> = self
             .shared
             .workers
@@ -142,28 +176,61 @@ impl EvalPool {
     }
 }
 
+/// Marks the queue closed and wakes every parked thread so producers fail
+/// fast and workers drain then exit.
+fn close(core: &QueueCore) {
+    core.state.lock().expect("pool queue lock").open = false;
+    core.space.notify_all();
+    core.ready.notify_all();
+}
+
 impl Drop for PoolShared {
     fn drop(&mut self) {
         // Last handle gone: close the queue and detach the workers (they
         // exit after draining; joining from Drop could deadlock if a job
         // itself holds the last clone).
-        self.queue.lock().expect("pool queue lock").take();
+        close(&self.core);
     }
 }
 
-fn worker_loop(rx: &Mutex<Receiver<Job>>) {
+fn worker_loop(core: &QueueCore, worker: usize) {
+    // Registered once per worker thread; observation is lock-free.
+    let registry = syno_telemetry::metrics::global();
+    let worker_label = worker.to_string();
+    let wait_hist = registry.histogram("syno_pool_queue_wait_seconds", &DURATION_BUCKETS);
+    let busy_hist = registry.histogram(
+        &labeled("syno_pool_worker_busy_seconds", &[("worker", &worker_label)]),
+        &DURATION_BUCKETS,
+    );
+    let idle_hist = registry.histogram(
+        &labeled("syno_pool_worker_idle_seconds", &[("worker", &worker_label)]),
+        &DURATION_BUCKETS,
+    );
     loop {
-        // The mutex is held only across the blocking pop, never the job,
-        // so workers truly run concurrently.
-        let job = match rx.lock() {
-            Ok(guard) => guard.recv(),
-            Err(_) => return,
+        let idle_from = Instant::now();
+        // The lock is held only across the pop, never the job, so workers
+        // truly run concurrently.
+        let mut state = core.state.lock().expect("pool queue lock");
+        let (job, queued_at) = loop {
+            if let Some(entry) = state.jobs.pop_front() {
+                break entry;
+            }
+            if !state.open {
+                return;
+            }
+            state = core.ready.wait(state).expect("pool queue lock");
         };
-        let Ok(job) = job else { return };
+        gauge!("syno_pool_queue_depth").set(state.jobs.len() as i64);
+        drop(state);
+        core.space.notify_one();
+        idle_hist.observe_duration(idle_from.elapsed());
+        wait_hist.observe_duration(queued_at.elapsed());
+        let busy_from = Instant::now();
         // Jobs carry their own panic isolation (the search layer wraps
         // every evaluation in `catch_unwind`); a panic that still escapes
         // must not take the whole pool down with it.
         let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+        busy_hist.observe_duration(busy_from.elapsed());
     }
 }
 
@@ -222,5 +289,45 @@ mod tests {
             1,
             "a refused job's captures are dropped, firing guards"
         );
+    }
+
+    #[test]
+    fn a_full_queue_parks_producers_until_workers_drain_it() {
+        // One worker, capacity 2: block the worker, overfill the queue
+        // from a producer thread, then release the worker and watch the
+        // parked producer complete without any polling.
+        let pool = EvalPool::new(1);
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let g = Arc::clone(&gate);
+        assert!(pool.submit(Box::new(move || {
+            let (lock, cv) = &*g;
+            let mut open = lock.lock().expect("gate lock");
+            while !*open {
+                open = cv.wait(open).expect("gate lock");
+            }
+        })));
+        let done = Arc::new(AtomicUsize::new(0));
+        let producer = {
+            let pool = pool.clone();
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                for _ in 0..8 {
+                    let done = Arc::clone(&done);
+                    assert!(pool.submit(Box::new(move || {
+                        done.fetch_add(1, Ordering::SeqCst);
+                    })));
+                }
+            })
+        };
+        // Open the gate: the worker unblocks, the queue drains, and the
+        // parked producer is woken by `space` notifications.
+        {
+            let (lock, cv) = &*gate;
+            *lock.lock().expect("gate lock") = true;
+            cv.notify_all();
+        }
+        producer.join().expect("producer thread");
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::SeqCst), 8);
     }
 }

@@ -259,6 +259,125 @@ pub struct SearchReport {
     pub flops: u128,
     /// Wall-clock duration of the run.
     pub wall: Duration,
+    /// Where the wall went, per phase (derived from the telemetry span
+    /// timings; all zeros — pure `idle` — while telemetry is disabled).
+    pub phases: PhaseWall,
+}
+
+/// Per-phase breakdown of a run's wall clock, derived from the same
+/// measurements that feed the `syno-telemetry` span log. Strictly
+/// out-of-band: reading or printing it never influences the search.
+///
+/// Phase time is summed across scenario workers and evaluator threads, so
+/// with `eval_workers > 1` the phases can legitimately sum to more than
+/// [`SearchReport::wall`]; `idle` is clamped at zero in that case.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PhaseWall {
+    /// Tree search: UCB selection/expansion plus rollout synthesis.
+    pub synth: Duration,
+    /// Proxy training (the `proxy_train` span).
+    pub eval: Duration,
+    /// Store traffic issued by the search: journal lookups and appends.
+    pub store: Duration,
+    /// Latency tuning (lowering + per-device compilation).
+    pub tune: Duration,
+    /// Wall clock not attributed to any phase (queue waits, event
+    /// plumbing, scheduling) — or the whole wall while telemetry is off.
+    pub idle: Duration,
+}
+
+impl PhaseWall {
+    /// Assembles a breakdown from cumulative phase durations and the run's
+    /// total wall clock.
+    fn from_parts(synth: Duration, eval: Duration, store: Duration, tune: Duration, wall: Duration) -> PhaseWall {
+        let accounted = synth + eval + store + tune;
+        PhaseWall {
+            synth,
+            eval,
+            store,
+            tune,
+            idle: wall.saturating_sub(accounted),
+        }
+    }
+
+    /// The fraction of `wall` spent in `phase` (0.0 when `wall` is zero).
+    pub fn fraction_of(phase: Duration, wall: Duration) -> f64 {
+        if wall.is_zero() {
+            0.0
+        } else {
+            phase.as_secs_f64() / wall.as_secs_f64()
+        }
+    }
+}
+
+impl std::fmt::Display for PhaseWall {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "synth {:.1?} | proxy {:.1?} | store {:.1?} | tune {:.1?} | idle {:.1?}",
+            self.synth, self.eval, self.store, self.tune, self.idle
+        )
+    }
+}
+
+/// Cumulative per-phase nanosecond counters, updated by the search as it
+/// goes (relaxed atomics — reading never perturbs the run). Counters stay
+/// 0 while telemetry is disabled.
+#[derive(Debug, Default)]
+pub struct PhaseNanos {
+    synth: AtomicU64,
+    eval: AtomicU64,
+    store: AtomicU64,
+    tune: AtomicU64,
+}
+
+impl PhaseNanos {
+    pub(crate) fn add_synth_ns(&self, ns: u64) {
+        self.synth.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_eval(&self, d: Duration) {
+        self.eval.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_store(&self, d: Duration) {
+        self.store.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_tune(&self, d: Duration) {
+        self.tune.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Nanoseconds spent in tree search (selection + rollout synthesis).
+    pub fn synth_ns(&self) -> u64 {
+        self.synth.load(Ordering::Relaxed)
+    }
+
+    /// Nanoseconds spent in proxy training.
+    pub fn eval_ns(&self) -> u64 {
+        self.eval.load(Ordering::Relaxed)
+    }
+
+    /// Nanoseconds spent in store lookups and appends.
+    pub fn store_ns(&self) -> u64 {
+        self.store.load(Ordering::Relaxed)
+    }
+
+    /// Nanoseconds spent in latency tuning.
+    pub fn tune_ns(&self) -> u64 {
+        self.tune.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot as a [`PhaseWall`] against a total wall duration.
+    pub fn snapshot(&self, wall: Duration) -> PhaseWall {
+        PhaseWall::from_parts(
+            Duration::from_nanos(self.synth_ns()),
+            Duration::from_nanos(self.eval_ns()),
+            Duration::from_nanos(self.store_ns()),
+            Duration::from_nanos(self.tune_ns()),
+            wall,
+        )
+    }
 }
 
 /// Live progress counters for one scenario of a run.
@@ -331,6 +450,7 @@ impl ScenarioProgress {
 pub struct RunProgress {
     scenarios: Vec<ScenarioProgress>,
     steps: AtomicU64,
+    phases: PhaseNanos,
 }
 
 impl RunProgress {
@@ -352,6 +472,13 @@ impl RunProgress {
     /// Have all scenarios finished?
     pub fn finished(&self) -> bool {
         self.scenarios.iter().all(ScenarioProgress::finished)
+    }
+
+    /// Live per-phase wall accounting (cumulative; zeros while telemetry
+    /// is disabled). The daemon's status path reads this to report where a
+    /// session's time is going without re-instrumenting anything.
+    pub fn phases(&self) -> &PhaseNanos {
+        &self.phases
     }
 }
 
@@ -690,6 +817,7 @@ impl SearchBuilder {
                 .map(|s| ScenarioProgress::new(&s.label, total))
                 .collect(),
             steps: AtomicU64::new(0),
+            phases: PhaseNanos::default(),
         });
         let run_progress = Arc::clone(&progress);
         let handle = thread::spawn(move || supervise(self, progress, sender));
@@ -926,12 +1054,14 @@ fn supervise(
         .unwrap_or(StopReason::Completed);
     let steps = shared.progress.steps();
     let flops = *shared.flops.lock().expect("flops lock");
+    let wall = shared.started.elapsed();
     SearchReport {
         candidates,
         stopped,
         steps,
         flops,
-        wall: shared.started.elapsed(),
+        phases: shared.progress.phases.snapshot(wall),
+        wall,
     }
 }
 
@@ -968,6 +1098,8 @@ impl EvalContext {
     /// it always precedes these regardless of worker scheduling), and
     /// returns the reward to backpropagate.
     fn evaluate(&self, id: u64, graph: &PGraph, sender: &Sender<SearchEvent>) -> f64 {
+        let _eval_span = syno_telemetry::span!("evaluate", candidate = id);
+        syno_telemetry::counter!("syno_search_candidates_total").inc();
         let index = self.index;
         // Store first: a journaled evaluation makes proxy training (and
         // usually latency tuning) unnecessary — the cross-run analogue
@@ -977,11 +1109,18 @@ impl EvalContext {
         // cannot happen through the normal pipeline — this guards against
         // hand-edited or cross-version journals).
         if let Some(store) = self.store.as_deref() {
-            if let Some(accuracy) = store.score_for_family(id, self.family.name()) {
+            let recalled = {
+                let span = syno_telemetry::span!("store_lookup", candidate = id);
+                let recalled = store.score_for_family(id, self.family.name());
+                self.shared.progress.phases.add_store(span.elapsed());
+                recalled
+            };
+            if let Some(accuracy) = recalled {
                 // NaN is the journaled-failure marker: this candidate's
                 // proxy training failed in a previous run, and it fails
                 // deterministically — skip without re-training.
                 if accuracy.is_nan() {
+                    syno_telemetry::counter!("syno_search_skips_total").inc();
                     let _ = sender.send(SearchEvent::CandidateSkipped {
                         scenario: index,
                         id,
@@ -1003,8 +1142,11 @@ impl EvalContext {
                     // Scored in a previous run but tuned for different
                     // devices: reuse the accuracy, re-tune the latency.
                     None => {
+                        let span = syno_telemetry::span!("latency_tune", candidate = id);
                         let priced =
                             price_candidate(index, graph, accuracy, &self.devices, self.compiler);
+                        self.shared.progress.phases.add_tune(span.elapsed());
+                        drop(span);
                         if let Ok(candidate) = &priced {
                             for (device, latency) in self.devices.iter().zip(&candidate.latencies)
                             {
@@ -1024,6 +1166,7 @@ impl EvalContext {
                         // Counted only now, when the recall is actually
                         // served: stats.cache_hits == CacheHit events.
                         store.record_hit();
+                        syno_telemetry::counter!("syno_search_cache_hits_total").inc();
                         // Counters advance before the event is emitted, so
                         // a status poll racing the stream never undercounts
                         // what the consumer already saw.
@@ -1040,6 +1183,7 @@ impl EvalContext {
                             .push(candidate);
                     }
                     Err(error) => {
+                        syno_telemetry::counter!("syno_search_skips_total").inc();
                         let _ = sender.send(SearchEvent::CandidateSkipped {
                             scenario: index,
                             id,
@@ -1054,10 +1198,15 @@ impl EvalContext {
         // A proxy panic (e.g. an exotic candidate the tape einsum cannot
         // differentiate) must not take down the whole run: demote it to
         // a typed skip, like any other per-candidate failure.
-        let scored = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            self.family.family().score(graph, 0, &self.proxy)
-        }))
-        .unwrap_or_else(|payload| Err(SynoError::proxy(panic_message(&payload))));
+        let scored = {
+            let span = syno_telemetry::span!("proxy_train", candidate = id);
+            let scored = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.family.family().score(graph, 0, &self.proxy)
+            }))
+            .unwrap_or_else(|payload| Err(SynoError::proxy(panic_message(&payload))));
+            self.shared.progress.phases.add_eval(span.elapsed());
+            scored
+        };
         match scored {
             Ok(acc) => {
                 let accuracy = (acc as f64).clamp(0.0, 1.0);
@@ -1073,14 +1222,20 @@ impl EvalContext {
                 if let Some(store) = self.store.as_deref() {
                     // Journal best-effort: a full disk degrades the run
                     // to cache-less, it does not kill it.
+                    let span = syno_telemetry::span!("store_append", candidate = id);
                     let _ = store.put_candidate(id, graph);
                     let _ = store.put_score(id, accuracy, self.family.name());
+                    self.shared.progress.phases.add_store(span.elapsed());
                 }
                 self.progress().discovered.fetch_add(1, Ordering::Relaxed);
                 // Latency-tune immediately: the candidate is complete in
                 // the stream, and a cancelled run keeps every candidate
                 // it has announced.
-                match price_candidate(index, graph, accuracy, &self.devices, self.compiler) {
+                let tune_span = syno_telemetry::span!("latency_tune", candidate = id);
+                let priced = price_candidate(index, graph, accuracy, &self.devices, self.compiler);
+                self.shared.progress.phases.add_tune(tune_span.elapsed());
+                drop(tune_span);
+                match priced {
                     Ok(candidate) => {
                         if let Some(store) = self.store.as_deref() {
                             for (device, latency) in self.devices.iter().zip(&candidate.latencies)
@@ -1105,6 +1260,7 @@ impl EvalContext {
                             .push(candidate);
                     }
                     Err(error) => {
+                        syno_telemetry::counter!("syno_search_skips_total").inc();
                         let _ = sender.send(SearchEvent::CandidateSkipped {
                             scenario: index,
                             id,
@@ -1118,9 +1274,12 @@ impl EvalContext {
                 if let Some(store) = self.store.as_deref() {
                     // Journal the failure (NaN marker) so resumed runs
                     // skip this candidate instead of re-training it.
+                    let span = syno_telemetry::span!("store_append", candidate = id);
                     let _ = store.put_candidate(id, graph);
                     let _ = store.put_score(id, f64::NAN, self.family.name());
+                    self.shared.progress.phases.add_store(span.elapsed());
                 }
+                syno_telemetry::counter!("syno_search_skips_total").inc();
                 let _ = sender.send(SearchEvent::CandidateSkipped {
                     scenario: index,
                     id,
@@ -1340,6 +1499,13 @@ fn run_scenario(
             drop(request_tx);
         });
     }
+
+    // Fold the engine-side timings (selection + rollout synthesis, both
+    // measured inside the engine loop) into the run's phase accounting.
+    shared
+        .progress
+        .phases
+        .add_synth_ns(mcts.stats.select_ns + mcts.stats.rollout_ns);
 
     // Final checkpoint: pins the scenario's end position so resume_from
     // knows completed scenarios replay (all hits) rather than re-train.

@@ -294,6 +294,22 @@ impl SynoClient {
         }
     }
 
+    /// Requests the daemon's live metrics dump — its process-global
+    /// `syno-telemetry` registry rendered as Prometheus exposition text.
+    /// The dump is deterministically sorted; it is empty when telemetry
+    /// is disabled in the daemon process.
+    ///
+    /// # Errors
+    ///
+    /// Transport, timeout, or disconnection errors.
+    pub fn metrics(&self) -> Result<String, ServeError> {
+        self.send(&Frame::Metrics)?;
+        match self.wait_control(|frame| matches!(frame, Frame::MetricsReply { .. }))? {
+            Frame::MetricsReply { dump } => Ok(dump),
+            _ => unreachable!("wait_control matched MetricsReply"),
+        }
+    }
+
     /// Requests a graceful daemon shutdown and waits for the terminal
     /// `ShuttingDown`; returns the number of sessions the daemon
     /// checkpointed during the drain.

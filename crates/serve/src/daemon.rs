@@ -153,6 +153,7 @@ impl DaemonState {
             .iter()
             .map(|(id, entry)| {
                 let scenario = &entry.progress.scenarios()[0];
+                let phases = entry.progress.phases();
                 SessionStatus {
                     session: *id,
                     tenant: entry.tenant.clone(),
@@ -161,6 +162,10 @@ impl DaemonState {
                     total_iterations: scenario.total_iterations(),
                     discovered: scenario.discovered(),
                     candidates: scenario.candidates(),
+                    synth_ns: phases.synth_ns(),
+                    eval_ns: phases.eval_ns(),
+                    store_ns: phases.store_ns(),
+                    tune_ns: phases.tune_ns(),
                 }
             })
             .collect();
@@ -401,6 +406,11 @@ fn serve_connection(state: Arc<DaemonState>, conn: Box<dyn Conn>) {
             Ok(Some(Frame::Status)) => {
                 let _ = tx.send(Frame::StatusReply(state.status()));
             }
+            Ok(Some(Frame::Metrics)) => {
+                let _ = tx.send(Frame::MetricsReply {
+                    dump: syno_telemetry::metrics::global().render(),
+                });
+            }
             Ok(Some(Frame::Shutdown)) => {
                 state.trigger_shutdown();
                 // The drain watcher answers with `ShuttingDown` once this
@@ -535,6 +545,7 @@ fn spawn_pump(
                 .lock()
                 .expect("sessions lock")
                 .remove(&session);
+            syno_telemetry::gauge!("syno_serve_active_sessions").sub(1);
             if state.shutting_down.load(Ordering::SeqCst) && state.store.is_some() {
                 state.checkpointed.fetch_add(1, Ordering::SeqCst);
             }
@@ -634,6 +645,13 @@ fn admit(
 
     let session = state.next_session.fetch_add(1, Ordering::SeqCst) + 1;
     state.total_admitted.fetch_add(1, Ordering::SeqCst);
+    syno_telemetry::metrics::global()
+        .counter(&syno_telemetry::metrics::labeled(
+            "syno_serve_sessions_total",
+            &[("tenant", tenant)],
+        ))
+        .inc();
+    syno_telemetry::gauge!("syno_serve_active_sessions").add(1);
     state.sessions.lock().expect("sessions lock").insert(
         session,
         SessionEntry {

@@ -3,7 +3,9 @@
 //! ```text
 //! syno-serve [--listen ADDR] [--store DIR] [--eval-workers N]
 //!            [--max-sessions N] [--max-sessions-per-tenant N]
-//!            [--progress-every N]
+//!            [--progress-every N] [--no-telemetry]
+//! syno-serve --status ADDR     # query a running daemon
+//! syno-serve --metrics ADDR    # dump a running daemon's metrics
 //! ```
 //!
 //! `ADDR` is `host:port` or `unix:<path>`. With `--store` the daemon
@@ -11,26 +13,41 @@
 //! run uncached. The first SIGINT triggers a graceful drain (reject new
 //! work, cancel live sessions, checkpoint, answer clients, exit); a
 //! second SIGINT aborts the process.
+//!
+//! Telemetry (tracing spans + the metrics registry) is enabled by
+//! default in the daemon; `--no-telemetry` turns it off. `--status`
+//! prints each live session's per-phase wall breakdown; `--metrics`
+//! prints the daemon's full registry as Prometheus exposition text.
 
 use std::process::exit;
 use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
 
+use syno_serve::client::SynoClient;
 use syno_serve::daemon::{Daemon, ServeConfig};
 use syno_serve::signal::{install_sigint_handler, reset_sigint, sigint_received};
 use syno_store::StoreBuilder;
+
+enum Query {
+    Status(String),
+    Metrics(String),
+}
 
 struct Args {
     listen: String,
     store: Option<String>,
     config: ServeConfig,
+    telemetry: bool,
+    query: Option<Query>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: syno-serve [--listen ADDR] [--store DIR] [--eval-workers N] \
-         [--max-sessions N] [--max-sessions-per-tenant N] [--progress-every N]"
+         [--max-sessions N] [--max-sessions-per-tenant N] [--progress-every N] \
+         [--no-telemetry]\n\
+         \x20      syno-serve --status ADDR | --metrics ADDR"
     );
     exit(2)
 }
@@ -40,6 +57,8 @@ fn parse_args() -> Args {
         listen: "127.0.0.1:7171".to_owned(),
         store: None,
         config: ServeConfig::default(),
+        telemetry: true,
+        query: None,
     };
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
@@ -68,6 +87,9 @@ fn parse_args() -> Args {
                 args.config.progress_every =
                     parse_num::<u64>(&value("--progress-every"), "--progress-every")
             }
+            "--no-telemetry" => args.telemetry = false,
+            "--status" => args.query = Some(Query::Status(value("--status"))),
+            "--metrics" => args.query = Some(Query::Metrics(value("--metrics"))),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("syno-serve: unknown flag '{other}'");
@@ -85,8 +107,89 @@ fn parse_num<T: std::str::FromStr>(value: &str, flag: &str) -> T {
     })
 }
 
+/// Renders nanoseconds as milliseconds for the status listing.
+fn fmt_ms(ns: u64) -> String {
+    format!("{:.1}ms", ns as f64 / 1e6)
+}
+
+/// Connects to a running daemon and answers a `--status` / `--metrics`
+/// query on stdout; returns the process exit code.
+fn run_query(query: &Query) -> i32 {
+    let addr = match query {
+        Query::Status(addr) | Query::Metrics(addr) => addr,
+    };
+    let client = match SynoClient::connect(addr, "syno-serve-cli") {
+        Ok(client) => client,
+        Err(error) => {
+            eprintln!("syno-serve: could not connect to '{addr}': {error}");
+            return 1;
+        }
+    };
+    match query {
+        Query::Metrics(_) => match client.metrics() {
+            Ok(dump) => {
+                print!("{dump}");
+                0
+            }
+            Err(error) => {
+                eprintln!("syno-serve: metrics query failed: {error}");
+                1
+            }
+        },
+        Query::Status(_) => match client.status() {
+            Ok(status) => {
+                println!(
+                    "sessions: {} live, {} admitted{}",
+                    status.active_sessions,
+                    status.total_admitted,
+                    if status.shutting_down {
+                        ", draining"
+                    } else {
+                        ""
+                    }
+                );
+                for s in &status.sessions {
+                    println!(
+                        "  #{} {}/{}: {}/{} iterations, {} discovered, {} kept",
+                        s.session,
+                        s.tenant,
+                        s.label,
+                        s.iterations,
+                        s.total_iterations,
+                        s.discovered,
+                        s.candidates
+                    );
+                    println!(
+                        "      phases: synth {} | proxy {} | store {} | tune {}",
+                        fmt_ms(s.synth_ns),
+                        fmt_ms(s.eval_ns),
+                        fmt_ms(s.store_ns),
+                        fmt_ms(s.tune_ns)
+                    );
+                }
+                if let Some(store) = &status.store {
+                    println!(
+                        "store: {} candidates, {} scored, {} cache hits / {} lookups",
+                        store.candidates, store.scored, store.cache_hits, store.lookups
+                    );
+                }
+                0
+            }
+            Err(error) => {
+                eprintln!("syno-serve: status query failed: {error}");
+                1
+            }
+        },
+    }
+}
+
 fn main() {
     let args = parse_args();
+
+    if let Some(query) = &args.query {
+        exit(run_query(query));
+    }
+    syno_telemetry::set_enabled(args.telemetry);
 
     let store = args.store.as_ref().map(|dir| {
         match StoreBuilder::new(dir).open() {

@@ -212,6 +212,16 @@ pub struct SessionStatus {
     pub discovered: u64,
     /// Fully evaluated candidates kept.
     pub candidates: u64,
+    /// Nanoseconds spent in tree search (selection + rollout synthesis).
+    /// Phase counters are telemetry-derived and stay 0 while telemetry is
+    /// disabled in the daemon process.
+    pub synth_ns: u64,
+    /// Nanoseconds spent in proxy training.
+    pub eval_ns: u64,
+    /// Nanoseconds spent in store lookups and appends.
+    pub store_ns: u64,
+    /// Nanoseconds spent in latency tuning.
+    pub tune_ns: u64,
 }
 
 /// Store statistics as they travel in a [`Frame::StatusReply`] — the wire
@@ -345,6 +355,16 @@ pub enum Frame {
         session: u64,
         /// Rendered reason.
         message: String,
+    },
+    /// Client → server: request the daemon's live metrics dump.
+    Metrics,
+    /// Server → client: the metrics dump — the daemon's process-global
+    /// `syno-telemetry` registry rendered as Prometheus exposition text
+    /// (deterministically sorted; empty while telemetry is disabled in
+    /// the daemon process).
+    MetricsReply {
+        /// The rendered dump.
+        dump: String,
     },
 }
 
@@ -539,6 +559,10 @@ fn put_status(e: &mut Encoder, status: &DaemonStatus) {
         e.put_u64(s.total_iterations);
         e.put_u64(s.discovered);
         e.put_u64(s.candidates);
+        e.put_u64(s.synth_ns);
+        e.put_u64(s.eval_ns);
+        e.put_u64(s.store_ns);
+        e.put_u64(s.tune_ns);
     }
     match &status.store {
         None => e.put_u8(0),
@@ -574,6 +598,10 @@ fn get_status(d: &mut Decoder<'_>) -> Result<DaemonStatus, ProtocolError> {
             total_iterations: d.get_u64()?,
             discovered: d.get_u64()?,
             candidates: d.get_u64()?,
+            synth_ns: d.get_u64()?,
+            eval_ns: d.get_u64()?,
+            store_ns: d.get_u64()?,
+            tune_ns: d.get_u64()?,
         });
     }
     let store = match d.get_u8()? {
@@ -630,6 +658,8 @@ impl Frame {
             Frame::ShuttingDown { .. } => FrameKind::ShuttingDown,
             Frame::SearchDone { .. } => FrameKind::SearchDone,
             Frame::Error { .. } => FrameKind::Error,
+            Frame::Metrics => FrameKind::Metrics,
+            Frame::MetricsReply { .. } => FrameKind::MetricsReply,
         }
     }
 
@@ -671,7 +701,10 @@ impl Frame {
             Frame::Cancel { session } => {
                 e.put_u64(*session);
             }
-            Frame::Status | Frame::Shutdown => {}
+            Frame::Status | Frame::Shutdown | Frame::Metrics => {}
+            Frame::MetricsReply { dump } => {
+                e.put_str(dump);
+            }
             Frame::StatusReply(status) => {
                 put_status(&mut e, status);
             }
@@ -763,6 +796,10 @@ impl Frame {
                 session: d.get_u64()?,
                 message: d.get_str()?,
             },
+            FrameKind::Metrics => Frame::Metrics,
+            FrameKind::MetricsReply => Frame::MetricsReply {
+                dump: d.get_str()?,
+            },
         };
         if d.remaining() != 0 {
             return Err(ProtocolError::Malformed(format!(
@@ -779,7 +816,12 @@ impl Frame {
     ///
     /// [`ProtocolError::Frame`] on transport failure.
     pub fn write_to(&self, w: &mut impl Write) -> Result<(), ProtocolError> {
-        write_frame(w, self.kind(), &self.encode())?;
+        let span = syno_telemetry::span!("frame_encode");
+        let payload = self.encode();
+        syno_telemetry::histogram!("syno_serve_frame_encode_seconds")
+            .observe_duration(span.elapsed());
+        drop(span);
+        write_frame(w, self.kind(), &payload)?;
         Ok(())
     }
 
@@ -792,7 +834,13 @@ impl Frame {
     pub fn read_from(r: &mut impl Read) -> Result<Option<Frame>, ProtocolError> {
         match read_frame(r)? {
             None => Ok(None),
-            Some(raw) => Frame::decode(raw.kind, &raw.payload).map(Some),
+            Some(raw) => {
+                let span = syno_telemetry::span!("frame_decode");
+                let frame = Frame::decode(raw.kind, &raw.payload);
+                syno_telemetry::histogram!("syno_serve_frame_decode_seconds")
+                    .observe_duration(span.elapsed());
+                frame.map(Some)
+            }
         }
     }
 }

@@ -120,6 +120,10 @@ fn sample_status(mix: &mut Mix) -> DaemonStatus {
             total_iterations: mix.next(),
             discovered: mix.next(),
             candidates: mix.next(),
+            synth_ns: mix.next(),
+            eval_ns: mix.next(),
+            store_ns: mix.next(),
+            tune_ns: mix.next(),
         })
         .collect();
     let store = if mix.small(2) == 0 {
@@ -194,6 +198,10 @@ fn sample_frame(kind: FrameKind, seed: u64) -> Frame {
         FrameKind::Error => Frame::Error {
             session: mix.next(),
             message: mix.text(60),
+        },
+        FrameKind::Metrics => Frame::Metrics,
+        FrameKind::MetricsReply => Frame::MetricsReply {
+            dump: mix.text(200),
         },
     }
 }

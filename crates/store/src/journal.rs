@@ -640,6 +640,7 @@ impl Inner {
     }
 
     fn append(&mut self, record: &Record) -> Result<(), StoreError> {
+        let append_span = syno_telemetry::span!("journal_append");
         let payload = record.encode_payload();
         let tag = record.kind().tag();
         let mut frame = Vec::with_capacity(payload.len() + 9);
@@ -653,9 +654,16 @@ impl Inner {
         self.file.write_all(&frame).map_err(io_err("append"))?;
         self.file.flush().map_err(io_err("flush"))?;
         if self.sync_on_append {
+            let fsync_span = syno_telemetry::span!("journal_fsync");
             self.file.sync_data().map_err(io_err("sync"))?;
+            syno_telemetry::histogram!("syno_store_fsync_seconds")
+                .observe_duration(fsync_span.elapsed());
         }
         self.len_bytes += frame.len() as u64;
+        syno_telemetry::counter!("syno_store_appends_total").inc();
+        syno_telemetry::counter!("syno_store_bytes_written_total").add(frame.len() as u64);
+        syno_telemetry::histogram!("syno_store_append_seconds")
+            .observe_duration(append_span.elapsed());
         Ok(())
     }
 }
@@ -939,6 +947,7 @@ impl Store {
     ///
     /// [`StoreError::Io`] when writing or renaming fails.
     pub fn compact(&self) -> Result<StoreStats, StoreError> {
+        let compact_span = syno_telemetry::span!("journal_compact");
         let mut inner = self.lock();
         let mut bytes = Vec::new();
         bytes.extend_from_slice(&MAGIC);
@@ -1019,6 +1028,10 @@ impl Store {
         inner.file = out;
         inner.len_bytes = bytes.len() as u64;
         drop(inner);
+        syno_telemetry::counter!("syno_store_compactions_total").inc();
+        syno_telemetry::counter!("syno_store_bytes_written_total").add(bytes.len() as u64);
+        syno_telemetry::histogram!("syno_store_compact_seconds")
+            .observe_duration(compact_span.elapsed());
         Ok(self.stats())
     }
 }

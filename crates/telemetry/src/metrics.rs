@@ -1,0 +1,521 @@
+//! Process-global metrics: named counters, gauges, and fixed-bucket
+//! histograms, rendered as a deterministic Prometheus exposition dump.
+//!
+//! ## Naming convention
+//!
+//! Every metric is named `syno_<crate>_<name>` with Prometheus unit
+//! suffixes: `_total` for counters, `_seconds` for timing histograms.
+//! Labelled series spell their labels into the registered name via
+//! [`labeled`] (e.g. `syno_pool_worker_busy_seconds{worker="0"}`); the
+//! renderer groups them under one `# TYPE` line per base name.
+//!
+//! ## Determinism
+//!
+//! [`Registry::render`] iterates `BTreeMap`s, so the dump is byte-stable
+//! for identical metric values. Timing metrics (any series whose base name
+//! ends in `_seconds`) are the *only* nondeterministic series two identical
+//! seeded runs may disagree on; [`strip_timing_lines`] removes exactly
+//! those, and the test suite asserts the remainder is byte-identical across
+//! runs.
+//!
+//! ## Hot path
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are `Arc`s handed out by
+//! the registry; call sites cache them (see the [`counter!`](crate::counter!)
+//! family of macros) so the registry mutex is only taken at registration.
+//! Mutations are relaxed atomics behind the global enable flag.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+
+/// A monotonically increasing counter (`_total`).
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds one. No-op while telemetry is disabled.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`. No-op while telemetry is disabled.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// An instantaneous signed value (queue depths, live session counts).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Sets the gauge. No-op while telemetry is disabled.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if crate::enabled() {
+            self.value.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds `n` (may be negative via [`Gauge::sub`]).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        if crate::enabled() {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Subtracts `n`.
+    #[inline]
+    pub fn sub(&self, n: i64) {
+        self.add(-n);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Default bucket bounds (seconds) for timing histograms: 50µs … 1s, plus
+/// the implicit `+Inf` bucket. Fixed at registration — observation never
+/// allocates or rebalances.
+pub const DURATION_BUCKETS: [f64; 12] = [
+    50e-6, 100e-6, 250e-6, 500e-6, 1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3, 1.0,
+];
+
+/// A fixed-bucket histogram. Buckets are cumulative at render time
+/// (Prometheus `le` semantics); internally each atomic counts one bound's
+/// half-open interval so observation is a single `fetch_add`.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Box<[f64]>,
+    /// `bounds.len() + 1` slots; the last is the overflow (`+Inf`) bucket.
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    /// Sum of observed values, stored as `f64` bits and updated by CAS.
+    sum_bits: AtomicU64,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Histogram {
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            bounds: bounds.into(),
+            buckets,
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// Records one observation. No-op while telemetry is disabled.
+    pub fn observe(&self, v: f64) {
+        if !crate::enabled() {
+            return;
+        }
+        let idx = self.bounds.partition_point(|b| v > *b);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self
+                .sum_bits
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Records a duration in seconds.
+    #[inline]
+    pub fn observe_duration(&self, d: Duration) {
+        self.observe(d.as_secs_f64());
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    fn reset(&self) {
+        for b in self.buckets.iter() {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_bits.store(0f64.to_bits(), Ordering::Relaxed);
+    }
+}
+
+/// A registry of named metrics. One process-global instance ([`global`])
+/// backs the whole workspace; fresh instances exist for unit tests.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Returns the counter registered under `name`, creating it on first
+    /// use. Registration is idempotent: all callers share one atom.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().expect("counter registry lock");
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// Returns the gauge registered under `name`, creating it on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock().expect("gauge registry lock");
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// Returns the histogram registered under `name`, creating it with
+    /// `bounds` on first use. Later calls return the existing histogram
+    /// and ignore `bounds` — bucket layout is fixed at registration.
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().expect("histogram registry lock");
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(Histogram::new(bounds))),
+        )
+    }
+
+    /// Zeroes every registered metric. Registrations (and therefore every
+    /// cached handle) survive.
+    pub fn reset(&self) {
+        for c in self.counters.lock().expect("counter registry lock").values() {
+            c.reset();
+        }
+        for g in self.gauges.lock().expect("gauge registry lock").values() {
+            g.reset();
+        }
+        for h in self
+            .histograms
+            .lock()
+            .expect("histogram registry lock")
+            .values()
+        {
+            h.reset();
+        }
+    }
+
+    /// Renders every registered metric as Prometheus exposition text,
+    /// sorted by series name — byte-stable for identical values. Labelled
+    /// series sharing a base name share one `# TYPE` line.
+    pub fn render(&self) -> String {
+        // (series name, type, body lines) — merged and sorted across kinds.
+        let mut series: Vec<(String, &'static str, String)> = Vec::new();
+        for (name, c) in self.counters.lock().expect("counter registry lock").iter() {
+            series.push((name.clone(), "counter", format!("{name} {}\n", c.get())));
+        }
+        for (name, g) in self.gauges.lock().expect("gauge registry lock").iter() {
+            series.push((name.clone(), "gauge", format!("{name} {}\n", g.get())));
+        }
+        for (name, h) in self
+            .histograms
+            .lock()
+            .expect("histogram registry lock")
+            .iter()
+        {
+            let (base, labels) = split_labels(name);
+            let mut body = String::new();
+            let mut cumulative = 0u64;
+            for (i, bound) in h.bounds.iter().enumerate() {
+                cumulative += h.buckets[i].load(Ordering::Relaxed);
+                let le = merge_label(labels, "le", &format_f64(*bound));
+                let _ = writeln!(body, "{base}_bucket{le} {cumulative}");
+            }
+            cumulative += h.buckets[h.bounds.len()].load(Ordering::Relaxed);
+            let le = merge_label(labels, "le", "+Inf");
+            let _ = writeln!(body, "{base}_bucket{le} {cumulative}");
+            let _ = writeln!(body, "{base}_sum{labels} {}", format_f64(h.sum()));
+            let _ = writeln!(body, "{base}_count{labels} {}", h.count());
+            series.push((name.clone(), "histogram", body));
+        }
+        series.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut out = String::new();
+        let mut last_base = String::new();
+        for (name, kind, body) in series {
+            let (base, _) = split_labels(&name);
+            if base != last_base {
+                let _ = writeln!(out, "# TYPE {base} {kind}");
+                last_base = base.to_string();
+            }
+            out.push_str(&body);
+        }
+        out
+    }
+}
+
+/// The process-global registry every instrumented crate reports into.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Builds a labelled series name: `labeled("x_total", &[("tenant", "a")])`
+/// is `x_total{tenant="a"}`. Labels are emitted in the order given; pass
+/// them sorted for cross-site determinism.
+pub fn labeled(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let mut out = String::with_capacity(name.len() + 16 * labels.len());
+    out.push_str(name);
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{v}\"");
+    }
+    out.push('}');
+    out
+}
+
+/// Removes every exposition line that belongs to a timing series (base
+/// name ending in `_seconds`, including its `_bucket`/`_sum`/`_count`
+/// derived lines and `# TYPE` header). What remains is the deterministic
+/// subset: byte-identical across identical seeded runs.
+pub fn strip_timing_lines(dump: &str) -> String {
+    dump.lines()
+        .filter(|line| {
+            let name = match line.strip_prefix("# TYPE ") {
+                Some(rest) => rest.split_whitespace().next().unwrap_or(""),
+                None => {
+                    let tok = line.split([' ', '{']).next().unwrap_or("");
+                    tok.trim_end_matches("_bucket")
+                        .trim_end_matches("_sum")
+                        .trim_end_matches("_count")
+                }
+            };
+            !name.ends_with("_seconds")
+        })
+        .map(|l| format!("{l}\n"))
+        .collect()
+}
+
+/// Splits `name{labels}` into `(name, "{labels}")` (labels may be empty).
+fn split_labels(name: &str) -> (&str, &str) {
+    match name.find('{') {
+        Some(i) => (&name[..i], &name[i..]),
+        None => (name, ""),
+    }
+}
+
+/// Appends `extra="value"` to a (possibly empty) `{...}` label suffix.
+fn merge_label(labels: &str, key: &str, value: &str) -> String {
+    if labels.is_empty() {
+        format!("{{{key}=\"{value}\"}}")
+    } else {
+        format!("{},{key}=\"{value}\"}}", &labels[..labels.len() - 1])
+    }
+}
+
+/// Formats an `f64` with enough precision to round-trip, without
+/// locale or platform variance (`Display` for `f64` is the shortest
+/// round-trip form on every Rust target).
+fn format_f64(v: f64) -> String {
+    if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Caches a counter handle per call site: `counter!("syno_x_total")`.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::metrics::Counter>> =
+            ::std::sync::OnceLock::new();
+        ::std::sync::Arc::as_ref(
+            HANDLE.get_or_init(|| $crate::metrics::global().counter($name)),
+        )
+    }};
+}
+
+/// Caches a gauge handle per call site: `gauge!("syno_x_depth")`.
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::metrics::Gauge>> =
+            ::std::sync::OnceLock::new();
+        ::std::sync::Arc::as_ref(HANDLE.get_or_init(|| $crate::metrics::global().gauge($name)))
+    }};
+}
+
+/// Caches a timing histogram handle per call site, registered with the
+/// default duration buckets: `histogram!("syno_x_seconds")`.
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::metrics::Histogram>> =
+            ::std::sync::OnceLock::new();
+        ::std::sync::Arc::as_ref(HANDLE.get_or_init(|| {
+            $crate::metrics::global().histogram($name, &$crate::metrics::DURATION_BUCKETS)
+        }))
+    }};
+}
+
+/// Serialises tests (and test binaries) that mutate the process-global
+/// telemetry state. Recovering from a poisoned lock is fine here: the
+/// state is reset at the start of every critical section anyway.
+#[doc(hidden)]
+pub fn test_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|poison| poison.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_respect_the_enable_flag() {
+        let _guard = test_lock();
+        let reg = Registry::new();
+        let c = reg.counter("syno_test_total");
+        let g = reg.gauge("syno_test_depth");
+        crate::set_enabled(false);
+        c.inc();
+        g.set(5);
+        assert_eq!(c.get(), 0, "disabled counter is a no-op");
+        assert_eq!(g.get(), 0, "disabled gauge is a no-op");
+        crate::set_enabled(true);
+        c.inc();
+        c.add(2);
+        g.set(5);
+        g.sub(2);
+        crate::set_enabled(false);
+        assert_eq!(c.get(), 3);
+        assert_eq!(g.get(), 3);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_sum_accumulates() {
+        let _guard = test_lock();
+        crate::set_enabled(true);
+        let reg = Registry::new();
+        let h = reg.histogram("syno_test_seconds", &[0.001, 0.01, 0.1]);
+        for v in [0.0005, 0.005, 0.005, 0.05, 5.0] {
+            h.observe(v);
+        }
+        crate::set_enabled(false);
+        assert_eq!(h.count(), 5);
+        assert!((h.sum() - 5.0605).abs() < 1e-12);
+        let dump = reg.render();
+        assert!(dump.contains("syno_test_seconds_bucket{le=\"0.001\"} 1"));
+        assert!(dump.contains("syno_test_seconds_bucket{le=\"0.01\"} 3"));
+        assert!(dump.contains("syno_test_seconds_bucket{le=\"0.1\"} 4"));
+        assert!(dump.contains("syno_test_seconds_bucket{le=\"+Inf\"} 5"));
+        assert!(dump.contains("syno_test_seconds_count 5"));
+    }
+
+    #[test]
+    fn render_is_sorted_and_groups_labelled_series() {
+        let _guard = test_lock();
+        crate::set_enabled(true);
+        let reg = Registry::new();
+        reg.counter("syno_b_total").inc();
+        reg.counter("syno_a_total").add(2);
+        reg.counter(&labeled("syno_c_total", &[("worker", "1")])).inc();
+        reg.counter(&labeled("syno_c_total", &[("worker", "0")])).inc();
+        crate::set_enabled(false);
+        let dump = reg.render();
+        let expected = "\
+# TYPE syno_a_total counter
+syno_a_total 2
+# TYPE syno_b_total counter
+syno_b_total 1
+# TYPE syno_c_total counter
+syno_c_total{worker=\"0\"} 1
+syno_c_total{worker=\"1\"} 1
+";
+        assert_eq!(dump, expected, "dump is sorted and TYPE lines deduped");
+    }
+
+    #[test]
+    fn reset_zeroes_values_but_keeps_registrations() {
+        let _guard = test_lock();
+        crate::set_enabled(true);
+        let reg = Registry::new();
+        let c = reg.counter("syno_r_total");
+        c.add(7);
+        reg.reset();
+        assert_eq!(c.get(), 0, "cached handle sees the reset");
+        assert!(reg.render().contains("syno_r_total 0"), "registration survives");
+        crate::set_enabled(false);
+    }
+
+    #[test]
+    fn strip_timing_lines_removes_only_timing_series() {
+        let dump = "\
+# TYPE syno_a_total counter
+syno_a_total 2
+# TYPE syno_b_seconds histogram
+syno_b_seconds_bucket{le=\"+Inf\"} 5
+syno_b_seconds_sum 1.25
+syno_b_seconds_count 5
+# TYPE syno_c_depth gauge
+syno_c_depth 0
+";
+        let stripped = strip_timing_lines(dump);
+        assert_eq!(
+            stripped,
+            "# TYPE syno_a_total counter\nsyno_a_total 2\n# TYPE syno_c_depth gauge\nsyno_c_depth 0\n"
+        );
+    }
+
+    #[test]
+    fn identical_sequences_render_identical_dumps() {
+        let _guard = test_lock();
+        crate::set_enabled(true);
+        let run = || {
+            let reg = Registry::new();
+            reg.counter("syno_x_total").add(3);
+            reg.gauge("syno_x_depth").set(2);
+            reg.histogram("syno_x_items", &[1.0, 10.0]).observe(4.0);
+            reg.render()
+        };
+        assert_eq!(run(), run(), "render is byte-stable for identical values");
+        crate::set_enabled(false);
+    }
+}

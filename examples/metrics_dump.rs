@@ -1,0 +1,82 @@
+//! Telemetry tour: run a small search with tracing + metrics enabled,
+//! then inspect everything the `syno-telemetry` crate collected —
+//!
+//! * the **metrics registry** rendered as Prometheus exposition text
+//!   (counters/gauges/histograms named `syno_<crate>_<name>`);
+//! * the **span log** drained from the per-thread ring buffers, both as
+//!   a flamegraph-style nesting summary and round-tripped through the
+//!   versioned binary trace codec;
+//! * the **per-phase wall breakdown** the search report carries.
+//!
+//! Telemetry is strictly out-of-band: the same run with it disabled
+//! discovers the bit-identical candidate set, and every instrument
+//! degrades to one relaxed atomic load when off.
+//!
+//! Run with: `cargo run --example metrics_dump`
+
+use syno::nn::{ProxyConfig, TrainConfig};
+use syno::telemetry::{metrics, trace};
+use syno::Session;
+
+fn main() {
+    // Everything below records only while the global switch is on.
+    syno::telemetry::set_enabled(true);
+
+    let session = Session::builder()
+        .primary("N", 4)
+        .primary("Cin", 3)
+        .primary("Cout", 4)
+        .primary("W", 8)
+        .coefficient("k", 3)
+        .devices(vec![syno::compiler::Device::mobile_cpu()])
+        .proxy(ProxyConfig {
+            train: TrainConfig {
+                steps: 4,
+                batch: 4,
+                eval_batches: 1,
+                ..TrainConfig::default()
+            },
+            ..ProxyConfig::default()
+        })
+        .build()
+        .expect("session builds");
+    let spec = session
+        .spec(&["N", "Cin", "W", "W"], &["N", "Cout", "W", "W"])
+        .expect("spec builds");
+    let report = session
+        .scenario("conv", &spec)
+        .max_steps(40)
+        .start()
+        .expect("search starts")
+        .join()
+        .expect("search finishes");
+
+    // 1. The report's own phase split (also served live by `syno-serve`'s
+    //    status frames while a session runs).
+    println!(
+        "search finished: {} candidates in {:.1?}",
+        report.candidates.len(),
+        report.wall
+    );
+    println!("phases: {}\n", report.phases);
+
+    // 2. The span log: drain every thread's ring buffer, summarize the
+    //    nesting, and show the versioned codec round-trip the daemon and
+    //    CI artifacts use.
+    let spans = trace::drain();
+    println!("{}", trace::flame_summary(&spans));
+    let encoded = trace::encode_trace(&spans);
+    let decoded = trace::decode_trace(&encoded).expect("trace codec round-trips");
+    println!(
+        "trace codec: {} spans -> {} bytes -> {} spans (format v{})\n",
+        spans.len(),
+        encoded.len(),
+        decoded.len(),
+        trace::TRACE_FORMAT_VERSION
+    );
+
+    // 3. The metrics registry, rendered as deterministic (sorted)
+    //    Prometheus exposition text. `*_seconds` series carry timings and
+    //    therefore vary run to run; everything else is reproducible.
+    print!("{}", metrics::global().render());
+}

@@ -11,6 +11,10 @@ use syno::tensor::Tensor;
 use syno::{SearchEvent, Session};
 
 fn main() {
+    // 0. Turn on telemetry (off by default, near-zero cost either way):
+    //    search runs then split their wall clock by phase in the report.
+    syno::telemetry::set_enabled(true);
+
     // 1. Declare symbolic shapes with one concrete valuation, and attach a
     //    persistent candidate store: search evaluations journal there and
     //    are recalled across runs (delete the directory to start cold).
@@ -87,7 +91,7 @@ fn main() {
             _ => {}
         }
     }
-    run.join().expect("search finishes");
+    let report = run.join().expect("search finishes");
     let stats = session.store_stats().expect("store attached");
     println!(
         "search: {fresh} evaluated, {recalled} recalled from {} \
@@ -96,4 +100,7 @@ fn main() {
         stats.candidates,
         stats.cache_hits,
     );
+    // Telemetry (step 0) splits the report's wall clock by phase: tree
+    // search vs proxy training vs store traffic vs latency tuning.
+    println!("phases: {} (wall {:.1?})", report.phases, report.wall);
 }

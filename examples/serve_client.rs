@@ -16,6 +16,10 @@ use syno::store::StoreBuilder;
 use syno::{SearchRequest, ServeConfig, SessionMessage, SynoClient};
 
 fn main() {
+    // 0. Telemetry on: the daemon's metrics registry fills as sessions
+    //    run, and `SynoClient::metrics()` dumps it over the wire.
+    syno::telemetry::set_enabled(true);
+
     // 1. The operator spec a tenant wants searched: a conv-like
     //    [N, Cin, H, W] -> [N, Cout, H, W] space. On the wire it travels
     //    as `encode_spec` bytes — variable table included — so the daemon
@@ -127,7 +131,15 @@ fn main() {
         );
     }
 
-    // 6. Graceful shutdown: live sessions (none here) would be cancelled,
+    // 6. The live metrics dump (step 0): per-tenant session counters,
+    //    search counters, frame codec timings — Prometheus exposition
+    //    text, the same payload `syno-serve --metrics ADDR` prints.
+    let dump = client.metrics().expect("metrics round-trip");
+    for line in dump.lines().filter(|l| !l.starts_with('#')).take(6) {
+        println!("metric: {line}");
+    }
+
+    // 7. Graceful shutdown: live sessions (none here) would be cancelled,
     //    checkpointed to the store, and answered before the daemon's
     //    terminal `ShuttingDown` frame.
     let checkpointed = client.shutdown().expect("daemon acknowledges shutdown");

@@ -35,6 +35,7 @@
 //! | [`store`] | persistent content-addressed candidate store: cross-run dedup, evaluation caching, checkpoint/resume |
 //! | [`serve`] | the `syno-serve` daemon: wire protocol, multi-tenant session manager, shared eval pool over one warm store |
 //! | [`models`] | backbone layer tables, NAS-PTE baselines, Operators 1 & 2 (§9) |
+//! | [`telemetry`] | dependency-free observability: tracing spans, metrics registry, Prometheus-style dumps |
 //!
 //! See `examples/quickstart.rs` for a five-minute tour and DESIGN.md for
 //! the API reference.
@@ -47,6 +48,7 @@ pub use syno_nn as nn;
 pub use syno_search as search;
 pub use syno_serve as serve;
 pub use syno_store as store;
+pub use syno_telemetry as telemetry;
 pub use syno_tensor as tensor;
 
 mod session;
@@ -55,8 +57,8 @@ pub use session::{Session, SessionBuilder};
 pub use syno_core::error::{SynoError, SynthError};
 pub use syno_nn::ProxyFamilyId;
 pub use syno_search::{
-    Budget, CancelToken, Candidate, SearchBuilder, SearchEvent, SearchReport, SearchRun,
-    StopReason,
+    Budget, CancelToken, Candidate, PhaseWall, SearchBuilder, SearchEvent, SearchReport,
+    SearchRun, StopReason,
 };
 pub use syno_serve::{SearchRequest, ServeConfig, SessionMessage, SynoClient};
 pub use syno_store::{Checkpoint, Store, StoreBuilder, StoreError, StoreStats};
