@@ -33,10 +33,20 @@
 //! reference engine, plus the kernel-interpreter comparison. The two
 //! engines must produce bit-identical scores; `determinism` (and `full`)
 //! exit nonzero when they do not.
+//!
+//! Every mode also runs the `proxy_parallel` section — data-parallel
+//! train-step throughput at `exec_threads` 1/2/4 under the pinned
+//! reduction width, against the PR 5 serial engine — plus the
+//! exec-thread invariance probe: the same search at 1/2/4 exec threads
+//! must discover bit-identical candidate sets. The asserting modes exit
+//! nonzero when a thread count moves a score bit or a candidate set.
 
-use syno_bench::proxy_train::{proxy_train_data, ProxyTrainData};
+use syno_bench::proxy_train::{
+    proxy_parallel_data, proxy_train_data, ProxyParallelData, ProxyTrainData,
+};
 use syno_bench::search_pipeline::{
-    search_pipeline_data, PhaseSample, SearchPipelineData, TelemetryData,
+    exec_thread_invariance, search_pipeline_data, ExecInvarianceData, PhaseSample,
+    SearchPipelineData, TelemetryData,
 };
 use syno_bench::serve_bench::{serve_data, ServeData, ServeSample};
 
@@ -70,6 +80,39 @@ fn proxy_train_json(data: &ProxyTrainData) -> String {
         data.kernel_compiled_secs,
         data.kernel_reference_secs,
         data.kernel_speedup,
+    )
+}
+
+fn proxy_parallel_json(data: &ProxyParallelData, invariance: &ExecInvarianceData) -> String {
+    let threads: Vec<String> = data
+        .threads
+        .iter()
+        .map(|t| {
+            format!(
+                concat!(
+                    "{{ \"exec_threads\": {}, \"wall_secs\": {:.4}, ",
+                    "\"steps_per_sec\": {:.4}, \"speedup_vs_serial\": {:.4} }}"
+                ),
+                t.exec_threads, t.engine.wall_secs, t.engine.steps_per_sec, t.speedup_vs_serial,
+            )
+        })
+        .collect();
+    format!(
+        concat!(
+            ",\n  \"proxy_parallel\": {{ ",
+            "\"spec\": \"conv student [N=8, Cin=3, Cout=4, H=W=8, k=3], batch 8\", ",
+            "\"steps\": {}, \"available_parallelism\": {}, ",
+            "\"serial\": {{ \"wall_secs\": {:.4}, \"steps_per_sec\": {:.4} }}, ",
+            "\"threads\": [{}], ",
+            "\"scores_invariant\": {}, \"candidate_sets_identical\": {} }}"
+        ),
+        data.steps,
+        data.available_parallelism,
+        data.serial.wall_secs,
+        data.serial.steps_per_sec,
+        threads.join(", "),
+        data.scores_invariant,
+        invariance.identical_candidate_sets,
     )
 }
 
@@ -134,6 +177,8 @@ fn telemetry_json(data: &TelemetryData) -> String {
 fn to_json(
     data: &SearchPipelineData,
     proxy: &ProxyTrainData,
+    parallel: &ProxyParallelData,
+    invariance: &ExecInvarianceData,
     serve: Option<&ServeData>,
 ) -> String {
     let mut out = format!(
@@ -193,6 +238,7 @@ fn to_json(
         out.push_str(&telemetry_json(telemetry));
     }
     out.push_str(&proxy_train_json(proxy));
+    out.push_str(&proxy_parallel_json(parallel, invariance));
     out.push_str("\n}\n");
     out
 }
@@ -238,6 +284,13 @@ fn main() {
          {kernel_iters} kernel executions ..."
     );
     let proxy = proxy_train_data(train_steps, kernel_iters);
+    eprintln!(
+        "proxy_parallel bench: {train_steps} train steps at exec_threads 1/2/4 \
+         (pinned reduce width) vs the serial engine ..."
+    );
+    let parallel = proxy_parallel_data(train_steps);
+    eprintln!("exec-thread invariance: {iterations} iterations at exec_threads 1/2/4 ...");
+    let invariance = exec_thread_invariance(iterations, proxy_steps);
     let serve = if with_serve {
         eprintln!(
             "serve bench: {iterations} iterations/session, daemon fan-out at 1/2/4 \
@@ -329,6 +382,22 @@ fn main() {
         proxy.kernel_speedup,
     );
 
+    println!(
+        "proxy_parallel: serial {:.2} steps/sec on {} hardware thread(s)",
+        parallel.serial.steps_per_sec, parallel.available_parallelism
+    );
+    for t in &parallel.threads {
+        println!(
+            "  exec_threads({}): {:.2} steps/sec ({:.2}x vs serial)",
+            t.exec_threads, t.engine.steps_per_sec, t.speedup_vs_serial
+        );
+    }
+    println!(
+        "  scores invariant across thread counts: {}; candidate sets identical \
+         at exec_threads 1/2/4: {}",
+        parallel.scores_invariant, invariance.identical_candidate_sets
+    );
+
     if asserting {
         assert!(
             proxy.scores_identical,
@@ -358,6 +427,16 @@ fn main() {
                  changed the discovered candidate set"
             );
         }
+        assert!(
+            parallel.scores_invariant,
+            "thread-invariance contract violated: exec_threads moved a proxy \
+             score bit at fixed reduce_width"
+        );
+        assert!(
+            invariance.identical_candidate_sets,
+            "thread-invariance contract violated: candidate sets differ \
+             across exec_threads 1/2/4 at fixed reduce_width"
+        );
         eprintln!("determinism contracts hold");
     }
 
@@ -376,7 +455,7 @@ fn main() {
     }
 
     if write_json {
-        let json = to_json(&data, &proxy, serve.as_ref());
+        let json = to_json(&data, &proxy, &parallel, &invariance, serve.as_ref());
         std::fs::write(&out, &json).expect("write bench json");
         eprintln!("wrote {out}");
     }

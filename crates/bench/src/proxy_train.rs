@@ -27,7 +27,7 @@ use syno_nn::{
     accuracy_on, train_step_on, GlobalAvgPool, LinearLayer, Model, OperatorLayer, ReluLayer, Sgd,
     TrainConfig, VisionTask,
 };
-use syno_tensor::{init, Tape};
+use syno_tensor::{init, ExecPolicy, Tape};
 
 /// One engine's timing.
 #[derive(Clone, Copy, Debug)]
@@ -63,6 +63,41 @@ pub struct ProxyTrainData {
     pub kernel_speedup: f64,
     /// Kernel executions timed per engine.
     pub kernel_iters: usize,
+}
+
+/// One exec-thread level of the `proxy_parallel` section.
+#[derive(Clone, Copy, Debug)]
+pub struct ParallelSample {
+    /// `ExecPolicy::exec_threads` for this run (pinned reduce width).
+    pub exec_threads: usize,
+    /// The timing and final score bits.
+    pub engine: EngineSample,
+    /// Train-step throughput over the PR 5 serial engine.
+    pub speedup_vs_serial: f64,
+}
+
+/// The `proxy_parallel` section: data-parallel train-step throughput at
+/// 1/2/4 exec threads under the pinned reduction width, against the PR 5
+/// serial engine (one thread, serial left-to-right accumulation).
+///
+/// The value contract rides along: `scores_invariant` is `true` iff every
+/// thread level landed on bit-identical final scores — `exec_threads`
+/// must never move a bit at fixed `reduce_width`. (The serial baseline
+/// runs at width 1 and is *expected* to differ in low bits; it anchors
+/// the throughput comparison, not the invariance check.)
+#[derive(Clone, Debug)]
+pub struct ProxyParallelData {
+    /// Train steps per run.
+    pub steps: usize,
+    /// `ExecPolicy::serial()` — the exact PR 5 engine.
+    pub serial: EngineSample,
+    /// One entry per exec-thread level (1, 2, 4), pinned width.
+    pub threads: Vec<ParallelSample>,
+    /// Whether all thread levels produced bit-identical scores.
+    pub scores_invariant: bool,
+    /// Hardware threads the measurement ran on — speedups near 1.0 are
+    /// expected when this is 1 regardless of `exec_threads`.
+    pub available_parallelism: usize,
 }
 
 fn conv_graph() -> syno_core::graph::PGraph {
@@ -191,6 +226,42 @@ pub fn proxy_train_data(steps: usize, kernel_iters: usize) -> ProxyTrainData {
     }
 }
 
+/// Measures the data-parallel engine at `exec_threads` ∈ {1, 2, 4} under
+/// the pinned reduction width, plus the PR 5 serial baseline.
+pub fn proxy_parallel_data(steps: usize) -> ProxyParallelData {
+    let serial = timed_train(&mut Tape::with_policy(ExecPolicy::serial()), steps);
+    let threads: Vec<ParallelSample> = [1usize, 2, 4]
+        .into_iter()
+        .map(|exec_threads| {
+            let engine = timed_train(
+                &mut Tape::with_policy(ExecPolicy::with_threads(exec_threads)),
+                steps,
+            );
+            ParallelSample {
+                exec_threads,
+                engine,
+                speedup_vs_serial: if engine.wall_secs > 0.0 {
+                    serial.wall_secs / engine.wall_secs
+                } else {
+                    0.0
+                },
+            }
+        })
+        .collect();
+    let scores_invariant = threads
+        .iter()
+        .all(|t| t.engine.score_bits == threads[0].engine.score_bits);
+    ProxyParallelData {
+        steps,
+        serial,
+        threads,
+        scores_invariant,
+        available_parallelism: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -201,5 +272,13 @@ mod tests {
         assert!(data.scores_identical, "engines diverged");
         assert!(data.compiled.steps_per_sec > 0.0);
         assert!(data.reference.steps_per_sec > 0.0);
+    }
+
+    #[test]
+    fn exec_threads_never_move_a_score_bit() {
+        let data = proxy_parallel_data(3);
+        assert!(data.scores_invariant, "thread count moved a score bit");
+        assert_eq!(data.threads.len(), 3);
+        assert!(data.threads.iter().all(|t| t.engine.steps_per_sec > 0.0));
     }
 }

@@ -22,7 +22,7 @@ use syno_core::size::Size;
 use syno_core::spec::{OperatorSpec, TensorShape};
 use syno_core::var::{VarKind, VarTable};
 use syno_nn::{ProxyConfig, TrainConfig};
-use syno_search::{MctsConfig, SearchBuilder, SearchEvent};
+use syno_search::{ExecPolicy, MctsConfig, SearchBuilder, SearchEvent};
 use syno_store::StoreBuilder;
 
 /// One timed pipeline configuration.
@@ -111,6 +111,54 @@ pub struct TelemetryData {
     /// Per-phase splits at `eval_workers` 1 and n (empty when the
     /// breakdown was not requested).
     pub phase_breakdown: Vec<PhaseSample>,
+}
+
+/// The exec-thread invariance section: the same search run under
+/// data-parallel execution policies with 1, 2, and 4 worker threads (at
+/// the pinned reduction width) must discover **bit-identical** candidate
+/// sets — `exec_threads` shards loops without ever moving a score bit,
+/// so the deterministic-search contract survives data parallelism.
+#[derive(Clone, Debug)]
+pub struct ExecInvarianceData {
+    /// The thread levels compared.
+    pub exec_threads: Vec<usize>,
+    /// Whether every level discovered the same `(content hash, accuracy
+    /// bits)` set.
+    pub identical_candidate_sets: bool,
+}
+
+/// Runs the bench scenario once per exec-thread level and diffs the
+/// scored candidate sets bit-for-bit.
+pub fn exec_thread_invariance(iterations: usize, proxy_steps: usize) -> ExecInvarianceData {
+    let (vars, spec) = bench_scenario();
+    let exec_threads = vec![1usize, 2, 4];
+    let sets: Vec<Vec<(u64, u64)>> = exec_threads
+        .iter()
+        .map(|&threads| {
+            let report = SearchBuilder::new()
+                .scenario("bench-conv", &vars, &spec)
+                .mcts(MctsConfig {
+                    iterations,
+                    seed: 7,
+                    ..MctsConfig::default()
+                })
+                .proxy(bench_proxy(proxy_steps))
+                .exec_policy(ExecPolicy::with_threads(threads))
+                .run()
+                .expect("exec-invariance bench runs");
+            let mut ids: Vec<(u64, u64)> = report
+                .candidates
+                .iter()
+                .map(|c| (c.graph.content_hash(), c.accuracy.to_bits()))
+                .collect();
+            ids.sort_unstable();
+            ids
+        })
+        .collect();
+    ExecInvarianceData {
+        exec_threads,
+        identical_candidate_sets: sets.iter().all(|s| s == &sets[0]),
+    }
 }
 
 /// The serial-versus-pipelined comparison on the bench spec.

@@ -67,12 +67,17 @@ use std::sync::Arc;
 ///   unchanged, so version-1 values still decode
 ///   (see [`MIN_FORMAT_VERSION`]) and untagged legacy scores are read as
 ///   vision scores (historically always true).
-pub const FORMAT_VERSION: u32 = 2;
+/// * **3** — proxy scores additionally carry the `reduce_width` of the
+///   execution policy that produced them (the deterministic
+///   reduction-tree width is part of the FP summation order, hence of the
+///   score's value contract); width-less legacy scores decode as width 1
+///   (serial accumulation, which is what produced them).
+pub const FORMAT_VERSION: u32 = 3;
 
-/// Oldest format version this build still decodes. Versions 1 and 2 share
-/// the graph/spec wire layout, so journals written before the family tag
-/// stay readable; anything older than this (or newer than
-/// [`FORMAT_VERSION`]) is rejected loudly.
+/// Oldest format version this build still decodes. Versions 1 through 3
+/// share the graph/spec wire layout, so journals written before the
+/// family tag or the reduce-width field stay readable; anything older
+/// than this (or newer than [`FORMAT_VERSION`]) is rejected loudly.
 pub const MIN_FORMAT_VERSION: u32 = 1;
 
 /// Shared header check for decoders.

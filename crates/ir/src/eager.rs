@@ -101,9 +101,19 @@ pub struct TensorExecutor {
 }
 
 impl TensorExecutor {
-    /// Creates an empty executor.
+    /// Creates an empty executor under the default (pinned) execution
+    /// policy.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty executor whose einsums run under `policy` (thread
+    /// count and deterministic reduction-tree width).
+    pub fn with_policy(policy: syno_tensor::ExecPolicy) -> Self {
+        TensorExecutor {
+            engine: syno_tensor::EinsumEngine::with_policy(policy),
+            ..Self::default()
+        }
     }
 
     /// Registers a tensor, returning its handle.

@@ -20,6 +20,26 @@
 //!   **hoisted**: they are checked once per output element, skipping the
 //!   entire reduction nest (which would have contributed zero anyway).
 //!
+//! Two further passes run at compile (record) time:
+//!
+//! * **View fusion** — a stage that is a pure view (single operand, no
+//!   reduction, no guards) read by exactly one consumer is *fused into* that
+//!   consumer: the consumer's operand access composes the view's index
+//!   expressions directly (binding the view's loop atoms to the consumer's
+//!   index registers), and the view's buffer is never materialized. Fusion
+//!   chains through stacked views. The elided buffer's bounds survive as
+//!   explicit checks: the consumer-level bounds still *clip* the term (as
+//!   reading the buffer out of range did), while deeper bounds *zero* the
+//!   factor (the elided buffer stored `0.0` there) — preserving bit
+//!   identity including signed-zero behavior.
+//! * **Innermost specialization** — when every operand's index registers
+//!   are affine in the innermost loop counter and every relevant guard is
+//!   invariant to it (decided by a compile-time slope analysis), the
+//!   innermost loop runs as a tight constant-stride loop: bounds are checked
+//!   once at the run's endpoints and the register file is bypassed
+//!   entirely. Runs that straddle a clip boundary fall back to the general
+//!   per-iteration body, so order — and therefore every bit — is preserved.
+//!
 //! Iteration order — and therefore FP summation order — is identical to the
 //! reference interpreter, so compiled and interpreted execution are
 //! **bit-identical**; the differential test suite pins this. A stage whose
@@ -69,11 +89,27 @@ struct AxisRef {
     stride: usize,
 }
 
+/// Bounds of elided view buffers along a fusion chain.
+#[derive(Clone, Debug)]
+struct FusedAccess {
+    /// Consumer-level bounds against the first elided buffer: `(reg, dim)`.
+    /// Poison/out-of-range **clips** the term, exactly as reading the
+    /// materialized buffer out of range did.
+    outer: Vec<(usize, i64)>,
+    /// Bounds against deeper elided buffers. Poison/out-of-range **zeroes**
+    /// the factor — the elided buffer stored `0.0` at such points.
+    mid: Vec<(usize, i64)>,
+}
+
 /// A compiled operand: its data source plus per-axis access program.
 #[derive(Clone, Debug)]
 struct OperandAccess {
     source: OperandRef,
     axes: Vec<AxisRef>,
+    /// `Some` when this operand reads through one or more fused (elided)
+    /// view stages; `axes` then index the chain's ultimate source, and an
+    /// `axes` bounds failure zeroes the factor instead of clipping.
+    fused: Option<FusedAccess>,
 }
 
 /// The compiled program for one [`Stage`].
@@ -99,6 +135,54 @@ struct StageProgram {
     /// Guard registers that bind reduction loops — checked per reduction
     /// point, as the interpreter does.
     reduce_guards: Vec<usize>,
+    /// Innermost-loop specialization, when the slope analysis admits one.
+    spec: Option<SpecInfo>,
+}
+
+/// Per-operand data for the innermost tight loop.
+#[derive(Clone, Debug)]
+struct OpSpec {
+    /// Flat-offset advance per innermost tick: Σ axis-slope × stride.
+    step: i64,
+    /// d(axis register)/d(innermost counter), one per operand axis — used
+    /// for the endpoint bounds check.
+    axis_slopes: Vec<i64>,
+    /// Slopes of the fused consumer-level bound registers.
+    outer_slopes: Vec<i64>,
+    /// Slopes of the fused deeper bound registers.
+    mid_slopes: Vec<i64>,
+}
+
+/// An `Unfold` whose value moves with the innermost counter: its clip (and
+/// thus every poison flag downstream of it) is only run-invariant when the
+/// value stays inside `[0, extent)` across the whole run — checked at the
+/// endpoints before any other classification.
+#[derive(Clone, Copy, Debug)]
+struct UnfoldCheck {
+    reg: usize,
+    extent: i64,
+    slope: i64,
+}
+
+/// Compile-time proof that the innermost loop is dense affine: every
+/// operand axis register moves linearly with the innermost counter and all
+/// relevant guards' poison flags are invariant to it (conditional on the
+/// unfold endpoint checks passing).
+#[derive(Clone, Debug)]
+struct SpecInfo {
+    ops: Vec<OpSpec>,
+    unfold_checks: Vec<UnfoldCheck>,
+}
+
+/// How one innermost run executes, decided per run at its `t = 0` state.
+enum RunKind {
+    /// Every term is clipped (or guarded out): the run contributes nothing.
+    Skip,
+    /// All bounds hold across the whole run: tight constant-stride loop.
+    Tight,
+    /// Mixed (a clip boundary crosses the run, or a factor zeroes): fall
+    /// back to the general per-iteration body for this run only.
+    PerIter,
 }
 
 /// A kernel compiled for repeated execution.
@@ -111,6 +195,9 @@ pub struct CompiledKernel<'k> {
     /// `None` when some stage could not be compiled — execution falls back
     /// to the reference interpreter.
     stages: Option<Vec<StageProgram>>,
+    /// `elided[i]`: stage `i` was fused into its sole consumer and is never
+    /// materialized (a placeholder keeps the buffer indices aligned).
+    elided: Vec<bool>,
 }
 
 struct StageCompiler<'a> {
@@ -257,6 +344,119 @@ impl<'a> StageCompiler<'a> {
         Some(dst)
     }
 
+    /// Concrete shape of an operand source.
+    fn operand_dims(&self, source: OperandRef) -> Vec<usize> {
+        match source {
+            OperandRef::Input => self.kernel.input_shape.clone(),
+            OperandRef::Weight(w) => self.kernel.weight_shapes[w].clone(),
+            OperandRef::Buffer(b) => self.kernel.stages[b].shape(),
+        }
+    }
+
+    /// Compiles one operand access, fusing through view stages when legal.
+    fn compile_operand(
+        &mut self,
+        op: &crate::kernel::Operand,
+        fusible: &[bool],
+        fused_away: &mut [bool],
+    ) -> Option<OperandAccess> {
+        let regs: Vec<usize> = op
+            .indices
+            .iter()
+            .map(|&e| self.compile_expr(e))
+            .collect::<Option<_>>()?;
+        let dims = self.operand_dims(op.source);
+        if let OperandRef::Buffer(b) = op.source {
+            if fusible[b] {
+                if let Some(access) = self.try_fuse(b, &regs, &dims, fusible, fused_away) {
+                    return Some(access);
+                }
+            }
+        }
+        Some(OperandAccess {
+            source: op.source,
+            axes: direct_axes(&regs, &dims),
+            fused: None,
+        })
+    }
+
+    /// Attempts to fuse the read of view buffer `b`: compile the view's
+    /// index expressions with its loop atoms bound to the consumer's index
+    /// registers `regs`. On failure every side effect is rolled back and
+    /// the caller materializes the buffer as before.
+    fn try_fuse(
+        &mut self,
+        b: usize,
+        regs: &[usize],
+        dims: &[usize],
+        fusible: &[bool],
+        fused_away: &mut [bool],
+    ) -> Option<OperandAccess> {
+        let memo = self.expr_reg.clone();
+        let atoms = self.atom_reg.clone();
+        let emitted_len = self.emitted.len();
+        let reg_len = self.reg_level.len();
+        let mut mid = Vec::new();
+        let mut chain = Vec::new();
+        let kernel = self.kernel;
+        let result = (|| {
+            let mut buf = b;
+            let mut regs = regs.to_vec();
+            loop {
+                let view = &kernel.stages[buf];
+                if view.loops.len() != regs.len() {
+                    return None;
+                }
+                for (l, &r) in view.loops.iter().zip(&regs) {
+                    self.atom_reg.insert(l.atom.index(), r);
+                }
+                chain.push(buf);
+                let vop = &view.operands[0];
+                let vregs: Vec<usize> = vop
+                    .indices
+                    .iter()
+                    .map(|&e| self.compile_expr(e))
+                    .collect::<Option<_>>()?;
+                let vdims = self.operand_dims(vop.source);
+                if let OperandRef::Buffer(u) = vop.source {
+                    if fusible[u] {
+                        mid.extend(vregs.iter().zip(&vdims).map(|(&r, &d)| (r, d as i64)));
+                        buf = u;
+                        regs = vregs;
+                        continue;
+                    }
+                }
+                return Some((vop.source, direct_axes(&vregs, &vdims)));
+            }
+        })();
+        self.expr_reg = memo;
+        self.atom_reg = atoms;
+        match result {
+            Some((source, axes)) => {
+                for &s in &chain {
+                    fused_away[s] = true;
+                }
+                Some(OperandAccess {
+                    source,
+                    axes,
+                    fused: Some(FusedAccess {
+                        outer: regs
+                            .iter()
+                            .zip(dims)
+                            .map(|(&r, &d)| (r, d as i64))
+                            .collect(),
+                        mid,
+                    }),
+                })
+            }
+            None => {
+                self.emitted.truncate(emitted_len);
+                self.reg_level.truncate(reg_len);
+                None
+            }
+        }
+    }
+
     fn finish(self, stage: &Stage, operands: Vec<OperandAccess>, guards: Vec<usize>) -> StageProgram {
         let mut emitted = self.emitted;
         // Stable by level: children precede parents within a level because
@@ -273,7 +473,7 @@ impl<'a> StageCompiler<'a> {
         let (spatial_guards, reduce_guards) = guards
             .into_iter()
             .partition(|&reg| self.reg_level[reg] <= m);
-        StageProgram {
+        let mut program = StageProgram {
             spatial_dims: stage.loops.iter().map(|l| l.extent as usize).collect(),
             reduce_dims: stage.reduce.iter().map(|l| l.extent as usize).collect(),
             n_regs: self.reg_level.len(),
@@ -282,34 +482,138 @@ impl<'a> StageCompiler<'a> {
             operands,
             spatial_guards,
             reduce_guards,
-        }
+            spec: None,
+        };
+        program.spec = analyze_spec(&program);
+        program
     }
 }
 
+/// Zips index registers with source dims/strides into axis accesses.
+fn direct_axes(regs: &[usize], dims: &[usize]) -> Vec<AxisRef> {
+    let strides = Tensor::strides_of(dims);
+    regs.iter()
+        .zip(dims.iter().zip(&strides))
+        .map(|(&reg, (&dim, &stride))| AxisRef {
+            reg,
+            dim: dim as i64,
+            stride,
+        })
+        .collect()
+}
+
+/// Compile-time slope analysis: per register, `Some(s)` when its value is
+/// affine in the innermost loop counter with slope `s` (`None` = non-affine)
+/// plus whether its *poison flag* is invariant to that counter.
+fn analyze_spec(p: &StageProgram) -> Option<SpecInfo> {
+    let m = p.spatial_dims.len();
+    let k = p.reduce_dims.len();
+    let n_loops = m + k;
+    if n_loops == 0 {
+        return None;
+    }
+    let inner = n_loops - 1;
+    let mut slope: Vec<Option<i64>> = vec![Some(0); p.n_regs];
+    // `stable[r]`: the poison flag of `r` is run-invariant, *conditional on*
+    // every collected unfold endpoint check passing.
+    let mut stable = vec![true; p.n_regs];
+    let mut unfold_checks = Vec::new();
+    for (j, s) in slope.iter_mut().enumerate().take(n_loops) {
+        *s = Some(i64::from(j == inner));
+    }
+    // Instructions are in dependency order (children precede parents).
+    for instr in &p.instrs {
+        match *instr {
+            Instr::Affine { dst, lhs, rhs, block } => {
+                slope[dst] = match (slope[lhs], slope[rhs]) {
+                    (Some(a), Some(b)) => Some(block * a + b),
+                    _ => None,
+                };
+                stable[dst] = stable[lhs] && stable[rhs];
+            }
+            Instr::Div { dst, src, .. } | Instr::Mod { dst, src, .. } | Instr::Shift { dst, src, .. } => {
+                slope[dst] = (slope[src] == Some(0)).then_some(0);
+                stable[dst] = stable[src];
+            }
+            Instr::Mul { dst, src, factor } => {
+                slope[dst] = slope[src].map(|s| factor * s);
+                stable[dst] = stable[src];
+            }
+            Instr::Unfold { dst, base, window, extent, .. } => {
+                slope[dst] = match (slope[base], slope[window]) {
+                    (Some(a), Some(b)) => Some(a + b),
+                    _ => None,
+                };
+                stable[dst] = stable[base] && stable[window] && slope[dst].is_some();
+                // A moving clip window stays run-invariant only while the
+                // value holds inside [0, extent) — endpoint-checked per run.
+                if stable[dst] {
+                    if let Some(s) = slope[dst] {
+                        if s != 0 {
+                            unfold_checks.push(UnfoldCheck {
+                                reg: dst,
+                                extent,
+                                slope: s,
+                            });
+                        }
+                    }
+                }
+            }
+            Instr::Poison { dst } => {
+                slope[dst] = Some(0);
+                stable[dst] = true; // constantly poisoned
+            }
+        }
+    }
+    // Guards evaluated inside the innermost loop only contribute their
+    // poison flag, which must be run-invariant (given the checks).
+    let hot_guards = if k > 0 { &p.reduce_guards } else { &p.spatial_guards };
+    if !hot_guards.iter().all(|&g| stable[g]) {
+        return None;
+    }
+    let mut ops = Vec::with_capacity(p.operands.len());
+    for op in &p.operands {
+        let bound_slopes = |bounds: &[(usize, i64)]| -> Option<Vec<i64>> {
+            bounds
+                .iter()
+                .map(|&(r, _)| if stable[r] { slope[r] } else { None })
+                .collect()
+        };
+        let (outer_slopes, mid_slopes) = match &op.fused {
+            Some(f) => (bound_slopes(&f.outer)?, bound_slopes(&f.mid)?),
+            None => (Vec::new(), Vec::new()),
+        };
+        let mut step = 0i64;
+        let mut axis_slopes = Vec::with_capacity(op.axes.len());
+        for ax in &op.axes {
+            let s = slope[ax.reg]?;
+            if !stable[ax.reg] {
+                return None;
+            }
+            axis_slopes.push(s);
+            step += s * ax.stride as i64;
+        }
+        ops.push(OpSpec {
+            step,
+            axis_slopes,
+            outer_slopes,
+            mid_slopes,
+        });
+    }
+    Some(SpecInfo { ops, unfold_checks })
+}
+
 /// Compiles one stage; `None` requests interpreter fallback.
-fn compile_stage(kernel: &Kernel, stage: &Stage) -> Option<StageProgram> {
+fn compile_stage(
+    kernel: &Kernel,
+    stage: &Stage,
+    fusible: &[bool],
+    fused_away: &mut [bool],
+) -> Option<StageProgram> {
     let mut c = StageCompiler::new(kernel, stage);
     let mut operands = Vec::with_capacity(stage.operands.len());
     for op in &stage.operands {
-        let dims: Vec<usize> = match op.source {
-            OperandRef::Input => kernel.input_shape.clone(),
-            OperandRef::Weight(w) => kernel.weight_shapes[w].clone(),
-            OperandRef::Buffer(b) => kernel.stages[b].shape(),
-        };
-        let strides = Tensor::strides_of(&dims);
-        let mut axes = Vec::with_capacity(op.indices.len());
-        for (expr, (&dim, &stride)) in op.indices.iter().zip(dims.iter().zip(&strides)) {
-            let reg = c.compile_expr(*expr)?;
-            axes.push(AxisRef {
-                reg,
-                dim: dim as i64,
-                stride,
-            });
-        }
-        operands.push(OperandAccess {
-            source: op.source,
-            axes,
-        });
+        operands.push(c.compile_operand(op, fusible, fused_away)?);
     }
     let mut guards = Vec::with_capacity(stage.guards.len());
     for &g in &stage.guards {
@@ -318,13 +622,40 @@ fn compile_stage(kernel: &Kernel, stage: &Stage) -> Option<StageProgram> {
     Some(c.finish(stage, operands, guards))
 }
 
-/// Compiles every stage of `kernel`; `None` requests interpreter fallback.
-fn compile_kernel(kernel: &Kernel) -> Option<Vec<StageProgram>> {
-    kernel
+/// Compiles every stage of `kernel`, fusing single-consumer view stages into
+/// their consumers; `None` requests interpreter fallback. The second return
+/// marks stages elided by fusion.
+fn compile_kernel(kernel: &Kernel) -> Option<(Vec<StageProgram>, Vec<bool>)> {
+    let n = kernel.stages.len();
+    let mut consumers = vec![0usize; n];
+    for stage in &kernel.stages {
+        for op in &stage.operands {
+            if let OperandRef::Buffer(b) = op.source {
+                consumers[b] += 1;
+            }
+        }
+    }
+    // A fusion source must be a pure view (single operand, no reduction, no
+    // guards) with exactly one consumer — fusing a multi-consumer view would
+    // duplicate its index work per consumer.
+    let fusible: Vec<bool> = kernel
         .stages
         .iter()
-        .map(|stage| compile_stage(kernel, stage))
-        .collect()
+        .enumerate()
+        .map(|(i, s)| {
+            consumers[i] == 1
+                && s.reduce.is_empty()
+                && s.guards.is_empty()
+                && s.operands.len() == 1
+        })
+        .collect();
+    let mut fused_away = vec![false; n];
+    let programs = kernel
+        .stages
+        .iter()
+        .map(|stage| compile_stage(kernel, stage, &fusible, &mut fused_away))
+        .collect::<Option<Vec<_>>>()?;
+    Some((programs, fused_away))
 }
 
 /// Advances a little-endian-last odometer; returns the outermost changed
@@ -381,6 +712,185 @@ impl StageProgram {
         }
     }
 
+    /// One reduction term at the current register state: the product of all
+    /// operand reads, honoring clip (skip) and fused zero-clip semantics.
+    #[inline]
+    fn accumulate_term(&self, sources: &[&[f32]], regs: &[i64], poison: &[bool], acc: &mut f32) {
+        let mut product = 1.0f32;
+        let mut clipped = false;
+        'operands: for (op, data) in self.operands.iter().zip(sources) {
+            let mut zero = false;
+            if let Some(f) = &op.fused {
+                for &(r, dim) in &f.outer {
+                    let v = regs[r];
+                    if poison[r] || v < 0 || v >= dim {
+                        clipped = true;
+                        break 'operands;
+                    }
+                }
+                for &(r, dim) in &f.mid {
+                    let v = regs[r];
+                    if poison[r] || v < 0 || v >= dim {
+                        zero = true;
+                        break;
+                    }
+                }
+            }
+            let mut off = 0usize;
+            if !zero {
+                for ax in &op.axes {
+                    let v = regs[ax.reg];
+                    if poison[ax.reg] || v < 0 || v >= ax.dim {
+                        if op.fused.is_some() {
+                            // The elided view stored 0.0 at clipped points.
+                            zero = true;
+                            break;
+                        }
+                        clipped = true;
+                        break 'operands;
+                    }
+                    off += v as usize * ax.stride;
+                }
+            }
+            product *= if zero { 0.0 } else { data[off] };
+        }
+        if !clipped {
+            *acc += product;
+        }
+    }
+
+    /// Classifies one innermost run of `t_len` iterations at its `t = 0`
+    /// register state, filling `offs` with per-operand (base offset, step)
+    /// when the run is tight. `hot_guards` are the guards evaluated inside
+    /// the innermost loop (reduce guards, or spatial guards for pure maps).
+    fn classify_run(
+        &self,
+        spec: &SpecInfo,
+        hot_guards: &[usize],
+        regs: &[i64],
+        poison: &[bool],
+        t_len: i64,
+        offs: &mut Vec<(i64, i64)>,
+    ) -> RunKind {
+        // Moving unfold clips first: while an unfold value stays inside its
+        // window, every poison flag is run-invariant and the `t = 0` flags
+        // below can be trusted; once it crosses the boundary mid-run, only
+        // the general per-iteration body is faithful.
+        for c in &spec.unfold_checks {
+            let v0 = regs[c.reg];
+            let v_last = v0 + c.slope * (t_len - 1);
+            if v0 < 0 || v0 >= c.extent || v_last < 0 || v_last >= c.extent {
+                return RunKind::PerIter;
+            }
+        }
+        if hot_guards.iter().any(|&g| poison[g]) {
+            return RunKind::Skip;
+        }
+        offs.clear();
+        let mut per_iter = false;
+        let in_run = |reg: usize, s: i64, dim: i64| {
+            let v0 = regs[reg];
+            let v_last = v0 + s * (t_len - 1);
+            v0 >= 0 && v0 < dim && v_last >= 0 && v_last < dim
+        };
+        for (op, os) in self.operands.iter().zip(&spec.ops) {
+            let fused = op.fused.is_some();
+            if let Some(f) = &op.fused {
+                for (&(r, dim), &s) in f.outer.iter().zip(&os.outer_slopes) {
+                    if poison[r] {
+                        // Consumer-level clip, invariant over the run.
+                        return RunKind::Skip;
+                    }
+                    if !in_run(r, s, dim) {
+                        per_iter = true;
+                    }
+                }
+                for (&(r, dim), &s) in f.mid.iter().zip(&os.mid_slopes) {
+                    if poison[r] || !in_run(r, s, dim) {
+                        per_iter = true;
+                    }
+                }
+            }
+            let mut off = 0i64;
+            for (ax, &s) in op.axes.iter().zip(&os.axis_slopes) {
+                if poison[ax.reg] {
+                    if fused {
+                        per_iter = true;
+                        continue;
+                    }
+                    return RunKind::Skip;
+                }
+                if !in_run(ax.reg, s, ax.dim) {
+                    // A clip boundary crosses the run.
+                    per_iter = true;
+                    continue;
+                }
+                off += regs[ax.reg] * ax.stride as i64;
+            }
+            offs.push((off, os.step));
+        }
+        if per_iter {
+            RunKind::PerIter
+        } else {
+            RunKind::Tight
+        }
+    }
+
+    /// The tight innermost loop: accumulates `t_len` terms whose operand
+    /// offsets advance by a constant stride. `1.0 * x` and `x * y` match the
+    /// general body's product fold bit-for-bit.
+    #[inline]
+    fn tight_reduce(&self, sources: &[&[f32]], offs: &[(i64, i64)], t_len: i64, acc: &mut f32) {
+        match offs {
+            [(o0, s0)] => {
+                let d0 = sources[0];
+                for t in 0..t_len {
+                    *acc += d0[(o0 + t * s0) as usize];
+                }
+            }
+            [(o0, s0), (o1, s1)] => {
+                let (d0, d1) = (sources[0], sources[1]);
+                for t in 0..t_len {
+                    *acc += d0[(o0 + t * s0) as usize] * d1[(o1 + t * s1) as usize];
+                }
+            }
+            _ => {
+                for t in 0..t_len {
+                    let mut product = 1.0f32;
+                    for ((o, s), data) in offs.iter().zip(sources) {
+                        product *= data[(o + t * s) as usize];
+                    }
+                    *acc += product;
+                }
+            }
+        }
+    }
+
+    /// General per-iteration body for one innermost run (spec fallback for
+    /// runs that straddle a clip boundary). Restores the `t = 0` register
+    /// state on exit so subsequent runs see a consistent file.
+    fn per_iter_run(
+        &self,
+        regs: &mut [i64],
+        poison: &mut [bool],
+        inner_reg: usize,
+        inner_level: usize,
+        t_len: i64,
+        mut body: impl FnMut(&Self, &[i64], &[bool]),
+    ) {
+        for t in 0..t_len {
+            if t > 0 {
+                regs[inner_reg] = t;
+                self.run_instrs(self.first_at_level[inner_level], regs, poison);
+            }
+            body(self, regs, poison);
+        }
+        if t_len > 1 {
+            regs[inner_reg] = 0;
+            self.run_instrs(self.first_at_level[inner_level], regs, poison);
+        }
+    }
+
     /// Executes the stage into `out` (zeroed, of the stage's spatial size).
     fn execute(
         &self,
@@ -397,7 +907,23 @@ impl StageProgram {
             }
         };
         let sources: Vec<&[f32]> = self.operands.iter().map(|op| data_of(op.source)).collect();
+        match &self.spec {
+            Some(spec) if self.reduce_dims.last().copied().unwrap_or(0) > 1 => {
+                self.execute_spec_reduce(out, &sources, spec)
+            }
+            Some(spec)
+                if self.reduce_dims.is_empty()
+                    && self.spatial_dims.last().copied().unwrap_or(0) > 1 =>
+            {
+                self.execute_spec_map(out, &sources, spec)
+            }
+            _ => self.execute_general(out, &sources),
+        }
+    }
 
+    /// The fully general interpreter-order loop nest (also the dispatch
+    /// fallback when the innermost extent makes specialization pointless).
+    fn execute_general(&self, out: &mut [f32], sources: &[&[f32]]) {
         let m = self.spatial_dims.len();
         let k = self.reduce_dims.len();
         let spatial_total: usize = self.spatial_dims.iter().product::<usize>().max(1);
@@ -441,25 +967,144 @@ impl StageProgram {
                 if self.reduce_guards.iter().any(|&g| poison[g]) {
                     continue;
                 }
-                let mut product = 1.0f32;
-                let mut clipped = false;
-                'operands: for (op, data) in self.operands.iter().zip(&sources) {
-                    let mut off = 0usize;
-                    for ax in &op.axes {
-                        let v = regs[ax.reg];
-                        if poison[ax.reg] || v < 0 || v >= ax.dim {
-                            clipped = true;
-                            break 'operands;
-                        }
-                        off += v as usize * ax.stride;
-                    }
-                    product *= data[off];
+                self.accumulate_term(sources, &regs, &poison, &mut acc);
+            }
+            *slot = acc;
+        }
+    }
+
+    /// Specialized nest for stages with a reduction: the innermost reduction
+    /// loop runs tight when its run is clean. Bit-identical to
+    /// [`StageProgram::execute_general`] by construction.
+    fn execute_spec_reduce(&self, out: &mut [f32], sources: &[&[f32]], spec: &SpecInfo) {
+        let m = self.spatial_dims.len();
+        let k = self.reduce_dims.len();
+        let spatial_total: usize = self.spatial_dims.iter().product::<usize>().max(1);
+        let outer_dims = &self.reduce_dims[..k - 1];
+        let outer_total: usize = outer_dims.iter().product::<usize>().max(1);
+        let t_len = self.reduce_dims[k - 1] as i64;
+        let inner_reg = m + k - 1;
+        let inner_level = m + k;
+
+        let mut regs = vec![0i64; self.n_regs];
+        let mut poison = vec![false; self.n_regs];
+        let mut sidx = vec![0usize; m];
+        let mut ridx = vec![0usize; k - 1];
+        let mut offs: Vec<(i64, i64)> = Vec::with_capacity(self.operands.len());
+        self.run_instrs(0, &mut regs, &mut poison);
+
+        for (flat, slot) in out.iter_mut().enumerate().take(spatial_total) {
+            if flat > 0 {
+                let d = advance(&mut sidx, &self.spatial_dims);
+                for (j, &v) in sidx.iter().enumerate().skip(d) {
+                    regs[j] = v as i64;
                 }
-                if !clipped {
-                    acc += product;
+                for (j, r) in ridx.iter_mut().enumerate() {
+                    *r = 0;
+                    regs[m + j] = 0;
+                }
+                regs[inner_reg] = 0;
+                self.run_instrs(self.first_at_level[d + 1], &mut regs, &mut poison);
+            }
+            if self.spatial_guards.iter().any(|&g| poison[g]) {
+                *slot = 0.0;
+                continue;
+            }
+            let mut acc = 0.0f32;
+            for orflat in 0..outer_total {
+                if orflat > 0 {
+                    let d = advance(&mut ridx, outer_dims);
+                    for (j, &v) in ridx.iter().enumerate().skip(d) {
+                        regs[m + j] = v as i64;
+                    }
+                    // The innermost counter is pinned at 0 between runs.
+                    self.run_instrs(self.first_at_level[m + d + 1], &mut regs, &mut poison);
+                }
+                match self.classify_run(spec, &self.reduce_guards, &regs, &poison, t_len, &mut offs)
+                {
+                    RunKind::Skip => {}
+                    RunKind::Tight => self.tight_reduce(sources, &offs, t_len, &mut acc),
+                    RunKind::PerIter => self.per_iter_run(
+                        &mut regs,
+                        &mut poison,
+                        inner_reg,
+                        inner_level,
+                        t_len,
+                        |p, regs, poison| {
+                            if !p.reduce_guards.iter().any(|&g| poison[g]) {
+                                p.accumulate_term(sources, regs, poison, &mut acc);
+                            }
+                        },
+                    ),
                 }
             }
             *slot = acc;
+        }
+    }
+
+    /// Specialized nest for pure-map stages (no reduction): the innermost
+    /// spatial loop writes a contiguous run of output slots.
+    fn execute_spec_map(&self, out: &mut [f32], sources: &[&[f32]], spec: &SpecInfo) {
+        let m = self.spatial_dims.len();
+        let outer_dims = &self.spatial_dims[..m - 1];
+        let outer_total: usize = outer_dims.iter().product::<usize>().max(1);
+        let t_len = self.spatial_dims[m - 1] as i64;
+        let inner_reg = m - 1;
+        let inner_level = m;
+
+        let mut regs = vec![0i64; self.n_regs];
+        let mut poison = vec![false; self.n_regs];
+        let mut sidx = vec![0usize; m - 1];
+        let mut offs: Vec<(i64, i64)> = Vec::with_capacity(self.operands.len());
+        self.run_instrs(0, &mut regs, &mut poison);
+
+        for (run, chunk) in out.chunks_exact_mut(t_len as usize).enumerate().take(outer_total) {
+            if run > 0 {
+                let d = advance(&mut sidx, outer_dims);
+                for (j, &v) in sidx.iter().enumerate().skip(d) {
+                    regs[j] = v as i64;
+                }
+                regs[inner_reg] = 0;
+                self.run_instrs(self.first_at_level[d + 1], &mut regs, &mut poison);
+            }
+            match self.classify_run(spec, &self.spatial_guards, &regs, &poison, t_len, &mut offs) {
+                RunKind::Skip => chunk.fill(0.0),
+                RunKind::Tight => match offs.as_slice() {
+                    [(o0, s0)] => {
+                        let d0 = sources[0];
+                        for (t, slot) in chunk.iter_mut().enumerate() {
+                            *slot = 0.0 + d0[(o0 + t as i64 * s0) as usize];
+                        }
+                    }
+                    _ => {
+                        for (t, slot) in chunk.iter_mut().enumerate() {
+                            let mut product = 1.0f32;
+                            for ((o, s), data) in offs.iter().zip(sources) {
+                                product *= data[(o + t as i64 * s) as usize];
+                            }
+                            *slot = 0.0 + product;
+                        }
+                    }
+                },
+                RunKind::PerIter => {
+                    let mut t = 0usize;
+                    self.per_iter_run(
+                        &mut regs,
+                        &mut poison,
+                        inner_reg,
+                        inner_level,
+                        t_len,
+                        |p, regs, poison| {
+                            let mut acc = 0.0f32;
+                            if !p.spatial_guards.iter().any(|&g| poison[g]) {
+                                p.accumulate_term(sources, regs, poison, &mut acc);
+                            }
+                            chunk[t] = acc;
+                            t += 1;
+                        },
+                    );
+                }
+            }
         }
     }
 }
@@ -468,15 +1113,40 @@ impl<'k> CompiledKernel<'k> {
     /// Compiles `kernel`, falling back to the reference interpreter when a
     /// stage is not compilable.
     pub fn new(kernel: &'k Kernel) -> Self {
-        CompiledKernel {
-            kernel,
-            stages: compile_kernel(kernel),
+        match compile_kernel(kernel) {
+            Some((stages, elided)) => CompiledKernel {
+                kernel,
+                stages: Some(stages),
+                elided,
+            },
+            None => CompiledKernel {
+                kernel,
+                stages: None,
+                elided: vec![false; kernel.stages.len()],
+            },
         }
     }
 
     /// `true` when every stage runs the stride-compiled fast path.
     pub fn is_compiled(&self) -> bool {
         self.stages.is_some()
+    }
+
+    /// Number of view stages fused into their consumers (never
+    /// materialized).
+    pub fn fused_stages(&self) -> usize {
+        self.elided.iter().filter(|&&e| e).count()
+    }
+
+    /// Number of stages whose innermost loop compiled to the tight
+    /// constant-stride form (excludes elided stages).
+    pub fn specialized_stages(&self) -> usize {
+        let Some(stages) = &self.stages else { return 0 };
+        stages
+            .iter()
+            .zip(&self.elided)
+            .filter(|(p, &e)| !e && p.spec.is_some())
+            .count()
     }
 
     /// Executes the kernel; bit-identical to
@@ -497,7 +1167,12 @@ impl<'k> CompiledKernel<'k> {
         }
 
         let mut buffers: Vec<Tensor> = Vec::with_capacity(stages.len());
-        for (program, stage) in stages.iter().zip(&kernel.stages) {
+        for ((program, stage), &elided) in stages.iter().zip(&kernel.stages).zip(&self.elided) {
+            if elided {
+                // Fused into its consumer; placeholder keeps indices aligned.
+                buffers.push(Tensor::zeros(&[0]));
+                continue;
+            }
             let mut out = Tensor::zeros(&stage.shape());
             program.execute(out.data_mut(), input, weights, &buffers);
             buffers.push(out);

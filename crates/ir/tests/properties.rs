@@ -16,6 +16,12 @@
 //!   summation order);
 //! * the compiled tape engine vs. the naive reference tape must be
 //!   bit-identical for values *and* gradients;
+//! * the **data-parallel** tape engine is value-invisible: at
+//!   `exec_threads` ∈ {1, 2, 4} a width-1 policy reproduces the serial
+//!   reference bits and the pinned-width policy reproduces the
+//!   single-thread pinned bits — values and gradients both (the
+//!   [`ExecPolicy`] contract: thread count never moves a bit, only
+//!   `reduce_width` does);
 //! * eager vs. the kernel interpreters must agree element-for-element
 //!   (within FP tolerance — materialized stages legitimately reorder sums);
 //! * `Unfold` clip semantics survive in every engine, including the
@@ -28,7 +34,7 @@ use rand::SeedableRng;
 use std::sync::Arc;
 use syno_core::prelude::*;
 use syno_ir::{eager, lower_naive, lower_optimized, Kernel};
-use syno_tensor::{init, Tape, Tensor};
+use syno_tensor::{init, ExecPolicy, Tape, Tensor};
 
 fn fixture_vars() -> (Arc<VarTable>, Vec<VarId>) {
     let mut vars = VarTable::new();
@@ -151,9 +157,41 @@ fn assert_differential(graph: &PGraph, seed: u64) {
                 (Ok((fast_out, fast_gx)), Ok((slow_out, slow_gx))) => {
                     assert_bits_equal(&fast_out, &slow_out, "tape forward", graph);
                     assert_bits_equal(&fast_out, &eager_out, "tape vs eager", graph);
-                    match (fast_gx, slow_gx) {
-                        (Some(f), Some(s)) => assert_bits_equal(&f, &s, "input gradient", graph),
+                    match (&fast_gx, &slow_gx) {
+                        (Some(f), Some(s)) => assert_bits_equal(f, s, "input gradient", graph),
                         (f, s) => assert_eq!(f.is_some(), s.is_some(), "gradient presence"),
+                    }
+                    // The data-parallel engine is value-invisible: for any
+                    // worker count, width 1 reproduces the serial reference
+                    // bits and the pinned width reproduces the one-thread
+                    // pinned bits — gradients included.
+                    for threads in [2, 4] {
+                        let width1 = ExecPolicy {
+                            exec_threads: threads,
+                            reduce_width: 1,
+                        };
+                        for (policy, want_out, want_gx, what) in [
+                            (width1, &slow_out, &slow_gx, "sharded width-1 tape"),
+                            (
+                                ExecPolicy::with_threads(threads),
+                                &fast_out,
+                                &fast_gx,
+                                "sharded pinned-width tape",
+                            ),
+                        ] {
+                            let (out, gx) = run_tape(&mut Tape::with_policy(policy));
+                            assert_bits_equal(&out, want_out, what, graph);
+                            match (&gx, want_gx) {
+                                (Some(g), Some(w)) => {
+                                    assert_bits_equal(g, w, what, graph);
+                                }
+                                (g, w) => assert_eq!(
+                                    g.is_some(),
+                                    w.is_some(),
+                                    "{what}: gradient presence"
+                                ),
+                            }
+                        }
                     }
                 }
                 (Err(_), Err(_)) => {} // consistently unrecordable

@@ -197,7 +197,7 @@ pub fn resolve_family(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::TrainConfig;
+    use crate::{ExecPolicy, TrainConfig};
     use std::sync::Arc;
     use syno_core::ops;
     use syno_core::primitive::Action;
@@ -309,10 +309,22 @@ mod tests {
     /// pre-refactor `operator_accuracy` on this exact fixture; if this test
     /// fails, the vision reward path changed and every persisted vision
     /// score is stale (bump `syno_core::codec::FORMAT_VERSION`).
+    ///
+    /// Re-verified under the `ExecPolicy` default contract (one thread,
+    /// reduction-tree width 4): intermediate losses shift by ulps relative
+    /// to serial accumulation, but the score is an exact quotient of argmax
+    /// hits and no prediction flips on these fixtures, so the pinned bits
+    /// are unchanged. The serial-policy cross-check below keeps that fact
+    /// load-bearing rather than assumed.
     #[test]
     fn vision_family_scores_are_pinned() {
         let f = fixture();
         let config = pin_config();
+        assert_eq!(
+            config.train.exec,
+            ExecPolicy::default(),
+            "pins are stated under the pinned default contract"
+        );
         let conv = ops::conv2d(&f.vars, f.n, f.cin, f.cout, f.h, f.w, f.k).unwrap();
         let acc = VisionFamily.score(&conv, 0, &config).unwrap();
         assert_eq!(acc.to_bits(), 0x3e80_0000, "conv pin: got {acc}");
@@ -333,6 +345,16 @@ mod tests {
         // And the legacy entry point still takes the identical path.
         let legacy = crate::try_operator_accuracy(&conv, 0, &config).unwrap();
         assert_eq!(legacy.to_bits(), 0x3e80_0000);
+
+        // Cross-check: the exact PR 5 serial order lands on the same bits
+        // here — the width-4 tree reorders FP summation (per-step losses
+        // drift by ulps) but never flips an argmax on this fixture. If this
+        // assertion ever fires, the two contracts have visibly diverged and
+        // the pins above must be re-stated per width.
+        let mut serial = pin_config();
+        serial.train.exec = ExecPolicy::serial();
+        let acc = VisionFamily.score(&conv, 0, &serial).unwrap();
+        assert_eq!(acc.to_bits(), 0x3e80_0000, "serial cross-check: got {acc}");
     }
 
     /// Mirror of [`vision_family_scores_are_pinned`] for the sequence
@@ -369,6 +391,13 @@ mod tests {
         // The legacy entry point takes the identical path.
         let legacy = crate::try_sequence_accuracy(&mm, 0, &config).unwrap();
         assert_eq!(legacy.to_bits(), 0x3e60_0000);
+
+        // Serial cross-check, as in the vision pin test: the width-4 tree
+        // contract lands on the same accuracy quotient here.
+        let mut serial_config = pin_config();
+        serial_config.train.exec = ExecPolicy::serial();
+        let acc = seq::SequenceFamily.score(&mm, 0, &serial_config).unwrap();
+        assert_eq!(acc.to_bits(), 0x3e60_0000, "serial cross-check: got {acc}");
     }
 
     #[test]

@@ -37,6 +37,7 @@ pub use proxy::{
     ProxyConfig,
 };
 pub use seq::{try_sequence_accuracy, SequenceFamily};
+pub use syno_tensor::ExecPolicy;
 pub use train::{
     accuracy, accuracy_on, train_on_task, train_on_task_with, train_step, train_step_on, Sgd,
     TrainConfig,

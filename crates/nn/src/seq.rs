@@ -274,7 +274,7 @@ pub fn try_sequence_accuracy(
 
     // One tape for the whole evaluation: buffers and compiled einsum plans
     // carry across steps.
-    let mut tape = Tape::new();
+    let mut tape = Tape::with_policy(config.train.exec);
     for step in 0..config.train.steps {
         let (contexts, targets) = task.batch(step as u64, batch);
         let loss = student.train_step(&mut tape, &contexts, &targets, config.train.lr);
@@ -296,6 +296,7 @@ pub fn try_sequence_accuracy(
         let (contexts, targets) = task.batch(u64::MAX / 2 - i as u64, batch);
         correct += student.correct(&mut tape, &contexts, &targets);
     }
+    syno_telemetry::gauge!("syno_tensor_scratch_bytes").set(tape.scratch_bytes() as i64);
     Ok(correct as f32 / (rounds * batch) as f32)
 }
 

@@ -2,7 +2,7 @@
 
 use crate::data::VisionTask;
 use crate::layer::Model;
-use syno_tensor::{Tape, Tensor};
+use syno_tensor::{ExecPolicy, Tape, Tensor};
 
 /// SGD with momentum and weight decay.
 #[derive(Debug)]
@@ -125,6 +125,10 @@ pub struct TrainConfig {
     /// Number of evaluation batches (each of the training batch size —
     /// operator layers fix the batch dimension via their valuation).
     pub eval_batches: usize,
+    /// Execution policy for the proxy's tapes: worker-thread count
+    /// (value-invisible) and reduction-tree width (part of the score
+    /// contract — see [`ExecPolicy`]).
+    pub exec: ExecPolicy,
 }
 
 impl Default for TrainConfig {
@@ -136,13 +140,14 @@ impl Default for TrainConfig {
             momentum: 0.9,
             weight_decay: 1e-4,
             eval_batches: 4,
+            exec: ExecPolicy::default(),
         }
     }
 }
 
 /// Trains `model` on `task` and returns `(final_train_loss, eval_accuracy)`.
 pub fn train_on_task(model: &mut Model, task: &VisionTask, config: &TrainConfig) -> (f32, f32) {
-    train_on_task_with(&mut Tape::new(), model, task, config)
+    train_on_task_with(&mut Tape::with_policy(config.exec), model, task, config)
 }
 
 /// [`train_on_task`] on a caller-owned tape — the engine-mode hook: pass
@@ -174,6 +179,7 @@ pub fn train_on_task_with(
         let (images, labels) = task.batch(u64::MAX / 2 - i as u64, config.batch);
         correct_frac += accuracy_on(tape, model, &images, &labels);
     }
+    syno_telemetry::gauge!("syno_tensor_scratch_bytes").set(tape.scratch_bytes() as i64);
     (last_loss, correct_frac / config.eval_batches.max(1) as f32)
 }
 

@@ -34,13 +34,20 @@
 //! workers finish everything already submitted, and joins them. Jobs
 //! queued but never run are *dropped*, which the search layer turns into
 //! typed `SearchEvent::CandidateSkipped` notifications via a drop guard —
-//! a dead pool degrades loudly, not silently.
+//! a dead pool degrades loudly, not silently. Panics are the same story:
+//! a job that panics never takes a worker thread down (the loop catches
+//! the unwind and keeps serving), but the payload is *recorded*, counted
+//! in `syno_pool_job_panics_total`, and re-surfaced by `shutdown` as a
+//! typed [`SynoError::Eval`] — mirroring the contract of the tensor
+//! layer's shard pool, where a worker panic resumes on the submitting
+//! thread instead of evaporating.
 
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
+use syno_core::error::SynoError;
 use syno_telemetry::metrics::{labeled, DURATION_BUCKETS};
 use syno_telemetry::{counter, gauge};
 
@@ -66,6 +73,9 @@ struct QueueState {
     /// `false` once the pool is shut down; submissions then fail and
     /// workers exit after draining.
     open: bool,
+    /// Rendered payloads of every job panic caught by a worker, in
+    /// arrival order; drained and surfaced by [`EvalPool::shutdown`].
+    panics: Vec<String>,
 }
 
 struct PoolShared {
@@ -104,6 +114,7 @@ impl EvalPool {
             state: Mutex::new(QueueState {
                 jobs: VecDeque::with_capacity(worker_count * 2),
                 open: true,
+                panics: Vec::new(),
             }),
             space: Condvar::new(),
             ready: Condvar::new(),
@@ -161,7 +172,16 @@ impl EvalPool {
     /// Closes the queue, lets the workers drain everything already
     /// submitted, and joins them. Idempotent; later `submit`s return
     /// `false`.
-    pub fn shutdown(&self) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SynoError::Eval`] when any job panicked on a worker over
+    /// the pool's lifetime: the count plus the first rendered payload. A
+    /// panicking job never killed its worker (the pool kept serving), but
+    /// it does mean an evaluation vanished without reporting a result, and
+    /// that must not evaporate at teardown. The recorded payloads are
+    /// drained, so a second `shutdown` returns `Ok`.
+    pub fn shutdown(&self) -> Result<(), SynoError> {
         close(&self.shared.core);
         let handles: Vec<_> = self
             .shared
@@ -172,6 +192,24 @@ impl EvalPool {
             .collect();
         for handle in handles {
             let _ = handle.join();
+        }
+        let panics = std::mem::take(
+            &mut self
+                .shared
+                .core
+                .state
+                .lock()
+                .expect("pool queue lock")
+                .panics,
+        );
+        match panics.first() {
+            None => Ok(()),
+            Some(first) => Err(SynoError::Eval {
+                what: format!(
+                    "{} evaluation job(s) panicked on the shared pool; first: {first}",
+                    panics.len()
+                ),
+            }),
         }
     }
 }
@@ -228,8 +266,21 @@ fn worker_loop(core: &QueueCore, worker: usize) {
         let busy_from = Instant::now();
         // Jobs carry their own panic isolation (the search layer wraps
         // every evaluation in `catch_unwind`); a panic that still escapes
-        // must not take the whole pool down with it.
-        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+        // must not take the whole pool down with it — but it must not
+        // evaporate either: record the payload for `shutdown` to surface.
+        if let Err(payload) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)) {
+            let rendered = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_owned());
+            counter!("syno_pool_job_panics_total").inc();
+            core.state
+                .lock()
+                .expect("pool queue lock")
+                .panics
+                .push(format!("worker {worker}: {rendered}"));
+        }
         busy_hist.observe_duration(busy_from.elapsed());
     }
 }
@@ -250,14 +301,14 @@ mod tests {
                 done.fetch_add(1, Ordering::SeqCst);
             })));
         }
-        pool.shutdown();
+        pool.shutdown().expect("no job panicked");
         assert_eq!(done.load(Ordering::SeqCst), 32, "shutdown drains the queue");
         assert!(!pool.is_alive());
         assert!(!pool.submit(Box::new(|| {})), "submissions after shutdown fail");
     }
 
     #[test]
-    fn a_panicking_job_does_not_kill_the_pool() {
+    fn a_panicking_job_does_not_kill_the_pool_but_surfaces_at_shutdown() {
         let pool = EvalPool::new(1);
         assert!(pool.submit(Box::new(|| panic!("job exploded"))));
         let done = Arc::new(AtomicUsize::new(0));
@@ -265,8 +316,15 @@ mod tests {
         assert!(pool.submit(Box::new(move || {
             d.fetch_add(1, Ordering::SeqCst);
         })));
-        pool.shutdown();
-        assert_eq!(done.load(Ordering::SeqCst), 1);
+        let err = pool.shutdown().expect_err("the panic must be surfaced");
+        let SynoError::Eval { what } = &err else {
+            panic!("expected SynoError::Eval, got {err:?}");
+        };
+        assert!(what.contains("1 evaluation job(s) panicked"), "{what}");
+        assert!(what.contains("job exploded"), "payload survives: {what}");
+        assert_eq!(done.load(Ordering::SeqCst), 1, "later jobs still ran");
+        // The payloads were drained: teardown is idempotent.
+        pool.shutdown().expect("second shutdown is clean");
     }
 
     #[test]
@@ -278,7 +336,7 @@ mod tests {
             }
         }
         let pool = EvalPool::new(1);
-        pool.shutdown();
+        pool.shutdown().expect("no job panicked");
         let dropped = Arc::new(AtomicUsize::new(0));
         let guard = Guard(Arc::clone(&dropped));
         assert!(!pool.submit(Box::new(move || {
@@ -327,7 +385,7 @@ mod tests {
             cv.notify_all();
         }
         producer.join().expect("producer thread");
-        pool.shutdown();
+        pool.shutdown().expect("no job panicked");
         assert_eq!(done.load(Ordering::SeqCst), 8);
     }
 }

@@ -624,6 +624,19 @@ impl SearchBuilder {
         self
     }
 
+    /// Execution policy for every proxy-training tape the run creates:
+    /// worker-thread count and deterministic reduction-tree width.
+    ///
+    /// Shorthand for setting `train.exec` on the [`proxy`][Self::proxy]
+    /// config. `exec_threads` is value-invisible — seeded runs discover
+    /// bit-identical candidate sets at any thread count — while
+    /// `reduce_width` reshapes the reduction tree and is therefore part of
+    /// the stored-score contract (see [`syno_nn::ExecPolicy`]).
+    pub fn exec_policy(mut self, policy: syno_nn::ExecPolicy) -> Self {
+        self.proxy.train.exec = policy;
+        self
+    }
+
     /// Forces every scenario onto one proxy family instead of auto-detecting
     /// per spec (4-D specs → vision, rank-1/2/3 → sequence/LM).
     ///
@@ -1107,11 +1120,15 @@ impl EvalContext {
         // only served when its journaled family tag matches the
         // scenario's family (content hashes cover the spec, so a mismatch
         // cannot happen through the normal pipeline — this guards against
-        // hand-edited or cross-version journals).
+        // hand-edited or cross-version journals) *and* it was computed
+        // under this run's reduction-tree width (the width fixes the FP
+        // summation order, so a score from another width is a different
+        // value — re-evaluated, not served).
+        let reduce_width = self.proxy.train.exec.reduce_width as u32;
         if let Some(store) = self.store.as_deref() {
             let recalled = {
                 let span = syno_telemetry::span!("store_lookup", candidate = id);
-                let recalled = store.score_for_family(id, self.family.name());
+                let recalled = store.score_for_contract(id, self.family.name(), reduce_width);
                 self.shared.progress.phases.add_store(span.elapsed());
                 recalled
             };
@@ -1224,7 +1241,7 @@ impl EvalContext {
                     // to cache-less, it does not kill it.
                     let span = syno_telemetry::span!("store_append", candidate = id);
                     let _ = store.put_candidate(id, graph);
-                    let _ = store.put_score(id, accuracy, self.family.name());
+                    let _ = store.put_score(id, accuracy, self.family.name(), reduce_width);
                     self.shared.progress.phases.add_store(span.elapsed());
                 }
                 self.progress().discovered.fetch_add(1, Ordering::Relaxed);
@@ -1276,7 +1293,7 @@ impl EvalContext {
                     // skip this candidate instead of re-training it.
                     let span = syno_telemetry::span!("store_append", candidate = id);
                     let _ = store.put_candidate(id, graph);
-                    let _ = store.put_score(id, f64::NAN, self.family.name());
+                    let _ = store.put_score(id, f64::NAN, self.family.name(), reduce_width);
                     self.shared.progress.phases.add_store(span.elapsed());
                 }
                 syno_telemetry::counter!("syno_search_skips_total").inc();
@@ -2334,7 +2351,7 @@ mod tests {
         let events_b: Vec<SearchEvent> = run_b.events().collect();
         let report_a = run_a.join().unwrap();
         let report_b = run_b.join().unwrap();
-        pool.shutdown();
+        pool.shutdown().expect("no evaluation panicked");
 
         let ids = |r: &SearchReport| {
             let mut v: Vec<(u64, u64)> = r
@@ -2360,7 +2377,7 @@ mod tests {
     fn dead_pool_surfaces_typed_eval_errors() {
         let (vars, spec) = conv_scenario();
         let pool = EvalPool::new(1);
-        pool.shutdown();
+        pool.shutdown().expect("no evaluation panicked");
         let run = SearchBuilder::new()
             .scenario("conv", &vars, &spec)
             .mcts(MctsConfig {

@@ -303,7 +303,12 @@ impl Daemon {
         for handler in handlers {
             let _ = handler.join();
         }
-        self.state.pool.shutdown();
+        // The search layer isolates evaluation panics per candidate, so a
+        // payload here means one escaped that net; count it and keep the
+        // drain going — the daemon is exiting either way.
+        if self.state.pool.shutdown().is_err() {
+            syno_telemetry::counter!("syno_serve_pool_panics_total").inc();
+        }
     }
 
     /// Runs the daemon on a background thread; returns the control handle

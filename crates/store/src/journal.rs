@@ -199,6 +199,13 @@ pub enum Record {
         /// version 2 carry no tag and decode as `"vision"` — historically
         /// the only family that existed.
         family: String,
+        /// Reduction-tree width of the execution policy that produced the
+        /// score. The width reshapes the deterministic FP summation order,
+        /// so scores are only comparable (and recallable) at the same
+        /// width. Records written before codec format version 3 carry no
+        /// width and decode as `1` — serial accumulation, which is what
+        /// produced them.
+        reduce_width: u32,
     },
     /// A tuned latency for `hash` on one device/compiler pair.
     LatencyMeasurement {
@@ -237,10 +244,12 @@ impl Record {
                 hash,
                 accuracy,
                 family,
+                reduce_width,
             } => {
                 e.put_u64(*hash);
                 e.put_f64(*accuracy);
                 e.put_str(family);
+                e.put_u32(*reduce_width);
             }
             Record::LatencyMeasurement {
                 hash,
@@ -282,10 +291,14 @@ impl Record {
                 } else {
                     "vision".to_owned()
                 };
+                // Pre-version-3 records carry no reduce width; they were
+                // produced by serial accumulation, i.e. width 1.
+                let reduce_width = if d.remaining() > 0 { d.get_u32()? } else { 1 };
                 Record::ProxyScore {
                     hash,
                     accuracy,
                     family,
+                    reduce_width,
                 }
             }
             RecordKind::LatencyMeasurement => Record::LatencyMeasurement {
@@ -378,6 +391,9 @@ struct CandidateEntry {
     /// Task family that produced `accuracy` (`"vision"` for legacy
     /// records); set with it by `ProxyScore` records.
     family: Option<String>,
+    /// Reduction-tree width that produced `accuracy` (`1` for legacy
+    /// records); set with it by `ProxyScore` records.
+    score_width: Option<u32>,
     /// `(device, compiler) → latency seconds`, latest record wins.
     latencies: HashMap<(String, String), f64>,
 }
@@ -619,10 +635,12 @@ impl Inner {
                 hash,
                 accuracy,
                 family,
+                reduce_width,
             } => {
                 let entry = self.entry(hash);
                 entry.accuracy = Some(accuracy);
                 entry.family = Some(family);
+                entry.score_width = Some(reduce_width);
             }
             Record::LatencyMeasurement {
                 hash,
@@ -734,7 +752,10 @@ impl Store {
     }
 
     /// Journals a proxy score for `hash`, tagged with the task `family`
-    /// whose proxy produced it (`"vision"`, `"sequence"`, …).
+    /// whose proxy produced it (`"vision"`, `"sequence"`, …) and the
+    /// `reduce_width` of the execution policy it was computed under (the
+    /// width determines the deterministic FP summation order, so it is
+    /// part of the score's identity — see [`Store::score_for_contract`]).
     ///
     /// By convention `NaN` marks a *journaled failure*: the candidate's
     /// proxy training failed deterministically, and consumers (the search
@@ -744,12 +765,19 @@ impl Store {
     /// # Errors
     ///
     /// [`StoreError::Io`] when the append fails.
-    pub fn put_score(&self, hash: u64, accuracy: f64, family: &str) -> Result<(), StoreError> {
+    pub fn put_score(
+        &self,
+        hash: u64,
+        accuracy: f64,
+        family: &str,
+        reduce_width: u32,
+    ) -> Result<(), StoreError> {
         let mut inner = self.lock();
         let record = Record::ProxyScore {
             hash,
             accuracy,
             family: family.to_owned(),
+            reduce_width,
         };
         inner.append(&record)?;
         inner.apply(record);
@@ -835,13 +863,39 @@ impl Store {
 
     /// The cached proxy accuracy for `hash` *if* it was produced by
     /// `family` (or by a legacy record with no tag, which always matches).
-    /// One lock, no allocation — the search pipeline's recall probe; a
-    /// family mismatch reads as a miss so the caller re-evaluates.
+    /// One lock, no allocation — a family mismatch reads as a miss so the
+    /// caller re-evaluates. Prefer [`Store::score_for_contract`] when the
+    /// caller also knows its execution policy's reduce width.
     pub fn score_for_family(&self, hash: u64, family: &str) -> Option<f64> {
         let mut inner = self.lock();
         inner.lookups += 1;
         let entry = inner.index.get(&hash)?;
         if entry.family.as_deref().is_some_and(|f| f != family) {
+            return None;
+        }
+        entry.accuracy
+    }
+
+    /// The cached proxy accuracy for `hash` *if* it was produced by
+    /// `family` **under** `reduce_width` — the search pipeline's recall
+    /// probe. The reduction-tree width reshapes the deterministic FP
+    /// summation order, so a score computed at another width is a
+    /// different value, not a cache hit; the mismatch reads as a miss and
+    /// the caller re-evaluates (and re-journals under its own width).
+    /// Width-less legacy records carry width `1` (serial accumulation).
+    pub fn score_for_contract(
+        &self,
+        hash: u64,
+        family: &str,
+        reduce_width: u32,
+    ) -> Option<f64> {
+        let mut inner = self.lock();
+        inner.lookups += 1;
+        let entry = inner.index.get(&hash)?;
+        if entry.family.as_deref().is_some_and(|f| f != family) {
+            return None;
+        }
+        if entry.score_width.is_some_and(|w| w != reduce_width) {
             return None;
         }
         entry.accuracy
@@ -976,9 +1030,11 @@ impl Store {
                     &Record::ProxyScore {
                         hash,
                         accuracy,
-                        // Legacy untagged records were vision scores; the
-                        // compacted journal makes that explicit.
+                        // Legacy untagged records were vision scores
+                        // computed by serial accumulation; the compacted
+                        // journal makes both explicit.
                         family: entry.family.clone().unwrap_or_else(|| "vision".to_owned()),
+                        reduce_width: entry.score_width.unwrap_or(1),
                     },
                     &mut bytes,
                 );
@@ -1080,7 +1136,7 @@ mod tests {
             for (i, g) in graphs.iter().enumerate() {
                 let hash = g.content_hash();
                 assert!(store.put_candidate(hash, g).unwrap());
-                store.put_score(hash, 0.5 + i as f64 / 10.0, "vision").unwrap();
+                store.put_score(hash, 0.5 + i as f64 / 10.0, "vision", 1).unwrap();
                 store.put_latency(hash, "mobile-cpu", "TVM", 1e-3 * (i + 1) as f64).unwrap();
             }
             store
@@ -1136,7 +1192,7 @@ mod tests {
         {
             let store = StoreBuilder::new(&dir).open().unwrap();
             store.put_candidate(h0, &graphs[0]).unwrap();
-            store.put_score(h0, 0.9, "vision").unwrap();
+            store.put_score(h0, 0.9, "vision", 1).unwrap();
             store.put_candidate(h1, &graphs[1]).unwrap();
         }
         // Simulate a crash mid-append: chop bytes off the last record.
@@ -1208,7 +1264,7 @@ mod tests {
         }
         let h = graphs[0].content_hash();
         for i in 0..10 {
-            store.put_score(h, i as f64 / 10.0, "vision").unwrap();
+            store.put_score(h, i as f64 / 10.0, "vision", 1).unwrap();
             store.put_latency(h, "mobile-cpu", "TVM", 1e-3 * (i + 1) as f64).unwrap();
             store
                 .put_checkpoint(&Checkpoint {
@@ -1233,7 +1289,7 @@ mod tests {
         assert_eq!(store.checkpoint("pool", 1).unwrap().iterations, 9);
         // Appending still works after the swap, and a reopen sees one
         // consistent journal.
-        store.put_score(h, 0.95, "vision").unwrap();
+        store.put_score(h, 0.95, "vision", 1).unwrap();
         drop(store);
         let store = StoreBuilder::new(&dir).open().unwrap();
         assert_eq!(store.score(h), Some(0.95));
@@ -1260,7 +1316,7 @@ mod tests {
         {
             let store = StoreBuilder::new(&dir).open().unwrap();
             store.put_candidate(h, &graphs[0]).unwrap();
-            store.put_score(h, f64::NAN, "sequence").unwrap();
+            store.put_score(h, f64::NAN, "sequence", 1).unwrap();
             assert!(store.score(h).unwrap().is_nan());
             assert_eq!(store.stats().scored, 0, "failure markers are not scores");
             store.compact().unwrap();
@@ -1283,7 +1339,7 @@ mod tests {
         assert_eq!(store.recall_score(h), None);
         assert_eq!(store.stats().cache_hits, 0);
         store.put_candidate(h, &graphs[0]).unwrap();
-        store.put_score(h, 0.7, "vision").unwrap();
+        store.put_score(h, 0.7, "vision", 1).unwrap();
         assert_eq!(store.recall_score(h), Some(0.7));
         assert_eq!(store.recall_score(h), Some(0.7));
         assert_eq!(store.stats().cache_hits, 2);
@@ -1302,9 +1358,9 @@ mod tests {
         {
             let store = StoreBuilder::new(&dir).open().unwrap();
             store.put_candidate(h0, &graphs[0]).unwrap();
-            store.put_score(h0, 0.6, "sequence").unwrap();
+            store.put_score(h0, 0.6, "sequence", 1).unwrap();
             store.put_candidate(h1, &graphs[1]).unwrap();
-            store.put_score(h1, 0.4, "vision").unwrap();
+            store.put_score(h1, 0.4, "vision", 1).unwrap();
         }
         let store = StoreBuilder::new(&dir).open().unwrap();
         assert_eq!(store.score_family(h0).as_deref(), Some("sequence"));
@@ -1352,12 +1408,56 @@ mod tests {
         assert_eq!(store.stats().recovered_bytes, 0, "legacy frame is valid");
         assert_eq!(store.score(hash), Some(0.8125));
         assert_eq!(store.score_family(hash).as_deref(), Some("vision"));
+        // Width-less legacy scores were produced by serial accumulation, so
+        // they recall only under the width-1 contract.
+        assert_eq!(store.score_for_contract(hash, "vision", 1), Some(0.8125));
+        assert_eq!(store.score_for_contract(hash, "vision", 4), None);
         // Compaction rewrites it with an explicit tag and it still reads.
         store.compact().unwrap();
         drop(store);
         let store = StoreBuilder::new(&dir).open().unwrap();
         assert_eq!(store.score(hash), Some(0.8125));
         assert_eq!(store.score_family(hash).as_deref(), Some("vision"));
+        assert_eq!(store.score_for_contract(hash, "vision", 1), Some(0.8125));
+        assert_eq!(store.score_for_contract(hash, "vision", 4), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// `score_for_contract` treats the reduction-tree width as part of the
+    /// score's identity: a score journaled under one width is a *miss* under
+    /// any other, both ways, and the width survives reopen and compaction
+    /// (the codec format-version-3 change).
+    #[test]
+    fn score_for_contract_requires_matching_width() {
+        let dir = temp_dir("width");
+        let graphs = pool_graphs(2);
+        let (h1, h4) = (graphs[0].content_hash(), graphs[1].content_hash());
+        {
+            let store = StoreBuilder::new(&dir).open().unwrap();
+            store.put_candidate(h1, &graphs[0]).unwrap();
+            store.put_score(h1, 0.6, "vision", 1).unwrap();
+            store.put_candidate(h4, &graphs[1]).unwrap();
+            store.put_score(h4, 0.8, "vision", 4).unwrap();
+            assert_eq!(store.score_for_contract(h1, "vision", 1), Some(0.6));
+            assert_eq!(store.score_for_contract(h1, "vision", 4), None);
+            assert_eq!(store.score_for_contract(h4, "vision", 4), Some(0.8));
+            assert_eq!(store.score_for_contract(h4, "vision", 1), None);
+            // Family mismatches are still misses, width notwithstanding.
+            assert_eq!(store.score_for_contract(h4, "sequence", 4), None);
+            // Every probe above counts as a lookup; hits are only recorded
+            // by the caller once the recall is actually served.
+            assert_eq!(store.stats().lookups, 5);
+            assert_eq!(store.stats().cache_hits, 0);
+        }
+        let store = StoreBuilder::new(&dir).open().unwrap();
+        assert_eq!(store.score_for_contract(h4, "vision", 4), Some(0.8));
+        assert_eq!(store.score_for_contract(h4, "vision", 1), None);
+        store.compact().unwrap();
+        drop(store);
+        let store = StoreBuilder::new(&dir).open().unwrap();
+        assert_eq!(store.score_for_contract(h1, "vision", 1), Some(0.6));
+        assert_eq!(store.score_for_contract(h1, "vision", 4), None);
+        assert_eq!(store.score_for_contract(h4, "vision", 4), Some(0.8));
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -1372,7 +1472,7 @@ mod tests {
                 scope.spawn(move || {
                     let h = g.content_hash();
                     store.put_candidate(h, g).unwrap();
-                    store.put_score(h, 0.5, "vision").unwrap();
+                    store.put_score(h, 0.5, "vision", 1).unwrap();
                 });
             }
         });

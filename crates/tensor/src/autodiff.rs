@@ -17,11 +17,17 @@
 //! into recycled buffers and every contraction runs through a stride-compiled
 //! plan cached across calls. [`Tape::reset`] reclaims all node buffers while
 //! keeping the plan cache, so a training loop that resets its tape each step
-//! stops allocating after the first step. [`Tape::new_reference`] builds a
-//! tape in *reference mode* — naive per-element einsum, no buffer reuse, the
+//! stops allocating after the first step.
+//!
+//! Contractions execute under the tape's [`ExecPolicy`]
+//! ([`Tape::with_policy`]): the default is the pinned determinism contract
+//! (`reduce_width = 4` tree reduction, one thread), and values are
+//! bit-identical across `exec_threads` at a fixed `reduce_width`.
+//! [`Tape::new_reference`] builds a tape in *reference mode* — naive
+//! per-element einsum in serial summation order, no buffer reuse, the
 //! pre-compilation engine — which the differential-testing suite and the
-//! `proxy_train` bench compare against; both modes are bit-identical by
-//! construction (identical FP summation order).
+//! `proxy_train` bench compare against; it is bit-identical to
+//! `Tape::with_policy(ExecPolicy::serial())` by construction.
 //!
 //! # Limitations
 //!
@@ -30,6 +36,7 @@
 //! canonicalization rejects diagonal weights.
 
 use crate::einsum::{einsum_spec_reference, EinsumEngine, EinsumSpec};
+use crate::exec::ExecPolicy;
 use crate::ops;
 use crate::pool::ScratchPool;
 use crate::tensor::Tensor;
@@ -114,15 +121,24 @@ pub struct Tape {
 }
 
 impl Tape {
-    /// An empty tape using the stride-compiled engine with buffer reuse.
+    /// An empty tape using the stride-compiled engine with buffer reuse,
+    /// under the default pinned-contract [`ExecPolicy`].
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty stride-compiled tape executing contractions under `policy`.
+    pub fn with_policy(policy: ExecPolicy) -> Self {
+        Tape {
+            engine: EinsumEngine::with_policy(policy),
+            ..Self::default()
+        }
     }
 
     /// An empty tape in *reference mode*: naive per-element einsum and no
     /// buffer recycling — the pre-compilation engine, kept as the
     /// differential-testing baseline. Produces bit-identical values to
-    /// [`Tape::new`].
+    /// `Tape::with_policy(ExecPolicy::serial())`.
     pub fn new_reference() -> Self {
         Tape {
             pool: ScratchPool::disabled(),
@@ -134,6 +150,21 @@ impl Tape {
     /// `true` when this tape runs the naive reference engine.
     pub fn is_reference(&self) -> bool {
         self.reference
+    }
+
+    /// The execution policy the tape's contractions run under.
+    pub fn policy(&self) -> ExecPolicy {
+        if self.reference {
+            ExecPolicy::serial()
+        } else {
+            self.engine.policy()
+        }
+    }
+
+    /// Bytes currently parked in the tape's scratch pool (the
+    /// `syno_tensor_scratch_bytes` gauge reads this).
+    pub fn scratch_bytes(&self) -> usize {
+        self.pool.pooled_bytes()
     }
 
     /// Number of recorded nodes.
@@ -892,19 +923,40 @@ mod tests {
         (bits, vec![gx, gw])
     }
 
+    fn assert_step_bits_equal(a: (u32, Vec<Tensor>), b: (u32, Vec<Tensor>), what: &str) {
+        assert_eq!(a.0, b.0, "loss bits diverge: {what}");
+        for (x, y) in a.1.iter().zip(&b.1) {
+            assert_eq!(x.shape(), y.shape());
+            for (p, q) in x.data().iter().zip(y.data()) {
+                assert_eq!(p.to_bits(), q.to_bits(), "gradient bits diverge: {what}");
+            }
+        }
+    }
+
     #[test]
     fn compiled_engine_matches_reference_bit_for_bit() {
-        let mut fast = Tape::new();
+        // The serial policy reproduces the reference engine exactly,
+        // gradients included.
+        let mut fast = Tape::with_policy(ExecPolicy::serial());
         let mut slow = Tape::new_reference();
         assert!(!fast.is_reference() && slow.is_reference());
-        let (lf, gf) = one_step(&mut fast, 42);
-        let (ls, gs) = one_step(&mut slow, 42);
-        assert_eq!(lf, ls, "loss bits diverge between engines");
-        for (a, b) in gf.iter().zip(&gs) {
-            assert_eq!(a.shape(), b.shape());
-            for (x, y) in a.data().iter().zip(b.data()) {
-                assert_eq!(x.to_bits(), y.to_bits(), "gradient bits diverge");
-            }
+        assert_eq!(slow.policy(), ExecPolicy::serial());
+        let f = one_step(&mut fast, 42);
+        let s = one_step(&mut slow, 42);
+        assert_step_bits_equal(f, s, "serial vs reference");
+    }
+
+    #[test]
+    fn default_contract_is_invariant_to_thread_count() {
+        // The pinned contract (reduce_width 4): values never depend on
+        // exec_threads, only on the tree width.
+        let mut pinned = Tape::new();
+        assert_eq!(pinned.policy(), ExecPolicy::default());
+        let want = one_step(&mut pinned, 42);
+        for threads in [2, 4] {
+            let mut tape = Tape::with_policy(ExecPolicy::with_threads(threads));
+            let got = one_step(&mut tape, 42);
+            assert_step_bits_equal(got, want.clone(), &format!("{threads} threads"));
         }
     }
 

@@ -38,6 +38,7 @@
 
 mod autodiff;
 mod einsum;
+mod exec;
 pub mod init;
 pub mod ops;
 mod pool;
@@ -48,5 +49,6 @@ pub use einsum::{
     einsum, einsum_reference, einsum_spec, einsum_spec_reference, matmul, EinsumEngine,
     EinsumError, EinsumPlan, EinsumSpec,
 };
+pub use exec::{ExecPolicy, ExecPool};
 pub use pool::ScratchPool;
 pub use tensor::Tensor;

@@ -11,8 +11,16 @@
 //! initialized (zeroed, copied, or filled by the caller) before it becomes a
 //! tensor, so pooled and unpooled execution produce bit-identical results —
 //! the invariant the differential-testing suite pins.
+//!
+//! The pool is **bounded**: parked bytes are capped (default
+//! [`ScratchPool::DEFAULT_CAP_BYTES`]); recycling past the cap evicts the
+//! *oldest* parked buffers (the LIFO hot end stays warm), and a single
+//! buffer larger than the cap is dropped outright. [`ScratchPool::pooled_bytes`]
+//! and [`ScratchPool::high_water_bytes`] expose the footprint — the
+//! `syno_tensor_scratch_bytes` gauge in the metrics dump reads the former.
 
 use crate::tensor::Tensor;
+use std::collections::VecDeque;
 
 /// A recycling allocator for `f32` buffers.
 ///
@@ -34,17 +42,50 @@ use crate::tensor::Tensor;
 /// assert_eq!(again.len(), 8);
 /// assert_eq!(pool.recycled(), 1); // served from the pool
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ScratchPool {
-    free: Vec<Vec<f32>>,
+    /// Parked buffers: pushed/popped at the back (LIFO), evicted from the
+    /// front when the byte cap is exceeded.
+    free: VecDeque<Vec<f32>>,
     disabled: bool,
     recycled: usize,
+    /// Bytes currently parked in `free` (capacity, not length).
+    pooled_bytes: usize,
+    /// Largest `pooled_bytes` ever observed.
+    high_water_bytes: usize,
+    /// Eviction threshold for `pooled_bytes`.
+    cap_bytes: usize,
+}
+
+impl Default for ScratchPool {
+    fn default() -> Self {
+        ScratchPool {
+            free: VecDeque::new(),
+            disabled: false,
+            recycled: 0,
+            pooled_bytes: 0,
+            high_water_bytes: 0,
+            cap_bytes: Self::DEFAULT_CAP_BYTES,
+        }
+    }
 }
 
 impl ScratchPool {
-    /// An empty, enabled pool.
+    /// Default cap on parked bytes (16 MiB) — proxy-training working sets
+    /// are far below this, so eviction only triggers on pathological shapes.
+    pub const DEFAULT_CAP_BYTES: usize = 16 << 20;
+
+    /// An empty, enabled pool with the default byte cap.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty pool whose parked bytes never exceed `cap_bytes`.
+    pub fn with_cap(cap_bytes: usize) -> Self {
+        ScratchPool {
+            cap_bytes,
+            ..Self::default()
+        }
     }
 
     /// A pool that never recycles: every `take*` allocates fresh and every
@@ -63,11 +104,27 @@ impl ScratchPool {
         self.recycled
     }
 
+    /// Bytes currently parked and reusable.
+    pub fn pooled_bytes(&self) -> usize {
+        self.pooled_bytes
+    }
+
+    /// The largest parked footprint the pool ever reached.
+    pub fn high_water_bytes(&self) -> usize {
+        self.high_water_bytes
+    }
+
+    /// The eviction threshold for parked bytes.
+    pub fn cap_bytes(&self) -> usize {
+        self.cap_bytes
+    }
+
     /// An empty buffer (length 0), reusing a pooled allocation when one is
     /// available. The caller fills it.
     pub fn take_raw(&mut self) -> Vec<f32> {
-        match self.free.pop() {
+        match self.free.pop_back() {
             Some(mut buf) => {
+                self.pooled_bytes -= bytes_of(&buf);
                 buf.clear();
                 self.recycled += 1;
                 buf
@@ -101,17 +158,33 @@ impl ScratchPool {
         Tensor::from_vec(self.take_copied(t.data()), t.shape())
     }
 
-    /// Returns a raw buffer to the pool.
+    /// Returns a raw buffer to the pool. Buffers larger than the cap are
+    /// dropped; parking past the cap evicts the oldest parked buffers.
     pub fn recycle_buffer(&mut self, buf: Vec<f32>) {
-        if !self.disabled && buf.capacity() > 0 {
-            self.free.push(buf);
+        let bytes = bytes_of(&buf);
+        if self.disabled || bytes == 0 || bytes > self.cap_bytes {
+            return;
         }
+        self.pooled_bytes += bytes;
+        self.free.push_back(buf);
+        while self.pooled_bytes > self.cap_bytes {
+            let evicted = self.free.pop_front().expect("bytes imply buffers");
+            self.pooled_bytes -= bytes_of(&evicted);
+        }
+        self.high_water_bytes = self.high_water_bytes.max(self.pooled_bytes);
     }
 
     /// Returns a tensor's backing buffer to the pool.
     pub fn recycle(&mut self, t: Tensor) {
         self.recycle_buffer(t.into_vec());
     }
+}
+
+/// Parked footprint of a buffer: its capacity, since that is what the
+/// allocator actually holds (a slice would hide it, hence `&Vec`).
+#[allow(clippy::ptr_arg)]
+fn bytes_of(buf: &Vec<f32>) -> usize {
+    buf.capacity() * std::mem::size_of::<f32>()
 }
 
 #[cfg(test)]
@@ -154,5 +227,50 @@ mod tests {
         pool.recycle_buffer(a);
         let _ = pool.take_zeroed(4);
         assert_eq!(pool.recycled(), 0);
+        assert_eq!(pool.pooled_bytes(), 0);
+    }
+
+    #[test]
+    fn pooled_bytes_track_parked_capacity() {
+        let mut pool = ScratchPool::new();
+        let a = pool.take_zeroed(16);
+        let a_bytes = a.capacity() * 4;
+        pool.recycle_buffer(a);
+        assert_eq!(pool.pooled_bytes(), a_bytes);
+        assert_eq!(pool.high_water_bytes(), a_bytes);
+        let _ = pool.take_raw();
+        assert_eq!(pool.pooled_bytes(), 0, "taking un-parks the bytes");
+        assert_eq!(pool.high_water_bytes(), a_bytes, "high water sticks");
+    }
+
+    #[test]
+    fn cap_evicts_oldest_buffers_first() {
+        // Cap fits exactly two 100-element buffers.
+        let mut pool = ScratchPool::with_cap(800);
+        let mut bufs: Vec<Vec<f32>> = (0..3).map(|_| Vec::with_capacity(100)).collect();
+        for (i, b) in bufs.iter_mut().enumerate() {
+            b.resize(100, i as f32);
+        }
+        for b in bufs {
+            pool.recycle_buffer(b);
+        }
+        assert!(pool.pooled_bytes() <= 800, "cap enforced");
+        assert_eq!(pool.high_water_bytes(), 800, "high water before eviction");
+        // LIFO: the most recently parked buffer (2.0-filled) comes back
+        // first; the oldest (0.0-filled) was evicted.
+        let hot = pool.take_raw();
+        assert_eq!(hot.capacity(), 100);
+        let warm = pool.take_raw();
+        assert_eq!(warm.capacity(), 100);
+        assert_eq!(pool.pooled_bytes(), 0);
+        assert_eq!(pool.take_raw().capacity(), 0, "third buffer was evicted");
+    }
+
+    #[test]
+    fn oversized_buffers_are_dropped_outright() {
+        let mut pool = ScratchPool::with_cap(100);
+        pool.recycle_buffer(vec![0.0; 1000]);
+        assert_eq!(pool.pooled_bytes(), 0);
+        assert_eq!(pool.high_water_bytes(), 0);
     }
 }

@@ -6,7 +6,7 @@
 //! Run with: `cargo run --example quickstart` (twice, to see cache hits)
 
 use syno::ir::{eager, lower_optimized};
-use syno::nn::{ProxyConfig, TrainConfig};
+use syno::nn::{ExecPolicy, ProxyConfig, TrainConfig};
 use syno::tensor::Tensor;
 use syno::{SearchEvent, Session};
 
@@ -33,6 +33,12 @@ fn main() {
                 steps: 4,
                 batch: 4,
                 eval_batches: 1,
+                // Let two threads cooperate on each contraction.
+                // `exec_threads` never moves a score bit; `reduce_width`
+                // (left at the pinned default) is the knob that does, and
+                // stored scores are tagged with it so a cache hit always
+                // means "same value contract".
+                exec: ExecPolicy::with_threads(2),
                 ..TrainConfig::default()
             },
             ..ProxyConfig::default()
