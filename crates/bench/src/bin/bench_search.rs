@@ -1,9 +1,12 @@
 //! Prints the search-throughput comparison and writes it to
 //! `BENCH_search.json` (the CI perf-trajectory artifact): serial vs
 //! pipelined evaluation, the vision + LM multi-scenario section, the
-//! cold/warm store section, and the `serve` section (per-tenant
+//! cold/warm store section, the `serve` section (per-tenant
 //! candidates/sec through the `syno-serve` daemon at 1/2/4 concurrent
-//! sessions vs the in-process baseline).
+//! sessions vs the in-process baseline), and the `store_sharded` section
+//! (two concurrent writer *processes* sharing one repository dir through
+//! journal shards vs one sequential writer, plus the zero-lost-records
+//! and derive-determinism contracts after fan-in compaction).
 //!
 //! Environment knobs (all optional):
 //!
@@ -49,6 +52,7 @@ use syno_bench::search_pipeline::{
     SearchPipelineData, TelemetryData,
 };
 use syno_bench::serve_bench::{serve_data, ServeData, ServeSample};
+use syno_bench::store_sharded::{run_writer_from_env, store_sharded_data, StoreShardedData};
 
 fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name)
@@ -174,12 +178,35 @@ fn telemetry_json(data: &TelemetryData) -> String {
     )
 }
 
+fn store_sharded_json(data: &StoreShardedData) -> String {
+    format!(
+        concat!(
+            ",\n  \"store_sharded\": {{ \"iterations\": {}, ",
+            "\"one_writer\": {{ \"wall_secs\": {:.4}, \"candidates\": {} }}, ",
+            "\"two_writers\": {{ \"wall_secs\": {:.4}, \"candidates\": {} }}, ",
+            "\"speedup\": {:.4}, \"segments\": {}, \"zero_lost_records\": {}, ",
+            "\"derive_union_deterministic\": {}, \"union_len\": {} }}"
+        ),
+        data.iterations,
+        data.one_writer_secs,
+        data.one_writer_candidates,
+        data.two_writer_secs,
+        data.two_writer_candidates,
+        data.speedup,
+        data.segments,
+        data.zero_lost_records,
+        data.derive_union_deterministic,
+        data.union_len,
+    )
+}
+
 fn to_json(
     data: &SearchPipelineData,
     proxy: &ProxyTrainData,
     parallel: &ProxyParallelData,
     invariance: &ExecInvarianceData,
     serve: Option<&ServeData>,
+    sharded: Option<&StoreShardedData>,
 ) -> String {
     let mut out = format!(
         concat!(
@@ -234,6 +261,9 @@ fn to_json(
     if let Some(serve) = serve {
         out.push_str(&serve_json(serve));
     }
+    if let Some(sharded) = sharded {
+        out.push_str(&store_sharded_json(sharded));
+    }
     if let Some(telemetry) = &data.telemetry {
         out.push_str(&telemetry_json(telemetry));
     }
@@ -244,6 +274,11 @@ fn to_json(
 }
 
 fn main() {
+    // Child mode: the store_sharded section re-execs this binary as its
+    // concurrent writer processes.
+    if run_writer_from_env() {
+        return;
+    }
     let mode = std::env::var("BENCH_SEARCH_MODE").unwrap_or_else(|_| "full".into());
     // (with_multi_scenario, with_warm_store, with_serve, with_breakdown,
     //  asserting, write_json); the telemetry-overhead section always runs —
@@ -297,6 +332,18 @@ fn main() {
              sessions over a {workers}-wide shared eval pool ..."
         );
         Some(serve_data(iterations, proxy_steps, workers))
+    } else {
+        None
+    };
+    // Process-level concurrency over the sharded repository rides with the
+    // serve (throughput) sections; the CI multi_writer_smoke step gates
+    // its contracts separately.
+    let sharded = if with_serve {
+        eprintln!(
+            "store_sharded bench: one sequential writer vs two concurrent writer \
+             processes, {iterations} iterations each ..."
+        );
+        Some(store_sharded_data(iterations, proxy_steps))
     } else {
         None
     };
@@ -357,6 +404,23 @@ fn main() {
                 phases.idle_frac * 100.0
             );
         }
+    }
+
+    if let Some(sharded) = &sharded {
+        println!(
+            "store_sharded: one writer {:.3}s ({} candidates) vs two concurrent \
+             writer processes {:.3}s ({} candidates, {} segments): {:.2}x; \
+             zero lost records: {}, derive_union byte-stable: {} ({} members)",
+            sharded.one_writer_secs,
+            sharded.one_writer_candidates,
+            sharded.two_writer_secs,
+            sharded.two_writer_candidates,
+            sharded.segments,
+            sharded.speedup,
+            sharded.zero_lost_records,
+            sharded.derive_union_deterministic,
+            sharded.union_len,
+        );
     }
 
     if let Some(serve) = &serve {
@@ -437,6 +501,18 @@ fn main() {
             "thread-invariance contract violated: candidate sets differ \
              across exec_threads 1/2/4 at fixed reduce_width"
         );
+        if let Some(sharded) = &sharded {
+            assert!(
+                sharded.zero_lost_records,
+                "sharded-repository contract violated: run-set members lost \
+                 their graph across merge + fan-in compaction"
+            );
+            assert!(
+                sharded.derive_union_deterministic,
+                "derive determinism contract violated: repeat two-writer \
+                 passes produced different derive_union bytes"
+            );
+        }
         eprintln!("determinism contracts hold");
     }
 
@@ -455,7 +531,14 @@ fn main() {
     }
 
     if write_json {
-        let json = to_json(&data, &proxy, &parallel, &invariance, serve.as_ref());
+        let json = to_json(
+            &data,
+            &proxy,
+            &parallel,
+            &invariance,
+            serve.as_ref(),
+            sharded.as_ref(),
+        );
         std::fs::write(&out, &json).expect("write bench json");
         eprintln!("wrote {out}");
     }

@@ -1,0 +1,93 @@
+//! CI smoke test for the sharded candidate repository: two concurrent OS
+//! processes each run a small search against the same repository
+//! directory through their own journal shards, the parent fan-in
+//! compacts, and the run asserts (a) **zero lost records** — every member
+//! of both per-run candidate sets still resolves to its graph after the
+//! merge + compaction — and (b) **byte-stable derives** — a second,
+//! independent pass produces a bit-identical `derive_union` record.
+//!
+//! Exits nonzero on any violation; CI runs this as a gating step.
+//!
+//! Environment knobs: `SYNO_SMOKE_ITERS` (MCTS iterations per writer,
+//! default 10), `SYNO_SMOKE_PROXY_STEPS` (default 3).
+
+use syno_bench::store_sharded::{run_writer_from_env, two_writer_pass};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    // Child mode: this binary re-execs itself as the writer processes.
+    if run_writer_from_env() {
+        return;
+    }
+    let iterations = env_usize("SYNO_SMOKE_ITERS", 10);
+    let proxy_steps = env_usize("SYNO_SMOKE_PROXY_STEPS", 3);
+    let root = std::env::temp_dir().join(format!("syno-multi-writer-smoke-{}", std::process::id()));
+
+    eprintln!(
+        "multi-writer smoke: 2 writer processes x {iterations} iterations, two passes ..."
+    );
+    let passes: Vec<_> = (1..=2)
+        .map(|i| {
+            let pass = two_writer_pass(&root.join(format!("pass-{i}")), iterations, proxy_steps);
+            println!(
+                "pass {i}: {:.3}s wall, {} candidates over {} segments, {} lost, \
+                 union {} members (digest {:#018x})",
+                pass.wall_secs,
+                pass.candidates,
+                pass.segments,
+                pass.lost_records,
+                pass.union_len,
+                pass.union_digest,
+            );
+            pass
+        })
+        .collect();
+    let _ = std::fs::remove_dir_all(&root);
+
+    let mut ok = true;
+    for (i, pass) in passes.iter().enumerate() {
+        if pass.segments != 3 {
+            eprintln!(
+                "FAIL pass {}: expected 3 segments (canonical + 2 shards), saw {}",
+                i + 1,
+                pass.segments
+            );
+            ok = false;
+        }
+        if pass.lost_records != 0 {
+            eprintln!(
+                "FAIL pass {}: {} run-set members lost their graph across merge + compaction",
+                i + 1,
+                pass.lost_records
+            );
+            ok = false;
+        }
+        if pass.union_len == 0 {
+            eprintln!("FAIL pass {}: derive_union came back empty", i + 1);
+            ok = false;
+        }
+    }
+    if passes[0].union_bytes != passes[1].union_bytes
+        || passes[0].union_digest != passes[1].union_digest
+    {
+        eprintln!(
+            "FAIL: derive_union is not byte-stable across repeat runs \
+             (digests {:#018x} vs {:#018x}, {} vs {} bytes)",
+            passes[0].union_digest,
+            passes[1].union_digest,
+            passes[0].union_bytes.len(),
+            passes[1].union_bytes.len(),
+        );
+        ok = false;
+    }
+    if !ok {
+        std::process::exit(1);
+    }
+    println!("multi-writer smoke: zero lost records, derive_union byte-stable");
+}

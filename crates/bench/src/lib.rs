@@ -20,6 +20,7 @@ pub mod fig9;
 pub mod proxy_train;
 pub mod search_pipeline;
 pub mod serve_bench;
+pub mod store_sharded;
 pub mod table3;
 
 pub use fig10::{fig10_data, Fig10Data};
@@ -30,4 +31,5 @@ pub use fig9::{fig9_data, Fig9Row};
 pub use proxy_train::{proxy_train_data, EngineSample, ProxyTrainData};
 pub use search_pipeline::{search_pipeline_data, PipelineSample, SearchPipelineData};
 pub use serve_bench::{serve_data, ServeData, ServeSample};
+pub use store_sharded::{store_sharded_data, StoreShardedData, TwoWriterPass};
 pub use table3::{ablation_shape_distance, table3_data, SdAblation, Table3Row};

@@ -72,12 +72,20 @@ use std::sync::Arc;
 ///   reduction-tree width is part of the FP summation order, hence of the
 ///   score's value contract); width-less legacy scores decode as width 1
 ///   (serial accumulation, which is what produced them).
-pub const FORMAT_VERSION: u32 = 3;
+/// * **4** — `syno-store` journals gained two record kinds: an
+///   operation-log record (run started/resumed, checkpoint, compaction,
+///   derive — candidate lineage across a sharded repository) and a
+///   named `CandidateSet` collection record (derive-style set operations
+///   over candidate hashes). Every pre-existing record layout is
+///   unchanged, so v1–v3 journals still load; the new kinds are simply
+///   absent from them.
+pub const FORMAT_VERSION: u32 = 4;
 
-/// Oldest format version this build still decodes. Versions 1 through 3
+/// Oldest format version this build still decodes. Versions 1 through 4
 /// share the graph/spec wire layout, so journals written before the
-/// family tag or the reduce-width field stay readable; anything older
-/// than this (or newer than [`FORMAT_VERSION`]) is rejected loudly.
+/// family tag, the reduce-width field, or the operation-log/candidate-set
+/// records stay readable; anything older than this (or newer than
+/// [`FORMAT_VERSION`]) is rejected loudly.
 pub const MIN_FORMAT_VERSION: u32 = 1;
 
 /// Shared header check for decoders.
@@ -549,7 +557,10 @@ pub fn decode_graph(bytes: &[u8]) -> Result<PGraph, CodecError> {
 /// * **2** — telemetry: `Metrics`/`MetricsReply` query frames, and
 ///   per-phase wall accounting (synth/proxy/store/tune nanoseconds) in
 ///   every session status payload.
-pub const PROTOCOL_VERSION: u32 = 2;
+/// * **3** — candidate repository: `Derive`/`DeriveReply` frames so
+///   tenants can fetch named candidate sets and request
+///   union/intersection/difference derivations from the daemon's store.
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// Hard ceiling on one frame's payload size (16 MiB). A length prefix read
 /// off a socket is attacker-controlled input; refusing oversized frames
@@ -562,6 +573,7 @@ pub const MAX_FRAME_PAYLOAD: u32 = 16 * 1024 * 1024;
 /// envelope built from the same primitives as the store journal.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 #[repr(u8)]
+#[non_exhaustive]
 pub enum FrameKind {
     /// Client → server: protocol version + tenant identity (first frame).
     Hello = 0,
@@ -595,11 +607,16 @@ pub enum FrameKind {
     Metrics = 13,
     /// Server → client: the metrics dump (Prometheus exposition text).
     MetricsReply = 14,
+    /// Client → server: fetch a named candidate set, or derive one via a
+    /// union/intersection/difference over two existing sets.
+    Derive = 15,
+    /// Server → client: the (possibly freshly derived) candidate set.
+    DeriveReply = 16,
 }
 
 impl FrameKind {
     /// Every frame kind, in tag order (for exhaustive round-trip tests).
-    pub const ALL: [FrameKind; 15] = [
+    pub const ALL: [FrameKind; 17] = [
         FrameKind::Hello,
         FrameKind::HelloAck,
         FrameKind::SubmitSearch,
@@ -615,6 +632,8 @@ impl FrameKind {
         FrameKind::Error,
         FrameKind::Metrics,
         FrameKind::MetricsReply,
+        FrameKind::Derive,
+        FrameKind::DeriveReply,
     ];
 
     /// The wire tag byte.

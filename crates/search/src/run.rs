@@ -50,7 +50,7 @@ use syno_core::spec::OperatorSpec;
 use syno_core::synth::{Enumerator, SynthConfig};
 use syno_core::var::VarTable;
 use syno_nn::{resolve_family, ProxyConfig, ProxyFamilyId};
-use syno_store::{Checkpoint, Store};
+use syno_store::{CandidateSet, Checkpoint, OpKind, ScoreContract, Store};
 
 /// A cloneable cooperative-cancellation handle.
 ///
@@ -149,7 +149,12 @@ pub struct Candidate {
 }
 
 /// One pipeline notification, streamed in emission order per scenario.
+///
+/// Marked `#[non_exhaustive]`: new pipeline stages (op-log events, derive
+/// notifications) may add variants without a semver break, so downstream
+/// matchers need a wildcard arm.
 #[derive(Clone, Debug)]
+#[non_exhaustive]
 pub enum SearchEvent {
     /// MCTS completed a rollout to a new distinct operator.
     CandidateFound {
@@ -752,6 +757,20 @@ impl SearchBuilder {
         self
     }
 
+    /// Attaches an already-open repository handle shared with other runs.
+    ///
+    /// Identical to [`store`](SearchBuilder::store) — the explicit name
+    /// marks the sharing intent: several in-process runs (or a run next to
+    /// a serving daemon) hand clones of one `Arc<Store>` around instead of
+    /// each opening a path, exactly like the daemon shares its store across
+    /// tenant sessions. Combine with [`StoreBuilder::writer`] shards when
+    /// the *processes* are separate.
+    ///
+    /// [`StoreBuilder::writer`]: syno_store::StoreBuilder::writer
+    pub fn store_handle(self, store: Arc<Store>) -> Self {
+        self.store(store)
+    }
+
     /// Attaches `store` *and* resumes interrupted scenarios from their
     /// journaled [`Checkpoint`]s.
     ///
@@ -1124,11 +1143,11 @@ impl EvalContext {
         // under this run's reduction-tree width (the width fixes the FP
         // summation order, so a score from another width is a different
         // value — re-evaluated, not served).
-        let reduce_width = self.proxy.train.exec.reduce_width as u32;
+        let contract = ScoreContract::new(self.family.name(), self.proxy.train.exec.reduce_width as u32);
         if let Some(store) = self.store.as_deref() {
             let recalled = {
                 let span = syno_telemetry::span!("store_lookup", candidate = id);
-                let recalled = store.score_for_contract(id, self.family.name(), reduce_width);
+                let recalled = store.score_for_contract(id, &contract);
                 self.shared.progress.phases.add_store(span.elapsed());
                 recalled
             };
@@ -1241,7 +1260,7 @@ impl EvalContext {
                     // to cache-less, it does not kill it.
                     let span = syno_telemetry::span!("store_append", candidate = id);
                     let _ = store.put_candidate(id, graph);
-                    let _ = store.put_score(id, accuracy, self.family.name(), reduce_width);
+                    let _ = store.put_score(id, accuracy, &contract);
                     self.shared.progress.phases.add_store(span.elapsed());
                 }
                 self.progress().discovered.fetch_add(1, Ordering::Relaxed);
@@ -1293,7 +1312,7 @@ impl EvalContext {
                     // skip this candidate instead of re-training it.
                     let span = syno_telemetry::span!("store_append", candidate = id);
                     let _ = store.put_candidate(id, graph);
-                    let _ = store.put_score(id, f64::NAN, self.family.name(), reduce_width);
+                    let _ = store.put_score(id, f64::NAN, &contract);
                     self.shared.progress.phases.add_store(span.elapsed());
                 }
                 syno_telemetry::counter!("syno_search_skips_total").inc();
@@ -1352,14 +1371,38 @@ fn run_scenario(
     // a resumed scenario re-adopts its journaled seed so the deterministic
     // replay matches the interrupted run.
     let base_seed = mcts_config.seed.wrapping_add(index as u64);
-    let seed = if resume {
-        store
-            .and_then(|s| s.checkpoint(&scenario.label, fingerprint))
-            .map(|cp| cp.seed)
-            .unwrap_or(base_seed)
+    let resumed_from = if resume {
+        store.and_then(|s| s.checkpoint(&scenario.label, fingerprint))
     } else {
-        base_seed
+        None
     };
+    let seed = resumed_from.as_ref().map_or(base_seed, |cp| cp.seed);
+    // Journal the run's lifecycle into the repository's operation log so
+    // this scenario's candidate collection has lineage. On resume, the op
+    // log tells the continuation what it is continuing from (the newest
+    // prior operation for this scenario, if any).
+    if let Some(store) = store {
+        let op = match &resumed_from {
+            Some(cp) => {
+                let prior = store
+                    .last_operation(&scenario.label, fingerprint)
+                    .map_or_else(String::new, |op| format!(" after {op}"));
+                store.log_operation(
+                    OpKind::RunResumed,
+                    &scenario.label,
+                    fingerprint,
+                    format!("seed {seed} from iteration {}{prior}", cp.iterations),
+                )
+            }
+            None => store.log_operation(
+                OpKind::RunStarted,
+                &scenario.label,
+                fingerprint,
+                format!("seed {seed}"),
+            ),
+        };
+        let _ = op; // best-effort, like every journal append on the hot path
+    }
     let mut mcts = Mcts::new(enumerator, MctsConfig { seed, ..mcts_config });
 
     let total_iterations = mcts_config.iterations as u64;
@@ -1405,6 +1448,12 @@ fn run_scenario(
                     discovered,
                 });
                 if written.is_ok() {
+                    let _ = store.log_operation(
+                        OpKind::Checkpoint,
+                        &scenario.label,
+                        fingerprint,
+                        format!("iteration {iteration}"),
+                    );
                     let _ = sender.send(SearchEvent::CheckpointWritten {
                         scenario: index,
                         iterations: iteration,
@@ -1536,6 +1585,12 @@ fn run_scenario(
             discovered: progress.discovered(),
         });
         if written.is_ok() {
+            let _ = store.log_operation(
+                OpKind::Checkpoint,
+                &scenario.label,
+                fingerprint,
+                format!("iteration {iterations} (final)"),
+            );
             let _ = sender.send(SearchEvent::CheckpointWritten {
                 scenario: index,
                 iterations,
@@ -1548,6 +1603,21 @@ fn run_scenario(
     // already pushed — the search does not return before its outcomes
     // drained — so taking the vector here loses nothing.
     let found = std::mem::take(&mut *candidates.lock().expect("candidates lock"));
+
+    // Journal the run's candidate collection as a named set, keyed by the
+    // scenario label: the unit the derive algebra (union / intersection /
+    // difference of two runs' discoveries) operates on. The set is
+    // canonicalized (sorted + deduped hashes), so the same discoveries
+    // always journal the same bytes regardless of evaluation order.
+    if let Some(store) = store {
+        let hashes: Vec<u64> = found.iter().map(|c| c.graph.content_hash()).collect();
+        let set = CandidateSet::new(
+            scenario.label.clone(),
+            format!("run:{}", scenario.label),
+            hashes,
+        );
+        let _ = store.put_set(&set);
+    }
     found
 }
 

@@ -16,7 +16,9 @@ use std::time::{Duration, Instant};
 
 use syno_core::codec::PROTOCOL_VERSION;
 
-use crate::protocol::{DaemonStatus, Frame, ProtocolError, SearchRequest, WireEvent};
+use crate::protocol::{
+    DaemonStatus, Frame, ProtocolError, SearchRequest, WireCandidateSet, WireEvent,
+};
 use crate::transport::{connect, Conn};
 
 /// Errors a [`SynoClient`] call can surface.
@@ -307,6 +309,66 @@ impl SynoClient {
         match self.wait_control(|frame| matches!(frame, Frame::MetricsReply { .. }))? {
             Frame::MetricsReply { dump } => Ok(dump),
             _ => unreachable!("wait_control matched MetricsReply"),
+        }
+    }
+
+    /// Fetches the named [`CandidateSet`](syno_store::CandidateSet) from
+    /// the daemon's repository, as a [`WireCandidateSet`] in canonical
+    /// member order.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Daemon`] when no such set exists or the daemon has
+    /// no store attached; transport, timeout, or disconnection errors
+    /// otherwise.
+    pub fn candidate_set(&self, name: &str) -> Result<WireCandidateSet, ServeError> {
+        self.derive_request("get", name, "", "")
+    }
+
+    /// Derives a new named set in the daemon's repository: `op` is
+    /// `"union"`, `"intersection"`, or `"difference"` over the sets
+    /// `left` and `right`. The daemon journals the result (and its
+    /// lineage) and returns it; repeat derives of the same inputs are
+    /// deterministic.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Daemon`] on an unknown op or set name, or when the
+    /// daemon has no store attached; transport, timeout, or
+    /// disconnection errors otherwise.
+    pub fn derive(
+        &self,
+        op: &str,
+        name: &str,
+        left: &str,
+        right: &str,
+    ) -> Result<WireCandidateSet, ServeError> {
+        self.derive_request(op, name, left, right)
+    }
+
+    fn derive_request(
+        &self,
+        op: &str,
+        name: &str,
+        left: &str,
+        right: &str,
+    ) -> Result<WireCandidateSet, ServeError> {
+        self.send(&Frame::Derive {
+            op: op.to_owned(),
+            name: name.to_owned(),
+            left: left.to_owned(),
+            right: right.to_owned(),
+        })?;
+        let reply = self.wait_control(|frame| {
+            matches!(
+                frame,
+                Frame::DeriveReply { .. } | Frame::Error { session: 0, .. }
+            )
+        })?;
+        match reply {
+            Frame::DeriveReply { set } => Ok(set),
+            Frame::Error { message, .. } => Err(ServeError::Daemon(message)),
+            _ => unreachable!("wait_control matched DeriveReply/Error"),
         }
     }
 

@@ -421,6 +421,14 @@ fn serve_connection(state: Arc<DaemonState>, conn: Box<dyn Conn>) {
                 // The drain watcher answers with `ShuttingDown` once this
                 // connection's sessions have wound down.
             }
+            Ok(Some(Frame::Derive {
+                op,
+                name,
+                left,
+                right,
+            })) => {
+                let _ = tx.send(handle_derive(&state, &op, &name, &left, &right));
+            }
             Ok(Some(other)) => {
                 let _ = tx.send(Frame::Error {
                     session: 0,
@@ -451,6 +459,47 @@ fn serve_connection(state: Arc<DaemonState>, conn: Box<dyn Conn>) {
     let _ = watcher.join();
     drop(tx);
     let _ = writer.join();
+}
+
+/// Answers a [`Frame::Derive`] against the shared repository: `"get"`
+/// fetches a named [`CandidateSet`](syno_store::CandidateSet); `"union"`,
+/// `"intersection"`, and `"difference"` derive (and journal) a new set
+/// from two existing ones. Failures come back as connection-scoped
+/// [`Frame::Error`]s — a bad set name must not kill the connection.
+fn handle_derive(state: &DaemonState, op: &str, name: &str, left: &str, right: &str) -> Frame {
+    use crate::protocol::WireCandidateSet;
+    use syno_store::DeriveOp;
+    let Some(store) = &state.store else {
+        return Frame::Error {
+            session: 0,
+            message: "derive requested but the daemon has no store attached".to_owned(),
+        };
+    };
+    let result = if op == "get" {
+        store
+            .candidate_set(name)
+            .ok_or_else(|| format!("no candidate set named {name:?} in the repository"))
+    } else {
+        match DeriveOp::from_name(op) {
+            Some(derive) => store.derive(derive, name, left, right).map_err(|e| e.to_string()),
+            None => Err(format!(
+                "unknown derive op {op:?} (want get, union, intersection, or difference)"
+            )),
+        }
+    };
+    match result {
+        Ok(set) => Frame::DeriveReply {
+            set: WireCandidateSet {
+                name: set.name().to_owned(),
+                lineage: set.lineage().to_owned(),
+                hashes: set.hashes().to_vec(),
+            },
+        },
+        Err(message) => Frame::Error {
+            session: 0,
+            message,
+        },
+    }
 }
 
 /// The writer thread: serializes every outbound frame; after the
@@ -515,10 +564,13 @@ fn spawn_pump(
         .name(format!("syno-serve-session-{session}"))
         .spawn(move || {
             for event in run.events() {
-                let frame = Frame::Event {
-                    session,
-                    event: wire_event(&event),
+                // `wire_event` is None for event variants this protocol
+                // revision cannot carry; drop them rather than corrupt
+                // the stream.
+                let Some(event) = wire_event(&event) else {
+                    continue;
                 };
+                let frame = Frame::Event { session, event };
                 if tx.send(frame).is_err() {
                     // The connection died; wind the run down and keep
                     // draining so join() returns promptly.

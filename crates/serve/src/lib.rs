@@ -36,5 +36,5 @@ pub use client::{ClientSession, ServeError, SessionMessage, SynoClient};
 pub use daemon::{Daemon, DaemonHandle, ServeConfig};
 pub use protocol::{
     wire_event, DaemonStatus, Frame, ProtocolError, SearchRequest, SessionStatus, WireCandidate,
-    WireEvent, WireStoreStats,
+    WireCandidateSet, WireEvent, WireStoreStats,
 };

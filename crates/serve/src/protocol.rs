@@ -195,6 +195,20 @@ pub enum WireEvent {
     },
 }
 
+/// A named candidate collection as it travels in a [`Frame::DeriveReply`]
+/// — the wire shape of [`syno_store::CandidateSet`]. Hashes are in the
+/// set's canonical order (sorted ascending, deduplicated), so identical
+/// sets encode to identical bytes.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct WireCandidateSet {
+    /// The set's repository name.
+    pub name: String,
+    /// Lineage string (`"run:<label>"`, `"union(a,b)"`, …).
+    pub lineage: String,
+    /// Member candidate ids (`PGraph::content_hash`), sorted ascending.
+    pub hashes: Vec<u64>,
+}
+
 /// Per-session live counters inside a [`DaemonStatus`].
 #[derive(Clone, Debug, PartialEq)]
 pub struct SessionStatus {
@@ -365,6 +379,28 @@ pub enum Frame {
     MetricsReply {
         /// The rendered dump.
         dump: String,
+    },
+    /// Client → server (protocol v3): fetch or derive a named candidate
+    /// set from the daemon's repository. `op` is `"get"` (fetch `name`;
+    /// `left`/`right` empty) or a [`syno_store::DeriveOp`] name
+    /// (`"union"` / `"intersection"` / `"difference"`, deriving `name`
+    /// from the sets `left` and `right` and journaling the result).
+    Derive {
+        /// The operation: `"get"`, `"union"`, `"intersection"`, or
+        /// `"difference"`.
+        op: String,
+        /// The set to fetch, or the derived set's new name.
+        name: String,
+        /// Left input set name (empty for `"get"`).
+        left: String,
+        /// Right input set name (empty for `"get"`).
+        right: String,
+    },
+    /// Server → client (protocol v3): the fetched or freshly derived
+    /// candidate set.
+    DeriveReply {
+        /// The set, in canonical member order.
+        set: WireCandidateSet,
     },
 }
 
@@ -660,6 +696,8 @@ impl Frame {
             Frame::Error { .. } => FrameKind::Error,
             Frame::Metrics => FrameKind::Metrics,
             Frame::MetricsReply { .. } => FrameKind::MetricsReply,
+            Frame::Derive { .. } => FrameKind::Derive,
+            Frame::DeriveReply { .. } => FrameKind::DeriveReply,
         }
     }
 
@@ -725,6 +763,25 @@ impl Frame {
             Frame::Error { session, message } => {
                 e.put_u64(*session);
                 e.put_str(message);
+            }
+            Frame::Derive {
+                op,
+                name,
+                left,
+                right,
+            } => {
+                e.put_str(op);
+                e.put_str(name);
+                e.put_str(left);
+                e.put_str(right);
+            }
+            Frame::DeriveReply { set } => {
+                e.put_str(&set.name);
+                e.put_str(&set.lineage);
+                e.put_u32(set.hashes.len() as u32);
+                for h in &set.hashes {
+                    e.put_u64(*h);
+                }
             }
         }
         e.into_bytes()
@@ -800,6 +857,35 @@ impl Frame {
             FrameKind::MetricsReply => Frame::MetricsReply {
                 dump: d.get_str()?,
             },
+            FrameKind::Derive => Frame::Derive {
+                op: d.get_str()?,
+                name: d.get_str()?,
+                left: d.get_str()?,
+                right: d.get_str()?,
+            },
+            FrameKind::DeriveReply => {
+                let name = d.get_str()?;
+                let lineage = d.get_str()?;
+                let n = d.get_u32()? as usize;
+                let mut hashes = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    hashes.push(d.get_u64()?);
+                }
+                Frame::DeriveReply {
+                    set: WireCandidateSet {
+                        name,
+                        lineage,
+                        hashes,
+                    },
+                }
+            }
+            // `FrameKind` is non_exhaustive: a kind this build knows how
+            // to *frame* but not to *type* is a protocol mismatch.
+            other => {
+                return Err(ProtocolError::Malformed(format!(
+                    "frame kind {other} has no typed payload in this build"
+                )))
+            }
         };
         if d.remaining() != 0 {
             return Err(ProtocolError::Malformed(format!(
@@ -847,7 +933,12 @@ impl Frame {
 
 /// Converts a [`SearchEvent`](syno_search::SearchEvent) into its wire
 /// shape (graphs re-encoded with the graph codec, errors tagged by kind).
-pub fn wire_event(event: &syno_search::SearchEvent) -> WireEvent {
+///
+/// Returns `None` for event variants this protocol revision has no wire
+/// shape for — `SearchEvent` is `#[non_exhaustive]`, and a daemon built
+/// against a newer search crate must drop unknown events rather than
+/// corrupt the stream.
+pub fn wire_event(event: &syno_search::SearchEvent) -> Option<WireEvent> {
     use syno_core::codec::encode_graph;
     use syno_search::SearchEvent as E;
     let wire_candidate = |c: &syno_search::Candidate| WireCandidate {
@@ -857,7 +948,7 @@ pub fn wire_event(event: &syno_search::SearchEvent) -> WireEvent {
         params: c.params,
         latencies: c.latencies.clone(),
     };
-    match event {
+    Some(match event {
         E::CandidateFound { scenario, id, .. } => WireEvent::CandidateFound {
             scenario: *scenario as u32,
             id: *id,
@@ -933,7 +1024,8 @@ pub fn wire_event(event: &syno_search::SearchEvent) -> WireEvent {
             scenario: *scenario as u32,
             candidates: *candidates as u64,
         },
-    }
+        _ => return None,
+    })
 }
 
 #[cfg(test)]

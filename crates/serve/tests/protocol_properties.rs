@@ -8,7 +8,8 @@ use proptest::prelude::*;
 use std::io::Cursor;
 use syno_core::codec::FrameKind;
 use syno_serve::{
-    DaemonStatus, Frame, SearchRequest, SessionStatus, WireCandidate, WireEvent, WireStoreStats,
+    DaemonStatus, Frame, SearchRequest, SessionStatus, WireCandidate, WireCandidateSet, WireEvent,
+    WireStoreStats,
 };
 
 /// Tiny deterministic value mixer so one `(kind, seed)` strategy sample
@@ -203,6 +204,28 @@ fn sample_frame(kind: FrameKind, seed: u64) -> Frame {
         FrameKind::MetricsReply => Frame::MetricsReply {
             dump: mix.text(200),
         },
+        FrameKind::Derive => Frame::Derive {
+            op: ["get", "union", "intersection", "difference"][mix.small(4) as usize].to_owned(),
+            name: mix.text(24),
+            left: mix.text(24),
+            right: mix.text(24),
+        },
+        FrameKind::DeriveReply => {
+            // Wire sets travel in canonical order (sorted + deduped).
+            let mut hashes: Vec<u64> = (0..mix.small(8)).map(|_| mix.next()).collect();
+            hashes.sort_unstable();
+            hashes.dedup();
+            Frame::DeriveReply {
+                set: WireCandidateSet {
+                    name: mix.text(24),
+                    lineage: mix.text(40),
+                    hashes,
+                },
+            }
+        }
+        // `FrameKind` is non_exhaustive; a kind added without a sampler
+        // arm must fail the sweep loudly, not silently sample nothing.
+        other => panic!("no sampler for frame kind {other}"),
     }
 }
 

@@ -1,6 +1,19 @@
-//! The append-only journal and its in-memory index.
+//! The versioned candidate repository: segment-per-writer journal shards,
+//! an operation log, and named candidate collections, over one in-memory
+//! index.
 //!
 //! ## On-disk layout
+//!
+//! A repository is a directory of journal **segments**:
+//!
+//! ```text
+//! repo/
+//! ├── journal.syno        canonical segment (fan-in compaction target)
+//! ├── journal-<w1>.syno   writer w1's shard
+//! └── journal-<w2>.syno   writer w2's shard
+//! ```
+//!
+//! Each segment is the same append-only file format:
 //!
 //! ```text
 //! +--------------------------------------------------------------+
@@ -11,15 +24,28 @@
 //! | ...                                                          |  record 1…
 //! ```
 //!
+//! A writer opens the repository with [`StoreBuilder::writer`] and takes an
+//! exclusive OS advisory lock on **its own shard only**, so any number of
+//! processes can share one repository directory while each segment keeps a
+//! single appender. Opening replays every segment in deterministic
+//! *repository order* — the canonical segment first, then shards sorted by
+//! file name — so every opener converges on the same merged view.
+//! [`Store::compact`] is the fan-in: it locks out every other segment's
+//! writer, merges all segments into a fresh canonical segment, and removes
+//! the merged-away shards.
+//!
 //! The checksum is the low 32 bits of a 64-bit FNV-1a digest over the kind
 //! byte plus the payload, computed with the same stable hasher that backs
 //! content hashes. Records are only ever appended; a crash can therefore
-//! corrupt at most the **tail** of the file. Loading walks the records in
-//! order and, at the first framing or checksum failure, truncates the file
-//! back to the last good record boundary — the recovery strategy of every
-//! write-ahead log. A record that frames and checksums correctly but fails
-//! to decode indicates real corruption (or a foreign writer) and is reported
-//! as [`StoreError::Corrupt`] rather than silently dropped.
+//! corrupt at most the **tail** of a segment. Loading walks the records in
+//! order and, at the first framing or checksum failure in the writer's own
+//! segment, truncates that segment back to the last good record boundary —
+//! the recovery strategy of every write-ahead log. A torn tail in *another
+//! writer's* shard is skipped without truncation (only its owner may
+//! rewrite it; it recovers the tail on its own next open). A record that
+//! frames and checksums correctly but fails to decode indicates real
+//! corruption (or a foreign writer) and is reported as
+//! [`StoreError::Corrupt`] rather than silently dropped.
 //!
 //! ## Payloads
 //!
@@ -29,9 +55,12 @@
 //! Since codec format version 2, `ProxyScore` payloads carry the task
 //! family that produced the score; shorter legacy payloads decode with the
 //! family defaulted to `"vision"` (the only family that existed when they
-//! were written), so version-1 journals stay fully readable.
+//! were written), so version-1 journals stay fully readable. Codec format
+//! version 4 added the [`Operation`] log record and the [`CandidateSet`]
+//! collection record; journals written before v4 simply contain none, so
+//! they open unchanged as a one-shard repository.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
@@ -53,7 +82,13 @@ const HEADER_LEN: u64 = 12;
 const MAX_PAYLOAD: u32 = 64 * 1024 * 1024;
 
 /// Errors surfaced by store operations.
+///
+/// Marked `#[non_exhaustive]`: repository-level failures grow with the
+/// store (sharding added [`StoreError::InvalidWriter`] and
+/// [`StoreError::UnknownSet`]), so downstream matchers must keep a
+/// wildcard arm.
 #[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum StoreError {
     /// An OS-level I/O failure, tagged with the operation that failed.
     Io {
@@ -84,6 +119,18 @@ pub enum StoreError {
         /// The missing key.
         hash: u64,
     },
+    /// A writer name passed to [`StoreBuilder::writer`] is not a valid
+    /// shard name (`[A-Za-z0-9_-]`, 1–64 characters).
+    InvalidWriter {
+        /// The offending name.
+        name: String,
+    },
+    /// A derive operation referenced a candidate set the repository does
+    /// not hold.
+    UnknownSet {
+        /// The missing set name.
+        name: String,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -101,6 +148,13 @@ impl fmt::Display for StoreError {
             StoreError::Codec(e) => write!(f, "codec error: {e}"),
             StoreError::UnknownHash { hash } => {
                 write!(f, "no candidate journaled under {hash:#018x}")
+            }
+            StoreError::InvalidWriter { name } => write!(
+                f,
+                "invalid writer name {name:?} (want 1-64 chars of [A-Za-z0-9_-])"
+            ),
+            StoreError::UnknownSet { name } => {
+                write!(f, "no candidate set named {name:?} in the repository")
             }
         }
     }
@@ -121,8 +175,9 @@ fn io_err(op: &'static str) -> impl FnOnce(std::io::Error) -> StoreError {
     }
 }
 
-/// The four journaled record kinds.
+/// The journaled record kinds.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[non_exhaustive]
 pub enum RecordKind {
     /// A candidate operator (content hash + encoded graph recipe).
     Candidate,
@@ -132,24 +187,34 @@ pub enum RecordKind {
     LatencyMeasurement,
     /// A search scenario's journaled position.
     Checkpoint,
+    /// One entry of the repository's operation log (codec v4).
+    Operation,
+    /// A named candidate collection (codec v4).
+    CandidateSet,
 }
 
 impl RecordKind {
-    fn tag(self) -> u8 {
+    /// The wire tag byte of this kind.
+    pub fn tag(self) -> u8 {
         match self {
             RecordKind::Candidate => 1,
             RecordKind::ProxyScore => 2,
             RecordKind::LatencyMeasurement => 3,
             RecordKind::Checkpoint => 4,
+            RecordKind::Operation => 5,
+            RecordKind::CandidateSet => 6,
         }
     }
 
-    fn from_tag(tag: u8) -> Option<RecordKind> {
+    /// Parses a wire tag byte.
+    pub fn from_tag(tag: u8) -> Option<RecordKind> {
         Some(match tag {
             1 => RecordKind::Candidate,
             2 => RecordKind::ProxyScore,
             3 => RecordKind::LatencyMeasurement,
             4 => RecordKind::Checkpoint,
+            5 => RecordKind::Operation,
+            6 => RecordKind::CandidateSet,
             _ => return None,
         })
     }
@@ -175,6 +240,273 @@ pub struct Checkpoint {
     pub iterations: u64,
     /// Distinct candidates discovered when the checkpoint was written.
     pub discovered: u64,
+}
+
+/// The typed identity of a proxy score: which task family's proxy produced
+/// it, and under which deterministic reduction-tree width.
+///
+/// A stored accuracy is only meaningful — and only recallable — under the
+/// exact `(family, reduce_width)` pair that produced it: the family picks
+/// the proxy task, and the width reshapes the deterministic FP summation
+/// order, so either mismatch is a different value, not a cache hit. The
+/// contract travels as one value (`put_score(hash, acc, &contract)` /
+/// `score_for_contract(hash, &contract)`) so growing it later does not
+/// break every call site again.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct ScoreContract {
+    /// Task family whose proxy produced the score (e.g. `"vision"`,
+    /// `"sequence"`).
+    pub family: String,
+    /// Reduction-tree width of the execution policy the score was computed
+    /// under (`1` = serial accumulation).
+    pub reduce_width: u32,
+}
+
+impl ScoreContract {
+    /// A contract for `family` at `reduce_width`.
+    pub fn new(family: impl Into<String>, reduce_width: u32) -> Self {
+        ScoreContract {
+            family: family.into(),
+            reduce_width,
+        }
+    }
+}
+
+impl fmt::Display for ScoreContract {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@w{}", self.family, self.reduce_width)
+    }
+}
+
+/// What a journaled [`Operation`] records. Marked `#[non_exhaustive]`:
+/// future repository operations (branch, merge, prune, …) must not be a
+/// semver break for downstream matchers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum OpKind {
+    /// A search run started fresh against the repository.
+    RunStarted,
+    /// A search run resumed from a journaled checkpoint.
+    RunResumed,
+    /// A run wrote a periodic checkpoint.
+    Checkpoint,
+    /// A fan-in compaction merged the repository's segments.
+    Compaction,
+    /// A candidate set was derived from existing sets.
+    Derive,
+}
+
+impl OpKind {
+    fn tag(self) -> u8 {
+        match self {
+            OpKind::RunStarted => 0,
+            OpKind::RunResumed => 1,
+            OpKind::Checkpoint => 2,
+            OpKind::Compaction => 3,
+            OpKind::Derive => 4,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Option<OpKind> {
+        Some(match tag {
+            0 => OpKind::RunStarted,
+            1 => OpKind::RunResumed,
+            2 => OpKind::Checkpoint,
+            3 => OpKind::Compaction,
+            4 => OpKind::Derive,
+            _ => return None,
+        })
+    }
+
+    /// Stable lower-case name (`"run-started"`, `"derive"`, …).
+    pub fn name(self) -> &'static str {
+        match self {
+            OpKind::RunStarted => "run-started",
+            OpKind::RunResumed => "run-resumed",
+            OpKind::Checkpoint => "checkpoint",
+            OpKind::Compaction => "compaction",
+            OpKind::Derive => "derive",
+        }
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One entry of the repository's operation log: which writer did what, to
+/// which scenario or set, and any human-readable detail. The log is what
+/// gives candidate collections *lineage* — two search runs can branch from
+/// and merge into one shared repository and the history stays auditable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Operation {
+    /// What happened.
+    pub kind: OpKind,
+    /// The shard writer that journaled the operation (`"journal"` for the
+    /// canonical single-writer segment).
+    pub writer: String,
+    /// The scenario label or set name the operation concerns.
+    pub label: String,
+    /// The scenario's spec fingerprint, or `0` for operations (compaction,
+    /// derive) that are not tied to one spec.
+    pub spec_fingerprint: u64,
+    /// Free-form detail (e.g. `"from iteration 40"` for a resume, the
+    /// lineage expression for a derive).
+    pub detail: String,
+}
+
+impl fmt::Display for Operation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} [{}]", self.kind, self.label, self.writer)?;
+        if !self.detail.is_empty() {
+            write!(f, ": {}", self.detail)?;
+        }
+        Ok(())
+    }
+}
+
+/// A derive-style set operation over two named [`CandidateSet`]s.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum DeriveOp {
+    /// Hashes in either input set.
+    Union,
+    /// Hashes in both input sets.
+    Intersection,
+    /// Hashes in the left set but not the right.
+    Difference,
+}
+
+impl DeriveOp {
+    /// Stable lower-case name (`"union"`, `"intersection"`, `"difference"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            DeriveOp::Union => "union",
+            DeriveOp::Intersection => "intersection",
+            DeriveOp::Difference => "difference",
+        }
+    }
+
+    /// Parses [`DeriveOp::name`] output (the serve protocol's op strings).
+    pub fn from_name(name: &str) -> Option<DeriveOp> {
+        Some(match name {
+            "union" => DeriveOp::Union,
+            "intersection" => DeriveOp::Intersection,
+            "difference" => DeriveOp::Difference,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for DeriveOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A named, content-hash-keyed candidate collection with lineage.
+///
+/// The member list is **canonical**: sorted ascending and deduplicated, so
+/// equal collections have equal bytes — `derive_*` output is byte-stable
+/// across repeat runs, which the multi-writer CI smoke asserts end-to-end.
+/// Latest journaled set per name wins, like checkpoints.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CandidateSet {
+    name: String,
+    lineage: String,
+    hashes: Vec<u64>,
+}
+
+impl CandidateSet {
+    /// A set named `name` holding `hashes` (sorted + deduplicated here,
+    /// whatever order they arrive in), with a free-form `lineage`
+    /// expression saying where the collection came from (e.g. `"run:conv"`
+    /// or `"union(conv,pool)"`).
+    pub fn new(name: impl Into<String>, lineage: impl Into<String>, mut hashes: Vec<u64>) -> Self {
+        hashes.sort_unstable();
+        hashes.dedup();
+        CandidateSet {
+            name: name.into(),
+            lineage: lineage.into(),
+            hashes,
+        }
+    }
+
+    /// The set's repository-wide name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Where the collection came from.
+    pub fn lineage(&self) -> &str {
+        &self.lineage
+    }
+
+    /// The member content hashes, sorted ascending.
+    pub fn hashes(&self) -> &[u64] {
+        &self.hashes
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.hashes.len()
+    }
+
+    /// `true` when the set has no members.
+    pub fn is_empty(&self) -> bool {
+        self.hashes.is_empty()
+    }
+
+    /// `true` when `hash` is a member.
+    pub fn contains(&self, hash: u64) -> bool {
+        self.hashes.binary_search(&hash).is_ok()
+    }
+
+    /// A stable 64-bit digest over name, lineage, and members — two equal
+    /// digests mean byte-identical journaled set records, which is how the
+    /// CI smoke asserts derive determinism across independent runs.
+    pub fn digest(&self) -> u64 {
+        use std::hash::Hasher;
+        let mut h = StableHasher::new();
+        h.write(self.name.as_bytes());
+        h.write(&[0]);
+        h.write(self.lineage.as_bytes());
+        h.write(&[0]);
+        h.write(&(self.hashes.len() as u64).to_le_bytes());
+        for hash in &self.hashes {
+            h.write(&hash.to_le_bytes());
+        }
+        h.finish()
+    }
+
+    /// The top `k` members by journaled proxy score under `contract`,
+    /// best first. Members without a score under that exact contract (or
+    /// with a NaN journaled-failure marker) are skipped; ties break by
+    /// ascending hash so the selection is deterministic.
+    pub fn top_k(&self, store: &Store, k: usize, contract: &ScoreContract) -> Vec<(u64, f64)> {
+        let inner = store.lock();
+        let mut scored: Vec<(u64, f64)> = self
+            .hashes
+            .iter()
+            .filter_map(|&hash| {
+                inner
+                    .state
+                    .contract_score(hash, contract)
+                    .filter(|a| !a.is_nan())
+                    .map(|a| (hash, a))
+            })
+            .collect();
+        drop(inner);
+        scored.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("NaN filtered above")
+                .then(a.0.cmp(&b.0))
+        });
+        scored.truncate(k);
+        scored
+    }
 }
 
 /// One decoded journal record (exposed for tooling and tests; the search
@@ -220,6 +552,10 @@ pub enum Record {
     },
     /// A search checkpoint.
     Checkpoint(Checkpoint),
+    /// One operation-log entry (codec v4).
+    Operation(Operation),
+    /// A named candidate collection (codec v4; latest per name wins).
+    CandidateSet(CandidateSet),
 }
 
 impl Record {
@@ -230,10 +566,15 @@ impl Record {
             Record::ProxyScore { .. } => RecordKind::ProxyScore,
             Record::LatencyMeasurement { .. } => RecordKind::LatencyMeasurement,
             Record::Checkpoint(_) => RecordKind::Checkpoint,
+            Record::Operation(_) => RecordKind::Operation,
+            Record::CandidateSet(_) => RecordKind::CandidateSet,
         }
     }
 
-    fn encode_payload(&self) -> Vec<u8> {
+    /// Encodes the record's payload bytes (everything between the frame's
+    /// length prefix and its checksum). Public so codec round-trip tests
+    /// and tooling can frame records without a live store.
+    pub fn encode_payload(&self) -> Vec<u8> {
         let mut e = Encoder::new();
         match self {
             Record::Candidate { hash, graph } => {
@@ -269,11 +610,28 @@ impl Record {
                 e.put_u64(cp.iterations);
                 e.put_u64(cp.discovered);
             }
+            Record::Operation(op) => {
+                e.put_u8(op.kind.tag());
+                e.put_str(&op.writer);
+                e.put_str(&op.label);
+                e.put_u64(op.spec_fingerprint);
+                e.put_str(&op.detail);
+            }
+            Record::CandidateSet(set) => {
+                e.put_str(&set.name);
+                e.put_str(&set.lineage);
+                e.put_u32(set.hashes.len() as u32);
+                for hash in &set.hashes {
+                    e.put_u64(*hash);
+                }
+            }
         }
         e.into_bytes()
     }
 
-    fn decode_payload(kind: RecordKind, payload: &[u8]) -> Result<Record, CodecError> {
+    /// Decodes one record payload of the given `kind`; the inverse of
+    /// [`Record::encode_payload`]. Trailing bytes are rejected.
+    pub fn decode_payload(kind: RecordKind, payload: &[u8]) -> Result<Record, CodecError> {
         let mut d = Decoder::new(payload);
         let record = match kind {
             RecordKind::Candidate => Record::Candidate {
@@ -314,6 +672,32 @@ impl Record {
                 iterations: d.get_u64()?,
                 discovered: d.get_u64()?,
             }),
+            RecordKind::Operation => {
+                let tag = d.get_u8()?;
+                let kind = OpKind::from_tag(tag).ok_or(CodecError::BadTag {
+                    what: "operation kind",
+                    tag,
+                })?;
+                Record::Operation(Operation {
+                    kind,
+                    writer: d.get_str()?,
+                    label: d.get_str()?,
+                    spec_fingerprint: d.get_u64()?,
+                    detail: d.get_str()?,
+                })
+            }
+            RecordKind::CandidateSet => {
+                let name = d.get_str()?;
+                let lineage = d.get_str()?;
+                let count = d.get_u32()? as usize;
+                let mut hashes = Vec::with_capacity(count.min(1 << 20));
+                for _ in 0..count {
+                    hashes.push(d.get_u64()?);
+                }
+                // `new` re-normalizes (sort + dedup), so even a hand-built
+                // record decodes into a canonical collection.
+                Record::CandidateSet(CandidateSet::new(name, lineage, hashes))
+            }
         };
         if d.remaining() != 0 {
             return Err(CodecError::Invalid(format!(
@@ -350,7 +734,16 @@ pub struct StoreStats {
     pub latency_measurements: u64,
     /// Live checkpoints (latest per scenario).
     pub checkpoints: u64,
-    /// Journal size on disk, bytes.
+    /// Operation-log entries (run lineage, compactions, derives).
+    pub operations: u64,
+    /// Named candidate sets (latest per name).
+    pub candidate_sets: u64,
+    /// Journal segments in the repository when this handle opened (own
+    /// shard + canonical + other writers' shards); fan-in compaction
+    /// brings it back toward 1.
+    pub segments: u64,
+    /// Repository size on disk, bytes: this writer's segment plus every
+    /// other segment as of open.
     pub file_bytes: u64,
     /// Bytes discarded by torn-tail recovery when the store was opened.
     pub recovered_bytes: u64,
@@ -398,20 +791,44 @@ struct CandidateEntry {
     latencies: HashMap<(String, String), f64>,
 }
 
-struct Inner {
-    file: File,
-    path: PathBuf,
-    sync_on_append: bool,
-    len_bytes: u64,
-    recovered_bytes: u64,
-    cache_hits: u64,
-    lookups: u64,
+/// The merged in-memory view of every replayed segment. Split from
+/// [`Inner`] so fan-in compaction can rebuild a fresh view from disk and
+/// swap it in atomically.
+#[derive(Default)]
+struct ReplayState {
     /// Content hash → everything known about the candidate.
     index: HashMap<u64, CandidateEntry>,
-    /// First-journaled order of candidate hashes (compaction preserves it).
+    /// First-journaled order of candidate hashes in repository order
+    /// (compaction preserves it).
     order: Vec<u64>,
     /// `(label, spec fingerprint) → latest checkpoint`.
     checkpoints: HashMap<(String, u64), Checkpoint>,
+    /// The operation log, in repository replay order.
+    ops: Vec<Operation>,
+    /// Named candidate sets, latest record per name; `BTreeMap` so
+    /// compaction writes them in deterministic name order.
+    sets: BTreeMap<String, CandidateSet>,
+}
+
+struct Inner {
+    file: File,
+    path: PathBuf,
+    /// The repository directory holding every segment.
+    dir: PathBuf,
+    /// Shard writer name, or `None` for the canonical segment's writer.
+    writer: Option<String>,
+    sync_on_append: bool,
+    /// Length of this writer's own segment (the append offset).
+    len_bytes: u64,
+    /// Bytes of *other* segments replayed at open (or left by a fan-in
+    /// compaction); together with `len_bytes` this is the repository size.
+    foreign_bytes: u64,
+    /// Segment files seen at open.
+    segments: u64,
+    recovered_bytes: u64,
+    cache_hits: u64,
+    lookups: u64,
+    state: ReplayState,
 }
 
 /// Opens or creates a [`Store`].
@@ -424,17 +841,35 @@ pub struct StoreBuilder {
     path: PathBuf,
     create: bool,
     sync_on_append: bool,
+    writer: Option<String>,
 }
 
 impl StoreBuilder {
-    /// Targets the journal directory `path` (the journal file lives at
-    /// `path/journal.syno`).
+    /// Targets the repository directory `path` (the canonical journal
+    /// segment lives at `path/journal.syno`; writer shards — see
+    /// [`StoreBuilder::writer`] — at `path/journal-<writer>.syno`).
     pub fn new(path: impl Into<PathBuf>) -> Self {
         StoreBuilder {
             path: path.into(),
             create: true,
             sync_on_append: false,
+            writer: None,
         }
+    }
+
+    /// Opens the repository as the named shard writer: appends go to
+    /// `journal-<name>.syno` and only *that* segment is exclusively
+    /// locked, so any number of differently-named writers (across
+    /// processes) share one repository directory concurrently. Without a
+    /// writer name the store is the canonical segment's single writer —
+    /// the pre-sharding behavior, which is also how v1–v3 single-journal
+    /// stores keep opening read/write as a one-shard repository.
+    ///
+    /// Names are restricted to 1–64 characters of `[A-Za-z0-9_-]` so
+    /// every shard file name parses back unambiguously.
+    pub fn writer(mut self, name: impl Into<String>) -> Self {
+        self.writer = Some(name.into());
+        self
     }
 
     /// Whether to create the directory and journal when missing (default
@@ -453,25 +888,37 @@ impl StoreBuilder {
         self
     }
 
-    /// Opens the store, replaying the journal into the in-memory index and
-    /// truncating a torn tail record if the last session crashed mid-append.
+    /// Opens the repository, replaying **every** segment into the
+    /// in-memory index in deterministic repository order (canonical
+    /// segment first, then shards sorted by file name) and truncating a
+    /// torn tail record of this writer's own segment if its last session
+    /// crashed mid-append. Torn tails of *other* writers' shards are
+    /// skipped without truncation — only their owner may rewrite them.
     ///
-    /// The journal is **single-writer**: opening takes an exclusive OS
-    /// advisory lock held until the [`Store`] is dropped, so a second open
-    /// of the same directory — from this process or another — fails
-    /// instead of silently interleaving appends. The lock is released by
-    /// the kernel even on crash.
+    /// Each segment is **single-writer**: opening takes an exclusive OS
+    /// advisory lock on this writer's own segment, held until the
+    /// [`Store`] is dropped, so a second open under the same writer name
+    /// (or of the canonical segment without a name) — from this process
+    /// or another — fails instead of silently interleaving appends.
+    /// Differently-named writers lock different shard files and coexist.
+    /// The lock is released by the kernel even on crash.
     ///
     /// # Errors
     ///
+    /// [`StoreError::InvalidWriter`] for a malformed writer name;
     /// [`StoreError::Io`] when the directory or file cannot be
-    /// created/opened, or when another live `Store` holds the journal
+    /// created/opened, or when another live `Store` holds this segment's
     /// lock; [`StoreError::BadMagic`] / [`StoreError::Version`] for a
     /// foreign or incompatible file; [`StoreError::Corrupt`] when a
     /// well-framed record fails to decode (which truncation must *not*
     /// paper over).
     pub fn open(self) -> Result<Store, StoreError> {
         let dir = &self.path;
+        if let Some(name) = &self.writer {
+            if !Store::valid_writer_name(name) {
+                return Err(StoreError::InvalidWriter { name: name.clone() });
+            }
+        }
         if !dir.exists() {
             if !self.create {
                 return Err(StoreError::Io {
@@ -481,19 +928,23 @@ impl StoreBuilder {
             }
             std::fs::create_dir_all(dir).map_err(io_err("create dir"))?;
         }
-        let file_path = Store::journal_path(dir);
+        let own_path = match &self.writer {
+            None => Store::journal_path(dir),
+            Some(name) => Store::shard_path(dir, name),
+        };
         let mut file = OpenOptions::new()
             .read(true)
             .write(true)
             .create(self.create)
-            .open(&file_path)
+            .open(&own_path)
             .map_err(io_err("open journal"))?;
-        // Single-writer guard: an exclusive advisory lock held for the
-        // store's lifetime. Two concurrent writers would append at
-        // overlapping offsets and shred each other's frames; the kernel
-        // releases the lock on crash, so there are no stale locks to clean.
+        // Per-segment single-writer guard: an exclusive advisory lock held
+        // for the store's lifetime. Two writers of one segment would
+        // append at overlapping offsets and shred each other's frames; the
+        // kernel releases the lock on crash, so there are no stale locks
+        // to clean.
         file.try_lock().map_err(|e| StoreError::Io {
-            op: "lock journal (is another process using this store?)",
+            op: "lock journal segment (is another process writing it?)",
             reason: e.to_string(),
         })?;
 
@@ -502,19 +953,23 @@ impl StoreBuilder {
 
         let mut inner = Inner {
             file,
-            path: file_path,
+            path: own_path.clone(),
+            dir: dir.clone(),
+            writer: self.writer.clone(),
             sync_on_append: self.sync_on_append,
             len_bytes: 0,
+            foreign_bytes: 0,
+            segments: 0,
             recovered_bytes: 0,
             cache_hits: 0,
             lookups: 0,
-            index: HashMap::new(),
-            order: Vec::new(),
-            checkpoints: HashMap::new(),
+            state: ReplayState::default(),
         };
 
+        // Initialize or validate this writer's own segment first; records
+        // are applied below, in repository order.
         if bytes.len() < HEADER_LEN as usize {
-            // Empty or torn-header file: start fresh.
+            // Empty or torn-header file: start the segment fresh.
             inner.recovered_bytes = bytes.len() as u64;
             inner.file.set_len(0).map_err(io_err("truncate"))?;
             let mut header = Vec::with_capacity(HEADER_LEN as usize);
@@ -523,46 +978,55 @@ impl StoreBuilder {
             inner.file.seek(SeekFrom::Start(0)).map_err(io_err("seek"))?;
             inner.file.write_all(&header).map_err(io_err("write header"))?;
             inner.file.sync_data().map_err(io_err("sync header"))?;
-            inner.len_bytes = HEADER_LEN;
-            return Ok(Store {
-                inner: Mutex::new(inner),
-            });
-        }
-
-        if bytes[..8] != MAGIC {
-            return Err(StoreError::BadMagic);
-        }
-        let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
-        if version != JOURNAL_VERSION {
-            return Err(StoreError::Version { found: version });
-        }
-
-        // Replay records; stop (and truncate) at the first torn frame.
-        let mut offset = HEADER_LEN as usize;
-        let mut good = offset;
-        loop {
-            match read_frame(&bytes, offset) {
-                FrameResult::Record(record, next) => {
-                    inner.apply(record);
-                    offset = next;
-                    good = next;
-                }
-                FrameResult::End => break,
-                FrameResult::Torn => break,
-                FrameResult::Corrupt(reason) => {
-                    return Err(StoreError::Corrupt {
-                        offset: offset as u64,
-                        reason,
-                    });
-                }
+            bytes.clear();
+            bytes.extend_from_slice(&MAGIC);
+            bytes.extend_from_slice(&JOURNAL_VERSION.to_le_bytes());
+        } else {
+            if bytes[..8] != MAGIC {
+                return Err(StoreError::BadMagic);
+            }
+            let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+            if version != JOURNAL_VERSION {
+                return Err(StoreError::Version { found: version });
             }
         }
-        if good < bytes.len() {
-            inner.recovered_bytes = (bytes.len() - good) as u64;
-            inner.file.set_len(good as u64).map_err(io_err("truncate"))?;
-            inner.file.sync_data().map_err(io_err("sync truncate"))?;
+
+        // Replay every segment in repository order. The own segment is
+        // replayed from the bytes read above (and its torn tail, if any,
+        // is truncated on disk); other writers' segments are replayed
+        // read-only from disk.
+        for segment in Store::segment_paths(dir).map_err(io_err("list repository"))? {
+            if segment == own_path {
+                let good = replay_segment(&mut inner.state, &bytes, &own_path)?;
+                if good < bytes.len() {
+                    inner.recovered_bytes += (bytes.len() - good) as u64;
+                    inner.file.set_len(good as u64).map_err(io_err("truncate"))?;
+                    inner.file.sync_data().map_err(io_err("sync truncate"))?;
+                }
+                inner.len_bytes = good as u64;
+            } else {
+                // A concurrent writer may still be initializing (or a
+                // concurrent compaction may have just removed) the file;
+                // both read as "no records yet".
+                let Ok(seg_bytes) = std::fs::read(&segment) else {
+                    continue;
+                };
+                if seg_bytes.len() < HEADER_LEN as usize {
+                    inner.segments += 1;
+                    continue;
+                }
+                if seg_bytes[..8] != MAGIC {
+                    return Err(StoreError::BadMagic);
+                }
+                let version = u32::from_le_bytes(seg_bytes[8..12].try_into().unwrap());
+                if version != JOURNAL_VERSION {
+                    return Err(StoreError::Version { found: version });
+                }
+                replay_segment(&mut inner.state, &seg_bytes, &segment)?;
+                inner.foreign_bytes += seg_bytes.len() as u64;
+            }
+            inner.segments += 1;
         }
-        inner.len_bytes = good as u64;
         Ok(Store {
             inner: Mutex::new(inner),
         })
@@ -613,7 +1077,37 @@ fn read_frame(bytes: &[u8], offset: usize) -> FrameResult {
     }
 }
 
-impl Inner {
+/// Replays one already-header-validated segment's records into `state`,
+/// stopping at the first torn frame. Returns the offset just past the last
+/// good record (callers owning the segment truncate to it; readers of
+/// foreign shards just stop).
+fn replay_segment(
+    state: &mut ReplayState,
+    bytes: &[u8],
+    segment: &Path,
+) -> Result<usize, StoreError> {
+    let mut offset = HEADER_LEN as usize;
+    let mut good = offset;
+    loop {
+        match read_frame(bytes, offset) {
+            FrameResult::Record(record, next) => {
+                state.apply(record);
+                offset = next;
+                good = next;
+            }
+            FrameResult::End | FrameResult::Torn => break,
+            FrameResult::Corrupt(reason) => {
+                return Err(StoreError::Corrupt {
+                    offset: offset as u64,
+                    reason: format!("{reason} (segment {})", segment.display()),
+                });
+            }
+        }
+    }
+    Ok(good)
+}
+
+impl ReplayState {
     /// The index entry for `hash`, created (and ordered) on first sight.
     fn entry(&mut self, hash: u64) -> &mut CandidateEntry {
         if !self.index.contains_key(&hash) {
@@ -654,7 +1148,36 @@ impl Inner {
                 self.checkpoints
                     .insert((cp.label.clone(), cp.spec_fingerprint), cp);
             }
+            Record::Operation(op) => {
+                self.ops.push(op);
+            }
+            Record::CandidateSet(set) => {
+                self.sets.insert(set.name.clone(), set);
+            }
         }
+    }
+
+    /// The journaled accuracy for `hash` iff it matches `contract` (a
+    /// legacy record with no family/width tag always matches).
+    fn contract_score(&self, hash: u64, contract: &ScoreContract) -> Option<f64> {
+        let entry = self.index.get(&hash)?;
+        if entry.family.as_deref().is_some_and(|f| f != contract.family) {
+            return None;
+        }
+        if entry
+            .score_width
+            .is_some_and(|w| w != contract.reduce_width)
+        {
+            return None;
+        }
+        entry.accuracy
+    }
+}
+
+impl Inner {
+    /// This handle's writer id as journaled in operation-log entries.
+    fn writer_id(&self) -> &str {
+        self.writer.as_deref().unwrap_or("journal")
     }
 
     fn append(&mut self, record: &Record) -> Result<(), StoreError> {
@@ -708,9 +1231,56 @@ impl fmt::Debug for Store {
 }
 
 impl Store {
-    /// The journal file inside a store directory.
+    /// The canonical journal segment inside a repository directory.
     pub fn journal_path(dir: &Path) -> PathBuf {
         dir.join("journal.syno")
+    }
+
+    /// The shard segment a named writer appends to.
+    pub fn shard_path(dir: &Path, writer: &str) -> PathBuf {
+        dir.join(format!("journal-{writer}.syno"))
+    }
+
+    /// `true` when `name` is a legal shard writer name: 1–64 characters
+    /// of `[A-Za-z0-9_-]`, so shard file names parse back unambiguously.
+    pub fn valid_writer_name(name: &str) -> bool {
+        !name.is_empty()
+            && name.len() <= 64
+            && name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+    }
+
+    /// Every journal segment currently in the repository directory, in
+    /// deterministic *repository order*: the canonical segment first, then
+    /// writer shards sorted by file name. This is the order segments are
+    /// replayed in, so every opener converges on the same merged view.
+    ///
+    /// # Errors
+    ///
+    /// Forwards the directory-listing I/O error.
+    pub fn segment_paths(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+        let mut canonical = None;
+        let mut shards = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if name == "journal.syno" {
+                canonical = Some(entry.path());
+            } else if let Some(stem) = name.strip_prefix("journal-") {
+                if let Some(writer) = stem.strip_suffix(".syno") {
+                    if Store::valid_writer_name(writer) {
+                        shards.push((name.to_owned(), entry.path()));
+                    }
+                }
+            }
+        }
+        shards.sort();
+        Ok(canonical
+            .into_iter()
+            .chain(shards.into_iter().map(|(_, path)| path))
+            .collect())
     }
 
     /// Shorthand for `StoreBuilder::new(path).open()`.
@@ -726,9 +1296,20 @@ impl Store {
         self.inner.lock().expect("store lock")
     }
 
-    /// Path of the journal file.
+    /// Path of this writer's own journal segment.
     pub fn path(&self) -> PathBuf {
         self.lock().path.clone()
+    }
+
+    /// The repository directory holding every segment.
+    pub fn dir(&self) -> PathBuf {
+        self.lock().dir.clone()
+    }
+
+    /// The shard writer name this handle opened under, or `None` for the
+    /// canonical segment's writer.
+    pub fn writer(&self) -> Option<String> {
+        self.lock().writer.clone()
     }
 
     /// Journals a candidate operator under its content hash. Returns `false`
@@ -739,7 +1320,12 @@ impl Store {
     /// [`StoreError::Io`] when the append fails.
     pub fn put_candidate(&self, hash: u64, graph: &PGraph) -> Result<bool, StoreError> {
         let mut inner = self.lock();
-        if inner.index.get(&hash).is_some_and(|e| !e.graph.is_empty()) {
+        if inner
+            .state
+            .index
+            .get(&hash)
+            .is_some_and(|e| !e.graph.is_empty())
+        {
             return Ok(false);
         }
         let record = Record::Candidate {
@@ -747,13 +1333,13 @@ impl Store {
             graph: codec::encode_graph(graph),
         };
         inner.append(&record)?;
-        inner.apply(record);
+        inner.state.apply(record);
         Ok(true)
     }
 
-    /// Journals a proxy score for `hash`, tagged with the task `family`
-    /// whose proxy produced it (`"vision"`, `"sequence"`, …) and the
-    /// `reduce_width` of the execution policy it was computed under (the
+    /// Journals a proxy score for `hash` under its typed
+    /// [`ScoreContract`] — the task family whose proxy produced it and the
+    /// reduce width of the execution policy it was computed under (the
     /// width determines the deterministic FP summation order, so it is
     /// part of the score's identity — see [`Store::score_for_contract`]).
     ///
@@ -769,19 +1355,38 @@ impl Store {
         &self,
         hash: u64,
         accuracy: f64,
-        family: &str,
-        reduce_width: u32,
+        contract: &ScoreContract,
     ) -> Result<(), StoreError> {
         let mut inner = self.lock();
         let record = Record::ProxyScore {
             hash,
             accuracy,
-            family: family.to_owned(),
-            reduce_width,
+            family: contract.family.clone(),
+            reduce_width: contract.reduce_width,
         };
         inner.append(&record)?;
-        inner.apply(record);
+        inner.state.apply(record);
         Ok(())
+    }
+
+    /// Positional form of [`Store::put_score`], kept for one release so
+    /// PR-8-era callers migrate without a flag day.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the append fails.
+    #[deprecated(
+        note = "build a typed `ScoreContract { family, reduce_width }` and call `put_score`; \
+                the positional form is frozen and will be removed next release"
+    )]
+    pub fn put_score_parts(
+        &self,
+        hash: u64,
+        accuracy: f64,
+        family: &str,
+        reduce_width: u32,
+    ) -> Result<(), StoreError> {
+        self.put_score(hash, accuracy, &ScoreContract::new(family, reduce_width))
     }
 
     /// Journals a tuned latency for `hash` on one device/compiler pair.
@@ -804,7 +1409,7 @@ impl Store {
             latency,
         };
         inner.append(&record)?;
-        inner.apply(record);
+        inner.state.apply(record);
         Ok(())
     }
 
@@ -817,13 +1422,195 @@ impl Store {
         let mut inner = self.lock();
         let record = Record::Checkpoint(checkpoint.clone());
         inner.append(&record)?;
-        inner.apply(record);
+        inner.state.apply(record);
         Ok(())
+    }
+
+    /// Journals a pre-built operation-log entry verbatim. Most callers
+    /// want [`Store::log_operation`], which stamps this writer's id.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the append fails.
+    pub fn put_operation(&self, op: &Operation) -> Result<(), StoreError> {
+        let mut inner = self.lock();
+        let record = Record::Operation(op.clone());
+        inner.append(&record)?;
+        inner.state.apply(record);
+        Ok(())
+    }
+
+    /// Journals one operation-log entry stamped with this writer's id and
+    /// returns it — how search runs record their lineage (started,
+    /// resumed, checkpointed) against the repository.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the append fails.
+    pub fn log_operation(
+        &self,
+        kind: OpKind,
+        label: &str,
+        spec_fingerprint: u64,
+        detail: impl Into<String>,
+    ) -> Result<Operation, StoreError> {
+        let mut inner = self.lock();
+        let op = Operation {
+            kind,
+            writer: inner.writer_id().to_owned(),
+            label: label.to_owned(),
+            spec_fingerprint,
+            detail: detail.into(),
+        };
+        let record = Record::Operation(op.clone());
+        inner.append(&record)?;
+        inner.state.apply(record);
+        Ok(op)
+    }
+
+    /// The full operation log in repository replay order.
+    pub fn operations(&self) -> Vec<Operation> {
+        self.lock().state.ops.clone()
+    }
+
+    /// The operation log filtered to one scenario label or set name.
+    pub fn operations_for(&self, label: &str) -> Vec<Operation> {
+        self.lock()
+            .state
+            .ops
+            .iter()
+            .filter(|op| op.label == label)
+            .cloned()
+            .collect()
+    }
+
+    /// The most recent operation journaled for `(label, spec_fingerprint)`
+    /// — what `resume_from` consults to report a resumed run's lineage.
+    pub fn last_operation(&self, label: &str, spec_fingerprint: u64) -> Option<Operation> {
+        self.lock()
+            .state
+            .ops
+            .iter()
+            .rev()
+            .find(|op| op.label == label && op.spec_fingerprint == spec_fingerprint)
+            .cloned()
+    }
+
+    /// Journals a named candidate set (latest record per name wins, like
+    /// checkpoints).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the append fails.
+    pub fn put_set(&self, set: &CandidateSet) -> Result<(), StoreError> {
+        let mut inner = self.lock();
+        let record = Record::CandidateSet(set.clone());
+        inner.append(&record)?;
+        inner.state.apply(record);
+        Ok(())
+    }
+
+    /// The latest journaled candidate set under `name`, if any.
+    pub fn candidate_set(&self, name: &str) -> Option<CandidateSet> {
+        self.lock().state.sets.get(name).cloned()
+    }
+
+    /// Every live candidate-set name, sorted.
+    pub fn set_names(&self) -> Vec<String> {
+        self.lock().state.sets.keys().cloned().collect()
+    }
+
+    /// Derives a new named candidate set as `op` over the sets named
+    /// `left` and `right`, journaling the set **and** a `Derive`
+    /// operation-log entry recording its lineage. The result is canonical
+    /// (sorted, deduplicated), so repeat derivations over equal inputs are
+    /// byte-identical — the determinism the multi-writer CI smoke asserts.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::UnknownSet`] when either input set is missing;
+    /// [`StoreError::Io`] when the append fails.
+    pub fn derive(
+        &self,
+        op: DeriveOp,
+        name: &str,
+        left: &str,
+        right: &str,
+    ) -> Result<CandidateSet, StoreError> {
+        use std::collections::BTreeSet;
+        let mut inner = self.lock();
+        let left_set = inner.state.sets.get(left).ok_or_else(|| StoreError::UnknownSet {
+            name: left.to_owned(),
+        })?;
+        let right_set = inner.state.sets.get(right).ok_or_else(|| StoreError::UnknownSet {
+            name: right.to_owned(),
+        })?;
+        let l: BTreeSet<u64> = left_set.hashes.iter().copied().collect();
+        let r: BTreeSet<u64> = right_set.hashes.iter().copied().collect();
+        let hashes: Vec<u64> = match op {
+            DeriveOp::Union => l.union(&r).copied().collect(),
+            DeriveOp::Intersection => l.intersection(&r).copied().collect(),
+            DeriveOp::Difference => l.difference(&r).copied().collect(),
+        };
+        let lineage = format!("{}({left},{right})", op.name());
+        let set = CandidateSet::new(name, lineage.clone(), hashes);
+        let record = Record::CandidateSet(set.clone());
+        inner.append(&record)?;
+        inner.state.apply(record);
+        let log = Record::Operation(Operation {
+            kind: OpKind::Derive,
+            writer: inner.writer_id().to_owned(),
+            label: name.to_owned(),
+            spec_fingerprint: 0,
+            detail: lineage,
+        });
+        inner.append(&log)?;
+        inner.state.apply(log);
+        drop(inner);
+        syno_telemetry::counter!("syno_store_derives_total").inc();
+        Ok(set)
+    }
+
+    /// [`Store::derive`] with [`DeriveOp::Union`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Store::derive`].
+    pub fn derive_union(&self, name: &str, left: &str, right: &str) -> Result<CandidateSet, StoreError> {
+        self.derive(DeriveOp::Union, name, left, right)
+    }
+
+    /// [`Store::derive`] with [`DeriveOp::Intersection`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Store::derive`].
+    pub fn derive_intersection(
+        &self,
+        name: &str,
+        left: &str,
+        right: &str,
+    ) -> Result<CandidateSet, StoreError> {
+        self.derive(DeriveOp::Intersection, name, left, right)
+    }
+
+    /// [`Store::derive`] with [`DeriveOp::Difference`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Store::derive`].
+    pub fn derive_difference(
+        &self,
+        name: &str,
+        left: &str,
+        right: &str,
+    ) -> Result<CandidateSet, StoreError> {
+        self.derive(DeriveOp::Difference, name, left, right)
     }
 
     /// `true` when a candidate is journaled under `hash`.
     pub fn contains(&self, hash: u64) -> bool {
-        self.lock().index.contains_key(&hash)
+        self.lock().state.index.contains_key(&hash)
     }
 
     /// The cached proxy accuracy for `hash`, counting a hit toward
@@ -833,7 +1620,7 @@ impl Store {
     /// does this so `cache_hits` counts only evaluations actually served).
     pub fn recall_score(&self, hash: u64) -> Option<f64> {
         let mut inner = self.lock();
-        let hit = inner.index.get(&hash).and_then(|e| e.accuracy);
+        let hit = inner.state.index.get(&hash).and_then(|e| e.accuracy);
         if hit.is_some() {
             inner.cache_hits += 1;
         }
@@ -851,14 +1638,18 @@ impl Store {
     /// `Some(NaN)` is the journaled-failure marker (see
     /// [`Store::put_score`]).
     pub fn score(&self, hash: u64) -> Option<f64> {
-        self.lock().index.get(&hash).and_then(|e| e.accuracy)
+        self.lock().state.index.get(&hash).and_then(|e| e.accuracy)
     }
 
     /// The task family that produced the cached score for `hash`
     /// (`"vision"` for legacy untagged records), or `None` when no score
     /// is journaled.
     pub fn score_family(&self, hash: u64) -> Option<String> {
-        self.lock().index.get(&hash).and_then(|e| e.family.clone())
+        self.lock()
+            .state
+            .index
+            .get(&hash)
+            .and_then(|e| e.family.clone())
     }
 
     /// The cached proxy accuracy for `hash` *if* it was produced by
@@ -869,41 +1660,47 @@ impl Store {
     pub fn score_for_family(&self, hash: u64, family: &str) -> Option<f64> {
         let mut inner = self.lock();
         inner.lookups += 1;
-        let entry = inner.index.get(&hash)?;
+        let entry = inner.state.index.get(&hash)?;
         if entry.family.as_deref().is_some_and(|f| f != family) {
             return None;
         }
         entry.accuracy
     }
 
-    /// The cached proxy accuracy for `hash` *if* it was produced by
-    /// `family` **under** `reduce_width` — the search pipeline's recall
-    /// probe. The reduction-tree width reshapes the deterministic FP
-    /// summation order, so a score computed at another width is a
-    /// different value, not a cache hit; the mismatch reads as a miss and
-    /// the caller re-evaluates (and re-journals under its own width).
-    /// Width-less legacy records carry width `1` (serial accumulation).
-    pub fn score_for_contract(
+    /// The cached proxy accuracy for `hash` *if* it matches the typed
+    /// [`ScoreContract`] — the search pipeline's recall probe. The
+    /// reduction-tree width reshapes the deterministic FP summation
+    /// order, so a score computed at another width (or by another
+    /// family's proxy) is a different value, not a cache hit; the
+    /// mismatch reads as a miss and the caller re-evaluates (and
+    /// re-journals under its own contract). Legacy records carry family
+    /// `"vision"` and width `1` (serial accumulation).
+    pub fn score_for_contract(&self, hash: u64, contract: &ScoreContract) -> Option<f64> {
+        let mut inner = self.lock();
+        inner.lookups += 1;
+        inner.state.contract_score(hash, contract)
+    }
+
+    /// Positional form of [`Store::score_for_contract`], kept for one
+    /// release so PR-8-era callers migrate without a flag day.
+    #[deprecated(
+        note = "build a typed `ScoreContract { family, reduce_width }` and call \
+                `score_for_contract`; the positional form is frozen and will be removed \
+                next release"
+    )]
+    pub fn score_for_contract_parts(
         &self,
         hash: u64,
         family: &str,
         reduce_width: u32,
     ) -> Option<f64> {
-        let mut inner = self.lock();
-        inner.lookups += 1;
-        let entry = inner.index.get(&hash)?;
-        if entry.family.as_deref().is_some_and(|f| f != family) {
-            return None;
-        }
-        if entry.score_width.is_some_and(|w| w != reduce_width) {
-            return None;
-        }
-        entry.accuracy
+        self.score_for_contract(hash, &ScoreContract::new(family, reduce_width))
     }
 
     /// The cached latency for `hash` on one device/compiler pair.
     pub fn latency(&self, hash: u64, device: &str, compiler: &str) -> Option<f64> {
         self.lock()
+            .state
             .index
             .get(&hash)
             .and_then(|e| e.latencies.get(&(device.to_owned(), compiler.to_owned())).copied())
@@ -913,7 +1710,7 @@ impl Store {
     /// request order; `None` unless **all** are present.
     pub fn latencies(&self, hash: u64, devices: &[&str], compiler: &str) -> Option<Vec<f64>> {
         let inner = self.lock();
-        let entry = inner.index.get(&hash)?;
+        let entry = inner.state.index.get(&hash)?;
         devices
             .iter()
             .map(|d| {
@@ -935,6 +1732,7 @@ impl Store {
         let bytes = {
             let inner = self.lock();
             let entry = inner
+                .state
                 .index
                 .get(&hash)
                 .filter(|e| !e.graph.is_empty())
@@ -944,14 +1742,16 @@ impl Store {
         Ok(codec::decode_graph(&bytes)?)
     }
 
-    /// Content hashes of every journaled candidate, in first-seen order.
+    /// Content hashes of every journaled candidate, in repository
+    /// first-seen order.
     pub fn hashes(&self) -> Vec<u64> {
-        self.lock().order.clone()
+        self.lock().state.order.clone()
     }
 
     /// The latest checkpoint for a scenario, if any.
     pub fn checkpoint(&self, label: &str, spec_fingerprint: u64) -> Option<Checkpoint> {
         self.lock()
+            .state
             .checkpoints
             .get(&(label.to_owned(), spec_fingerprint))
             .cloned()
@@ -960,8 +1760,8 @@ impl Store {
     /// Aggregate counters.
     pub fn stats(&self) -> StoreStats {
         let inner = self.lock();
-        let mut by_family: std::collections::BTreeMap<&str, u64> = std::collections::BTreeMap::new();
-        for entry in inner.index.values() {
+        let mut by_family: BTreeMap<&str, u64> = BTreeMap::new();
+        for entry in inner.state.index.values() {
             if entry.accuracy.is_some_and(|a| !a.is_nan()) {
                 // Untagged legacy records were always vision scores.
                 let family = entry.family.as_deref().unwrap_or("vision");
@@ -969,40 +1769,101 @@ impl Store {
             }
         }
         StoreStats {
-            candidates: inner.order.len() as u64,
+            candidates: inner.state.order.len() as u64,
             scored: by_family.values().sum(),
             scores_by_family: by_family
                 .into_iter()
                 .map(|(name, count)| (name.to_owned(), count))
                 .collect(),
             latency_measurements: inner
+                .state
                 .index
                 .values()
                 .map(|e| e.latencies.len() as u64)
                 .sum(),
-            checkpoints: inner.checkpoints.len() as u64,
-            file_bytes: inner.len_bytes,
+            checkpoints: inner.state.checkpoints.len() as u64,
+            operations: inner.state.ops.len() as u64,
+            candidate_sets: inner.state.sets.len() as u64,
+            segments: inner.segments,
+            file_bytes: inner.len_bytes + inner.foreign_bytes,
             recovered_bytes: inner.recovered_bytes,
             cache_hits: inner.cache_hits,
             lookups: inner.lookups,
         }
     }
 
-    /// Rewrites the journal keeping only the live state: one `Candidate`,
-    /// at most one `ProxyScore`, and the latest latency per device/compiler
-    /// pair for each hash (in first-seen order), plus the latest checkpoint
-    /// per scenario. Superseded duplicates are dropped. Returns the stats
-    /// after compaction.
+    /// Fan-in compaction: merges **every** segment of the repository into
+    /// a fresh canonical segment keeping only the live state — one
+    /// `Candidate`, at most one `ProxyScore`, and the latest latency per
+    /// device/compiler pair for each hash (in repository first-seen
+    /// order), the latest checkpoint per scenario, the full operation log
+    /// (plus a new `Compaction` entry), and the latest candidate set per
+    /// name. Superseded duplicates are dropped, merged-away shards are
+    /// removed, and this writer's own shard (when named) is reset to
+    /// header-only. Returns the stats after compaction.
     ///
-    /// The rewrite goes through a temporary file and an atomic rename, so a
-    /// crash mid-compaction leaves either the old or the new journal intact.
+    /// Every *other* segment's writer lock is taken for the duration, so
+    /// a live writer makes the compaction fail loudly instead of losing
+    /// its in-flight appends. The rewrite goes through a temporary file
+    /// and an atomic rename, so a crash mid-compaction leaves either the
+    /// old or the new canonical segment intact (and shards are only
+    /// removed after the rename lands).
     ///
     /// # Errors
     ///
-    /// [`StoreError::Io`] when writing or renaming fails.
+    /// [`StoreError::Io`] when a segment is still locked by a live
+    /// writer, or when writing or renaming fails.
     pub fn compact(&self) -> Result<StoreStats, StoreError> {
         let compact_span = syno_telemetry::span!("journal_compact");
         let mut inner = self.lock();
+        let dir = inner.dir.clone();
+        let canonical = Store::journal_path(&dir);
+        let own_is_canonical = inner.writer.is_none();
+
+        // Fan-in guard: hold every other segment's writer lock so no live
+        // writer can append while its shard is merged away.
+        let segments = Store::segment_paths(&dir).map_err(io_err("list repository"))?;
+        let mut guards: Vec<(PathBuf, File)> = Vec::new();
+        for segment in &segments {
+            if *segment == inner.path {
+                continue;
+            }
+            // A segment vanishing here means a concurrent compaction
+            // already merged it; skip it and merge what remains.
+            let Ok(guard) = OpenOptions::new().read(true).write(true).open(segment) else {
+                continue;
+            };
+            guard.try_lock().map_err(|e| StoreError::Io {
+                op: "lock segment for compaction (live writer?)",
+                reason: format!("{}: {e}", segment.display()),
+            })?;
+            guards.push((segment.clone(), guard));
+        }
+
+        // Rebuild the merged view fresh from disk in repository order:
+        // foreign shards may have grown since this handle opened, and the
+        // own segment's bytes on disk are exactly its in-memory state.
+        let mut merged = ReplayState::default();
+        for segment in &segments {
+            let Ok(seg_bytes) = std::fs::read(segment) else {
+                continue;
+            };
+            if seg_bytes.len() < HEADER_LEN as usize {
+                continue;
+            }
+            if seg_bytes[..8] != MAGIC {
+                return Err(StoreError::BadMagic);
+            }
+            replay_segment(&mut merged, &seg_bytes, segment)?;
+        }
+        merged.ops.push(Operation {
+            kind: OpKind::Compaction,
+            writer: inner.writer_id().to_owned(),
+            label: String::new(),
+            spec_fingerprint: 0,
+            detail: format!("fan-in of {} segments", segments.len()),
+        });
+
         let mut bytes = Vec::new();
         bytes.extend_from_slice(&MAGIC);
         bytes.extend_from_slice(&JOURNAL_VERSION.to_le_bytes());
@@ -1014,8 +1875,8 @@ impl Store {
             bytes.extend_from_slice(&payload);
             bytes.extend_from_slice(&frame_checksum(tag, &payload).to_le_bytes());
         };
-        for &hash in &inner.order {
-            let entry = &inner.index[&hash];
+        for &hash in &merged.order {
+            let entry = &merged.index[&hash];
             if !entry.graph.is_empty() {
                 frame(
                     &Record::Candidate {
@@ -1053,7 +1914,7 @@ impl Store {
                 );
             }
         }
-        let mut checkpoints: Vec<_> = inner.checkpoints.values().cloned().collect();
+        let mut checkpoints: Vec<_> = merged.checkpoints.values().cloned().collect();
         checkpoints.sort_by(|a, b| {
             a.label
                 .cmp(&b.label)
@@ -1062,8 +1923,17 @@ impl Store {
         for cp in checkpoints {
             frame(&Record::Checkpoint(cp), &mut bytes);
         }
+        for op in &merged.ops {
+            frame(&Record::Operation(op.clone()), &mut bytes);
+        }
+        for set in merged.sets.values() {
+            frame(&Record::CandidateSet(set.clone()), &mut bytes);
+        }
 
-        let tmp = inner.path.with_extension("syno.tmp");
+        let tmp = match &inner.writer {
+            None => inner.path.with_extension("syno.tmp"),
+            Some(writer) => dir.join(format!("compact-{writer}.tmp")),
+        };
         let mut out = OpenOptions::new()
             .read(true)
             .write(true)
@@ -1075,14 +1945,41 @@ impl Store {
         out.sync_data().map_err(io_err("sync compact file"))?;
         // Take the single-writer lock on the replacement *before* the swap,
         // so no other opener can slip in between rename and relock; the old
-        // handle's lock dies with it on reassignment below.
+        // handle's lock dies with it when it is dropped/reassigned below.
         out.try_lock().map_err(|e| StoreError::Io {
             op: "lock compact file",
             reason: e.to_string(),
         })?;
-        std::fs::rename(&tmp, &inner.path).map_err(io_err("swap compact file"))?;
-        inner.file = out;
-        inner.len_bytes = bytes.len() as u64;
+        std::fs::rename(&tmp, &canonical).map_err(io_err("swap compact file"))?;
+        if own_is_canonical {
+            inner.file = out;
+            inner.len_bytes = bytes.len() as u64;
+            inner.foreign_bytes = 0;
+            inner.segments = 1;
+        } else {
+            // The canonical segment belongs to whichever writer(None)
+            // opens the repository next; release the replacement's lock.
+            drop(out);
+            // This shard's records were folded into the canonical segment;
+            // reset it to header-only and keep appending here.
+            inner
+                .file
+                .set_len(HEADER_LEN)
+                .map_err(io_err("reset shard"))?;
+            inner.file.sync_data().map_err(io_err("sync shard reset"))?;
+            inner.len_bytes = HEADER_LEN;
+            inner.foreign_bytes = bytes.len() as u64;
+            inner.segments = 2;
+        }
+        // Remove merged-away shards; their (now moot) locks are still held
+        // in `guards`, so no writer raced an append into them.
+        for (path, guard) in guards {
+            if path != canonical {
+                let _ = std::fs::remove_file(&path);
+            }
+            drop(guard);
+        }
+        inner.state = merged;
         drop(inner);
         syno_telemetry::counter!("syno_store_compactions_total").inc();
         syno_telemetry::counter!("syno_store_bytes_written_total").add(bytes.len() as u64);
@@ -1108,6 +2005,11 @@ mod tests {
         ));
         let _ = std::fs::remove_dir_all(&dir);
         dir
+    }
+
+    /// Shorthand score contract for tests.
+    fn c(family: &str, width: u32) -> ScoreContract {
+        ScoreContract::new(family, width)
     }
 
     fn pool_graphs(n: usize) -> Vec<PGraph> {
@@ -1136,7 +2038,7 @@ mod tests {
             for (i, g) in graphs.iter().enumerate() {
                 let hash = g.content_hash();
                 assert!(store.put_candidate(hash, g).unwrap());
-                store.put_score(hash, 0.5 + i as f64 / 10.0, "vision", 1).unwrap();
+                store.put_score(hash, 0.5 + i as f64 / 10.0, &c("vision", 1)).unwrap();
                 store.put_latency(hash, "mobile-cpu", "TVM", 1e-3 * (i + 1) as f64).unwrap();
             }
             store
@@ -1192,7 +2094,7 @@ mod tests {
         {
             let store = StoreBuilder::new(&dir).open().unwrap();
             store.put_candidate(h0, &graphs[0]).unwrap();
-            store.put_score(h0, 0.9, "vision", 1).unwrap();
+            store.put_score(h0, 0.9, &c("vision", 1)).unwrap();
             store.put_candidate(h1, &graphs[1]).unwrap();
         }
         // Simulate a crash mid-append: chop bytes off the last record.
@@ -1264,7 +2166,7 @@ mod tests {
         }
         let h = graphs[0].content_hash();
         for i in 0..10 {
-            store.put_score(h, i as f64 / 10.0, "vision", 1).unwrap();
+            store.put_score(h, i as f64 / 10.0, &c("vision", 1)).unwrap();
             store.put_latency(h, "mobile-cpu", "TVM", 1e-3 * (i + 1) as f64).unwrap();
             store
                 .put_checkpoint(&Checkpoint {
@@ -1289,7 +2191,7 @@ mod tests {
         assert_eq!(store.checkpoint("pool", 1).unwrap().iterations, 9);
         // Appending still works after the swap, and a reopen sees one
         // consistent journal.
-        store.put_score(h, 0.95, "vision", 1).unwrap();
+        store.put_score(h, 0.95, &c("vision", 1)).unwrap();
         drop(store);
         let store = StoreBuilder::new(&dir).open().unwrap();
         assert_eq!(store.score(h), Some(0.95));
@@ -1316,7 +2218,7 @@ mod tests {
         {
             let store = StoreBuilder::new(&dir).open().unwrap();
             store.put_candidate(h, &graphs[0]).unwrap();
-            store.put_score(h, f64::NAN, "sequence", 1).unwrap();
+            store.put_score(h, f64::NAN, &c("sequence", 1)).unwrap();
             assert!(store.score(h).unwrap().is_nan());
             assert_eq!(store.stats().scored, 0, "failure markers are not scores");
             store.compact().unwrap();
@@ -1339,7 +2241,7 @@ mod tests {
         assert_eq!(store.recall_score(h), None);
         assert_eq!(store.stats().cache_hits, 0);
         store.put_candidate(h, &graphs[0]).unwrap();
-        store.put_score(h, 0.7, "vision", 1).unwrap();
+        store.put_score(h, 0.7, &c("vision", 1)).unwrap();
         assert_eq!(store.recall_score(h), Some(0.7));
         assert_eq!(store.recall_score(h), Some(0.7));
         assert_eq!(store.stats().cache_hits, 2);
@@ -1358,9 +2260,9 @@ mod tests {
         {
             let store = StoreBuilder::new(&dir).open().unwrap();
             store.put_candidate(h0, &graphs[0]).unwrap();
-            store.put_score(h0, 0.6, "sequence", 1).unwrap();
+            store.put_score(h0, 0.6, &c("sequence", 1)).unwrap();
             store.put_candidate(h1, &graphs[1]).unwrap();
-            store.put_score(h1, 0.4, "vision", 1).unwrap();
+            store.put_score(h1, 0.4, &c("vision", 1)).unwrap();
         }
         let store = StoreBuilder::new(&dir).open().unwrap();
         assert_eq!(store.score_family(h0).as_deref(), Some("sequence"));
@@ -1410,16 +2312,16 @@ mod tests {
         assert_eq!(store.score_family(hash).as_deref(), Some("vision"));
         // Width-less legacy scores were produced by serial accumulation, so
         // they recall only under the width-1 contract.
-        assert_eq!(store.score_for_contract(hash, "vision", 1), Some(0.8125));
-        assert_eq!(store.score_for_contract(hash, "vision", 4), None);
+        assert_eq!(store.score_for_contract(hash, &c("vision", 1)), Some(0.8125));
+        assert_eq!(store.score_for_contract(hash, &c("vision", 4)), None);
         // Compaction rewrites it with an explicit tag and it still reads.
         store.compact().unwrap();
         drop(store);
         let store = StoreBuilder::new(&dir).open().unwrap();
         assert_eq!(store.score(hash), Some(0.8125));
         assert_eq!(store.score_family(hash).as_deref(), Some("vision"));
-        assert_eq!(store.score_for_contract(hash, "vision", 1), Some(0.8125));
-        assert_eq!(store.score_for_contract(hash, "vision", 4), None);
+        assert_eq!(store.score_for_contract(hash, &c("vision", 1)), Some(0.8125));
+        assert_eq!(store.score_for_contract(hash, &c("vision", 4)), None);
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -1435,29 +2337,308 @@ mod tests {
         {
             let store = StoreBuilder::new(&dir).open().unwrap();
             store.put_candidate(h1, &graphs[0]).unwrap();
-            store.put_score(h1, 0.6, "vision", 1).unwrap();
+            store.put_score(h1, 0.6, &c("vision", 1)).unwrap();
             store.put_candidate(h4, &graphs[1]).unwrap();
-            store.put_score(h4, 0.8, "vision", 4).unwrap();
-            assert_eq!(store.score_for_contract(h1, "vision", 1), Some(0.6));
-            assert_eq!(store.score_for_contract(h1, "vision", 4), None);
-            assert_eq!(store.score_for_contract(h4, "vision", 4), Some(0.8));
-            assert_eq!(store.score_for_contract(h4, "vision", 1), None);
+            store.put_score(h4, 0.8, &c("vision", 4)).unwrap();
+            assert_eq!(store.score_for_contract(h1, &c("vision", 1)), Some(0.6));
+            assert_eq!(store.score_for_contract(h1, &c("vision", 4)), None);
+            assert_eq!(store.score_for_contract(h4, &c("vision", 4)), Some(0.8));
+            assert_eq!(store.score_for_contract(h4, &c("vision", 1)), None);
             // Family mismatches are still misses, width notwithstanding.
-            assert_eq!(store.score_for_contract(h4, "sequence", 4), None);
+            assert_eq!(store.score_for_contract(h4, &c("sequence", 4)), None);
             // Every probe above counts as a lookup; hits are only recorded
             // by the caller once the recall is actually served.
             assert_eq!(store.stats().lookups, 5);
             assert_eq!(store.stats().cache_hits, 0);
         }
         let store = StoreBuilder::new(&dir).open().unwrap();
-        assert_eq!(store.score_for_contract(h4, "vision", 4), Some(0.8));
-        assert_eq!(store.score_for_contract(h4, "vision", 1), None);
+        assert_eq!(store.score_for_contract(h4, &c("vision", 4)), Some(0.8));
+        assert_eq!(store.score_for_contract(h4, &c("vision", 1)), None);
         store.compact().unwrap();
         drop(store);
         let store = StoreBuilder::new(&dir).open().unwrap();
-        assert_eq!(store.score_for_contract(h1, "vision", 1), Some(0.6));
-        assert_eq!(store.score_for_contract(h1, "vision", 4), None);
-        assert_eq!(store.score_for_contract(h4, "vision", 4), Some(0.8));
+        assert_eq!(store.score_for_contract(h1, &c("vision", 1)), Some(0.6));
+        assert_eq!(store.score_for_contract(h1, &c("vision", 4)), None);
+        assert_eq!(store.score_for_contract(h4, &c("vision", 4)), Some(0.8));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The deprecated positional wrappers still work (one release of
+    /// grace) and land on the same records as the typed contract API.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_positional_wrappers_still_work() {
+        let dir = temp_dir("deprecated");
+        let graphs = pool_graphs(1);
+        let h = graphs[0].content_hash();
+        let store = StoreBuilder::new(&dir).open().unwrap();
+        store.put_candidate(h, &graphs[0]).unwrap();
+        store.put_score_parts(h, 0.625, "vision", 4).unwrap();
+        assert_eq!(store.score_for_contract_parts(h, "vision", 4), Some(0.625));
+        assert_eq!(store.score_for_contract(h, &c("vision", 4)), Some(0.625));
+        assert_eq!(store.score_for_contract_parts(h, "vision", 1), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn invalid_writer_names_are_rejected() {
+        let dir = temp_dir("badwriter");
+        for bad in ["", "a/b", "dots.bad", "sp ace", &"x".repeat(65)] {
+            let err = StoreBuilder::new(&dir).writer(bad).open().unwrap_err();
+            assert!(matches!(err, StoreError::InvalidWriter { .. }), "{bad:?}: {err}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Two writers share one repository directory concurrently: each locks
+    /// only its own shard, both sets of records are visible to a fresh
+    /// reader, and fan-in compaction merges them into one canonical
+    /// segment with nothing lost.
+    #[test]
+    fn two_writers_share_a_repository_and_compact_fans_in() {
+        let dir = temp_dir("shards");
+        let graphs = pool_graphs(4);
+        let hashes: Vec<u64> = graphs.iter().map(|g| g.content_hash()).collect();
+        let w1 = StoreBuilder::new(&dir).writer("w1").open().unwrap();
+        let w2 = StoreBuilder::new(&dir).writer("w2").open().unwrap();
+        // Same writer name is still locked out; a different name is not.
+        assert!(StoreBuilder::new(&dir).writer("w1").open().is_err());
+        for (i, g) in graphs.iter().enumerate() {
+            let (store, width) = if i % 2 == 0 { (&w1, 1) } else { (&w2, 4) };
+            store.put_candidate(hashes[i], g).unwrap();
+            store.put_score(hashes[i], i as f64 / 10.0, &c("vision", width)).unwrap();
+        }
+        w1.put_set(&CandidateSet::new("even", "run:even", vec![hashes[0], hashes[2]]))
+            .unwrap();
+        w2.put_set(&CandidateSet::new("odd", "run:odd", vec![hashes[1], hashes[3]]))
+            .unwrap();
+        // A writer sees only the segments present when it opened, so a
+        // fresh handle (any writer name not in use) sees everything.
+        drop(w2);
+        let reader = StoreBuilder::new(&dir).writer("reader").open().unwrap();
+        let stats = reader.stats();
+        assert_eq!(stats.candidates, 4, "{stats:?}");
+        assert_eq!(stats.candidate_sets, 2);
+        assert_eq!(stats.segments, 3, "canonical + w1 + w2");
+        // Fan-in compaction fails while w1 is live…
+        let err = reader.compact().unwrap_err();
+        assert!(matches!(err, StoreError::Io { .. }), "{err}");
+        drop(w1);
+        // …and succeeds once the shard locks are free.
+        let after = reader.compact().unwrap();
+        assert_eq!(after.candidates, 4);
+        assert_eq!(after.candidate_sets, 2);
+        assert!(
+            !Store::shard_path(&dir, "w1").exists() && !Store::shard_path(&dir, "w2").exists(),
+            "merged shards removed"
+        );
+        let union = reader.derive_union("all", "even", "odd").unwrap();
+        assert_eq!(union.hashes().len(), 4);
+        drop(reader);
+        // The merged repository reopens as a plain canonical store.
+        let store = StoreBuilder::new(&dir).open().unwrap();
+        assert_eq!(store.stats().candidates, 4);
+        assert_eq!(store.candidate_set("all").unwrap().hashes().len(), 4);
+        for (i, &h) in hashes.iter().enumerate() {
+            let width = if i % 2 == 0 { 1 } else { 4 };
+            assert_eq!(store.score_for_contract(h, &c("vision", width)), Some(i as f64 / 10.0));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Fan-in compaction is byte-stable: two repositories built by the
+    /// same writers in the same order compact to identical canonical
+    /// bytes, and so do repeated compactions of one repository.
+    #[test]
+    fn fan_in_compaction_is_byte_stable() {
+        let graphs = pool_graphs(3);
+        let build = |tag: &str| -> (PathBuf, Vec<u8>) {
+            let dir = temp_dir(tag);
+            {
+                let w1 = StoreBuilder::new(&dir).writer("w1").open().unwrap();
+                let w2 = StoreBuilder::new(&dir).writer("w2").open().unwrap();
+                for (i, g) in graphs.iter().enumerate() {
+                    let store = if i % 2 == 0 { &w1 } else { &w2 };
+                    store.put_candidate(g.content_hash(), g).unwrap();
+                    store.put_score(g.content_hash(), 0.25, &c("vision", 1)).unwrap();
+                }
+                w1.put_set(&CandidateSet::new(
+                    "a",
+                    "run:a",
+                    graphs.iter().map(|g| g.content_hash()).collect(),
+                ))
+                .unwrap();
+            }
+            let reader = StoreBuilder::new(&dir).writer("z").open().unwrap();
+            reader.compact().unwrap();
+            drop(reader);
+            let bytes = std::fs::read(Store::journal_path(&dir)).unwrap();
+            (dir, bytes)
+        };
+        let (dir_a, bytes_a) = build("stable-a");
+        let (dir_b, bytes_b) = build("stable-b");
+        assert_eq!(bytes_a, bytes_b, "same history compacts to identical bytes");
+        let _ = std::fs::remove_dir_all(&dir_a);
+        let _ = std::fs::remove_dir_all(&dir_b);
+    }
+
+    /// Derive operations are deterministic set algebra over named
+    /// collections, journal their own lineage into the op log, and
+    /// survive reopen.
+    #[test]
+    fn derive_set_operations_are_deterministic_and_journaled() {
+        let dir = temp_dir("derive");
+        let store = StoreBuilder::new(&dir).open().unwrap();
+        // Hash order in the input is irrelevant: sets are canonicalized.
+        store.put_set(&CandidateSet::new("a", "run:a", vec![30, 10, 20, 10])).unwrap();
+        store.put_set(&CandidateSet::new("b", "run:b", vec![20, 40])).unwrap();
+        let union = store.derive_union("u", "a", "b").unwrap();
+        assert_eq!(union.hashes(), &[10, 20, 30, 40]);
+        assert_eq!(union.lineage(), "union(a,b)");
+        let inter = store.derive_intersection("i", "a", "b").unwrap();
+        assert_eq!(inter.hashes(), &[20]);
+        let diff = store.derive_difference("d", "a", "b").unwrap();
+        assert_eq!(diff.hashes(), &[10, 30]);
+        assert_eq!(
+            store.derive_union("u2", "a", "b").unwrap().digest(),
+            store.derive_union("u2", "a", "b").unwrap().digest(),
+            "repeat derives agree"
+        );
+        let err = store.derive_union("x", "a", "nope").unwrap_err();
+        assert!(matches!(err, StoreError::UnknownSet { .. }), "{err}");
+        let derives: Vec<_> = store
+            .operations()
+            .into_iter()
+            .filter(|op| op.kind == OpKind::Derive)
+            .collect();
+        assert_eq!(derives.len(), 5);
+        assert_eq!(derives[0].detail, "union(a,b)");
+        drop(store);
+        let store = StoreBuilder::new(&dir).open().unwrap();
+        assert_eq!(store.candidate_set("u").unwrap().hashes(), &[10, 20, 30, 40]);
+        assert_eq!(store.candidate_set("i").unwrap().lineage(), "intersection(a,b)");
+        let mut names = store.set_names();
+        names.sort();
+        assert_eq!(names, ["a", "b", "d", "i", "u", "u2"]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// `CandidateSet::top_k` ranks by contract score (desc, hash asc
+    /// tiebreak), skipping unscored members and NaN failure markers.
+    #[test]
+    fn candidate_set_top_k_ranks_by_contract_score() {
+        let dir = temp_dir("topk");
+        let graphs = pool_graphs(4);
+        let hashes: Vec<u64> = graphs.iter().map(|g| g.content_hash()).collect();
+        let store = StoreBuilder::new(&dir).open().unwrap();
+        for g in &graphs {
+            store.put_candidate(g.content_hash(), g).unwrap();
+        }
+        store.put_score(hashes[0], 0.5, &c("vision", 1)).unwrap();
+        store.put_score(hashes[1], 0.9, &c("vision", 1)).unwrap();
+        store.put_score(hashes[2], f64::NAN, &c("vision", 1)).unwrap();
+        store.put_score(hashes[3], 0.9, &c("sequence", 1)).unwrap();
+        let set = CandidateSet::new("s", "run:s", hashes.clone());
+        let top = set.top_k(&store, 10, &c("vision", 1));
+        assert_eq!(top.len(), 2, "NaN and family-mismatch excluded: {top:?}");
+        assert_eq!(top[0], (hashes[1], 0.9));
+        assert_eq!(top[1], (hashes[0], 0.5));
+        assert_eq!(set.top_k(&store, 1, &c("vision", 1)), vec![(hashes[1], 0.9)]);
+        assert!(set.top_k(&store, 10, &c("vision", 4)).is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The operation log records run lifecycle events with writer
+    /// attribution, and `last_operation` finds the newest entry for a
+    /// scenario.
+    #[test]
+    fn operation_log_records_lifecycle_with_writer_attribution() {
+        let dir = temp_dir("oplog");
+        {
+            let store = StoreBuilder::new(&dir).writer("runner-1").open().unwrap();
+            store.log_operation(OpKind::RunStarted, "pool", 42, "seed 7").unwrap();
+            store.log_operation(OpKind::Checkpoint, "pool", 42, "iteration 10").unwrap();
+        }
+        let store = StoreBuilder::new(&dir).open().unwrap();
+        store.log_operation(OpKind::RunResumed, "pool", 42, "from iteration 10").unwrap();
+        let ops = store.operations_for("pool");
+        assert_eq!(ops.len(), 3);
+        assert_eq!(ops[0].kind, OpKind::RunStarted);
+        assert_eq!(ops[0].writer, "runner-1");
+        assert_eq!(ops[2].writer, "journal", "canonical writer id");
+        let last = store.last_operation("pool", 42).unwrap();
+        assert_eq!(last.kind, OpKind::RunResumed);
+        assert!(store.last_operation("pool", 99).is_none());
+        assert_eq!(store.stats().operations, 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Crash recovery is per-shard: a torn tail on one shard truncates
+    /// only when its owner reopens, and never damages the other shards'
+    /// records or the derived sets stored in them.
+    #[test]
+    fn torn_shard_tail_leaves_other_shards_and_sets_intact() {
+        let dir = temp_dir("tornshard");
+        let graphs = pool_graphs(3);
+        let hashes: Vec<u64> = graphs.iter().map(|g| g.content_hash()).collect();
+        {
+            let w1 = StoreBuilder::new(&dir).writer("w1").open().unwrap();
+            let w2 = StoreBuilder::new(&dir).writer("w2").open().unwrap();
+            w1.put_candidate(hashes[0], &graphs[0]).unwrap();
+            w1.put_set(&CandidateSet::new("keep", "run:keep", vec![hashes[0]])).unwrap();
+            w2.put_candidate(hashes[1], &graphs[1]).unwrap();
+            w2.put_candidate(hashes[2], &graphs[2]).unwrap();
+        }
+        // Crash mid-append on w2's shard.
+        let shard = Store::shard_path(&dir, "w2");
+        let len = std::fs::metadata(&shard).unwrap().len();
+        let file = OpenOptions::new().write(true).open(&shard).unwrap();
+        file.set_len(len - 5).unwrap();
+        drop(file);
+        // A *foreign* reader skips the torn tail without truncating.
+        {
+            let reader = StoreBuilder::new(&dir).writer("r").open().unwrap();
+            let stats = reader.stats();
+            assert_eq!(stats.candidates, 2, "torn third candidate skipped");
+            assert_eq!(stats.recovered_bytes, 0, "foreign tails are not truncated");
+            assert!(reader.contains(hashes[0]) && reader.contains(hashes[1]));
+            assert_eq!(reader.candidate_set("keep").unwrap().hashes(), &[hashes[0]]);
+        }
+        assert_eq!(std::fs::metadata(&shard).unwrap().len(), len - 5);
+        // The shard's own writer truncates and keeps going.
+        let w2 = StoreBuilder::new(&dir).writer("w2").open().unwrap();
+        assert!(w2.stats().recovered_bytes > 0);
+        w2.put_candidate(hashes[2], &graphs[2]).unwrap();
+        assert_eq!(w2.stats().candidates, 3);
+        assert_eq!(w2.candidate_set("keep").unwrap().hashes(), &[hashes[0]]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A named writer's compaction folds everything into the canonical
+    /// segment, resets its own shard to header-only, and keeps accepting
+    /// appends.
+    #[test]
+    fn named_writer_compaction_resets_own_shard() {
+        let dir = temp_dir("shardreset");
+        let graphs = pool_graphs(2);
+        let (h0, h1) = (graphs[0].content_hash(), graphs[1].content_hash());
+        let w1 = StoreBuilder::new(&dir).writer("w1").open().unwrap();
+        w1.put_candidate(h0, &graphs[0]).unwrap();
+        w1.compact().unwrap();
+        assert_eq!(
+            std::fs::metadata(Store::shard_path(&dir, "w1")).unwrap().len(),
+            HEADER_LEN,
+            "own shard reset to header-only"
+        );
+        w1.put_candidate(h1, &graphs[1]).unwrap();
+        assert_eq!(w1.stats().candidates, 2);
+        drop(w1);
+        let store = StoreBuilder::new(&dir).open().unwrap();
+        assert_eq!(store.stats().candidates, 2);
+        assert!(
+            store.operations().iter().any(|op| op.kind == OpKind::Compaction),
+            "compaction is journaled in the op log"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -1472,7 +2653,7 @@ mod tests {
                 scope.spawn(move || {
                     let h = g.content_hash();
                     store.put_candidate(h, g).unwrap();
-                    store.put_score(h, 0.5, "vision", 1).unwrap();
+                    store.put_score(h, 0.5, &c("vision", 1)).unwrap();
                 });
             }
         });

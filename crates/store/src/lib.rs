@@ -10,15 +10,31 @@
 //! search checkpoints that let an interrupted run resume without repeating
 //! completed evaluations.
 //!
-//! * [`Store`] — the journal: [`Record`]s (`Candidate`, `ProxyScore`,
-//!   `LatencyMeasurement`, `Checkpoint`) framed with length + checksum,
-//!   loaded through crash-safe recovery that truncates a torn tail record,
-//!   indexed in memory by content hash, and compactable in place.
-//! * [`StoreBuilder`] — open/create configuration.
+//! Since codec v4 the store is a **versioned candidate repository**: a
+//! directory of journal *segments* — one canonical `journal.syno` plus one
+//! `journal-<writer>.syno` shard per named writer — so many processes can
+//! append to one repository concurrently, each holding only its own shard's
+//! lock. Fan-in [`Store::compact`] merges every segment back into the
+//! canonical one. An operation log ([`Operation`]/[`OpKind`]) gives runs and
+//! derived collections lineage, and [`CandidateSet`] adds named, determin-
+//! istic set algebra (`derive_union` / `derive_intersection` /
+//! `derive_difference`) plus `top_k` selection over candidate collections.
+//!
+//! * [`Store`] — the repository: [`Record`]s (`Candidate`, `ProxyScore`,
+//!   `LatencyMeasurement`, `Checkpoint`, `Operation`, `CandidateSet`)
+//!   framed with length + checksum, loaded through crash-safe recovery
+//!   that truncates a torn tail record on the writer's own segment,
+//!   indexed in memory by content hash, and compactable fan-in.
+//! * [`StoreBuilder`] — open/create configuration, including
+//!   [`StoreBuilder::writer`] for shard-per-writer mode.
+//! * [`ScoreContract`] — the typed identity of a proxy score (family +
+//!   reduction-tree width), taken by `put_score` / `score_for_contract`.
 //! * [`StoreStats`] — counters for dashboards and tests.
 //! * [`Checkpoint`] — a search scenario's journaled position (label, spec
 //!   fingerprint, seed, iterations, discoveries), consumed by
 //!   `SearchBuilder::resume_from` in `syno-search`.
+//! * [`CandidateSet`] / [`DeriveOp`] — named content-hash collections and
+//!   the derive algebra over them.
 //!
 //! Serialization is `syno-core`'s hand-rolled versioned binary codec
 //! ([`syno_core::codec`]); this crate adds the journal framing on top. There
@@ -39,5 +55,6 @@
 mod journal;
 
 pub use journal::{
-    Checkpoint, Record, RecordKind, Store, StoreBuilder, StoreError, StoreStats,
+    CandidateSet, Checkpoint, DeriveOp, Operation, OpKind, Record, RecordKind, ScoreContract,
+    Store, StoreBuilder, StoreError, StoreStats,
 };

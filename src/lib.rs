@@ -61,4 +61,7 @@ pub use syno_search::{
     SearchRun, StopReason,
 };
 pub use syno_serve::{SearchRequest, ServeConfig, SessionMessage, SynoClient};
-pub use syno_store::{Checkpoint, Store, StoreBuilder, StoreError, StoreStats};
+pub use syno_store::{
+    CandidateSet, Checkpoint, DeriveOp, Operation, OpKind, ScoreContract, Store, StoreBuilder,
+    StoreError, StoreStats,
+};

@@ -32,7 +32,7 @@ use syno_core::synth::{Enumerator, SynthConfig, Synthesis};
 use syno_core::var::{VarId, VarKind, VarTable};
 use syno_nn::{ProxyConfig, ProxyFamilyId};
 use syno_search::{MctsConfig, SearchBuilder};
-use syno_store::{Store, StoreBuilder, StoreStats};
+use syno_store::{CandidateSet, DeriveOp, Store, StoreBuilder, StoreStats};
 use syno_compiler::{CompilerKind, Device};
 
 /// Declares the symbolic-shape vocabulary and default pipeline settings for
@@ -49,6 +49,7 @@ pub struct SessionBuilder {
     proxy: Option<ProxyConfig>,
     proxy_family: Option<ProxyFamilyId>,
     store_path: Option<PathBuf>,
+    store_handle: Option<Arc<Store>>,
 }
 
 impl SessionBuilder {
@@ -141,6 +142,20 @@ impl SessionBuilder {
         self
     }
 
+    /// Attaches an **already-open** repository handle instead of a path,
+    /// so several in-process sessions (or a session next to a serving
+    /// daemon) share one [`Store`] rather than each opening — and
+    /// exclusively locking — its own segment. Clones of one `Arc<Store>`
+    /// all journal through the same writer. Takes precedence over
+    /// [`store`](SessionBuilder::store) when both are set; combine with
+    /// [`StoreBuilder::writer`] shards when the *processes* are separate.
+    ///
+    /// [`StoreBuilder::writer`]: syno_store::StoreBuilder::writer
+    pub fn store_handle(mut self, store: Arc<Store>) -> Self {
+        self.store_handle = Some(store);
+        self
+    }
+
     /// Validates the declarations and builds the session.
     ///
     /// # Errors
@@ -185,13 +200,14 @@ impl SessionBuilder {
             }
             table.push_valuation(row);
         }
-        let store = match &self.store_path {
-            Some(path) => Some(Arc::new(
+        let store = match (&self.store_handle, &self.store_path) {
+            (Some(handle), _) => Some(Arc::clone(handle)),
+            (None, Some(path)) => Some(Arc::new(
                 StoreBuilder::new(path)
                     .open()
                     .map_err(SynoError::store)?,
             )),
-            None => None,
+            (None, None) => None,
         };
         Ok(Session {
             vars: table.into_shared(),
@@ -351,6 +367,59 @@ impl Session {
     /// process.
     pub fn store_stats(&self) -> Option<StoreStats> {
         self.store.as_ref().map(|s| s.stats())
+    }
+
+    /// The named [`CandidateSet`] journaled under `label` in the session's
+    /// repository. Every finished search scenario journals its discoveries
+    /// as a set named after the scenario label, so
+    /// `session.candidates("pool")` is the collection the `"pool"` run
+    /// produced — the unit [`derive`](Session::derive) operates on.
+    ///
+    /// # Errors
+    ///
+    /// [`SynoError::Store`] when the session has no store attached or no
+    /// set is journaled under `label`.
+    pub fn candidates(&self, label: &str) -> Result<CandidateSet, SynoError> {
+        let store = self.repo()?;
+        store.candidate_set(label).ok_or_else(|| {
+            SynoError::store(format!("no candidate set named {label:?} in the repository"))
+        })
+    }
+
+    /// Derives a new named set in the session's repository: `op` applied
+    /// to the sets `left` and `right`, journaled as `name` with its
+    /// lineage in the operation log. Deterministic — the same inputs
+    /// derive byte-identical sets, here or in any other process sharing
+    /// the repository.
+    ///
+    /// ```no_run
+    /// # use syno::{DeriveOp, Session};
+    /// # let session = Session::builder().primary("H", 16).build().unwrap();
+    /// // Candidates both the vision and the LM run discovered:
+    /// let shared = session.derive(DeriveOp::Intersection, "both", "vision", "lm")?;
+    /// # Ok::<(), syno::SynoError>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// [`SynoError::Store`] when the session has no store attached, an
+    /// input set is missing, or the journal append fails.
+    pub fn derive(
+        &self,
+        op: DeriveOp,
+        name: &str,
+        left: &str,
+        right: &str,
+    ) -> Result<CandidateSet, SynoError> {
+        self.repo()?
+            .derive(op, name, left, right)
+            .map_err(SynoError::store)
+    }
+
+    fn repo(&self) -> Result<&Arc<Store>, SynoError> {
+        self.store
+            .as_ref()
+            .ok_or_else(|| SynoError::store("session has no store attached"))
     }
 }
 
