@@ -51,7 +51,7 @@ use syno_bench::search_pipeline::{
     exec_thread_invariance, search_pipeline_data, ExecInvarianceData, PhaseSample,
     SearchPipelineData, TelemetryData,
 };
-use syno_bench::serve_bench::{serve_data, ServeData, ServeSample};
+use syno_bench::serve_bench::{coalesce_data, serve_data, CoalesceData, ServeData, ServeSample};
 use syno_bench::store_sharded::{run_writer_from_env, store_sharded_data, StoreShardedData};
 
 fn env_usize(name: &str, default: usize) -> usize {
@@ -144,6 +144,37 @@ fn serve_json(data: &ServeData) -> String {
     )
 }
 
+fn coalesce_json(data: &CoalesceData) -> String {
+    let ratio = if data.serial.trainings > 0 {
+        data.coalesced.trainings as f64 / data.serial.trainings as f64
+    } else {
+        0.0
+    };
+    let speedup = if data.coalesced.wall_secs > 0.0 {
+        data.serial.wall_secs / data.coalesced.wall_secs
+    } else {
+        0.0
+    };
+    format!(
+        concat!(
+            ",\n  \"serve_coalesce\": {{ \"iterations\": {}, \"eval_workers\": {}, ",
+            "\"serial\": {{ \"wall_secs\": {:.4}, \"trainings\": {}, \"candidates\": {} }}, ",
+            "\"coalesced\": {{ \"wall_secs\": {:.4}, \"trainings\": {}, \"candidates\": {} }}, ",
+            "\"training_ratio\": {:.4}, \"speedup\": {:.4} }}"
+        ),
+        data.iterations,
+        data.eval_workers,
+        data.serial.wall_secs,
+        data.serial.trainings,
+        data.serial.candidates,
+        data.coalesced.wall_secs,
+        data.coalesced.trainings,
+        data.coalesced.candidates,
+        ratio,
+        speedup,
+    )
+}
+
 fn phase_sample_json(sample: &PhaseSample) -> String {
     format!(
         concat!(
@@ -206,6 +237,7 @@ fn to_json(
     parallel: &ProxyParallelData,
     invariance: &ExecInvarianceData,
     serve: Option<&ServeData>,
+    coalesce: Option<&CoalesceData>,
     sharded: Option<&StoreShardedData>,
 ) -> String {
     let mut out = format!(
@@ -260,6 +292,9 @@ fn to_json(
     }
     if let Some(serve) = serve {
         out.push_str(&serve_json(serve));
+    }
+    if let Some(coalesce) = coalesce {
+        out.push_str(&coalesce_json(coalesce));
     }
     if let Some(sharded) = sharded {
         out.push_str(&store_sharded_json(sharded));
@@ -332,6 +367,15 @@ fn main() {
              sessions over a {workers}-wide shared eval pool ..."
         );
         Some(serve_data(iterations, proxy_steps, workers))
+    } else {
+        None
+    };
+    let coalesce = if with_serve {
+        eprintln!(
+            "serve_coalesce bench: two tenants racing the identical spec through one \
+             daemon vs running it twice in-process ..."
+        );
+        Some(coalesce_data(iterations, proxy_steps, workers))
     } else {
         None
     };
@@ -436,6 +480,18 @@ fn main() {
         }
     }
 
+    if let Some(coalesce) = &coalesce {
+        println!(
+            "serve_coalesce: serial 2x run {:.3}s / {} trainings vs coalesced \
+             {:.3}s / {} trainings ({} candidates each side)",
+            coalesce.serial.wall_secs,
+            coalesce.serial.trainings,
+            coalesce.coalesced.wall_secs,
+            coalesce.coalesced.trainings,
+            coalesce.coalesced.candidates,
+        );
+    }
+
     println!(
         "proxy_train: compiled {:.2} steps/sec vs reference {:.2} steps/sec ({:.2}x), \
          scores identical: {}; kernel engine {:.2}x over tree-walk interpreter",
@@ -501,6 +557,22 @@ fn main() {
             "thread-invariance contract violated: candidate sets differ \
              across exec_threads 1/2/4 at fixed reduce_width"
         );
+        if let Some(coalesce) = &coalesce {
+            assert!(
+                coalesce.coalesced.candidates == coalesce.serial.candidates,
+                "coalescing determinism contract violated: coalesced sessions \
+                 produced {} candidates vs {} serially",
+                coalesce.coalesced.candidates,
+                coalesce.serial.candidates
+            );
+            assert!(
+                coalesce.coalesced.trainings * 2 == coalesce.serial.trainings,
+                "single-flight contract violated: {} trainings coalesced vs {} \
+                 for two serial passes (want exactly half)",
+                coalesce.coalesced.trainings,
+                coalesce.serial.trainings
+            );
+        }
         if let Some(sharded) = &sharded {
             assert!(
                 sharded.zero_lost_records,
@@ -537,6 +609,7 @@ fn main() {
             &parallel,
             &invariance,
             serve.as_ref(),
+            coalesce.as_ref(),
             sharded.as_ref(),
         );
         std::fs::write(&out, &json).expect("write bench json");

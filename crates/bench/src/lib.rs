@@ -30,6 +30,6 @@ pub use fig8::{fig8_data, Fig8Row};
 pub use fig9::{fig9_data, Fig9Row};
 pub use proxy_train::{proxy_train_data, EngineSample, ProxyTrainData};
 pub use search_pipeline::{search_pipeline_data, PipelineSample, SearchPipelineData};
-pub use serve_bench::{serve_data, ServeData, ServeSample};
+pub use serve_bench::{coalesce_data, serve_data, CoalesceData, CoalesceSample, ServeData, ServeSample};
 pub use store_sharded::{store_sharded_data, StoreShardedData, TwoWriterPass};
 pub use table3::{ablation_shape_distance, table3_data, SdAblation, Table3Row};

@@ -132,6 +132,9 @@ fn fanout_run(
                     match message {
                         SessionMessage::Done { candidates, .. } => found = candidates as usize,
                         SessionMessage::Error(error) => panic!("bench session failed: {error}"),
+                        SessionMessage::Lost { session, .. } => {
+                            panic!("bench session {session} lost its connection")
+                        }
                         SessionMessage::Event(_) => {}
                     }
                 }
@@ -165,5 +168,162 @@ pub fn serve_data(iterations: usize, proxy_steps: usize, eval_workers: usize) ->
         eval_workers,
         baseline,
         fanout,
+    }
+}
+
+/// One side of the coalescing comparison: total wall clock, proxy
+/// trainings actually executed, and candidates produced.
+#[derive(Clone, Copy, Debug)]
+pub struct CoalesceSample {
+    /// Wall-clock seconds for the whole side.
+    pub wall_secs: f64,
+    /// Proxy trainings executed (`syno_search_proxy_train_total` delta).
+    pub trainings: u64,
+    /// Fully evaluated candidates across all sessions.
+    pub candidates: usize,
+}
+
+/// The in-flight-coalescing section: two tenants racing the *same* spec
+/// and seed through one storeless daemon, against the serial cost of
+/// running that search twice in-process. With the daemon's shared
+/// [`CoalesceTable`](syno_search::CoalesceTable), the concurrent side
+/// should train each candidate once (`coalesced.trainings ≈
+/// serial.trainings / 2`) while both sessions still stream full event
+/// traces.
+#[derive(Clone, Debug)]
+pub struct CoalesceData {
+    /// MCTS iterations per session.
+    pub iterations: usize,
+    /// Shared eval-pool width of the daemon.
+    pub eval_workers: usize,
+    /// Two identical searches run back-to-back in-process (pays twice).
+    pub serial: CoalesceSample,
+    /// Two tenants submitting the identical search concurrently through
+    /// one daemon (pays once per candidate).
+    pub coalesced: CoalesceSample,
+}
+
+fn proxy_trainings() -> u64 {
+    syno_telemetry::counter!("syno_search_proxy_train_total").get()
+}
+
+/// Runs the identical `(spec, seed)` search twice sequentially
+/// in-process — the cost two tenants would pay without coalescing.
+fn coalesce_serial(iterations: usize, proxy_steps: usize, eval_workers: usize) -> CoalesceSample {
+    let (vars, spec) = bench_scenario();
+    let before = proxy_trainings();
+    let started = Instant::now();
+    let mut candidates = 0usize;
+    for _ in 0..2 {
+        let report = SearchBuilder::new()
+            .scenario("coalesce-serial", &vars, &spec)
+            .mcts(MctsConfig {
+                iterations,
+                seed: 40,
+                ..MctsConfig::default()
+            })
+            .proxy(bench_proxy(proxy_steps))
+            .workers(1)
+            .eval_workers(eval_workers)
+            .run()
+            .expect("serial search runs");
+        candidates += report.candidates.len();
+    }
+    CoalesceSample {
+        wall_secs: started.elapsed().as_secs_f64(),
+        trainings: proxy_trainings() - before,
+        candidates,
+    }
+}
+
+/// Two tenants, one daemon, the *same* request (label, spec, seed) —
+/// every candidate discovery races through the daemon's coalescing
+/// table, so each trains exactly once. Both sessions are admitted before
+/// either stream is consumed, so the table cannot go idle (and drop its
+/// memos) mid-comparison.
+fn coalesce_concurrent(
+    iterations: usize,
+    proxy_steps: usize,
+    eval_workers: usize,
+) -> CoalesceSample {
+    let (vars, spec) = bench_scenario();
+    let spec_bytes = encode_spec(&vars, &spec);
+    let config = ServeConfig {
+        eval_workers,
+        max_sessions: 2,
+        max_sessions_per_tenant: 1,
+        ..ServeConfig::default()
+    };
+    let daemon = Daemon::bind("127.0.0.1:0", None, config).expect("bind coalesce daemon");
+    let (handle, daemon_thread) = daemon.spawn();
+
+    let request = SearchRequest {
+        label: "coalesce-bench".into(),
+        spec: spec_bytes,
+        family: "vision".into(),
+        iterations: iterations as u32,
+        seed: 40,
+        progress_every: u64::MAX,
+        max_steps: 0,
+        train_steps: proxy_steps as u32,
+        train_batch: 4,
+        eval_batches: 1,
+        resume: false,
+    };
+    fn consume(session: syno_serve::client::ClientSession<'_>) -> usize {
+        let mut found = 0usize;
+        for message in session.messages() {
+            match message {
+                SessionMessage::Done { candidates, .. } => found = candidates as usize,
+                SessionMessage::Error(error) => panic!("coalesce session failed: {error}"),
+                SessionMessage::Lost { session, .. } => {
+                    panic!("coalesce session {session} lost its connection")
+                }
+                SessionMessage::Event(_) => {}
+            }
+        }
+        found
+    }
+
+    let before = proxy_trainings();
+    let started = Instant::now();
+    let client_a =
+        SynoClient::connect(handle.addr(), "coalesce-a").expect("connect coalesce tenant a");
+    let client_b =
+        SynoClient::connect(handle.addr(), "coalesce-b").expect("connect coalesce tenant b");
+    let session_a = client_a.submit(&request).expect("coalesce session a admitted");
+    let session_b = client_b.submit(&request).expect("coalesce session b admitted");
+    let candidates: usize = std::thread::scope(|scope| {
+        let ta = scope.spawn(move || consume(session_a));
+        let tb = scope.spawn(move || consume(session_b));
+        ta.join().expect("coalesce tenant a thread") + tb.join().expect("coalesce tenant b thread")
+    });
+    let wall_secs = started.elapsed().as_secs_f64();
+
+    drop(client_a);
+    drop(client_b);
+    handle.shutdown();
+    let _ = daemon_thread.join();
+    CoalesceSample {
+        wall_secs,
+        trainings: proxy_trainings() - before,
+        candidates,
+    }
+}
+
+/// Measures in-flight training coalescing. Telemetry counters are the
+/// measurement here, so the process-global registry is enabled for the
+/// duration and restored afterwards.
+pub fn coalesce_data(iterations: usize, proxy_steps: usize, eval_workers: usize) -> CoalesceData {
+    let was_enabled = syno_telemetry::enabled();
+    syno_telemetry::set_enabled(true);
+    let serial = coalesce_serial(iterations, proxy_steps, eval_workers);
+    let coalesced = coalesce_concurrent(iterations, proxy_steps, eval_workers);
+    syno_telemetry::set_enabled(was_enabled);
+    CoalesceData {
+        iterations,
+        eval_workers,
+        serial,
+        coalesced,
     }
 }

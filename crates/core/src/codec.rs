@@ -560,7 +560,10 @@ pub fn decode_graph(bytes: &[u8]) -> Result<PGraph, CodecError> {
 /// * **3** — candidate repository: `Derive`/`DeriveReply` frames so
 ///   tenants can fetch named candidate sets and request
 ///   union/intersection/difference derivations from the daemon's store.
-pub const PROTOCOL_VERSION: u32 = 3;
+/// * **4** — session takeover: `Attach`/`AttachReply` frames replay a
+///   session's retained event stream to a reconnecting client, and the
+///   daemon status payload grows per-tenant accumulated step budgets.
+pub const PROTOCOL_VERSION: u32 = 4;
 
 /// Hard ceiling on one frame's payload size (16 MiB). A length prefix read
 /// off a socket is attacker-controlled input; refusing oversized frames
@@ -612,11 +615,16 @@ pub enum FrameKind {
     Derive = 15,
     /// Server → client: the (possibly freshly derived) candidate set.
     DeriveReply = 16,
+    /// Client → server: take over an existing session's event stream,
+    /// replaying retained frames from a client-supplied sequence number.
+    Attach = 17,
+    /// Server → client: the takeover is accepted; retained frames follow.
+    AttachReply = 18,
 }
 
 impl FrameKind {
     /// Every frame kind, in tag order (for exhaustive round-trip tests).
-    pub const ALL: [FrameKind; 17] = [
+    pub const ALL: [FrameKind; 19] = [
         FrameKind::Hello,
         FrameKind::HelloAck,
         FrameKind::SubmitSearch,
@@ -634,6 +642,8 @@ impl FrameKind {
         FrameKind::MetricsReply,
         FrameKind::Derive,
         FrameKind::DeriveReply,
+        FrameKind::Attach,
+        FrameKind::AttachReply,
     ];
 
     /// The wire tag byte.
@@ -798,6 +808,42 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<RawFrame>, FrameError> {
         return Err(FrameError::BadChecksum);
     }
     Ok(Some(RawFrame { kind, payload }))
+}
+
+/// Splits one complete frame off the front of an in-memory buffer — the
+/// non-blocking twin of [`read_frame`] for readiness-driven transports
+/// that accumulate socket bytes into a per-connection buffer.
+///
+/// Returns `Ok(Some((frame, consumed)))` when `buf` starts with a whole
+/// frame (`consumed` bytes of it), `Ok(None)` when more bytes are needed.
+///
+/// # Errors
+///
+/// [`FrameError::BadKind`], [`FrameError::TooLarge`] or
+/// [`FrameError::BadChecksum`] as soon as the prefix is provably invalid,
+/// without waiting for the rest of the claimed payload.
+pub fn split_frame(buf: &[u8]) -> Result<Option<(RawFrame, usize)>, FrameError> {
+    if buf.is_empty() {
+        return Ok(None);
+    }
+    let kind = FrameKind::from_tag(buf[0]).ok_or(FrameError::BadKind { tag: buf[0] })?;
+    if buf.len() < 5 {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(buf[1..5].try_into().unwrap());
+    if len > MAX_FRAME_PAYLOAD {
+        return Err(FrameError::TooLarge { len });
+    }
+    let total = 5 + len as usize + 4;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let payload = buf[5..5 + len as usize].to_vec();
+    let checksum = u32::from_le_bytes(buf[total - 4..total].try_into().unwrap());
+    if checksum != wire_checksum(kind.tag(), &payload) {
+        return Err(FrameError::BadChecksum);
+    }
+    Ok(Some((RawFrame { kind, payload }, total)))
 }
 
 #[cfg(test)]
@@ -1010,6 +1056,49 @@ mod tests {
             read_frame(&mut &bad[..]),
             Err(FrameError::TooLarge { .. })
         ));
+    }
+
+    #[test]
+    fn split_frame_is_incremental_and_exact() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, FrameKind::Event, b"payload").unwrap();
+        write_frame(&mut stream, FrameKind::Status, b"").unwrap();
+
+        // Every strict prefix of the first frame wants more bytes.
+        let first_len = 5 + b"payload".len() + 4;
+        for cut in 0..first_len {
+            assert!(
+                matches!(split_frame(&stream[..cut]), Ok(None)),
+                "cut at {cut}"
+            );
+        }
+
+        // A complete first frame splits off and leaves the second intact.
+        let (frame, consumed) = split_frame(&stream).unwrap().expect("first frame");
+        assert_eq!(frame.kind, FrameKind::Event);
+        assert_eq!(frame.payload, b"payload");
+        assert_eq!(consumed, first_len);
+        let (frame, consumed) = split_frame(&stream[first_len..])
+            .unwrap()
+            .expect("second frame");
+        assert_eq!(frame.kind, FrameKind::Status);
+        assert!(frame.payload.is_empty());
+        assert_eq!(first_len + consumed, stream.len());
+
+        // Invalid prefixes fail eagerly, before the payload arrives.
+        assert!(matches!(
+            split_frame(&[0xee]),
+            Err(FrameError::BadKind { tag: 0xee })
+        ));
+        let mut oversized = stream.clone();
+        oversized[1..5].copy_from_slice(&(MAX_FRAME_PAYLOAD + 1).to_le_bytes());
+        assert!(matches!(
+            split_frame(&oversized[..5]),
+            Err(FrameError::TooLarge { .. })
+        ));
+        let mut corrupt = stream;
+        corrupt[6] ^= 0xff;
+        assert!(matches!(split_frame(&corrupt), Err(FrameError::BadChecksum)));
     }
 
     #[test]

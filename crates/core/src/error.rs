@@ -99,6 +99,14 @@ pub enum SynoError {
         /// Rendered store error.
         reason: String,
     },
+    /// The serving layer lost a session's connection or rejected a
+    /// request (from `syno-serve`). The reason carries the reconnect
+    /// hint: a dropped socket does not kill the session — reconnect and
+    /// `Attach` to resume its retained event stream.
+    Serve {
+        /// Rendered serving-layer error, including how to recover.
+        reason: String,
+    },
     /// The operation was cancelled through a `CancelToken`.
     Cancelled,
     /// A worker thread panicked; the run's remaining results were salvaged.
@@ -120,6 +128,7 @@ impl fmt::Display for SynoError {
             SynoError::Compile { reason } => write!(f, "compilation failed: {reason}"),
             SynoError::Proxy { reason } => write!(f, "accuracy proxy failed: {reason}"),
             SynoError::Store { reason } => write!(f, "candidate store failed: {reason}"),
+            SynoError::Serve { reason } => write!(f, "serving layer failed: {reason}"),
             SynoError::Cancelled => write!(f, "cancelled"),
             SynoError::Worker { reason } => write!(f, "worker thread failed: {reason}"),
         }
@@ -192,6 +201,13 @@ impl SynoError {
     /// A candidate-store failure with a rendered reason.
     pub fn store(reason: impl fmt::Display) -> Self {
         SynoError::Store {
+            reason: reason.to_string(),
+        }
+    }
+
+    /// A serving-layer failure with a rendered reason.
+    pub fn serve(reason: impl fmt::Display) -> Self {
+        SynoError::Serve {
             reason: reason.to_string(),
         }
     }

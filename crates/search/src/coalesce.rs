@@ -1,0 +1,300 @@
+//! In-flight proxy-training coalescing: concurrent sessions that discover
+//! the same `(content_hash, ScoreContract)` share ONE training.
+//!
+//! The store already dedups *across* runs — a journaled score is recalled
+//! as a `CacheHit`. What it cannot dedup is the window while a training is
+//! still in flight: two tenants racing through one daemon discover the
+//! same candidate milliseconds apart, both probe the store before either
+//! has journaled, and both pay for the training. [`CoalesceTable`] closes
+//! that window. The first evaluator to claim a key becomes the **leader**
+//! and trains; every concurrent evaluator of the same key becomes a
+//! **follower**, parks on the table, and replays the leader's published
+//! outcome — emitting the same `ProxyScored`/`LatencyTuned` (or
+//! `CandidateSkipped`) events bit-for-bit, without journaling a second
+//! copy or adding a second training's FLOPs.
+//!
+//! ## Determinism contract
+//!
+//! Claims are checked *before* the store probe, and outcomes are published
+//! only for **fresh trainings** (a store recall releases the claim without
+//! memoizing). Training is deterministic, so a follower's replayed
+//! accuracy is bit-identical to what it would have computed itself — the
+//! event stream of a coalesced session equals its uncoalesced serial run.
+//! Store recalls still surface as `CacheHit` for every session, so the
+//! warm-pass contract (zero trainings, all hits) is untouched: the serving
+//! layer clears the table whenever it goes idle, which bounds a memoized
+//! outcome's lifetime to the set of sessions that could actually have
+//! raced the training.
+//!
+//! ## Liveness
+//!
+//! A follower can only exist after its leader's evaluation has *started*
+//! (the claim happens inside `evaluate`), so the leader always holds a
+//! worker and never waits on the table — no deadlock at any pool width.
+//! A leader that dies without publishing (evaluator panic) removes its
+//! pending claim on drop and wakes all followers, one of which re-claims
+//! leadership.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use syno_core::error::SynoError;
+use syno_store::ScoreContract;
+
+/// What one proxy training produced, as published by the leader and
+/// replayed by every follower.
+#[derive(Clone, Debug)]
+pub(crate) enum TrainOutcome {
+    /// Training succeeded with this (already clamped) accuracy.
+    Scored {
+        /// The clamped proxy accuracy the leader computed.
+        accuracy: f64,
+    },
+    /// Training failed; followers replay the identical typed skip.
+    Failed(SynoError),
+}
+
+/// One slot of the table: a training in flight, or its published outcome.
+#[derive(Clone, Debug)]
+enum Slot {
+    Pending,
+    Done(TrainOutcome),
+}
+
+type Key = (u64, ScoreContract);
+
+#[derive(Debug, Default)]
+struct Inner {
+    slots: Mutex<HashMap<Key, Slot>>,
+    published: Condvar,
+}
+
+/// The shared single-flight table. Cheap to clone (an `Arc`); install one
+/// per daemon (or per group of concurrent runs that share a store) via
+/// `SearchBuilder::coalesce_table`.
+#[derive(Clone, Debug, Default)]
+pub struct CoalesceTable {
+    inner: Arc<Inner>,
+}
+
+/// What `claim` resolved to.
+#[derive(Debug)]
+pub(crate) enum Claim {
+    /// This evaluator trains; it must `publish` or the guard's drop will
+    /// re-open the claim for the next waiter.
+    Leader(LeaderGuard),
+    /// Another evaluator already trained this key; replay its outcome.
+    Ready(TrainOutcome),
+}
+
+/// The leader's obligation: publish an outcome, release on a store
+/// recall, or (on drop without either) wake the followers to re-claim.
+#[derive(Debug)]
+pub(crate) struct LeaderGuard {
+    inner: Arc<Inner>,
+    key: Key,
+    resolved: bool,
+}
+
+impl CoalesceTable {
+    /// An empty table.
+    pub fn new() -> CoalesceTable {
+        CoalesceTable::default()
+    }
+
+    /// Claims `(id, contract)`. Returns [`Claim::Leader`] for the first
+    /// caller; concurrent callers of the same key **block** until the
+    /// leader publishes (or abandons), then return [`Claim::Ready`] — or
+    /// inherit leadership if the previous leader abandoned.
+    pub(crate) fn claim(&self, id: u64, contract: &ScoreContract) -> Claim {
+        let key = (id, contract.clone());
+        let mut slots = self.lock();
+        loop {
+            match slots.get(&key) {
+                Some(Slot::Done(outcome)) => {
+                    syno_telemetry::counter!("syno_search_coalesce_followers_total").inc();
+                    return Claim::Ready(outcome.clone());
+                }
+                Some(Slot::Pending) => {
+                    slots = self
+                        .inner
+                        .published
+                        .wait(slots)
+                        .expect("coalesce table lock");
+                }
+                None => {
+                    slots.insert(key.clone(), Slot::Pending);
+                    syno_telemetry::counter!("syno_search_coalesce_leaders_total").inc();
+                    return Claim::Leader(LeaderGuard {
+                        inner: Arc::clone(&self.inner),
+                        key,
+                        resolved: false,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Drops every **published** outcome. Pending claims stay (their
+    /// leaders are mid-training and own the removal). The serving layer
+    /// calls this when its last live session ends, so memoized outcomes
+    /// never leak into a later "warm" generation that should be served
+    /// `CacheHit`s from the store instead.
+    pub fn clear(&self) {
+        self.lock().retain(|_, slot| matches!(slot, Slot::Pending));
+    }
+
+    /// Number of live slots (pending + published) — for tests and the
+    /// daemon's status accounting.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// `true` when no training is in flight and nothing is memoized.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn lock(&self) -> MutexGuard<'_, HashMap<Key, Slot>> {
+        self.inner.slots.lock().expect("coalesce table lock")
+    }
+}
+
+impl LeaderGuard {
+    /// Publishes the training outcome: every parked follower (and any
+    /// later claimant while the table stays uncleared) replays it.
+    pub(crate) fn publish(mut self, outcome: TrainOutcome) {
+        let mut slots = self.inner.slots.lock().expect("coalesce table lock");
+        slots.insert(self.key.clone(), Slot::Done(outcome));
+        self.resolved = true;
+        drop(slots);
+        self.inner.published.notify_all();
+    }
+
+    /// Releases the claim without memoizing — the store-recall path: the
+    /// score was already journaled, so followers should re-probe the
+    /// store and surface their own `CacheHit`.
+    pub(crate) fn release(mut self) {
+        self.resolved = true;
+        self.abandon();
+    }
+
+    fn abandon(&self) {
+        let mut slots = self.inner.slots.lock().expect("coalesce table lock");
+        if matches!(slots.get(&self.key), Some(Slot::Pending)) {
+            slots.remove(&self.key);
+        }
+        drop(slots);
+        self.inner.published.notify_all();
+    }
+}
+
+impl Drop for LeaderGuard {
+    fn drop(&mut self) {
+        if !self.resolved {
+            // The leader died without publishing (evaluator panic):
+            // re-open the claim so a waiting follower takes over.
+            self.abandon();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn contract() -> ScoreContract {
+        ScoreContract::new("vision", 4)
+    }
+
+    #[test]
+    fn first_claim_leads_then_followers_replay_the_outcome() {
+        let table = CoalesceTable::new();
+        let guard = match table.claim(7, &contract()) {
+            Claim::Leader(guard) => guard,
+            Claim::Ready(_) => panic!("first claim must lead"),
+        };
+        let trainings = Arc::new(AtomicUsize::new(0));
+        let follower = {
+            let table = table.clone();
+            let trainings = Arc::clone(&trainings);
+            std::thread::spawn(move || match table.claim(7, &contract()) {
+                Claim::Leader(_) => {
+                    trainings.fetch_add(1, Ordering::SeqCst);
+                    f64::NAN
+                }
+                Claim::Ready(TrainOutcome::Scored { accuracy }) => accuracy,
+                Claim::Ready(TrainOutcome::Failed(_)) => panic!("leader succeeded"),
+            })
+        };
+        guard.publish(TrainOutcome::Scored { accuracy: 0.625 });
+        assert_eq!(follower.join().unwrap(), 0.625, "follower replays");
+        assert_eq!(trainings.load(Ordering::SeqCst), 0, "exactly one leader");
+        // The outcome stays memoized until cleared.
+        assert!(matches!(
+            table.claim(7, &contract()),
+            Claim::Ready(TrainOutcome::Scored { .. })
+        ));
+        table.clear();
+        assert!(table.is_empty());
+        assert!(matches!(table.claim(7, &contract()), Claim::Leader(_)));
+    }
+
+    #[test]
+    fn contracts_partition_the_key_space() {
+        let table = CoalesceTable::new();
+        let _wide = match table.claim(7, &ScoreContract::new("vision", 4)) {
+            Claim::Leader(guard) => guard,
+            Claim::Ready(_) => panic!("fresh key"),
+        };
+        // Same hash, different width or family: independent claims. (The
+        // guards must stay live — dropping one abandons its pending slot.)
+        let _narrow = match table.claim(7, &ScoreContract::new("vision", 1)) {
+            Claim::Leader(guard) => guard,
+            Claim::Ready(_) => panic!("fresh key"),
+        };
+        let _other = match table.claim(7, &ScoreContract::new("sequence", 4)) {
+            Claim::Leader(guard) => guard,
+            Claim::Ready(_) => panic!("fresh key"),
+        };
+        assert_eq!(table.len(), 3);
+    }
+
+    #[test]
+    fn abandoned_leader_hands_off_and_release_skips_the_memo() {
+        let table = CoalesceTable::new();
+        let guard = match table.claim(9, &contract()) {
+            Claim::Leader(guard) => guard,
+            Claim::Ready(_) => panic!("fresh key"),
+        };
+        let successor = {
+            let table = table.clone();
+            std::thread::spawn(move || matches!(table.claim(9, &contract()), Claim::Leader(_)))
+        };
+        drop(guard); // leader dies without publishing
+        assert!(successor.join().unwrap(), "a waiter inherits leadership");
+
+        // `release` (the store-recall path) also leaves no memo behind.
+        match table.claim(9, &contract()) {
+            Claim::Leader(guard) => guard.release(),
+            Claim::Ready(_) => panic!("abandon must not memoize"),
+        }
+        assert!(table.is_empty());
+    }
+
+    #[test]
+    fn failures_replay_as_typed_errors() {
+        let table = CoalesceTable::new();
+        let guard = match table.claim(3, &contract()) {
+            Claim::Leader(guard) => guard,
+            Claim::Ready(_) => panic!("fresh key"),
+        };
+        guard.publish(TrainOutcome::Failed(SynoError::proxy("diverged")));
+        match table.claim(3, &contract()) {
+            Claim::Ready(TrainOutcome::Failed(error)) => {
+                assert_eq!(error, SynoError::proxy("diverged"));
+            }
+            other => panic!("expected the failure memo, got {other:?}"),
+        }
+    }
+}

@@ -17,18 +17,24 @@
 //!   evaluation caching (`SearchEvent::CacheHit`) or
 //!   [`SearchBuilder::resume_from`] to continue an interrupted run from its
 //!   journaled checkpoints;
+//! * [`coalesce`] — the in-flight single-flight table
+//!   ([`CoalesceTable`]): concurrent runs that share one table (and one
+//!   store) train each `(content_hash, contract)` exactly once, with
+//!   followers replaying the leader's outcome bit-identically;
 //! * [`orchestrator`] — the legacy blocking entry points, kept as documented
 //!   thin wrappers over [`run`].
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod coalesce;
 pub mod discovered;
 pub mod mcts;
 pub mod orchestrator;
 pub mod pool;
 pub mod run;
 
+pub use coalesce::CoalesceTable;
 pub use discovered::{pareto_front, Discovered, TradeoffPoint};
 pub use mcts::{EvalOutcome, EvalRequest, Mcts, MctsConfig, MctsStats};
 pub use orchestrator::{evaluate_candidates, search_substitutions, SearchSettings};

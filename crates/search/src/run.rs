@@ -35,6 +35,7 @@
 //! The old `search_substitutions`/`evaluate_candidates` entry points remain
 //! in [`crate::orchestrator`] as thin wrappers over this driver.
 
+use crate::coalesce::{Claim, CoalesceTable, TrainOutcome};
 use crate::discovered::Discovered;
 use crate::mcts::{EvalOutcome, EvalRequest, Mcts, MctsConfig};
 use crate::pool::EvalPool;
@@ -535,6 +536,7 @@ pub struct SearchBuilder {
     store: Option<Arc<Store>>,
     resume: bool,
     proxy_family: Option<ProxyFamilyId>,
+    coalesce: Option<CoalesceTable>,
 }
 
 impl std::fmt::Debug for Scenario {
@@ -563,6 +565,7 @@ impl Default for SearchBuilder {
             store: None,
             resume: false,
             proxy_family: None,
+            coalesce: None,
         }
     }
 }
@@ -703,6 +706,24 @@ impl SearchBuilder {
     /// silently scoring 0.0.
     pub fn eval_pool(mut self, pool: EvalPool) -> Self {
         self.eval_pool = Some(pool);
+        self
+    }
+
+    /// Shares an in-flight training [`CoalesceTable`] with other runs.
+    ///
+    /// Concurrent runs holding clones of one table evaluate each
+    /// `(content_hash, ScoreContract)` **once**: the first evaluator
+    /// trains (the leader), concurrent duplicates park and replay the
+    /// leader's outcome as their own bit-identical
+    /// [`SearchEvent::ProxyScored`]/[`SearchEvent::LatencyTuned`] (or
+    /// [`SearchEvent::CandidateSkipped`]) events, without journaling a
+    /// second copy or accruing a second training's FLOPs. The serving
+    /// daemon installs one table across all tenant sessions; in-process
+    /// callers can do the same for runs sharing a store. See the
+    /// [`coalesce`](crate::coalesce) module docs for the determinism
+    /// contract.
+    pub fn coalesce_table(mut self, table: CoalesceTable) -> Self {
+        self.coalesce = Some(table);
         self
     }
 
@@ -1014,6 +1035,7 @@ fn supervise(
         store,
         resume,
         proxy_family: _, // already resolved into each scenario by start()
+        coalesce,
     } = builder;
 
     let shared = Arc::new(Shared {
@@ -1056,6 +1078,7 @@ fn supervise(
                     progress_every,
                     store.as_ref(),
                     resume,
+                    coalesce.as_ref(),
                     &shared,
                     &sender,
                 );
@@ -1114,6 +1137,7 @@ struct EvalContext {
     devices: Arc<Vec<Device>>,
     compiler: CompilerKind,
     store: Option<Arc<Store>>,
+    coalesce: Option<CoalesceTable>,
     shared: Arc<Shared>,
     candidates: Arc<Mutex<Vec<Candidate>>>,
 }
@@ -1133,7 +1157,24 @@ impl EvalContext {
         let _eval_span = syno_telemetry::span!("evaluate", candidate = id);
         syno_telemetry::counter!("syno_search_candidates_total").inc();
         let index = self.index;
-        // Store first: a journaled evaluation makes proxy training (and
+        let contract =
+            ScoreContract::new(self.family.name(), self.proxy.train.exec.reduce_width as u32);
+        // Single-flight first: with a shared coalescing table, the first
+        // evaluator of this `(hash, contract)` becomes the leader and
+        // proceeds (store probe, then training); concurrent duplicates
+        // park here and replay the leader's freshly-trained outcome as
+        // their own bit-identical events. A leader whose probe recalls a
+        // journaled score `release`s the claim instead of publishing, so
+        // followers re-probe the store and surface their own `CacheHit` —
+        // warm-run semantics are untouched.
+        let mut leader = match self.coalesce.as_ref().map(|t| t.claim(id, &contract)) {
+            Some(Claim::Ready(outcome)) => {
+                return self.replay_coalesced(id, graph, outcome, sender);
+            }
+            Some(Claim::Leader(guard)) => Some(guard),
+            None => None,
+        };
+        // Store second: a journaled evaluation makes proxy training (and
         // usually latency tuning) unnecessary — the cross-run analogue
         // of the paper's canonical-form dedup within a run. A score is
         // only served when its journaled family tag matches the
@@ -1143,7 +1184,6 @@ impl EvalContext {
         // under this run's reduction-tree width (the width fixes the FP
         // summation order, so a score from another width is a different
         // value — re-evaluated, not served).
-        let contract = ScoreContract::new(self.family.name(), self.proxy.train.exec.reduce_width as u32);
         if let Some(store) = self.store.as_deref() {
             let recalled = {
                 let span = syno_telemetry::span!("store_lookup", candidate = id);
@@ -1156,6 +1196,9 @@ impl EvalContext {
                 // proxy training failed in a previous run, and it fails
                 // deterministically — skip without re-training.
                 if accuracy.is_nan() {
+                    if let Some(guard) = leader.take() {
+                        guard.release();
+                    }
                     syno_telemetry::counter!("syno_search_skips_total").inc();
                     let _ = sender.send(SearchEvent::CandidateSkipped {
                         scenario: index,
@@ -1163,6 +1206,9 @@ impl EvalContext {
                         error: SynoError::proxy("proxy failure recalled from store"),
                     });
                     return 0.0;
+                }
+                if let Some(guard) = leader.take() {
+                    guard.release();
                 }
                 let device_names: Vec<&str> = self.devices.iter().map(|d| d.name).collect();
                 let priced = match store.latencies(id, &device_names, self.compiler.name()) {
@@ -1236,6 +1282,9 @@ impl EvalContext {
         // a typed skip, like any other per-candidate failure.
         let scored = {
             let span = syno_telemetry::span!("proxy_train", candidate = id);
+            // The acceptance counter for coalescing: incremented only when
+            // a training actually runs, never on recalls or replays.
+            syno_telemetry::counter!("syno_search_proxy_train_total").inc();
             let scored = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 self.family.family().score(graph, 0, &self.proxy)
             }))
@@ -1246,6 +1295,11 @@ impl EvalContext {
         match scored {
             Ok(acc) => {
                 let accuracy = (acc as f64).clamp(0.0, 1.0);
+                // Publish before journaling: parked followers replay from
+                // the memo, not the store, so they never wait on I/O.
+                if let Some(guard) = leader.take() {
+                    guard.publish(TrainOutcome::Scored { accuracy });
+                }
                 if let Some(flops) = syno_core::analysis::naive_flops(graph, 0) {
                     let mut total = self.shared.flops.lock().expect("flops lock");
                     *total = total.saturating_add(flops);
@@ -1307,6 +1361,11 @@ impl EvalContext {
                 accuracy
             }
             Err(error) => {
+                // Failures train deterministically too: followers replay
+                // the identical typed skip instead of re-failing.
+                if let Some(guard) = leader.take() {
+                    guard.publish(TrainOutcome::Failed(error.clone()));
+                }
                 if let Some(store) = self.store.as_deref() {
                     // Journal the failure (NaN marker) so resumed runs
                     // skip this candidate instead of re-training it.
@@ -1315,6 +1374,70 @@ impl EvalContext {
                     let _ = store.put_score(id, f64::NAN, &contract);
                     self.shared.progress.phases.add_store(span.elapsed());
                 }
+                syno_telemetry::counter!("syno_search_skips_total").inc();
+                let _ = sender.send(SearchEvent::CandidateSkipped {
+                    scenario: index,
+                    id,
+                    error,
+                });
+                0.0
+            }
+        }
+    }
+
+    /// Replays a coalesced training outcome as this scenario's own events.
+    ///
+    /// Training is deterministic, so the replayed `ProxyScored` accuracy is
+    /// bit-identical to what a fresh training would have produced; latency
+    /// tuning is re-run locally (it is deterministic and per-scenario
+    /// cheap). The leader already journaled the score and counted the
+    /// training's FLOPs, so this path journals nothing and adds no FLOPs —
+    /// one training, many observers.
+    fn replay_coalesced(
+        &self,
+        id: u64,
+        graph: &PGraph,
+        outcome: TrainOutcome,
+        sender: &Sender<SearchEvent>,
+    ) -> f64 {
+        let index = self.index;
+        match outcome {
+            TrainOutcome::Scored { accuracy } => {
+                let _ = sender.send(SearchEvent::ProxyScored {
+                    scenario: index,
+                    id,
+                    accuracy,
+                });
+                self.progress().discovered.fetch_add(1, Ordering::Relaxed);
+                let tune_span = syno_telemetry::span!("latency_tune", candidate = id);
+                let priced = price_candidate(index, graph, accuracy, &self.devices, self.compiler);
+                self.shared.progress.phases.add_tune(tune_span.elapsed());
+                drop(tune_span);
+                match priced {
+                    Ok(candidate) => {
+                        self.progress().candidates.fetch_add(1, Ordering::Relaxed);
+                        let _ = sender.send(SearchEvent::LatencyTuned {
+                            scenario: index,
+                            id,
+                            candidate: candidate.clone(),
+                        });
+                        self.candidates
+                            .lock()
+                            .expect("candidates lock")
+                            .push(candidate);
+                    }
+                    Err(error) => {
+                        syno_telemetry::counter!("syno_search_skips_total").inc();
+                        let _ = sender.send(SearchEvent::CandidateSkipped {
+                            scenario: index,
+                            id,
+                            error,
+                        });
+                    }
+                }
+                accuracy
+            }
+            TrainOutcome::Failed(error) => {
                 syno_telemetry::counter!("syno_search_skips_total").inc();
                 let _ = sender.send(SearchEvent::CandidateSkipped {
                     scenario: index,
@@ -1356,6 +1479,7 @@ fn run_scenario(
     progress_every: u64,
     store: Option<&Arc<Store>>,
     resume: bool,
+    coalesce: Option<&CoalesceTable>,
     shared: &Arc<Shared>,
     sender: &Sender<SearchEvent>,
 ) -> Vec<Candidate> {
@@ -1421,6 +1545,7 @@ fn run_scenario(
         devices: Arc::clone(devices),
         compiler,
         store: store.map(Arc::clone),
+        coalesce: coalesce.cloned(),
         shared: Arc::clone(shared),
         candidates: Arc::clone(&candidates),
     };

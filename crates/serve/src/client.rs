@@ -6,6 +6,12 @@
 //! queues drained through [`ClientSession`], everything else
 //! (`Accepted`, `Rejected`, `StatusReply`, `ShuttingDown`, connection
 //! `Error`) lands in a control queue the blocking calls wait on.
+//!
+//! Sessions outlive connections. If the socket dies mid-stream, every
+//! open session queue receives a terminal [`SessionMessage::Lost`]
+//! carrying how many messages arrived on *this* connection — a fresh
+//! client can then [`SynoClient::attach`] with that count as `from_seq`
+//! and the daemon replays the missed tail bit-identically.
 
 use std::collections::HashMap;
 use std::io;
@@ -36,6 +42,16 @@ pub enum ServeError {
     Timeout,
     /// The connection closed before the expected reply arrived.
     Disconnected,
+    /// The connection died mid-stream with this session still open;
+    /// `received` counts the messages delivered on this connection, so a
+    /// reconnect can [`attach`](SynoClient::attach) from where it left
+    /// off.
+    Lost {
+        /// The session that lost its connection.
+        session: u64,
+        /// Session messages delivered on this connection before the loss.
+        received: u64,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -47,11 +63,23 @@ impl std::fmt::Display for ServeError {
             ServeError::Daemon(message) => write!(f, "daemon reported an error: {message}"),
             ServeError::Timeout => write!(f, "timed out waiting for the daemon"),
             ServeError::Disconnected => write!(f, "connection closed before the daemon replied"),
+            ServeError::Lost { session, received } => write!(
+                f,
+                "connection lost with session {session} still open after \
+                 {received} messages; reconnect and attach(session, {received}) \
+                 to replay the rest"
+            ),
         }
     }
 }
 
 impl std::error::Error for ServeError {}
+
+impl From<ServeError> for syno_core::error::SynoError {
+    fn from(error: ServeError) -> Self {
+        syno_core::error::SynoError::serve(error.to_string())
+    }
+}
 
 impl From<io::Error> for ServeError {
     fn from(e: io::Error) -> Self {
@@ -83,6 +111,16 @@ pub enum SessionMessage {
     },
     /// A session-scoped daemon error (the terminal `Done` still follows).
     Error(String),
+    /// The connection died before the session finished. Terminal for
+    /// this stream — but the session itself is still running on the
+    /// daemon: reconnect and [`SynoClient::attach`] at `received` (plus
+    /// any messages consumed on earlier connections) to resume.
+    Lost {
+        /// The session whose stream was severed.
+        session: u64,
+        /// Session messages delivered on this connection before the loss.
+        received: u64,
+    },
 }
 
 /// Per-session inbound queue, created lazily by whichever side touches
@@ -91,6 +129,23 @@ pub enum SessionMessage {
 struct SessionQueue {
     tx: Sender<SessionMessage>,
     rx: Option<Receiver<SessionMessage>>,
+    /// Session messages routed on this connection — the resume cursor a
+    /// [`SessionMessage::Lost`] hands back for `attach`.
+    received: u64,
+    /// The terminal `Done` arrived; the session needs no loss notice.
+    done: bool,
+}
+
+impl SessionQueue {
+    fn new() -> SessionQueue {
+        let (tx, rx) = channel();
+        SessionQueue {
+            tx,
+            rx: Some(rx),
+            received: 0,
+            done: false,
+        }
+    }
 }
 
 struct Demux {
@@ -99,35 +154,30 @@ struct Demux {
 }
 
 impl Demux {
-    fn session_tx(&self, session: u64) -> Sender<SessionMessage> {
-        let mut sessions = self.sessions.lock().expect("session queues lock");
-        sessions
-            .entry(session)
-            .or_insert_with(|| {
-                let (tx, rx) = channel();
-                SessionQueue { tx, rx: Some(rx) }
-            })
-            .tx
-            .clone()
-    }
-
     fn take_session_rx(&self, session: u64) -> Receiver<SessionMessage> {
         let mut sessions = self.sessions.lock().expect("session queues lock");
         sessions
             .entry(session)
-            .or_insert_with(|| {
-                let (tx, rx) = channel();
-                SessionQueue { tx, rx: Some(rx) }
-            })
+            .or_insert_with(SessionQueue::new)
             .rx
             .take()
             .expect("session receiver already taken")
     }
 
+    fn send_session(&self, session: u64, message: SessionMessage, terminal: bool) {
+        let mut sessions = self.sessions.lock().expect("session queues lock");
+        let queue = sessions.entry(session).or_insert_with(SessionQueue::new);
+        queue.received += 1;
+        if terminal {
+            queue.done = true;
+        }
+        let _ = queue.tx.send(message);
+    }
+
     fn route(&self, frame: Frame) {
         match frame {
             Frame::Event { session, event } => {
-                let _ = self.session_tx(session).send(SessionMessage::Event(event));
+                self.send_session(session, SessionMessage::Event(event), false);
             }
             Frame::SearchDone {
                 session,
@@ -135,19 +185,35 @@ impl Demux {
                 steps,
                 candidates,
             } => {
-                let _ = self.session_tx(session).send(SessionMessage::Done {
-                    stopped,
-                    steps,
-                    candidates,
-                });
+                self.send_session(
+                    session,
+                    SessionMessage::Done {
+                        stopped,
+                        steps,
+                        candidates,
+                    },
+                    true,
+                );
             }
             Frame::Error { session, message } if session != 0 => {
-                let _ = self
-                    .session_tx(session)
-                    .send(SessionMessage::Error(message));
+                self.send_session(session, SessionMessage::Error(message), false);
             }
             other => {
                 let _ = self.control_tx.send(other);
+            }
+        }
+    }
+
+    /// The connection died: hand every still-open session a terminal
+    /// [`SessionMessage::Lost`] carrying its resume cursor.
+    fn lost(&self) {
+        let sessions = self.sessions.lock().expect("session queues lock");
+        for (id, queue) in sessions.iter() {
+            if !queue.done {
+                let _ = queue.tx.send(SessionMessage::Lost {
+                    session: *id,
+                    received: queue.received,
+                });
             }
         }
     }
@@ -214,9 +280,10 @@ impl SynoClient {
                 while let Ok(Some(frame)) = Frame::read_from(&mut reader_conn) {
                     reader_demux.route(frame);
                 }
-                // EOF or error: closing the control sender wakes blocked
-                // waiters with `Disconnected`; session queues close with
-                // the demux.
+                // EOF or error: open sessions get a terminal `Lost` with
+                // their resume cursor; closing the control sender wakes
+                // blocked waiters with `Disconnected`.
+                reader_demux.lost();
             })?;
 
         Ok(SynoClient {
@@ -279,6 +346,38 @@ impl SynoClient {
             }),
             Frame::Rejected { reason } => Err(ServeError::Rejected(reason)),
             _ => unreachable!("wait_control matched Accepted/Rejected"),
+        }
+    }
+
+    /// Reattaches to a session that outlived its original connection and
+    /// replays its stream from `from_seq` (the number of session
+    /// messages already consumed — a [`SessionMessage::Lost`] hands this
+    /// back as `received`; across several reconnects, sum them). The
+    /// daemon streams the retained tail bit-identically, then the live
+    /// remainder.
+    ///
+    /// One connection can drive a session id through at most one
+    /// [`ClientSession`]; attach from a *fresh* client after a loss.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Daemon`] when the session is unknown or owned by a
+    /// different tenant; transport, timeout, or disconnection errors
+    /// otherwise.
+    pub fn attach(&self, session: u64, from_seq: u64) -> Result<ClientSession<'_>, ServeError> {
+        self.send(&Frame::Attach { session, from_seq })?;
+        let reply = self.wait_control(|frame| {
+            matches!(frame, Frame::AttachReply { session: s, .. } if *s == session)
+                || matches!(frame, Frame::Error { session: 0, .. })
+        })?;
+        match reply {
+            Frame::AttachReply { .. } => Ok(ClientSession {
+                client: self,
+                session,
+                rx: self.demux.take_session_rx(session),
+            }),
+            Frame::Error { message, .. } => Err(ServeError::Daemon(message)),
+            _ => unreachable!("wait_control matched AttachReply/Error"),
         }
     }
 
@@ -433,15 +532,16 @@ impl ClientSession<'_> {
         self.session
     }
 
-    /// Blocks for the next message; `None` once the terminal
-    /// [`SessionMessage::Done`] has been consumed (or the connection
-    /// died).
+    /// Blocks for the next message; `None` once a terminal
+    /// [`SessionMessage::Done`] or [`SessionMessage::Lost`] has been
+    /// consumed (or the connection died).
     pub fn recv(&self) -> Option<SessionMessage> {
         self.rx.recv().ok()
     }
 
     /// Blocking iterator over the session's messages, ending after the
-    /// terminal [`SessionMessage::Done`].
+    /// terminal [`SessionMessage::Done`] — or [`SessionMessage::Lost`],
+    /// after which a fresh client can [`SynoClient::attach`] to resume.
     pub fn messages(&self) -> impl Iterator<Item = SessionMessage> + '_ {
         let mut done = false;
         std::iter::from_fn(move || {
@@ -449,7 +549,10 @@ impl ClientSession<'_> {
                 return None;
             }
             let message = self.rx.recv().ok()?;
-            if matches!(message, SessionMessage::Done { .. }) {
+            if matches!(
+                message,
+                SessionMessage::Done { .. } | SessionMessage::Lost { .. }
+            ) {
                 done = true;
             }
             Some(message)

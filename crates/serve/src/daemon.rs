@@ -1,5 +1,6 @@
 //! The `syno-serve` daemon: many concurrent search sessions, one warm
-//! store, one shared evaluation pool.
+//! store, one shared evaluation pool, one event-loop thread for every
+//! client connection.
 //!
 //! # Architecture
 //!
@@ -12,68 +13,75 @@
 //! [`SearchBuilder::eval_pool`](syno_search::SearchBuilder::eval_pool).
 //! Because every session shares the store, a candidate proxy-trained for
 //! one tenant is a [`CacheHit`](crate::WireEvent::CacheHit) for every
-//! other tenant that discovers it — cross-tenant dedup falls out of the
-//! store's content-hash keys, no extra machinery.
+//! other tenant that discovers it — and the shared in-flight
+//! [`CoalesceTable`] closes the remaining race: two tenants that discover
+//! the same candidate while a training is *still running* share that one
+//! training instead of paying for it twice.
 //!
-//! Per connection, three kinds of threads cooperate:
+//! Threads are budgeted per **session**, not per connection:
 //!
-//! * the **reader** (the connection's main thread) decodes inbound frames
-//!   and handles admission, cancel, and status requests;
-//! * one **writer** serializes all outbound frames from an mpsc channel,
-//!   so session pumps and the reader never interleave partial frames; it
-//!   closes the socket after writing the terminal `ShuttingDown` frame;
-//! * one **pump** per live session forwards
-//!   [`SearchEvent`](syno_search::SearchEvent)s as `Event` frames and
-//!   finishes with a `SearchDone` terminal frame;
-//! * one **drain watcher** waits out shutdown: once the daemon is
-//!   draining and this connection's sessions have all finished (each with
-//!   its final checkpoint journaled *before* its `SearchDone` was sent),
-//!   it emits `ShuttingDown` and lets the writer close the socket.
+//! * the **event loop** (the `event_loop` module) multiplexes
+//!   every connection — handshake, admission, cancel, status, derive,
+//!   attach, delivery, and the shutdown drain — over non-blocking sockets
+//!   and `poll(2)`, woken by a `Mailbox` self-pipe (never a timer);
+//! * one **pump** per live session appends
+//!   [`SearchEvent`](syno_search::SearchEvent)s to the session's retained
+//!   `SessionLog` and wakes the loop, finishing with the terminal
+//!   `SearchDone` frame.
+//!
+//! # Sessions outlive sockets
+//!
+//! A dropped connection **detaches** its sessions instead of cancelling
+//! them: the runs keep executing and every frame they produce is retained
+//! in the daemon's per-session log. A reconnecting client replays with
+//! [`Frame::Attach`]`{session, from_seq}` — the daemon answers
+//! `AttachReply` and streams the log from that cursor, so the client
+//! observes exactly the byte sequence it would have seen without the
+//! disconnect. Explicit [`Frame::Cancel`] is tenant-scoped: any
+//! connection authenticated as the owning tenant may cancel.
 //!
 //! # Admission control
 //!
-//! [`ServeConfig::max_sessions`] bounds live sessions daemon-wide and
-//! [`ServeConfig::max_sessions_per_tenant`] per tenant; a submit over
-//! either cap — or during shutdown — receives a `Rejected` frame naming
-//! the limit, never a silent queue. Budgets inside an admitted session
-//! are the search layer's own [`Budget`](syno_search::Budget) machinery
-//! (`max_steps` travels in the request).
+//! [`ServeConfig::max_sessions`] bounds live sessions daemon-wide,
+//! [`ServeConfig::max_sessions_per_tenant`] per tenant, and
+//! [`ServeConfig::tenant_max_steps`] meters each tenant's *cumulative*
+//! search steps across all its sessions (live iterations count against
+//! the budget too). A submit over any cap — or during shutdown — receives
+//! a `Rejected` frame naming the limit, never a silent queue.
 //!
 //! # Shutdown ordering
 //!
-//! [`DaemonHandle::shutdown`] (or an inbound `Shutdown` frame, or
-//! SIGINT in the binary) (1) marks the daemon draining so new submits are
-//! rejected, (2) cancels every live session's
-//! [`CancelToken`], (3) lets each run wind down
-//! through its normal path — in-flight pool evaluations complete, the
-//! final checkpoint is journaled to the store — then (4) answers every
-//! pending client with `SearchDone` per session followed by one terminal
-//! `ShuttingDown{checkpointed}` per connection, and (5) joins every
-//! thread and shuts the shared pool down. A later run with
-//! [`resume`](crate::SearchRequest::resume) (or an in-process
-//! [`SearchBuilder::resume_from`](syno_search::SearchBuilder::resume_from))
-//! replays each interrupted session to the identical candidate set.
+//! [`DaemonHandle::shutdown`] (or an inbound `Shutdown` frame, or SIGINT
+//! in the binary) (1) marks the daemon draining so new submits are
+//! rejected, (2) cancels every live session's [`CancelToken`], (3) lets
+//! each run wind down through its normal path — in-flight pool
+//! evaluations complete, the final checkpoint is journaled to the store —
+//! then (4) answers every connected client with its undelivered session
+//! frames followed by one terminal `ShuttingDown{checkpointed}` per
+//! connection, and (5) joins every pump and shuts the shared pool down.
+//! A later run with [`resume`](crate::SearchRequest::resume) replays each
+//! interrupted session to the identical candidate set.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::io;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread;
-use std::time::Duration;
 
 use syno_compiler::{CompilerKind, Device};
-use syno_core::codec::{decode_spec, PROTOCOL_VERSION};
+use syno_core::codec::decode_spec;
 use syno_nn::ProxyConfig;
 use syno_search::{
-    CancelToken, EvalPool, MctsConfig, ProxyFamilyId, RunProgress, SearchBuilder, SearchRun,
+    CancelToken, CoalesceTable, EvalPool, MctsConfig, ProxyFamilyId, RunProgress, SearchBuilder,
+    SearchRun,
 };
-use syno_store::Store;
+use syno_store::{OpKind, Store};
 
+use crate::event_loop::{self, LoopMsg, Mailbox, WakeReader};
 use crate::protocol::{
     wire_event, DaemonStatus, Frame, SearchRequest, SessionStatus, WireStoreStats,
 };
-use crate::transport::{connect, Conn, Listener};
+use crate::transport::Listener;
 
 /// Daemon-wide tuning: the shared pool size, admission caps, and the
 /// evaluation defaults every session inherits unless its request
@@ -86,6 +94,9 @@ pub struct ServeConfig {
     pub max_sessions: usize,
     /// Live-session cap per tenant.
     pub max_sessions_per_tenant: usize,
+    /// Cumulative search-step budget per tenant across all its sessions
+    /// (completed steps plus live iterations); `0` means unmetered.
+    pub tenant_max_steps: u64,
     /// Devices every candidate is latency-tuned for.
     pub devices: Vec<Device>,
     /// Compiler simulator for the latency column.
@@ -102,6 +113,7 @@ impl Default for ServeConfig {
             eval_workers: 2,
             max_sessions: 8,
             max_sessions_per_tenant: 4,
+            tenant_max_steps: 0,
             devices: vec![Device::mobile_cpu()],
             compiler: CompilerKind::Tvm,
             proxy: ProxyConfig::default(),
@@ -113,18 +125,67 @@ impl Default for ServeConfig {
 /// One live session as the daemon tracks it.
 struct SessionEntry {
     tenant: String,
-    label: String,
     cancel: CancelToken,
     progress: Arc<RunProgress>,
 }
 
-/// State shared by the accept loop, every connection, and the handle.
-struct DaemonState {
+/// A session's retained outbound frame log — the unit of session
+/// takeover. Every frame the session produces is appended here (and
+/// *delivered* to subscribed connections by the event loop); the log
+/// outlives the socket that submitted it, so [`Frame::Attach`] can
+/// replay from any cursor.
+pub(crate) struct SessionLog {
+    tenant: String,
+    label: String,
+    frames: Mutex<Vec<Frame>>,
+    done: AtomicBool,
+}
+
+impl SessionLog {
+    fn new(tenant: &str, label: &str) -> SessionLog {
+        SessionLog {
+            tenant: tenant.to_owned(),
+            label: label.to_owned(),
+            frames: Mutex::new(Vec::new()),
+            done: AtomicBool::new(false),
+        }
+    }
+
+    fn push(&self, frame: Frame) {
+        self.frames.lock().expect("session log lock").push(frame);
+    }
+
+    /// Frames from `ix` onward (clones — the log is the source of truth).
+    pub(crate) fn frames_from(&self, ix: usize) -> Vec<Frame> {
+        let frames = self.frames.lock().expect("session log lock");
+        frames.get(ix..).unwrap_or(&[]).to_vec()
+    }
+
+    /// Number of retained frames.
+    pub(crate) fn len(&self) -> usize {
+        self.frames.lock().expect("session log lock").len()
+    }
+
+    /// Has the terminal `SearchDone` been appended?
+    pub(crate) fn is_done(&self) -> bool {
+        self.done.load(Ordering::SeqCst)
+    }
+}
+
+/// State shared by the event loop, every session pump, and the handle.
+pub(crate) struct DaemonState {
     config: ServeConfig,
-    addr: String,
     store: Option<Arc<Store>>,
     pool: EvalPool,
     sessions: Mutex<HashMap<u64, SessionEntry>>,
+    /// Retained frame logs for every session the daemon has ever
+    /// admitted (live and finished) — the replay source for `Attach`.
+    logs: Mutex<HashMap<u64, Arc<SessionLog>>>,
+    /// Completed search steps per tenant (live iterations are read from
+    /// the session progress when metering admission).
+    tenant_steps: Mutex<HashMap<String, u64>>,
+    coalesce: CoalesceTable,
+    mailbox: Mailbox,
     next_session: AtomicU64,
     total_admitted: AtomicU64,
     shutting_down: AtomicBool,
@@ -132,11 +193,10 @@ struct DaemonState {
 }
 
 impl DaemonState {
-    /// Marks the daemon draining, cancels every live session, and pokes
-    /// the accept loop (a throwaway self-connection) so it observes the
-    /// flag even with no inbound connection pending. Safe to call more
-    /// than once.
-    fn trigger_shutdown(&self) {
+    /// Marks the daemon draining, cancels every live session, and wakes
+    /// the event loop so it observes the flag immediately. Safe to call
+    /// more than once.
+    pub(crate) fn trigger_shutdown(&self) {
         self.shutting_down.store(true, Ordering::SeqCst);
         {
             let sessions = self.sessions.lock().expect("sessions lock");
@@ -144,32 +204,163 @@ impl DaemonState {
                 entry.cancel.cancel();
             }
         }
-        let _ = connect(&self.addr);
+        self.mailbox.post(LoopMsg::Shutdown);
     }
 
-    fn status(&self) -> DaemonStatus {
-        let sessions = self.sessions.lock().expect("sessions lock");
-        let mut rows: Vec<SessionStatus> = sessions
-            .iter()
-            .map(|(id, entry)| {
-                let scenario = &entry.progress.scenarios()[0];
-                let phases = entry.progress.phases();
-                SessionStatus {
-                    session: *id,
-                    tenant: entry.tenant.clone(),
-                    label: entry.label.clone(),
-                    iterations: scenario.iterations(),
-                    total_iterations: scenario.total_iterations(),
-                    discovered: scenario.discovered(),
-                    candidates: scenario.candidates(),
-                    synth_ns: phases.synth_ns(),
-                    eval_ns: phases.eval_ns(),
-                    store_ns: phases.store_ns(),
-                    tune_ns: phases.tune_ns(),
+    pub(crate) fn mailbox(&self) -> &Mailbox {
+        &self.mailbox
+    }
+
+    pub(crate) fn is_shutting_down(&self) -> bool {
+        self.shutting_down.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn live_sessions(&self) -> usize {
+        self.sessions.lock().expect("sessions lock").len()
+    }
+
+    pub(crate) fn checkpointed_count(&self) -> u64 {
+        self.checkpointed.load(Ordering::SeqCst)
+    }
+
+    /// The retained log for a session, if the daemon ever admitted it.
+    pub(crate) fn session_log(&self, session: u64) -> Option<Arc<SessionLog>> {
+        self.logs
+            .lock()
+            .expect("session logs lock")
+            .get(&session)
+            .cloned()
+    }
+
+    /// Creates and retains the frame log for a freshly admitted session.
+    pub(crate) fn register_log(&self, session: u64, tenant: &str, label: &str) -> Arc<SessionLog> {
+        let log = Arc::new(SessionLog::new(tenant, label));
+        self.logs
+            .lock()
+            .expect("session logs lock")
+            .insert(session, Arc::clone(&log));
+        log
+    }
+
+    /// Validates a [`Frame::Attach`]: the session must exist and belong
+    /// to the attaching tenant. Journals the takeover (sessions are
+    /// durable state transitions worth auditing) and returns the number
+    /// of retained frames.
+    pub(crate) fn attach_session(
+        &self,
+        tenant: &str,
+        session: u64,
+        from_seq: u64,
+    ) -> Result<u64, String> {
+        let Some(log) = self.session_log(session) else {
+            return Err(format!("cannot attach: unknown session {session}"));
+        };
+        if log.tenant != tenant {
+            return Err(format!(
+                "cannot attach: session {session} is not owned by tenant '{tenant}'"
+            ));
+        }
+        let retained = log.len() as u64;
+        if let Some(store) = &self.store {
+            let _ = store.log_operation(
+                OpKind::SessionAttached,
+                &log.label,
+                0,
+                format!(
+                    "tenant '{tenant}' attached session {session} \
+                     from seq {from_seq} ({retained} frames retained)"
+                ),
+            );
+        }
+        syno_telemetry::counter!("syno_serve_attach_total").inc();
+        Ok(retained)
+    }
+
+    /// Tenant-scoped cancel: any connection authenticated as the owning
+    /// tenant may cancel (the session may have outlived the socket that
+    /// submitted it). Cancelling an already-finished session is a no-op.
+    pub(crate) fn cancel_session(&self, tenant: &str, session: u64) -> Result<(), String> {
+        {
+            let sessions = self.sessions.lock().expect("sessions lock");
+            if let Some(entry) = sessions.get(&session) {
+                if entry.tenant != tenant {
+                    return Err(format!(
+                        "session {session} is not owned by tenant '{tenant}'"
+                    ));
                 }
-            })
-            .collect();
+                entry.cancel.cancel();
+                return Ok(());
+            }
+        }
+        match self.session_log(session) {
+            Some(log) if log.tenant == tenant => Ok(()), // already finished
+            Some(_) => Err(format!(
+                "session {session} is not owned by tenant '{tenant}'"
+            )),
+            None => Err(format!("cannot cancel: unknown session {session}")),
+        }
+    }
+
+    /// A tenant's metered step usage: completed steps plus the live
+    /// iterations of its running sessions.
+    fn tenant_steps_used(&self, tenant: &str) -> u64 {
+        let completed = *self
+            .tenant_steps
+            .lock()
+            .expect("tenant steps lock")
+            .get(tenant)
+            .unwrap_or(&0);
+        let live: u64 = self
+            .sessions
+            .lock()
+            .expect("sessions lock")
+            .values()
+            .filter(|entry| entry.tenant == tenant)
+            .map(|entry| entry.progress.scenarios()[0].iterations())
+            .sum();
+        completed + live
+    }
+
+    fn add_tenant_steps(&self, tenant: &str, steps: u64) {
+        *self
+            .tenant_steps
+            .lock()
+            .expect("tenant steps lock")
+            .entry(tenant.to_owned())
+            .or_insert(0) += steps;
+    }
+
+    pub(crate) fn status(&self) -> DaemonStatus {
+        let mut tenants: HashMap<String, u64> = self
+            .tenant_steps
+            .lock()
+            .expect("tenant steps lock")
+            .clone();
+        let sessions = self.sessions.lock().expect("sessions lock");
+        let mut rows: Vec<SessionStatus> = Vec::with_capacity(sessions.len());
+        for (id, entry) in sessions.iter() {
+            let scenario = &entry.progress.scenarios()[0];
+            let phases = entry.progress.phases();
+            let log = self.session_log(*id);
+            rows.push(SessionStatus {
+                session: *id,
+                tenant: entry.tenant.clone(),
+                label: log.as_ref().map(|l| l.label.clone()).unwrap_or_default(),
+                iterations: scenario.iterations(),
+                total_iterations: scenario.total_iterations(),
+                discovered: scenario.discovered(),
+                candidates: scenario.candidates(),
+                synth_ns: phases.synth_ns(),
+                eval_ns: phases.eval_ns(),
+                store_ns: phases.store_ns(),
+                tune_ns: phases.tune_ns(),
+            });
+            *tenants.entry(entry.tenant.clone()).or_insert(0) +=
+                scenario.iterations();
+        }
         rows.sort_by_key(|row| row.session);
+        let mut tenants: Vec<(String, u64)> = tenants.into_iter().collect();
+        tenants.sort();
         DaemonStatus {
             active_sessions: rows.len() as u32,
             total_admitted: self.total_admitted.load(Ordering::SeqCst),
@@ -179,6 +370,7 @@ impl DaemonState {
                 .store
                 .as_ref()
                 .map(|store| WireStoreStats::from(&store.stats())),
+            tenants,
         }
     }
 }
@@ -207,7 +399,7 @@ impl DaemonHandle {
 
     /// Is the daemon draining toward exit?
     pub fn is_shutting_down(&self) -> bool {
-        self.state.shutting_down.load(Ordering::SeqCst)
+        self.state.is_shutting_down()
     }
 
     /// Requests a graceful shutdown: reject new work, cancel live
@@ -224,6 +416,7 @@ impl DaemonHandle {
 /// [`spawn`](Daemon::spawn) onto a background thread (tests).
 pub struct Daemon {
     listener: Listener,
+    wake: WakeReader,
     addr: String,
     state: Arc<DaemonState>,
 }
@@ -238,12 +431,13 @@ impl std::fmt::Debug for Daemon {
 
 impl Daemon {
     /// Binds the listen spec (`"unix:<path>"` or a TCP address; TCP port
-    /// `0` picks a free port) and builds the shared pool. No connection
-    /// is accepted until [`run`](Daemon::run).
+    /// `0` picks a free port) and builds the shared pool and wakeup
+    /// mailbox. No connection is accepted until [`run`](Daemon::run).
     ///
     /// # Errors
     ///
-    /// Propagates socket bind failures.
+    /// Propagates socket bind failures; `Unsupported` on platforms
+    /// without `poll(2)`-capable unix pipes (the event loop needs them).
     pub fn bind(
         listen: &str,
         store: Option<Arc<Store>>,
@@ -251,16 +445,21 @@ impl Daemon {
     ) -> io::Result<Daemon> {
         let listener = Listener::bind(listen)?;
         let addr = listener.local_spec()?;
+        let (mailbox, wake) = Mailbox::new()?;
         let pool = EvalPool::new(config.eval_workers);
         Ok(Daemon {
             listener,
-            addr: addr.clone(),
+            wake,
+            addr,
             state: Arc::new(DaemonState {
                 config,
-                addr,
                 store,
                 pool,
                 sessions: Mutex::new(HashMap::new()),
+                logs: Mutex::new(HashMap::new()),
+                tenant_steps: Mutex::new(HashMap::new()),
+                coalesce: CoalesceTable::new(),
+                mailbox,
                 next_session: AtomicU64::new(0),
                 total_admitted: AtomicU64::new(0),
                 shutting_down: AtomicBool::new(false),
@@ -279,30 +478,10 @@ impl Daemon {
 
     /// Serves connections until [`DaemonHandle::shutdown`] (or an inbound
     /// `Shutdown` frame) completes the drain: every session finished and
-    /// checkpointed, every client answered, every thread joined, the
+    /// checkpointed, every client answered, every pump joined, the
     /// shared pool shut down.
     pub fn run(self) {
-        let mut handlers = Vec::new();
-        loop {
-            let conn = match self.listener.accept_conn() {
-                Ok(conn) => conn,
-                Err(_) if self.state.shutting_down.load(Ordering::SeqCst) => break,
-                Err(_) => continue,
-            };
-            if self.state.shutting_down.load(Ordering::SeqCst) {
-                // The shutdown poke (or a late client); the handler will
-                // answer with `ShuttingDown` as soon as the peer says
-                // `Hello`, or exit on its EOF.
-                let state = Arc::clone(&self.state);
-                handlers.push(thread::spawn(move || serve_connection(state, conn)));
-                break;
-            }
-            let state = Arc::clone(&self.state);
-            handlers.push(thread::spawn(move || serve_connection(state, conn)));
-        }
-        for handler in handlers {
-            let _ = handler.join();
-        }
+        event_loop::drive(Arc::clone(&self.state), self.listener, self.wake);
         // The search layer isolates evaluation panics per candidate, so a
         // payload here means one escaped that net; count it and keep the
         // drain going — the daemon is exiting either way.
@@ -316,149 +495,11 @@ impl Daemon {
     pub fn spawn(self) -> (DaemonHandle, thread::JoinHandle<()>) {
         let handle = self.handle();
         let join = thread::Builder::new()
-            .name("syno-serve-accept".into())
+            .name("syno-serve-loop".into())
             .spawn(move || self.run())
             .expect("spawn daemon thread");
         (handle, join)
     }
-}
-
-/// Serves one client connection to completion (see the module docs for
-/// the thread roles).
-fn serve_connection(state: Arc<DaemonState>, conn: Box<dyn Conn>) {
-    let mut reader = conn;
-    let writer_conn = match reader.try_clone_conn() {
-        Ok(clone) => clone,
-        Err(_) => return,
-    };
-
-    // Handshake: the first frame must be a version-matched `Hello`.
-    let tenant = match Frame::read_from(&mut reader) {
-        Ok(Some(Frame::Hello { protocol, tenant })) if protocol == PROTOCOL_VERSION => tenant,
-        Ok(Some(Frame::Hello { protocol, .. })) => {
-            let reply = Frame::Error {
-                session: 0,
-                message: format!(
-                    "protocol version {protocol} not supported (daemon speaks {PROTOCOL_VERSION})"
-                ),
-            };
-            let mut w = writer_conn;
-            let _ = reply.write_to(&mut w);
-            return;
-        }
-        Ok(Some(_)) | Ok(None) | Err(_) => return,
-    };
-
-    let (tx, rx) = channel::<Frame>();
-    let writer = spawn_writer(writer_conn, rx);
-    if tx
-        .send(Frame::HelloAck {
-            protocol: PROTOCOL_VERSION,
-        })
-        .is_err()
-    {
-        let _ = writer.join();
-        return;
-    }
-
-    // Sessions owned by this connection, still running.
-    let live = Arc::new(AtomicU64::new(0));
-    let closed = Arc::new(AtomicBool::new(false));
-    let watcher = spawn_drain_watcher(
-        Arc::clone(&state),
-        tx.clone(),
-        Arc::clone(&live),
-        Arc::clone(&closed),
-    );
-
-    let mut own_sessions: HashSet<u64> = HashSet::new();
-    let mut pumps: Vec<thread::JoinHandle<()>> = Vec::new();
-
-    loop {
-        match Frame::read_from(&mut reader) {
-            Ok(Some(Frame::SubmitSearch(request))) => {
-                match admit(&state, &tenant, &request) {
-                    Ok((session, run)) => {
-                        own_sessions.insert(session);
-                        live.fetch_add(1, Ordering::SeqCst);
-                        let _ = tx.send(Frame::Accepted { session });
-                        pumps.push(spawn_pump(
-                            Arc::clone(&state),
-                            session,
-                            run,
-                            tx.clone(),
-                            Arc::clone(&live),
-                        ));
-                    }
-                    Err(reason) => {
-                        let _ = tx.send(Frame::Rejected { reason });
-                    }
-                }
-            }
-            Ok(Some(Frame::Cancel { session })) => {
-                if own_sessions.contains(&session) {
-                    let sessions = state.sessions.lock().expect("sessions lock");
-                    if let Some(entry) = sessions.get(&session) {
-                        entry.cancel.cancel();
-                    }
-                } else {
-                    let _ = tx.send(Frame::Error {
-                        session,
-                        message: format!("session {session} is not owned by this connection"),
-                    });
-                }
-            }
-            Ok(Some(Frame::Status)) => {
-                let _ = tx.send(Frame::StatusReply(state.status()));
-            }
-            Ok(Some(Frame::Metrics)) => {
-                let _ = tx.send(Frame::MetricsReply {
-                    dump: syno_telemetry::metrics::global().render(),
-                });
-            }
-            Ok(Some(Frame::Shutdown)) => {
-                state.trigger_shutdown();
-                // The drain watcher answers with `ShuttingDown` once this
-                // connection's sessions have wound down.
-            }
-            Ok(Some(Frame::Derive {
-                op,
-                name,
-                left,
-                right,
-            })) => {
-                let _ = tx.send(handle_derive(&state, &op, &name, &left, &right));
-            }
-            Ok(Some(other)) => {
-                let _ = tx.send(Frame::Error {
-                    session: 0,
-                    message: format!("unexpected client frame: {}", other.kind()),
-                });
-            }
-            // Clean EOF or a torn/closed socket: either the client hung
-            // up (cancel its orphaned sessions) or our writer closed the
-            // socket after the terminal `ShuttingDown`.
-            Ok(None) | Err(_) => {
-                if !state.shutting_down.load(Ordering::SeqCst) {
-                    let sessions = state.sessions.lock().expect("sessions lock");
-                    for id in &own_sessions {
-                        if let Some(entry) = sessions.get(id) {
-                            entry.cancel.cancel();
-                        }
-                    }
-                }
-                break;
-            }
-        }
-    }
-
-    for pump in pumps {
-        let _ = pump.join();
-    }
-    closed.store(true, Ordering::SeqCst);
-    let _ = watcher.join();
-    drop(tx);
-    let _ = writer.join();
 }
 
 /// Answers a [`Frame::Derive`] against the shared repository: `"get"`
@@ -466,7 +507,13 @@ fn serve_connection(state: Arc<DaemonState>, conn: Box<dyn Conn>) {
 /// `"intersection"`, and `"difference"` derive (and journal) a new set
 /// from two existing ones. Failures come back as connection-scoped
 /// [`Frame::Error`]s — a bad set name must not kill the connection.
-fn handle_derive(state: &DaemonState, op: &str, name: &str, left: &str, right: &str) -> Frame {
+pub(crate) fn handle_derive(
+    state: &DaemonState,
+    op: &str,
+    name: &str,
+    left: &str,
+    right: &str,
+) -> Frame {
     use crate::protocol::WireCandidateSet;
     use syno_store::DeriveOp;
     let Some(store) = &state.store else {
@@ -502,63 +549,17 @@ fn handle_derive(state: &DaemonState, op: &str, name: &str, left: &str, right: &
     }
 }
 
-/// The writer thread: serializes every outbound frame; after the
-/// terminal `ShuttingDown` it closes the socket, which unblocks the
-/// reader and completes the connection's drain.
-fn spawn_writer(mut conn: Box<dyn Conn>, rx: Receiver<Frame>) -> thread::JoinHandle<()> {
-    thread::Builder::new()
-        .name("syno-serve-writer".into())
-        .spawn(move || {
-            while let Ok(frame) = rx.recv() {
-                let terminal = matches!(frame, Frame::ShuttingDown { .. });
-                if frame.write_to(&mut conn).is_err() {
-                    break;
-                }
-                if terminal {
-                    let _ = conn.shutdown_conn();
-                    break;
-                }
-            }
-        })
-        .expect("spawn writer thread")
-}
-
-/// The drain watcher: once the daemon is shutting down and this
-/// connection's sessions have all finished (final checkpoints journaled,
-/// `SearchDone` frames queued), it queues the terminal `ShuttingDown`.
-fn spawn_drain_watcher(
-    state: Arc<DaemonState>,
-    tx: Sender<Frame>,
-    live: Arc<AtomicU64>,
-    closed: Arc<AtomicBool>,
-) -> thread::JoinHandle<()> {
-    thread::Builder::new()
-        .name("syno-serve-drain".into())
-        .spawn(move || loop {
-            if closed.load(Ordering::SeqCst) {
-                return;
-            }
-            if state.shutting_down.load(Ordering::SeqCst) && live.load(Ordering::SeqCst) == 0 {
-                let _ = tx.send(Frame::ShuttingDown {
-                    checkpointed: state.checkpointed.load(Ordering::SeqCst),
-                });
-                return;
-            }
-            thread::sleep(Duration::from_millis(20));
-        })
-        .expect("spawn drain watcher")
-}
-
-/// The per-session pump: forwards the run's event stream as `Event`
-/// frames, then the terminal `SearchDone`. The run's final checkpoint is
-/// journaled before its event channel closes, so `SearchDone` always
-/// trails the checkpoint — the ordering clients rely on for resume.
-fn spawn_pump(
+/// The per-session pump: appends the run's event stream to the session's
+/// retained log (waking the event loop per frame), then the terminal
+/// `SearchDone`. The run's final checkpoint is journaled before its event
+/// channel closes, so `SearchDone` always trails the checkpoint — the
+/// ordering clients rely on for resume. The pump never cancels the run on
+/// client loss: sessions outlive sockets by design.
+pub(crate) fn spawn_pump(
     state: Arc<DaemonState>,
     session: u64,
     run: SearchRun,
-    tx: Sender<Frame>,
-    live: Arc<AtomicU64>,
+    log: Arc<SessionLog>,
 ) -> thread::JoinHandle<()> {
     thread::Builder::new()
         .name(format!("syno-serve-session-{session}"))
@@ -570,52 +571,63 @@ fn spawn_pump(
                 let Some(event) = wire_event(&event) else {
                     continue;
                 };
-                let frame = Frame::Event { session, event };
-                if tx.send(frame).is_err() {
-                    // The connection died; wind the run down and keep
-                    // draining so join() returns promptly.
-                    run.cancel();
-                }
+                log.push(Frame::Event { session, event });
+                state.mailbox.post(LoopMsg::Activity(session));
             }
-            let done = match run.join() {
-                Ok(report) => Frame::SearchDone {
-                    session,
-                    stopped: report.stopped.name().to_owned(),
-                    steps: report.steps,
-                    candidates: report.candidates.len() as u64,
-                },
+            let (done, steps) = match run.join() {
+                Ok(report) => (
+                    Frame::SearchDone {
+                        session,
+                        stopped: report.stopped.name().to_owned(),
+                        steps: report.steps,
+                        candidates: report.candidates.len() as u64,
+                    },
+                    report.steps,
+                ),
                 Err(error) => {
-                    let _ = tx.send(Frame::Error {
+                    log.push(Frame::Error {
                         session,
                         message: error.to_string(),
                     });
-                    Frame::SearchDone {
-                        session,
-                        stopped: "error".to_owned(),
-                        steps: 0,
-                        candidates: 0,
-                    }
+                    (
+                        Frame::SearchDone {
+                            session,
+                            stopped: "error".to_owned(),
+                            steps: 0,
+                            candidates: 0,
+                        },
+                        0,
+                    )
                 }
             };
-            state
-                .sessions
-                .lock()
-                .expect("sessions lock")
-                .remove(&session);
+            log.push(done);
+            log.done.store(true, Ordering::SeqCst);
+            state.add_tenant_steps(&log.tenant, steps);
+            let now_idle = {
+                let mut sessions = state.sessions.lock().expect("sessions lock");
+                sessions.remove(&session);
+                sessions.is_empty()
+            };
+            if now_idle {
+                // No session can still be racing a training: drop the
+                // memoized outcomes so the next generation is served
+                // `CacheHit`s from the store instead of the table.
+                state.coalesce.clear();
+            }
             syno_telemetry::gauge!("syno_serve_active_sessions").sub(1);
             if state.shutting_down.load(Ordering::SeqCst) && state.store.is_some() {
                 state.checkpointed.fetch_add(1, Ordering::SeqCst);
             }
-            let _ = tx.send(done);
-            live.fetch_sub(1, Ordering::SeqCst);
+            state.mailbox.post(LoopMsg::Done(session));
         })
         .expect("spawn session pump")
 }
 
-/// Admission control + session construction: checks the caps, builds the
-/// [`SearchBuilder`] bound to the shared store and pool, and starts the
-/// run. Returns the rejection reason otherwise.
-fn admit(
+/// Admission control + session construction: checks the caps and the
+/// tenant step budget, builds the [`SearchBuilder`] bound to the shared
+/// store, pool, and coalescing table, and starts the run. Returns the
+/// rejection reason otherwise.
+pub(crate) fn admit(
     state: &Arc<DaemonState>,
     tenant: &str,
     request: &SearchRequest,
@@ -640,6 +652,15 @@ fn admit(
             return Err(format!(
                 "tenant '{tenant}' session cap reached ({tenant_live} live, max {})",
                 state.config.max_sessions_per_tenant
+            ));
+        }
+    }
+    if state.config.tenant_max_steps > 0 {
+        let used = state.tenant_steps_used(tenant);
+        if used >= state.config.tenant_max_steps {
+            return Err(format!(
+                "tenant '{tenant}' step budget exhausted ({used} of {} used)",
+                state.config.tenant_max_steps
             ));
         }
     }
@@ -676,6 +697,7 @@ fn admit(
         .workers(1)
         .eval_pool(state.pool.clone())
         .cancel_token(cancel.clone())
+        .coalesce_table(state.coalesce.clone())
         .progress_every(if request.progress_every > 0 {
             request.progress_every
         } else {
@@ -713,7 +735,6 @@ fn admit(
         session,
         SessionEntry {
             tenant: tenant.to_owned(),
-            label: request.label.clone(),
             cancel,
             progress: Arc::clone(run.progress()),
         },

@@ -7,16 +7,22 @@
 //! * [`protocol`] — the dependency-free, length-prefixed wire protocol:
 //!   typed [`Frame`]s over `syno_core::codec`'s checksummed envelope,
 //!   versioned payloads, spoken over TCP or Unix sockets;
-//! * [`daemon`] — the session manager: per-tenant admission control,
-//!   per-session [`CancelToken`](syno_search::CancelToken)s, event
-//!   streaming, and the shared
-//!   [`EvalPool`](syno_search::EvalPool) that fans every session's
-//!   candidate evaluations into one worker set (cross-tenant dedup falls
-//!   out of the store's content-hash keys);
+//! * `event_loop` (crate-private) — one readiness-driven thread (`poll(2)`
+//!   over non-blocking sockets, woken by a self-pipe mailbox) carries
+//!   every client connection: no per-connection threads, no timer polls;
+//! * [`daemon`] — the session manager: per-tenant admission control and
+//!   step budgets, per-session
+//!   [`CancelToken`](syno_search::CancelToken)s, retained per-session
+//!   frame logs (sessions outlive sockets; `Attach` replays them
+//!   bit-identically after a disconnect), and the shared
+//!   [`EvalPool`](syno_search::EvalPool) plus in-flight
+//!   [`CoalesceTable`](syno_search::CoalesceTable) that make concurrent
+//!   tenants train each candidate exactly once;
 //! * [`client`] — [`SynoClient`], the blocking client handle: submit
-//!   sessions, stream events, poll status, request graceful shutdown;
+//!   sessions, stream events, reattach dropped sessions
+//!   ([`SynoClient::attach`]), poll status, request graceful shutdown;
 //! * [`transport`] — TCP / Unix-socket streams behind one trait;
-//! * [`signal`] — a dependency-free SIGINT latch for the binary.
+//! * [`signal`] — dependency-free SIGINT handling over a self-pipe.
 //!
 //! Lifecycle: shutdown (handle, `Shutdown` frame, or SIGINT) drains
 //! in-flight evaluations, journals each session's final checkpoint to
@@ -28,6 +34,7 @@
 
 pub mod client;
 pub mod daemon;
+mod event_loop;
 pub mod protocol;
 pub mod signal;
 pub mod transport;

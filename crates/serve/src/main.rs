@@ -22,11 +22,10 @@
 use std::process::exit;
 use std::sync::Arc;
 use std::thread;
-use std::time::Duration;
 
 use syno_serve::client::SynoClient;
 use syno_serve::daemon::{Daemon, ServeConfig};
-use syno_serve::signal::{install_sigint_handler, reset_sigint, sigint_received};
+use syno_serve::signal::{install_sigint_handler, wait_sigint};
 use syno_store::StoreBuilder;
 
 enum Query {
@@ -45,8 +44,8 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: syno-serve [--listen ADDR] [--store DIR] [--eval-workers N] \
-         [--max-sessions N] [--max-sessions-per-tenant N] [--progress-every N] \
-         [--no-telemetry]\n\
+         [--max-sessions N] [--max-sessions-per-tenant N] [--tenant-max-steps N] \
+         [--progress-every N] [--no-telemetry]\n\
          \x20      syno-serve --status ADDR | --metrics ADDR"
     );
     exit(2)
@@ -82,6 +81,10 @@ fn parse_args() -> Args {
                     &value("--max-sessions-per-tenant"),
                     "--max-sessions-per-tenant",
                 )
+            }
+            "--tenant-max-steps" => {
+                args.config.tenant_max_steps =
+                    parse_num::<u64>(&value("--tenant-max-steps"), "--tenant-max-steps")
             }
             "--progress-every" => {
                 args.config.progress_every =
@@ -167,6 +170,9 @@ fn run_query(query: &Query) -> i32 {
                         fmt_ms(s.tune_ns)
                     );
                 }
+                for (tenant, steps) in &status.tenants {
+                    println!("tenant {tenant}: {steps} steps used");
+                }
                 if let Some(store) = &status.store {
                     println!(
                         "store: {} candidates, {} scored, {} cache hits / {} lookups",
@@ -215,17 +221,18 @@ fn main() {
         let watcher_handle = handle.clone();
         thread::Builder::new()
             .name("syno-serve-sigint".into())
-            .spawn(move || loop {
-                if sigint_received() {
-                    if watcher_handle.is_shutting_down() {
-                        eprintln!("syno-serve: second SIGINT, aborting");
-                        exit(130);
-                    }
-                    eprintln!("syno-serve: SIGINT — draining sessions and checkpointing");
-                    reset_sigint();
-                    watcher_handle.shutdown();
+            .spawn(move || {
+                // Blocks on the signal self-pipe — no polling. First
+                // SIGINT drains gracefully, the second aborts.
+                if !wait_sigint() {
+                    return;
                 }
-                thread::sleep(Duration::from_millis(100));
+                eprintln!("syno-serve: SIGINT — draining sessions and checkpointing");
+                watcher_handle.shutdown();
+                if wait_sigint() {
+                    eprintln!("syno-serve: second SIGINT, aborting");
+                    exit(130);
+                }
             })
             .expect("spawn SIGINT watcher");
     }

@@ -297,6 +297,11 @@ pub struct DaemonStatus {
     pub sessions: Vec<SessionStatus>,
     /// Shared-store statistics, when a store is attached.
     pub store: Option<WireStoreStats>,
+    /// Per-tenant accumulated step usage (completed sessions plus live
+    /// iterations at snapshot time), sorted by tenant name — what
+    /// [`ServeConfig::tenant_max_steps`](crate::ServeConfig::tenant_max_steps)
+    /// admission metering charges against (protocol v4).
+    pub tenants: Vec<(String, u64)>,
 }
 
 /// One typed protocol message — the payload of exactly one [`FrameKind`].
@@ -401,6 +406,28 @@ pub enum Frame {
     DeriveReply {
         /// The set, in canonical member order.
         set: WireCandidateSet,
+    },
+    /// Client → server (protocol v4): take over a session whose previous
+    /// connection dropped. Sessions outlive sockets — the daemon retains
+    /// every session's frame log, and a reconnecting client (same
+    /// tenant) replays what it missed from `from_seq` onward.
+    Attach {
+        /// The session to take over.
+        session: u64,
+        /// Index of the first retained frame to replay (the count of
+        /// session frames the client already received).
+        from_seq: u64,
+    },
+    /// Server → client (protocol v4): attach accepted; the replay
+    /// (every retained frame from `from_seq` onward, then the live
+    /// stream) follows on this connection.
+    AttachReply {
+        /// The attached session.
+        session: u64,
+        /// Echo of the requested replay start.
+        from_seq: u64,
+        /// Frames retained for the session at attach time.
+        retained: u64,
     },
 }
 
@@ -617,6 +644,11 @@ fn put_status(e: &mut Encoder, status: &DaemonStatus) {
             e.put_u64(store.lookups);
         }
     }
+    e.put_u32(status.tenants.len() as u32);
+    for (tenant, steps) in &status.tenants {
+        e.put_str(tenant);
+        e.put_u64(*steps);
+    }
 }
 
 fn get_status(d: &mut Decoder<'_>) -> Result<DaemonStatus, ProtocolError> {
@@ -668,12 +700,20 @@ fn get_status(d: &mut Decoder<'_>) -> Result<DaemonStatus, ProtocolError> {
             )))
         }
     };
+    let n = d.get_u32()? as usize;
+    let mut tenants = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let tenant = d.get_str()?;
+        let steps = d.get_u64()?;
+        tenants.push((tenant, steps));
+    }
     Ok(DaemonStatus {
         active_sessions,
         total_admitted,
         shutting_down,
         sessions,
         store,
+        tenants,
     })
 }
 
@@ -698,6 +738,8 @@ impl Frame {
             Frame::MetricsReply { .. } => FrameKind::MetricsReply,
             Frame::Derive { .. } => FrameKind::Derive,
             Frame::DeriveReply { .. } => FrameKind::DeriveReply,
+            Frame::Attach { .. } => FrameKind::Attach,
+            Frame::AttachReply { .. } => FrameKind::AttachReply,
         }
     }
 
@@ -782,6 +824,19 @@ impl Frame {
                 for h in &set.hashes {
                     e.put_u64(*h);
                 }
+            }
+            Frame::Attach { session, from_seq } => {
+                e.put_u64(*session);
+                e.put_u64(*from_seq);
+            }
+            Frame::AttachReply {
+                session,
+                from_seq,
+                retained,
+            } => {
+                e.put_u64(*session);
+                e.put_u64(*from_seq);
+                e.put_u64(*retained);
             }
         }
         e.into_bytes()
@@ -879,6 +934,15 @@ impl Frame {
                     },
                 }
             }
+            FrameKind::Attach => Frame::Attach {
+                session: d.get_u64()?,
+                from_seq: d.get_u64()?,
+            },
+            FrameKind::AttachReply => Frame::AttachReply {
+                session: d.get_u64()?,
+                from_seq: d.get_u64()?,
+                retained: d.get_u64()?,
+            },
             // `FrameKind` is non_exhaustive: a kind this build knows how
             // to *frame* but not to *type* is a protocol mismatch.
             other => {
@@ -1049,6 +1113,15 @@ mod tests {
                     kind: "eval".into(),
                     message: "evaluation failed: pool shut down".into(),
                 },
+            },
+            Frame::Attach {
+                session: 7,
+                from_seq: 42,
+            },
+            Frame::AttachReply {
+                session: 7,
+                from_seq: 42,
+                retained: 99,
             },
         ];
         for frame in frames {

@@ -13,7 +13,7 @@ use std::time::Duration;
 /// Implemented for [`TcpStream`] and (on Unix) `UnixStream`; the daemon
 /// and client only ever see `Box<dyn Conn>`, so the two transports share
 /// every code path above the socket.
-pub trait Conn: Read + Write + Send {
+pub trait Conn: Read + Write + Send + Sync {
     /// Clones the underlying socket (independent read/write cursors onto
     /// the same connection — used to split reader and writer threads).
     fn try_clone_conn(&self) -> io::Result<Box<dyn Conn>>;
@@ -120,6 +120,124 @@ impl Listener {
                 let (stream, _) = l.accept()?;
                 Ok(Box::new(stream))
             }
+        }
+    }
+
+    /// Accepts the next inbound connection as a concrete [`Socket`]
+    /// (honors the listener's blocking mode — with
+    /// [`set_nonblocking`](Listener::set_nonblocking) it returns
+    /// `WouldBlock` instead of waiting).
+    pub fn accept_socket(&self) -> io::Result<Socket> {
+        match self {
+            Listener::Tcp(l) => {
+                let (stream, _) = l.accept()?;
+                stream.set_nodelay(true).ok();
+                Ok(Socket::Tcp(stream))
+            }
+            #[cfg(unix)]
+            Listener::Unix(l) => {
+                let (stream, _) = l.accept()?;
+                Ok(Socket::Unix(stream))
+            }
+        }
+    }
+
+    /// Switches the listener between blocking and readiness-driven
+    /// accepts.
+    pub fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()> {
+        match self {
+            Listener::Tcp(l) => l.set_nonblocking(nonblocking),
+            #[cfg(unix)]
+            Listener::Unix(l) => l.set_nonblocking(nonblocking),
+        }
+    }
+
+    /// The raw descriptor for readiness registration.
+    #[cfg(unix)]
+    pub fn raw_fd(&self) -> i32 {
+        use std::os::unix::io::AsRawFd;
+        match self {
+            Listener::Tcp(l) => l.as_raw_fd(),
+            Listener::Unix(l) => l.as_raw_fd(),
+        }
+    }
+}
+
+/// A concrete accepted stream for the daemon's readiness loop, which
+/// needs the raw file descriptor to register with `poll(2)` — the
+/// object-safe [`Conn`] deliberately hides it.
+pub enum Socket {
+    /// TCP stream.
+    Tcp(TcpStream),
+    /// Unix-domain stream.
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl std::fmt::Debug for Socket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Socket::Tcp(s) => f.debug_tuple("Tcp").field(&s.peer_addr().ok()).finish(),
+            #[cfg(unix)]
+            Socket::Unix(_) => f.debug_tuple("Unix").finish(),
+        }
+    }
+}
+
+impl Socket {
+    /// Switches the stream between blocking and readiness-driven modes.
+    pub fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()> {
+        match self {
+            Socket::Tcp(s) => s.set_nonblocking(nonblocking),
+            #[cfg(unix)]
+            Socket::Unix(s) => s.set_nonblocking(nonblocking),
+        }
+    }
+
+    /// The raw descriptor for readiness registration.
+    #[cfg(unix)]
+    pub fn raw_fd(&self) -> i32 {
+        use std::os::unix::io::AsRawFd;
+        match self {
+            Socket::Tcp(s) => s.as_raw_fd(),
+            Socket::Unix(s) => s.as_raw_fd(),
+        }
+    }
+
+    /// Closes both directions.
+    pub fn shutdown_socket(&self) -> io::Result<()> {
+        match self {
+            Socket::Tcp(s) => s.shutdown(std::net::Shutdown::Both),
+            #[cfg(unix)]
+            Socket::Unix(s) => s.shutdown(std::net::Shutdown::Both),
+        }
+    }
+}
+
+impl Read for Socket {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Socket::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Socket::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Socket {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Socket::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Socket::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Socket::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Socket::Unix(s) => s.flush(),
         }
     }
 }

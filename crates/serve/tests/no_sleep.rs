@@ -1,0 +1,35 @@
+//! Guards the serving layer's no-polling contract: every wait in
+//! `syno-serve` must be readiness-driven (socket poll, channel recv,
+//! condvar, or the mailbox/signal self-pipes) — never a timed sleep. The
+//! old transport burned a 20 ms drain-watcher loop per connection and a
+//! 100 ms SIGINT poll; this test keeps them from creeping back.
+
+use std::path::Path;
+
+fn scan(dir: &Path, hits: &mut Vec<String>) {
+    for entry in std::fs::read_dir(dir).expect("read source dir") {
+        let path = entry.expect("dir entry").path();
+        if path.is_dir() {
+            scan(&path, hits);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let source = std::fs::read_to_string(&path).expect("read source file");
+            for (ix, line) in source.lines().enumerate() {
+                if line.contains("thread::sleep") || line.contains("sleep(") {
+                    hits.push(format!("{}:{}: {}", path.display(), ix + 1, line.trim()));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn serve_sources_never_sleep() {
+    let src = Path::new(env!("CARGO_MANIFEST_DIR")).join("src");
+    let mut hits = Vec::new();
+    scan(&src, &mut hits);
+    assert!(
+        hits.is_empty(),
+        "timed sleeps found in syno-serve (waits must be readiness-driven):\n{}",
+        hits.join("\n")
+    );
+}

@@ -142,12 +142,16 @@ fn sample_status(mix: &mut Mix) -> DaemonStatus {
             lookups: mix.next(),
         })
     };
+    let tenants = (0..mix.small(4))
+        .map(|_| (mix.text(12), mix.next()))
+        .collect();
     DaemonStatus {
         active_sessions: mix.small(100) as u32,
         total_admitted: mix.next(),
         shutting_down: mix.small(2) == 0,
         sessions,
         store,
+        tenants,
     }
 }
 
@@ -223,6 +227,15 @@ fn sample_frame(kind: FrameKind, seed: u64) -> Frame {
                 },
             }
         }
+        FrameKind::Attach => Frame::Attach {
+            session: mix.next(),
+            from_seq: mix.next(),
+        },
+        FrameKind::AttachReply => Frame::AttachReply {
+            session: mix.next(),
+            from_seq: mix.next(),
+            retained: mix.next(),
+        },
         // `FrameKind` is non_exhaustive; a kind added without a sampler
         // arm must fail the sweep loudly, not silently sample nothing.
         other => panic!("no sampler for frame kind {other}"),

@@ -294,6 +294,9 @@ pub enum OpKind {
     Compaction,
     /// A candidate set was derived from existing sets.
     Derive,
+    /// A serving-layer client attached to (took over) a live session's
+    /// event stream after its original connection dropped.
+    SessionAttached,
 }
 
 impl OpKind {
@@ -304,6 +307,7 @@ impl OpKind {
             OpKind::Checkpoint => 2,
             OpKind::Compaction => 3,
             OpKind::Derive => 4,
+            OpKind::SessionAttached => 5,
         }
     }
 
@@ -314,6 +318,7 @@ impl OpKind {
             2 => OpKind::Checkpoint,
             3 => OpKind::Compaction,
             4 => OpKind::Derive,
+            5 => OpKind::SessionAttached,
             _ => return None,
         })
     }
@@ -326,6 +331,7 @@ impl OpKind {
             OpKind::Checkpoint => "checkpoint",
             OpKind::Compaction => "compaction",
             OpKind::Derive => "derive",
+            OpKind::SessionAttached => "session-attached",
         }
     }
 }
@@ -1369,26 +1375,6 @@ impl Store {
         Ok(())
     }
 
-    /// Positional form of [`Store::put_score`], kept for one release so
-    /// PR-8-era callers migrate without a flag day.
-    ///
-    /// # Errors
-    ///
-    /// [`StoreError::Io`] when the append fails.
-    #[deprecated(
-        note = "build a typed `ScoreContract { family, reduce_width }` and call `put_score`; \
-                the positional form is frozen and will be removed next release"
-    )]
-    pub fn put_score_parts(
-        &self,
-        hash: u64,
-        accuracy: f64,
-        family: &str,
-        reduce_width: u32,
-    ) -> Result<(), StoreError> {
-        self.put_score(hash, accuracy, &ScoreContract::new(family, reduce_width))
-    }
-
     /// Journals a tuned latency for `hash` on one device/compiler pair.
     ///
     /// # Errors
@@ -1471,6 +1457,19 @@ impl Store {
     /// The full operation log in repository replay order.
     pub fn operations(&self) -> Vec<Operation> {
         self.lock().state.ops.clone()
+    }
+
+    /// The operation log from entry `index` onward, in replay order — the
+    /// serving layer's attach-replay cursor: a client that recorded how
+    /// many operations it had seen reads exactly what it missed.
+    pub fn operations_since(&self, index: usize) -> Vec<Operation> {
+        let inner = self.lock();
+        inner
+            .state
+            .ops
+            .get(index.min(inner.state.ops.len())..)
+            .unwrap_or_default()
+            .to_vec()
     }
 
     /// The operation log filtered to one scenario label or set name.
@@ -1679,22 +1678,6 @@ impl Store {
         let mut inner = self.lock();
         inner.lookups += 1;
         inner.state.contract_score(hash, contract)
-    }
-
-    /// Positional form of [`Store::score_for_contract`], kept for one
-    /// release so PR-8-era callers migrate without a flag day.
-    #[deprecated(
-        note = "build a typed `ScoreContract { family, reduce_width }` and call \
-                `score_for_contract`; the positional form is frozen and will be removed \
-                next release"
-    )]
-    pub fn score_for_contract_parts(
-        &self,
-        hash: u64,
-        family: &str,
-        reduce_width: u32,
-    ) -> Option<f64> {
-        self.score_for_contract(hash, &ScoreContract::new(family, reduce_width))
     }
 
     /// The cached latency for `hash` on one device/compiler pair.
@@ -2363,20 +2346,20 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
     }
 
-    /// The deprecated positional wrappers still work (one release of
-    /// grace) and land on the same records as the typed contract API.
+    /// The typed-contract API (sole survivor of the PR-9 positional
+    /// deprecation cycle) keys scores by the full contract: a width
+    /// mismatch reads as a miss.
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_positional_wrappers_still_work() {
-        let dir = temp_dir("deprecated");
+    fn contract_api_keys_scores_by_family_and_width() {
+        let dir = temp_dir("contract-keyed");
         let graphs = pool_graphs(1);
         let h = graphs[0].content_hash();
         let store = StoreBuilder::new(&dir).open().unwrap();
         store.put_candidate(h, &graphs[0]).unwrap();
-        store.put_score_parts(h, 0.625, "vision", 4).unwrap();
-        assert_eq!(store.score_for_contract_parts(h, "vision", 4), Some(0.625));
+        store.put_score(h, 0.625, &c("vision", 4)).unwrap();
         assert_eq!(store.score_for_contract(h, &c("vision", 4)), Some(0.625));
-        assert_eq!(store.score_for_contract_parts(h, "vision", 1), None);
+        assert_eq!(store.score_for_contract(h, &c("vision", 1)), None);
+        assert_eq!(store.score_for_contract(h, &c("sequence", 4)), None);
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -2570,6 +2553,20 @@ mod tests {
         assert_eq!(last.kind, OpKind::RunResumed);
         assert!(store.last_operation("pool", 99).is_none());
         assert_eq!(store.stats().operations, 3);
+
+        // The attach-replay cursor: `operations_since(n)` returns exactly
+        // what a reader who saw the first `n` entries missed.
+        let all = store.operations();
+        assert_eq!(store.operations_since(0), all);
+        assert_eq!(store.operations_since(1), all[1..].to_vec());
+        store
+            .log_operation(OpKind::SessionAttached, "pool", 42, "tenant a from seq 3")
+            .unwrap();
+        let missed = store.operations_since(all.len());
+        assert_eq!(missed.len(), 1);
+        assert_eq!(missed[0].kind, OpKind::SessionAttached);
+        assert_eq!(missed[0].kind.name(), "session-attached");
+        assert!(store.operations_since(usize::MAX).is_empty());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

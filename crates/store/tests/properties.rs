@@ -155,7 +155,7 @@ proptest! {
     /// writer/label/detail strings.
     #[test]
     fn operation_records_round_trip(
-        (kind, seed, fingerprint) in (0usize..5, 0u64..u64::MAX, 0u64..u64::MAX)
+        (kind, seed, fingerprint) in (0usize..6, 0u64..u64::MAX, 0u64..u64::MAX)
     ) {
         let kind = [
             OpKind::RunStarted,
@@ -163,6 +163,7 @@ proptest! {
             OpKind::Checkpoint,
             OpKind::Compaction,
             OpKind::Derive,
+            OpKind::SessionAttached,
         ][kind];
         let mut mix = Mix::new(seed);
         let record = Record::Operation(Operation {

@@ -24,6 +24,18 @@
 //! the registry; call sites cache them (see the [`counter!`](crate::counter!)
 //! family of macros) so the registry mutex is only taken at registration.
 //! Mutations are relaxed atomics behind the global enable flag.
+//!
+//! ## Families of note
+//!
+//! Beyond the pool/store/serve series, three counters form the serving
+//! layer's dedup ledger: `syno_search_proxy_train_total` increments only
+//! when a proxy training actually executes (never on store recalls or
+//! coalesced replays), while `syno_search_coalesce_leaders_total` /
+//! `syno_search_coalesce_followers_total` split in-flight claims into
+//! the session that trained and the sessions that replayed the memo.
+//! `syno_serve_attach_total` counts session takeovers (`Attach` frames
+//! honored). Tests assert exact deltas on these, so their increments are
+//! part of the crate contracts they observe, not best-effort telemetry.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;

@@ -1,7 +1,8 @@
 //! Serving-layer quickstart: spawn an in-process `syno-serve` daemon over
 //! a persistent store, submit a search as a tenant, stream its events
-//! over the wire, read the shared store's stats off a status frame, and
-//! shut the daemon down gracefully.
+//! over the wire, survive a mid-run disconnect by reattaching to the
+//! session, read the shared store's stats off a status frame, and shut
+//! the daemon down gracefully.
 //!
 //! Run with: `cargo run --example serve_client` (twice, to watch the
 //! second run served entirely from the warm store as `CacheHit` frames).
@@ -66,22 +67,21 @@ fn main() {
     // 3. Connect as a tenant and submit a search. Zero-valued tuning
     //    fields mean "daemon default"; the proxy overrides here keep the
     //    example fast.
+    let request = SearchRequest {
+        label: "serve-example-conv".into(),
+        spec: encode_spec(&vars, &spec),
+        family: "vision".into(),
+        iterations: 12,
+        seed: 7,
+        progress_every: 4,
+        max_steps: 0,
+        train_steps: 6,
+        train_batch: 4,
+        eval_batches: 1,
+        resume: false,
+    };
     let client = SynoClient::connect(handle.addr(), "example-tenant").expect("client connects");
-    let session = client
-        .submit(&SearchRequest {
-            label: "serve-example-conv".into(),
-            spec: encode_spec(&vars, &spec),
-            family: "vision".into(),
-            iterations: 12,
-            seed: 7,
-            progress_every: 4,
-            max_steps: 0,
-            train_steps: 6,
-            train_batch: 4,
-            eval_batches: 1,
-            resume: false,
-        })
-        .expect("session admitted");
+    let session = client.submit(&request).expect("session admitted");
     println!("admitted as session {}", session.id());
 
     // 4. Stream the session's events. The iterator ends at the terminal
@@ -114,10 +114,52 @@ fn main() {
             SessionMessage::Error(error) => {
                 eprintln!("session failed: {error}");
             }
+            SessionMessage::Lost { session, received } => {
+                // Not reachable here (the connection stays open), but
+                // this is the reconnect signal: attach(session, received)
+                // on a fresh client replays the rest — see step 5.
+                eprintln!("connection lost; attach({session}, {received}) to take over");
+            }
         }
     }
 
-    // 5. The status frame carries the shared store's stats — the same
+    // 5. Reconnect and take over: a session id outlives its socket. Kick
+    //    off a second run, read a few frames, then drop the connection
+    //    mid-stream — the daemon detaches the socket but keeps the
+    //    session running and its event log retained.
+    let mut takeover = request.clone();
+    takeover.label = "serve-example-takeover".into();
+    let (session_id, consumed) = {
+        let cut_client =
+            SynoClient::connect(handle.addr(), "example-tenant").expect("client reconnects");
+        let session = cut_client.submit(&takeover).expect("second session admitted");
+        let mut consumed = 0u64;
+        while consumed < 3 && session.recv().is_some() {
+            consumed += 1;
+        }
+        println!(
+            "dropping the socket after {consumed} messages; session {} runs on",
+            session.id()
+        );
+        (session.id(), consumed)
+    }; // the socket closes here — mid-run, on purpose
+
+    //    A fresh connection of the same tenant attaches at the consumed
+    //    count: the daemon replays every missed event bit-identically,
+    //    then resumes live streaming to the terminal frame.
+    let client = SynoClient::connect(handle.addr(), "example-tenant").expect("fresh connection");
+    let resumed = client
+        .attach(session_id, consumed)
+        .expect("attach replays the missed events");
+    let mut replayed = 0u64;
+    for message in resumed.messages() {
+        replayed += 1;
+        if let SessionMessage::Done { stopped, .. } = message {
+            println!("takeover finished ({stopped}) after {replayed} replayed/resumed messages");
+        }
+    }
+
+    // 6. The status frame carries the shared store's stats — the same
     //    numbers `Session::store_stats()` reports in process — so a
     //    client can check the store is actually warm.
     let status = client.status().expect("status round-trips");
@@ -131,7 +173,7 @@ fn main() {
         );
     }
 
-    // 6. The live metrics dump (step 0): per-tenant session counters,
+    // 7. The live metrics dump (step 0): per-tenant session counters,
     //    search counters, frame codec timings — Prometheus exposition
     //    text, the same payload `syno-serve --metrics ADDR` prints.
     let dump = client.metrics().expect("metrics round-trip");
@@ -139,7 +181,7 @@ fn main() {
         println!("metric: {line}");
     }
 
-    // 7. Graceful shutdown: live sessions (none here) would be cancelled,
+    // 8. Graceful shutdown: live sessions (none here) would be cancelled,
     //    checkpointed to the store, and answered before the daemon's
     //    terminal `ShuttingDown` frame.
     let checkpointed = client.shutdown().expect("daemon acknowledges shutdown");

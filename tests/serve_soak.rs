@@ -1,0 +1,232 @@
+//! Serve soak (env-gated; CI runs it with `SYNO_SERVE_SOAK=1`): eight
+//! tenants stream the identical search through one daemon while a
+//! seeded RNG kills their sockets at random points mid-stream; each
+//! tenant reconnects and `Attach`es at its consumed count. With
+//! coalescing deduplicating the in-flight trainings and the session
+//! logs replaying across takeovers, all eight assembled streams must
+//! come out bit-identical — disconnects and all.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use syno::core::codec::encode_spec;
+use syno::core::prelude::*;
+use syno::serve::daemon::{Daemon, ServeConfig};
+use syno::serve::{SearchRequest, SessionMessage, SynoClient, WireEvent};
+
+fn quick_proxy() -> syno::nn::ProxyConfig {
+    syno::nn::ProxyConfig {
+        train: syno::nn::TrainConfig {
+            steps: 8,
+            batch: 4,
+            eval_batches: 1,
+            lr: 0.2,
+            ..syno::nn::TrainConfig::default()
+        },
+        ..syno::nn::ProxyConfig::default()
+    }
+}
+
+/// `[N, Cin, H, W] -> [N, Cout, H, W]` conv-shaped vision scenario.
+fn vision_space() -> (Arc<VarTable>, OperatorSpec) {
+    let mut vars = VarTable::new();
+    let n = vars.declare("N", VarKind::Primary);
+    let cin = vars.declare("Cin", VarKind::Primary);
+    let cout = vars.declare("Cout", VarKind::Primary);
+    let h = vars.declare("H", VarKind::Primary);
+    let w = vars.declare("W", VarKind::Primary);
+    let k = vars.declare("k", VarKind::Coefficient);
+    vars.push_valuation(vec![(n, 4), (cin, 3), (cout, 4), (h, 8), (w, 8), (k, 2)]);
+    let vars = vars.into_shared();
+    let spec = OperatorSpec::new(
+        TensorShape::new(vec![
+            Size::var(n),
+            Size::var(cin),
+            Size::var(h),
+            Size::var(w),
+        ]),
+        TensorShape::new(vec![
+            Size::var(n),
+            Size::var(cout),
+            Size::var(h),
+            Size::var(w),
+        ]),
+    );
+    (vars, spec)
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+enum Segment {
+    /// The terminal `Done` arrived; the stream is complete.
+    Finished,
+    /// The connection was (deliberately) cut; reattach and continue.
+    Cut,
+}
+
+/// Drains up to `budget` messages from one connection into `out`.
+fn drain(session: &syno::serve::ClientSession<'_>, out: &mut Vec<SessionMessage>, budget: u64) -> Segment {
+    for _ in 0..budget {
+        match session.recv() {
+            Some(SessionMessage::Lost { .. }) | None => return Segment::Cut,
+            Some(message) => {
+                let finished = matches!(message, SessionMessage::Done { .. });
+                out.push(message);
+                if finished {
+                    return Segment::Finished;
+                }
+            }
+        }
+    }
+    Segment::Cut
+}
+
+/// One tenant's full life: submit, stream with random socket kills,
+/// reattach at the consumed count each time, until `Done` — then verify
+/// the assembled stream equals a full from-zero replay of the session
+/// log, bit for bit.
+fn run_tenant(addr: &str, tenant: &str, req: &SearchRequest, mut rng: u64) -> Vec<SessionMessage> {
+    let mut out = Vec::new();
+    let session_id;
+    let mut finished = {
+        let client = SynoClient::connect(addr, tenant).expect("tenant connects");
+        let session = client.submit(req).expect("tenant admitted");
+        session_id = session.id();
+        let budget = 1 + xorshift(&mut rng) % 9;
+        matches!(drain(&session, &mut out, budget), Segment::Finished)
+    }; // drop the socket mid-stream — the daemon detaches, the session runs on
+
+    while !finished {
+        let client = SynoClient::connect(addr, tenant).expect("tenant reconnects");
+        let session = client
+            .attach(session_id, out.len() as u64)
+            .expect("tenant reattaches at its consumed count");
+        let budget = 1 + xorshift(&mut rng) % 9;
+        finished = matches!(drain(&session, &mut out, budget), Segment::Finished);
+    }
+
+    // Exactness: a from-zero replay of the session log must equal the
+    // stream this tenant assembled across all its connections.
+    let client = SynoClient::connect(addr, tenant).expect("replay connection");
+    let session = client.attach(session_id, 0).expect("replay attaches from 0");
+    let replay: Vec<SessionMessage> = session.messages().collect();
+    assert_eq!(
+        replay, out,
+        "{tenant}: assembled stream equals the full log replay bit for bit"
+    );
+    out
+}
+
+/// Canonical per-candidate view of a stream (event subsequence with
+/// exact accuracy bits) for the cross-tenant determinism comparison —
+/// interleaving *across* candidates follows shared-pool scheduling.
+fn trace(stream: &[SessionMessage]) -> BTreeMap<u64, Vec<(&'static str, u64)>> {
+    let mut trace: BTreeMap<u64, Vec<(&'static str, u64)>> = BTreeMap::new();
+    for message in stream {
+        match message {
+            SessionMessage::Event(WireEvent::CandidateFound { id, .. }) => {
+                trace.entry(*id).or_default().push(("found", 0));
+            }
+            SessionMessage::Event(WireEvent::ProxyScored { id, accuracy, .. }) => {
+                trace.entry(*id).or_default().push(("scored", accuracy.to_bits()));
+            }
+            SessionMessage::Event(WireEvent::CacheHit { id, candidate, .. }) => {
+                trace.entry(*id).or_default().push(("hit", candidate.accuracy.to_bits()));
+            }
+            SessionMessage::Event(WireEvent::LatencyTuned { id, candidate, .. }) => {
+                trace.entry(*id).or_default().push(("tuned", candidate.accuracy.to_bits()));
+            }
+            _ => {}
+        }
+    }
+    trace
+}
+
+#[test]
+fn eight_tenants_with_random_disconnects_assemble_identical_streams() {
+    if std::env::var("SYNO_SERVE_SOAK").is_err() {
+        eprintln!("serve soak skipped; set SYNO_SERVE_SOAK=1 to run it");
+        return;
+    }
+
+    let (vars, spec) = vision_space();
+    let config = ServeConfig {
+        eval_workers: 2,
+        max_sessions: 8,
+        max_sessions_per_tenant: 1,
+        proxy: quick_proxy(),
+        progress_every: 0,
+        ..ServeConfig::default()
+    };
+    let daemon = Daemon::bind("127.0.0.1:0", None, config).expect("daemon binds");
+    let (handle, daemon_thread) = daemon.spawn();
+    let addr = handle.addr().to_owned();
+
+    let req = SearchRequest {
+        label: "soak".to_owned(),
+        spec: encode_spec(&vars, &spec),
+        family: "vision".to_owned(),
+        iterations: 20,
+        seed: 29,
+        progress_every: 0,
+        max_steps: 0,
+        train_steps: 0,
+        train_batch: 0,
+        eval_batches: 0,
+        resume: false,
+    };
+
+    let streams: Vec<Vec<SessionMessage>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8u64)
+            .map(|i| {
+                let addr = addr.clone();
+                let req = req.clone();
+                scope.spawn(move || {
+                    let tenant = format!("soak-tenant-{i}");
+                    // Distinct odd seeds so every tenant cuts its socket
+                    // at a different cadence.
+                    run_tenant(&addr, &tenant, &req, 0x9e37_79b9 * (2 * i + 1))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("tenant thread"))
+            .collect()
+    });
+
+    let first = &streams[0];
+    assert!(
+        matches!(first.last(), Some(SessionMessage::Done { stopped, .. }) if stopped == "completed"),
+        "every tenant ran to completion: {:?}",
+        first.last()
+    );
+    assert!(first.len() > 8, "the soak streamed a real run: {}", first.len());
+    let reference = trace(first);
+    assert!(!reference.is_empty(), "the soak discovered candidates");
+    for (i, stream) in streams.iter().enumerate() {
+        assert_eq!(
+            trace(stream),
+            reference,
+            "tenant {i} saw the same per-candidate streams as tenant 0 \
+             despite random disconnects"
+        );
+        assert_eq!(
+            stream.last(),
+            first.last(),
+            "tenant {i} ends on the same terminal frame"
+        );
+    }
+
+    let observer = SynoClient::connect(&addr, "observer").expect("observer connects");
+    observer.shutdown().expect("daemon acknowledges shutdown");
+    drop(observer);
+    daemon_thread.join().expect("daemon exits");
+}
